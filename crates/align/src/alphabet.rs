@@ -1,0 +1,198 @@
+//! Residue alphabets and their `u8` encodings.
+//!
+//! Every aligner in this workspace operates on sequences of small integer
+//! *codes* rather than ASCII characters, matching how CUDASW++ stores the
+//! database on the device. The protein alphabet uses the standard 24-letter
+//! ordering shared by the NCBI BLOSUM matrices:
+//!
+//! ```text
+//! A R N D C Q E G H I L K M F P S T W Y V B Z X *
+//! 0 1 2 3 4 5 6 7 8 9 ...                      23
+//! ```
+//!
+//! `B` (Asx), `Z` (Glx) and `X` (any) are ambiguity codes; `*` is the stop
+//! marker. The DNA alphabet is `A C G T N` with codes `0..=4`.
+
+use crate::error::AlignError;
+
+/// Canonical protein alphabet in NCBI matrix order.
+pub const PROTEIN_ALPHABET: &[u8; 24] = b"ARNDCQEGHILKMFPSTWYVBZX*";
+
+/// Canonical DNA alphabet (with `N` as the ambiguity code).
+pub const DNA_ALPHABET: &[u8; 5] = b"ACGTN";
+
+/// Number of protein codes (including ambiguity codes and stop).
+pub const PROTEIN_ALPHABET_SIZE: usize = 24;
+
+/// Number of DNA codes.
+pub const DNA_ALPHABET_SIZE: usize = 5;
+
+/// Which alphabet a sequence or matrix is expressed over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Alphabet {
+    /// 24-code amino-acid alphabet (see [`PROTEIN_ALPHABET`]).
+    Protein,
+    /// 5-code nucleotide alphabet (see [`DNA_ALPHABET`]).
+    Dna,
+}
+
+impl Alphabet {
+    /// Number of codes in this alphabet.
+    pub fn size(self) -> usize {
+        match self {
+            Alphabet::Protein => PROTEIN_ALPHABET_SIZE,
+            Alphabet::Dna => DNA_ALPHABET_SIZE,
+        }
+    }
+
+    /// The letters of this alphabet in code order.
+    pub fn letters(self) -> &'static [u8] {
+        match self {
+            Alphabet::Protein => PROTEIN_ALPHABET,
+            Alphabet::Dna => DNA_ALPHABET,
+        }
+    }
+
+    /// Encode one ASCII character to its code, if it belongs to the alphabet.
+    pub fn encode_char(self, ch: char) -> Option<u8> {
+        let upper = ch.to_ascii_uppercase() as u8;
+        self.letters()
+            .iter()
+            .position(|&l| l == upper)
+            .map(|i| i as u8)
+    }
+
+    /// Decode one code back to its ASCII letter.
+    ///
+    /// Returns `'?'` for out-of-range codes, which keeps diagnostic printing
+    /// total without panicking.
+    pub fn decode_code(self, code: u8) -> char {
+        self.letters()
+            .get(code as usize)
+            .map(|&b| b as char)
+            .unwrap_or('?')
+    }
+
+    /// Encode a whole string, reporting the first invalid character.
+    pub fn encode(self, s: &str) -> Result<Vec<u8>, AlignError> {
+        let mut out = Vec::with_capacity(s.len());
+        for (position, ch) in s.chars().enumerate() {
+            if ch.is_ascii_whitespace() {
+                continue;
+            }
+            match self.encode_char(ch) {
+                Some(code) => out.push(code),
+                None => return Err(AlignError::InvalidResidue { ch, position }),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Decode a code slice back to a `String`.
+    pub fn decode(self, codes: &[u8]) -> String {
+        codes.iter().map(|&c| self.decode_code(c)).collect()
+    }
+}
+
+/// Encode a protein sequence (whitespace is skipped; case-insensitive).
+pub fn encode_protein(s: &str) -> Result<Vec<u8>, AlignError> {
+    Alphabet::Protein.encode(s)
+}
+
+/// Decode protein codes to a string.
+pub fn decode_protein(codes: &[u8]) -> String {
+    Alphabet::Protein.decode(codes)
+}
+
+/// Encode a DNA sequence (whitespace is skipped; case-insensitive).
+pub fn encode_dna(s: &str) -> Result<Vec<u8>, AlignError> {
+    Alphabet::Dna.encode(s)
+}
+
+/// Background amino-acid frequencies (Robinson & Robinson, as used by
+/// BLAST's composition statistics), indexed by protein code. Ambiguity codes
+/// and `*` have frequency zero. Used by the synthetic database generator so
+/// that generated residues have realistic composition.
+pub const AMINO_ACID_FREQUENCIES: [f64; PROTEIN_ALPHABET_SIZE] = [
+    0.078_05, // A
+    0.051_29, // R
+    0.044_87, // N
+    0.053_64, // D
+    0.019_25, // C
+    0.042_64, // Q
+    0.062_95, // E
+    0.073_77, // G
+    0.021_99, // H
+    0.051_42, // I
+    0.090_19, // L
+    0.057_44, // K
+    0.022_43, // M
+    0.038_56, // F
+    0.052_03, // P
+    0.071_20, // S
+    0.058_41, // T
+    0.013_30, // W
+    0.032_16, // Y
+    0.064_41, // V
+    0.0,      // B
+    0.0,      // Z
+    0.0,      // X
+    0.0,      // *
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protein_roundtrip() {
+        let s = "ARNDCQEGHILKMFPSTWYVBZX*";
+        let codes = encode_protein(s).unwrap();
+        assert_eq!(codes, (0..24).collect::<Vec<u8>>());
+        assert_eq!(decode_protein(&codes), s);
+    }
+
+    #[test]
+    fn lower_case_and_whitespace_accepted() {
+        let codes = encode_protein("m k v\n l").unwrap();
+        assert_eq!(decode_protein(&codes), "MKVL");
+    }
+
+    #[test]
+    fn invalid_residue_reported_with_position() {
+        let err = encode_protein("MKO").unwrap_err();
+        assert_eq!(
+            err,
+            AlignError::InvalidResidue {
+                ch: 'O',
+                position: 2
+            }
+        );
+    }
+
+    #[test]
+    fn dna_roundtrip() {
+        let codes = encode_dna("acgtn").unwrap();
+        assert_eq!(codes, vec![0, 1, 2, 3, 4]);
+        assert_eq!(Alphabet::Dna.decode(&codes), "ACGTN");
+    }
+
+    #[test]
+    fn decode_out_of_range_is_total() {
+        assert_eq!(Alphabet::Protein.decode_code(200), '?');
+        assert_eq!(Alphabet::Dna.decode_code(5), '?');
+    }
+
+    #[test]
+    fn alphabet_sizes() {
+        assert_eq!(Alphabet::Protein.size(), 24);
+        assert_eq!(Alphabet::Dna.size(), 5);
+        assert_eq!(Alphabet::Protein.letters().len(), 24);
+    }
+
+    #[test]
+    fn frequencies_sum_close_to_one() {
+        let sum: f64 = AMINO_ACID_FREQUENCIES.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-2, "sum = {sum}");
+    }
+}

@@ -1,0 +1,136 @@
+//! Banded local alignment.
+//!
+//! Restricts the Smith-Waterman DP to a diagonal band of half-width `k`
+//! around the main diagonal — an `O((n+m)·k)` approximation that becomes
+//! exact once the band covers the whole table. Included as part of the
+//! alignment substrate (and as a correctness foil for the exact kernels in
+//! tests: banded score ≤ exact score, with equality for a full band).
+
+use crate::error::AlignError;
+use crate::smith_waterman::SwParams;
+
+/// Best local alignment score restricted to cells with
+/// `|i·n/m - j| <= band` (a band around the resized main diagonal).
+///
+/// `band` is the half-width in database positions; it must be >= 1.
+pub fn sw_score_banded(
+    params: &SwParams,
+    query: &[u8],
+    db: &[u8],
+    band: usize,
+) -> Result<i32, AlignError> {
+    if band == 0 {
+        return Err(AlignError::InvalidBand { width: band });
+    }
+    let m = query.len();
+    let n = db.len();
+    if m == 0 || n == 0 {
+        return Ok(0);
+    }
+    let (open, extend) = (params.gaps.open, params.gaps.extend);
+    let neg = i32::MIN / 2;
+    // Row-major DP over the previous and current row, full width but only
+    // touching cells inside the band. Simpler than packed-band storage and
+    // still O((n+m)·k) touched cells.
+    let mut h_prev = vec![0i32; n + 1];
+    let mut f_prev = vec![neg; n + 1];
+    let mut h_cur = vec![0i32; n + 1];
+    let mut f_cur = vec![neg; n + 1];
+    let mut best = 0i32;
+    for i in 1..=m {
+        let center = i * n / m;
+        let lo = center.saturating_sub(band).max(1);
+        let hi = (center + band).min(n);
+        let row = params.matrix.row(query[i - 1]);
+        // Cells outside the band are "walls": treat them as unreachable.
+        for j in 0..lo {
+            h_cur[j] = 0;
+            f_cur[j] = neg;
+        }
+        if hi < n {
+            for j in (hi + 1)..=n {
+                h_cur[j] = 0;
+                f_cur[j] = neg;
+            }
+        }
+        let mut e = neg;
+        let mut h_left = 0i32;
+        for j in lo..=hi {
+            e = (e - extend).max(h_left - open);
+            let f = (f_prev[j] - extend).max(h_prev[j] - open);
+            let sub = h_prev[j - 1] + row[db[j - 1] as usize] as i32;
+            let h = sub.max(e).max(f).max(0);
+            h_cur[j] = h;
+            f_cur[j] = f;
+            h_left = h;
+            if h > best {
+                best = h;
+            }
+        }
+        std::mem::swap(&mut h_prev, &mut h_cur);
+        std::mem::swap(&mut f_prev, &mut f_cur);
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::encode_protein;
+    use crate::smith_waterman::sw_score;
+
+    fn p() -> SwParams {
+        SwParams::cudasw_default()
+    }
+
+    #[test]
+    fn zero_band_rejected() {
+        let q = encode_protein("MKV").unwrap();
+        assert!(sw_score_banded(&p(), &q, &q, 0).is_err());
+    }
+
+    #[test]
+    fn full_band_matches_exact() {
+        let cases = [
+            ("MKVLAWGGSC", "MKVLAWGGSC"),
+            ("ACDEFG", "ACDXXEFG"),
+            ("MSPARKLNQWETYCV", "MSPRKLNQWWETYCV"),
+        ];
+        for (q, d) in cases {
+            let qc = encode_protein(q).unwrap();
+            let dc = encode_protein(d).unwrap();
+            let full = sw_score_banded(&p(), &qc, &dc, qc.len() + dc.len()).unwrap();
+            assert_eq!(full, sw_score(&p(), &qc, &dc), "q={q} d={d}");
+        }
+    }
+
+    #[test]
+    fn banded_never_exceeds_exact() {
+        let qc = encode_protein("MSPARKLNQWETYCVMSPARKL").unwrap();
+        let dc = encode_protein("MSPRKLNQWWETYCVAAMSPRK").unwrap();
+        let exact = sw_score(&p(), &qc, &dc);
+        for band in 1..10 {
+            let b = sw_score_banded(&p(), &qc, &dc, band).unwrap();
+            assert!(b <= exact, "band={band}: {b} > {exact}");
+        }
+    }
+
+    #[test]
+    fn band_widening_is_monotone() {
+        let qc = encode_protein("GGGMKVLAWGGGACDEFG").unwrap();
+        let dc = encode_protein("PPPMKVLAWPPPACDXXEFG").unwrap();
+        let mut prev = 0;
+        for band in 1..=dc.len() + qc.len() {
+            let b = sw_score_banded(&p(), &qc, &dc, band).unwrap();
+            assert!(b >= prev, "band={band}");
+            prev = b;
+        }
+        assert_eq!(prev, sw_score(&p(), &qc, &dc));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(sw_score_banded(&p(), &[], &[1], 3).unwrap(), 0);
+        assert_eq!(sw_score_banded(&p(), &[1], &[], 3).unwrap(), 0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Karlin–Altschul statistics: λ, H, bit scores and E-values.
+//!
+//! A database search (the paper's use case) reports raw Smith-Waterman
+//! scores; to decide which hits are *significant*, practitioners convert
+//! them to E-values with the Karlin–Altschul theory. λ is the unique
+//! positive solution of
+//!
+//! ```text
+//! Σᵢⱼ pᵢ pⱼ exp(λ·s(i,j)) = 1
+//! ```
+//!
+//! over the background residue frequencies `p` (here Robinson–Robinson,
+//! as in BLAST), and H is the relative entropy of the aligned-pair
+//! distribution. Both are computed *numerically from the matrix itself*,
+//! which doubles as a strong validation of the shipped matrices: the
+//! published ungapped λ for BLOSUM62 is 0.3176 and our solver must land
+//! there.
+//!
+//! K is approximated (its exact computation needs the full score
+//! distribution lattice walk); the default uses BLAST's ungapped BLOSUM62
+//! value. E-values for *gapped* alignments would use slightly different
+//! (empirically fitted) parameters; the ungapped ones shipped here are the
+//! standard conservative choice.
+
+use crate::alphabet::AMINO_ACID_FREQUENCIES;
+use crate::matrix::ScoringMatrix;
+
+/// Karlin–Altschul parameters for a (matrix, background) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KarlinParams {
+    /// The scale parameter λ (nats per score unit).
+    pub lambda: f64,
+    /// Relative entropy H (nats per aligned pair).
+    pub entropy: f64,
+    /// The K constant (search-space scaling).
+    pub k: f64,
+}
+
+impl KarlinParams {
+    /// Compute λ and H for `matrix` over the standard amino-acid
+    /// background frequencies; K uses the BLAST ungapped default (0.13).
+    ///
+    /// Returns `None` when the matrix has a non-negative expected score
+    /// (the theory requires E[s] < 0 and at least one positive score).
+    pub fn for_protein_matrix(matrix: &ScoringMatrix) -> Option<Self> {
+        Self::compute(matrix, &AMINO_ACID_FREQUENCIES[..20], 0.13)
+    }
+
+    /// Compute λ and H for arbitrary background frequencies over the first
+    /// `freqs.len()` codes of the matrix.
+    pub fn compute(matrix: &ScoringMatrix, freqs: &[f64], k: f64) -> Option<Self> {
+        assert!(freqs.len() <= matrix.size());
+        let total: f64 = freqs.iter().sum();
+        let freqs: Vec<f64> = freqs.iter().map(|f| f / total).collect();
+
+        // Feasibility: expected score < 0 and max score > 0.
+        let mut expected = 0.0;
+        let mut max_score = i32::MIN;
+        for (i, &pi) in freqs.iter().enumerate() {
+            for (j, &pj) in freqs.iter().enumerate() {
+                let s = matrix.score(i as u8, j as u8);
+                expected += pi * pj * s as f64;
+                max_score = max_score.max(s);
+            }
+        }
+        if expected >= 0.0 || max_score <= 0 {
+            return None;
+        }
+
+        // φ(λ) = Σ p_i p_j exp(λ s_ij) − 1 is convex with φ(0) = 0,
+        // φ'(0) = E[s] < 0 and φ(∞) = ∞: bisect on the positive root.
+        let phi = |lambda: f64| -> f64 {
+            let mut sum = 0.0;
+            for (i, &pi) in freqs.iter().enumerate() {
+                for (j, &pj) in freqs.iter().enumerate() {
+                    sum += pi * pj * (lambda * matrix.score(i as u8, j as u8) as f64).exp();
+                }
+            }
+            sum - 1.0
+        };
+        let mut hi = 1.0f64;
+        while phi(hi) < 0.0 {
+            hi *= 2.0;
+            if hi > 64.0 {
+                return None;
+            }
+        }
+        let mut lo = 1e-9;
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if phi(mid) < 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let lambda = 0.5 * (lo + hi);
+
+        // H = λ · Σ q_ij s_ij with q_ij = p_i p_j exp(λ s_ij).
+        let mut entropy = 0.0;
+        for (i, &pi) in freqs.iter().enumerate() {
+            for (j, &pj) in freqs.iter().enumerate() {
+                let s = matrix.score(i as u8, j as u8) as f64;
+                entropy += pi * pj * (lambda * s).exp() * s;
+            }
+        }
+        Some(Self {
+            lambda,
+            entropy: lambda * entropy,
+            k,
+        })
+    }
+
+    /// Normalized bit score: `(λS − ln K) / ln 2`.
+    pub fn bit_score(&self, raw_score: i32) -> f64 {
+        (self.lambda * raw_score as f64 - self.k.ln()) / std::f64::consts::LN_2
+    }
+
+    /// E-value of a raw score against a search space of `query_len ×
+    /// db_residues`: `K·m·n·exp(−λS)`.
+    pub fn evalue(&self, raw_score: i32, query_len: usize, db_residues: u64) -> f64 {
+        self.k
+            * query_len as f64
+            * db_residues as f64
+            * (-self.lambda * raw_score as f64).exp()
+    }
+
+    /// The raw score needed for an E-value of `target` in the given search
+    /// space (rounded up).
+    pub fn score_for_evalue(&self, target: f64, query_len: usize, db_residues: u64) -> i32 {
+        let mn = query_len as f64 * db_residues as f64;
+        ((self.k * mn / target).ln() / self.lambda).ceil() as i32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blosum62_lambda_matches_published_value() {
+        // BLAST's ungapped BLOSUM62 λ = 0.3176 (natural log units).
+        let p = KarlinParams::for_protein_matrix(&ScoringMatrix::blosum62()).unwrap();
+        assert!(
+            (p.lambda - 0.3176).abs() < 0.01,
+            "lambda = {:.4}",
+            p.lambda
+        );
+        // Published H ≈ 0.40 nats.
+        assert!((p.entropy - 0.40).abs() < 0.05, "H = {:.3}", p.entropy);
+    }
+
+    #[test]
+    fn blosum50_lambda_is_smaller_than_blosum62() {
+        // Softer matrices (BLOSUM50) have lower λ (published ≈ 0.232).
+        let l62 = KarlinParams::for_protein_matrix(&ScoringMatrix::blosum62())
+            .unwrap()
+            .lambda;
+        let l50 = KarlinParams::for_protein_matrix(&ScoringMatrix::blosum50())
+            .unwrap()
+            .lambda;
+        assert!(l50 < l62);
+        assert!((l50 - 0.232).abs() < 0.02, "BLOSUM50 lambda = {l50:.4}");
+    }
+
+    #[test]
+    fn evalue_decreases_with_score_and_increases_with_space() {
+        let p = KarlinParams::for_protein_matrix(&ScoringMatrix::blosum62()).unwrap();
+        let e50 = p.evalue(50, 300, 1_000_000);
+        let e80 = p.evalue(80, 300, 1_000_000);
+        assert!(e80 < e50);
+        let e_big_db = p.evalue(50, 300, 100_000_000);
+        assert!(e_big_db > e50);
+    }
+
+    #[test]
+    fn score_for_evalue_inverts_evalue() {
+        let p = KarlinParams::for_protein_matrix(&ScoringMatrix::blosum62()).unwrap();
+        let s = p.score_for_evalue(1e-3, 567, 180_000_000);
+        assert!(p.evalue(s, 567, 180_000_000) <= 1e-3);
+        assert!(p.evalue(s - 2, 567, 180_000_000) > 1e-3);
+    }
+
+    #[test]
+    fn bit_scores_are_monotone() {
+        let p = KarlinParams::for_protein_matrix(&ScoringMatrix::blosum62()).unwrap();
+        assert!(p.bit_score(100) > p.bit_score(50));
+        // A typical strong hit (raw 300) is well over 100 bits.
+        assert!(p.bit_score(300) > 100.0);
+    }
+
+    #[test]
+    fn positive_expectation_matrix_rejected() {
+        // A match-heavy matrix with positive expected score has no λ.
+        let m = ScoringMatrix::match_mismatch(crate::alphabet::Alphabet::Protein, 5, 1);
+        let uniform = [0.05f64; 20];
+        assert!(KarlinParams::compute(&m, &uniform, 0.13).is_none());
+    }
+
+    #[test]
+    fn dna_match_mismatch_has_lambda() {
+        let m = ScoringMatrix::match_mismatch(crate::alphabet::Alphabet::Dna, 2, -3);
+        let uniform = [0.25f64; 4];
+        let p = KarlinParams::compute(&m, &uniform, 0.13).unwrap();
+        // Known λ for +2/−3 DNA scoring ≈ 0.60 (ungapped ≈ 0.625 with
+        // BLAST's background; uniform gives close to ln(...)).
+        assert!((0.4..=0.8).contains(&p.lambda), "lambda = {:.3}", p.lambda);
+    }
+}

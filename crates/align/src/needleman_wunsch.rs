@@ -1,0 +1,103 @@
+//! Global alignment (Needleman-Wunsch with Gotoh's affine-gap extension).
+//!
+//! Not used by the paper's kernels, but part of a complete alignment
+//! substrate and exercised by the examples as a contrast to local
+//! alignment.
+
+use crate::smith_waterman::SwParams;
+
+/// Global alignment score between `query` and `db` with affine gaps.
+///
+/// End gaps are charged (true global alignment). Linear space.
+pub fn nw_score(params: &SwParams, query: &[u8], db: &[u8]) -> i32 {
+    let m = query.len();
+    let n = db.len();
+    let (open, extend) = (params.gaps.open, params.gaps.extend);
+    if m == 0 {
+        return -(params.gaps.cost(n) as i32);
+    }
+    if n == 0 {
+        return -(params.gaps.cost(m) as i32);
+    }
+    let neg = i32::MIN / 2;
+    // Column state indexed by query position i = 0..=m.
+    let mut h_col = vec![0i32; m + 1];
+    let mut e_col = vec![neg; m + 1];
+    for (i, slot) in h_col.iter_mut().enumerate().skip(1) {
+        *slot = -(params.gaps.cost(i) as i32);
+    }
+    for (j, &d) in db.iter().enumerate() {
+        let j = j + 1;
+        let row = params.matrix.row(d);
+        let mut h_diag = h_col[0];
+        h_col[0] = -(params.gaps.cost(j) as i32);
+        let mut h_up = h_col[0];
+        let mut f = neg;
+        for i in 1..=m {
+            let e = (e_col[i] - extend).max(h_col[i] - open);
+            f = (f - extend).max(h_up - open);
+            let h = (h_diag + row[query[i - 1] as usize] as i32).max(e).max(f);
+            h_diag = h_col[i];
+            h_col[i] = h;
+            e_col[i] = e;
+            h_up = h;
+        }
+    }
+    h_col[m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::encode_protein;
+    use crate::smith_waterman::sw_score;
+
+    fn p() -> SwParams {
+        SwParams::cudasw_default()
+    }
+
+    fn nw(q: &str, d: &str) -> i32 {
+        nw_score(&p(), &encode_protein(q).unwrap(), &encode_protein(d).unwrap())
+    }
+
+    #[test]
+    fn identical_sequences() {
+        let q = encode_protein("MKVLAW").unwrap();
+        let expected: i32 = q.iter().map(|&c| p().matrix.score(c, c)).sum();
+        assert_eq!(nw("MKVLAW", "MKVLAW"), expected);
+    }
+
+    #[test]
+    fn empty_vs_nonempty_charges_end_gap() {
+        assert_eq!(nw("", "MKV"), -(p().gaps.cost(3) as i32));
+        assert_eq!(nw("MKV", ""), -(p().gaps.cost(3) as i32));
+        assert_eq!(nw("", ""), 0);
+    }
+
+    #[test]
+    fn global_never_exceeds_local() {
+        let cases = [("MKVLAW", "GGMKVLAWGG"), ("ACDEFG", "ACDXXEFG"), ("WWWW", "PPPP")];
+        for (q, d) in cases {
+            let qc = encode_protein(q).unwrap();
+            let dc = encode_protein(d).unwrap();
+            assert!(
+                nw_score(&p(), &qc, &dc) <= sw_score(&p(), &qc, &dc),
+                "q={q} d={d}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_insertion_cost() {
+        // MKV vs MKVL: global must pay one end gap.
+        let base = nw("MKV", "MKV");
+        assert_eq!(nw("MKV", "MKVL"), base - p().gaps.cost(1) as i32);
+    }
+
+    #[test]
+    fn symmetric_inputs() {
+        let qc = encode_protein("MSPARKL").unwrap();
+        let dc = encode_protein("MSPRKL").unwrap();
+        assert_eq!(nw_score(&p(), &qc, &dc), nw_score(&p(), &dc, &qc));
+    }
+}

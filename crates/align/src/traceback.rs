@@ -1,0 +1,361 @@
+//! Full-matrix Smith-Waterman with traceback.
+//!
+//! The GPU kernels only need scores, but a usable library (and two of the
+//! examples) want the actual alignment. This module runs the same affine
+//! recurrence while recording, per cell and per state (`H`/`E`/`F`), which
+//! predecessor produced it, then walks back from the maximum `H` cell.
+
+use crate::gaps::GapPenalties;
+use crate::matrix::ScoringMatrix;
+use crate::smith_waterman::SwParams;
+
+/// One column of an alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlignOp {
+    /// Query residue aligned to database residue (match or mismatch).
+    Sub,
+    /// Gap in the query (database residue unpaired) — horizontal move.
+    Ins,
+    /// Gap in the database (query residue unpaired) — vertical move.
+    Del,
+}
+
+/// A local alignment with its traceback.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alignment {
+    /// Optimal local score.
+    pub score: i32,
+    /// Operations from the start of the local alignment to its end.
+    pub ops: Vec<AlignOp>,
+    /// Query interval `[start, end)` covered by the alignment (0-based).
+    pub query_range: (usize, usize),
+    /// Database interval `[start, end)` covered by the alignment (0-based).
+    pub db_range: (usize, usize),
+}
+
+impl Alignment {
+    /// Number of aligned columns.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True for the empty alignment (score 0).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Count of substitution columns.
+    pub fn substitutions(&self) -> usize {
+        self.ops.iter().filter(|o| matches!(o, AlignOp::Sub)).count()
+    }
+
+    /// Fraction of substitution columns that are exact matches.
+    pub fn identity(&self, query: &[u8], db: &[u8]) -> f64 {
+        let (mut qi, mut dj) = (self.query_range.0, self.db_range.0);
+        let mut subs = 0usize;
+        let mut matches = 0usize;
+        for op in &self.ops {
+            match op {
+                AlignOp::Sub => {
+                    subs += 1;
+                    if query[qi] == db[dj] {
+                        matches += 1;
+                    }
+                    qi += 1;
+                    dj += 1;
+                }
+                AlignOp::Ins => dj += 1,
+                AlignOp::Del => qi += 1,
+            }
+        }
+        if subs == 0 {
+            0.0
+        } else {
+            matches as f64 / subs as f64
+        }
+    }
+
+    /// Render the alignment as three lines (query, markers, database),
+    /// decoding residues with `decode`.
+    pub fn render(&self, query: &[u8], db: &[u8], decode: impl Fn(u8) -> char) -> String {
+        let (mut qi, mut dj) = (self.query_range.0, self.db_range.0);
+        let mut top = String::new();
+        let mut mid = String::new();
+        let mut bot = String::new();
+        for op in &self.ops {
+            match op {
+                AlignOp::Sub => {
+                    let (qc, dc) = (decode(query[qi]), decode(db[dj]));
+                    top.push(qc);
+                    mid.push(if qc == dc { '|' } else { ' ' });
+                    bot.push(dc);
+                    qi += 1;
+                    dj += 1;
+                }
+                AlignOp::Ins => {
+                    top.push('-');
+                    mid.push(' ');
+                    bot.push(decode(db[dj]));
+                    dj += 1;
+                }
+                AlignOp::Del => {
+                    top.push(decode(query[qi]));
+                    mid.push(' ');
+                    bot.push('-');
+                    qi += 1;
+                }
+            }
+        }
+        format!("{top}\n{mid}\n{bot}")
+    }
+}
+
+/// Which DP state a traceback step is in.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum State {
+    H,
+    E,
+    F,
+}
+
+/// Local alignment with traceback. `O(n·m)` time and memory.
+pub fn sw_align(params: &SwParams, query: &[u8], db: &[u8]) -> Alignment {
+    let m = query.len();
+    let n = db.len();
+    if m == 0 || n == 0 {
+        return Alignment {
+            score: 0,
+            ops: Vec::new(),
+            query_range: (0, 0),
+            db_range: (0, 0),
+        };
+    }
+    let GapPenalties { open, extend } = params.gaps;
+    let matrix: &ScoringMatrix = &params.matrix;
+    let neg = i32::MIN / 2;
+    let idx = |i: usize, j: usize| i * (n + 1) + j;
+
+    let mut h = vec![0i32; (m + 1) * (n + 1)];
+    let mut e = vec![neg; (m + 1) * (n + 1)];
+    let mut f = vec![neg; (m + 1) * (n + 1)];
+    // Traceback bits: for H, which state won; for E/F, whether the gap was
+    // opened (from H) or extended (from E/F).
+    let mut h_from = vec![0u8; (m + 1) * (n + 1)]; // 0 = zero, 1 = sub, 2 = E, 3 = F
+    let mut e_open = vec![false; (m + 1) * (n + 1)];
+    let mut f_open = vec![false; (m + 1) * (n + 1)];
+
+    let mut best = (0usize, 0usize, 0i32);
+    for i in 1..=m {
+        let row = matrix.row(query[i - 1]);
+        for j in 1..=n {
+            let e_ext = e[idx(i, j - 1)] - extend;
+            let e_opn = h[idx(i, j - 1)] - open;
+            let ev = e_ext.max(e_opn);
+            e[idx(i, j)] = ev;
+            e_open[idx(i, j)] = e_opn >= e_ext;
+
+            let f_ext = f[idx(i - 1, j)] - extend;
+            let f_opn = h[idx(i - 1, j)] - open;
+            let fv = f_ext.max(f_opn);
+            f[idx(i, j)] = fv;
+            f_open[idx(i, j)] = f_opn >= f_ext;
+
+            let sub = h[idx(i - 1, j - 1)] + row[db[j - 1] as usize] as i32;
+            let mut hv = 0;
+            let mut from = 0u8;
+            if sub > hv {
+                hv = sub;
+                from = 1;
+            }
+            if ev > hv {
+                hv = ev;
+                from = 2;
+            }
+            if fv > hv {
+                hv = fv;
+                from = 3;
+            }
+            h[idx(i, j)] = hv;
+            h_from[idx(i, j)] = from;
+            if hv > best.2 {
+                best = (i, j, hv);
+            }
+        }
+    }
+
+    let (mut i, mut j, score) = best;
+    let end = (i, j);
+    let mut ops_rev = Vec::new();
+    let mut state = State::H;
+    while i > 0 && j > 0 {
+        match state {
+            State::H => match h_from[idx(i, j)] {
+                0 => break,
+                1 => {
+                    ops_rev.push(AlignOp::Sub);
+                    i -= 1;
+                    j -= 1;
+                }
+                2 => state = State::E,
+                _ => state = State::F,
+            },
+            State::E => {
+                let opened = e_open[idx(i, j)];
+                ops_rev.push(AlignOp::Ins);
+                j -= 1;
+                if opened {
+                    state = State::H;
+                }
+            }
+            State::F => {
+                let opened = f_open[idx(i, j)];
+                ops_rev.push(AlignOp::Del);
+                i -= 1;
+                if opened {
+                    state = State::H;
+                }
+            }
+        }
+    }
+    ops_rev.reverse();
+    Alignment {
+        score,
+        ops: ops_rev,
+        query_range: (i, end.0),
+        db_range: (j, end.1),
+    }
+}
+
+/// Re-score an alignment's operations against the sequences; used to check
+/// traceback consistency.
+pub fn rescore(params: &SwParams, query: &[u8], db: &[u8], aln: &Alignment) -> i32 {
+    let (mut qi, mut dj) = (aln.query_range.0, aln.db_range.0);
+    let mut score = 0i64;
+    let mut in_ins = false;
+    let mut in_del = false;
+    for op in &aln.ops {
+        match op {
+            AlignOp::Sub => {
+                score += params.matrix.score(query[qi], db[dj]) as i64;
+                qi += 1;
+                dj += 1;
+                in_ins = false;
+                in_del = false;
+            }
+            AlignOp::Ins => {
+                score -= if in_ins {
+                    params.gaps.extend as i64
+                } else {
+                    params.gaps.open as i64
+                };
+                dj += 1;
+                in_ins = true;
+                in_del = false;
+            }
+            AlignOp::Del => {
+                score -= if in_del {
+                    params.gaps.extend as i64
+                } else {
+                    params.gaps.open as i64
+                };
+                qi += 1;
+                in_del = true;
+                in_ins = false;
+            }
+        }
+    }
+    score as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::{decode_protein, encode_protein, Alphabet};
+    use crate::smith_waterman::sw_score;
+
+    fn p() -> SwParams {
+        SwParams::cudasw_default()
+    }
+
+    #[test]
+    fn traceback_score_matches_linear_space() {
+        let cases = [
+            ("MKVLAW", "MKVLAW"),
+            ("ACDEFG", "ACDXXEFG"),
+            ("WWWW", "PPPP"),
+            ("MSPLNQ", "MSPQLNQ"),
+        ];
+        for (q, d) in cases {
+            let qc = encode_protein(q).unwrap();
+            let dc = encode_protein(d).unwrap();
+            let aln = sw_align(&p(), &qc, &dc);
+            assert_eq!(aln.score, sw_score(&p(), &qc, &dc), "q={q} d={d}");
+        }
+    }
+
+    #[test]
+    fn rescore_agrees_with_reported_score() {
+        let qc = encode_protein("MSPARKLNQWETYCV").unwrap();
+        let dc = encode_protein("MSPRKLNQWWETYCV").unwrap();
+        let aln = sw_align(&p(), &qc, &dc);
+        assert_eq!(rescore(&p(), &qc, &dc, &aln), aln.score);
+    }
+
+    #[test]
+    fn empty_alignment_for_empty_inputs() {
+        let aln = sw_align(&p(), &[], &[1, 2, 3]);
+        assert!(aln.is_empty());
+        assert_eq!(aln.score, 0);
+    }
+
+    #[test]
+    fn identical_sequences_all_subs() {
+        let qc = encode_protein("MKVLAW").unwrap();
+        let aln = sw_align(&p(), &qc, &qc);
+        assert_eq!(aln.substitutions(), 6);
+        assert_eq!(aln.len(), 6);
+        assert_eq!(aln.query_range, (0, 6));
+        assert_eq!(aln.db_range, (0, 6));
+        assert!((aln.identity(&qc, &qc) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gap_appears_in_traceback() {
+        let qc = encode_protein("ACDEFG").unwrap();
+        let dc = encode_protein("ACDXXEFG").unwrap();
+        let aln = sw_align(&p(), &qc, &dc);
+        assert!(aln.ops.contains(&AlignOp::Ins), "expected db-side gap: {:?}", aln.ops);
+    }
+
+    #[test]
+    fn render_shape() {
+        let qc = encode_protein("MKV").unwrap();
+        let aln = sw_align(&p(), &qc, &qc);
+        let text = aln.render(&qc, &qc, |c| Alphabet::Protein.decode_code(c));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "MKV");
+        assert_eq!(lines[1], "|||");
+        assert_eq!(lines[2], "MKV");
+        assert_eq!(decode_protein(&qc), "MKV");
+    }
+
+    #[test]
+    fn ranges_are_consistent_with_ops() {
+        let qc = encode_protein("GGGMKVLAWGGG").unwrap();
+        let dc = encode_protein("PPPMKVLAWPPP").unwrap();
+        let aln = sw_align(&p(), &qc, &dc);
+        let q_span: usize = aln
+            .ops
+            .iter()
+            .filter(|o| !matches!(o, AlignOp::Ins))
+            .count();
+        let d_span: usize = aln
+            .ops
+            .iter()
+            .filter(|o| !matches!(o, AlignOp::Del))
+            .count();
+        assert_eq!(aln.query_range.1 - aln.query_range.0, q_span);
+        assert_eq!(aln.db_range.1 - aln.db_range.0, d_span);
+    }
+}

@@ -1,0 +1,38 @@
+//! Criterion bench for the §III ablation stages (functional kernel runs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cudasw_bench::workloads;
+use cudasw_core::variants::{development_stages, run_intra_variant};
+use cudasw_core::ImprovedParams;
+use gpu_sim::DeviceSpec;
+
+fn bench(c: &mut Criterion) {
+    let spec = DeviceSpec::tesla_c1060();
+    let db = workloads::long_tail_db(2, 3200);
+    let query = workloads::query(256);
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(db.total_cells(256)));
+    for stage in development_stages() {
+        group.bench_with_input(
+            BenchmarkId::new("stage", stage.name),
+            &stage.variant,
+            |b, &variant| {
+                b.iter(|| {
+                    run_intra_variant(
+                        &spec,
+                        db.sequences(),
+                        &query,
+                        ImprovedParams::default(),
+                        variant,
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

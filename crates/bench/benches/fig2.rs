@@ -1,0 +1,20 @@
+//! Criterion bench for the Figure 2 experiment (kernel GCUPs vs length
+//! variance). Reduced group size keeps iterations in milliseconds; the
+//! full-scale run lives in `repro fig2`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cudasw_bench::experiments::fig2;
+use gpu_sim::DeviceSpec;
+
+fn bench(c: &mut Criterion) {
+    let spec = DeviceSpec::tesla_c1060();
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    group.bench_function("sweep_s4096_5sigmas", |b| {
+        b.iter(|| fig2::run(&spec, 4096, &[100.0, 500.0, 1000.0, 2000.0, 4000.0], 567))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

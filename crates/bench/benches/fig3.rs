@@ -1,0 +1,27 @@
+//! Criterion bench for the Figure 3 experiment (threshold sensitivity of
+//! the original kernel): one predicted whole-database search at the
+//! default threshold, at a reduced Swissprot scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cudasw_bench::experiments::predict;
+use cudasw_core::model::PredictedIntra;
+use gpu_sim::DeviceSpec;
+use sw_db::catalog::PaperDb;
+use sw_db::synth::sample_lengths;
+
+fn bench(c: &mut Criterion) {
+    let spec = DeviceSpec::tesla_c1060();
+    let lengths = sample_lengths(100_000, PaperDb::Swissprot.lognormal(), 20, 36_000, 1);
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("predict_search_100k_default_threshold", |b| {
+        b.iter(|| predict(&spec, &lengths, 572, 3072, PredictedIntra::Original, false))
+    });
+    group.bench_function("predict_search_100k_low_threshold", |b| {
+        b.iter(|| predict(&spec, &lengths, 572, 1172, PredictedIntra::Original, false))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

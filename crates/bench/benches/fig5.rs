@@ -1,0 +1,24 @@
+//! Criterion bench for the Figure 5 experiment: one sweep point for each
+//! of the four device × kernel configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cudasw_bench::experiments::{four_configs, predict};
+use sw_db::catalog::PaperDb;
+use sw_db::synth::sample_lengths;
+
+fn bench(c: &mut Criterion) {
+    let lengths = sample_lengths(100_000, PaperDb::Swissprot.lognormal(), 20, 36_000, 1);
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    for (label, spec, intra) in four_configs() {
+        group.bench_with_input(
+            BenchmarkId::new("predict_point", label),
+            &(spec, intra),
+            |b, (spec, intra)| b.iter(|| predict(spec, &lengths, 576, 2072, *intra, false)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench for the Figure 6 experiment (Fermi caches disabled).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cudasw_bench::experiments::predict;
+use cudasw_core::model::PredictedIntra;
+use gpu_sim::DeviceSpec;
+use sw_db::catalog::PaperDb;
+use sw_db::synth::sample_lengths;
+
+fn bench(c: &mut Criterion) {
+    let spec = DeviceSpec::tesla_c2050();
+    let lengths = sample_lengths(100_000, PaperDb::Swissprot.lognormal(), 20, 36_000, 1);
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("c2050_original_caches_on", |b| {
+        b.iter(|| predict(&spec, &lengths, 576, 2072, PredictedIntra::Original, false))
+    });
+    group.bench_function("c2050_original_caches_off", |b| {
+        b.iter(|| predict(&spec, &lengths, 576, 2072, PredictedIntra::Original, true))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Functional kernel microbenches: host-side cost of simulating each
+//! kernel (cells/second of the *simulator*, not the modelled GPU).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cudasw_bench::workloads;
+use cudasw_core::variants::run_intra_variant;
+use cudasw_core::{CudaSwConfig, CudaSwDriver, ImprovedParams, VariantConfig};
+use gpu_sim::DeviceSpec;
+use sw_db::catalog::PaperDb;
+
+fn bench(c: &mut Criterion) {
+    let spec = DeviceSpec::tesla_c1060();
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(10);
+
+    // Whole-application driver on a small Swissprot slice.
+    let db = workloads::functional_db(PaperDb::Swissprot, 150);
+    let query = workloads::query(144);
+    group.throughput(Throughput::Elements(db.total_cells(144)));
+    group.bench_function("driver_search_150seqs_query144", |b| {
+        b.iter(|| {
+            let mut driver = CudaSwDriver::new(spec.clone(), CudaSwConfig::improved());
+            driver.search(&query, &db).unwrap()
+        })
+    });
+
+    // Improved intra kernel alone.
+    let long = workloads::long_tail_db(2, 3200);
+    let lquery = workloads::query(512);
+    group.throughput(Throughput::Elements(long.total_cells(512)));
+    group.bench_function("intra_improved_2x3200_query512", |b| {
+        b.iter(|| {
+            run_intra_variant(
+                &spec,
+                long.sequences(),
+                &lquery,
+                ImprovedParams::default(),
+                VariantConfig::improved(),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

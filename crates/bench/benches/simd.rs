@@ -1,0 +1,34 @@
+//! CPU SIMD benches: the SWPS3-role implementations against the scalar
+//! reference (real host throughput in cell updates/second).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sw_align::smith_waterman::{sw_score, SwParams};
+use sw_db::synth::make_query;
+use sw_simd::farrar::{striped_profile, sw_striped};
+use sw_simd::rognes::sw_vertical;
+use sw_simd::wozniak::sw_antidiagonal;
+
+fn bench(c: &mut Criterion) {
+    let params = SwParams::cudasw_default();
+    let query = make_query(256, 1);
+    let db = make_query(4096, 2);
+    let cells = (query.len() * db.len()) as u64;
+    let mut group = c.benchmark_group("simd");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(cells));
+    group.bench_function("scalar", |b| b.iter(|| sw_score(&params, &query, &db)));
+    let profile = striped_profile(&params, &query);
+    group.bench_function("farrar_striped", |b| {
+        b.iter(|| sw_striped(&params, &profile, &db))
+    });
+    group.bench_function("wozniak_antidiagonal", |b| {
+        b.iter(|| sw_antidiagonal(&params, &query, &db))
+    });
+    group.bench_function("rognes_vertical", |b| {
+        b.iter(|| sw_vertical(&params, &query, &db))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

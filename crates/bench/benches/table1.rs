@@ -1,0 +1,19 @@
+//! Criterion bench for the Table I experiment (global-transaction
+//! counting, functional).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cudasw_bench::experiments::table1;
+use gpu_sim::DeviceSpec;
+
+fn bench(c: &mut Criterion) {
+    let spec = DeviceSpec::tesla_c1060();
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("functional_2seqs_query256", |b| {
+        b.iter(|| table1::run(&spec, 2, 3200, &[256]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

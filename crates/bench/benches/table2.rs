@@ -1,0 +1,34 @@
+//! Criterion bench for the Table II experiment: one database × device ×
+//! kernel cell at reduced scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cudasw_bench::experiments::predict;
+use cudasw_core::model::PredictedIntra;
+use gpu_sim::DeviceSpec;
+use sw_db::catalog::PaperDb;
+use sw_db::synth::sample_lengths;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    for db in [PaperDb::Swissprot, PaperDb::Tair] {
+        let lengths = sample_lengths(30_000, db.lognormal(), 20, 36_000, 1);
+        for (kernel, intra) in [
+            ("original", PredictedIntra::Original),
+            ("improved", PredictedIntra::Improved),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(db.name(), kernel),
+                &intra,
+                |b, &intra| {
+                    let spec = DeviceSpec::tesla_c1060();
+                    b.iter(|| predict(&spec, &lengths, 567, 3072, intra, false))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,160 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro all                 # everything below, in order
+//! repro fig2 | fig3 | fig5 | fig6 | fig7
+//! repro table1 | table2
+//! repro ablation | strips | retune | extensions | validation
+//! ```
+//!
+//! Sweep curves are produced by the validated analytic models at paper
+//! scale; Table I, the ablations, the extension measurements and the
+//! anchors marked "functional" execute every DP cell through the
+//! simulator. See DESIGN.md §4–5 and EXPERIMENTS.md.
+
+use cudasw_bench::experiments::{
+    ablation, extensions, fig2, fig3, fig5, fig6, fig7, multigpu, retune, strips, table1,
+    table2, validation,
+};
+use gpu_sim::DeviceSpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(|s| s.as_str()).unwrap_or("help");
+    let known: &[(&str, fn())] = &[
+        ("fig2", run_fig2),
+        ("fig3", run_fig3),
+        ("fig5", run_fig5),
+        ("fig6", run_fig6),
+        ("fig7", run_fig7),
+        ("table1", run_table1),
+        ("table2", run_table2),
+        ("ablation", run_ablation),
+        ("strips", run_strips),
+        ("retune", run_retune),
+        ("extensions", run_extensions),
+        ("multigpu", run_multigpu),
+        ("validation", run_validation),
+    ];
+    match cmd {
+        "all" => {
+            for (name, f) in known {
+                eprintln!("==> {name}");
+                f();
+            }
+        }
+        "help" | "--help" | "-h" => {
+            println!("usage: repro <experiment>");
+            println!("experiments: all, fig2, fig3, fig5, fig6, fig7, table1, table2,");
+            println!("             ablation, strips, retune, extensions, validation");
+        }
+        other => match known.iter().find(|(name, _)| *name == other) {
+            Some((_, f)) => f(),
+            None => {
+                eprintln!("unknown experiment {other:?}; try `repro help`");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+fn run_fig2() {
+    // Paper setup: a group of s sequences, query length 567, C1060.
+    let spec = DeviceSpec::tesla_c1060();
+    let s = spec.intertask_group_size(256, 30, 0) as usize;
+    let r = fig2::run(&spec, s, &fig2::paper_stds(), 567);
+    r.table().print();
+    println!(
+        "Paper: inter-task collapses with variance, intra-task does not; the curves cross.\n"
+    );
+}
+
+fn run_fig3() {
+    let spec = DeviceSpec::tesla_c1060();
+    let r = fig3::run(&spec, 572);
+    r.table().print();
+    // Functional anchors at a reduced scale.
+    let anchors = fig3::functional_anchors(&spec, 1500, &[3072, 2072, 1272], 572);
+    println!("functional anchors (1500-seq Swissprot, query 572):");
+    for (t, pct, g) in anchors {
+        println!("  threshold {t:>5}: {pct:.2}% intra, {g:.2} GCUPs");
+    }
+    println!();
+}
+
+fn run_fig5() {
+    let r = fig5::run(576, false);
+    r.table_a().print();
+    r.table_b().print();
+    r.table_gains().print();
+    let (go, gi, so, si) = fig5::functional_anchor(&DeviceSpec::tesla_c1060(), 1500, 2072, 576);
+    println!(
+        "functional anchor (C1060, threshold 2072): original {go:.2} GCUPs ({so:.0}% intra), improved {gi:.2} GCUPs ({si:.0}% intra)\n"
+    );
+}
+
+fn run_fig6() {
+    let r = fig6::run(576);
+    r.table().print();
+    println!(
+        "C2050 original-kernel intra time share grows {:.1} pp with caches off; improved only {:.1} pp.\n",
+        r.c2050_original_share_delta(),
+        r.c2050_improved_share_delta()
+    );
+}
+
+fn run_fig7() {
+    let r = fig7::run(3072, 400);
+    r.table().print();
+    r.table_gains().print();
+}
+
+fn run_table1() {
+    // Functional: a scaled long tail (the paper's is ~600 sequences; 12
+    // keeps the run in seconds while preserving the per-cell rates).
+    let r = table1::run(&DeviceSpec::tesla_c1060(), 12, 4000, &[567, 5478]);
+    r.table(&[567, 5478]).print();
+    println!(
+        "reduction (orig/improved): {:.0}:1 at query 567, {:.0}:1 at query 5478 (paper: ~50:1 overall)\n",
+        r.reduction(567),
+        r.reduction(5478)
+    );
+}
+
+fn run_table2() {
+    let r = table2::run();
+    r.table(&[144, 567, 1000, 3005, 5478]).print();
+}
+
+fn run_ablation() {
+    let r = ablation::run(&DeviceSpec::tesla_c1060(), 6, 4000, 567);
+    r.table().print();
+    println!("total speedup naive → improved: {:.1}x\n", r.total_speedup());
+}
+
+fn run_strips() {
+    let r = strips::run(567);
+    r.table().print();
+}
+
+fn run_retune() {
+    let r = retune::run(&[144, 375, 567, 1000, 2005]);
+    r.table().print();
+    println!("mean gain from re-tuning: {:+.1} GCUPs (paper: ≈ +4)\n", r.mean_gain());
+}
+
+fn run_extensions() {
+    let r = extensions::run(&DeviceSpec::tesla_c2050(), 6, 4000, 2200);
+    r.table_kernels().print();
+    r.table_streaming().print();
+}
+
+fn run_multigpu() {
+    let r = multigpu::run(&DeviceSpec::tesla_c1060(), 16_000, 64);
+    r.table().print();
+}
+
+fn run_validation() {
+    let r = validation::run(1200, 144);
+    r.table().print();
+}

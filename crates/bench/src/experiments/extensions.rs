@@ -1,0 +1,110 @@
+//! §VI — future-work extensions, measured.
+//!
+//! Covers the kernel-level extensions (coalesced boundary I/O, shared
+//! boundary, continuous pipeline) via `cudasw_core::extensions`, plus the
+//! streamed host→device copy.
+
+use crate::report::Table;
+use crate::workloads;
+use cudasw_core::extensions::{compare_extensions, streamed_copy_report, ExtensionRow};
+use cudasw_core::ImprovedParams;
+use gpu_sim::DeviceSpec;
+use sw_db::catalog::PaperDb;
+
+/// The extension experiment's data.
+#[derive(Debug, Clone)]
+pub struct ExtensionsResult {
+    /// Kernel-extension comparison rows.
+    pub kernel_rows: Vec<ExtensionRow>,
+    /// Streamed-copy report `(sync seconds, streamed seconds, hidden %)`.
+    pub streaming: (f64, f64, f64),
+}
+
+impl ExtensionsResult {
+    /// Kernel extensions as a table.
+    pub fn table_kernels(&self) -> Table {
+        let mut t = Table::new(
+            "§VI kernel extensions on long sequences (functional)",
+            &["variant", "GCUPs", "global transactions", "syncs"],
+        );
+        for r in &self.kernel_rows {
+            t.push_row(vec![
+                r.name.to_string(),
+                format!("{:.2}", r.gcups),
+                r.global_transactions.to_string(),
+                r.syncs.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// Streaming as a table.
+    pub fn table_streaming(&self) -> Table {
+        let mut t = Table::new(
+            "§VI streamed host→device database copy",
+            &["strategy", "total seconds", "copy hidden"],
+        );
+        t.push_row(vec![
+            "copy-then-compute".to_string(),
+            format!("{:.4}", self.streaming.0),
+            "-".to_string(),
+        ]);
+        t.push_row(vec![
+            "streamed".to_string(),
+            format!("{:.4}", self.streaming.1),
+            format!("{:.0}%", self.streaming.2 * 100.0),
+        ]);
+        t
+    }
+}
+
+/// Run the extension measurements.
+pub fn run(spec: &DeviceSpec, long_seqs: usize, mean_len: usize, query_len: usize) -> ExtensionsResult {
+    let db = workloads::long_tail_db(long_seqs, mean_len);
+    let query = workloads::query(query_len);
+    let kernel_rows = compare_extensions(spec, &db, &query, 3072, ImprovedParams::default())
+        .expect("extension comparison");
+
+    // Streaming: a realistic Swissprot staging with a compute phase of the
+    // size our calibrated model predicts for one query-567 search.
+    let big_db = workloads::functional_db(PaperDb::Swissprot, 4000);
+    let cells = big_db.total_cells(query_len) as f64;
+    let compute_seconds = cells / 17.0e9; // ≈ the paper's 17 GCUPs
+    let report = streamed_copy_report(spec, &big_db, compute_seconds, 256 * 1024);
+    ExtensionsResult {
+        kernel_rows,
+        streaming: (
+            report.synchronous_seconds,
+            report.streamed_seconds,
+            report.copy_hidden_fraction(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extensions_report_is_complete() {
+        let r = run(&DeviceSpec::tesla_c2050(), 2, 3300, 300);
+        assert_eq!(r.kernel_rows.len(), 5);
+        assert!(r.streaming.1 <= r.streaming.0, "streaming can't be slower");
+        assert!(r.streaming.2 >= 0.0 && r.streaming.2 <= 1.0);
+    }
+
+    #[test]
+    fn coalesced_io_improves_gcups_on_multi_strip_queries() {
+        // Query of 300 rows with default n_th=256 is single-strip; use a
+        // long query so boundary traffic exists to coalesce.
+        let r = run(&DeviceSpec::tesla_c1060(), 2, 3300, 2200);
+        let base = r.kernel_rows.iter().find(|x| x.name == "improved").unwrap();
+        let coal = r
+            .kernel_rows
+            .iter()
+            .find(|x| x.name == "+coalesced-io")
+            .unwrap();
+        assert!(coal.global_transactions < base.global_transactions);
+        assert!(coal.gcups >= base.gcups * 0.95);
+    }
+}

@@ -1,0 +1,114 @@
+//! Figure 2 — kernel GCUPs as a function of the standard deviation of
+//! database sequence lengths.
+//!
+//! "we generated several random databases containing s sequences using a
+//! log-normal distribution of the sequence lengths. We set the standard
+//! deviation between 100 and 4000 [...] We ran both the intra-task kernel
+//! and the inter-task kernel of CUDASW++ on the databases with the same
+//! query sequence of length 567." The paper's point: the inter-task kernel
+//! is very sensitive to the variance (load imbalance: a group launch waits
+//! for its longest sequence) while the intra-task kernel is not, so the
+//! curves cross.
+
+use crate::report::{series_table, Series, Table};
+use crate::workloads;
+use cudasw_core::model::{predict_inter_group, predict_intra_orig};
+use gpu_sim::{DeviceSpec, TimingModel};
+
+/// Figure 2's data.
+#[derive(Debug, Clone)]
+pub struct Fig2Result {
+    /// Inter-task GCUPs vs σ.
+    pub inter: Series,
+    /// (Original) intra-task GCUPs vs σ.
+    pub intra: Series,
+    /// First σ where the intra-task kernel wins, if any.
+    pub crossover_std: Option<f64>,
+}
+
+impl Fig2Result {
+    /// Render as a table.
+    pub fn table(&self) -> Table {
+        let mut t = series_table(
+            "Figure 2 — kernel GCUPs vs std-dev of database sequence lengths",
+            "std_dev",
+            &[self.inter.clone(), self.intra.clone()],
+        );
+        if let Some(x) = self.crossover_std {
+            t.title = format!("{} (crossover at σ ≈ {x:.0})", t.title);
+        }
+        t
+    }
+}
+
+/// Run the experiment at paper scale (analytic).
+///
+/// `s` is the inter-task group size (the paper generates databases of
+/// exactly `s` sequences so one launch covers the whole database).
+pub fn run(spec: &DeviceSpec, s: usize, stds: &[f64], query_len: usize) -> Fig2Result {
+    let tm = TimingModel::default();
+    let mut inter = Series::new("Inter-task Kernel");
+    let mut intra = Series::new("Intra-task Kernel");
+    let mut crossover_std = None;
+    for &std in stds {
+        let lengths = workloads::fig2_lengths(std, s, 1000.0);
+        let gi = predict_inter_group(spec, &tm, &lengths, query_len, 256).gcups();
+        let go = predict_intra_orig(spec, &tm, &lengths, query_len, false).gcups();
+        inter.push(std, gi);
+        intra.push(std, go);
+        if crossover_std.is_none() && go > gi {
+            crossover_std = Some(std);
+        }
+    }
+    Fig2Result {
+        inter,
+        intra,
+        crossover_std,
+    }
+}
+
+/// The paper's σ sweep (100 to 4000).
+pub fn paper_stds() -> Vec<f64> {
+    vec![
+        100.0, 250.0, 500.0, 750.0, 1000.0, 1500.0, 2000.0, 2500.0, 3000.0, 3500.0, 4000.0,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inter_task_degrades_with_variance_intra_does_not() {
+        let spec = DeviceSpec::tesla_c1060();
+        let r = run(&spec, 15_360, &paper_stds(), 567);
+        let inter_first = r.inter.points.first().unwrap().1;
+        let inter_last = r.inter.points.last().unwrap().1;
+        assert!(
+            inter_last < inter_first * 0.6,
+            "inter-task should collapse: {inter_first:.1} -> {inter_last:.1}"
+        );
+        let intra_first = r.intra.points.first().unwrap().1;
+        let intra_last = r.intra.points.last().unwrap().1;
+        let swing = (intra_last - intra_first).abs() / intra_first.max(1e-9);
+        assert!(swing < 0.5, "intra-task should be flat-ish, swing {swing:.2}");
+    }
+
+    #[test]
+    fn curves_cross_at_high_variance() {
+        let spec = DeviceSpec::tesla_c1060();
+        let r = run(&spec, 15_360, &paper_stds(), 567);
+        assert!(
+            r.crossover_std.is_some(),
+            "intra-task must eventually beat the imbalance-bound inter-task"
+        );
+    }
+
+    #[test]
+    fn table_renders() {
+        let spec = DeviceSpec::tesla_c1060();
+        let r = run(&spec, 4096, &[100.0, 1000.0], 567);
+        let rendered = r.table().render();
+        assert!(rendered.contains("Figure 2"));
+    }
+}

@@ -1,0 +1,208 @@
+//! Figure 5 — overall performance and intra-task time share as the
+//! threshold varies, for original/improved kernels on both GPUs.
+//!
+//! Panel (a): GCUPs vs percentage of sequences compared by the intra-task
+//! kernel. Panel (b): percentage of overall running time spent in the
+//! intra-task kernel. The paper's summary: "Our kernel always improves
+//! performance. The gain is at least 6.7% on the C2050 (17.5% on the
+//! C1060) and as much as 39.3% on the C2050 (67.0% on the C1060)."
+
+use crate::experiments::{four_configs, paper_threshold_sweep, pct_over, predict};
+use crate::report::{series_table, Series, Table};
+use crate::workloads;
+use cudasw_core::model::PredictedIntra;
+use gpu_sim::DeviceSpec;
+use sw_db::catalog::PaperDb;
+
+/// Figure 5's data (both panels share the four configurations).
+#[derive(Debug, Clone)]
+pub struct Fig5Result {
+    /// Panel (a): GCUPs per configuration.
+    pub gcups: Vec<Series>,
+    /// Panel (b): fraction of time in intra-task (%), per configuration.
+    pub time_share: Vec<Series>,
+    /// Improvement of improved over original at the default threshold, per
+    /// device: `(device, gain %)`.
+    pub gain_at_default: Vec<(String, f64)>,
+    /// Largest improvement across the sweep, per device.
+    pub gain_max: Vec<(String, f64)>,
+}
+
+impl Fig5Result {
+    /// Panel (a) as a table.
+    pub fn table_a(&self) -> Table {
+        series_table(
+            "Figure 5(a) — GCUPs vs % of sequences compared by intra-task",
+            "% intra",
+            &self.gcups,
+        )
+    }
+
+    /// Panel (b) as a table.
+    pub fn table_b(&self) -> Table {
+        series_table(
+            "Figure 5(b) — % of running time spent in intra-task",
+            "% intra",
+            &self.time_share,
+        )
+    }
+
+    /// Gains summary as a table.
+    pub fn table_gains(&self) -> Table {
+        let mut t = Table::new(
+            "Figure 5 summary — improved-over-original gain",
+            &["device", "gain at default threshold (%)", "max gain in sweep (%)"],
+        );
+        for ((dev, at_def), (_, max)) in self.gain_at_default.iter().zip(&self.gain_max) {
+            t.push_row(vec![
+                dev.clone(),
+                format!("{at_def:.1}"),
+                format!("{max:.1}"),
+            ]);
+        }
+        t
+    }
+}
+
+/// Run Figure 5 at paper scale. `caches_off` reproduces Figure 6's device
+/// configuration instead.
+pub fn run(query_len: usize, caches_off: bool) -> Fig5Result {
+    let lengths = workloads::paper_scale_lengths(PaperDb::Swissprot);
+    let thresholds = paper_threshold_sweep();
+    let mut gcups = Vec::new();
+    let mut time_share = Vec::new();
+    // Per device: (improved gcups per threshold, original gcups per threshold).
+    let mut per_device: Vec<(String, Vec<f64>, Vec<f64>)> = vec![
+        ("Tesla C2050".to_string(), Vec::new(), Vec::new()),
+        ("Tesla C1060".to_string(), Vec::new(), Vec::new()),
+    ];
+    for (label, spec, intra) in four_configs() {
+        let mut g = Series::new(label.clone());
+        let mut tshare = Series::new(label.clone());
+        for &t in &thresholds {
+            // Figure 6 only disables the Fermi caches (GT200 has none).
+            let off = caches_off && matches!(spec.arch, gpu_sim::Arch::Fermi);
+            let p = predict(&spec, &lengths, query_len, t, intra, off);
+            let x = pct_over(&lengths, t);
+            g.push(x, p.gcups());
+            tshare.push(x, p.fraction_time_intra() * 100.0);
+            let slot = if spec.name.contains("C2050") { 0 } else { 1 };
+            match intra {
+                PredictedIntra::Improved => per_device[slot].1.push(p.gcups()),
+                PredictedIntra::Original => per_device[slot].2.push(p.gcups()),
+            }
+        }
+        gcups.push(g);
+        time_share.push(tshare);
+    }
+    let mut gain_at_default = Vec::new();
+    let mut gain_max = Vec::new();
+    for (dev, imp, orig) in per_device {
+        // Index 0 of the sweep is the default threshold 3072.
+        let at_def = (imp[0] / orig[0] - 1.0) * 100.0;
+        let max = imp
+            .iter()
+            .zip(&orig)
+            .map(|(i, o)| (i / o - 1.0) * 100.0)
+            .fold(f64::MIN, f64::max);
+        gain_at_default.push((dev.clone(), at_def));
+        gain_max.push((dev, max));
+    }
+    Fig5Result {
+        gcups,
+        time_share,
+        gain_at_default,
+        gain_max,
+    }
+}
+
+/// Functional anchor: run both kernels on a scaled Swissprot at one
+/// threshold on one device, returning `(orig GCUPs, improved GCUPs,
+/// orig time share, improved time share)`.
+pub fn functional_anchor(
+    spec: &DeviceSpec,
+    db_size: usize,
+    threshold: usize,
+    query_len: usize,
+) -> (f64, f64, f64, f64) {
+    use cudasw_core::{CudaSwConfig, CudaSwDriver};
+    let db = workloads::functional_db(PaperDb::Swissprot, db_size);
+    let query = workloads::query(query_len);
+    let run_one = |cfg: CudaSwConfig| {
+        let mut cfg = cfg;
+        cfg.threshold = threshold;
+        let mut driver = CudaSwDriver::new(spec.clone(), cfg);
+        let r = driver.search(&query, &db).expect("search");
+        (r.gcups(), r.fraction_time_intra())
+    };
+    let (go, so) = run_one(CudaSwConfig::original());
+    let (gi, si) = run_one(CudaSwConfig::improved());
+    (go, gi, so * 100.0, si * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improved_always_wins_and_is_less_sensitive() {
+        let r = run(576, false);
+        // Pair the curves: indices 0/1 are C2050 improved/original, 2/3
+        // are C1060 improved/original (four_configs order).
+        for (imp_idx, orig_idx) in [(0usize, 1usize), (2, 3)] {
+            let imp = &r.gcups[imp_idx];
+            let orig = &r.gcups[orig_idx];
+            for (pi, po) in imp.points.iter().zip(&orig.points) {
+                assert!(
+                    pi.1 >= po.1,
+                    "improved below original at x={}: {} < {}",
+                    pi.0,
+                    pi.1,
+                    po.1
+                );
+            }
+            // Original collapses far more across the sweep.
+            let drop = |s: &Series| s.points.first().unwrap().1 - s.points.last().unwrap().1;
+            assert!(drop(orig) > drop(imp));
+        }
+    }
+
+    #[test]
+    fn time_share_is_halved_by_improved_kernel() {
+        // §IV-A: "our improved implementation reduces the percentage of
+        // time spent in the intra-task kernel by more than half".
+        let r = run(576, false);
+        for (imp_idx, orig_idx) in [(0usize, 1usize), (2, 3)] {
+            let imp_last = r.time_share[imp_idx].points.last().unwrap().1;
+            let orig_last = r.time_share[orig_idx].points.last().unwrap().1;
+            assert!(
+                imp_last < orig_last / 1.8,
+                "time share {imp_last:.1}% vs original {orig_last:.1}%"
+            );
+        }
+    }
+
+    #[test]
+    fn original_reaches_about_half_of_runtime_on_c1060() {
+        // Figure 5(b): "CUDASW++ using the original kernel spends up to
+        // 50% of its running time in the intra-task kernel [...] on a
+        // Tesla C1060". Band: 35–75%.
+        let r = run(576, false);
+        let max_share = r.time_share[3].max_y();
+        assert!(
+            (35.0..=75.0).contains(&max_share),
+            "C1060 original max intra share = {max_share:.1}%"
+        );
+    }
+
+    #[test]
+    fn gains_are_positive_everywhere() {
+        let r = run(576, false);
+        for (dev, g) in &r.gain_at_default {
+            assert!(*g > 0.0, "{dev}: gain at default {g:.1}%");
+        }
+        for (dev, g) in &r.gain_max {
+            assert!(*g > 10.0, "{dev}: max gain {g:.1}%");
+        }
+    }
+}

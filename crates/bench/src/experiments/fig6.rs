@@ -1,0 +1,97 @@
+//! Figure 6 — the Figure 5(b) experiment repeated with the Fermi L1/L2
+//! caches turned off.
+//!
+//! "To show that the cache is indeed responsible for the improvement shown
+//! in Figure 5(b), we performed the same experiment on a Tesla C2050 with
+//! both of the L1 and L2 caches turned off. [...] the improvements gained
+//! by the original kernel on a Tesla C2050 are almost completely
+//! attributed to the cache."
+
+use super::fig5::{run as run_fig5, Fig5Result};
+use crate::report::Table;
+
+/// Figure 6's data, paired with the caches-on baseline for the comparison
+/// the paper makes.
+#[derive(Debug, Clone)]
+pub struct Fig6Result {
+    /// The caches-off sweep (same panels as Figure 5).
+    pub caches_off: Fig5Result,
+    /// The caches-on baseline (Figure 5 itself).
+    pub caches_on: Fig5Result,
+}
+
+impl Fig6Result {
+    /// Table of intra-task time share with caches off.
+    pub fn table(&self) -> Table {
+        let mut t = self.caches_off.table_b();
+        t.title =
+            "Figure 6 — % of time in intra-task with Fermi L1/L2 disabled".to_string();
+        t
+    }
+
+    /// How much the C2050 original-kernel time share grew when the caches
+    /// were disabled (at the deepest threshold of the sweep).
+    pub fn c2050_original_share_delta(&self) -> f64 {
+        let on = self.caches_on.time_share[1].max_y();
+        let off = self.caches_off.time_share[1].max_y();
+        off - on
+    }
+
+    /// Same delta for the improved kernel (should be small).
+    pub fn c2050_improved_share_delta(&self) -> f64 {
+        let on = self.caches_on.time_share[0].max_y();
+        let off = self.caches_off.time_share[0].max_y();
+        off - on
+    }
+}
+
+/// Run Figure 6 at paper scale.
+pub fn run(query_len: usize) -> Fig6Result {
+    Fig6Result {
+        caches_off: run_fig5(query_len, true),
+        caches_on: run_fig5(query_len, false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabling_caches_hurts_original_much_more_than_improved() {
+        let r = run(576);
+        let orig_delta = r.c2050_original_share_delta();
+        let imp_delta = r.c2050_improved_share_delta();
+        assert!(
+            orig_delta > 2.0 * imp_delta.max(0.5),
+            "original Δ{orig_delta:.1}pp vs improved Δ{imp_delta:.1}pp"
+        );
+    }
+
+    #[test]
+    fn c1060_curves_unchanged_by_the_fermi_cache_toggle() {
+        let r = run(576);
+        // Indices 2/3 are the C1060 configurations; GT200 has no L1/L2 to
+        // disable, so the sweep must be identical.
+        for idx in [2usize, 3] {
+            for (a, b) in r.caches_on.time_share[idx]
+                .points
+                .iter()
+                .zip(&r.caches_off.time_share[idx].points)
+            {
+                assert!((a.1 - b.1).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn caches_off_original_approaches_c1060_behaviour() {
+        // The paper's reading: without its cache advantage, the Fermi
+        // original kernel behaves like the C1060 one. Its time share with
+        // caches off must be at least as high as with caches on.
+        let r = run(576);
+        assert!(
+            r.caches_off.time_share[1].max_y() >= r.caches_on.time_share[1].max_y()
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! §IV-A — strip-size parameter exploration.
+//!
+//! "To determine the optimal values for n_th and t_height, we ran
+//! CUDASW++ with our implementation of the intra-task kernel using 64,
+//! 128, 192, 256 and 320 threads per block and tile height of 4 and 8. We
+//! found that a strip size of 512 was optimal on the Tesla C1060 and 1024
+//! was optimal on the Tesla C2050." The paper also observes that "several
+//! combinations of n_th and t_height result in essentially the same
+//! performance" because the *strip height* is the relevant parameter.
+
+use crate::report::Table;
+use crate::workloads;
+use cudasw_core::model::predict_intra_improved;
+use cudasw_core::ImprovedParams;
+use gpu_sim::{DeviceSpec, TimingModel};
+use sw_db::catalog::PaperDb;
+
+/// One parameter combination's result.
+#[derive(Debug, Clone)]
+pub struct StripRow {
+    /// Threads per block.
+    pub n_th: u32,
+    /// Tile height.
+    pub t_height: usize,
+    /// Strip height in rows.
+    pub strip: usize,
+    /// GCUPs on each device `(C1060, C2050)`.
+    pub gcups: (f64, f64),
+}
+
+/// The sweep's data.
+#[derive(Debug, Clone)]
+pub struct StripsResult {
+    /// All combinations.
+    pub rows: Vec<StripRow>,
+}
+
+impl StripsResult {
+    /// Best strip height per device `(C1060, C2050)`.
+    pub fn best_strips(&self) -> (usize, usize) {
+        let best = |f: fn(&StripRow) -> f64| {
+            self.rows
+                .iter()
+                .max_by(|a, b| f(a).partial_cmp(&f(b)).unwrap())
+                .map(|r| r.strip)
+                .unwrap_or(0)
+        };
+        (best(|r| r.gcups.0), best(|r| r.gcups.1))
+    }
+
+    /// Render as a table.
+    pub fn table(&self) -> Table {
+        let (b1060, b2050) = self.best_strips();
+        let mut t = Table::new(
+            format!(
+                "§IV-A strip sweep — best strip: {b1060} (C1060), {b2050} (C2050); paper: 512/1024"
+            ),
+            &["n_th", "t_height", "strip", "C1060 GCUPs", "C2050 GCUPs"],
+        );
+        for r in &self.rows {
+            t.push_row(vec![
+                r.n_th.to_string(),
+                r.t_height.to_string(),
+                r.strip.to_string(),
+                format!("{:.2}", r.gcups.0),
+                format!("{:.2}", r.gcups.1),
+            ]);
+        }
+        t
+    }
+}
+
+/// Run the sweep over the paper's parameter grid (analytic, paper-scale
+/// Swissprot long tail).
+pub fn run(query_len: usize) -> StripsResult {
+    let tm = TimingModel::default();
+    let lengths = workloads::paper_scale_lengths(PaperDb::Swissprot);
+    let split = lengths.partition_point(|&l| l < cudasw_core::DEFAULT_THRESHOLD);
+    let long: Vec<usize> = lengths[split..].to_vec();
+    let c1060 = DeviceSpec::tesla_c1060();
+    let c2050 = DeviceSpec::tesla_c2050();
+    let mut rows = Vec::new();
+    for &n_th in &[64u32, 128, 192, 256, 320] {
+        for &t_height in &[4usize, 8] {
+            let params = ImprovedParams {
+                threads_per_block: n_th,
+                tile_height: t_height,
+            };
+            let g1 = predict_intra_improved(&c1060, &tm, &long, query_len, &params, false);
+            let g2 = predict_intra_improved(&c2050, &tm, &long, query_len, &params, false);
+            rows.push(StripRow {
+                n_th,
+                t_height,
+                strip: params.strip_rows(),
+                gcups: (g1.gcups(), g2.gcups()),
+            });
+        }
+    }
+    StripsResult { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_the_paper_grid() {
+        let r = run(567);
+        assert_eq!(r.rows.len(), 10);
+        assert!(r.rows.iter().any(|x| x.strip == 512));
+        assert!(r.rows.iter().any(|x| x.strip == 1024));
+    }
+
+    #[test]
+    fn performance_is_strip_height_driven() {
+        // §III-C: "several combinations of n_th and t_height result in
+        // essentially the same performance" when the strip height matches.
+        let r = run(567);
+        let same_strip: Vec<&StripRow> = r.rows.iter().filter(|x| x.strip == 1024).collect();
+        assert!(same_strip.len() >= 2);
+        let g: Vec<f64> = same_strip.iter().map(|x| x.gcups.0).collect();
+        let max = g.iter().cloned().fold(f64::MIN, f64::max);
+        let min = g.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            (max - min) / max < 0.15,
+            "same strip, different GCUPs: {min:.2}..{max:.2}"
+        );
+    }
+
+    #[test]
+    fn variation_across_grid_is_moderate() {
+        // No configuration should collapse: the kernel is robust to the
+        // launch shape (the paper's optimum is within ~20% of neighbours).
+        let r = run(567);
+        let g: Vec<f64> = r.rows.iter().map(|x| x.gcups.0).collect();
+        let max = g.iter().cloned().fold(f64::MIN, f64::max);
+        let min = g.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(min > max * 0.5, "grid spread: {min:.2}..{max:.2}");
+    }
+}

@@ -1,0 +1,185 @@
+//! Table II — GCUPs of both CUDASW++ versions on six databases, two GPUs,
+//! across the paper's query lengths.
+//!
+//! "We see that the improved intra-task kernel increases the performance
+//! of CUDASW++ on all databases tested. The performance gain is typically
+//! more pronounced when there are more sequences over the threshold, with
+//! the lowest performance gain occurring on the TAIR database with only
+//! 0.06% of the sequences over the threshold."
+
+use crate::experiments::{pct_over, predict};
+use crate::report::Table;
+use crate::workloads;
+use cudasw_core::model::PredictedIntra;
+use cudasw_core::DEFAULT_THRESHOLD;
+use gpu_sim::DeviceSpec;
+use sw_db::catalog::{paper_query_lengths, PaperDb};
+
+/// One database × device × kernel row.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Database name.
+    pub db: &'static str,
+    /// Realized % of sequences over the threshold.
+    pub pct_over: f64,
+    /// Device name.
+    pub device: String,
+    /// `"Original"` or `"Improved"`.
+    pub kernel: &'static str,
+    /// GCUPs per paper query length.
+    pub gcups: Vec<f64>,
+}
+
+/// Table II's data.
+#[derive(Debug, Clone)]
+pub struct Table2Result {
+    /// All rows, in the paper's order.
+    pub rows: Vec<Table2Row>,
+}
+
+impl Table2Result {
+    /// Mean gain (improved/original − 1) per database on a device.
+    pub fn mean_gain(&self, db: &str, device: &str) -> f64 {
+        let find = |kernel: &str| {
+            self.rows
+                .iter()
+                .find(|r| r.db == db && r.device == device && r.kernel == kernel)
+                .expect("row exists")
+        };
+        let imp = find("Improved");
+        let orig = find("Original");
+        imp.gcups
+            .iter()
+            .zip(&orig.gcups)
+            .map(|(i, o)| i / o - 1.0)
+            .sum::<f64>()
+            / imp.gcups.len() as f64
+    }
+
+    /// Render in the paper's layout (a subset of query columns keeps the
+    /// table printable).
+    pub fn table(&self, query_cols: &[usize]) -> Table {
+        let all_queries = paper_query_lengths();
+        let mut headers = vec![
+            "Database".to_string(),
+            "% over".to_string(),
+            "GPU".to_string(),
+            "Kernel".to_string(),
+        ];
+        for q in query_cols {
+            headers.push(q.to_string());
+        }
+        let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let mut t = Table::new(
+            "Table II — GCUPs for both CUDASW++ versions on several databases",
+            &headers_ref,
+        );
+        for row in &self.rows {
+            let mut cells = vec![
+                row.db.to_string(),
+                format!("{:.2}%", row.pct_over),
+                row.device.clone(),
+                row.kernel.to_string(),
+            ];
+            for q in query_cols {
+                let idx = all_queries
+                    .iter()
+                    .position(|x| x == q)
+                    .expect("query column exists");
+                cells.push(format!("{:.1}", row.gcups[idx]));
+            }
+            t.push_row(cells);
+        }
+        t
+    }
+}
+
+/// Run Table II at paper scale (analytic).
+pub fn run() -> Table2Result {
+    let queries = paper_query_lengths();
+    let mut rows = Vec::new();
+    for db in PaperDb::all() {
+        let lengths = workloads::paper_scale_lengths(db);
+        let pct = pct_over(&lengths, DEFAULT_THRESHOLD);
+        for spec in [DeviceSpec::tesla_c1060(), DeviceSpec::tesla_c2050()] {
+            for (kernel, intra) in [
+                ("Original", PredictedIntra::Original),
+                ("Improved", PredictedIntra::Improved),
+            ] {
+                let gcups: Vec<f64> = queries
+                    .iter()
+                    .map(|&q| {
+                        predict(&spec, &lengths, q, DEFAULT_THRESHOLD, intra, false).gcups()
+                    })
+                    .collect();
+                rows.push(Table2Row {
+                    db: db.name(),
+                    pct_over: pct,
+                    device: spec.name.clone(),
+                    kernel,
+                    gcups,
+                });
+            }
+        }
+    }
+    Table2Result { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improved_wins_on_every_database_and_device() {
+        let r = run();
+        for db in PaperDb::all() {
+            for dev in ["Tesla C1060", "Tesla C2050"] {
+                let gain = r.mean_gain(db.name(), dev);
+                assert!(gain > 0.0, "{} on {dev}: gain {gain:.3}", db.name());
+            }
+        }
+    }
+
+    #[test]
+    fn tair_has_the_smallest_gain() {
+        // "the lowest performance gain occurring on the TAIR database".
+        let r = run();
+        for dev in ["Tesla C1060", "Tesla C2050"] {
+            let tair = r.mean_gain(PaperDb::Tair.name(), dev);
+            for db in PaperDb::all() {
+                if db != PaperDb::Tair {
+                    assert!(
+                        r.mean_gain(db.name(), dev) >= tair * 0.9,
+                        "{} gain below TAIR on {dev}",
+                        db.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gains_larger_on_c1060_than_c2050() {
+        // "The gains of the improved intra-task kernel are also more
+        // noticeable on the Tesla C1060 than the C2050" (Fermi caches help
+        // the original kernel).
+        let r = run();
+        let mut c1060_sum = 0.0;
+        let mut c2050_sum = 0.0;
+        for db in PaperDb::all() {
+            c1060_sum += r.mean_gain(db.name(), "Tesla C1060");
+            c2050_sum += r.mean_gain(db.name(), "Tesla C2050");
+        }
+        assert!(
+            c1060_sum > c2050_sum,
+            "C1060 total gain {c1060_sum:.2} <= C2050 {c2050_sum:.2}"
+        );
+    }
+
+    #[test]
+    fn table_renders_selected_columns() {
+        let r = run();
+        let t = r.table(&[144, 567, 5478]);
+        assert_eq!(t.rows.len(), 24); // 6 dbs × 2 devices × 2 kernels
+    }
+}

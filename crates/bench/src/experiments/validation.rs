@@ -1,0 +1,152 @@
+//! Model validation — functional simulation vs the analytic twin.
+//!
+//! The sweep experiments run the analytic models at paper scale; this
+//! experiment quantifies how well those models track the functional
+//! simulator on workloads small enough to execute cell by cell.
+
+use crate::report::Table;
+use crate::workloads;
+use cudasw_core::model::{predict_search, PredictedIntra};
+use cudasw_core::{CudaSwConfig, CudaSwDriver, ImprovedParams, IntraKernelChoice, VariantConfig};
+use gpu_sim::{DeviceSpec, TimingModel};
+use sw_db::catalog::PaperDb;
+
+/// One validation row.
+#[derive(Debug, Clone)]
+pub struct ValidationRow {
+    /// Configuration label.
+    pub config: String,
+    /// Functional kernel seconds.
+    pub functional_s: f64,
+    /// Predicted kernel seconds.
+    pub predicted_s: f64,
+    /// Relative error of the prediction.
+    pub rel_error: f64,
+    /// Functional vs predicted intra-task global transactions.
+    pub transactions: (u64, u64),
+}
+
+/// The validation data.
+#[derive(Debug, Clone)]
+pub struct ValidationResult {
+    /// All rows.
+    pub rows: Vec<ValidationRow>,
+}
+
+impl ValidationResult {
+    /// Worst relative time error.
+    pub fn worst_error(&self) -> f64 {
+        self.rows.iter().map(|r| r.rel_error).fold(0.0, f64::max)
+    }
+
+    /// Render as a table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "Model validation — analytic vs functional (worst time error {:.0}%)",
+                self.worst_error() * 100.0
+            ),
+            &["config", "functional s", "predicted s", "rel err", "intra transactions (f/p)"],
+        );
+        for r in &self.rows {
+            t.push_row(vec![
+                r.config.clone(),
+                format!("{:.5}", r.functional_s),
+                format!("{:.5}", r.predicted_s),
+                format!("{:.0}%", r.rel_error * 100.0),
+                format!("{}/{}", r.transactions.0, r.transactions.1),
+            ]);
+        }
+        t
+    }
+}
+
+/// Run the validation on a scaled Swissprot database.
+pub fn run(db_size: usize, query_len: usize) -> ValidationResult {
+    let db = workloads::functional_db(PaperDb::Swissprot, db_size);
+    let query = workloads::query(query_len);
+    let tm = TimingModel::default();
+    let mut rows = Vec::new();
+    for (label, spec, intra_choice, intra_pred) in [
+        (
+            "C1060/original",
+            DeviceSpec::tesla_c1060(),
+            IntraKernelChoice::Original,
+            PredictedIntra::Original,
+        ),
+        (
+            "C1060/improved",
+            DeviceSpec::tesla_c1060(),
+            IntraKernelChoice::Improved(VariantConfig::improved()),
+            PredictedIntra::Improved,
+        ),
+        (
+            "C2050/original",
+            DeviceSpec::tesla_c2050(),
+            IntraKernelChoice::Original,
+            PredictedIntra::Original,
+        ),
+        (
+            "C2050/improved",
+            DeviceSpec::tesla_c2050(),
+            IntraKernelChoice::Improved(VariantConfig::improved()),
+            PredictedIntra::Improved,
+        ),
+    ] {
+        let mut cfg = CudaSwConfig::improved();
+        cfg.intra = intra_choice;
+        let mut driver = CudaSwDriver::new(spec.clone(), cfg);
+        let functional = driver.search(&query, &db).expect("search");
+        let predicted = predict_search(
+            &spec,
+            &tm,
+            &db,
+            query.len(),
+            3072,
+            intra_pred,
+            &ImprovedParams::default(),
+            false,
+        );
+        let f = functional.kernel_seconds();
+        let p = predicted.kernel_seconds();
+        rows.push(ValidationRow {
+            config: label.to_string(),
+            functional_s: f,
+            predicted_s: p,
+            rel_error: ((p - f) / f).abs(),
+            transactions: (
+                functional.intra.global_transactions,
+                predicted.intra.global_transactions,
+            ),
+        });
+    }
+    ValidationResult { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_tracks_functional_within_tolerance() {
+        let r = run(800, 144);
+        assert_eq!(r.rows.len(), 4);
+        assert!(
+            r.worst_error() < 0.6,
+            "worst model error {:.0}%",
+            r.worst_error() * 100.0
+        );
+    }
+
+    #[test]
+    fn model_preserves_the_kernel_ordering() {
+        // Whatever the absolute error, the prediction must agree with the
+        // functional run about which kernel is faster.
+        let r = run(600, 144);
+        let f_orig = r.rows[0].functional_s;
+        let f_imp = r.rows[1].functional_s;
+        let p_orig = r.rows[0].predicted_s;
+        let p_imp = r.rows[1].predicted_s;
+        assert_eq!(f_imp < f_orig, p_imp < p_orig);
+    }
+}

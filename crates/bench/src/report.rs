@@ -1,0 +1,210 @@
+//! Plain-text rendering of experiment results: fixed-width tables and
+//! x/y series (one line per point, gnuplot-friendly).
+
+use std::fmt::Write as _;
+
+/// A printable table (one per paper table, or per figure's data).
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Title shown above the table.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (each row must match `headers.len()`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Render with padded columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::from("|");
+            for (c, cell) in cells.iter().enumerate() {
+                let _ = write!(s, " {:<w$} |", cell, w = widths[c]);
+            }
+            s
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{}|", "-".repeat(w + 2));
+        }
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        let _ = writeln!(out);
+        assert!(cols > 0);
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// One labelled curve of a figure.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label, e.g. `"Imp. Intratask (Tesla C2050)"`.
+    pub label: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Start an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Largest y value (0 when empty).
+    pub fn max_y(&self) -> f64 {
+        self.points.iter().map(|p| p.1).fold(0.0, f64::max)
+    }
+
+    /// Smallest y value (0 when empty).
+    pub fn min_y(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|p| p.1)
+            .fold(f64::INFINITY, f64::min)
+            .min(f64::INFINITY)
+    }
+}
+
+/// Render several series that share an x axis as one table: first column
+/// x, one column per series.
+pub fn series_table(title: &str, x_label: &str, series: &[Series]) -> Table {
+    let mut headers: Vec<&str> = vec![x_label];
+    for s in series {
+        headers.push(&s.label);
+    }
+    let mut table = Table::new(title, &headers);
+    let n = series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+    for i in 0..n {
+        let mut row = Vec::with_capacity(headers.len());
+        let x = series
+            .iter()
+            .find_map(|s| s.points.get(i).map(|p| p.0))
+            .unwrap_or(f64::NAN);
+        row.push(format_num(x));
+        for s in series {
+            row.push(
+                s.points
+                    .get(i)
+                    .map(|p| format_num(p.1))
+                    .unwrap_or_else(|| "-".to_string()),
+            );
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// Compact number formatting: integers plain, small floats with 2–3
+/// significant decimals.
+pub fn format_num(v: f64) -> String {
+    if !v.is_finite() {
+        return "-".to_string();
+    }
+    if (v.fract()).abs() < 1e-9 && v.abs() < 1e12 {
+        format!("{}", v as i64)
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.push_row(vec!["a".into(), "1".into()]);
+        t.push_row(vec!["long-name".into(), "2.5".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("| long-name |"));
+        assert!(s.contains("| a         |"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn series_table_shares_x() {
+        let mut a = Series::new("A");
+        a.push(1.0, 10.0);
+        a.push(2.0, 20.0);
+        let mut b = Series::new("B");
+        b.push(1.0, 11.0);
+        let t = series_table("fig", "x", &[a, b]);
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[1][2], "-");
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(format_num(3.0), "3");
+        assert_eq!(format_num(3.25678), "3.26");
+        assert_eq!(format_num(123.456), "123.5");
+        assert_eq!(format_num(0.01234), "0.0123");
+        assert_eq!(format_num(f64::NAN), "-");
+    }
+
+    #[test]
+    fn series_extrema() {
+        let mut s = Series::new("s");
+        s.push(0.0, 5.0);
+        s.push(1.0, 2.0);
+        assert_eq!(s.max_y(), 5.0);
+        assert_eq!(s.min_y(), 2.0);
+    }
+}

@@ -1,0 +1,451 @@
+//! The CUDASW++ application driver.
+//!
+//! Reproduces the host-side logic of CUDASW++: sort the database by length
+//! (done by `sw_db::Database`), split it at the threshold (default 3072),
+//! stage groups of `s` sequences for the inter-task kernel — `s` computed
+//! from the occupancy calculator, "based on machine parameters to maximize
+//! the occupancy" — and hand every sequence over the threshold to the
+//! selected intra-task kernel (original or improved), one block each.
+//!
+//! The driver accounts inter-task and intra-task time separately, which is
+//! what Figure 5(b) plots, and accumulates host→device transfer time for
+//! the streamed-copy experiment of §VI.
+
+use crate::inter_task::InterTaskKernel;
+use crate::intra_improved::{ImprovedIntraKernel, ImprovedParams, VariantConfig};
+use crate::intra_orig::{IntraPair, OriginalIntraKernel};
+use crate::seqstore::{pack_residues, GroupImage, ProfileImage, SeqImage};
+use gpu_sim::stats::RunStats;
+use gpu_sim::{DeviceSpec, GpuDevice, GpuError};
+use sw_align::{PackedProfile, SwParams};
+use sw_db::Database;
+
+/// Which intra-task kernel the application uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntraKernelChoice {
+    /// The original CUDASW++ wavefront kernel.
+    Original,
+    /// The paper's improved kernel, with a behaviour variant.
+    Improved(VariantConfig),
+}
+
+/// Application configuration.
+#[derive(Debug, Clone)]
+pub struct CudaSwConfig {
+    /// Substitution matrix and gap penalties.
+    pub params: SwParams,
+    /// Length threshold between the kernels (default 3072).
+    pub threshold: usize,
+    /// Inter-task threads per block.
+    pub inter_threads_per_block: u32,
+    /// Improved-kernel launch shape.
+    pub improved: ImprovedParams,
+    /// Selected intra-task kernel.
+    pub intra: IntraKernelChoice,
+}
+
+impl CudaSwConfig {
+    /// The paper's defaults with the improved kernel.
+    pub fn improved() -> Self {
+        Self {
+            params: SwParams::cudasw_default(),
+            threshold: crate::DEFAULT_THRESHOLD,
+            inter_threads_per_block: 256,
+            improved: ImprovedParams::default(),
+            intra: IntraKernelChoice::Improved(VariantConfig::improved()),
+        }
+    }
+
+    /// The paper's defaults with the original kernel.
+    pub fn original() -> Self {
+        Self {
+            intra: IntraKernelChoice::Original,
+            ..Self::improved()
+        }
+    }
+}
+
+/// Result of one whole-database search.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// Scores aligned with `db.sequences()` order.
+    pub scores: Vec<i32>,
+    /// Inter-task kernel aggregate (all group launches).
+    pub inter: RunStats,
+    /// Intra-task kernel aggregate.
+    pub intra: RunStats,
+    /// Host→device transfer seconds (database, profile).
+    pub transfer_seconds: f64,
+    /// Fraction of sequences the intra-task kernel handled.
+    pub fraction_long: f64,
+    /// The threshold used.
+    pub threshold: usize,
+    /// Query length.
+    pub query_len: usize,
+}
+
+impl SearchResult {
+    /// Total DP cells updated.
+    pub fn total_cells(&self) -> u64 {
+        self.inter.cells + self.intra.cells
+    }
+
+    /// Kernel time (the paper's GCUPs denominator; transfers excluded, as
+    /// in the original study which stages the database once up front).
+    pub fn kernel_seconds(&self) -> f64 {
+        self.inter.seconds + self.intra.seconds
+    }
+
+    /// Overall GCUPs.
+    pub fn gcups(&self) -> f64 {
+        let s = self.kernel_seconds();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.total_cells() as f64 / s / 1.0e9
+        }
+    }
+
+    /// Fraction of kernel time spent in the intra-task kernel — the y-axis
+    /// of Figure 5(b)/6.
+    pub fn fraction_time_intra(&self) -> f64 {
+        let s = self.kernel_seconds();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.intra.seconds / s
+        }
+    }
+
+    /// Indices of the `k` best-scoring sequences, best first.
+    pub fn top_hits(&self, k: usize) -> Vec<(usize, i32)> {
+        let mut ranked: Vec<(usize, i32)> = self.scores.iter().copied().enumerate().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        ranked
+    }
+}
+
+/// A device plus a configuration, ready to run searches.
+pub struct CudaSwDriver {
+    /// The simulated device.
+    pub dev: GpuDevice,
+    /// Application configuration.
+    pub config: CudaSwConfig,
+}
+
+impl CudaSwDriver {
+    /// Bring up a driver on `spec`.
+    pub fn new(spec: DeviceSpec, config: CudaSwConfig) -> Self {
+        Self {
+            dev: GpuDevice::new(spec),
+            config,
+        }
+    }
+
+    /// The inter-task group size `s` for this device and configuration
+    /// (threads resident at full occupancy across all SMs).
+    pub fn group_size(&self) -> usize {
+        (self
+            .dev
+            .spec
+            .intertask_group_size(self.config.inter_threads_per_block, 30, 0) as usize)
+            .max(1)
+    }
+
+    /// Compare `query` against every database sequence.
+    pub fn search(&mut self, query: &[u8], db: &Database) -> Result<SearchResult, GpuError> {
+        self.dev.free_all();
+        let partition = db.partition(self.config.threshold);
+        let fraction_long = partition.fraction_long();
+        let mut scores = vec![0i32; db.len()];
+        let mut inter = RunStats::default();
+        let mut intra = RunStats::default();
+        let mut transfer_seconds = 0.0;
+
+        // Stage the query artefacts once (profile for both kernels, packed
+        // residues for the original intra kernel).
+        let packed = PackedProfile::build(&self.config.params.matrix, query);
+        let (profile, secs) = ProfileImage::upload(&mut self.dev, &packed)?;
+        transfer_seconds += secs;
+        let q_words = pack_residues(query);
+        let q_ptr = self.dev.alloc(q_words.len().max(1))?;
+        transfer_seconds += self.dev.copy_to_device(q_ptr, &q_words)?;
+        let q_tex = self.dev.bind_texture(q_ptr, q_words.len().max(1));
+
+        // Inter-task: groups of `s` sequences, one launch per group, with
+        // per-group scratch released between launches.
+        let s = self.group_size();
+        let mark = self.dev.mark();
+        let mut offset = 0usize;
+        for group in partition.groups(s) {
+            let (gimg, secs) = GroupImage::upload(&mut self.dev, group)?;
+            transfer_seconds += secs;
+            let max_cols = group.iter().map(|g| g.len()).max().unwrap_or(0);
+            let boundary = self
+                .dev
+                .alloc(InterTaskKernel::boundary_words(gimg.width, max_cols).max(1))?;
+            let kernel = InterTaskKernel {
+                group: &gimg,
+                profile: &profile,
+                gaps: self.config.params.gaps,
+                boundary,
+                max_cols,
+                threads_per_block: self.config.inter_threads_per_block,
+            };
+            let blocks = kernel.grid_blocks();
+            let stats = self.dev.launch(&kernel, blocks, "inter_task")?;
+            inter.add(&stats);
+            let (raw, secs) = self.dev.copy_from_device(gimg.scores, gimg.width)?;
+            transfer_seconds += secs;
+            for (k, word) in raw.into_iter().enumerate() {
+                scores[offset + k] = word as i32;
+            }
+            offset += group.len();
+            self.dev.free_to(mark);
+        }
+
+        // Intra-task: one block per long sequence, one launch for all.
+        if !partition.long.is_empty() {
+            let mut pairs = Vec::with_capacity(partition.long.len());
+            for seq in partition.long {
+                let (img, secs) = SeqImage::upload(&mut self.dev, seq)?;
+                transfer_seconds += secs;
+                pairs.push(IntraPair {
+                    tex: img.tex,
+                    len: img.len,
+                    score: img.score,
+                });
+            }
+            let max_len = partition.long.iter().map(|q| q.len()).max().unwrap_or(1);
+            let stats = match self.config.intra {
+                IntraKernelChoice::Original => {
+                    let wavefront = self.dev.alloc(OriginalIntraKernel::wavefront_words(
+                        pairs.len(),
+                        query.len(),
+                    ))?;
+                    let kernel = OriginalIntraKernel {
+                        pairs: &pairs,
+                        query: q_tex,
+                        query_len: query.len(),
+                        matrix: &self.config.params.matrix,
+                        gaps: self.config.params.gaps,
+                        wavefront,
+                        threads_per_block: 256,
+                        step_latency_cycles: self.dev.spec.global_latency_cycles as u64,
+                    };
+                    self.dev.launch(&kernel, pairs.len() as u32, "intra_orig")?
+                }
+                IntraKernelChoice::Improved(mut variant) => {
+                    // The shared-memory boundary only fits small sequences;
+                    // fall back transparently when it does not.
+                    if variant.boundary_in_shared {
+                        let needed = (4 * self.config.improved.threads_per_block as usize
+                            + 2 * max_len)
+                            * 4;
+                        if needed > self.dev.spec.shared_mem_per_sm as usize {
+                            variant.boundary_in_shared = false;
+                        }
+                    }
+                    let boundary = self
+                        .dev
+                        .alloc(ImprovedIntraKernel::boundary_words(pairs.len(), max_len))?;
+                    let local_spill = self.dev.alloc(ImprovedIntraKernel::spill_words(
+                        pairs.len(),
+                        &self.config.improved,
+                    ))?;
+                    let kernel = ImprovedIntraKernel {
+                        pairs: &pairs,
+                        profile: &profile,
+                        gaps: self.config.params.gaps,
+                        boundary,
+                        boundary_stride: max_len,
+                        local_spill,
+                        params: self.config.improved,
+                        variant,
+                        step_latency_cycles: 30,
+                    };
+                    self.dev
+                        .launch(&kernel, pairs.len() as u32, "intra_improved")?
+                }
+            };
+            intra.add(&stats);
+            for (k, pair) in pairs.iter().enumerate() {
+                let (v, secs) = self.dev.copy_from_device(pair.score, 1)?;
+                transfer_seconds += secs;
+                scores[offset + k] = v[0] as i32;
+            }
+        }
+
+        Ok(SearchResult {
+            scores,
+            inter,
+            intra,
+            transfer_seconds,
+            fraction_long,
+            threshold: self.config.threshold,
+            query_len: query.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceSpec;
+    use sw_align::smith_waterman::sw_score;
+    use sw_db::synth::{database_with_lengths, make_query};
+
+    fn mixed_db() -> Database {
+        // Threshold at 100 puts 3 of 8 sequences on the intra-task path.
+        database_with_lengths("mixed", &[20, 45, 60, 80, 95, 120, 150, 300], 71)
+    }
+
+    fn small_config(intra: IntraKernelChoice) -> CudaSwConfig {
+        CudaSwConfig {
+            threshold: 100,
+            improved: ImprovedParams {
+                threads_per_block: 32,
+                tile_height: 4,
+            },
+            intra,
+            ..CudaSwConfig::improved()
+        }
+    }
+
+    #[test]
+    fn full_search_matches_scalar_reference() {
+        for intra in [
+            IntraKernelChoice::Original,
+            IntraKernelChoice::Improved(VariantConfig::improved()),
+        ] {
+            let mut driver = CudaSwDriver::new(DeviceSpec::tesla_c1060(), small_config(intra));
+            let db = mixed_db();
+            let query = make_query(57, 33);
+            let result = driver.search(&query, &db).unwrap();
+            let params = SwParams::cudasw_default();
+            for (i, seq) in db.sequences().iter().enumerate() {
+                assert_eq!(
+                    result.scores[i],
+                    sw_score(&params, &query, &seq.residues),
+                    "seq {i} with {intra:?}"
+                );
+            }
+            assert_eq!(result.total_cells(), db.total_cells(57));
+            assert!((result.fraction_long - 3.0 / 8.0).abs() < 1e-12);
+            assert!(result.gcups() > 0.0);
+            assert!(result.transfer_seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn threshold_extremes() {
+        let db = mixed_db();
+        let query = make_query(40, 35);
+        let params = SwParams::cudasw_default();
+
+        // Everything inter-task.
+        let mut cfg = small_config(IntraKernelChoice::Improved(VariantConfig::improved()));
+        cfg.threshold = 10_000;
+        let mut driver = CudaSwDriver::new(DeviceSpec::tesla_c1060(), cfg);
+        let r = driver.search(&query, &db).unwrap();
+        assert_eq!(r.intra.launches, 0);
+        assert_eq!(r.fraction_time_intra(), 0.0);
+        for (i, seq) in db.sequences().iter().enumerate() {
+            assert_eq!(r.scores[i], sw_score(&params, &query, &seq.residues));
+        }
+
+        // Everything intra-task.
+        let mut cfg = small_config(IntraKernelChoice::Improved(VariantConfig::improved()));
+        cfg.threshold = 1;
+        let mut driver = CudaSwDriver::new(DeviceSpec::tesla_c1060(), cfg);
+        let r = driver.search(&query, &db).unwrap();
+        assert_eq!(r.inter.launches, 0);
+        assert!((r.fraction_long - 1.0).abs() < 1e-12);
+        for (i, seq) in db.sequences().iter().enumerate() {
+            assert_eq!(r.scores[i], sw_score(&params, &query, &seq.residues));
+        }
+    }
+
+    #[test]
+    fn improved_kernel_speeds_up_the_search() {
+        // With a meaningful share of long sequences, swapping the intra
+        // kernel must increase overall GCUPs (the paper's Figure 5a).
+        let db = database_with_lengths(
+            "heavy-tail",
+            &[40, 50, 60, 70, 80, 90, 400, 500, 600],
+            73,
+        );
+        let query = make_query(64, 37);
+        let mut orig = CudaSwDriver::new(
+            DeviceSpec::tesla_c1060(),
+            small_config(IntraKernelChoice::Original),
+        );
+        let mut imp = CudaSwDriver::new(
+            DeviceSpec::tesla_c1060(),
+            small_config(IntraKernelChoice::Improved(VariantConfig::improved())),
+        );
+        let r_orig = orig.search(&query, &db).unwrap();
+        let r_imp = imp.search(&query, &db).unwrap();
+        assert_eq!(r_orig.scores, r_imp.scores);
+        assert!(
+            r_imp.gcups() > r_orig.gcups(),
+            "improved {} <= original {}",
+            r_imp.gcups(),
+            r_orig.gcups()
+        );
+        assert!(r_imp.fraction_time_intra() < r_orig.fraction_time_intra());
+    }
+
+    #[test]
+    fn multiple_groups_are_launched() {
+        // Group size on the C1060 is large; shrink the device to force
+        // several groups instead.
+        let mut spec = DeviceSpec::tesla_c1060();
+        spec.sm_count = 1;
+        spec.max_threads_per_sm = 64;
+        spec.max_blocks_per_sm = 2;
+        let mut cfg = small_config(IntraKernelChoice::Improved(VariantConfig::improved()));
+        cfg.inter_threads_per_block = 32;
+        let mut driver = CudaSwDriver::new(spec, cfg);
+        assert_eq!(driver.group_size(), 64);
+        let db = database_with_lengths("many", &[30; 200], 79);
+        let query = make_query(24, 41);
+        let r = driver.search(&query, &db).unwrap();
+        assert_eq!(r.inter.launches, 4); // 200 sequences / 64 per group
+        let params = SwParams::cudasw_default();
+        for (i, seq) in db.sequences().iter().enumerate() {
+            assert_eq!(r.scores[i], sw_score(&params, &query, &seq.residues));
+        }
+    }
+
+    #[test]
+    fn top_hits_ranked_best_first() {
+        let db = mixed_db();
+        let query = db.sequences()[5].residues.clone();
+        let mut driver = CudaSwDriver::new(
+            DeviceSpec::tesla_c1060(),
+            small_config(IntraKernelChoice::Improved(VariantConfig::improved())),
+        );
+        let r = driver.search(&query, &db).unwrap();
+        let top = r.top_hits(3);
+        assert_eq!(top[0].0, 5, "self-match ranks first");
+        assert!(top[0].1 >= top[1].1 && top[1].1 >= top[2].1);
+    }
+
+    #[test]
+    fn empty_query_and_empty_db() {
+        let mut driver = CudaSwDriver::new(
+            DeviceSpec::tesla_c1060(),
+            small_config(IntraKernelChoice::Improved(VariantConfig::improved())),
+        );
+        let db = mixed_db();
+        let r = driver.search(&[], &db).unwrap();
+        assert!(r.scores.iter().all(|&s| s == 0));
+
+        let empty = Database::new("empty", sw_align::Alphabet::Protein, vec![]);
+        let r = driver.search(&make_query(10, 1), &empty).unwrap();
+        assert!(r.scores.is_empty());
+        assert_eq!(r.gcups(), 0.0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Future-work extensions of §VI that live above the kernel level.
+//!
+//! The kernel-level extensions (coalesced boundary I/O, shared-memory
+//! boundary, continuous pipeline) are variants of the improved kernel —
+//! see [`crate::intra_improved::VariantConfig`] and [`crate::variants`].
+//! This module covers the host-side ones:
+//!
+//! * **streamed database copy** — "rather than copy the entire database to
+//!   device memory before starting any alignments, the algorithm could
+//!   copy over a small portion of the database and start performing
+//!   alignments on those sequences [...] essentially hiding the majority
+//!   of the host to device memory transfer time";
+//! * a report comparing the improved kernel against each §VI extension on
+//!   a workload (used by `repro extensions`).
+
+use crate::intra_improved::ImprovedParams;
+use crate::variants::{extension_stages, run_intra_variant};
+use gpu_sim::xfer::TransferModel;
+use gpu_sim::{DeviceSpec, GpuError};
+use sw_db::Database;
+
+/// Outcome of the streamed-copy comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamedCopyReport {
+    /// Bytes of database staged on the device.
+    pub db_bytes: usize,
+    /// Kernel (compute) seconds the copy can hide behind.
+    pub compute_seconds: f64,
+    /// Total seconds with the baseline synchronous copy-then-compute.
+    pub synchronous_seconds: f64,
+    /// Total seconds with the streamed, chunked copy.
+    pub streamed_seconds: f64,
+}
+
+impl StreamedCopyReport {
+    /// End-to-end speedup of streaming.
+    pub fn speedup(&self) -> f64 {
+        if self.streamed_seconds <= 0.0 {
+            1.0
+        } else {
+            self.synchronous_seconds / self.streamed_seconds
+        }
+    }
+
+    /// Fraction of the copy time hidden by streaming.
+    pub fn copy_hidden_fraction(&self) -> f64 {
+        let copy = self.synchronous_seconds - self.compute_seconds;
+        if copy <= 0.0 {
+            0.0
+        } else {
+            ((self.synchronous_seconds - self.streamed_seconds) / copy).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// Compare synchronous vs streamed host→device staging of `db` for a
+/// search whose kernels take `compute_seconds`.
+///
+/// `chunk_bytes` is the streaming granularity (CUDASW++ would copy "a
+/// small portion of the database" at a time).
+pub fn streamed_copy_report(
+    spec: &DeviceSpec,
+    db: &Database,
+    compute_seconds: f64,
+    chunk_bytes: usize,
+) -> StreamedCopyReport {
+    let model = TransferModel::new(spec);
+    // One packed residue byte per residue plus per-sequence metadata.
+    let db_bytes = db.total_residues() as usize + 16 * db.len();
+    let synchronous_seconds = model.transfer_seconds(db_bytes) + compute_seconds;
+    let streamed_seconds = model.streamed_seconds(db_bytes, chunk_bytes, compute_seconds);
+    StreamedCopyReport {
+        db_bytes,
+        compute_seconds,
+        synchronous_seconds,
+        streamed_seconds,
+    }
+}
+
+/// One row of the extension-comparison report.
+#[derive(Debug, Clone)]
+pub struct ExtensionRow {
+    /// Variant name.
+    pub name: &'static str,
+    /// Simulated GCUPs on the workload.
+    pub gcups: f64,
+    /// Global transactions issued.
+    pub global_transactions: u64,
+    /// Barrier count.
+    pub syncs: u64,
+}
+
+/// Run every §VI kernel extension over the long sequences of `db` and
+/// report performance side by side (functionally validated: all variants
+/// must agree on scores).
+pub fn compare_extensions(
+    spec: &DeviceSpec,
+    db: &Database,
+    query: &[u8],
+    threshold: usize,
+    params: ImprovedParams,
+) -> Result<Vec<ExtensionRow>, GpuError> {
+    let partition = db.partition(threshold);
+    let mut rows = Vec::new();
+    let mut reference: Option<Vec<i32>> = None;
+    for stage in extension_stages() {
+        let (scores, stats) =
+            run_intra_variant(spec, partition.long, query, params, stage.variant)?;
+        match &reference {
+            None => reference = Some(scores),
+            Some(r) => assert_eq!(&scores, r, "extension {} changed scores", stage.name),
+        }
+        rows.push(ExtensionRow {
+            name: stage.name,
+            gcups: stats.gcups(),
+            global_transactions: stats.global_transactions(),
+            syncs: stats.totals.syncs,
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceSpec;
+    use sw_db::synth::{database_with_lengths, make_query};
+
+    #[test]
+    fn streaming_hides_most_of_the_copy() {
+        let spec = DeviceSpec::tesla_c1060();
+        let db = database_with_lengths("big", &[2000; 2000], 103);
+        // A compute phase much longer than the copy.
+        let report = streamed_copy_report(&spec, &db, 1.0, 64 * 1024);
+        assert!(report.streamed_seconds < report.synchronous_seconds);
+        assert!(report.speedup() > 1.0);
+        assert!(
+            report.copy_hidden_fraction() > 0.9,
+            "hidden = {}",
+            report.copy_hidden_fraction()
+        );
+    }
+
+    #[test]
+    fn streaming_cannot_beat_compute_time() {
+        let spec = DeviceSpec::tesla_c1060();
+        let db = database_with_lengths("big", &[500; 50], 105);
+        let report = streamed_copy_report(&spec, &db, 0.5, 1 << 20);
+        assert!(report.streamed_seconds >= report.compute_seconds);
+    }
+
+    #[test]
+    fn extension_report_rows_are_consistent() {
+        let spec = DeviceSpec::tesla_c2050();
+        let db = database_with_lengths("mix", &[50, 80, 300, 400], 107);
+        let query = make_query(200, 45);
+        let params = ImprovedParams {
+            threads_per_block: 32,
+            tile_height: 4,
+        };
+        let rows = compare_extensions(&spec, &db, &query, 100, params).unwrap();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0].name, "improved");
+        // Coalesced I/O strictly reduces transactions on multi-strip work.
+        let base = rows[0].global_transactions;
+        let coalesced = rows
+            .iter()
+            .find(|r| r.name == "+coalesced-io")
+            .unwrap()
+            .global_transactions;
+        assert!(coalesced <= base);
+        for r in &rows {
+            assert!(r.gcups > 0.0, "{} has zero GCUPs", r.name);
+        }
+    }
+}

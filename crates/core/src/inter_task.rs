@@ -1,0 +1,471 @@
+//! The inter-task kernel: one thread per query/database pair.
+//!
+//! "The inter-task kernel uses a single thread to compare a query and a
+//! target sequence. It tiles the tables into 8×4 tiles which are computed
+//! sequentially by the same thread in row major order. Within a tile, the
+//! thread will compute cells in a tile in a column major order, storing
+//! all values needed for dependencies within a tile in registers. Once a
+//! tile is computed, the bottom row is stored in global memory and the
+//! rightmost column is retained in registers."
+//!
+//! The kernel uses the packed query profile in texture memory (§II-A).
+//! Database residues come from the interleaved [`GroupImage`] layout, so a
+//! warp's 32 threads read 32 adjacent words — fully coalesced. A launch
+//! only retires when every lane has finished its own sequence, which is
+//! exactly the load-imbalance sensitivity of Figure 2.
+
+#![allow(clippy::needless_range_loop)] // lane loops mirror SIMT semantics
+use crate::seqstore::{unpack_residue, GroupImage, ProfileImage};
+use crate::CELL_INSTRUCTIONS;
+use gpu_sim::{
+    BlockCtx, BlockKernel, DevicePtr, GpuError, LaunchConfig, WarpAccess, WARP_SIZE,
+};
+use sw_align::{GapPenalties, PackedProfile};
+
+const NEG: i32 = i32::MIN / 2;
+
+/// Rows per register tile.
+pub const TILE_ROWS: usize = 8;
+/// Columns per register tile.
+pub const TILE_COLS: usize = 4;
+
+/// The inter-task kernel over one staged group.
+pub struct InterTaskKernel<'a> {
+    /// The group's interleaved residues, lengths and score slots.
+    pub group: &'a GroupImage,
+    /// Packed query profile bound to texture.
+    pub profile: &'a ProfileImage,
+    /// Gap penalties (kernel parameters).
+    pub gaps: GapPenalties,
+    /// Strip-boundary buffer: a plane of `H` then a plane of `F`, each
+    /// `max_cols × width` words, interleaved by thread.
+    pub boundary: DevicePtr,
+    /// Columns covered by each boundary plane (max sequence length).
+    pub max_cols: usize,
+    /// Threads per block (CUDASW++ default 256).
+    pub threads_per_block: u32,
+}
+
+impl<'a> InterTaskKernel<'a> {
+    /// Blocks needed to give every sequence a thread.
+    pub fn grid_blocks(&self) -> u32 {
+        (self.group.width as u32).div_ceil(self.threads_per_block)
+    }
+
+    /// Boundary words the driver must allocate for a group.
+    pub fn boundary_words(width: usize, max_cols: usize) -> usize {
+        2 * width * max_cols
+    }
+
+    #[inline]
+    fn boundary_h_addr(&self, col: usize, g: usize) -> usize {
+        self.boundary.addr() + col * self.group.width + g
+    }
+
+    #[inline]
+    fn boundary_f_addr(&self, col: usize, g: usize) -> usize {
+        self.boundary.addr() + (self.max_cols + col) * self.group.width + g
+    }
+
+    /// Run one warp's lanes to completion (all strips, all tiles).
+    fn run_warp(&self, ctx: &mut BlockCtx<'_>, warp: u32) -> Result<(), GpuError> {
+        let g0 = (ctx.block_idx * ctx.block_dim) as usize + warp as usize * WARP_SIZE;
+        let (open, extend) = (self.gaps.open, self.gaps.extend);
+
+        // Lane -> sequence length (None = no sequence for this lane).
+        let mut lane_n = [0usize; WARP_SIZE];
+        let mut lane_live = [false; WARP_SIZE];
+        let mut max_n = 0usize;
+        for lane in 0..WARP_SIZE {
+            let tid = warp as usize * WARP_SIZE + lane;
+            let g = g0 + lane;
+            if tid < ctx.block_dim as usize && g < self.group.width {
+                lane_n[lane] = self.group.lengths[g];
+                lane_live[lane] = true;
+                max_n = max_n.max(lane_n[lane]);
+            }
+        }
+        if !lane_live.iter().any(|&l| l) {
+            return Ok(());
+        }
+
+        let m = self.profile.query_len;
+        let strips = m.div_ceil(TILE_ROWS).max(1);
+        let max_tiles = max_n.div_ceil(TILE_COLS);
+        let mut best = [0i32; WARP_SIZE];
+
+        if m > 0 {
+            for r in 0..strips {
+                let i0 = r * TILE_ROWS;
+                let rows_real = TILE_ROWS.min(m - i0);
+                let last_strip = r + 1 == strips;
+                // Per-lane register state for this strip.
+                let mut h_left = [[0i32; TILE_ROWS]; WARP_SIZE];
+                let mut e_left = [[NEG; TILE_ROWS]; WARP_SIZE];
+                let mut diag = [0i32; WARP_SIZE]; // H(i0-1, j-1)
+
+                for tile in 0..max_tiles {
+                    let j0 = tile * TILE_COLS;
+                    let mut tile_any = false;
+                    for lane in 0..WARP_SIZE {
+                        tile_any |= lane_live[lane] && j0 < lane_n[lane];
+                    }
+                    if !tile_any {
+                        break;
+                    }
+                    self.run_tile(
+                        ctx,
+                        TileArgs {
+                            g0,
+                            r,
+                            i0,
+                            j0,
+                            rows_real,
+                            last_strip,
+                            open,
+                            extend,
+                        },
+                        &lane_n,
+                        &lane_live,
+                        &mut h_left,
+                        &mut e_left,
+                        &mut diag,
+                        &mut best,
+                    )?;
+                }
+            }
+        }
+
+        // Write final scores, one word per live lane (coalesced).
+        let mut access = WarpAccess::empty();
+        let mut vals = [0u32; WARP_SIZE];
+        for lane in 0..WARP_SIZE {
+            if lane_live[lane] {
+                access.set(lane, self.group.scores.addr() + g0 + lane);
+                vals[lane] = best[lane] as u32;
+            }
+        }
+        ctx.global_store(&access, &vals)?;
+        Ok(())
+    }
+
+    /// One 8×4 tile for every active lane of a warp.
+    #[allow(clippy::too_many_arguments)]
+    fn run_tile(
+        &self,
+        ctx: &mut BlockCtx<'_>,
+        args: TileArgs,
+        lane_n: &[usize; WARP_SIZE],
+        lane_live: &[bool; WARP_SIZE],
+        h_left: &mut [[i32; TILE_ROWS]; WARP_SIZE],
+        e_left: &mut [[i32; TILE_ROWS]; WARP_SIZE],
+        diag: &mut [i32; WARP_SIZE],
+        best: &mut [i32; WARP_SIZE],
+    ) -> Result<(), GpuError> {
+        let TileArgs {
+            g0,
+            r,
+            i0,
+            j0,
+            rows_real,
+            last_strip,
+            open,
+            extend,
+        } = args;
+
+        let active = |lane: usize, c: usize| lane_live[lane] && j0 + c < lane_n[lane];
+
+        // 1. Database residues: one packed word per lane, fetched through
+        // the texture path (CUDASW++ binds the database to texture); the
+        // interleaved layout keeps the addresses adjacent.
+        let mut db_access = WarpAccess::empty();
+        for lane in 0..WARP_SIZE {
+            if active(lane, 0) {
+                db_access.set(lane, self.group.word_addr(g0 + lane, j0 / 4));
+            }
+        }
+        let db_words = ctx.tex_load(self.group.tex, &db_access)?;
+
+        // 2. Boundary H/F from the strip above (or constants for strip 0).
+        let mut top_h = [[0i32; TILE_COLS]; WARP_SIZE];
+        let mut top_f = [[NEG; TILE_COLS]; WARP_SIZE];
+        if r > 0 {
+            for c in 0..TILE_COLS {
+                let mut h_acc = WarpAccess::empty();
+                let mut f_acc = WarpAccess::empty();
+                for lane in 0..WARP_SIZE {
+                    if active(lane, c) {
+                        h_acc.set(lane, self.boundary_h_addr(j0 + c, g0 + lane));
+                        f_acc.set(lane, self.boundary_f_addr(j0 + c, g0 + lane));
+                    }
+                }
+                if h_acc.active_lanes() == 0 {
+                    continue;
+                }
+                let hv = ctx.global_load(&h_acc)?;
+                let fv = ctx.global_load(&f_acc)?;
+                for lane in 0..WARP_SIZE {
+                    if h_acc.is_active(lane) {
+                        top_h[lane][c] = hv[lane] as i32;
+                        top_f[lane][c] = fv[lane] as i32;
+                    }
+                }
+            }
+        }
+
+        // 3. Column-major DP through the tile.
+        let mut bottom_h = [[0i32; TILE_COLS]; WARP_SIZE];
+        let mut bottom_f = [[NEG; TILE_COLS]; WARP_SIZE];
+        let mut cells = 0u64;
+        for c in 0..TILE_COLS {
+            // Texture fetch: up to two packed-profile words cover the 8
+            // rows of this column.
+            let mut tex_lo = WarpAccess::empty();
+            let mut tex_hi = WarpAccess::empty();
+            for lane in 0..WARP_SIZE {
+                if active(lane, c) {
+                    let d = unpack_residue(db_words[lane], c);
+                    let w0 = self.profile.word_index(d, i0 / 4);
+                    tex_lo.set(lane, self.profile.tex.addr(w0));
+                    if rows_real > 4 {
+                        tex_hi.set(lane, self.profile.tex.addr(w0 + 1));
+                    }
+                }
+            }
+            if tex_lo.active_lanes() == 0 {
+                continue;
+            }
+            let w_lo = ctx.tex_load(self.profile.tex, &tex_lo)?;
+            let w_hi = if rows_real > 4 {
+                ctx.tex_load(self.profile.tex, &tex_hi)?
+            } else {
+                [0u32; WARP_SIZE]
+            };
+
+            for lane in 0..WARP_SIZE {
+                if !active(lane, c) {
+                    continue;
+                }
+                let lo = PackedProfile::unpack(w_lo[lane]);
+                let hi = PackedProfile::unpack(w_hi[lane]);
+                let mut f = (top_f[lane][c] - extend).max(top_h[lane][c] - open);
+                let mut diag_k = diag[lane];
+                let mut h = 0i32;
+                for k in 0..rows_real {
+                    let w = if k < 4 { lo[k] as i32 } else { hi[k - 4] as i32 };
+                    let e = (e_left[lane][k] - extend).max(h_left[lane][k] - open);
+                    if k > 0 {
+                        f = (f - extend).max(h - open);
+                    }
+                    h = (diag_k + w).max(e).max(f).max(0);
+                    diag_k = h_left[lane][k];
+                    h_left[lane][k] = h;
+                    e_left[lane][k] = e;
+                    if h > best[lane] {
+                        best[lane] = h;
+                    }
+                }
+                // The diagonal for the next column is H(i0-1, col).
+                diag[lane] = top_h[lane][c];
+                bottom_h[lane][c] = h_left[lane][TILE_ROWS - 1];
+                bottom_f[lane][c] = f;
+                cells += rows_real as u64;
+            }
+        }
+        ctx.count_cells(cells);
+        ctx.charge(CELL_INSTRUCTIONS * (rows_real * TILE_COLS) as u64);
+
+        // 4. Store the bottom row (H and F) for the next strip.
+        if !last_strip {
+            for c in 0..TILE_COLS {
+                let mut h_acc = WarpAccess::empty();
+                let mut f_acc = WarpAccess::empty();
+                let mut h_vals = [0u32; WARP_SIZE];
+                let mut f_vals = [0u32; WARP_SIZE];
+                for lane in 0..WARP_SIZE {
+                    if active(lane, c) {
+                        h_acc.set(lane, self.boundary_h_addr(j0 + c, g0 + lane));
+                        f_acc.set(lane, self.boundary_f_addr(j0 + c, g0 + lane));
+                        h_vals[lane] = bottom_h[lane][c] as u32;
+                        f_vals[lane] = bottom_f[lane][c] as u32;
+                    }
+                }
+                if h_acc.active_lanes() == 0 {
+                    continue;
+                }
+                ctx.global_store(&h_acc, &h_vals)?;
+                ctx.global_store(&f_acc, &f_vals)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Static per-tile parameters (kept in a struct to keep call sites sane).
+#[derive(Clone, Copy)]
+struct TileArgs {
+    g0: usize,
+    r: usize,
+    i0: usize,
+    j0: usize,
+    rows_real: usize,
+    last_strip: bool,
+    open: i32,
+    extend: i32,
+}
+
+impl BlockKernel for InterTaskKernel<'_> {
+    fn config(&self) -> LaunchConfig {
+        LaunchConfig {
+            threads_per_block: self.threads_per_block,
+            regs_per_thread: 30,
+            shared_words: 0,
+        }
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx<'_>) -> Result<(), GpuError> {
+        for w in 0..ctx.warp_count() {
+            self.run_warp(ctx, w)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seqstore::{GroupImage, ProfileImage};
+    use gpu_sim::{DeviceSpec, GpuDevice};
+    use sw_align::smith_waterman::{sw_score, SwParams};
+    use sw_db::synth::{database_with_lengths, make_query};
+
+    /// Stage a group + profile, launch the kernel, return scores.
+    fn run_kernel(
+        dev: &mut GpuDevice,
+        query: &[u8],
+        group: &[sw_db::Sequence],
+    ) -> Vec<i32> {
+        let params = SwParams::cudasw_default();
+        let profile = PackedProfile::build(&params.matrix, query);
+        let (pimg, _) = ProfileImage::upload(dev, &profile).unwrap();
+        let (gimg, _) = GroupImage::upload(dev, group).unwrap();
+        let max_cols = group.iter().map(|s| s.len()).max().unwrap_or(0);
+        let boundary = dev
+            .alloc(InterTaskKernel::boundary_words(gimg.width, max_cols).max(1))
+            .unwrap();
+        let kernel = InterTaskKernel {
+            group: &gimg,
+            profile: &pimg,
+            gaps: params.gaps,
+            boundary,
+            max_cols,
+            threads_per_block: 64,
+        };
+        let blocks = kernel.grid_blocks();
+        dev.launch(&kernel, blocks, "inter_task").unwrap();
+        let (raw, _) = dev.copy_from_device(gimg.scores, gimg.width).unwrap();
+        raw.into_iter().map(|w| w as i32).collect()
+    }
+
+    #[test]
+    fn scores_match_scalar_reference() {
+        let mut dev = GpuDevice::new(DeviceSpec::tesla_c1060());
+        let db = database_with_lengths("g", &[5, 17, 33, 64, 100, 9, 41, 3], 11);
+        let query = make_query(23, 5); // not a multiple of 8: exercises tails
+        let scores = run_kernel(&mut dev, &query, db.sequences());
+        let params = SwParams::cudasw_default();
+        for (i, seq) in db.sequences().iter().enumerate() {
+            assert_eq!(
+                scores[i],
+                sw_score(&params, &query, &seq.residues),
+                "seq {i} (len {})",
+                seq.len()
+            );
+        }
+    }
+
+    #[test]
+    fn multi_strip_query() {
+        let mut dev = GpuDevice::new(DeviceSpec::tesla_c2050());
+        let db = database_with_lengths("g", &[40, 80, 120], 3);
+        let query = make_query(50, 9); // 7 strips; strips > 1 exercises boundary I/O
+        let scores = run_kernel(&mut dev, &query, db.sequences());
+        let params = SwParams::cudasw_default();
+        for (i, seq) in db.sequences().iter().enumerate() {
+            assert_eq!(scores[i], sw_score(&params, &query, &seq.residues));
+        }
+    }
+
+    #[test]
+    fn more_sequences_than_one_block() {
+        let mut dev = GpuDevice::new(DeviceSpec::tesla_c1060());
+        let lengths: Vec<usize> = (0..150).map(|i| 10 + (i % 37)).collect();
+        let db = database_with_lengths("g", &lengths, 17);
+        let query = make_query(16, 2);
+        let scores = run_kernel(&mut dev, &query, db.sequences());
+        let params = SwParams::cudasw_default();
+        for (i, seq) in db.sequences().iter().enumerate() {
+            assert_eq!(scores[i], sw_score(&params, &query, &seq.residues));
+        }
+    }
+
+    #[test]
+    fn db_loads_are_coalesced() {
+        let mut dev = GpuDevice::new(DeviceSpec::tesla_c1060());
+        // 32 equal-length sequences = one full warp, uniform work.
+        let db = database_with_lengths("g", &[64; 32], 23);
+        let params = SwParams::cudasw_default();
+        let query = make_query(8, 3);
+        let profile = PackedProfile::build(&params.matrix, &query);
+        let (pimg, _) = ProfileImage::upload(&mut dev, &profile).unwrap();
+        let (gimg, _) = GroupImage::upload(&mut dev, db.sequences()).unwrap();
+        let boundary = dev
+            .alloc(InterTaskKernel::boundary_words(gimg.width, 64))
+            .unwrap();
+        let kernel = InterTaskKernel {
+            group: &gimg,
+            profile: &pimg,
+            gaps: params.gaps,
+            boundary,
+            max_cols: 64,
+            threads_per_block: 32,
+        };
+        let stats = dev.launch(&kernel, 1, "inter").unwrap();
+        // One strip (query 8 <= 8 rows): no boundary traffic, and database
+        // residues go through texture — so there are NO global loads and
+        // the only store is the final score word.
+        assert_eq!(stats.memory.load_transactions, 0);
+        assert_eq!(stats.memory.store_transactions, 1);
+        // 16 db-word texture fetches, coalesced into few segments each.
+        assert!(stats.memory.tex_instructions > 16);
+        assert_eq!(stats.cells(), 32 * 8 * 64);
+    }
+
+    #[test]
+    fn longest_sequence_dominates_block_time() {
+        let mut dev = GpuDevice::new(DeviceSpec::tesla_c1060());
+        // Block 0: short sequences; block 1: one long straggler.
+        let mut lengths = vec![32usize; 63];
+        lengths.push(2048);
+        let db = database_with_lengths("g", &lengths, 29);
+        let params = SwParams::cudasw_default();
+        let query = make_query(64, 4);
+        let profile = PackedProfile::build(&params.matrix, &query);
+        let (pimg, _) = ProfileImage::upload(&mut dev, &profile).unwrap();
+        let (gimg, _) = GroupImage::upload(&mut dev, db.sequences()).unwrap();
+        let boundary = dev
+            .alloc(InterTaskKernel::boundary_words(gimg.width, 2048))
+            .unwrap();
+        let kernel = InterTaskKernel {
+            group: &gimg,
+            profile: &pimg,
+            gaps: params.gaps,
+            boundary,
+            max_cols: 2048,
+            threads_per_block: 32,
+        };
+        let stats = dev.launch(&kernel, 2, "inter").unwrap();
+        // The straggler block is far slower than the uniform one.
+        assert!(stats.imbalance() > 5.0, "imbalance = {}", stats.imbalance());
+    }
+}

@@ -1,0 +1,56 @@
+//! The paper's contribution: CUDASW++ on the simulated device.
+//!
+//! CUDASW++ compares one query against a whole database with two kernels
+//! selected per sequence by a length threshold (default 3072):
+//!
+//! * [`inter_task`] — one *thread* per pair, 8×4 register tiles, packed
+//!   query profile in texture memory (used for ~99.9% of Swissprot);
+//! * [`intra_orig`] — the original intra-task kernel: one *block* per
+//!   pair, block-wide anti-diagonal wavefront, H/E/F wavefronts in global
+//!   memory. The paper identifies this kernel as the bottleneck;
+//! * [`intra_improved`] — the paper's kernel: 4×1 tiles, strips of
+//!   `n_th × t_height` query rows per pass, registers for horizontal
+//!   dependencies, shared memory for vertical/diagonal dependencies,
+//!   global memory only for strip-boundary rows, and the packed query
+//!   profile ("a single read for every four cells").
+//!
+//! [`driver`] stitches them into the full application (threshold split,
+//!   occupancy-sized groups, per-kernel time accounting). [`variants`]
+//! recreates the incremental development stages of §III for ablation
+//! benches; [`extensions`] implements the future-work items of §VI;
+//! [`threshold`] implements automatic threshold selection; [`model`]
+//! provides closed-form counter predictions validated against functional
+//! runs.
+//!
+//! Every kernel is *functional*: it computes real Smith-Waterman scores
+//! through the simulated memory system, and is tested against
+//! `sw_align::sw_score`.
+
+pub mod driver;
+pub mod extensions;
+pub mod inter_task;
+pub mod intra_improved;
+pub mod intra_orig;
+pub mod model;
+pub mod multi_gpu;
+pub mod seqstore;
+pub mod threshold;
+pub mod variants;
+
+pub use driver::{CudaSwConfig, CudaSwDriver, IntraKernelChoice, SearchResult};
+pub use inter_task::InterTaskKernel;
+pub use intra_improved::{ImprovedIntraKernel, ImprovedParams, VariantConfig};
+pub use intra_orig::{IntraPair, OriginalIntraKernel};
+pub use multi_gpu::{multi_gpu_search, MultiGpuResult};
+
+/// The CUDASW++ default threshold between the kernels.
+pub const DEFAULT_THRESHOLD: usize = 3072;
+
+/// Arithmetic warp-instructions charged per DP cell update.
+///
+/// One cell evaluates equation (1): two saturated subs + four max ops for
+/// E/F, one add + three max for H, plus address/unpack overhead — about a
+/// dozen scalar instructions in a tuned CUDA kernel. This single constant
+/// is shared by all kernels (they run the same inner math; they differ in
+/// *memory behaviour*, which is measured, not assumed).
+pub const CELL_INSTRUCTIONS: u64 = 12;

@@ -1,0 +1,603 @@
+//! Analytic performance models.
+//!
+//! The functional simulator executes every DP cell, which is exact but
+//! too slow for paper-scale parameter sweeps (Swissprot is ~1.8·10⁸
+//! residues). This module predicts each kernel's [`BlockCost`] *in closed
+//! form from sequence lengths alone* — a structural replay of the kernels'
+//! loop nests that counts what they would do without doing it — and feeds
+//! the same [`TimingModel`] the functional path uses.
+//!
+//! Cache behaviour cannot be replayed structurally, so per-kernel hit-rate
+//! assumptions ([`CacheAssumptions`]) stand in for the cache simulation;
+//! they were set once from functional measurements (see the validation
+//! tests at the bottom, which bound the model error against functional
+//! runs).
+
+use crate::intra_improved::ImprovedParams;
+use crate::CELL_INSTRUCTIONS;
+use gpu_sim::timing::BlockCost;
+use gpu_sim::{Arch, DeviceSpec, TimingModel};
+use sw_db::Database;
+
+/// Assumed cache hit rates for one kernel on one architecture.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheAssumptions {
+    /// Fraction of texture transactions served by the near cache
+    /// (texture cache on GT200, L1 on Fermi).
+    pub tex_hit: f64,
+    /// Fraction of global-load transactions served by L1 (Fermi only).
+    pub l1_hit: f64,
+    /// Fraction of global-load transactions served by L2 (Fermi only).
+    pub l2_hit: f64,
+}
+
+impl CacheAssumptions {
+    /// Inter-task kernel: the profile mostly sits in the texture cache;
+    /// boundary rows stream.
+    pub fn inter(arch: Arch) -> Self {
+        match arch {
+            Arch::Gt200 => Self {
+                tex_hit: 0.85,
+                l1_hit: 0.0,
+                l2_hit: 0.0,
+            },
+            Arch::Fermi => Self {
+                tex_hit: 0.9,
+                l1_hit: 0.35,
+                l2_hit: 0.35,
+            },
+        }
+    }
+
+    /// Original intra-task kernel: wavefront arrays have strong short-term
+    /// reuse, so Fermi caches absorb most of the traffic (the Figure 6
+    /// effect); GT200 has nothing to absorb it.
+    pub fn intra_orig(arch: Arch) -> Self {
+        match arch {
+            Arch::Gt200 => Self {
+                tex_hit: 0.0,
+                l1_hit: 0.0,
+                l2_hit: 0.0,
+            },
+            Arch::Fermi => Self {
+                tex_hit: 0.0,
+                l1_hit: 0.45,
+                l2_hit: 0.40,
+            },
+        }
+    }
+
+    /// Improved intra-task kernel: little global traffic to cache; profile
+    /// fetches cache well.
+    pub fn intra_improved(arch: Arch) -> Self {
+        match arch {
+            Arch::Gt200 => Self {
+                tex_hit: 0.9,
+                l1_hit: 0.0,
+                l2_hit: 0.0,
+            },
+            Arch::Fermi => Self {
+                tex_hit: 0.92,
+                l1_hit: 0.3,
+                l2_hit: 0.4,
+            },
+        }
+    }
+
+    /// This assumption set with the Fermi data caches (L1/L2) disabled
+    /// (Figure 6). The dedicated texture cache is unaffected by the
+    /// disable, exactly as on the hardware.
+    pub fn without_data_caches(mut self) -> Self {
+        self.l1_hit = 0.0;
+        self.l2_hit = 0.0;
+        self
+    }
+
+    /// Split `transactions` into (near hits, L2 hits, DRAM transactions).
+    fn split(&self, transactions: f64, near: f64) -> (u64, u64, u64) {
+        let near_hits = transactions * near;
+        let l2 = transactions * self.l2_hit;
+        let dram = (transactions - near_hits - l2).max(0.0);
+        (near_hits as u64, l2 as u64, dram as u64)
+    }
+}
+
+/// Average distinct 32-byte segments touched by one scattered
+/// profile-texture fetch (32 lanes hitting ~20 distinct residue rows).
+const TEX_LINES_PER_FETCH: f64 = 14.0;
+
+/// Average distinct segments touched by one sequence-residue texture fetch
+/// (lanes read adjacent packed words — the database is texture-bound).
+const SEQ_LINES_PER_FETCH: f64 = 1.5;
+
+/// A predicted kernel launch.
+#[derive(Debug, Clone, Copy)]
+pub struct PredictedLaunch {
+    /// DP cells (exact).
+    pub cells: u64,
+    /// Simulated seconds from the timing model.
+    pub seconds: f64,
+    /// Predicted global transactions (Table I metric).
+    pub global_transactions: u64,
+}
+
+impl PredictedLaunch {
+    /// GCUPs of this launch.
+    pub fn gcups(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            0.0
+        } else {
+            self.cells as f64 / self.seconds / 1.0e9
+        }
+    }
+}
+
+/// Predict one inter-task group launch. `lengths` must be the group's
+/// sequence lengths in staged (sorted) order.
+pub fn predict_inter_group(
+    spec: &DeviceSpec,
+    timing: &TimingModel,
+    lengths: &[usize],
+    query_len: usize,
+    threads_per_block: u32,
+) -> PredictedLaunch {
+    let caches = CacheAssumptions::inter(spec.arch);
+    let m = query_len;
+    let tpb = threads_per_block as usize;
+    let strips = m.div_ceil(8).max(1);
+    let mut block_cycles = Vec::new();
+    let mut total = BlockCost::default();
+    let mut global_transactions = 0u64;
+
+    for block in lengths.chunks(tpb) {
+        let mut cost = BlockCost::default();
+        for warp_lens in block.chunks(32) {
+            let max_n = warp_lens.iter().copied().max().unwrap_or(0);
+            let tiles = max_n.div_ceil(4);
+            let cells: u64 = warp_lens.iter().map(|&n| (n * m) as u64).sum();
+            cost.cells += cells;
+            if m == 0 || max_n == 0 {
+                continue;
+            }
+            let mut coalesced = 0u64; // 1-transaction collectives
+            let mut tex_fetches = 0u64; // profile words
+            let mut seq_fetches = 0u64; // db residue words (texture-bound)
+            let mut arith = 0u64;
+            for r in 0..strips {
+                let rows_real = 8.min(m - r * 8);
+                seq_fetches += tiles as u64; // db words via texture
+                if r > 0 {
+                    coalesced += 8 * tiles as u64; // boundary reads
+                }
+                if r + 1 < strips {
+                    coalesced += 8 * tiles as u64; // boundary writes
+                }
+                let tex_per_col = if rows_real > 4 { 2 } else { 1 };
+                tex_fetches += (tex_per_col * 4 * tiles) as u64;
+                arith += CELL_INSTRUCTIONS * (rows_real * 4) as u64 * tiles as u64;
+            }
+            coalesced += 1; // final score store
+            let tex_trans = tex_fetches as f64 * TEX_LINES_PER_FETCH
+                + seq_fetches as f64 * SEQ_LINES_PER_FETCH;
+            let (tex_near, tex_l2, tex_dram) = caches.split(tex_trans, caches.tex_hit);
+            let (g_near, g_l2, g_dram) = caches.split(coalesced as f64, caches.l1_hit);
+            cost.warp_instructions += arith + coalesced + tex_fetches + seq_fetches;
+            cost.near_hits += tex_near + g_near;
+            cost.l2_hits += tex_l2 + g_l2;
+            cost.dram_bytes += tex_dram * 32 + g_dram * 128;
+            global_transactions += coalesced;
+        }
+        block_cycles.push(timing.block_cycles(spec, &cost));
+        total.merge(&cost);
+    }
+    let cycles = timing.launch_cycles(spec, &block_cycles, total.dram_bytes);
+    PredictedLaunch {
+        cells: total.cells,
+        seconds: spec.cycles_to_seconds(cycles),
+        global_transactions,
+    }
+}
+
+/// Predict one original-intra-task launch over `lengths` long sequences.
+pub fn predict_intra_orig(
+    spec: &DeviceSpec,
+    timing: &TimingModel,
+    lengths: &[usize],
+    query_len: usize,
+    caches_off: bool,
+) -> PredictedLaunch {
+    let mut caches = CacheAssumptions::intra_orig(spec.arch);
+    if caches_off {
+        caches = caches.without_data_caches();
+    }
+    let m = query_len;
+    let mut block_cycles = Vec::new();
+    let mut total = BlockCost::default();
+    let mut global_transactions = 0u64;
+    for &n in lengths {
+        let mut cost = BlockCost::default();
+        if m == 0 || n == 0 {
+            block_cycles.push(timing.block_cycles(spec, &cost));
+            continue;
+        }
+        let cells = (m * n) as u64;
+        // Chunks: sum over diagonals of ceil(wave/32) ≈ cells/32 + steps.
+        let steps = (m + n - 1) as u64;
+        let chunks = cells / 32 + steps;
+        // Per chunk: 5 wavefront loads + 3 stores (global) plus 2 residue
+        // fetches through the texture path.
+        let collectives = 8 * chunks;
+        let seq_fetches = 2 * chunks;
+        cost.warp_instructions = collectives + seq_fetches + CELL_INSTRUCTIONS * chunks + 64;
+        let (near, l2, dram) = caches.split(collectives as f64, caches.l1_hit);
+        // Residue streams cache well in the texture hierarchy.
+        let seq_trans = seq_fetches as f64 * SEQ_LINES_PER_FETCH;
+        let (t_near, t_l2, t_dram) = caches.split(seq_trans, 0.9);
+        cost.near_hits = near + t_near;
+        cost.l2_hits = l2 + t_l2;
+        cost.dram_bytes = dram * 128 + t_dram * 32;
+        cost.syncs = steps + 1;
+        cost.latency_cycles = steps * spec.global_latency_cycles as u64;
+        cost.cells = cells;
+        global_transactions += collectives;
+        block_cycles.push(timing.block_cycles(spec, &cost));
+        total.merge(&cost);
+    }
+    let cycles = timing.launch_cycles(spec, &block_cycles, total.dram_bytes);
+    PredictedLaunch {
+        cells: total.cells,
+        seconds: spec.cycles_to_seconds(cycles),
+        global_transactions,
+    }
+}
+
+/// Predict one improved-intra-task launch.
+pub fn predict_intra_improved(
+    spec: &DeviceSpec,
+    timing: &TimingModel,
+    lengths: &[usize],
+    query_len: usize,
+    params: &ImprovedParams,
+    caches_off: bool,
+) -> PredictedLaunch {
+    let mut caches = CacheAssumptions::intra_improved(spec.arch);
+    if caches_off {
+        caches = caches.without_data_caches();
+    }
+    let m = query_len;
+    let n_th = params.threads_per_block as usize;
+    let th = params.tile_height;
+    let strip_rows = params.strip_rows();
+    let mut block_cycles = Vec::new();
+    let mut total = BlockCost::default();
+    let mut global_transactions = 0u64;
+
+    for &n in lengths {
+        let mut cost = BlockCost::default();
+        if m == 0 || n == 0 {
+            block_cycles.push(timing.block_cycles(spec, &cost));
+            continue;
+        }
+        let strips = m.div_ceil(strip_rows);
+        let coalesced = 0u64;
+        let mut single = 0u64; // 1-lane boundary words (uncoalesced)
+        let mut tex_fetches = 0u64; // profile words
+        let mut seq_fetches = 0u64; // db residue words (texture-bound)
+        let mut shared_ops = 0u64;
+        let mut arith = 0u64;
+        let mut steps_total = 0u64;
+        for r in 0..strips {
+            let i_base = r * strip_rows;
+            let active_max = ((m - i_base).div_ceil(th)).min(n_th);
+            let steps = (n + active_max - 1) as u64;
+            steps_total += steps;
+            // Warp-steps: the pipeline parallelogram in warp units.
+            let warp_steps =
+                (n as u64 * active_max.div_ceil(32) as u64) + 2 * (active_max as u64 / 2);
+            seq_fetches += warp_steps; // db residue words via texture
+            tex_fetches += warp_steps * (th as u64 / 4);
+            shared_ops += warp_steps * 4;
+            arith += warp_steps * CELL_INSTRUCTIONS * th as u64;
+            // Strip boundary traffic: 2 single-lane reads + 2 writes per
+            // column crossing a strip edge.
+            if r > 0 {
+                single += 2 * n as u64;
+            }
+            if r + 1 < strips {
+                single += 2 * n as u64;
+            }
+        }
+        let tex_trans = tex_fetches as f64 * TEX_LINES_PER_FETCH
+            + seq_fetches as f64 * SEQ_LINES_PER_FETCH;
+        let (tex_near, tex_l2, tex_dram) = caches.split(tex_trans, caches.tex_hit);
+        let globals = coalesced + single;
+        let (g_near, g_l2, g_dram) = caches.split(globals as f64, caches.l1_hit);
+        cost.warp_instructions =
+            arith + coalesced + single + tex_fetches + seq_fetches + shared_ops + 64;
+        cost.near_hits = tex_near + g_near;
+        cost.l2_hits = tex_l2 + g_l2;
+        cost.dram_bytes = tex_dram * 32 + g_dram * 128;
+        cost.shared_cycles = shared_ops;
+        cost.syncs = steps_total + 1;
+        cost.latency_cycles = steps_total * 30;
+        cost.cells = (m * n) as u64;
+        global_transactions += globals;
+        block_cycles.push(timing.block_cycles(spec, &cost));
+        total.merge(&cost);
+    }
+    let cycles = timing.launch_cycles(spec, &block_cycles, total.dram_bytes);
+    PredictedLaunch {
+        cells: total.cells,
+        seconds: spec.cycles_to_seconds(cycles),
+        global_transactions,
+    }
+}
+
+/// Which intra kernel a predicted search uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictedIntra {
+    /// Original wavefront kernel.
+    Original,
+    /// Improved tiled kernel.
+    Improved,
+}
+
+/// A predicted whole-database search (the analytic twin of
+/// [`crate::driver::CudaSwDriver::search`]).
+#[derive(Debug, Clone, Copy)]
+pub struct PredictedSearch {
+    /// Inter-task side.
+    pub inter: PredictedLaunch,
+    /// Intra-task side.
+    pub intra: PredictedLaunch,
+}
+
+impl PredictedSearch {
+    /// Total cells.
+    pub fn total_cells(&self) -> u64 {
+        self.inter.cells + self.intra.cells
+    }
+
+    /// Kernel seconds.
+    pub fn kernel_seconds(&self) -> f64 {
+        self.inter.seconds + self.intra.seconds
+    }
+
+    /// Overall GCUPs.
+    pub fn gcups(&self) -> f64 {
+        let s = self.kernel_seconds();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.total_cells() as f64 / s / 1.0e9
+        }
+    }
+
+    /// Fraction of time in the intra-task kernel.
+    pub fn fraction_time_intra(&self) -> f64 {
+        let s = self.kernel_seconds();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.intra.seconds / s
+        }
+    }
+}
+
+/// Predict a full search at `threshold`, given the database's sequence
+/// lengths *sorted ascending* (this is how `sw_db::Database` stores them;
+/// lengths alone suffice — the model never touches residues, which is what
+/// makes paper-scale sweeps cheap).
+#[allow(clippy::too_many_arguments)]
+pub fn predict_search_lengths(
+    spec: &DeviceSpec,
+    timing: &TimingModel,
+    sorted_lengths: &[usize],
+    query_len: usize,
+    threshold: usize,
+    intra: PredictedIntra,
+    improved: &ImprovedParams,
+    caches_off: bool,
+) -> PredictedSearch {
+    debug_assert!(
+        sorted_lengths.windows(2).all(|w| w[0] <= w[1]),
+        "lengths must be sorted ascending"
+    );
+    let split = sorted_lengths.partition_point(|&l| l < threshold);
+    let (short, long_lens) = sorted_lengths.split_at(split);
+    let group_size = (spec.intertask_group_size(256, 30, 0) as usize).max(1);
+    let mut inter = PredictedLaunch {
+        cells: 0,
+        seconds: 0.0,
+        global_transactions: 0,
+    };
+    for group in short.chunks(group_size) {
+        let p = predict_inter_group(spec, timing, group, query_len, 256);
+        inter.cells += p.cells;
+        inter.seconds += p.seconds;
+        inter.global_transactions += p.global_transactions;
+    }
+    let intra = if long_lens.is_empty() {
+        PredictedLaunch {
+            cells: 0,
+            seconds: 0.0,
+            global_transactions: 0,
+        }
+    } else {
+        match intra {
+            PredictedIntra::Original => {
+                predict_intra_orig(spec, timing, long_lens, query_len, caches_off)
+            }
+            PredictedIntra::Improved => {
+                predict_intra_improved(spec, timing, long_lens, query_len, improved, caches_off)
+            }
+        }
+    };
+    PredictedSearch { inter, intra }
+}
+
+/// Predict a full search at `threshold` (database flavour of
+/// [`predict_search_lengths`]).
+#[allow(clippy::too_many_arguments)]
+pub fn predict_search(
+    spec: &DeviceSpec,
+    timing: &TimingModel,
+    db: &Database,
+    query_len: usize,
+    threshold: usize,
+    intra: PredictedIntra,
+    improved: &ImprovedParams,
+    caches_off: bool,
+) -> PredictedSearch {
+    let lengths: Vec<usize> = db.sequences().iter().map(|s| s.len()).collect();
+    predict_search_lengths(
+        spec,
+        timing,
+        &lengths,
+        query_len,
+        threshold,
+        intra,
+        improved,
+        caches_off,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{CudaSwConfig, CudaSwDriver};
+    use gpu_sim::DeviceSpec;
+    use sw_db::synth::{database_with_lengths, make_query};
+
+    /// Relative error helper.
+    fn rel_err(a: f64, b: f64) -> f64 {
+        if b == 0.0 {
+            a.abs()
+        } else {
+            ((a - b) / b).abs()
+        }
+    }
+
+    #[test]
+    fn inter_prediction_tracks_functional() {
+        let spec = DeviceSpec::tesla_c1060();
+        let db = database_with_lengths("g", &[64, 80, 100, 128, 150, 200, 250, 300], 91);
+        let query = make_query(96, 21);
+        let mut cfg = CudaSwConfig::improved();
+        cfg.threshold = 10_000; // all inter-task
+        let mut driver = CudaSwDriver::new(spec.clone(), cfg);
+        let functional = driver.search(&query, &db).unwrap();
+        let lens: Vec<usize> = db.sequences().iter().map(|s| s.len()).collect();
+        let predicted = predict_inter_group(&spec, &driver.dev.timing, &lens, query.len(), 256);
+        assert_eq!(predicted.cells, functional.inter.cells, "cells are exact");
+        assert!(
+            rel_err(predicted.seconds, functional.inter.seconds) < 0.5,
+            "time: predicted {} vs functional {}",
+            predicted.seconds,
+            functional.inter.seconds
+        );
+    }
+
+    #[test]
+    fn intra_orig_prediction_tracks_functional() {
+        let spec = DeviceSpec::tesla_c1060();
+        let db = database_with_lengths("long", &[200, 300, 450], 93);
+        let query = make_query(120, 23);
+        let mut cfg = CudaSwConfig::original();
+        cfg.threshold = 1; // all intra-task
+        let mut driver = CudaSwDriver::new(spec.clone(), cfg);
+        let functional = driver.search(&query, &db).unwrap();
+        let lens: Vec<usize> = db.sequences().iter().map(|s| s.len()).collect();
+        let predicted = predict_intra_orig(&spec, &driver.dev.timing, &lens, query.len(), false);
+        assert_eq!(predicted.cells, functional.intra.cells);
+        assert!(
+            rel_err(predicted.seconds, functional.intra.seconds) < 0.5,
+            "time: predicted {} vs functional {}",
+            predicted.seconds,
+            functional.intra.seconds
+        );
+        assert!(
+            rel_err(
+                predicted.global_transactions as f64,
+                functional.intra.global_transactions as f64
+            ) < 0.5,
+            "transactions: predicted {} vs functional {}",
+            predicted.global_transactions,
+            functional.intra.global_transactions
+        );
+    }
+
+    #[test]
+    fn intra_improved_prediction_tracks_functional() {
+        let spec = DeviceSpec::tesla_c1060();
+        let db = database_with_lengths("long", &[200, 300, 450], 95);
+        let query = make_query(260, 25);
+        let params = ImprovedParams {
+            threads_per_block: 64,
+            tile_height: 4,
+        };
+        let mut cfg = CudaSwConfig::improved();
+        cfg.threshold = 1;
+        cfg.improved = params;
+        let mut driver = CudaSwDriver::new(spec.clone(), cfg);
+        let functional = driver.search(&query, &db).unwrap();
+        let lens: Vec<usize> = db.sequences().iter().map(|s| s.len()).collect();
+        let predicted =
+            predict_intra_improved(&spec, &driver.dev.timing, &lens, query.len(), &params, false);
+        assert_eq!(predicted.cells, functional.intra.cells);
+        assert!(
+            rel_err(predicted.seconds, functional.intra.seconds) < 0.6,
+            "time: predicted {} vs functional {}",
+            predicted.seconds,
+            functional.intra.seconds
+        );
+    }
+
+    #[test]
+    fn predicted_search_reproduces_kernel_ordering() {
+        // At paper scale the model must preserve the paper's key ordering:
+        // improved intra >> original intra; inter fastest of all.
+        let spec = DeviceSpec::tesla_c1060();
+        let tm = gpu_sim::TimingModel::default();
+        let lens = vec![4000usize; 32];
+        let m = 567;
+        let orig = predict_intra_orig(&spec, &tm, &lens, m, false);
+        let imp = predict_intra_improved(&spec, &tm, &lens, m, &ImprovedParams::default(), false);
+        assert!(
+            imp.gcups() > 4.0 * orig.gcups(),
+            "improved {:.2} vs original {:.2} GCUPs",
+            imp.gcups(),
+            orig.gcups()
+        );
+        // Inter-task runs on device-filling groups of short sequences.
+        let short_lens = vec![400usize; 15_360];
+        let inter = predict_inter_group(&spec, &tm, &short_lens, m, 256);
+        assert!(
+            inter.gcups() > orig.gcups(),
+            "inter {:.2} vs original intra {:.2} GCUPs",
+            inter.gcups(),
+            orig.gcups()
+        );
+    }
+
+    #[test]
+    fn caches_off_slows_original_more_than_improved() {
+        // Figure 6's mechanism in the model.
+        let spec = DeviceSpec::tesla_c2050();
+        let tm = gpu_sim::TimingModel::default();
+        let lens = vec![4000usize; 16];
+        let m = 576;
+        let orig_on = predict_intra_orig(&spec, &tm, &lens, m, false);
+        let orig_off = predict_intra_orig(&spec, &tm, &lens, m, true);
+        let imp_on =
+            predict_intra_improved(&spec, &tm, &lens, m, &ImprovedParams::default(), false);
+        let imp_off =
+            predict_intra_improved(&spec, &tm, &lens, m, &ImprovedParams::default(), true);
+        let orig_slowdown = orig_off.seconds / orig_on.seconds;
+        let imp_slowdown = imp_off.seconds / imp_on.seconds;
+        assert!(
+            orig_slowdown > imp_slowdown,
+            "original slowdown {orig_slowdown:.2} <= improved slowdown {imp_slowdown:.2}"
+        );
+    }
+}

@@ -1,0 +1,209 @@
+//! Multi-GPU scaling (§IV-B / §V).
+//!
+//! "While we did not run the algorithm on multiple GPU cards, we note that
+//! the kernel tasks are independent, and thus the running time will scale
+//! almost linearly with the number of GPUs available, as seen in previous
+//! studies. [...] Our improved kernel is pleasantly parallel at the scope
+//! of kernel calls, allowing CUDASW++ with our improved implementation to
+//! linearly scale with multiple GPUs as does the original CUDASW++."
+//!
+//! This module implements the standard CUDASW++ multi-GPU strategy: the
+//! length-sorted database is dealt round-robin across `k` identical
+//! devices (so every device sees the same length distribution), each
+//! device runs a full search over its shard concurrently, and the wall
+//! time is the slowest device's time.
+
+use crate::driver::{CudaSwConfig, CudaSwDriver, SearchResult};
+use gpu_sim::{DeviceSpec, GpuError};
+use sw_db::{Database, Sequence};
+
+/// Result of a search fanned out over `k` devices.
+#[derive(Debug, Clone)]
+pub struct MultiGpuResult {
+    /// Scores aligned with `db.sequences()` order (merged from all shards).
+    pub scores: Vec<i32>,
+    /// Per-device results, in device order.
+    pub per_device: Vec<SearchResult>,
+    /// Devices used.
+    pub devices: usize,
+}
+
+impl MultiGpuResult {
+    /// Total cells across all devices.
+    pub fn total_cells(&self) -> u64 {
+        self.per_device.iter().map(|r| r.total_cells()).sum()
+    }
+
+    /// Wall-clock seconds: devices run concurrently, so the slowest shard
+    /// defines the search time.
+    pub fn wall_seconds(&self) -> f64 {
+        self.per_device
+            .iter()
+            .map(|r| r.kernel_seconds())
+            .fold(0.0, f64::max)
+    }
+
+    /// Aggregate GCUPs over the wall time.
+    pub fn gcups(&self) -> f64 {
+        let s = self.wall_seconds();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.total_cells() as f64 / s / 1.0e9
+        }
+    }
+
+    /// Load balance: slowest device time / mean device time (1.0 = perfect).
+    pub fn imbalance(&self) -> f64 {
+        if self.per_device.is_empty() {
+            return 1.0;
+        }
+        let mean: f64 = self
+            .per_device
+            .iter()
+            .map(|r| r.kernel_seconds())
+            .sum::<f64>()
+            / self.per_device.len() as f64;
+        if mean <= 0.0 {
+            1.0
+        } else {
+            self.wall_seconds() / mean
+        }
+    }
+}
+
+/// Deal the sorted database round-robin into `k` shards (each shard keeps
+/// a representative length distribution, which is what makes the scaling
+/// near-linear).
+pub fn shard_database(db: &Database, k: usize) -> Vec<Database> {
+    let mut shards: Vec<Vec<Sequence>> = vec![Vec::new(); k.max(1)];
+    for (i, seq) in db.sequences().iter().enumerate() {
+        shards[i % k.max(1)].push(seq.clone());
+    }
+    shards
+        .into_iter()
+        .enumerate()
+        .map(|(i, seqs)| Database::new(format!("{}[shard {i}]", db.name), db.alphabet, seqs))
+        .collect()
+}
+
+/// Run `query` against `db` on `k` simulated devices of the same spec.
+pub fn multi_gpu_search(
+    spec: &DeviceSpec,
+    config: &CudaSwConfig,
+    query: &[u8],
+    db: &Database,
+    k: usize,
+) -> Result<MultiGpuResult, GpuError> {
+    let k = k.max(1);
+    let shards = shard_database(db, k);
+    let mut per_device = Vec::with_capacity(k);
+    let mut shard_scores = Vec::with_capacity(k);
+    for shard in &shards {
+        let mut driver = CudaSwDriver::new(spec.clone(), config.clone());
+        let r = driver.search(query, shard)?;
+        shard_scores.push(r.scores.clone());
+        per_device.push(r);
+    }
+    // Merge shard scores back into database order. Shard s received the
+    // database's sorted sequences at positions s, s+k, s+2k, ... — and a
+    // shard's own `Database` re-sorts them, but dealing a sorted list
+    // round-robin keeps each shard's order sorted too, so position j of
+    // shard s corresponds to database index s + j·k.
+    let mut scores = vec![0i32; db.len()];
+    for (s, shard) in shard_scores.iter().enumerate() {
+        for (j, &score) in shard.iter().enumerate() {
+            scores[s + j * k] = score;
+        }
+    }
+    Ok(MultiGpuResult {
+        scores,
+        per_device,
+        devices: k,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::CudaSwConfig;
+    use gpu_sim::DeviceSpec;
+    use sw_align::smith_waterman::{sw_score, SwParams};
+    use sw_db::synth::make_query;
+    use sw_db::SynthConfig;
+
+    fn db(n: usize) -> Database {
+        SynthConfig::new(
+            "mgpu",
+            n,
+            sw_db::stats::LogNormalParams::from_mean_std(150.0, 100.0),
+            17,
+        )
+        .generate()
+    }
+
+    #[test]
+    fn sharding_preserves_all_sequences() {
+        let d = db(37);
+        let shards = shard_database(&d, 4);
+        assert_eq!(shards.len(), 4);
+        let total: usize = shards.iter().map(|s| s.len()).sum();
+        assert_eq!(total, 37);
+        // Round-robin over a sorted list keeps shards sorted.
+        for s in &shards {
+            assert!(s.sequences().windows(2).all(|w| w[0].len() <= w[1].len()));
+        }
+    }
+
+    #[test]
+    fn multi_gpu_scores_match_scalar() {
+        let d = db(41);
+        let query = make_query(72, 3);
+        let params = SwParams::cudasw_default();
+        let mut cfg = CudaSwConfig::improved();
+        cfg.threshold = 200;
+        let r = multi_gpu_search(&DeviceSpec::tesla_c1060(), &cfg, &query, &d, 3).unwrap();
+        for (i, seq) in d.sequences().iter().enumerate() {
+            assert_eq!(
+                r.scores[i],
+                sw_score(&params, &query, &seq.residues),
+                "seq {i}"
+            );
+        }
+        assert_eq!(r.devices, 3);
+        assert_eq!(r.total_cells(), d.total_cells(72));
+    }
+
+    #[test]
+    fn two_gpus_are_nearly_twice_as_fast() {
+        // §IV-B: "CUDASW++ will likewise see a twofold increase if two GPUs
+        // are used." (Near-linear because the shards are balanced.)
+        // Enough work that the fixed launch overhead is negligible.
+        let d = db(1200);
+        let query = make_query(144, 5);
+        let cfg = CudaSwConfig::improved();
+        let spec = DeviceSpec::tesla_c1060();
+        let one = multi_gpu_search(&spec, &cfg, &query, &d, 1).unwrap();
+        let two = multi_gpu_search(&spec, &cfg, &query, &d, 2).unwrap();
+        assert_eq!(one.scores, two.scores);
+        let speedup = one.wall_seconds() / two.wall_seconds();
+        assert!(
+            (1.6..=2.2).contains(&speedup),
+            "2-GPU speedup = {speedup:.2}"
+        );
+        assert!(two.imbalance() < 1.2, "imbalance {:.2}", two.imbalance());
+    }
+
+    #[test]
+    fn k_larger_than_database_degenerates_gracefully() {
+        let d = db(3);
+        let query = make_query(24, 7);
+        let cfg = CudaSwConfig::improved();
+        let r = multi_gpu_search(&DeviceSpec::tesla_c2050(), &cfg, &query, &d, 8).unwrap();
+        assert_eq!(r.scores.len(), 3);
+        let params = SwParams::cudasw_default();
+        for (i, seq) in d.sequences().iter().enumerate() {
+            assert_eq!(r.scores[i], sw_score(&params, &query, &seq.residues));
+        }
+    }
+}

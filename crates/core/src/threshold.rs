@@ -1,0 +1,184 @@
+//! Automatic threshold selection (§VI).
+//!
+//! "It is possible to characterize the relative performance of the
+//! inter-task and intra-task kernels based on the mean and maximum lengths
+//! of a given group of sequences. In this way, during the database
+//! preprocessing step, we can find the transition point where the
+//! intra-task kernel will outperform the inter-task kernel to determine
+//! the optimal threshold value."
+//!
+//! The tuner scans candidate thresholds (the observed sequence lengths)
+//! and picks the one whose *predicted* whole-search time is smallest,
+//! using the analytic models of [`crate::model`].
+
+use crate::intra_improved::ImprovedParams;
+use crate::model::{predict_search, PredictedIntra};
+use gpu_sim::{DeviceSpec, TimingModel};
+use sw_db::Database;
+
+/// Result of a threshold scan.
+#[derive(Debug, Clone)]
+pub struct ThresholdScan {
+    /// The winning threshold.
+    pub best_threshold: usize,
+    /// Predicted GCUPs at the winning threshold.
+    pub best_gcups: f64,
+    /// Every candidate evaluated, as `(threshold, predicted GCUPs)`.
+    pub candidates: Vec<(usize, f64)>,
+}
+
+/// Find the predicted-optimal threshold for `db`/`query_len` on `spec`.
+///
+/// `max_candidates` bounds the scan (candidates are spread uniformly over
+/// the distinct sequence lengths, always including the paper default 3072
+/// and the "everything inter-task" extreme).
+pub fn auto_threshold(
+    spec: &DeviceSpec,
+    timing: &TimingModel,
+    db: &Database,
+    query_len: usize,
+    intra: PredictedIntra,
+    improved: &ImprovedParams,
+    max_candidates: usize,
+) -> ThresholdScan {
+    let mut lengths: Vec<usize> = db.sequences().iter().map(|s| s.len()).collect();
+    lengths.dedup();
+    let max_len = lengths.last().copied().unwrap_or(0);
+    let mut candidates: Vec<usize> = Vec::new();
+    if !lengths.is_empty() {
+        let step = (lengths.len() / max_candidates.max(1)).max(1);
+        candidates.extend(lengths.iter().step_by(step).copied());
+    }
+    candidates.push(crate::DEFAULT_THRESHOLD);
+    candidates.push(max_len + 1); // everything inter-task
+    candidates.sort_unstable();
+    candidates.dedup();
+
+    let mut scan = ThresholdScan {
+        best_threshold: crate::DEFAULT_THRESHOLD,
+        best_gcups: 0.0,
+        candidates: Vec::with_capacity(candidates.len()),
+    };
+    for &t in &candidates {
+        let predicted = predict_search(spec, timing, db, query_len, t, intra, improved, false);
+        let gcups = predicted.gcups();
+        scan.candidates.push((t, gcups));
+        if gcups > scan.best_gcups {
+            scan.best_gcups = gcups;
+            scan.best_threshold = t;
+        }
+    }
+    scan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceSpec;
+    use sw_db::stats::LogNormalParams;
+    use sw_db::SynthConfig;
+
+    fn swissprot_like(n: usize) -> Database {
+        SynthConfig::new(
+            "sp",
+            n,
+            LogNormalParams::from_tail_and_mean(3072.0, 0.0012, 360.0),
+            7,
+        )
+        .generate()
+    }
+
+    #[test]
+    fn scan_covers_default_and_extreme() {
+        let db = swissprot_like(2000);
+        let spec = DeviceSpec::tesla_c1060();
+        let tm = TimingModel::default();
+        let scan = auto_threshold(
+            &spec,
+            &tm,
+            &db,
+            567,
+            PredictedIntra::Improved,
+            &ImprovedParams::default(),
+            16,
+        );
+        assert!(scan
+            .candidates
+            .iter()
+            .any(|&(t, _)| t == crate::DEFAULT_THRESHOLD));
+        assert!(scan.best_gcups > 0.0);
+        assert!(!scan.candidates.is_empty());
+    }
+
+    #[test]
+    fn best_candidate_is_argmax() {
+        let db = swissprot_like(1000);
+        let spec = DeviceSpec::tesla_c2050();
+        let tm = TimingModel::default();
+        let scan = auto_threshold(
+            &spec,
+            &tm,
+            &db,
+            576,
+            PredictedIntra::Improved,
+            &ImprovedParams::default(),
+            12,
+        );
+        let max = scan
+            .candidates
+            .iter()
+            .map(|&(_, g)| g)
+            .fold(0.0f64, f64::max);
+        assert!((scan.best_gcups - max).abs() < 1e-12);
+    }
+
+    #[test]
+    fn improved_kernel_prefers_lower_threshold_than_original() {
+        // §VI: with the improved kernel the tradeoff point moves, so the
+        // optimal threshold is no higher than the original kernel's.
+        let db = swissprot_like(3000);
+        let spec = DeviceSpec::tesla_c2050();
+        let tm = TimingModel::default();
+        let imp = auto_threshold(
+            &spec,
+            &tm,
+            &db,
+            576,
+            PredictedIntra::Improved,
+            &ImprovedParams::default(),
+            24,
+        );
+        let orig = auto_threshold(
+            &spec,
+            &tm,
+            &db,
+            576,
+            PredictedIntra::Original,
+            &ImprovedParams::default(),
+            24,
+        );
+        assert!(
+            imp.best_threshold <= orig.best_threshold,
+            "improved prefers {} > original {}",
+            imp.best_threshold,
+            orig.best_threshold
+        );
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = Database::new("empty", sw_align::Alphabet::Protein, vec![]);
+        let spec = DeviceSpec::tesla_c1060();
+        let tm = TimingModel::default();
+        let scan = auto_threshold(
+            &spec,
+            &tm,
+            &db,
+            100,
+            PredictedIntra::Improved,
+            &ImprovedParams::default(),
+            4,
+        );
+        assert_eq!(scan.best_gcups, 0.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Synthetic stand-ins for the paper's benchmark databases.
+//!
+//! Table II evaluates six protein databases; the paper reports, for each,
+//! the percentage of sequences above the default threshold of 3072. We
+//! cannot ship the databases themselves, so each preset generates a
+//! log-normal database whose tail matches that reported percentage (and a
+//! plausible protein mean length), scaled down in sequence *count* so the
+//! functional simulator can execute every cell. See DESIGN.md §2 and §5.
+//!
+//! | database                    | % over 3072 (paper) |
+//! |-----------------------------|---------------------|
+//! | Ensembl Dog Proteins        | 0.53%               |
+//! | Ensembl Rat Proteins        | 0.35%               |
+//! | NCBI RefSeq Human Proteins  | 0.56%               |
+//! | NCBI RefSeq Mouse Proteins  | 0.54%               |
+//! | TAIR Arabidopsis Proteins   | 0.06%               |
+//! | UniProtKB/Swiss-Prot        | 0.12%               |
+
+use crate::database::Database;
+use crate::stats::LogNormalParams;
+use crate::synth::SynthConfig;
+
+/// The default CUDASW++ inter/intra threshold.
+pub const DEFAULT_THRESHOLD: usize = 3072;
+
+/// Identifier for each paper database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PaperDb {
+    /// Ensembl Dog Proteins (.53% over threshold).
+    EnsemblDog,
+    /// Ensembl Rat Proteins (.35%).
+    EnsemblRat,
+    /// NCBI RefSeq Human Proteins (.56%).
+    RefSeqHuman,
+    /// NCBI RefSeq Mouse Proteins (.54%).
+    RefSeqMouse,
+    /// TAIR Arabidopsis Proteins (.06%).
+    Tair,
+    /// UniProtKB/Swiss-Prot (.12%).
+    Swissprot,
+}
+
+impl PaperDb {
+    /// All six, in Table II's row order.
+    pub fn all() -> [PaperDb; 6] {
+        [
+            PaperDb::EnsemblDog,
+            PaperDb::EnsemblRat,
+            PaperDb::RefSeqHuman,
+            PaperDb::RefSeqMouse,
+            PaperDb::Tair,
+            PaperDb::Swissprot,
+        ]
+    }
+
+    /// Display name matching Table II.
+    pub fn name(self) -> &'static str {
+        match self {
+            PaperDb::EnsemblDog => "Ensembl Dog Proteins",
+            PaperDb::EnsemblRat => "Ensembl Rat Proteins",
+            PaperDb::RefSeqHuman => "NCBI RefSeq Human Proteins",
+            PaperDb::RefSeqMouse => "NCBI RefSeq Mouse Proteins",
+            PaperDb::Tair => "TAIR Arabidopsis Proteins",
+            PaperDb::Swissprot => "UniProtKB/Swiss-Prot",
+        }
+    }
+
+    /// The fraction of sequences over the 3072 threshold the paper reports.
+    pub fn paper_fraction_over_threshold(self) -> f64 {
+        match self {
+            PaperDb::EnsemblDog => 0.0053,
+            PaperDb::EnsemblRat => 0.0035,
+            PaperDb::RefSeqHuman => 0.0056,
+            PaperDb::RefSeqMouse => 0.0054,
+            PaperDb::Tair => 0.0006,
+            PaperDb::Swissprot => 0.0012,
+        }
+    }
+
+    /// Mean protein length used for the synthetic fit (typical for these
+    /// collections; the tail fraction, not the mean, is what the paper's
+    /// analysis keys on).
+    pub fn assumed_mean_length(self) -> f64 {
+        match self {
+            PaperDb::EnsemblDog => 470.0,
+            PaperDb::EnsemblRat => 440.0,
+            PaperDb::RefSeqHuman => 480.0,
+            PaperDb::RefSeqMouse => 460.0,
+            PaperDb::Tair => 410.0,
+            PaperDb::Swissprot => 360.0,
+        }
+    }
+
+    /// Realistic sequence count of the real database (used by the
+    /// paper-scale analytic experiments; functional runs scale this down).
+    pub fn realistic_seq_count(self) -> usize {
+        match self {
+            PaperDb::EnsemblDog => 25_000,
+            PaperDb::EnsemblRat => 29_000,
+            PaperDb::RefSeqHuman => 37_000,
+            PaperDb::RefSeqMouse => 30_000,
+            PaperDb::Tair => 35_000,
+            PaperDb::Swissprot => 500_000,
+        }
+    }
+
+    /// Log-normal parameters implied by the tail/mean pair.
+    pub fn lognormal(self) -> LogNormalParams {
+        LogNormalParams::from_tail_and_mean(
+            DEFAULT_THRESHOLD as f64,
+            self.paper_fraction_over_threshold(),
+            self.assumed_mean_length(),
+        )
+    }
+
+    /// Generate the scaled synthetic database. `num_seqs` trades fidelity
+    /// against simulation time; the experiments document their choice.
+    pub fn generate(self, num_seqs: usize, seed: u64) -> Database {
+        SynthConfig::new(
+            format!("{} (synthetic)", self.name()),
+            num_seqs,
+            self.lognormal(),
+            seed ^ self.seed_salt(),
+        )
+        .generate()
+    }
+
+    fn seed_salt(self) -> u64 {
+        match self {
+            PaperDb::EnsemblDog => 0xD06,
+            PaperDb::EnsemblRat => 0x7A7,
+            PaperDb::RefSeqHuman => 0x40AA,
+            PaperDb::RefSeqMouse => 0x40BB,
+            PaperDb::Tair => 0x7A17,
+            PaperDb::Swissprot => 0x5157,
+        }
+    }
+}
+
+/// The query lengths of the paper's evaluation (Figure 7 / Table II, from
+/// the original CUDASW++ study; "ranges from 144 to 5478 residues").
+pub fn paper_query_lengths() -> [usize; 15] {
+    [
+        144, 189, 246, 375, 464, 567, 657, 729, 850, 1000, 1500, 2005, 3005, 4061, 5478,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_generate() {
+        for db in PaperDb::all() {
+            let d = db.generate(200, 1);
+            assert_eq!(d.len(), 200);
+            assert!(d.total_residues() > 0);
+        }
+    }
+
+    #[test]
+    fn tail_fractions_match_paper_targets() {
+        // With enough sequences, the realized fraction over 3072 should be
+        // near the paper's reported percentage.
+        for db in [PaperDb::Swissprot, PaperDb::EnsemblDog, PaperDb::RefSeqHuman] {
+            let target = db.paper_fraction_over_threshold();
+            let d = db.generate(40_000, 9);
+            let got = d.partition(DEFAULT_THRESHOLD).fraction_long();
+            assert!(
+                (got - target).abs() < target * 0.5 + 2e-4,
+                "{}: target {target}, got {got}",
+                db.name()
+            );
+        }
+    }
+
+    #[test]
+    fn mean_lengths_are_plausible() {
+        let d = PaperDb::Swissprot.generate(30_000, 2);
+        let mean = d.length_stats().mean;
+        assert!((mean - 360.0).abs() < 25.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn tair_has_thinnest_tail() {
+        let fracs: Vec<f64> = PaperDb::all()
+            .iter()
+            .map(|d| d.paper_fraction_over_threshold())
+            .collect();
+        let tair = PaperDb::Tair.paper_fraction_over_threshold();
+        assert!(fracs.iter().all(|&f| f >= tair));
+    }
+
+    #[test]
+    fn query_lengths_span_paper_range() {
+        let q = paper_query_lengths();
+        assert_eq!(q[0], 144);
+        assert_eq!(*q.last().unwrap(), 5478);
+        assert!(q.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn presets_are_deterministic_and_distinct() {
+        let a = PaperDb::Swissprot.generate(50, 1);
+        let b = PaperDb::Swissprot.generate(50, 1);
+        assert_eq!(a.sequences(), b.sequences());
+        let c = PaperDb::Tair.generate(50, 1);
+        assert_ne!(a.sequences(), c.sequences());
+    }
+}

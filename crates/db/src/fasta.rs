@@ -1,0 +1,246 @@
+//! FASTA parsing and writing.
+//!
+//! The real CUDASW++ consumes FASTA protein databases (Swissprot etc.).
+//! This module provides a strict, streaming parser over any `BufRead`
+//! plus a writer, so users can run the reproduction against their own
+//! FASTA files.
+
+use crate::database::{Database, Sequence};
+use std::fmt;
+use std::io::{self, BufRead, Write};
+use sw_align::Alphabet;
+
+/// FASTA-level errors.
+#[derive(Debug)]
+pub enum FastaError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Residue characters outside the alphabet.
+    BadResidue {
+        /// 1-based line number.
+        line: usize,
+        /// Offending character.
+        ch: char,
+    },
+    /// Sequence data before any `>` header.
+    MissingHeader {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A header with no sequence lines following it.
+    EmptyRecord {
+        /// The record's id.
+        id: String,
+    },
+}
+
+impl fmt::Display for FastaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FastaError::Io(e) => write!(f, "I/O error: {e}"),
+            FastaError::BadResidue { line, ch } => {
+                write!(f, "invalid residue {ch:?} on line {line}")
+            }
+            FastaError::MissingHeader { line } => {
+                write!(f, "sequence data before any '>' header on line {line}")
+            }
+            FastaError::EmptyRecord { id } => write!(f, "record {id:?} has no residues"),
+        }
+    }
+}
+
+impl std::error::Error for FastaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FastaError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FastaError {
+    fn from(e: io::Error) -> Self {
+        FastaError::Io(e)
+    }
+}
+
+/// Parse a FASTA stream into sequences encoded over `alphabet`.
+pub fn parse_fasta(
+    reader: impl BufRead,
+    alphabet: Alphabet,
+) -> Result<Vec<Sequence>, FastaError> {
+    let mut sequences = Vec::new();
+    let mut current: Option<Sequence> = None;
+    for (line_no, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_no = line_no + 1;
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(header) = trimmed.strip_prefix('>') {
+            if let Some(done) = current.take() {
+                if done.is_empty() {
+                    return Err(FastaError::EmptyRecord { id: done.id });
+                }
+                sequences.push(done);
+            }
+            let mut parts = header.splitn(2, char::is_whitespace);
+            let id = parts.next().unwrap_or("").to_string();
+            let description = parts.next().unwrap_or("").trim().to_string();
+            current = Some(Sequence {
+                id,
+                description,
+                residues: Vec::new(),
+            });
+        } else {
+            let seq = current
+                .as_mut()
+                .ok_or(FastaError::MissingHeader { line: line_no })?;
+            for ch in trimmed.chars() {
+                if ch.is_ascii_whitespace() {
+                    continue;
+                }
+                match alphabet.encode_char(ch) {
+                    Some(code) => seq.residues.push(code),
+                    None => return Err(FastaError::BadResidue { line: line_no, ch }),
+                }
+            }
+        }
+    }
+    if let Some(done) = current.take() {
+        if done.is_empty() {
+            return Err(FastaError::EmptyRecord { id: done.id });
+        }
+        sequences.push(done);
+    }
+    Ok(sequences)
+}
+
+/// Parse a FASTA string into a [`Database`].
+pub fn database_from_fasta_str(
+    name: impl Into<String>,
+    text: &str,
+    alphabet: Alphabet,
+) -> Result<Database, FastaError> {
+    let sequences = parse_fasta(text.as_bytes(), alphabet)?;
+    Ok(Database::new(name, alphabet, sequences))
+}
+
+/// Write sequences in FASTA format (60 columns per line).
+pub fn write_fasta(
+    mut writer: impl Write,
+    sequences: &[Sequence],
+    alphabet: Alphabet,
+) -> io::Result<()> {
+    for seq in sequences {
+        if seq.description.is_empty() {
+            writeln!(writer, ">{}", seq.id)?;
+        } else {
+            writeln!(writer, ">{} {}", seq.id, seq.description)?;
+        }
+        for chunk in seq.residues.chunks(60) {
+            let line: String = chunk.iter().map(|&c| alphabet.decode_code(c)).collect();
+            writeln!(writer, "{line}")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+>sp|P1|FIRST first protein
+MKVLAW
+GGSC
+>sp|P2|SECOND
+WWWW
+";
+
+    #[test]
+    fn parses_two_records() {
+        let seqs = parse_fasta(SAMPLE.as_bytes(), Alphabet::Protein).unwrap();
+        assert_eq!(seqs.len(), 2);
+        assert_eq!(seqs[0].id, "sp|P1|FIRST");
+        assert_eq!(seqs[0].description, "first protein");
+        assert_eq!(seqs[0].len(), 10);
+        assert_eq!(seqs[1].id, "sp|P2|SECOND");
+        assert_eq!(seqs[1].description, "");
+        assert_eq!(seqs[1].len(), 4);
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let seqs = parse_fasta(SAMPLE.as_bytes(), Alphabet::Protein).unwrap();
+        let mut out = Vec::new();
+        write_fasta(&mut out, &seqs, Alphabet::Protein).unwrap();
+        let reparsed = parse_fasta(out.as_slice(), Alphabet::Protein).unwrap();
+        assert_eq!(seqs, reparsed);
+    }
+
+    #[test]
+    fn long_sequence_wraps_at_60() {
+        let seq = Sequence::new("long", vec![0u8; 150]);
+        let mut out = Vec::new();
+        write_fasta(&mut out, &[seq], Alphabet::Protein).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4); // header + 60 + 60 + 30
+        assert_eq!(lines[1].len(), 60);
+        assert_eq!(lines[3].len(), 30);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        let err = parse_fasta("MKVLAW\n".as_bytes(), Alphabet::Protein).unwrap_err();
+        assert!(matches!(err, FastaError::MissingHeader { line: 1 }));
+    }
+
+    #[test]
+    fn bad_residue_rejected_with_line() {
+        let text = ">x\nMKO\n";
+        let err = parse_fasta(text.as_bytes(), Alphabet::Protein).unwrap_err();
+        match err {
+            FastaError::BadResidue { line, ch } => {
+                assert_eq!(line, 2);
+                assert_eq!(ch, 'O');
+            }
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn empty_record_rejected() {
+        let text = ">x\n>y\nMK\n";
+        let err = parse_fasta(text.as_bytes(), Alphabet::Protein).unwrap_err();
+        assert!(matches!(err, FastaError::EmptyRecord { .. }));
+        let text2 = ">only\n";
+        assert!(matches!(
+            parse_fasta(text2.as_bytes(), Alphabet::Protein),
+            Err(FastaError::EmptyRecord { .. })
+        ));
+    }
+
+    #[test]
+    fn blank_lines_and_case_tolerated() {
+        let text = ">x\n\nmkv\n  \nLAW\n";
+        let seqs = parse_fasta(text.as_bytes(), Alphabet::Protein).unwrap();
+        assert_eq!(seqs[0].len(), 6);
+    }
+
+    #[test]
+    fn database_from_str_sorts() {
+        let db = database_from_fasta_str("sample", SAMPLE, Alphabet::Protein).unwrap();
+        assert_eq!(db.len(), 2);
+        assert!(db.sequences()[0].len() <= db.sequences()[1].len());
+    }
+
+    #[test]
+    fn dna_alphabet_supported() {
+        let text = ">d\nACGTN\n";
+        let seqs = parse_fasta(text.as_bytes(), Alphabet::Dna).unwrap();
+        assert_eq!(seqs[0].residues, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,24 @@
+//! Sequence-database substrate for the CUDASW++ reproduction.
+//!
+//! * [`fasta`] — FASTA parsing and writing;
+//! * [`database`] — the database container, length-sorting, the
+//!   threshold split between inter-task and intra-task work, and the
+//!   group partitioning the inter-task kernel consumes;
+//! * [`stats`] — length statistics and log-normal fitting (the paper
+//!   characterizes protein databases by their ~log-normal length
+//!   distribution);
+//! * [`synth`] — seeded synthetic database generation;
+//! * [`catalog`] — synthetic stand-ins for the six databases of Table II,
+//!   parameterized to match each database's reported fraction of
+//!   sequences over the default threshold (see DESIGN.md §2 for the
+//!   substitution rationale).
+
+pub mod catalog;
+pub mod database;
+pub mod fasta;
+pub mod stats;
+pub mod synth;
+
+pub use database::{Database, Partition, Sequence};
+pub use stats::LengthStats;
+pub use synth::SynthConfig;

@@ -1,0 +1,289 @@
+//! Length statistics and log-normal fitting.
+//!
+//! "The distribution of sequence lengths in a typical protein database,
+//! such as Swissprot, resembles a log-normal distribution" (§II-C). The
+//! experiments parameterize databases by mean/σ of lengths and by the
+//! fraction of sequences over the kernel threshold, so this module
+//! provides both directions: measure statistics from data, and derive
+//! log-normal `(μ, σ)` parameters from target statistics.
+
+/// Summary statistics of a length distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LengthStats {
+    /// Number of sequences.
+    pub count: usize,
+    /// Mean length.
+    pub mean: f64,
+    /// Population standard deviation of lengths.
+    pub std_dev: f64,
+    /// Shortest sequence.
+    pub min: usize,
+    /// Longest sequence.
+    pub max: usize,
+}
+
+impl LengthStats {
+    /// Compute statistics from an iterator of lengths.
+    pub fn from_lengths(lengths: impl IntoIterator<Item = usize>) -> Self {
+        let mut count = 0usize;
+        let mut sum = 0f64;
+        let mut sum_sq = 0f64;
+        let mut min = usize::MAX;
+        let mut max = 0usize;
+        for len in lengths {
+            count += 1;
+            sum += len as f64;
+            sum_sq += (len as f64) * (len as f64);
+            min = min.min(len);
+            max = max.max(len);
+        }
+        if count == 0 {
+            return Self {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0,
+                max: 0,
+            };
+        }
+        let mean = sum / count as f64;
+        let var = (sum_sq / count as f64 - mean * mean).max(0.0);
+        Self {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
+    }
+}
+
+/// Parameters of a log-normal distribution (of the underlying normal).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormalParams {
+    /// Mean of `ln X`.
+    pub mu: f64,
+    /// Standard deviation of `ln X`.
+    pub sigma: f64,
+}
+
+impl LogNormalParams {
+    /// Parameters whose log-normal has the given mean and standard
+    /// deviation of `X` itself.
+    pub fn from_mean_std(mean: f64, std_dev: f64) -> Self {
+        assert!(mean > 0.0, "mean must be positive");
+        let cv2 = (std_dev / mean).powi(2);
+        let sigma2 = (1.0 + cv2).ln();
+        Self {
+            mu: mean.ln() - sigma2 / 2.0,
+            sigma: sigma2.sqrt(),
+        }
+    }
+
+    /// Parameters with a fixed median (`exp(μ)`) whose log-normal reaches a
+    /// target standard deviation — the construction behind Figure 2, where
+    /// σ of lengths is swept while the median stays put (the paper: "we set
+    /// the standard deviation between 100 and 4000; because we used a
+    /// log-normal distribution the mean varies from 1000 to 2000").
+    pub fn from_median_and_std(median: f64, std_dev: f64) -> Self {
+        assert!(median > 0.0 && std_dev > 0.0);
+        // std² = e^{2μ}·s·(s−1) with s = e^{σ²} and μ = ln median.
+        let e2mu = median * median;
+        let s = (1.0 + (1.0 + 4.0 * std_dev * std_dev / e2mu).sqrt()) / 2.0;
+        Self {
+            mu: median.ln(),
+            sigma: s.ln().sqrt(),
+        }
+    }
+
+    /// Parameters that put `fraction_over` of the mass above `threshold`
+    /// while keeping mean length `mean` — the construction behind the
+    /// Table II database presets (each paper database is characterized by
+    /// its %-over-threshold and a typical protein mean length).
+    ///
+    /// Solves `P(X > t) = fraction` ⟺ `μ = ln t − σ·z` together with
+    /// `mean = exp(μ + σ²/2)` for σ (quadratic), taking the smaller root
+    /// (realistic protein σ).
+    pub fn from_tail_and_mean(threshold: f64, fraction_over: f64, mean: f64) -> Self {
+        assert!(threshold > 0.0 && mean > 0.0);
+        assert!(
+            (0.0..0.5).contains(&fraction_over) && fraction_over > 0.0,
+            "fraction must be in (0, 0.5)"
+        );
+        let z = inverse_normal_cdf(1.0 - fraction_over);
+        // σ²/2 − zσ + (ln t − ln mean) = 0
+        let c = threshold.ln() - mean.ln();
+        let disc = z * z - 2.0 * c;
+        assert!(
+            disc >= 0.0,
+            "no log-normal satisfies threshold={threshold}, fraction={fraction_over}, mean={mean}"
+        );
+        let sigma = z - disc.sqrt();
+        assert!(sigma > 0.0, "degenerate sigma");
+        Self {
+            mu: threshold.ln() - sigma * z,
+            sigma,
+        }
+    }
+
+    /// Mean of the log-normal itself.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+
+    /// Standard deviation of the log-normal itself.
+    pub fn std_dev(&self) -> f64 {
+        let s2 = self.sigma * self.sigma;
+        (self.mean() * self.mean() * (s2.exp() - 1.0)).sqrt()
+    }
+
+    /// Median (`exp(μ)`).
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    /// `P(X > t)`.
+    pub fn fraction_over(&self, threshold: f64) -> f64 {
+        1.0 - normal_cdf((threshold.ln() - self.mu) / self.sigma)
+    }
+}
+
+/// Standard normal CDF via `erf` (Abramowitz & Stegun 7.1.26, |err| < 1.5e-7).
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Inverse standard normal CDF (Acklam's rational approximation,
+/// |relative err| < 1.15e-9).
+pub fn inverse_normal_cdf(p: f64) -> f64 {
+    assert!((0.0..1.0).contains(&p) && p > 0.0, "p must be in (0,1)");
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    let p_low = 0.02425;
+    if p < p_low {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - p_low {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_from_lengths() {
+        let s = LengthStats::from_lengths([2usize, 4, 4, 4, 5, 5, 7, 9]);
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 9);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = LengthStats::from_lengths(std::iter::empty());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn normal_cdf_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn inverse_cdf_inverts_cdf() {
+        for &p in &[0.001, 0.01, 0.1, 0.5, 0.9, 0.99, 0.999] {
+            let z = inverse_normal_cdf(p);
+            assert!((normal_cdf(z) - p).abs() < 1e-6, "p={p}");
+        }
+    }
+
+    #[test]
+    fn lognormal_from_mean_std_roundtrip() {
+        let p = LogNormalParams::from_mean_std(360.0, 300.0);
+        assert!((p.mean() - 360.0).abs() < 1e-6);
+        assert!((p.std_dev() - 300.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lognormal_from_median_and_std() {
+        let p = LogNormalParams::from_median_and_std(1000.0, 2000.0);
+        assert!((p.median() - 1000.0).abs() < 1e-6);
+        assert!((p.std_dev() - 2000.0).abs() < 1e-3);
+        // Mean exceeds median for a log-normal.
+        assert!(p.mean() > 1000.0);
+    }
+
+    #[test]
+    fn lognormal_from_tail_and_mean() {
+        // Swissprot-like: 0.12% over 3072, mean 360.
+        let p = LogNormalParams::from_tail_and_mean(3072.0, 0.0012, 360.0);
+        assert!((p.mean() - 360.0).abs() < 1e-6);
+        assert!(
+            (p.fraction_over(3072.0) - 0.0012).abs() < 1e-5,
+            "tail = {}",
+            p.fraction_over(3072.0)
+        );
+        assert!(p.sigma > 0.3 && p.sigma < 1.5, "sigma = {}", p.sigma);
+    }
+
+    #[test]
+    fn fig2_sweep_means_stay_in_paper_band() {
+        // §II-C: σ from 100 to 4000 with median 1000 keeps mean in [1000, 2000+].
+        let lo = LogNormalParams::from_median_and_std(1000.0, 100.0);
+        let hi = LogNormalParams::from_median_and_std(1000.0, 4000.0);
+        assert!(lo.mean() >= 1000.0 && lo.mean() < 1100.0);
+        assert!(hi.mean() > 1500.0 && hi.mean() < 3500.0, "mean = {}", hi.mean());
+    }
+}

@@ -1,0 +1,239 @@
+//! Seeded synthetic database generation.
+//!
+//! Residues are drawn from the Robinson–Robinson background amino-acid
+//! frequencies; lengths are drawn from a log-normal distribution (the
+//! paper's own model for protein databases). Everything is seeded, so a
+//! given configuration always produces the same database.
+
+use crate::database::{Database, Sequence};
+use crate::stats::LogNormalParams;
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::LogNormal;
+use sw_align::alphabet::AMINO_ACID_FREQUENCIES;
+use sw_align::Alphabet;
+
+/// Configuration for a synthetic database.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Database name.
+    pub name: String,
+    /// Number of sequences.
+    pub num_seqs: usize,
+    /// Log-normal length parameters.
+    pub lengths: LogNormalParams,
+    /// Shortest admissible length (paper query range starts ~144; database
+    /// floors around 10–30 residues in practice).
+    pub min_len: usize,
+    /// Longest admissible length (Swissprot tops out near 36,000 — the
+    /// value the paper raises the threshold to in §II-C).
+    pub max_len: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SynthConfig {
+    /// A config with workspace defaults for length bounds.
+    pub fn new(name: impl Into<String>, num_seqs: usize, lengths: LogNormalParams, seed: u64) -> Self {
+        Self {
+            name: name.into(),
+            num_seqs,
+            lengths,
+            min_len: 20,
+            max_len: 36_000,
+            seed,
+        }
+    }
+
+    /// Generate the database.
+    pub fn generate(&self) -> Database {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let len_dist = LogNormal::new(self.lengths.mu, self.lengths.sigma)
+            .expect("sigma validated by LogNormalParams");
+        let residue_dist = WeightedIndex::new(AMINO_ACID_FREQUENCIES)
+            .expect("frequencies are positive for standard residues");
+        let mut sequences = Vec::with_capacity(self.num_seqs);
+        for i in 0..self.num_seqs {
+            let len = (len_dist.sample(&mut rng).round() as usize)
+                .clamp(self.min_len, self.max_len);
+            let residues: Vec<u8> = (0..len)
+                .map(|_| residue_dist.sample(&mut rng) as u8)
+                .collect();
+            sequences.push(Sequence::new(format!("synth|{}|{i}", self.name), residues));
+        }
+        Database::new(self.name.clone(), Alphabet::Protein, sequences)
+    }
+}
+
+/// Sample `n` sequence *lengths* from a log-normal distribution, sorted
+/// ascending — the cheap input format of the analytic performance models,
+/// which lets experiments run at full paper scale (Swissprot has ~500k
+/// sequences) without materializing residues.
+pub fn sample_lengths(
+    n: usize,
+    params: LogNormalParams,
+    min_len: usize,
+    max_len: usize,
+    seed: u64,
+) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4C454E); // "LEN"
+    let dist = LogNormal::new(params.mu, params.sigma).expect("validated sigma");
+    let mut lengths: Vec<usize> = (0..n)
+        .map(|_| (dist.sample(&mut rng).round() as usize).clamp(min_len, max_len))
+        .collect();
+    lengths.sort_unstable();
+    lengths
+}
+
+/// Generate a random query of exactly `len` residues (realistic
+/// composition, seeded).
+pub fn make_query(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x51_5545_5259); // "QUERY"
+    let residue_dist =
+        WeightedIndex::new(AMINO_ACID_FREQUENCIES).expect("frequencies are positive");
+    (0..len).map(|_| residue_dist.sample(&mut rng) as u8).collect()
+}
+
+/// A database where every sequence has exactly the lengths given —
+/// useful for tests that need precise control.
+pub fn database_with_lengths(name: &str, lengths: &[usize], seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let residue_dist =
+        WeightedIndex::new(AMINO_ACID_FREQUENCIES).expect("frequencies are positive");
+    let sequences = lengths
+        .iter()
+        .enumerate()
+        .map(|(i, &len)| {
+            let residues: Vec<u8> = (0..len)
+                .map(|_| residue_dist.sample(&mut rng) as u8)
+                .collect();
+            Sequence::new(format!("fixed|{name}|{i}"), residues)
+        })
+        .collect();
+    Database::new(name, Alphabet::Protein, sequences)
+}
+
+/// Convenience: `n` sequences uniformly random in `[lo, hi]` lengths.
+pub fn uniform_database(name: &str, n: usize, lo: usize, hi: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let lengths: Vec<usize> = (0..n).map(|_| rng.gen_range(lo..=hi)).collect();
+    database_with_lengths(name, &lengths, seed.wrapping_add(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = SynthConfig::new(
+            "det",
+            50,
+            LogNormalParams::from_mean_std(300.0, 200.0),
+            42,
+        );
+        let a = cfg.generate();
+        let b = cfg.generate();
+        assert_eq!(a.sequences(), b.sequences());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mk = |seed| {
+            SynthConfig::new("s", 20, LogNormalParams::from_mean_std(300.0, 200.0), seed)
+                .generate()
+        };
+        assert_ne!(mk(1).sequences(), mk(2).sequences());
+    }
+
+    #[test]
+    fn lengths_match_target_distribution() {
+        let target = LogNormalParams::from_mean_std(360.0, 300.0);
+        let cfg = SynthConfig::new("dist", 20_000, target, 7);
+        let db = cfg.generate();
+        let stats = db.length_stats();
+        assert!(
+            (stats.mean - 360.0).abs() < 20.0,
+            "mean = {}",
+            stats.mean
+        );
+        assert!(
+            (stats.std_dev - 300.0).abs() < 40.0,
+            "std = {}",
+            stats.std_dev
+        );
+    }
+
+    #[test]
+    fn length_bounds_respected() {
+        let mut cfg = SynthConfig::new(
+            "bounds",
+            500,
+            LogNormalParams::from_mean_std(100.0, 400.0),
+            3,
+        );
+        cfg.min_len = 50;
+        cfg.max_len = 200;
+        let db = cfg.generate();
+        let stats = db.length_stats();
+        assert!(stats.min >= 50);
+        assert!(stats.max <= 200);
+    }
+
+    #[test]
+    fn residues_are_standard_codes() {
+        let cfg = SynthConfig::new("codes", 10, LogNormalParams::from_mean_std(100.0, 50.0), 9);
+        for seq in cfg.generate().sequences() {
+            assert!(seq.residues.iter().all(|&c| c < 20));
+        }
+    }
+
+    #[test]
+    fn residue_composition_is_realistic() {
+        let q = make_query(200_000, 11);
+        let leu = q.iter().filter(|&&c| c == 10).count() as f64 / q.len() as f64;
+        let trp = q.iter().filter(|&&c| c == 17).count() as f64 / q.len() as f64;
+        // Leucine ~9%, tryptophan ~1.3%.
+        assert!((leu - 0.09).abs() < 0.01, "leu = {leu}");
+        assert!((trp - 0.013).abs() < 0.005, "trp = {trp}");
+    }
+
+    #[test]
+    fn make_query_exact_length_and_deterministic() {
+        let a = make_query(567, 5);
+        let b = make_query(567, 5);
+        assert_eq!(a.len(), 567);
+        assert_eq!(a, b);
+        assert_ne!(a, make_query(567, 6));
+    }
+
+    #[test]
+    fn fixed_lengths_database() {
+        let db = database_with_lengths("fix", &[10, 5, 20], 1);
+        let lens: Vec<usize> = db.sequences().iter().map(|s| s.len()).collect();
+        assert_eq!(lens, vec![5, 10, 20]);
+    }
+
+    #[test]
+    fn sampled_lengths_sorted_and_bounded() {
+        let params = LogNormalParams::from_mean_std(360.0, 300.0);
+        let lens = sample_lengths(10_000, params, 20, 5000, 3);
+        assert_eq!(lens.len(), 10_000);
+        assert!(lens.windows(2).all(|w| w[0] <= w[1]));
+        assert!(*lens.first().unwrap() >= 20);
+        assert!(*lens.last().unwrap() <= 5000);
+        let mean: f64 = lens.iter().map(|&l| l as f64).sum::<f64>() / 10_000.0;
+        assert!((mean - 360.0).abs() < 30.0, "mean = {mean}");
+        // Deterministic.
+        assert_eq!(lens, sample_lengths(10_000, params, 20, 5000, 3));
+    }
+
+    #[test]
+    fn uniform_database_bounds() {
+        let db = uniform_database("u", 100, 10, 20, 2);
+        let stats = db.length_stats();
+        assert!(stats.min >= 10 && stats.max <= 20);
+        assert_eq!(db.len(), 100);
+    }
+}

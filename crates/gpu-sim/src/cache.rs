@@ -1,0 +1,306 @@
+//! Set-associative LRU cache model.
+//!
+//! Instantiated three ways by the device:
+//! * Fermi **L1**, one per SM (16 or 48 KB depending on the configuration;
+//!   the C2050 preset uses 48 KB for data as CUDASW++ kernels prefer);
+//! * Fermi **L2**, one per device (768 KB);
+//! * GT200 **texture cache**, one per SM (8 KB working set per TPC in
+//!   hardware; modelled per SM).
+//!
+//! Figure 6 of the paper disables L1 and L2 entirely; [`Cache::disabled`]
+//! models that by reporting every access as a miss without updating state.
+
+/// Geometry of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Line size in bytes (128 on both architectures).
+    pub line_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// Fermi L1 in its 48 KB configuration.
+    pub fn fermi_l1_48k() -> Self {
+        Self {
+            capacity_bytes: 48 * 1024,
+            line_bytes: 128,
+            ways: 6,
+        }
+    }
+
+    /// Fermi L1 in its 16 KB configuration.
+    pub fn fermi_l1_16k() -> Self {
+        Self {
+            capacity_bytes: 16 * 1024,
+            line_bytes: 128,
+            ways: 4,
+        }
+    }
+
+    /// Fermi device-wide L2 (768 KB on the C2050).
+    pub fn fermi_l2() -> Self {
+        Self {
+            capacity_bytes: 768 * 1024,
+            line_bytes: 128,
+            ways: 16,
+        }
+    }
+
+    /// GT200 per-SM texture cache (8 KB working set, 32-byte segments —
+    /// texture fetches are finer-grained than global-memory lines).
+    pub fn gt200_tex() -> Self {
+        Self {
+            capacity_bytes: 8 * 1024,
+            line_bytes: 32,
+            ways: 4,
+        }
+    }
+
+    /// GT200 device-level texture L2 (256 KB per TPC group, modelled as
+    /// one device-wide cache).
+    pub fn gt200_tex_l2() -> Self {
+        Self {
+            capacity_bytes: 256 * 1024,
+            line_bytes: 32,
+            ways: 8,
+        }
+    }
+
+    /// Fermi per-SM texture cache (12 KB). Separate from L1/L2 — it keeps
+    /// working when the data caches are disabled, which matters for the
+    /// paper's Figure 6 experiment.
+    pub fn fermi_tex() -> Self {
+        Self {
+            capacity_bytes: 12 * 1024,
+            line_bytes: 32,
+            ways: 4,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        (self.capacity_bytes / self.line_bytes / self.ways).max(1)
+    }
+}
+
+/// Hit/miss counters for one cache instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit a resident line.
+    pub hits: u64,
+    /// Accesses that missed and (if enabled) filled a line.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total accesses observed.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; zero when no accesses were made.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Accumulate another instance's counters (e.g. summing per-SM L1s).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+/// A set-associative LRU cache over line indices.
+///
+/// Addresses are *line indices* (byte address / line size) — the caller
+/// (the coalescer) has already grouped word addresses into lines.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    enabled: bool,
+    sets: usize,
+    ways: usize,
+    /// `tags[set * ways + way]`; `usize::MAX` = invalid.
+    tags: Vec<usize>,
+    /// LRU stamps parallel to `tags`.
+    stamps: Vec<u64>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Build an enabled cache with the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        Self {
+            enabled: true,
+            sets,
+            ways: config.ways,
+            tags: vec![usize::MAX; sets * config.ways],
+            stamps: vec![0; sets * config.ways],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// A cache that always misses (Figure 6's "caches turned off").
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            sets: 1,
+            ways: 1,
+            tags: vec![usize::MAX],
+            stamps: vec![0],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Whether the cache participates at all.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Access one line; returns `true` on hit. Misses allocate (LRU evict).
+    pub fn access(&mut self, line: usize) -> bool {
+        if !self.enabled {
+            self.stats.misses += 1;
+            return false;
+        }
+        self.clock += 1;
+        let set = line % self.sets;
+        let base = set * self.ways;
+        let slots = &mut self.tags[base..base + self.ways];
+        if let Some(way) = slots.iter().position(|&t| t == line) {
+            self.stamps[base + way] = self.clock;
+            self.stats.hits += 1;
+            return true;
+        }
+        // Miss: evict the LRU way of this set.
+        let mut victim = 0;
+        let mut oldest = u64::MAX;
+        for way in 0..self.ways {
+            if self.tags[base + way] == usize::MAX {
+                victim = way;
+                break;
+            }
+            if self.stamps[base + way] < oldest {
+                oldest = self.stamps[base + way];
+                victim = way;
+            }
+        }
+        self.tags[base + victim] = line;
+        self.stamps[base + victim] = self.clock;
+        self.stats.misses += 1;
+        false
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Drop all resident lines but keep counters.
+    pub fn invalidate(&mut self) {
+        for t in &mut self.tags {
+            *t = usize::MAX;
+        }
+    }
+
+    /// Reset counters but keep contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = Cache::new(CacheConfig::fermi_l1_48k());
+        assert!(!c.access(7));
+        assert!(c.access(7));
+        assert!(c.access(7));
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn disabled_cache_always_misses() {
+        let mut c = Cache::disabled();
+        assert!(!c.access(1));
+        assert!(!c.access(1));
+        assert_eq!(c.stats().hits, 0);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        // 2-way cache with 1 set: lines 0 and 1 fit, line 2 evicts LRU (0).
+        let cfg = CacheConfig {
+            capacity_bytes: 256,
+            line_bytes: 128,
+            ways: 2,
+        };
+        assert_eq!(cfg.sets(), 1);
+        let mut c = Cache::new(cfg);
+        c.access(0);
+        c.access(1);
+        assert!(c.access(0), "line 0 resident");
+        c.access(2); // evicts line 1 (LRU)
+        assert!(c.access(0), "line 0 survived");
+        assert!(!c.access(1), "line 1 evicted");
+    }
+
+    #[test]
+    fn invalidate_clears_contents_keeps_stats() {
+        let mut c = Cache::new(CacheConfig::gt200_tex());
+        c.access(3);
+        c.access(3);
+        let before = c.stats();
+        c.invalidate();
+        assert!(!c.access(3));
+        assert_eq!(c.stats().hits, before.hits);
+        assert_eq!(c.stats().misses, before.misses + 1);
+    }
+
+    #[test]
+    fn capacity_working_set_fits() {
+        // A working set smaller than capacity must eventually 100% hit.
+        let cfg = CacheConfig::fermi_l1_48k(); // 384 lines
+        let mut c = Cache::new(cfg);
+        let lines: Vec<usize> = (0..100).collect();
+        for &l in &lines {
+            c.access(l);
+        }
+        c.reset_stats();
+        for _ in 0..10 {
+            for &l in &lines {
+                assert!(c.access(l), "line {l} should be resident");
+            }
+        }
+        assert_eq!(c.stats().misses, 0);
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let s = CacheStats { hits: 3, misses: 1 };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CacheStats { hits: 1, misses: 2 };
+        a.merge(&CacheStats { hits: 10, misses: 20 });
+        assert_eq!(a, CacheStats { hits: 11, misses: 22 });
+    }
+}

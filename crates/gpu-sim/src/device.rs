@@ -1,0 +1,318 @@
+//! Device specifications and the occupancy calculator.
+//!
+//! Two presets matter to the paper: [`DeviceSpec::tesla_c1060`] (GT200,
+//! compute capability 1.3) and [`DeviceSpec::tesla_c2050`] (Fermi, compute
+//! capability 2.0). Their published characteristics drive both the timing
+//! model and the occupancy-based group sizing that CUDASW++ performs for
+//! the inter-task kernel ("s is calculated at runtime based on machine
+//! parameters to maximize the occupancy").
+
+use crate::cache::CacheConfig;
+use crate::warp::WARP_SIZE;
+
+/// GPU micro-architecture family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arch {
+    /// GT200 (Tesla C1060): no L1/L2 for global loads, per-SM texture cache.
+    Gt200,
+    /// Fermi (Tesla C2050): per-SM L1 + device L2 on all global traffic.
+    Fermi,
+}
+
+/// Static description of a simulated device.
+#[derive(Debug, Clone)]
+pub struct DeviceSpec {
+    /// Marketing name, e.g. `"Tesla C1060"`.
+    pub name: String,
+    /// Architecture family.
+    pub arch: Arch,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// Scalar cores ("SPs") per SM.
+    pub cores_per_sm: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Maximum threads per block.
+    pub max_threads_per_block: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// 32-bit registers per SM.
+    pub registers_per_sm: u32,
+    /// Shared memory per SM in bytes.
+    pub shared_mem_per_sm: u32,
+    /// Device global memory in bytes.
+    pub global_mem_bytes: u64,
+    /// Peak global-memory bandwidth in GB/s.
+    pub mem_bandwidth_gbps: f64,
+    /// Global memory latency in core cycles.
+    pub global_latency_cycles: u32,
+    /// Per-SM L1 cache for global accesses (Fermi only).
+    pub l1: Option<CacheConfig>,
+    /// Device-wide L2 cache (Fermi only).
+    pub l2: Option<CacheConfig>,
+    /// Per-SM texture cache (first level).
+    pub tex_cache: Option<CacheConfig>,
+    /// Device-wide second-level texture cache (GT200's 256 KB tex L2;
+    /// Fermi texture misses fall through to the data L2 instead).
+    pub tex_l2: Option<CacheConfig>,
+    /// Host↔device PCIe bandwidth in GB/s.
+    pub pcie_bandwidth_gbps: f64,
+    /// Shared-memory banks (16 half-warp banks on GT200, 32 on Fermi).
+    pub shared_banks: u32,
+}
+
+impl DeviceSpec {
+    /// NVIDIA Tesla C1060 (GT200, CC 1.3).
+    pub fn tesla_c1060() -> Self {
+        Self {
+            name: "Tesla C1060".to_string(),
+            arch: Arch::Gt200,
+            sm_count: 30,
+            cores_per_sm: 8,
+            clock_ghz: 1.296,
+            max_threads_per_block: 512,
+            max_threads_per_sm: 1024,
+            max_blocks_per_sm: 8,
+            registers_per_sm: 16 * 1024,
+            shared_mem_per_sm: 16 * 1024,
+            global_mem_bytes: 4 * 1024 * 1024 * 1024,
+            mem_bandwidth_gbps: 102.0,
+            global_latency_cycles: 550,
+            l1: None,
+            l2: None,
+            tex_cache: Some(CacheConfig::gt200_tex()),
+            tex_l2: Some(CacheConfig::gt200_tex_l2()),
+            pcie_bandwidth_gbps: 5.5,
+            shared_banks: 16,
+        }
+    }
+
+    /// NVIDIA Tesla C2050 (Fermi, CC 2.0), L1 in its 48 KB configuration.
+    pub fn tesla_c2050() -> Self {
+        Self {
+            name: "Tesla C2050".to_string(),
+            arch: Arch::Fermi,
+            sm_count: 14,
+            cores_per_sm: 32,
+            clock_ghz: 1.15,
+            max_threads_per_block: 1024,
+            max_threads_per_sm: 1536,
+            max_blocks_per_sm: 8,
+            registers_per_sm: 32 * 1024,
+            shared_mem_per_sm: 48 * 1024,
+            global_mem_bytes: 3 * 1024 * 1024 * 1024,
+            mem_bandwidth_gbps: 144.0,
+            global_latency_cycles: 450,
+            l1: Some(CacheConfig::fermi_l1_16k()),
+            l2: Some(CacheConfig::fermi_l2()),
+            tex_cache: Some(CacheConfig::fermi_tex()),
+            tex_l2: None,
+            pcie_bandwidth_gbps: 5.5,
+            shared_banks: 32,
+        }
+    }
+
+    /// The C2050 with its L1/L2 disabled — the configuration of Figure 6.
+    pub fn tesla_c2050_caches_off() -> Self {
+        let mut spec = Self::tesla_c2050();
+        spec.name = "Tesla C2050 (caches off)".to_string();
+        spec.l1 = None;
+        spec.l2 = None;
+        spec
+    }
+
+    /// Warp-instruction issue cost in cycles: a warp of 32 lanes executes
+    /// on `cores_per_sm` scalar cores, so GT200 needs 4 cycles per warp
+    /// instruction and Fermi ~1 (two 16-wide halves, dual issue).
+    pub fn cycles_per_warp_instr(&self) -> f64 {
+        WARP_SIZE as f64 / self.cores_per_sm as f64
+    }
+
+    /// Peak memory bandwidth in bytes per core cycle (device-wide).
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.mem_bandwidth_gbps * 1.0e9 / (self.clock_ghz * 1.0e9)
+    }
+
+    /// Simulated seconds for a cycle count.
+    pub fn cycles_to_seconds(&self, cycles: f64) -> f64 {
+        cycles / (self.clock_ghz * 1.0e9)
+    }
+
+    /// Occupancy for a kernel using `threads_per_block` threads,
+    /// `regs_per_thread` registers, and `shared_bytes` of shared memory
+    /// per block.
+    pub fn occupancy(
+        &self,
+        threads_per_block: u32,
+        regs_per_thread: u32,
+        shared_bytes: u32,
+    ) -> Occupancy {
+        if threads_per_block == 0 || threads_per_block > self.max_threads_per_block {
+            return Occupancy {
+                blocks_per_sm: 0,
+                threads_per_sm: 0,
+                limited_by: OccupancyLimit::BlockSize,
+            };
+        }
+        let by_threads = self.max_threads_per_sm / threads_per_block;
+        let by_blocks = self.max_blocks_per_sm;
+        let by_regs = self
+            .registers_per_sm
+            .checked_div(regs_per_thread * threads_per_block)
+            .unwrap_or(u32::MAX);
+        let by_shared = self
+            .shared_mem_per_sm
+            .checked_div(shared_bytes)
+            .unwrap_or(u32::MAX);
+        let blocks = by_threads.min(by_blocks).min(by_regs).min(by_shared);
+        let limited_by = if blocks == by_threads {
+            OccupancyLimit::Threads
+        } else if blocks == by_blocks {
+            OccupancyLimit::Blocks
+        } else if blocks == by_regs {
+            OccupancyLimit::Registers
+        } else {
+            OccupancyLimit::SharedMemory
+        };
+        Occupancy {
+            blocks_per_sm: blocks,
+            threads_per_sm: blocks * threads_per_block,
+            limited_by,
+        }
+    }
+
+    /// The inter-task group size CUDASW++ computes at runtime: one thread
+    /// per database sequence, sized to fill the device at full occupancy.
+    pub fn intertask_group_size(
+        &self,
+        threads_per_block: u32,
+        regs_per_thread: u32,
+        shared_bytes: u32,
+    ) -> u32 {
+        let occ = self.occupancy(threads_per_block, regs_per_thread, shared_bytes);
+        occ.threads_per_sm * self.sm_count
+    }
+}
+
+/// What bound the occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OccupancyLimit {
+    /// Block exceeds device limits entirely.
+    BlockSize,
+    /// Resident-thread ceiling.
+    Threads,
+    /// Resident-block ceiling.
+    Blocks,
+    /// Register file.
+    Registers,
+    /// Shared memory.
+    SharedMemory,
+}
+
+/// Result of the occupancy calculation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Occupancy {
+    /// Blocks resident per SM.
+    pub blocks_per_sm: u32,
+    /// Threads resident per SM.
+    pub threads_per_sm: u32,
+    /// Limiting resource.
+    pub limited_by: OccupancyLimit,
+}
+
+impl Occupancy {
+    /// Occupancy as a fraction of the device's resident-thread maximum.
+    pub fn fraction(&self, spec: &DeviceSpec) -> f64 {
+        self.threads_per_sm as f64 / spec.max_threads_per_sm as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_shape() {
+        let c1060 = DeviceSpec::tesla_c1060();
+        assert_eq!(c1060.arch, Arch::Gt200);
+        assert_eq!(c1060.sm_count, 30);
+        assert!(c1060.l1.is_none() && c1060.l2.is_none());
+        assert!(c1060.tex_cache.is_some());
+
+        let c2050 = DeviceSpec::tesla_c2050();
+        assert_eq!(c2050.arch, Arch::Fermi);
+        assert_eq!(c2050.sm_count, 14);
+        assert!(c2050.l1.is_some() && c2050.l2.is_some());
+    }
+
+    #[test]
+    fn caches_off_preset() {
+        let spec = DeviceSpec::tesla_c2050_caches_off();
+        assert!(spec.l1.is_none() && spec.l2.is_none());
+        assert_eq!(spec.arch, Arch::Fermi);
+    }
+
+    #[test]
+    fn warp_issue_cost() {
+        assert!((DeviceSpec::tesla_c1060().cycles_per_warp_instr() - 4.0).abs() < 1e-12);
+        assert!((DeviceSpec::tesla_c2050().cycles_per_warp_instr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupancy_thread_limited() {
+        let spec = DeviceSpec::tesla_c1060();
+        let occ = spec.occupancy(256, 10, 1024);
+        // 1024 max threads / 256 per block = 4 blocks; registers allow
+        // 16384/(10*256) = 6; shared allows 16.
+        assert_eq!(occ.blocks_per_sm, 4);
+        assert_eq!(occ.limited_by, OccupancyLimit::Threads);
+    }
+
+    #[test]
+    fn occupancy_register_limited() {
+        let spec = DeviceSpec::tesla_c1060();
+        let occ = spec.occupancy(256, 32, 0);
+        // 16384/(32*256) = 2 blocks.
+        assert_eq!(occ.blocks_per_sm, 2);
+        assert_eq!(occ.limited_by, OccupancyLimit::Registers);
+    }
+
+    #[test]
+    fn occupancy_shared_limited() {
+        let spec = DeviceSpec::tesla_c1060();
+        let occ = spec.occupancy(64, 8, 12 * 1024);
+        assert_eq!(occ.blocks_per_sm, 1);
+        assert_eq!(occ.limited_by, OccupancyLimit::SharedMemory);
+    }
+
+    #[test]
+    fn oversized_block_rejected() {
+        let spec = DeviceSpec::tesla_c1060();
+        let occ = spec.occupancy(1024, 8, 0);
+        assert_eq!(occ.blocks_per_sm, 0);
+        assert_eq!(occ.limited_by, OccupancyLimit::BlockSize);
+    }
+
+    #[test]
+    fn group_size_fills_device() {
+        let spec = DeviceSpec::tesla_c1060();
+        let s = spec.intertask_group_size(256, 10, 1024);
+        assert_eq!(s, 4 * 256 * 30);
+    }
+
+    #[test]
+    fn bandwidth_in_bytes_per_cycle() {
+        let spec = DeviceSpec::tesla_c1060();
+        let bpc = spec.bytes_per_cycle();
+        assert!(bpc > 70.0 && bpc < 90.0, "bpc = {bpc}");
+    }
+
+    #[test]
+    fn cycles_to_seconds() {
+        let spec = DeviceSpec::tesla_c1060();
+        let s = spec.cycles_to_seconds(1.296e9);
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+}

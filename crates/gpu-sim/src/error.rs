@@ -1,0 +1,71 @@
+//! Errors reported by the device simulator.
+
+use std::fmt;
+
+/// Errors from allocation, transfers, and kernel launches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GpuError {
+    /// Device global memory is exhausted.
+    OutOfMemory {
+        /// Words requested by the failing allocation.
+        requested_words: usize,
+        /// Words still available.
+        available_words: usize,
+    },
+    /// A kernel accessed an address outside any allocation.
+    BadAccess {
+        /// Offending word address.
+        addr: usize,
+        /// Size of the device memory in words.
+        mem_words: usize,
+    },
+    /// The launch configuration is not executable on this device.
+    InvalidLaunch {
+        /// Human-readable reason (block too large, zero blocks, ...).
+        reason: String,
+    },
+    /// A host/device copy had mismatched lengths.
+    SizeMismatch {
+        /// Expected number of words.
+        expected: usize,
+        /// Provided number of words.
+        got: usize,
+    },
+}
+
+impl fmt::Display for GpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuError::OutOfMemory {
+                requested_words,
+                available_words,
+            } => write!(
+                f,
+                "device out of memory: requested {requested_words} words, {available_words} available"
+            ),
+            GpuError::BadAccess { addr, mem_words } => {
+                write!(f, "device access out of bounds: word {addr} >= {mem_words}")
+            }
+            GpuError::InvalidLaunch { reason } => write!(f, "invalid launch: {reason}"),
+            GpuError::SizeMismatch { expected, got } => {
+                write!(f, "size mismatch: expected {expected} words, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GpuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_numbers() {
+        let e = GpuError::BadAccess {
+            addr: 42,
+            mem_words: 10,
+        };
+        assert!(e.to_string().contains("42"));
+    }
+}

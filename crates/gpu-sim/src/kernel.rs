@@ -1,0 +1,475 @@
+//! Kernel execution: the [`BlockKernel`] trait, the per-block context, and
+//! the device launch loop.
+//!
+//! A kernel is run one block at a time (functional execution is
+//! sequential; *timing* concurrency is reconstructed by the scheduler in
+//! [`crate::timing`]). Blocks are assigned to SMs round-robin, so per-SM
+//! caches see a realistic interleaving.
+//!
+//! Kernels are written warp-collectively: they build a [`WarpAccess`] per
+//! memory instruction and call the typed accessors on [`BlockCtx`]. The
+//! context tracks every cost counter the timing model consumes.
+
+use crate::device::DeviceSpec;
+use crate::error::GpuError;
+use crate::memory::{DevicePtr, MemorySystem, MemoryStats};
+use crate::shared::SharedMem;
+use crate::stats::LaunchStats;
+use crate::texture::TexRef;
+use crate::timing::{BlockCost, TimingModel};
+use crate::warp::{WarpAccess, WARP_SIZE};
+use crate::xfer::{TransferModel, TransferStats};
+
+/// Static launch resources of a kernel (its "PTX header").
+#[derive(Debug, Clone, Copy)]
+pub struct LaunchConfig {
+    /// Threads per block.
+    pub threads_per_block: u32,
+    /// Registers per thread (occupancy input).
+    pub regs_per_thread: u32,
+    /// Shared memory words per block.
+    pub shared_words: u32,
+}
+
+/// A kernel executable on the simulated device.
+pub trait BlockKernel {
+    /// Launch resources.
+    fn config(&self) -> LaunchConfig;
+
+    /// Execute one block. All device effects go through `ctx`.
+    fn run_block(&self, ctx: &mut BlockCtx<'_>) -> Result<(), GpuError>;
+}
+
+/// Execution context for one block.
+pub struct BlockCtx<'a> {
+    /// Index of this block in the grid.
+    pub block_idx: u32,
+    /// Threads per block.
+    pub block_dim: u32,
+    sm: usize,
+    mem: &'a mut MemorySystem,
+    shared: SharedMem,
+    cost: BlockCost,
+}
+
+impl<'a> BlockCtx<'a> {
+    /// Number of warps in the block.
+    pub fn warp_count(&self) -> u32 {
+        self.block_dim.div_ceil(WARP_SIZE as u32)
+    }
+
+    /// SM this block was scheduled on.
+    pub fn sm(&self) -> usize {
+        self.sm
+    }
+
+    /// Warp-collective global load. Costs one warp instruction plus the
+    /// coalesced transactions.
+    pub fn global_load(&mut self, access: &WarpAccess) -> Result<[u32; WARP_SIZE], GpuError> {
+        let (vals, cost) = self.mem.warp_load(self.sm, access)?;
+        self.cost.warp_instructions += 1;
+        self.cost.near_hits += cost.near_hits as u64;
+        self.cost.l2_hits += cost.l2_hits as u64;
+        self.cost.dram_bytes += cost.dram_bytes as u64;
+        Ok(vals)
+    }
+
+    /// Warp-collective global store.
+    pub fn global_store(
+        &mut self,
+        access: &WarpAccess,
+        values: &[u32; WARP_SIZE],
+    ) -> Result<(), GpuError> {
+        let cost = self.mem.warp_store(self.sm, access, values)?;
+        self.cost.warp_instructions += 1;
+        self.cost.near_hits += cost.near_hits as u64;
+        self.cost.l2_hits += cost.l2_hits as u64;
+        self.cost.dram_bytes += cost.dram_bytes as u64;
+        Ok(())
+    }
+
+    /// Warp-collective texture fetch. Addresses are absolute (use
+    /// [`TexRef::addr`]) and must stay inside the binding.
+    pub fn tex_load(
+        &mut self,
+        tex: TexRef,
+        access: &WarpAccess,
+    ) -> Result<[u32; WARP_SIZE], GpuError> {
+        for (_, addr) in access.iter_active() {
+            if !tex.contains(addr) {
+                return Err(GpuError::BadAccess {
+                    addr,
+                    mem_words: tex.words(),
+                });
+            }
+        }
+        let (vals, cost) = self.mem.warp_tex_load(self.sm, access)?;
+        self.cost.warp_instructions += 1;
+        self.cost.near_hits += cost.near_hits as u64;
+        self.cost.l2_hits += cost.l2_hits as u64;
+        self.cost.dram_bytes += cost.dram_bytes as u64;
+        Ok(vals)
+    }
+
+    /// Warp-collective shared-memory load.
+    pub fn shared_load(&mut self, access: &WarpAccess) -> [u32; WARP_SIZE] {
+        let (vals, cycles) = self.shared.warp_load(access);
+        self.cost.warp_instructions += 1;
+        self.cost.shared_cycles += cycles as u64;
+        vals
+    }
+
+    /// Warp-collective shared-memory store.
+    pub fn shared_store(&mut self, access: &WarpAccess, values: &[u32; WARP_SIZE]) {
+        let cycles = self.shared.warp_store(access, values);
+        self.cost.warp_instructions += 1;
+        self.cost.shared_cycles += cycles as u64;
+    }
+
+    /// Block-wide barrier.
+    pub fn syncthreads(&mut self) {
+        self.cost.syncs += 1;
+    }
+
+    /// Charge `n` arithmetic warp instructions.
+    #[inline]
+    pub fn charge(&mut self, warp_instructions: u64) {
+        self.cost.warp_instructions += warp_instructions;
+    }
+
+    /// Report an unhideable serial-latency chain (pipeline fill/flush,
+    /// dependent global round-trip).
+    #[inline]
+    pub fn add_latency(&mut self, cycles: u64) {
+        self.cost.latency_cycles += cycles;
+    }
+
+    /// Record `n` DP cell updates.
+    #[inline]
+    pub fn count_cells(&mut self, n: u64) {
+        self.cost.cells += n;
+    }
+
+    /// Single-lane global load (convenience for scalar bookkeeping reads;
+    /// costs a full warp instruction + 1 transaction, like a divergent
+    /// access would).
+    pub fn read_word(&mut self, ptr: DevicePtr) -> Result<u32, GpuError> {
+        let access = WarpAccess::from_lanes([(0usize, ptr.addr())]);
+        Ok(self.global_load(&access)?[0])
+    }
+
+    /// Single-lane global store.
+    pub fn write_word(&mut self, ptr: DevicePtr, value: u32) -> Result<(), GpuError> {
+        let access = WarpAccess::from_lanes([(0usize, ptr.addr())]);
+        let mut vals = [0u32; WARP_SIZE];
+        vals[0] = value;
+        self.global_store(&access, &vals)
+    }
+
+    /// Counters accumulated so far (mainly for tests).
+    pub fn cost(&self) -> &BlockCost {
+        &self.cost
+    }
+}
+
+/// A simulated GPU: spec + memory system + timing model.
+pub struct GpuDevice {
+    /// Device description.
+    pub spec: DeviceSpec,
+    /// Cost model.
+    pub timing: TimingModel,
+    mem: MemorySystem,
+    xfer_model: TransferModel,
+    xfer_stats: TransferStats,
+}
+
+impl GpuDevice {
+    /// Bring up a device from its spec with the default timing model.
+    pub fn new(spec: DeviceSpec) -> Self {
+        let mem = MemorySystem::new(&spec);
+        let xfer_model = TransferModel::new(&spec);
+        Self {
+            spec,
+            timing: TimingModel::default(),
+            mem,
+            xfer_model,
+            xfer_stats: TransferStats::default(),
+        }
+    }
+
+    /// Allocate device memory (128-byte aligned).
+    pub fn alloc(&mut self, words: usize) -> Result<DevicePtr, GpuError> {
+        self.mem.alloc(words)
+    }
+
+    /// Free every allocation.
+    pub fn free_all(&mut self) {
+        self.mem.free_all();
+    }
+
+    /// Allocator watermark for stack-style scratch reuse.
+    pub fn mark(&self) -> usize {
+        self.mem.mark()
+    }
+
+    /// Release every allocation made after `mark`.
+    pub fn free_to(&mut self, mark: usize) {
+        self.mem.free_to(mark);
+    }
+
+    /// Copy host data to the device; returns simulated transfer seconds.
+    pub fn copy_to_device(&mut self, ptr: DevicePtr, words: &[u32]) -> Result<f64, GpuError> {
+        self.mem.host_write(ptr, words)?;
+        let secs = self.xfer_model.transfer_seconds(words.len() * 4);
+        self.xfer_stats.record_h2d(words.len() * 4, secs);
+        Ok(secs)
+    }
+
+    /// Copy device data back to the host; returns data + simulated seconds.
+    pub fn copy_from_device(
+        &mut self,
+        ptr: DevicePtr,
+        words: usize,
+    ) -> Result<(Vec<u32>, f64), GpuError> {
+        let data = self.mem.host_read(ptr, words)?.to_vec();
+        let secs = self.xfer_model.transfer_seconds(words * 4);
+        self.xfer_stats.record_d2h(words * 4, secs);
+        Ok((data, secs))
+    }
+
+    /// Bind `words` words at `ptr` as a texture.
+    pub fn bind_texture(&mut self, ptr: DevicePtr, words: usize) -> TexRef {
+        TexRef::new(ptr, words)
+    }
+
+    /// Host↔device traffic accumulated so far.
+    pub fn transfer_stats(&self) -> TransferStats {
+        self.xfer_stats
+    }
+
+    /// Cumulative memory counters (per-launch deltas are in
+    /// [`LaunchStats::memory`]).
+    pub fn memory_stats(&self) -> MemoryStats {
+        self.mem.stats()
+    }
+
+    /// Launch `blocks` blocks of `kernel`.
+    pub fn launch(
+        &mut self,
+        kernel: &dyn BlockKernel,
+        blocks: u32,
+        name: &str,
+    ) -> Result<LaunchStats, GpuError> {
+        let cfg = kernel.config();
+        if blocks == 0 {
+            return Err(GpuError::InvalidLaunch {
+                reason: "zero blocks".to_string(),
+            });
+        }
+        if cfg.threads_per_block == 0 || cfg.threads_per_block > self.spec.max_threads_per_block {
+            return Err(GpuError::InvalidLaunch {
+                reason: format!(
+                    "block of {} threads not supported (max {})",
+                    cfg.threads_per_block, self.spec.max_threads_per_block
+                ),
+            });
+        }
+        if cfg.shared_words * 4 > self.spec.shared_mem_per_sm {
+            return Err(GpuError::InvalidLaunch {
+                reason: format!(
+                    "block needs {} B shared, SM has {}",
+                    cfg.shared_words * 4,
+                    self.spec.shared_mem_per_sm
+                ),
+            });
+        }
+
+        let mem_before = self.mem.stats();
+        let mut totals = BlockCost::default();
+        let mut shared_totals = crate::shared::SharedStats::default();
+        let mut block_cycles = Vec::with_capacity(blocks as usize);
+        let mut max_block = 0f64;
+        let mut min_block = f64::INFINITY;
+
+        for block_idx in 0..blocks {
+            let sm = (block_idx % self.spec.sm_count) as usize;
+            let mut ctx = BlockCtx {
+                block_idx,
+                block_dim: cfg.threads_per_block,
+                sm,
+                mem: &mut self.mem,
+                shared: SharedMem::new(cfg.shared_words as usize, self.spec.shared_banks),
+                cost: BlockCost::default(),
+            };
+            kernel.run_block(&mut ctx)?;
+            let cycles = self.timing.block_cycles(&self.spec, &ctx.cost);
+            totals.merge(&ctx.cost);
+            let s = ctx.shared.stats();
+            shared_totals.instructions += s.instructions;
+            shared_totals.bank_cycles += s.bank_cycles;
+            shared_totals.conflicted_accesses += s.conflicted_accesses;
+            block_cycles.push(cycles);
+            max_block = max_block.max(cycles);
+            min_block = min_block.min(cycles);
+        }
+
+        let cycles = self
+            .timing
+            .launch_cycles(&self.spec, &block_cycles, totals.dram_bytes);
+        let seconds = self.spec.cycles_to_seconds(cycles);
+        Ok(LaunchStats {
+            kernel: name.to_string(),
+            blocks,
+            block_dim: cfg.threads_per_block,
+            totals,
+            memory: self.mem.stats().since(&mem_before),
+            shared: shared_totals,
+            cycles,
+            seconds,
+            max_block_cycles: max_block,
+            min_block_cycles: if min_block.is_finite() { min_block } else { 0.0 },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A kernel where every thread writes `block_idx * block_dim + tid`
+    /// into an output array — the CUDA "hello world".
+    struct IotaKernel {
+        out: DevicePtr,
+        threads: u32,
+    }
+
+    impl BlockKernel for IotaKernel {
+        fn config(&self) -> LaunchConfig {
+            LaunchConfig {
+                threads_per_block: self.threads,
+                regs_per_thread: 8,
+                shared_words: 0,
+            }
+        }
+
+        fn run_block(&self, ctx: &mut BlockCtx<'_>) -> Result<(), GpuError> {
+            let base = (ctx.block_idx * ctx.block_dim) as usize;
+            for w in 0..ctx.warp_count() {
+                let mut access = WarpAccess::empty();
+                let mut vals = [0u32; WARP_SIZE];
+                for lane in 0..WARP_SIZE {
+                    let tid = w as usize * WARP_SIZE + lane;
+                    if tid < ctx.block_dim as usize {
+                        access.set(lane, self.out.addr() + base + tid);
+                        vals[lane] = (base + tid) as u32;
+                    }
+                }
+                ctx.charge(2); // index arithmetic
+                ctx.global_store(&access, &vals)?;
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn iota_kernel_functional() {
+        let mut dev = GpuDevice::new(DeviceSpec::tesla_c1060());
+        let out = dev.alloc(256).unwrap();
+        let k = IotaKernel { out, threads: 64 };
+        let stats = dev.launch(&k, 4, "iota").unwrap();
+        let (data, _) = dev.copy_from_device(out, 256).unwrap();
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i as u32);
+        }
+        assert_eq!(stats.blocks, 4);
+        assert!(stats.seconds > 0.0);
+        // 4 blocks × 2 warps × 1 perfectly-coalesced store.
+        assert_eq!(stats.memory.store_transactions, 8);
+    }
+
+    #[test]
+    fn zero_blocks_rejected() {
+        let mut dev = GpuDevice::new(DeviceSpec::tesla_c1060());
+        let out = dev.alloc(32).unwrap();
+        let k = IotaKernel { out, threads: 32 };
+        assert!(matches!(
+            dev.launch(&k, 0, "iota"),
+            Err(GpuError::InvalidLaunch { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_block_rejected() {
+        let mut dev = GpuDevice::new(DeviceSpec::tesla_c1060());
+        let out = dev.alloc(32).unwrap();
+        let k = IotaKernel {
+            out,
+            threads: 2048,
+        };
+        assert!(dev.launch(&k, 1, "iota").is_err());
+    }
+
+    /// A kernel using shared memory to reverse a warp's values.
+    struct SharedReverse {
+        buf: DevicePtr,
+    }
+
+    impl BlockKernel for SharedReverse {
+        fn config(&self) -> LaunchConfig {
+            LaunchConfig {
+                threads_per_block: 32,
+                regs_per_thread: 8,
+                shared_words: 32,
+            }
+        }
+
+        fn run_block(&self, ctx: &mut BlockCtx<'_>) -> Result<(), GpuError> {
+            let load = WarpAccess::contiguous(self.buf.addr());
+            let vals = ctx.global_load(&load)?;
+            let st = WarpAccess::from_lanes((0..WARP_SIZE).map(|l| (l, 31 - l)));
+            ctx.shared_store(&st, &vals);
+            ctx.syncthreads();
+            let ld = WarpAccess::contiguous(0);
+            let rev = ctx.shared_load(&ld);
+            ctx.global_store(&load, &rev)?;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn shared_memory_kernel_functional() {
+        let mut dev = GpuDevice::new(DeviceSpec::tesla_c2050());
+        let buf = dev.alloc(32).unwrap();
+        let input: Vec<u32> = (0..32).collect();
+        dev.copy_to_device(buf, &input).unwrap();
+        let stats = dev.launch(&SharedReverse { buf }, 1, "rev").unwrap();
+        let (data, _) = dev.copy_from_device(buf, 32).unwrap();
+        let expected: Vec<u32> = (0..32).rev().collect();
+        assert_eq!(data, expected);
+        assert_eq!(stats.totals.syncs, 1);
+        assert_eq!(stats.shared.instructions, 2);
+    }
+
+    #[test]
+    fn launch_stats_memory_is_per_launch_delta() {
+        let mut dev = GpuDevice::new(DeviceSpec::tesla_c1060());
+        let out = dev.alloc(64).unwrap();
+        let k = IotaKernel { out, threads: 64 };
+        let s1 = dev.launch(&k, 1, "a").unwrap();
+        let s2 = dev.launch(&k, 1, "b").unwrap();
+        assert_eq!(
+            s1.memory.store_transactions,
+            s2.memory.store_transactions
+        );
+    }
+
+    #[test]
+    fn transfers_cost_simulated_time() {
+        let mut dev = GpuDevice::new(DeviceSpec::tesla_c1060());
+        let buf = dev.alloc(1 << 20).unwrap();
+        let data = vec![0u32; 1 << 20];
+        let secs = dev.copy_to_device(buf, &data).unwrap();
+        assert!(secs > 0.0);
+        assert_eq!(dev.transfer_stats().h2d_bytes, 4 << 20);
+    }
+}

@@ -1,0 +1,153 @@
+//! Launch-level statistics.
+
+use crate::memory::MemoryStats;
+use crate::shared::SharedStats;
+use crate::timing::BlockCost;
+
+/// Everything one kernel launch measured.
+#[derive(Debug, Clone)]
+pub struct LaunchStats {
+    /// Kernel name (for reports).
+    pub kernel: String,
+    /// Number of blocks launched.
+    pub blocks: u32,
+    /// Threads per block.
+    pub block_dim: u32,
+    /// Aggregate counters over all blocks.
+    pub totals: BlockCost,
+    /// Memory-system delta for this launch.
+    pub memory: MemoryStats,
+    /// Shared-memory counters summed over blocks.
+    pub shared: SharedStats,
+    /// Simulated cycles for the launch.
+    pub cycles: f64,
+    /// Simulated wall time in seconds.
+    pub seconds: f64,
+    /// Longest single block in cycles (imbalance diagnostics).
+    pub max_block_cycles: f64,
+    /// Shortest single block in cycles.
+    pub min_block_cycles: f64,
+}
+
+impl LaunchStats {
+    /// Giga cell updates per second — the paper's performance metric.
+    pub fn gcups(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            0.0
+        } else {
+            self.totals.cells as f64 / self.seconds / 1.0e9
+        }
+    }
+
+    /// Cells updated by this launch.
+    pub fn cells(&self) -> u64 {
+        self.totals.cells
+    }
+
+    /// Global transactions (Table I metric) issued during this launch.
+    pub fn global_transactions(&self) -> u64 {
+        self.memory.global_transactions()
+    }
+
+    /// Block imbalance ratio: longest / shortest block (1.0 = balanced).
+    pub fn imbalance(&self) -> f64 {
+        if self.min_block_cycles <= 0.0 {
+            1.0
+        } else {
+            self.max_block_cycles / self.min_block_cycles
+        }
+    }
+}
+
+/// Sum of several launches (e.g. all inter-task group calls of one search).
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Number of launches aggregated.
+    pub launches: u32,
+    /// Total cells.
+    pub cells: u64,
+    /// Total simulated seconds.
+    pub seconds: f64,
+    /// Total global transactions.
+    pub global_transactions: u64,
+}
+
+impl RunStats {
+    /// Fold one launch into the aggregate.
+    pub fn add(&mut self, launch: &LaunchStats) {
+        self.launches += 1;
+        self.cells += launch.cells();
+        self.seconds += launch.seconds;
+        self.global_transactions += launch.global_transactions();
+    }
+
+    /// Aggregate GCUPs.
+    pub fn gcups(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            0.0
+        } else {
+            self.cells as f64 / self.seconds / 1.0e9
+        }
+    }
+
+    /// Merge another aggregate into this one.
+    pub fn merge(&mut self, other: &RunStats) {
+        self.launches += other.launches;
+        self.cells += other.cells;
+        self.seconds += other.seconds;
+        self.global_transactions += other.global_transactions;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn launch(cells: u64, seconds: f64) -> LaunchStats {
+        LaunchStats {
+            kernel: "k".into(),
+            blocks: 1,
+            block_dim: 32,
+            totals: BlockCost {
+                cells,
+                ..Default::default()
+            },
+            memory: MemoryStats::default(),
+            shared: SharedStats::default(),
+            cycles: 0.0,
+            seconds,
+            max_block_cycles: 10.0,
+            min_block_cycles: 5.0,
+        }
+    }
+
+    #[test]
+    fn gcups_math() {
+        let l = launch(2_000_000_000, 1.0);
+        assert!((l.gcups() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_seconds_is_zero_gcups() {
+        let l = launch(100, 0.0);
+        assert_eq!(l.gcups(), 0.0);
+    }
+
+    #[test]
+    fn imbalance_ratio() {
+        let l = launch(1, 1.0);
+        assert!((l.imbalance() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_stats_aggregate() {
+        let mut r = RunStats::default();
+        r.add(&launch(1_000_000_000, 0.5));
+        r.add(&launch(1_000_000_000, 0.5));
+        assert_eq!(r.launches, 2);
+        assert!((r.gcups() - 2.0).abs() < 1e-12);
+        let mut r2 = RunStats::default();
+        r2.merge(&r);
+        assert_eq!(r2.cells, 2_000_000_000);
+    }
+}

@@ -1,0 +1,171 @@
+//! Warp-collective access descriptors.
+//!
+//! Kernels issue memory operations one warp at a time: a [`WarpAccess`]
+//! carries up to 32 lane addresses plus an active mask. This is the unit
+//! the coalescer, the caches and the bank-conflict model all operate on.
+
+/// Number of threads per warp on every modelled architecture.
+pub const WARP_SIZE: usize = 32;
+
+/// One warp-wide memory instruction: per-lane word addresses + active mask.
+#[derive(Debug, Clone)]
+pub struct WarpAccess {
+    /// Bit `l` set means lane `l` participates.
+    pub mask: u32,
+    /// Word address per lane (ignored for inactive lanes).
+    pub addr: [usize; WARP_SIZE],
+}
+
+impl WarpAccess {
+    /// An access with no active lanes.
+    pub fn empty() -> Self {
+        Self {
+            mask: 0,
+            addr: [0; WARP_SIZE],
+        }
+    }
+
+    /// Activate lane `lane` with word address `addr`.
+    #[inline]
+    pub fn set(&mut self, lane: usize, addr: usize) {
+        debug_assert!(lane < WARP_SIZE);
+        self.mask |= 1 << lane;
+        self.addr[lane] = addr;
+    }
+
+    /// Build an access from an iterator of `(lane, addr)` pairs.
+    pub fn from_lanes(lanes: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut a = Self::empty();
+        for (lane, addr) in lanes {
+            a.set(lane, addr);
+        }
+        a
+    }
+
+    /// Fully-active access where lane `l` touches `base + l` (the perfectly
+    /// coalesced pattern).
+    pub fn contiguous(base: usize) -> Self {
+        let mut a = Self::empty();
+        for l in 0..WARP_SIZE {
+            a.set(l, base + l);
+        }
+        a
+    }
+
+    /// True when lane `lane` is active.
+    #[inline]
+    pub fn is_active(&self, lane: usize) -> bool {
+        self.mask & (1 << lane) != 0
+    }
+
+    /// Number of active lanes.
+    #[inline]
+    pub fn active_lanes(&self) -> u32 {
+        self.mask.count_ones()
+    }
+
+    /// Iterate active `(lane, addr)` pairs.
+    pub fn iter_active(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..WARP_SIZE).filter_map(move |l| {
+            if self.is_active(l) {
+                Some((l, self.addr[l]))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Distinct 128-byte segments (32-word lines) touched by the active
+    /// lanes — the number of global-memory transactions this access costs
+    /// on both GT200 (compute 1.3 coalescing rules for 4-byte words) and
+    /// Fermi (128-byte cache lines).
+    pub fn distinct_lines(&self, line_words: usize) -> LineSet {
+        let mut lines = [0usize; WARP_SIZE];
+        let mut n = 0;
+        for (_, addr) in self.iter_active() {
+            let line = addr / line_words;
+            // Linear scan: n <= 32 and accesses are usually already sorted.
+            if !lines[..n].contains(&line) {
+                lines[n] = line;
+                n += 1;
+            }
+        }
+        LineSet { lines, n }
+    }
+
+    /// Largest active word address, for bounds checking.
+    pub fn max_addr(&self) -> Option<usize> {
+        self.iter_active().map(|(_, a)| a).max()
+    }
+}
+
+/// Up to 32 distinct memory lines touched by one warp access.
+#[derive(Debug, Clone)]
+pub struct LineSet {
+    lines: [usize; WARP_SIZE],
+    n: usize,
+}
+
+impl LineSet {
+    /// Number of distinct lines (= transactions).
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.n
+    }
+
+    /// The line indices.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.lines[..self.n].iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_access_is_one_line_when_aligned() {
+        let a = WarpAccess::contiguous(64); // word 64 = byte 256, line-aligned
+        assert_eq!(a.active_lanes(), 32);
+        assert_eq!(a.distinct_lines(32).count(), 1);
+    }
+
+    #[test]
+    fn misaligned_contiguous_access_is_two_lines() {
+        let a = WarpAccess::contiguous(16);
+        assert_eq!(a.distinct_lines(32).count(), 2);
+    }
+
+    #[test]
+    fn strided_access_is_many_lines() {
+        let a = WarpAccess::from_lanes((0..32).map(|l| (l, l * 32)));
+        assert_eq!(a.distinct_lines(32).count(), 32);
+    }
+
+    #[test]
+    fn same_address_broadcast_is_one_line() {
+        let a = WarpAccess::from_lanes((0..32).map(|l| (l, 7)));
+        assert_eq!(a.distinct_lines(32).count(), 1);
+    }
+
+    #[test]
+    fn empty_access() {
+        let a = WarpAccess::empty();
+        assert_eq!(a.active_lanes(), 0);
+        assert_eq!(a.distinct_lines(32).count(), 0);
+        assert_eq!(a.max_addr(), None);
+    }
+
+    #[test]
+    fn partial_mask() {
+        let mut a = WarpAccess::empty();
+        a.set(0, 0);
+        a.set(5, 100);
+        assert!(a.is_active(5));
+        assert!(!a.is_active(1));
+        assert_eq!(a.active_lanes(), 2);
+        assert_eq!(a.max_addr(), Some(100));
+        assert_eq!(a.distinct_lines(32).count(), 2);
+    }
+}

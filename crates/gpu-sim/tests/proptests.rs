@@ -1,0 +1,139 @@
+//! Property-based tests for the device simulator's invariants.
+
+use gpu_sim::memory::LINE_WORDS;
+use gpu_sim::{Cache, CacheConfig, DeviceSpec, GpuDevice, WarpAccess, WARP_SIZE};
+use proptest::prelude::*;
+
+fn warp_access(max_addr: usize) -> impl Strategy<Value = WarpAccess> {
+    proptest::collection::vec((0usize..WARP_SIZE, 0usize..max_addr), 0..=WARP_SIZE)
+        .prop_map(WarpAccess::from_lanes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn transactions_bounded_by_active_lanes(a in warp_access(1 << 16)) {
+        let lines = a.distinct_lines(LINE_WORDS);
+        prop_assert!(lines.count() <= a.active_lanes() as usize);
+        if a.active_lanes() > 0 {
+            prop_assert!(lines.count() >= 1);
+        } else {
+            prop_assert_eq!(lines.count(), 0);
+        }
+    }
+
+    #[test]
+    fn lines_cover_all_active_addresses(a in warp_access(1 << 12)) {
+        let lines: Vec<usize> = a.distinct_lines(LINE_WORDS).iter().collect();
+        for (_, addr) in a.iter_active() {
+            prop_assert!(lines.contains(&(addr / LINE_WORDS)));
+        }
+        // And no duplicates.
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), lines.len());
+    }
+
+    #[test]
+    fn cache_hits_plus_misses_equals_accesses(lines in proptest::collection::vec(0usize..512, 1..200)) {
+        let mut c = Cache::new(CacheConfig::fermi_l1_16k());
+        for &l in &lines {
+            c.access(l);
+        }
+        prop_assert_eq!(c.stats().accesses(), lines.len() as u64);
+    }
+
+    #[test]
+    fn cache_is_lru_consistent(lines in proptest::collection::vec(0usize..8, 1..100)) {
+        // A direct-mapped-sized working set (8 lines into a cache with
+        // >= 8 ways * sets) must stop missing after the first pass.
+        let mut c = Cache::new(CacheConfig::fermi_l2());
+        for &l in &lines {
+            c.access(l);
+        }
+        c.reset_stats();
+        for &l in &lines {
+            c.access(l);
+        }
+        prop_assert_eq!(c.stats().misses, 0);
+    }
+
+    #[test]
+    fn memory_roundtrip_arbitrary_pattern(
+        vals in proptest::collection::vec(any::<u32>(), WARP_SIZE),
+        offsets in proptest::collection::vec(0usize..256, WARP_SIZE),
+    ) {
+        // Distinct per-lane addresses: base + lane-unique offset.
+        let mut dev = GpuDevice::new(DeviceSpec::tesla_c2050());
+        let buf = dev.alloc(1024).unwrap();
+        // Make offsets unique by adding the lane index * 256.
+        let addrs: Vec<usize> = offsets
+            .iter()
+            .enumerate()
+            .map(|(l, &o)| buf.addr() + (o + l * 256) % 1024)
+            .collect();
+        // Deduplicate collisions by lane priority: later lanes win on store,
+        // so only assert lanes whose address is not reused by a later lane.
+        let access = WarpAccess::from_lanes(addrs.iter().copied().enumerate());
+        let mut varr = [0u32; WARP_SIZE];
+        varr.copy_from_slice(&vals);
+
+        struct K {
+            access: WarpAccess,
+            vals: [u32; WARP_SIZE],
+        }
+        impl gpu_sim::BlockKernel for K {
+            fn config(&self) -> gpu_sim::LaunchConfig {
+                gpu_sim::LaunchConfig {
+                    threads_per_block: 32,
+                    regs_per_thread: 4,
+                    shared_words: 0,
+                }
+            }
+            fn run_block(&self, ctx: &mut gpu_sim::BlockCtx<'_>) -> Result<(), gpu_sim::GpuError> {
+                ctx.global_store(&self.access, &self.vals)?;
+                Ok(())
+            }
+        }
+        dev.launch(&K { access, vals: varr }, 1, "store").unwrap();
+        let (data, _) = dev.copy_from_device(buf, 1024).unwrap();
+        for lane in 0..WARP_SIZE {
+            let addr = addrs[lane];
+            if addrs[lane + 1..].contains(&addr) {
+                continue; // a later lane overwrote this address
+            }
+            prop_assert_eq!(data[addr - buf.addr()], varr[lane]);
+        }
+    }
+
+    #[test]
+    fn block_cycles_monotone_in_work(
+        instr in 0u64..100_000,
+        extra in 1u64..10_000,
+    ) {
+        let tm = gpu_sim::TimingModel::default();
+        let spec = DeviceSpec::tesla_c1060();
+        let base = gpu_sim::timing::BlockCost {
+            warp_instructions: instr,
+            ..Default::default()
+        };
+        let more = gpu_sim::timing::BlockCost {
+            warp_instructions: instr + extra,
+            ..Default::default()
+        };
+        prop_assert!(tm.block_cycles(&spec, &more) >= tm.block_cycles(&spec, &base));
+    }
+
+    #[test]
+    fn makespan_at_least_mean_and_max(blocks in proptest::collection::vec(1.0f64..10_000.0, 1..200)) {
+        let tm = gpu_sim::TimingModel::default();
+        let spec = DeviceSpec::tesla_c1060();
+        let t = tm.launch_cycles(&spec, &blocks, 0) - tm.launch_overhead_cycles;
+        let total: f64 = blocks.iter().sum();
+        let max = blocks.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(t + 1e-9 >= total / spec.sm_count as f64);
+        prop_assert!(t + 1e-9 >= max);
+    }
+}

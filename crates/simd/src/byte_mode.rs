@@ -1,0 +1,320 @@
+//! Byte-mode striped Smith-Waterman with word-mode fallback.
+//!
+//! SWPS3 (and Farrar's original implementation) first runs the striped
+//! kernel with **16 lanes of 8-bit unsigned** arithmetic — twice the lane
+//! count of word mode — and only falls back to 16-bit word mode when the
+//! score saturates. Scores are kept non-negative by adding a *bias* (the
+//! magnitude of the most negative substitution score) to every profile
+//! entry and subtracting it back after the diagonal add.
+//!
+//! [`sw_striped_adaptive`] is the production entry point: byte mode first,
+//! exact word-mode re-run on overflow.
+
+#![allow(clippy::needless_range_loop)] // lane loops mirror SIMD semantics
+
+use crate::farrar::{striped_profile, sw_striped};
+use sw_align::smith_waterman::SwParams;
+
+/// Lanes in byte mode (`__m128i` as 16 × u8).
+pub const BYTE_LANES: usize = 16;
+
+/// A 16-lane `u8` vector with SSE2-style unsigned saturating semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct U8x16(pub [u8; BYTE_LANES]);
+
+impl U8x16 {
+    /// All lanes equal to `v`.
+    #[inline]
+    pub fn splat(v: u8) -> Self {
+        Self([v; BYTE_LANES])
+    }
+
+    /// All-zero vector.
+    #[inline]
+    pub fn zero() -> Self {
+        Self::splat(0)
+    }
+
+    /// Lane-wise unsigned saturating addition (`paddusb`).
+    #[inline]
+    pub fn sat_add(self, rhs: Self) -> Self {
+        let mut out = [0u8; BYTE_LANES];
+        for i in 0..BYTE_LANES {
+            out[i] = self.0[i].saturating_add(rhs.0[i]);
+        }
+        Self(out)
+    }
+
+    /// Lane-wise unsigned saturating subtraction (`psubusb`).
+    #[inline]
+    pub fn sat_sub(self, rhs: Self) -> Self {
+        let mut out = [0u8; BYTE_LANES];
+        for i in 0..BYTE_LANES {
+            out[i] = self.0[i].saturating_sub(rhs.0[i]);
+        }
+        Self(out)
+    }
+
+    /// Lane-wise maximum (`pmaxub`).
+    #[inline]
+    pub fn max(self, rhs: Self) -> Self {
+        let mut out = [0u8; BYTE_LANES];
+        for i in 0..BYTE_LANES {
+            out[i] = self.0[i].max(rhs.0[i]);
+        }
+        Self(out)
+    }
+
+    /// True when any lane of `self` is strictly greater than `rhs`.
+    #[inline]
+    pub fn any_gt(self, rhs: Self) -> bool {
+        for i in 0..BYTE_LANES {
+            if self.0[i] > rhs.0[i] {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Shift lanes towards higher indices by one, inserting `fill`.
+    #[inline]
+    pub fn shift_in(self, fill: u8) -> Self {
+        let mut out = [fill; BYTE_LANES];
+        out[1..BYTE_LANES].copy_from_slice(&self.0[..BYTE_LANES - 1]);
+        Self(out)
+    }
+
+    /// Maximum over all lanes.
+    #[inline]
+    pub fn horizontal_max(self) -> u8 {
+        let mut m = self.0[0];
+        for i in 1..BYTE_LANES {
+            m = m.max(self.0[i]);
+        }
+        m
+    }
+}
+
+/// Striped byte profile: biased scores, 16 lanes per segment.
+#[derive(Debug, Clone)]
+pub struct ByteProfile {
+    seg_len: usize,
+    bias: u8,
+    /// Scores at or above this saturate within one more column.
+    overflow_at: u8,
+    vectors: Vec<U8x16>,
+}
+
+impl ByteProfile {
+    /// Build the biased byte profile of `query` under `params`.
+    pub fn build(params: &SwParams, query: &[u8]) -> Self {
+        let m = query.len();
+        let seg_len = m.div_ceil(BYTE_LANES).max(1);
+        let alphabet_size = params.matrix.size();
+        let bias = (-params.matrix.min_score()).max(0) as u8;
+        let mut vectors = Vec::with_capacity(alphabet_size * seg_len);
+        for a in 0..alphabet_size as u8 {
+            let row = params.matrix.row(a);
+            for j in 0..seg_len {
+                let mut v = [0u8; BYTE_LANES]; // padding scores bias-0 = min
+                for (k, slot) in v.iter_mut().enumerate() {
+                    let pos = j + k * seg_len;
+                    if pos < m {
+                        *slot = (row[query[pos] as usize] as i32 + bias as i32) as u8;
+                    }
+                }
+                vectors.push(U8x16(v));
+            }
+        }
+        let overflow_at = 255u8
+            .saturating_sub(bias)
+            .saturating_sub(params.matrix.max_score().clamp(0, 255) as u8);
+        Self {
+            seg_len,
+            bias,
+            overflow_at,
+            vectors,
+        }
+    }
+
+    #[inline]
+    fn get(&self, a: u8, j: usize) -> U8x16 {
+        self.vectors[a as usize * self.seg_len + j]
+    }
+
+    /// Segments per residue row.
+    pub fn seg_len(&self) -> usize {
+        self.seg_len
+    }
+
+    /// The bias added to every score.
+    pub fn bias(&self) -> u8 {
+        self.bias
+    }
+}
+
+/// Byte-mode result: `None` means the score saturated and word mode must
+/// be used.
+pub fn sw_striped_bytes(params: &SwParams, profile: &ByteProfile, db: &[u8]) -> Option<i32> {
+    let seg_len = profile.seg_len();
+    let v_open = U8x16::splat(params.gaps.open.clamp(0, 255) as u8);
+    let v_extend = U8x16::splat(params.gaps.extend.clamp(0, 255) as u8);
+    let v_bias = U8x16::splat(profile.bias());
+    let mut h_store = vec![U8x16::zero(); seg_len];
+    let mut h_load = vec![U8x16::zero(); seg_len];
+    let mut e = vec![U8x16::zero(); seg_len];
+    let mut v_max = U8x16::zero();
+
+    for &d in db {
+        let mut v_f = U8x16::zero();
+        let mut v_h = h_store[seg_len - 1].shift_in(0);
+        std::mem::swap(&mut h_store, &mut h_load);
+        for j in 0..seg_len {
+            // Biased add, then remove the bias: H + w = (H +sat (w + bias))
+            // -sat bias. Padding lanes carry score 0 (= true minimum), so
+            // they sink towards zero and never win the maximum.
+            v_h = v_h.sat_add(profile.get(d, j)).sat_sub(v_bias);
+            v_h = v_h.max(e[j]).max(v_f);
+            v_max = v_max.max(v_h);
+            h_store[j] = v_h;
+            e[j] = e[j].sat_sub(v_extend).max(v_h.sat_sub(v_open));
+            v_f = v_f.sat_sub(v_extend).max(v_h.sat_sub(v_open));
+            v_h = h_load[j];
+        }
+        // Lazy-F across segment boundaries; a raised H also raises the
+        // next column's E (derived from the unrepaired H in the main loop).
+        // Early exit is sound only for strictly affine gaps: with
+        // open == extend, a lazily-raised H generates an F chain exactly
+        // equal to the exit threshold, which the cutoff would drop. The
+        // outer loop bounds the full propagation at BYTE_LANES wraps either way.
+        let early_exit = params.gaps.open > params.gaps.extend;
+        'lazy_f: for _ in 0..BYTE_LANES {
+            v_f = v_f.shift_in(0);
+            for j in 0..seg_len {
+                let h = h_store[j].max(v_f);
+                h_store[j] = h;
+                v_max = v_max.max(h);
+                e[j] = e[j].max(h.sat_sub(v_open));
+                v_f = v_f.sat_sub(v_extend);
+                if early_exit && !v_f.any_gt(h.sat_sub(v_open)) {
+                    break 'lazy_f;
+                }
+            }
+        }
+        // Overflow check: once the running max could saturate during the
+        // next column's biased add, the result is a lower bound only.
+        if v_max.horizontal_max() >= profile.overflow_at {
+            return None;
+        }
+    }
+    Some(v_max.horizontal_max() as i32)
+}
+
+/// Statistics of an adaptive (byte-first) alignment batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdaptiveStats {
+    /// Alignments resolved in byte mode.
+    pub byte_mode: u64,
+    /// Alignments that overflowed and re-ran in word mode.
+    pub word_fallbacks: u64,
+}
+
+/// Byte mode first, exact word-mode re-run on saturation — SWPS3's
+/// production strategy.
+pub fn sw_striped_adaptive(
+    params: &SwParams,
+    byte_profile: &ByteProfile,
+    query: &[u8],
+    db: &[u8],
+    stats: &mut AdaptiveStats,
+) -> i32 {
+    if query.is_empty() || db.is_empty() {
+        return 0;
+    }
+    match sw_striped_bytes(params, byte_profile, db) {
+        Some(score) => {
+            stats.byte_mode += 1;
+            score
+        }
+        None => {
+            stats.word_fallbacks += 1;
+            let profile = striped_profile(params, query);
+            sw_striped(params, &profile, db).score
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_align::alphabet::encode_protein;
+    use sw_align::smith_waterman::sw_score;
+    use sw_db::synth::make_query;
+
+    fn p() -> SwParams {
+        SwParams::cudasw_default()
+    }
+
+    #[test]
+    fn byte_mode_matches_scalar_below_saturation() {
+        let cases = [
+            ("MKVLAW", "MKVLAW"),
+            ("ACDEFG", "ACDXXEFG"),
+            ("WWWW", "PPPP"),
+            ("MSPARKLNQWETYCV", "MSPRKLNQWWETYCV"),
+        ];
+        for (q, d) in cases {
+            let qc = encode_protein(q).unwrap();
+            let dc = encode_protein(d).unwrap();
+            let profile = ByteProfile::build(&p(), &qc);
+            let byte = sw_striped_bytes(&p(), &profile, &dc).expect("no overflow");
+            assert_eq!(byte, sw_score(&p(), &qc, &dc), "q={q} d={d}");
+        }
+    }
+
+    #[test]
+    fn long_self_alignment_overflows_byte_range() {
+        // A 200-residue self alignment scores far above 255.
+        let q = make_query(200, 31);
+        let profile = ByteProfile::build(&p(), &q);
+        assert!(sw_striped_bytes(&p(), &profile, &q).is_none());
+    }
+
+    #[test]
+    fn adaptive_is_always_exact() {
+        let mut stats = AdaptiveStats::default();
+        // Mix of small (byte-mode) and self-matching (fallback) pairs.
+        let queries = [make_query(40, 1), make_query(120, 2)];
+        for q in &queries {
+            let profile = ByteProfile::build(&p(), q);
+            let others = [make_query(60, 3), q.clone(), make_query(25, 4)];
+            for d in &others {
+                let adaptive = sw_striped_adaptive(&p(), &profile, q, d, &mut stats);
+                assert_eq!(adaptive, sw_score(&p(), q, d));
+            }
+        }
+        assert!(stats.byte_mode > 0, "some pairs must stay in byte mode");
+        assert!(stats.word_fallbacks > 0, "self matches must fall back");
+    }
+
+    #[test]
+    fn vector_ops() {
+        let a = U8x16::splat(250);
+        assert_eq!(a.sat_add(U8x16::splat(10)), U8x16::splat(255));
+        assert_eq!(U8x16::splat(3).sat_sub(U8x16::splat(10)), U8x16::zero());
+        let mut v = [0u8; 16];
+        v[15] = 9;
+        assert_eq!(U8x16(v).horizontal_max(), 9);
+        assert!(U8x16(v).any_gt(U8x16::zero()));
+        assert_eq!(U8x16(v).shift_in(7).0[0], 7);
+        assert_eq!(U8x16(v).shift_in(7).0[15], 0);
+    }
+
+    #[test]
+    fn profile_bias_is_matrix_minimum() {
+        let q = encode_protein("MKV").unwrap();
+        let profile = ByteProfile::build(&p(), &q);
+        assert_eq!(profile.bias() as i32, -p().matrix.min_score());
+        assert_eq!(profile.seg_len(), 1);
+    }
+}

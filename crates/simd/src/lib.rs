@@ -1,0 +1,40 @@
+//! Vectorized CPU Smith-Waterman — the SWPS3 stand-in.
+//!
+//! Figure 7 of the paper compares CUDASW++ against SWPS3, "a vectorized
+//! SSE implementation of Smith-Waterman using four cores of an Intel Xeon".
+//! SWPS3 implements Farrar's *striped* algorithm, whose defining cost is
+//! the **Lazy-F** correction loop ("the need of SWPS3 to correct errors
+//! which are a result of a vertical traversal through the SW tables. The
+//! correction requires at least another pass, which is known as the Lazy-F
+//! loop"). That loop is exactly why SWPS3's throughput varies with query
+//! length in Figure 7.
+//!
+//! This crate provides:
+//!
+//! * [`vector`] — a portable 8-lane `i16` vector with the saturating
+//!   SSE2-style operations the algorithms need (written so LLVM
+//!   auto-vectorizes it);
+//! * [`farrar`] — Farrar's striped algorithm with the Lazy-F loop,
+//!   including a counter of Lazy-F passes;
+//! * [`byte_mode`] — SWPS3's 16-lane 8-bit mode with overflow detection
+//!   and word-mode fallback;
+//! * [`wozniak`] — Wozniak's anti-diagonal vectorization (no Lazy-F, but
+//!   sequential similarity lookups — the weakness the query profile fixes);
+//! * [`rognes`] — Rognes–Seeberg sequential vertical vectorization with a
+//!   query profile and the SWAT-like F-skip optimization;
+//! * [`swps3`] — a multi-threaded whole-database search driver in the role
+//!   SWPS3 plays in Figure 7.
+//!
+//! Every implementation is validated against `sw_align::sw_score`.
+
+pub mod byte_mode;
+pub mod farrar;
+pub mod rognes;
+pub mod swps3;
+pub mod vector;
+pub mod wozniak;
+
+pub use byte_mode::{sw_striped_adaptive, AdaptiveStats, ByteProfile};
+pub use farrar::{striped_profile, sw_striped, StripedProfile};
+pub use swps3::{Swps3Driver, Swps3Result};
+pub use vector::I16x8;

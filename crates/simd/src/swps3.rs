@@ -1,0 +1,187 @@
+//! SWPS3-style multi-threaded database search.
+//!
+//! SWPS3 runs Farrar's striped kernel over a whole database with dynamic
+//! scheduling across cores; Figure 7 runs it on four Xeon cores as the CPU
+//! reference. This driver reproduces that role: worker threads pull
+//! sequences from a shared crossbeam channel (dynamic load balancing, like
+//! SWPS3's work queue) and align them with the striped kernel; the query
+//! profile is built once and shared.
+//!
+//! Throughput here is *host-measured* (real wall-clock GCUPs of this
+//! machine), unlike the GPU kernels whose time is simulated — EXPERIMENTS.md
+//! discusses how the two are compared in Figure 7.
+
+use crate::byte_mode::{sw_striped_adaptive, AdaptiveStats, ByteProfile};
+use parking_lot::Mutex;
+use std::time::Instant;
+use sw_align::smith_waterman::SwParams;
+use sw_db::Database;
+
+/// Multi-threaded striped-SW database search.
+#[derive(Debug, Clone)]
+pub struct Swps3Driver {
+    /// Alignment parameters.
+    pub params: SwParams,
+    /// Worker threads (Figure 7 uses 4).
+    pub threads: usize,
+}
+
+/// Search output.
+#[derive(Debug, Clone)]
+pub struct Swps3Result {
+    /// Scores indexed like `db.sequences()`.
+    pub scores: Vec<i32>,
+    /// Cells updated.
+    pub cells: u64,
+    /// Wall-clock seconds (host-measured).
+    pub seconds: f64,
+    /// Byte-mode vs word-fallback counts (SWPS3 runs 16-lane byte mode
+    /// first and re-runs saturating pairs in 8-lane word mode).
+    pub adaptive: AdaptiveStats,
+}
+
+impl Swps3Result {
+    /// Host-measured GCUPs.
+    pub fn gcups(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            0.0
+        } else {
+            self.cells as f64 / self.seconds / 1.0e9
+        }
+    }
+
+    /// Indices of the `k` best-scoring sequences, best first.
+    pub fn top_hits(&self, k: usize) -> Vec<(usize, i32)> {
+        let mut ranked: Vec<(usize, i32)> = self.scores.iter().copied().enumerate().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        ranked
+    }
+}
+
+impl Swps3Driver {
+    /// Driver with the CUDASW++ default parameters and `threads` workers.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            params: SwParams::cudasw_default(),
+            threads: threads.max(1),
+        }
+    }
+
+    /// Align `query` against every database sequence.
+    pub fn search(&self, query: &[u8], db: &Database) -> Swps3Result {
+        let n = db.len();
+        let mut scores = vec![0i32; n];
+        let cells = db.total_cells(query.len());
+        if query.is_empty() || n == 0 {
+            return Swps3Result {
+                scores,
+                cells: 0,
+                seconds: 0.0,
+                adaptive: AdaptiveStats::default(),
+            };
+        }
+        let profile = ByteProfile::build(&self.params, query);
+        let (tx, rx) = crossbeam::channel::unbounded::<usize>();
+        for i in (0..n).rev() {
+            // Longest first improves tail balance, like SWPS3's scheduler.
+            tx.send(i).expect("channel open");
+        }
+        drop(tx);
+
+        let results: Mutex<Vec<(usize, i32)>> = Mutex::new(Vec::with_capacity(n));
+        let adaptive_total: Mutex<AdaptiveStats> = Mutex::new(AdaptiveStats::default());
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads {
+                let rx = rx.clone();
+                let results = &results;
+                let adaptive_total = &adaptive_total;
+                let profile = &profile;
+                let params = &self.params;
+                let db = &db;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    let mut stats = AdaptiveStats::default();
+                    while let Ok(i) = rx.recv() {
+                        let score = sw_striped_adaptive(
+                            params,
+                            profile,
+                            query,
+                            &db.sequences()[i].residues,
+                            &mut stats,
+                        );
+                        local.push((i, score));
+                    }
+                    results.lock().extend(local);
+                    let mut total = adaptive_total.lock();
+                    total.byte_mode += stats.byte_mode;
+                    total.word_fallbacks += stats.word_fallbacks;
+                });
+            }
+        });
+        let seconds = start.elapsed().as_secs_f64();
+
+        for (i, score) in results.into_inner() {
+            scores[i] = score;
+        }
+        Swps3Result {
+            scores,
+            cells,
+            seconds,
+            adaptive: adaptive_total.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_align::smith_waterman::sw_score;
+    use sw_db::synth::{database_with_lengths, make_query};
+
+    #[test]
+    fn scores_match_scalar_reference() {
+        let db = database_with_lengths("t", &[30, 50, 80, 120, 40, 66], 3);
+        let query = make_query(48, 7);
+        let driver = Swps3Driver::new(4);
+        let result = driver.search(&query, &db);
+        for (i, seq) in db.sequences().iter().enumerate() {
+            assert_eq!(
+                result.scores[i],
+                sw_score(&driver.params, &query, &seq.residues),
+                "sequence {i}"
+            );
+        }
+        assert_eq!(result.cells, db.total_cells(48));
+        assert!(result.seconds > 0.0);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let db = database_with_lengths("t", &[25, 75, 125, 60, 90, 30, 45], 5);
+        let query = make_query(64, 11);
+        let one = Swps3Driver::new(1).search(&query, &db);
+        let four = Swps3Driver::new(4).search(&query, &db);
+        assert_eq!(one.scores, four.scores);
+    }
+
+    #[test]
+    fn top_hits_ranked() {
+        let db = database_with_lengths("t", &[40, 60, 80], 9);
+        let query = db.sequences()[2].residues.clone(); // exact match exists
+        let result = Swps3Driver::new(2).search(&query, &db);
+        let top = result.top_hits(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, 2, "self-match must rank first");
+        assert!(top[0].1 >= top[1].1);
+    }
+
+    #[test]
+    fn empty_query() {
+        let db = database_with_lengths("t", &[10], 1);
+        let result = Swps3Driver::new(2).search(&[], &db);
+        assert_eq!(result.scores, vec![0]);
+        assert_eq!(result.gcups(), 0.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Portable 8-lane `i16` vector with SSE2-style saturating semantics.
+//!
+//! Written as plain fixed-size array operations with `#[inline]` so the
+//! compiler can lower them to real SIMD; the point here is the *algorithm
+//! structure* (striped layout, Lazy-F), not hand-tuned intrinsics.
+
+#![allow(clippy::needless_range_loop)] // lane-indexed loops mirror SIMD semantics
+/// Number of lanes (matches `__m128i` as 8 × i16, SWPS3's word mode).
+pub const LANES: usize = 8;
+
+/// An 8-lane `i16` vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct I16x8(pub [i16; LANES]);
+
+impl I16x8 {
+    /// All lanes equal to `v`.
+    #[inline]
+    pub fn splat(v: i16) -> Self {
+        Self([v; LANES])
+    }
+
+    /// All-zero vector.
+    #[inline]
+    pub fn zero() -> Self {
+        Self::splat(0)
+    }
+
+    /// Most negative value in every lane (the "-∞" of saturating math).
+    #[inline]
+    pub fn neg_inf() -> Self {
+        Self::splat(i16::MIN)
+    }
+
+    /// Lane-wise saturating addition (`paddsw`).
+    #[inline]
+    pub fn sat_add(self, rhs: Self) -> Self {
+        let mut out = [0i16; LANES];
+        for i in 0..LANES {
+            out[i] = self.0[i].saturating_add(rhs.0[i]);
+        }
+        Self(out)
+    }
+
+    /// Lane-wise saturating subtraction (`psubsw`).
+    #[inline]
+    pub fn sat_sub(self, rhs: Self) -> Self {
+        let mut out = [0i16; LANES];
+        for i in 0..LANES {
+            out[i] = self.0[i].saturating_sub(rhs.0[i]);
+        }
+        Self(out)
+    }
+
+    /// Lane-wise maximum (`pmaxsw`).
+    #[inline]
+    pub fn max(self, rhs: Self) -> Self {
+        let mut out = [0i16; LANES];
+        for i in 0..LANES {
+            out[i] = self.0[i].max(rhs.0[i]);
+        }
+        Self(out)
+    }
+
+    /// True when any lane of `self` is strictly greater than `rhs`
+    /// (`pcmpgtw` + `pmovmskb`).
+    #[inline]
+    pub fn any_gt(self, rhs: Self) -> bool {
+        for i in 0..LANES {
+            if self.0[i] > rhs.0[i] {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Shift lanes towards higher indices by one, inserting `fill` at lane
+    /// 0 (`pslldq` by 2 bytes).
+    #[inline]
+    pub fn shift_in(self, fill: i16) -> Self {
+        let mut out = [fill; LANES];
+        out[1..LANES].copy_from_slice(&self.0[..LANES - 1]);
+        Self(out)
+    }
+
+    /// Maximum over all lanes.
+    #[inline]
+    pub fn horizontal_max(self) -> i16 {
+        let mut m = self.0[0];
+        for i in 1..LANES {
+            m = m.max(self.0[i]);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splat_and_zero() {
+        assert_eq!(I16x8::splat(3).0, [3; 8]);
+        assert_eq!(I16x8::zero().0, [0; 8]);
+        assert_eq!(I16x8::neg_inf().0, [i16::MIN; 8]);
+    }
+
+    #[test]
+    fn saturating_add_clamps() {
+        let a = I16x8::splat(i16::MAX - 1);
+        let b = I16x8::splat(10);
+        assert_eq!(a.sat_add(b).0, [i16::MAX; 8]);
+        let c = I16x8::neg_inf().sat_sub(I16x8::splat(5));
+        assert_eq!(c.0, [i16::MIN; 8]);
+    }
+
+    #[test]
+    fn lane_wise_max() {
+        let a = I16x8([1, -2, 3, -4, 5, -6, 7, -8]);
+        let b = I16x8([-1, 2, -3, 4, -5, 6, -7, 8]);
+        assert_eq!(a.max(b).0, [1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn any_gt_semantics() {
+        let a = I16x8([0, 0, 0, 0, 0, 0, 0, 1]);
+        assert!(a.any_gt(I16x8::zero()));
+        assert!(!I16x8::zero().any_gt(I16x8::zero()));
+    }
+
+    #[test]
+    fn shift_in_moves_towards_higher_lanes() {
+        let a = I16x8([1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(a.shift_in(-9).0, [-9, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn horizontal_max() {
+        let a = I16x8([-5, 2, 9, -1, 0, 3, 8, 7]);
+        assert_eq!(a.horizontal_max(), 9);
+        assert_eq!(I16x8::neg_inf().horizontal_max(), i16::MIN);
+    }
+}

@@ -1,0 +1,172 @@
+//! Wozniak's anti-diagonal vectorization.
+//!
+//! Cells along one anti-diagonal of the DP table are independent, so they
+//! can be processed in vectors with no Lazy-F correction. The historical
+//! weakness (the motivation for the query profile, §II-A of the paper) is
+//! that the similarity lookups `w(q[i], d[j])` cannot be vectorized: each
+//! lane needs an independent two-index gather. This implementation counts
+//! those scalar lookups so benchmarks can show the contrast with
+//! profile-based kernels.
+
+use crate::vector::{I16x8, LANES};
+use sw_align::smith_waterman::SwParams;
+
+/// Result of an anti-diagonal alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WozniakResult {
+    /// Optimal local score.
+    pub score: i32,
+    /// Scalar similarity-function lookups performed.
+    pub scalar_lookups: u64,
+}
+
+/// Anti-diagonal Smith-Waterman.
+pub fn sw_antidiagonal(params: &SwParams, query: &[u8], db: &[u8]) -> WozniakResult {
+    let m = query.len();
+    let n = db.len();
+    if m == 0 || n == 0 {
+        return WozniakResult {
+            score: 0,
+            scalar_lookups: 0,
+        };
+    }
+    let open = params.gaps.open as i16;
+    let extend = params.gaps.extend as i16;
+    let neg = i16::MIN / 2;
+
+    // Rolling per-diagonal arrays indexed by query row i. A cell (i, j) of
+    // diagonal d = i + j reads:
+    //   left  (i,   j-1): diagonal d-1, index i      (H and E)
+    //   up    (i-1, j  ): diagonal d-1, index i-1    (H and F)
+    //   diag  (i-1, j-1): diagonal d-2, index i-1    (H)
+    // Zero-initialized H arrays encode the local-alignment boundary; E/F
+    // start at -inf.
+    let mut h1 = vec![0i16; m]; // diagonal d-1
+    let mut h2 = vec![0i16; m]; // diagonal d-2
+    let mut e1 = vec![neg; m];
+    let mut f1 = vec![neg; m];
+    let mut h0 = vec![0i16; m];
+    let mut e0 = vec![neg; m];
+    let mut f0 = vec![neg; m];
+
+    let v_open = I16x8::splat(open);
+    let v_extend = I16x8::splat(extend);
+    let mut best = 0i16;
+    let mut scalar_lookups = 0u64;
+
+    let gather = |src: &[i16], base: isize, fallback: i16| -> I16x8 {
+        let mut v = [fallback; LANES];
+        for (k, slot) in v.iter_mut().enumerate() {
+            let idx = base + k as isize;
+            if idx >= 0 && (idx as usize) < src.len() {
+                *slot = src[idx as usize];
+            }
+        }
+        I16x8(v)
+    };
+
+    for d in 0..(m + n - 1) {
+        let i_lo = d.saturating_sub(n - 1);
+        let i_hi = d.min(m - 1);
+        let mut i = i_lo;
+        while i <= i_hi {
+            let lanes = LANES.min(i_hi - i + 1);
+            // Gather operands for rows i..i+lanes.
+            // Left neighbour exists when j-1 >= 0, i.e. row < d; rows at
+            // row == d have j == 0. The zero-filled h1 covers row == d
+            // (never written for this window yet) only when d < m; guard
+            // with explicit masking through the fallback of gather plus a
+            // post-fix below for the j == 0 lanes.
+            let h_left = gather(&h1, i as isize, 0);
+            let e_left = gather(&e1, i as isize, neg);
+            let h_up = gather(&h1, i as isize - 1, 0);
+            let f_up = gather(&f1, i as isize - 1, neg);
+            let h_diag = gather(&h2, i as isize - 1, 0);
+
+            // Substitution scores: the sequential lookups.
+            let mut w = [0i16; LANES];
+            for (k, slot) in w.iter_mut().enumerate().take(lanes) {
+                let row = i + k;
+                let col = d - row;
+                *slot = params.matrix.score(query[row], db[col]) as i16;
+                scalar_lookups += 1;
+            }
+            let v_w = I16x8(w);
+
+            let e = e_left.sat_sub(v_extend).max(h_left.sat_sub(v_open));
+            let f = f_up.sat_sub(v_extend).max(h_up.sat_sub(v_open));
+            let h = h_diag
+                .sat_add(v_w)
+                .max(e)
+                .max(f)
+                .max(I16x8::zero());
+
+            for k in 0..lanes {
+                let row = i + k;
+                h0[row] = h.0[k];
+                e0[row] = e.0[k];
+                f0[row] = f.0[k];
+                if h.0[k] > best {
+                    best = h.0[k];
+                }
+            }
+            i += lanes;
+        }
+        // Rotate: d-1 becomes d-2, d becomes d-1.
+        std::mem::swap(&mut h2, &mut h1);
+        std::mem::swap(&mut h1, &mut h0);
+        std::mem::swap(&mut e1, &mut e0);
+        std::mem::swap(&mut f1, &mut f0);
+        // Stale windows are never read (see the range analysis above), so
+        // no clearing is needed.
+    }
+
+    WozniakResult {
+        score: best as i32,
+        scalar_lookups,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_align::alphabet::encode_protein;
+    use sw_align::smith_waterman::sw_score;
+
+    fn p() -> SwParams {
+        SwParams::cudasw_default()
+    }
+
+    #[test]
+    fn matches_scalar_on_fixed_cases() {
+        let cases = [
+            ("MKVLAW", "MKVLAW"),
+            ("ACDEFG", "ACDXXEFG"),
+            ("WWWW", "PPPP"),
+            ("MSPARKLNQWETYCV", "MSPRKLNQWWETYCV"),
+            ("M", "MKVLLLLAW"),
+            ("MKVLAWMKVLAWMKVLAW", "MK"),
+        ];
+        for (q, d) in cases {
+            let qc = encode_protein(q).unwrap();
+            let dc = encode_protein(d).unwrap();
+            let r = sw_antidiagonal(&p(), &qc, &dc);
+            assert_eq!(r.score, sw_score(&p(), &qc, &dc), "q={q} d={d}");
+        }
+    }
+
+    #[test]
+    fn lookup_count_is_cell_count() {
+        let qc = encode_protein("MKVLAW").unwrap();
+        let dc = encode_protein("ACDEFGH").unwrap();
+        let r = sw_antidiagonal(&p(), &qc, &dc);
+        assert_eq!(r.scalar_lookups, (qc.len() * dc.len()) as u64);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let r = sw_antidiagonal(&p(), &[], &[0, 1]);
+        assert_eq!(r.score, 0);
+        assert_eq!(r.scalar_lookups, 0);
+    }
+}

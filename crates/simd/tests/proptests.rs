@@ -1,0 +1,72 @@
+//! Property tests: every vectorized aligner equals the scalar reference.
+
+use proptest::prelude::*;
+use sw_align::smith_waterman::{sw_score, SwParams};
+use sw_simd::byte_mode::{sw_striped_adaptive, AdaptiveStats, ByteProfile};
+use sw_simd::farrar::sw_striped_score;
+use sw_simd::rognes::sw_vertical;
+use sw_simd::wozniak::sw_antidiagonal;
+
+fn protein_seq(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..20, 1..=max_len)
+}
+
+fn params() -> SwParams {
+    SwParams::cudasw_default()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn striped_equals_scalar(q in protein_seq(96), d in protein_seq(96)) {
+        let p = params();
+        prop_assert_eq!(sw_striped_score(&p, &q, &d), sw_score(&p, &q, &d));
+    }
+
+    #[test]
+    fn antidiagonal_equals_scalar(q in protein_seq(64), d in protein_seq(64)) {
+        let p = params();
+        prop_assert_eq!(sw_antidiagonal(&p, &q, &d).score, sw_score(&p, &q, &d));
+    }
+
+    #[test]
+    fn vertical_equals_scalar(q in protein_seq(64), d in protein_seq(64)) {
+        let p = params();
+        prop_assert_eq!(sw_vertical(&p, &q, &d).score, sw_score(&p, &q, &d));
+    }
+
+    #[test]
+    fn striped_with_other_gap_models(
+        q in protein_seq(48),
+        d in protein_seq(48),
+        open in 1i32..20,
+        extend in 1i32..5,
+    ) {
+        prop_assume!(open >= extend);
+        let mut p = params();
+        p.gaps = sw_align::GapPenalties::new(open, extend).unwrap();
+        prop_assert_eq!(sw_striped_score(&p, &q, &d), sw_score(&p, &q, &d));
+    }
+
+    #[test]
+    fn adaptive_byte_mode_equals_scalar(q in protein_seq(96), d in protein_seq(96)) {
+        let p = params();
+        let profile = ByteProfile::build(&p, &q);
+        let mut stats = AdaptiveStats::default();
+        prop_assert_eq!(
+            sw_striped_adaptive(&p, &profile, &q, &d, &mut stats),
+            sw_score(&p, &q, &d)
+        );
+    }
+
+    #[test]
+    fn all_vector_variants_agree(q in protein_seq(40), d in protein_seq(40)) {
+        let p = params();
+        let a = sw_striped_score(&p, &q, &d);
+        let b = sw_antidiagonal(&p, &q, &d).score;
+        let c = sw_vertical(&p, &q, &d).score;
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(b, c);
+    }
+}

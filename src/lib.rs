@@ -1,0 +1,27 @@
+//! Umbrella crate for the CUDASW++ reproduction workspace.
+//!
+//! Re-exports the public API of every member crate so the examples and
+//! integration tests (and downstream users who want a single dependency)
+//! can reach the whole system through one import:
+//!
+//! ```
+//! use cudasw_repro::prelude::*;
+//!
+//! let params = SwParams::cudasw_default();
+//! let q = encode_protein("MKVLAW").unwrap();
+//! assert!(sw_score(&params, &q, &q) > 0);
+//! ```
+
+pub use cudasw_core as core;
+pub use gpu_sim;
+pub use sw_align as align;
+pub use sw_db as db;
+pub use sw_simd as simd;
+
+/// The most commonly used items across the workspace.
+pub mod prelude {
+    pub use sw_align::{
+        encode_protein, sw_score, Alphabet, GapPenalties, PackedProfile, QueryProfile,
+        ScoringMatrix, SwParams,
+    };
+}

@@ -1,0 +1,139 @@
+//! The paper's quantitative claims, checked against this reproduction at
+//! paper scale (via the validated analytic models) and at reduced
+//! functional scale. EXPERIMENTS.md discusses each band.
+
+use cudasw_bench::experiments::{fig2, fig3, fig5, fig6, predict, table2};
+use cudasw_bench::workloads;
+use cudasw_core::model::{predict_inter_group, predict_intra_improved, predict_intra_orig, PredictedIntra};
+use cudasw_core::ImprovedParams;
+use gpu_sim::{DeviceSpec, TimingModel};
+use sw_db::catalog::PaperDb;
+
+/// §II-C: "the inter-task kernel averages approximately 17 GCUPs while the
+/// intra-task kernel averages 1.5 GCUPs [...] on the Tesla C1060."
+#[test]
+fn kernel_level_calibration_bands() {
+    let spec = DeviceSpec::tesla_c1060();
+    let tm = TimingModel::default();
+    let lengths = workloads::paper_scale_lengths(PaperDb::Swissprot);
+    let split = lengths.partition_point(|&l| l < 3072);
+
+    let inter = predict_inter_group(&spec, &tm, &lengths[..split], 567, 256);
+    assert!(
+        (13.0..=25.0).contains(&inter.gcups()),
+        "inter-task = {:.1} GCUPs (paper ≈ 17)",
+        inter.gcups()
+    );
+
+    let long = &lengths[split..];
+    let orig = predict_intra_orig(&spec, &tm, long, 567, false);
+    assert!(
+        (0.8..=4.0).contains(&orig.gcups()),
+        "original intra-task = {:.1} GCUPs (paper ≈ 1.5)",
+        orig.gcups()
+    );
+
+    // §I: "We improve the performance of the intra-task kernel by over 11
+    // times" — band: at least 6x in this reproduction.
+    let imp = predict_intra_improved(&spec, &tm, long, 567, &ImprovedParams::default(), false);
+    let speedup = imp.gcups() / orig.gcups();
+    assert!(
+        speedup >= 6.0,
+        "intra-task speedup {speedup:.1}x (paper > 11x)"
+    );
+}
+
+/// §II-C: "CUDASW++ achieves a performance of 17 GCUPs on a Tesla C1060.
+/// When we increase this threshold to 36,000 [...] the performance drops
+/// to 10 GCUPs."
+///
+/// Partially reproduced (see EXPERIMENTS.md): our scheduler absorbs more
+/// of the extreme-straggler barrier than the real driver did, so the
+/// all-inter-task configuration lands near the original-kernel default
+/// rather than 41% below it. What does hold: the straggler group itself
+/// collapses (its GCUPs are far below the device's inter-task rate), and
+/// the improved-kernel default strictly beats all-inter-task — i.e. the
+/// threshold remains necessary.
+#[test]
+fn all_inter_task_threshold_costs_performance() {
+    let spec = DeviceSpec::tesla_c1060();
+    let tm = TimingModel::default();
+    let lengths = workloads::paper_scale_lengths(PaperDb::Swissprot);
+
+    // The tail-holding group runs far below the healthy inter-task rate.
+    let s = spec.intertask_group_size(256, 30, 0) as usize;
+    let tail_start = lengths.len() - (lengths.len() % s).max(s).min(lengths.len());
+    let tail_group = predict_inter_group(&spec, &tm, &lengths[tail_start..], 567, 256);
+    let healthy = predict_inter_group(&spec, &tm, &lengths[..s], 567, 256);
+    assert!(
+        tail_group.gcups() < healthy.gcups() * 0.6,
+        "straggler group {:.1} GCUPs vs healthy group {:.1}",
+        tail_group.gcups(),
+        healthy.gcups()
+    );
+
+    // And the improved-kernel default threshold beats all-inter-task.
+    let improved_default = predict(&spec, &lengths, 567, 3072, PredictedIntra::Improved, false);
+    let all_inter = predict(&spec, &lengths, 567, 36_000, PredictedIntra::Improved, false);
+    assert!(
+        all_inter.gcups() < improved_default.gcups(),
+        "all-inter {:.1} vs improved default {:.1}",
+        all_inter.gcups(),
+        improved_default.gcups()
+    );
+}
+
+/// Figure 2: the kernels cross as length variance grows.
+#[test]
+fn figure2_crossover_exists() {
+    let r = fig2::run(&DeviceSpec::tesla_c1060(), 15_360, &fig2::paper_stds(), 567);
+    assert!(r.crossover_std.is_some());
+}
+
+/// Figure 3: the original kernel's threshold cliff.
+#[test]
+fn figure3_threshold_cliff() {
+    let r = fig3::run(&DeviceSpec::tesla_c1060(), 572);
+    assert!(r.worst < r.at_default * 0.7);
+}
+
+/// Figure 5 / §IV-A: the improved kernel always wins, gains grow with the
+/// intra-task share, and the C1060 gains exceed the C2050 gains.
+#[test]
+fn figure5_gain_structure() {
+    let r = fig5::run(576, false);
+    for (dev, g) in &r.gain_at_default {
+        assert!(*g > 0.0, "{dev} gain at default = {g:.1}%");
+    }
+    let max_c2050 = r.gain_max[0].1;
+    let max_c1060 = r.gain_max[1].1;
+    assert!(
+        max_c1060 > max_c2050,
+        "C1060 max gain {max_c1060:.1}% should exceed C2050 {max_c2050:.1}%"
+    );
+    // Paper: max gains 67.0% (C1060) and 39.3% (C2050). Wide bands.
+    assert!((20.0..=200.0).contains(&max_c1060));
+    assert!((10.0..=150.0).contains(&max_c2050));
+}
+
+/// Figure 6: the original kernel's Fermi advantage is the cache.
+#[test]
+fn figure6_cache_attribution() {
+    let r = fig6::run(576);
+    assert!(r.c2050_original_share_delta() > r.c2050_improved_share_delta());
+    assert!(r.c2050_original_share_delta() > 5.0, "cache effect too small");
+}
+
+/// Table II: improvement on every database, smallest on TAIR.
+#[test]
+fn table2_structure() {
+    let r = table2::run();
+    for db in PaperDb::all() {
+        for dev in ["Tesla C1060", "Tesla C2050"] {
+            assert!(r.mean_gain(db.name(), dev) > 0.0, "{} on {dev}", db.name());
+        }
+    }
+    let tair = r.mean_gain(PaperDb::Tair.name(), "Tesla C1060");
+    let swiss = r.mean_gain(PaperDb::Swissprot.name(), "Tesla C1060");
+    assert!(tair <= swiss * 1.5, "TAIR gain {tair:.3} vs Swissprot {swiss:.3}");
+}
