@@ -119,10 +119,7 @@ impl KarlinParams {
     /// E-value of a raw score against a search space of `query_len ×
     /// db_residues`: `K·m·n·exp(−λS)`.
     pub fn evalue(&self, raw_score: i32, query_len: usize, db_residues: u64) -> f64 {
-        self.k
-            * query_len as f64
-            * db_residues as f64
-            * (-self.lambda * raw_score as f64).exp()
+        self.k * query_len as f64 * db_residues as f64 * (-self.lambda * raw_score as f64).exp()
     }
 
     /// The raw score needed for an E-value of `target` in the given search
@@ -141,11 +138,7 @@ mod tests {
     fn blosum62_lambda_matches_published_value() {
         // BLAST's ungapped BLOSUM62 λ = 0.3176 (natural log units).
         let p = KarlinParams::for_protein_matrix(&ScoringMatrix::blosum62()).unwrap();
-        assert!(
-            (p.lambda - 0.3176).abs() < 0.01,
-            "lambda = {:.4}",
-            p.lambda
-        );
+        assert!((p.lambda - 0.3176).abs() < 0.01, "lambda = {:.4}", p.lambda);
         // Published H ≈ 0.40 nats.
         assert!((p.entropy - 0.40).abs() < 0.05, "H = {:.3}", p.entropy);
     }

@@ -36,7 +36,10 @@ impl GapPenalties {
 
     /// The parameters of the CUDASW++ evaluation: ρ = 10, σ = 2.
     pub fn cudasw_default() -> Self {
-        Self { open: 10, extend: 2 }
+        Self {
+            open: 10,
+            extend: 2,
+        }
     }
 
     /// Total cost of a gap of `len` unpaired symbols.
@@ -61,7 +64,13 @@ mod tests {
 
     #[test]
     fn default_matches_cudasw() {
-        assert_eq!(GapPenalties::default(), GapPenalties { open: 10, extend: 2 });
+        assert_eq!(
+            GapPenalties::default(),
+            GapPenalties {
+                open: 10,
+                extend: 2
+            }
+        );
     }
 
     #[test]
@@ -69,7 +78,10 @@ mod tests {
         assert!(GapPenalties::new(10, 2).is_ok());
         assert!(GapPenalties::new(2, 2).is_ok());
         assert!(GapPenalties::new(1, 2).is_err(), "open < extend rejected");
-        assert!(GapPenalties::new(5, -1).is_err(), "negative extend rejected");
+        assert!(
+            GapPenalties::new(5, -1).is_err(),
+            "negative extend rejected"
+        );
     }
 
     #[test]

@@ -57,7 +57,11 @@ mod tests {
     }
 
     fn nw(q: &str, d: &str) -> i32 {
-        nw_score(&p(), &encode_protein(q).unwrap(), &encode_protein(d).unwrap())
+        nw_score(
+            &p(),
+            &encode_protein(q).unwrap(),
+            &encode_protein(d).unwrap(),
+        )
     }
 
     #[test]
@@ -76,7 +80,11 @@ mod tests {
 
     #[test]
     fn global_never_exceeds_local() {
-        let cases = [("MKVLAW", "GGMKVLAWGG"), ("ACDEFG", "ACDXXEFG"), ("WWWW", "PPPP")];
+        let cases = [
+            ("MKVLAW", "GGMKVLAWGG"),
+            ("ACDEFG", "ACDXXEFG"),
+            ("WWWW", "PPPP"),
+        ];
         for (q, d) in cases {
             let qc = encode_protein(q).unwrap();
             let dc = encode_protein(d).unwrap();

@@ -125,7 +125,11 @@ mod tests {
     }
 
     fn score(q: &str, d: &str) -> i32 {
-        sw_score(&p(), &encode_protein(q).unwrap(), &encode_protein(d).unwrap())
+        sw_score(
+            &p(),
+            &encode_protein(q).unwrap(),
+            &encode_protein(d).unwrap(),
+        )
     }
 
     #[test]

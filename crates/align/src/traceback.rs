@@ -46,7 +46,10 @@ impl Alignment {
 
     /// Count of substitution columns.
     pub fn substitutions(&self) -> usize {
-        self.ops.iter().filter(|o| matches!(o, AlignOp::Sub)).count()
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, AlignOp::Sub))
+            .count()
     }
 
     /// Fraction of substitution columns that are exact matches.
@@ -324,7 +327,11 @@ mod tests {
         let qc = encode_protein("ACDEFG").unwrap();
         let dc = encode_protein("ACDXXEFG").unwrap();
         let aln = sw_align(&p(), &qc, &dc);
-        assert!(aln.ops.contains(&AlignOp::Ins), "expected db-side gap: {:?}", aln.ops);
+        assert!(
+            aln.ops.contains(&AlignOp::Ins),
+            "expected db-side gap: {:?}",
+            aln.ops
+        );
     }
 
     #[test]

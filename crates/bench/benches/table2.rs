@@ -17,14 +17,10 @@ fn bench(c: &mut Criterion) {
             ("original", PredictedIntra::Original),
             ("improved", PredictedIntra::Improved),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(db.name(), kernel),
-                &intra,
-                |b, &intra| {
-                    let spec = DeviceSpec::tesla_c1060();
-                    b.iter(|| predict(&spec, &lengths, 567, 3072, intra, false))
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(db.name(), kernel), &intra, |b, &intra| {
+                let spec = DeviceSpec::tesla_c1060();
+                b.iter(|| predict(&spec, &lengths, 567, 3072, intra, false))
+            });
         }
     }
     group.finish();

@@ -5,21 +5,42 @@
 //! repro fig2 | fig3 | fig5 | fig6 | fig7
 //! repro table1 | table2
 //! repro ablation | strips | retune | extensions | validation
+//! repro chaos [--inject-faults <seed>]   # resilient driver under faults
 //! ```
+//!
+//! `--inject-faults <seed>` selects the random fault seed for the chaos
+//! run (default 42); different seeds deal different fault schedules, the
+//! scores must match the fault-free run for every one of them.
 //!
 //! Sweep curves are produced by the validated analytic models at paper
 //! scale; Table I, the ablations, the extension measurements and the
 //! anchors marked "functional" execute every DP cell through the
 //! simulator. See DESIGN.md §4–5 and EXPERIMENTS.md.
 
+use std::sync::OnceLock;
+
 use cudasw_bench::experiments::{
-    ablation, extensions, fig2, fig3, fig5, fig6, fig7, multigpu, retune, strips, table1,
+    ablation, chaos, extensions, fig2, fig3, fig5, fig6, fig7, multigpu, retune, strips, table1,
     table2, validation,
 };
 use gpu_sim::DeviceSpec;
 
+/// Seed from `--inject-faults <seed>`; read by the chaos experiment.
+static FAULT_SEED: OnceLock<u64> = OnceLock::new();
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--inject-faults") {
+        let seed = match args.get(pos + 1).map(|s| s.parse::<u64>()) {
+            Some(Ok(seed)) => seed,
+            _ => {
+                eprintln!("--inject-faults needs an integer seed");
+                std::process::exit(2);
+            }
+        };
+        FAULT_SEED.set(seed).expect("flag parsed once");
+        args.drain(pos..=pos + 1);
+    }
     let cmd = args.first().map(|s| s.as_str()).unwrap_or("help");
     let known: &[(&str, fn())] = &[
         ("fig2", run_fig2),
@@ -35,6 +56,7 @@ fn main() {
         ("extensions", run_extensions),
         ("multigpu", run_multigpu),
         ("validation", run_validation),
+        ("chaos", run_chaos),
     ];
     match cmd {
         "all" => {
@@ -44,9 +66,10 @@ fn main() {
             }
         }
         "help" | "--help" | "-h" => {
-            println!("usage: repro <experiment>");
+            println!("usage: repro <experiment> [--inject-faults <seed>]");
             println!("experiments: all, fig2, fig3, fig5, fig6, fig7, table1, table2,");
-            println!("             ablation, strips, retune, extensions, validation");
+            println!("             ablation, strips, retune, extensions, validation, chaos");
+            println!("--inject-faults <seed>: fault seed for the chaos run (default 42)");
         }
         other => match known.iter().find(|(name, _)| *name == other) {
             Some((_, f)) => f(),
@@ -64,9 +87,7 @@ fn run_fig2() {
     let s = spec.intertask_group_size(256, 30, 0) as usize;
     let r = fig2::run(&spec, s, &fig2::paper_stds(), 567);
     r.table().print();
-    println!(
-        "Paper: inter-task collapses with variance, intra-task does not; the curves cross.\n"
-    );
+    println!("Paper: inter-task collapses with variance, intra-task does not; the curves cross.\n");
 }
 
 fn run_fig3() {
@@ -129,7 +150,10 @@ fn run_table2() {
 fn run_ablation() {
     let r = ablation::run(&DeviceSpec::tesla_c1060(), 6, 4000, 567);
     r.table().print();
-    println!("total speedup naive → improved: {:.1}x\n", r.total_speedup());
+    println!(
+        "total speedup naive → improved: {:.1}x\n",
+        r.total_speedup()
+    );
 }
 
 fn run_strips() {
@@ -140,7 +164,10 @@ fn run_strips() {
 fn run_retune() {
     let r = retune::run(&[144, 375, 567, 1000, 2005]);
     r.table().print();
-    println!("mean gain from re-tuning: {:+.1} GCUPs (paper: ≈ +4)\n", r.mean_gain());
+    println!(
+        "mean gain from re-tuning: {:+.1} GCUPs (paper: ≈ +4)\n",
+        r.mean_gain()
+    );
 }
 
 fn run_extensions() {
@@ -157,4 +184,12 @@ fn run_multigpu() {
 fn run_validation() {
     let r = validation::run(1200, 144);
     r.table().print();
+}
+
+fn run_chaos() {
+    let seed = *FAULT_SEED.get().unwrap_or(&42);
+    let r = chaos::run(&DeviceSpec::tesla_c1060(), seed, 600, 64);
+    r.table().print();
+    assert!(r.scores_match, "chaos run diverged from the fault-free run");
+    println!("Faulty run reproduced the fault-free scores byte-for-byte.\n");
 }

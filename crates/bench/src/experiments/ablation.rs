@@ -39,7 +39,13 @@ impl AblationResult {
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             "§III ablation — incremental development of the improved kernel",
-            &["stage", "GCUPs", "global transactions", "tex fetches", "speedup vs prev"],
+            &[
+                "stage",
+                "GCUPs",
+                "global transactions",
+                "tex fetches",
+                "speedup vs prev",
+            ],
         );
         for r in &self.rows {
             t.push_row(vec![
@@ -61,7 +67,12 @@ impl AblationResult {
 
 /// Run the ablation functionally over `long_seqs` over-threshold
 /// sequences.
-pub fn run(spec: &DeviceSpec, long_seqs: usize, mean_len: usize, query_len: usize) -> AblationResult {
+pub fn run(
+    spec: &DeviceSpec,
+    long_seqs: usize,
+    mean_len: usize,
+    query_len: usize,
+) -> AblationResult {
     let db = workloads::long_tail_db(long_seqs, mean_len);
     let query = workloads::query(query_len);
     let mut rows = Vec::new();

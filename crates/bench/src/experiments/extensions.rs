@@ -59,7 +59,12 @@ impl ExtensionsResult {
 }
 
 /// Run the extension measurements.
-pub fn run(spec: &DeviceSpec, long_seqs: usize, mean_len: usize, query_len: usize) -> ExtensionsResult {
+pub fn run(
+    spec: &DeviceSpec,
+    long_seqs: usize,
+    mean_len: usize,
+    query_len: usize,
+) -> ExtensionsResult {
     let db = workloads::long_tail_db(long_seqs, mean_len);
     let query = workloads::query(query_len);
     let kernel_rows = compare_extensions(spec, &db, &query, 3072, ImprovedParams::default())

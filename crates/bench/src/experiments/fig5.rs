@@ -51,7 +51,11 @@ impl Fig5Result {
     pub fn table_gains(&self) -> Table {
         let mut t = Table::new(
             "Figure 5 summary — improved-over-original gain",
-            &["device", "gain at default threshold (%)", "max gain in sweep (%)"],
+            &[
+                "device",
+                "gain at default threshold (%)",
+                "max gain in sweep (%)",
+            ],
         );
         for ((dev, at_def), (_, max)) in self.gain_at_default.iter().zip(&self.gain_max) {
             t.push_row(vec![

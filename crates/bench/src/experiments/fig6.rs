@@ -24,8 +24,7 @@ impl Fig6Result {
     /// Table of intra-task time share with caches off.
     pub fn table(&self) -> Table {
         let mut t = self.caches_off.table_b();
-        t.title =
-            "Figure 6 — % of time in intra-task with Fermi L1/L2 disabled".to_string();
+        t.title = "Figure 6 — % of time in intra-task with Fermi L1/L2 disabled".to_string();
         t
     }
 
@@ -90,8 +89,6 @@ mod tests {
         // original kernel behaves like the C1060 one. Its time share with
         // caches off must be at least as high as with caches on.
         let r = run(576);
-        assert!(
-            r.caches_off.time_share[1].max_y() >= r.caches_on.time_share[1].max_y()
-        );
+        assert!(r.caches_off.time_share[1].max_y() >= r.caches_on.time_share[1].max_y());
     }
 }

@@ -75,12 +75,8 @@ pub fn run(threshold: usize, swps3_db_size: usize) -> Fig7Result {
             s.push(qlen as f64, p.gcups());
             let slot = if spec.name.contains("C2050") { 0 } else { 1 };
             match intra {
-                cudasw_core::model::PredictedIntra::Improved => {
-                    per_device[slot].1.push(p.gcups())
-                }
-                cudasw_core::model::PredictedIntra::Original => {
-                    per_device[slot].2.push(p.gcups())
-                }
+                cudasw_core::model::PredictedIntra::Improved => per_device[slot].1.push(p.gcups()),
+                cudasw_core::model::PredictedIntra::Original => per_device[slot].2.push(p.gcups()),
             }
         }
         gpu.push(s);
@@ -88,12 +84,8 @@ pub fn run(threshold: usize, swps3_db_size: usize) -> Fig7Result {
     let mean_gain = per_device
         .into_iter()
         .map(|(dev, imp, orig)| {
-            let gain: f64 = imp
-                .iter()
-                .zip(&orig)
-                .map(|(i, o)| i - o)
-                .sum::<f64>()
-                / imp.len() as f64;
+            let gain: f64 =
+                imp.iter().zip(&orig).map(|(i, o)| i - o).sum::<f64>() / imp.len() as f64;
             (dev, gain)
         })
         .collect();

@@ -1,6 +1,7 @@
 //! One module per paper table/figure (see DESIGN.md §4 for the index).
 
 pub mod ablation;
+pub mod chaos;
 pub mod extensions;
 pub mod fig2;
 pub mod fig3;

@@ -108,9 +108,7 @@ pub fn run() -> Table2Result {
             ] {
                 let gcups: Vec<f64> = queries
                     .iter()
-                    .map(|&q| {
-                        predict(&spec, &lengths, q, DEFAULT_THRESHOLD, intra, false).gcups()
-                    })
+                    .map(|&q| predict(&spec, &lengths, q, DEFAULT_THRESHOLD, intra, false).gcups())
                     .collect();
                 rows.push(Table2Row {
                     db: db.name(),

@@ -46,7 +46,13 @@ impl ValidationResult {
                 "Model validation — analytic vs functional (worst time error {:.0}%)",
                 self.worst_error() * 100.0
             ),
-            &["config", "functional s", "predicted s", "rel err", "intra transactions (f/p)"],
+            &[
+                "config",
+                "functional s",
+                "predicted s",
+                "rel err",
+                "intra transactions (f/p)",
+            ],
         );
         for r in &self.rows {
             t.push_row(vec![

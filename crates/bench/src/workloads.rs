@@ -31,7 +31,9 @@ pub fn paper_scale_lengths(db: PaperDb) -> Vec<usize> {
         SEED ^ db.paper_fraction_over_threshold().to_bits(),
     );
     let tail: &[usize] = match db {
-        PaperDb::Swissprot => &[35_213, 22_152, 18_141, 14_507, 13_100, 12_464, 11_103, 10_624],
+        PaperDb::Swissprot => &[
+            35_213, 22_152, 18_141, 14_507, 13_100, 12_464, 11_103, 10_624,
+        ],
         // The mammalian genome databases contain titin (~34k) and a few
         // other giants.
         PaperDb::EnsemblDog | PaperDb::EnsemblRat | PaperDb::RefSeqHuman | PaperDb::RefSeqMouse => {

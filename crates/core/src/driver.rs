@@ -240,9 +240,8 @@ impl CudaSwDriver {
                     // The shared-memory boundary only fits small sequences;
                     // fall back transparently when it does not.
                     if variant.boundary_in_shared {
-                        let needed = (4 * self.config.improved.threads_per_block as usize
-                            + 2 * max_len)
-                            * 4;
+                        let needed =
+                            (4 * self.config.improved.threads_per_block as usize + 2 * max_len) * 4;
                         if needed > self.dev.spec.shared_mem_per_sm as usize {
                             variant.boundary_in_shared = false;
                         }
@@ -371,11 +370,7 @@ mod tests {
     fn improved_kernel_speeds_up_the_search() {
         // With a meaningful share of long sequences, swapping the intra
         // kernel must increase overall GCUPs (the paper's Figure 5a).
-        let db = database_with_lengths(
-            "heavy-tail",
-            &[40, 50, 60, 70, 80, 90, 400, 500, 600],
-            73,
-        );
+        let db = database_with_lengths("heavy-tail", &[40, 50, 60, 70, 80, 90, 400, 500, 600], 73);
         let query = make_query(64, 37);
         let mut orig = CudaSwDriver::new(
             DeviceSpec::tesla_c1060(),

@@ -17,9 +17,7 @@
 #![allow(clippy::needless_range_loop)] // lane loops mirror SIMT semantics
 use crate::seqstore::{unpack_residue, GroupImage, ProfileImage};
 use crate::CELL_INSTRUCTIONS;
-use gpu_sim::{
-    BlockCtx, BlockKernel, DevicePtr, GpuError, LaunchConfig, WarpAccess, WARP_SIZE,
-};
+use gpu_sim::{BlockCtx, BlockKernel, DevicePtr, GpuError, LaunchConfig, WarpAccess, WARP_SIZE};
 use sw_align::{GapPenalties, PackedProfile};
 
 const NEG: i32 = i32::MIN / 2;
@@ -252,7 +250,11 @@ impl<'a> InterTaskKernel<'a> {
                 let mut diag_k = diag[lane];
                 let mut h = 0i32;
                 for k in 0..rows_real {
-                    let w = if k < 4 { lo[k] as i32 } else { hi[k - 4] as i32 };
+                    let w = if k < 4 {
+                        lo[k] as i32
+                    } else {
+                        hi[k - 4] as i32
+                    };
                     let e = (e_left[lane][k] - extend).max(h_left[lane][k] - open);
                     if k > 0 {
                         f = (f - extend).max(h - open);
@@ -340,11 +342,7 @@ mod tests {
     use sw_db::synth::{database_with_lengths, make_query};
 
     /// Stage a group + profile, launch the kernel, return scores.
-    fn run_kernel(
-        dev: &mut GpuDevice,
-        query: &[u8],
-        group: &[sw_db::Sequence],
-    ) -> Vec<i32> {
+    fn run_kernel(dev: &mut GpuDevice, query: &[u8], group: &[sw_db::Sequence]) -> Vec<i32> {
         let params = SwParams::cudasw_default();
         let profile = PackedProfile::build(&params.matrix, query);
         let (pimg, _) = ProfileImage::upload(dev, &profile).unwrap();

@@ -144,7 +144,11 @@ impl ImprovedIntraKernel<'_> {
     fn shared_layout(&self) -> SharedLayout {
         let n_th = self.params.threads_per_block as usize;
         let pipe_words = 4 * n_th; // 2 parities × (H plane + F plane)
-        let stage_words = if self.variant.coalesce_boundary { 128 } else { 0 };
+        let stage_words = if self.variant.coalesce_boundary {
+            128
+        } else {
+            0
+        };
         let bound_words = if self.variant.boundary_in_shared {
             2 * self.boundary_stride
         } else {
@@ -470,8 +474,12 @@ impl ImprovedIntraKernel<'_> {
             let words = ctx.tex_load(self.profile.tex, &acc)?;
             for lane in 0..WARP_SIZE {
                 if acc.is_active(lane) {
-                    prof[lane][widx / if self.variant.per_row_profile_fetch { 4 } else { 1 }] =
-                        words[lane];
+                    prof[lane][widx
+                        / if self.variant.per_row_profile_fetch {
+                            4
+                        } else {
+                            1
+                        }] = words[lane];
                 }
             }
         }
@@ -861,8 +869,8 @@ mod tests {
         // Isolating the profile component (subtract the common db fetches,
         // approximated as half of the packed variant's total): ~4x.
         let db = packed.memory.tex_instructions as f64 / 2.0;
-        let profile_ratio =
-            (per_row.memory.tex_instructions as f64 - db) / (packed.memory.tex_instructions as f64 - db);
+        let profile_ratio = (per_row.memory.tex_instructions as f64 - db)
+            / (packed.memory.tex_instructions as f64 - db);
         assert!(
             (3.2..=4.8).contains(&profile_ratio),
             "expected ~4x profile fetches, got {profile_ratio:.2}"

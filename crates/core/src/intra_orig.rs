@@ -16,7 +16,9 @@
 
 use crate::seqstore::unpack_residue;
 use crate::CELL_INSTRUCTIONS;
-use gpu_sim::{BlockCtx, BlockKernel, DevicePtr, GpuError, LaunchConfig, TexRef, WarpAccess, WARP_SIZE};
+use gpu_sim::{
+    BlockCtx, BlockKernel, DevicePtr, GpuError, LaunchConfig, TexRef, WarpAccess, WARP_SIZE,
+};
 use sw_align::{GapPenalties, ScoringMatrix};
 
 const NEG: i32 = i32::MIN / 2;
@@ -263,7 +265,10 @@ mod tests {
             });
         }
         let wavefront = dev
-            .alloc(OriginalIntraKernel::wavefront_words(pairs.len(), query.len()))
+            .alloc(OriginalIntraKernel::wavefront_words(
+                pairs.len(),
+                query.len(),
+            ))
             .unwrap();
         let kernel = OriginalIntraKernel {
             pairs: &pairs,

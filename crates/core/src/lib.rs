@@ -33,6 +33,7 @@ pub mod intra_improved;
 pub mod intra_orig;
 pub mod model;
 pub mod multi_gpu;
+pub mod recovery;
 pub mod seqstore;
 pub mod threshold;
 pub mod variants;
@@ -41,7 +42,10 @@ pub use driver::{CudaSwConfig, CudaSwDriver, IntraKernelChoice, SearchResult};
 pub use inter_task::InterTaskKernel;
 pub use intra_improved::{ImprovedIntraKernel, ImprovedParams, VariantConfig};
 pub use intra_orig::{IntraPair, OriginalIntraKernel};
-pub use multi_gpu::{multi_gpu_search, MultiGpuResult};
+pub use multi_gpu::{
+    multi_gpu_search, multi_gpu_search_resilient, MultiGpuResult, ResilientMultiGpuResult,
+};
+pub use recovery::{RecoveryEvent, RecoveryPolicy, RecoveryReport, ResilientSearchResult};
 
 /// The CUDASW++ default threshold between the kernels.
 pub const DEFAULT_THRESHOLD: usize = 3072;

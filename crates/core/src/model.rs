@@ -177,8 +177,8 @@ pub fn predict_inter_group(
                 arith += CELL_INSTRUCTIONS * (rows_real * 4) as u64 * tiles as u64;
             }
             coalesced += 1; // final score store
-            let tex_trans = tex_fetches as f64 * TEX_LINES_PER_FETCH
-                + seq_fetches as f64 * SEQ_LINES_PER_FETCH;
+            let tex_trans =
+                tex_fetches as f64 * TEX_LINES_PER_FETCH + seq_fetches as f64 * SEQ_LINES_PER_FETCH;
             let (tex_near, tex_l2, tex_dram) = caches.split(tex_trans, caches.tex_hit);
             let (g_near, g_l2, g_dram) = caches.split(coalesced as f64, caches.l1_hit);
             cost.warp_instructions += arith + coalesced + tex_fetches + seq_fetches;
@@ -307,8 +307,8 @@ pub fn predict_intra_improved(
                 single += 2 * n as u64;
             }
         }
-        let tex_trans = tex_fetches as f64 * TEX_LINES_PER_FETCH
-            + seq_fetches as f64 * SEQ_LINES_PER_FETCH;
+        let tex_trans =
+            tex_fetches as f64 * TEX_LINES_PER_FETCH + seq_fetches as f64 * SEQ_LINES_PER_FETCH;
         let (tex_near, tex_l2, tex_dram) = caches.split(tex_trans, caches.tex_hit);
         let globals = coalesced + single;
         let (g_near, g_l2, g_dram) = caches.split(globals as f64, caches.l1_hit);
@@ -451,14 +451,7 @@ pub fn predict_search(
 ) -> PredictedSearch {
     let lengths: Vec<usize> = db.sequences().iter().map(|s| s.len()).collect();
     predict_search_lengths(
-        spec,
-        timing,
-        &lengths,
-        query_len,
-        threshold,
-        intra,
-        improved,
-        caches_off,
+        spec, timing, &lengths, query_len, threshold, intra, improved, caches_off,
     )
 }
 
@@ -542,8 +535,14 @@ mod tests {
         let mut driver = CudaSwDriver::new(spec.clone(), cfg);
         let functional = driver.search(&query, &db).unwrap();
         let lens: Vec<usize> = db.sequences().iter().map(|s| s.len()).collect();
-        let predicted =
-            predict_intra_improved(&spec, &driver.dev.timing, &lens, query.len(), &params, false);
+        let predicted = predict_intra_improved(
+            &spec,
+            &driver.dev.timing,
+            &lens,
+            query.len(),
+            &params,
+            false,
+        );
         assert_eq!(predicted.cells, functional.intra.cells);
         assert!(
             rel_err(predicted.seconds, functional.intra.seconds) < 0.6,

@@ -14,7 +14,8 @@
 //! time is the slowest device's time.
 
 use crate::driver::{CudaSwConfig, CudaSwDriver, SearchResult};
-use gpu_sim::{DeviceSpec, GpuError};
+use crate::recovery::{cpu_scores, RecoveryPolicy, RecoveryReport};
+use gpu_sim::{DeviceSpec, FaultPlan, GpuError};
 use sw_db::{Database, Sequence};
 
 /// Result of a search fanned out over `k` devices.
@@ -120,6 +121,166 @@ pub fn multi_gpu_search(
         scores,
         per_device,
         devices: k,
+    })
+}
+
+/// Result of a fault-tolerant multi-GPU search.
+#[derive(Debug, Clone)]
+pub struct ResilientMultiGpuResult {
+    /// Scores aligned with `db.sequences()` order (merged from all shards,
+    /// re-dispatched work and CPU fallback included).
+    pub scores: Vec<i32>,
+    /// Per-device results, in device order; `None` for a device that
+    /// failed (its shard was re-dispatched or CPU-computed).
+    pub per_device: Vec<Option<SearchResult>>,
+    /// Devices the search started with.
+    pub devices: usize,
+    /// Aggregated recovery story across all devices.
+    pub recovery: RecoveryReport,
+}
+
+impl ResilientMultiGpuResult {
+    /// Devices that survived the whole search.
+    pub fn surviving_devices(&self) -> usize {
+        self.per_device.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Wall-clock seconds over the surviving devices (re-dispatched work
+    /// runs serially after the first pass on the device that claims it,
+    /// and is already included in that device's aggregate).
+    pub fn wall_seconds(&self) -> f64 {
+        self.per_device
+            .iter()
+            .flatten()
+            .map(|r| r.kernel_seconds())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// [`multi_gpu_search`] with fault injection and recovery.
+///
+/// `plans[i]` (when present) is installed on device `i` before the search.
+/// Each shard first runs resiliently on its own device (retries and OOM
+/// re-chunking happen there, but *without* CPU fallback); a device that
+/// dies anyway forfeits its shard, which is re-dealt round-robin across
+/// the surviving devices. Only when every device is gone does the CPU
+/// fallback of `policy` take over (if enabled).
+pub fn multi_gpu_search_resilient(
+    spec: &DeviceSpec,
+    config: &CudaSwConfig,
+    query: &[u8],
+    db: &Database,
+    k: usize,
+    plans: &[FaultPlan],
+    policy: &RecoveryPolicy,
+) -> Result<ResilientMultiGpuResult, GpuError> {
+    let k = k.max(1);
+    let shards = shard_database(db, k);
+    let mut drivers: Vec<CudaSwDriver> = (0..k)
+        .map(|i| {
+            let mut d = CudaSwDriver::new(spec.clone(), config.clone());
+            if let Some(plan) = plans.get(i) {
+                d.dev.inject_faults(plan.clone());
+            }
+            d
+        })
+        .collect();
+    // Shards never CPU-fall-back individually: a dead device's work is
+    // first offered to the surviving devices.
+    let shard_policy = RecoveryPolicy {
+        cpu_fallback: false,
+        ..policy.clone()
+    };
+
+    let mut report = RecoveryReport::default();
+    let mut per_device: Vec<Option<SearchResult>> = (0..k).map(|_| None).collect();
+    let mut scores = vec![0i32; db.len()];
+    let mut failed = Vec::new();
+
+    for (s, shard) in shards.iter().enumerate() {
+        match drivers[s].search_resilient(query, shard, &shard_policy) {
+            Ok(rr) => {
+                for (j, &score) in rr.result.scores.iter().enumerate() {
+                    scores[s + j * k] = score;
+                }
+                report.merge(&rr.recovery);
+                per_device[s] = Some(rr.result);
+            }
+            Err(e) if e.is_recoverable() => failed.push(s),
+            Err(e) => return Err(e),
+        }
+    }
+
+    if !failed.is_empty() {
+        let survivors: Vec<usize> = (0..k).filter(|i| per_device[*i].is_some()).collect();
+        if survivors.is_empty() {
+            // Every device is gone; the host finishes the search alone.
+            if !policy.cpu_fallback {
+                return Err(GpuError::DeviceLost);
+            }
+            cpu_scores(&config.params, query, db.sequences(), &mut scores);
+            report.cpu_fallback_seqs += db.len() as u64;
+            report.degraded = true;
+            report
+                .events
+                .push(crate::recovery::RecoveryEvent::CpuFallback {
+                    sequences: db.len(),
+                });
+        } else {
+            let m = survivors.len();
+            for &s in &failed {
+                // Re-deal the dead device's shard round-robin across the
+                // survivors. Sub-shard position h on survivor t is shard
+                // position t + h·m, which is database index s + (t + h·m)·k
+                // (round-robin dealing of a sorted list stays sorted, so
+                // the sub-shard databases preserve positions).
+                let sub = shard_database(&shards[s], m);
+                for (t, subshard) in sub.iter().enumerate() {
+                    let dev_idx = survivors[t];
+                    if subshard.is_empty() {
+                        continue;
+                    }
+                    match drivers[dev_idx].search_resilient(query, subshard, &shard_policy) {
+                        Ok(rr) => {
+                            for (h, &score) in rr.result.scores.iter().enumerate() {
+                                scores[s + (t + h * m) * k] = score;
+                            }
+                            report.merge(&rr.recovery);
+                            report.note_redispatch(s, dev_idx, subshard.len());
+                        }
+                        Err(e) if e.is_recoverable() && policy.cpu_fallback => {
+                            // The survivor died too; the host absorbs this
+                            // sub-shard.
+                            let mut sub_scores = vec![0i32; subshard.len()];
+                            cpu_scores(
+                                &config.params,
+                                query,
+                                subshard.sequences(),
+                                &mut sub_scores,
+                            );
+                            for (h, &score) in sub_scores.iter().enumerate() {
+                                scores[s + (t + h * m) * k] = score;
+                            }
+                            report.cpu_fallback_seqs += subshard.len() as u64;
+                            report.degraded = true;
+                            report
+                                .events
+                                .push(crate::recovery::RecoveryEvent::CpuFallback {
+                                    sequences: subshard.len(),
+                                });
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(ResilientMultiGpuResult {
+        scores,
+        per_device,
+        devices: k,
+        recovery: report,
     })
 }
 

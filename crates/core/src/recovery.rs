@@ -1,0 +1,748 @@
+//! Fault recovery for the CUDASW++ driver.
+//!
+//! [`CudaSwDriver::search_resilient`] runs the same search as
+//! [`CudaSwDriver::search`] but survives the failure modes the simulator
+//! can inject ([`gpu_sim::fault`]):
+//!
+//! * **transient faults / watchdog timeouts / detected corruption** —
+//!   bounded retry with exponential backoff ([`RecoveryPolicy::max_retries`],
+//!   [`RecoveryPolicy::backoff_base_seconds`]);
+//! * **out-of-memory** — the inter-task staging group (or intra-task
+//!   chunk) is halved and the window retried, down to
+//!   [`RecoveryPolicy::min_group_size`];
+//! * **hangs** — [`RecoveryPolicy::watchdog_cycles`] arms the device
+//!   watchdog so a hung launch comes back as a retryable
+//!   [`GpuError::LaunchTimeout`] instead of burning simulated hours;
+//! * **device loss / persistent failure** — graceful degradation: every
+//!   not-yet-scored sequence is computed on the host CPU with the striped
+//!   SIMD kernel (`sw_simd::farrar`), and the result is flagged
+//!   [`RecoveryReport::degraded`].
+//!
+//! Everything that happened is recorded in a [`RecoveryReport`] so callers
+//! (and the multi-GPU layer, which re-dispatches a dead device's shard to
+//! the survivors) can reason about what the numbers mean.
+
+use crate::driver::{CudaSwDriver, IntraKernelChoice, SearchResult};
+use crate::inter_task::InterTaskKernel;
+use crate::intra_improved::ImprovedIntraKernel;
+use crate::intra_orig::{IntraPair, OriginalIntraKernel};
+use crate::seqstore::{pack_residues, GroupImage, ProfileImage, SeqImage};
+use gpu_sim::stats::RunStats;
+use gpu_sim::{GpuError, LaunchStats, TexRef};
+use sw_align::PackedProfile;
+use sw_db::{Database, Sequence};
+use sw_simd::farrar::sw_striped_score;
+
+/// Knobs of the recovery machinery.
+#[derive(Debug, Clone)]
+pub struct RecoveryPolicy {
+    /// Retries per operation for transient errors before the device is
+    /// declared failed.
+    pub max_retries: u32,
+    /// First backoff interval; doubles per retry. Accounted in
+    /// [`RecoveryReport::backoff_seconds`] (simulated, like all time here).
+    pub backoff_base_seconds: f64,
+    /// Smallest inter-task group (and intra-task chunk) the OOM
+    /// re-chunker will go down to.
+    pub min_group_size: usize,
+    /// Fall back to the CPU SIMD path when the device is gone. When
+    /// false, a dead device surfaces as `Err` (the multi-GPU layer uses
+    /// this to claim the shard for re-dispatch instead).
+    pub cpu_fallback: bool,
+    /// Watchdog budget armed on the device for the duration of the
+    /// search; `None` leaves hangs un-killed.
+    pub watchdog_cycles: Option<u64>,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            backoff_base_seconds: 1.0e-3,
+            min_group_size: 1,
+            cpu_fallback: true,
+            watchdog_cycles: None,
+        }
+    }
+}
+
+/// One recovery action, in the order it happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryEvent {
+    /// A transient error was retried.
+    Retry {
+        /// Display form of the error.
+        error: String,
+        /// 1-based retry attempt.
+        attempt: u32,
+    },
+    /// An OOM shrank the staging window.
+    Rechunk {
+        /// Window before.
+        from: usize,
+        /// Window after.
+        to: usize,
+    },
+    /// Sequences were computed on the CPU instead of the device.
+    CpuFallback {
+        /// How many sequences.
+        sequences: usize,
+    },
+    /// A dead device's shard (or part of it) was re-run on a survivor.
+    ShardRedispatch {
+        /// Index of the failed device.
+        from_device: usize,
+        /// Index of the surviving device that took the work.
+        to_device: usize,
+        /// Sequences moved.
+        sequences: usize,
+    },
+}
+
+/// What recovery did during a search.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// Transient-error retries performed.
+    pub retries: u64,
+    /// OOM-driven window halvings.
+    pub rechunks: u64,
+    /// Sequences scored by the CPU fallback.
+    pub cpu_fallback_seqs: u64,
+    /// Shard re-dispatches (multi-GPU only).
+    pub shard_redispatches: u64,
+    /// True when any part of the result did not come from the device
+    /// (CPU fallback ran).
+    pub degraded: bool,
+    /// Simulated seconds spent backing off between retries.
+    pub backoff_seconds: f64,
+    /// Ordered log of every action.
+    pub events: Vec<RecoveryEvent>,
+}
+
+impl RecoveryReport {
+    /// Fold another report into this one (multi-GPU aggregation).
+    pub fn merge(&mut self, other: &RecoveryReport) {
+        self.retries += other.retries;
+        self.rechunks += other.rechunks;
+        self.cpu_fallback_seqs += other.cpu_fallback_seqs;
+        self.shard_redispatches += other.shard_redispatches;
+        self.degraded |= other.degraded;
+        self.backoff_seconds += other.backoff_seconds;
+        self.events.extend(other.events.iter().cloned());
+    }
+
+    fn note_retry(&mut self, err: &GpuError, attempt: u32, policy: &RecoveryPolicy) {
+        self.retries += 1;
+        self.backoff_seconds +=
+            policy.backoff_base_seconds * f64::from(1u32 << (attempt - 1).min(20));
+        self.events.push(RecoveryEvent::Retry {
+            error: err.to_string(),
+            attempt,
+        });
+    }
+
+    fn note_rechunk(&mut self, from: usize, to: usize) {
+        self.rechunks += 1;
+        self.events.push(RecoveryEvent::Rechunk { from, to });
+    }
+
+    fn note_cpu_fallback(&mut self, sequences: usize) {
+        if sequences == 0 {
+            return;
+        }
+        self.cpu_fallback_seqs += sequences as u64;
+        self.degraded = true;
+        self.events.push(RecoveryEvent::CpuFallback { sequences });
+    }
+
+    pub(crate) fn note_redispatch(
+        &mut self,
+        from_device: usize,
+        to_device: usize,
+        sequences: usize,
+    ) {
+        self.shard_redispatches += 1;
+        self.events.push(RecoveryEvent::ShardRedispatch {
+            from_device,
+            to_device,
+            sequences,
+        });
+    }
+}
+
+/// A [`SearchResult`] plus the recovery story behind it.
+#[derive(Debug, Clone)]
+pub struct ResilientSearchResult {
+    /// The search result (scores always complete and correct, possibly
+    /// partially CPU-computed — see `recovery.degraded`).
+    pub result: SearchResult,
+    /// What it took to get there.
+    pub recovery: RecoveryReport,
+}
+
+/// How a failed attempt should be handled.
+enum Handling {
+    Retry,
+    Rechunk,
+    DeviceFailed(GpuError),
+}
+
+fn classify(
+    err: GpuError,
+    attempt: &mut u32,
+    window: usize,
+    policy: &RecoveryPolicy,
+    report: &mut RecoveryReport,
+) -> Handling {
+    if err.is_transient() && *attempt < policy.max_retries {
+        *attempt += 1;
+        report.note_retry(&err, *attempt, policy);
+        Handling::Retry
+    } else if matches!(err, GpuError::OutOfMemory { .. }) && window > policy.min_group_size {
+        Handling::Rechunk
+    } else {
+        Handling::DeviceFailed(err)
+    }
+}
+
+impl CudaSwDriver {
+    /// [`CudaSwDriver::search`] with fault recovery per `policy`.
+    ///
+    /// Scores are always complete and identical to a fault-free search —
+    /// recovery never changes *what* is computed, only *where* (retried
+    /// on the device, or on the CPU once the device is gone). `Err` is
+    /// only returned for unrecoverable host-side errors, or for device
+    /// failure when `policy.cpu_fallback` is off.
+    pub fn search_resilient(
+        &mut self,
+        query: &[u8],
+        db: &Database,
+        policy: &RecoveryPolicy,
+    ) -> Result<ResilientSearchResult, GpuError> {
+        self.dev.set_watchdog_cycles(policy.watchdog_cycles);
+        self.dev.free_all();
+        let mut report = RecoveryReport::default();
+        let partition = db.partition(self.config.threshold);
+        let fraction_long = partition.fraction_long();
+        let mut scores = vec![0i32; db.len()];
+        let mut inter = RunStats::default();
+        let mut intra = RunStats::default();
+        let mut transfer_seconds = 0.0;
+        let mut device_failed: Option<GpuError> = None;
+
+        // --- Stage the query artefacts (with transient retry; staging is
+        // tiny, so an OOM here means the device is unusably full and goes
+        // down the failure path).
+        let mut attempt = 0u32;
+        let staged = loop {
+            match self.stage_query(query) {
+                Ok((profile, q_tex, secs)) => {
+                    transfer_seconds += secs;
+                    break Some((profile, q_tex));
+                }
+                Err(e) => match classify(e, &mut attempt, 0, policy, &mut report) {
+                    Handling::Retry => self.dev.free_all(),
+                    Handling::Rechunk => unreachable!("window 0 never re-chunks"),
+                    Handling::DeviceFailed(e) => {
+                        device_failed = Some(e);
+                        break None;
+                    }
+                },
+            }
+        };
+
+        // --- Inter-task path: windowed group loop with retry + re-chunk.
+        let mut short_done = 0usize;
+        let mut long_done = 0usize;
+        if let Some((profile, q_tex)) = &staged {
+            let mut window = self.group_size();
+            let mark = self.dev.mark();
+            let mut attempt = 0u32;
+            while short_done < partition.short.len() {
+                let end = (short_done + window).min(partition.short.len());
+                let group = &partition.short[short_done..end];
+                match self.run_inter_group(group, profile, &mut scores[short_done..end]) {
+                    Ok((stats, secs)) => {
+                        inter.add(&stats);
+                        transfer_seconds += secs;
+                        short_done = end;
+                        attempt = 0;
+                        self.dev.free_to(mark);
+                    }
+                    Err(e) => {
+                        self.dev.free_to(mark);
+                        match classify(e, &mut attempt, window, policy, &mut report) {
+                            Handling::Retry => {}
+                            Handling::Rechunk => {
+                                let new = (window / 2).max(policy.min_group_size);
+                                report.note_rechunk(window, new);
+                                window = new;
+                                attempt = 0;
+                            }
+                            Handling::DeviceFailed(e) => {
+                                device_failed = Some(e);
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // --- Intra-task path: chunked with the same recovery. The
+            // fault-free chunk is "everything at once", exactly like
+            // `search`.
+            if device_failed.is_none() && !partition.long.is_empty() {
+                let mut window = partition.long.len();
+                let mark = self.dev.mark();
+                let mut attempt = 0u32;
+                while long_done < partition.long.len() {
+                    let end = (long_done + window).min(partition.long.len());
+                    let chunk = &partition.long[long_done..end];
+                    let out_base = partition.short.len() + long_done;
+                    let out_end = partition.short.len() + end;
+                    match self.run_intra_chunk(
+                        chunk,
+                        query,
+                        profile,
+                        *q_tex,
+                        &mut scores[out_base..out_end],
+                    ) {
+                        Ok((stats, secs)) => {
+                            intra.add(&stats);
+                            transfer_seconds += secs;
+                            long_done = end;
+                            attempt = 0;
+                            self.dev.free_to(mark);
+                        }
+                        Err(e) => {
+                            self.dev.free_to(mark);
+                            match classify(e, &mut attempt, window, policy, &mut report) {
+                                Handling::Retry => {}
+                                Handling::Rechunk => {
+                                    let new = (window / 2).max(policy.min_group_size);
+                                    report.note_rechunk(window, new);
+                                    window = new;
+                                    attempt = 0;
+                                }
+                                Handling::DeviceFailed(e) => {
+                                    device_failed = Some(e);
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- Graceful degradation: everything the device did not score
+        // runs on the CPU SIMD path.
+        if let Some(err) = device_failed {
+            if !policy.cpu_fallback {
+                return Err(err);
+            }
+            let remaining_short = &partition.short[short_done..];
+            let remaining_long = &partition.long[long_done..];
+            let n = remaining_short.len() + remaining_long.len();
+            report.note_cpu_fallback(n);
+            for (i, seq) in remaining_short.iter().enumerate() {
+                scores[short_done + i] =
+                    sw_striped_score(&self.config.params, query, &seq.residues);
+            }
+            for (i, seq) in remaining_long.iter().enumerate() {
+                scores[partition.short.len() + long_done + i] =
+                    sw_striped_score(&self.config.params, query, &seq.residues);
+            }
+        }
+
+        Ok(ResilientSearchResult {
+            result: SearchResult {
+                scores,
+                inter,
+                intra,
+                transfer_seconds,
+                fraction_long,
+                threshold: self.config.threshold,
+                query_len: query.len(),
+            },
+            recovery: report,
+        })
+    }
+
+    /// Stage the query profile and packed residues (one attempt).
+    fn stage_query(&mut self, query: &[u8]) -> Result<(ProfileImage, TexRef, f64), GpuError> {
+        let packed = PackedProfile::build(&self.config.params.matrix, query);
+        let (profile, mut secs) = ProfileImage::upload(&mut self.dev, &packed)?;
+        let q_words = pack_residues(query);
+        let q_ptr = self.dev.alloc(q_words.len().max(1))?;
+        secs += self.dev.copy_to_device(q_ptr, &q_words)?;
+        let q_tex = self.dev.bind_texture(q_ptr, q_words.len().max(1));
+        Ok((profile, q_tex, secs))
+    }
+
+    /// One inter-task group: stage, launch, read scores (one attempt; the
+    /// caller owns the allocator mark and rollback).
+    fn run_inter_group(
+        &mut self,
+        group: &[Sequence],
+        profile: &ProfileImage,
+        out: &mut [i32],
+    ) -> Result<(LaunchStats, f64), GpuError> {
+        let mut secs_total = 0.0;
+        let (gimg, secs) = GroupImage::upload(&mut self.dev, group)?;
+        secs_total += secs;
+        let max_cols = group.iter().map(|g| g.len()).max().unwrap_or(0);
+        let boundary = self
+            .dev
+            .alloc(InterTaskKernel::boundary_words(gimg.width, max_cols).max(1))?;
+        let kernel = InterTaskKernel {
+            group: &gimg,
+            profile,
+            gaps: self.config.params.gaps,
+            boundary,
+            max_cols,
+            threads_per_block: self.config.inter_threads_per_block,
+        };
+        let blocks = kernel.grid_blocks();
+        let stats = self.dev.launch(&kernel, blocks, "inter_task")?;
+        let (raw, secs) = self.dev.copy_from_device(gimg.scores, gimg.width)?;
+        secs_total += secs;
+        for (k, word) in raw.into_iter().enumerate() {
+            out[k] = word as i32;
+        }
+        Ok((stats, secs_total))
+    }
+
+    /// One intra-task chunk: stage every sequence, launch one block per
+    /// pair, read scores (one attempt).
+    fn run_intra_chunk(
+        &mut self,
+        chunk: &[Sequence],
+        query: &[u8],
+        profile: &ProfileImage,
+        q_tex: TexRef,
+        out: &mut [i32],
+    ) -> Result<(LaunchStats, f64), GpuError> {
+        let mut secs_total = 0.0;
+        let mut pairs = Vec::with_capacity(chunk.len());
+        for seq in chunk {
+            let (img, secs) = SeqImage::upload(&mut self.dev, seq)?;
+            secs_total += secs;
+            pairs.push(IntraPair {
+                tex: img.tex,
+                len: img.len,
+                score: img.score,
+            });
+        }
+        let max_len = chunk.iter().map(|q| q.len()).max().unwrap_or(1);
+        let stats = match self.config.intra {
+            IntraKernelChoice::Original => {
+                let wavefront = self.dev.alloc(OriginalIntraKernel::wavefront_words(
+                    pairs.len(),
+                    query.len(),
+                ))?;
+                let kernel = OriginalIntraKernel {
+                    pairs: &pairs,
+                    query: q_tex,
+                    query_len: query.len(),
+                    matrix: &self.config.params.matrix,
+                    gaps: self.config.params.gaps,
+                    wavefront,
+                    threads_per_block: 256,
+                    step_latency_cycles: self.dev.spec.global_latency_cycles as u64,
+                };
+                self.dev.launch(&kernel, pairs.len() as u32, "intra_orig")?
+            }
+            IntraKernelChoice::Improved(mut variant) => {
+                if variant.boundary_in_shared {
+                    let needed =
+                        (4 * self.config.improved.threads_per_block as usize + 2 * max_len) * 4;
+                    if needed > self.dev.spec.shared_mem_per_sm as usize {
+                        variant.boundary_in_shared = false;
+                    }
+                }
+                let boundary = self
+                    .dev
+                    .alloc(ImprovedIntraKernel::boundary_words(pairs.len(), max_len))?;
+                let local_spill = self.dev.alloc(ImprovedIntraKernel::spill_words(
+                    pairs.len(),
+                    &self.config.improved,
+                ))?;
+                let kernel = ImprovedIntraKernel {
+                    pairs: &pairs,
+                    profile,
+                    gaps: self.config.params.gaps,
+                    boundary,
+                    boundary_stride: max_len,
+                    local_spill,
+                    params: self.config.improved,
+                    variant,
+                    step_latency_cycles: 30,
+                };
+                self.dev
+                    .launch(&kernel, pairs.len() as u32, "intra_improved")?
+            }
+        };
+        for (k, pair) in pairs.iter().enumerate() {
+            let (v, secs) = self.dev.copy_from_device(pair.score, 1)?;
+            secs_total += secs;
+            out[k] = v[0] as i32;
+        }
+        Ok((stats, secs_total))
+    }
+}
+
+/// Score `seqs` on the CPU SIMD path (used by the multi-GPU layer when
+/// every device is gone).
+pub(crate) fn cpu_scores(
+    params: &sw_align::SwParams,
+    query: &[u8],
+    seqs: &[Sequence],
+    out: &mut [i32],
+) {
+    for (i, seq) in seqs.iter().enumerate() {
+        out[i] = sw_striped_score(params, query, &seq.residues);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{CudaSwConfig, IntraKernelChoice};
+    use crate::intra_improved::{ImprovedParams, VariantConfig};
+    use gpu_sim::{DeviceSpec, FaultPlan, FaultSite};
+    use sw_db::synth::{database_with_lengths, make_query};
+
+    fn config() -> CudaSwConfig {
+        CudaSwConfig {
+            threshold: 100,
+            improved: ImprovedParams {
+                threads_per_block: 32,
+                tile_height: 4,
+            },
+            intra: IntraKernelChoice::Improved(VariantConfig::improved()),
+            ..CudaSwConfig::improved()
+        }
+    }
+
+    fn db() -> Database {
+        database_with_lengths("rec", &[20, 45, 60, 80, 95, 120, 150, 300], 71)
+    }
+
+    fn fault_free_scores(query: &[u8], db: &Database) -> Vec<i32> {
+        let mut driver = CudaSwDriver::new(DeviceSpec::tesla_c1060(), config());
+        driver.search(query, db).unwrap().scores
+    }
+
+    #[test]
+    fn no_faults_matches_plain_search_with_empty_report() {
+        let db = db();
+        let query = make_query(57, 33);
+        let mut driver = CudaSwDriver::new(DeviceSpec::tesla_c1060(), config());
+        let rr = driver
+            .search_resilient(&query, &db, &RecoveryPolicy::default())
+            .unwrap();
+        assert_eq!(rr.result.scores, fault_free_scores(&query, &db));
+        assert_eq!(rr.recovery, RecoveryReport::default());
+        assert!(!rr.recovery.degraded);
+    }
+
+    #[test]
+    fn transient_launch_fault_is_retried() {
+        let db = db();
+        let query = make_query(57, 33);
+        let mut driver = CudaSwDriver::new(DeviceSpec::tesla_c1060(), config());
+        driver
+            .dev
+            .inject_faults(FaultPlan::none().with_transient(FaultSite::Launch, 0));
+        let rr = driver
+            .search_resilient(&query, &db, &RecoveryPolicy::default())
+            .unwrap();
+        assert_eq!(rr.result.scores, fault_free_scores(&query, &db));
+        assert_eq!(rr.recovery.retries, 1);
+        assert!(rr.recovery.backoff_seconds > 0.0);
+        assert!(!rr.recovery.degraded);
+    }
+
+    #[test]
+    fn oom_halves_the_group_and_retries() {
+        let db = db();
+        let query = make_query(57, 33);
+        let mut driver = CudaSwDriver::new(DeviceSpec::tesla_c1060(), config());
+        // Alloc stream: 0 = profile, 1 = packed query, 2 = first group's
+        // residues — the scheduled OOM hits group staging.
+        driver.dev.inject_faults(FaultPlan::none().with_oom(2));
+        let rr = driver
+            .search_resilient(&query, &db, &RecoveryPolicy::default())
+            .unwrap();
+        assert_eq!(rr.result.scores, fault_free_scores(&query, &db));
+        assert_eq!(rr.recovery.rechunks, 1);
+        assert!(matches!(
+            rr.recovery.events[0],
+            RecoveryEvent::Rechunk { .. }
+        ));
+        assert!(!rr.recovery.degraded);
+    }
+
+    #[test]
+    fn memory_pressure_forces_smaller_groups() {
+        // Clamp the device so one occupancy-sized group cannot be staged;
+        // the re-chunker must walk the window down until it fits.
+        let db = database_with_lengths("press", &[30; 64], 77);
+        let query = make_query(24, 41);
+        let mut driver = CudaSwDriver::new(DeviceSpec::tesla_c1060(), config());
+        driver
+            .dev
+            .inject_faults(FaultPlan::none().with_memory_pressure(1500));
+        let rr = driver
+            .search_resilient(&query, &db, &RecoveryPolicy::default())
+            .unwrap();
+        assert_eq!(rr.result.scores, fault_free_scores(&query, &db));
+        assert!(rr.recovery.rechunks >= 1, "{:?}", rr.recovery);
+        assert!(!rr.recovery.degraded);
+        assert!(rr.result.inter.launches > 1);
+    }
+
+    #[test]
+    fn hang_is_killed_by_watchdog_and_retried() {
+        let db = db();
+        let query = make_query(57, 33);
+        // Derive a generous budget from the fault-free run: ~100x the
+        // whole inter-task time per launch, far below the hang inflation.
+        let mut clean = CudaSwDriver::new(DeviceSpec::tesla_c1060(), config());
+        let clean_r = clean.search(&query, &db).unwrap();
+        let spec = DeviceSpec::tesla_c1060();
+        let budget = (clean_r.kernel_seconds() / spec.cycles_to_seconds(1.0) * 100.0) as u64;
+        let mut driver = CudaSwDriver::new(spec, config());
+        driver.dev.inject_faults(FaultPlan::none().with_hang(0));
+        let policy = RecoveryPolicy {
+            watchdog_cycles: Some(budget),
+            ..RecoveryPolicy::default()
+        };
+        let rr = driver.search_resilient(&query, &db, &policy).unwrap();
+        assert_eq!(rr.result.scores, clean_r.scores);
+        assert_eq!(rr.recovery.retries, 1);
+        assert!(matches!(rr.recovery.events[0], RecoveryEvent::Retry { .. }));
+    }
+
+    #[test]
+    fn device_loss_falls_back_to_cpu() {
+        let db = db();
+        let query = make_query(57, 33);
+        let mut driver = CudaSwDriver::new(DeviceSpec::tesla_c1060(), config());
+        driver
+            .dev
+            .inject_faults(FaultPlan::none().with_device_loss(FaultSite::Launch, 0));
+        let rr = driver
+            .search_resilient(&query, &db, &RecoveryPolicy::default())
+            .unwrap();
+        assert_eq!(rr.result.scores, fault_free_scores(&query, &db));
+        assert!(rr.recovery.degraded);
+        assert_eq!(rr.recovery.cpu_fallback_seqs, db.len() as u64);
+    }
+
+    #[test]
+    fn mid_search_device_loss_keeps_gpu_results_and_fills_the_rest() {
+        // Shrink the device so the short side takes several launches, and
+        // kill the device after the first one.
+        let mut spec = DeviceSpec::tesla_c1060();
+        spec.sm_count = 1;
+        spec.max_threads_per_sm = 64;
+        spec.max_blocks_per_sm = 2;
+        let mut cfg = config();
+        cfg.inter_threads_per_block = 32;
+        let db = database_with_lengths("many", &[30; 200], 79);
+        let query = make_query(24, 41);
+        let mut driver = CudaSwDriver::new(spec, cfg.clone());
+        driver
+            .dev
+            .inject_faults(FaultPlan::none().with_device_loss(FaultSite::Launch, 1));
+        let rr = driver
+            .search_resilient(&query, &db, &RecoveryPolicy::default())
+            .unwrap();
+        let mut clean = CudaSwDriver::new(DeviceSpec::tesla_c1060(), cfg);
+        let expect = clean.search(&query, &db).unwrap().scores;
+        assert_eq!(rr.result.scores, expect);
+        assert!(rr.recovery.degraded);
+        // One 64-sequence group succeeded on the device.
+        assert_eq!(rr.result.inter.launches, 1);
+        assert_eq!(rr.recovery.cpu_fallback_seqs, 200 - 64);
+    }
+
+    #[test]
+    fn persistent_transients_exhaust_retries_then_degrade() {
+        let db = db();
+        let query = make_query(57, 33);
+        let mut driver = CudaSwDriver::new(DeviceSpec::tesla_c1060(), config());
+        // More consecutive transients than max_retries allows.
+        let mut plan = FaultPlan::none();
+        for i in 0..8 {
+            plan = plan.with_transient(FaultSite::Launch, i);
+        }
+        driver.dev.inject_faults(plan);
+        let policy = RecoveryPolicy::default();
+        let rr = driver.search_resilient(&query, &db, &policy).unwrap();
+        assert_eq!(rr.result.scores, fault_free_scores(&query, &db));
+        assert_eq!(rr.recovery.retries, u64::from(policy.max_retries));
+        assert!(rr.recovery.degraded);
+    }
+
+    #[test]
+    fn device_failure_without_fallback_is_an_error() {
+        let db = db();
+        let query = make_query(57, 33);
+        let mut driver = CudaSwDriver::new(DeviceSpec::tesla_c1060(), config());
+        driver
+            .dev
+            .inject_faults(FaultPlan::none().with_device_loss(FaultSite::Launch, 0));
+        let policy = RecoveryPolicy {
+            cpu_fallback: false,
+            ..RecoveryPolicy::default()
+        };
+        let err = driver.search_resilient(&query, &db, &policy).unwrap_err();
+        assert!(matches!(err, GpuError::DeviceLost));
+    }
+
+    #[test]
+    fn corrupted_transfer_is_retried() {
+        let db = db();
+        let query = make_query(57, 33);
+        let mut driver = CudaSwDriver::new(DeviceSpec::tesla_c1060(), config());
+        driver
+            .dev
+            .inject_faults(FaultPlan::none().with_corruption(FaultSite::DeviceToHost, 0));
+        let rr = driver
+            .search_resilient(&query, &db, &RecoveryPolicy::default())
+            .unwrap();
+        assert_eq!(rr.result.scores, fault_free_scores(&query, &db));
+        assert_eq!(rr.recovery.retries, 1);
+        assert!(!rr.recovery.degraded);
+    }
+
+    #[test]
+    fn report_merge_accumulates() {
+        let mut a = RecoveryReport {
+            retries: 1,
+            rechunks: 2,
+            backoff_seconds: 0.5,
+            ..RecoveryReport::default()
+        };
+        let b = RecoveryReport {
+            retries: 3,
+            degraded: true,
+            cpu_fallback_seqs: 7,
+            shard_redispatches: 1,
+            backoff_seconds: 0.25,
+            events: vec![RecoveryEvent::CpuFallback { sequences: 7 }],
+            ..RecoveryReport::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.retries, 4);
+        assert_eq!(a.rechunks, 2);
+        assert_eq!(a.cpu_fallback_seqs, 7);
+        assert_eq!(a.shard_redispatches, 1);
+        assert!(a.degraded);
+        assert!((a.backoff_seconds - 0.75).abs() < 1e-12);
+        assert_eq!(a.events.len(), 1);
+    }
+}

@@ -185,7 +185,12 @@ mod tests {
             let (scores, stats) =
                 run_intra_variant(&spec, db.sequences(), &query, params, stage.variant).unwrap();
             for (i, seq) in db.sequences().iter().enumerate() {
-                assert_eq!(scores[i], sw_score(&sw, &query, &seq.residues), "{}", stage.name);
+                assert_eq!(
+                    scores[i],
+                    sw_score(&sw, &query, &seq.residues),
+                    "{}",
+                    stage.name
+                );
             }
             assert!(
                 stats.seconds <= last_seconds,

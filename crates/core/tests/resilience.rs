@@ -1,0 +1,189 @@
+//! Resilience integration tests: multi-GPU identity under faults, the
+//! chaos acceptance scenario, and a CPU-fallback/kernel agreement
+//! property test.
+
+use cudasw_core::intra_improved::{ImprovedParams, VariantConfig};
+use cudasw_core::{
+    multi_gpu_search, multi_gpu_search_resilient, CudaSwConfig, CudaSwDriver, IntraKernelChoice,
+    RecoveryPolicy,
+};
+use gpu_sim::{DeviceSpec, FaultPlan, FaultSite};
+use proptest::prelude::*;
+use sw_align::{Alphabet, SwParams};
+use sw_db::synth::{database_with_lengths, make_query};
+use sw_db::{Database, Sequence};
+use sw_simd::farrar::sw_striped_score;
+
+fn config() -> CudaSwConfig {
+    CudaSwConfig {
+        threshold: 100,
+        improved: ImprovedParams {
+            threads_per_block: 32,
+            tile_height: 4,
+        },
+        intra: IntraKernelChoice::Improved(VariantConfig::improved()),
+        ..CudaSwConfig::improved()
+    }
+}
+
+fn mixed_db() -> Database {
+    database_with_lengths(
+        "resil",
+        &[
+            20, 25, 30, 38, 45, 52, 60, 66, 72, 80, 88, 95, 110, 125, 140, 160, 200, 260, 320, 400,
+        ],
+        71,
+    )
+}
+
+fn single_device_scores(query: &[u8], db: &Database) -> Vec<i32> {
+    let mut driver = CudaSwDriver::new(DeviceSpec::tesla_c1060(), config());
+    driver.search(query, db).unwrap().scores
+}
+
+#[test]
+fn multi_gpu_resilient_matches_single_device_for_k_1_2_4() {
+    let db = mixed_db();
+    let query = make_query(48, 33);
+    let expect = single_device_scores(&query, &db);
+    for k in [1usize, 2, 4] {
+        let r = multi_gpu_search_resilient(
+            &DeviceSpec::tesla_c1060(),
+            &config(),
+            &query,
+            &db,
+            k,
+            &[],
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(r.scores, expect, "k={k}");
+        assert_eq!(r.surviving_devices(), k);
+        assert!(!r.recovery.degraded, "k={k}");
+    }
+}
+
+#[test]
+fn multi_gpu_survives_one_dead_device() {
+    let db = mixed_db();
+    let query = make_query(48, 33);
+    let expect = single_device_scores(&query, &db);
+    for k in [2usize, 4] {
+        // Device 0 dies on its very first launch; its shard must be
+        // re-dispatched round-robin over the survivors.
+        let plans = vec![FaultPlan::none().with_device_loss(FaultSite::Launch, 0)];
+        let r = multi_gpu_search_resilient(
+            &DeviceSpec::tesla_c1060(),
+            &config(),
+            &query,
+            &db,
+            k,
+            &plans,
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(r.scores, expect, "k={k}");
+        assert_eq!(r.surviving_devices(), k - 1);
+        assert!(r.recovery.shard_redispatches >= 1, "k={k}");
+        assert_eq!(r.recovery.cpu_fallback_seqs, 0, "k={k}");
+    }
+}
+
+/// The acceptance scenario from the issue: a 2-device search with
+/// transient launch faults, an OOM episode, and one dead device completes
+/// with scores byte-identical to a fault-free run, and the report shows at
+/// least one retry, one re-chunk, and one shard re-dispatch.
+#[test]
+fn chaos_two_device_search_recovers_byte_identical_scores() {
+    let db = mixed_db();
+    let query = make_query(48, 33);
+    let clean = multi_gpu_search(&DeviceSpec::tesla_c1060(), &config(), &query, &db, 2).unwrap();
+
+    let plans = vec![
+        // Device 0: lost on its first launch (shard re-dispatched).
+        FaultPlan::none().with_device_loss(FaultSite::Launch, 0),
+        // Device 1: one transient launch fault, plus OOM on alloc #2 —
+        // the first group's residue staging (0 = profile, 1 = query).
+        FaultPlan::none()
+            .with_transient(FaultSite::Launch, 0)
+            .with_oom(2),
+    ];
+    let r = multi_gpu_search_resilient(
+        &DeviceSpec::tesla_c1060(),
+        &config(),
+        &query,
+        &db,
+        2,
+        &plans,
+        &RecoveryPolicy::default(),
+    )
+    .unwrap();
+
+    assert_eq!(r.scores, clean.scores, "chaos run must be byte-identical");
+    assert!(r.recovery.retries >= 1, "{:?}", r.recovery);
+    assert!(r.recovery.rechunks >= 1, "{:?}", r.recovery);
+    assert!(r.recovery.shard_redispatches >= 1, "{:?}", r.recovery);
+    assert_eq!(r.surviving_devices(), 1);
+}
+
+#[test]
+fn all_devices_dead_degrades_to_cpu_with_identical_scores() {
+    let db = mixed_db();
+    let query = make_query(48, 33);
+    let expect = single_device_scores(&query, &db);
+    let plans = vec![
+        FaultPlan::none().with_device_loss(FaultSite::Launch, 0),
+        FaultPlan::none().with_device_loss(FaultSite::HostToDevice, 0),
+    ];
+    let r = multi_gpu_search_resilient(
+        &DeviceSpec::tesla_c1060(),
+        &config(),
+        &query,
+        &db,
+        2,
+        &plans,
+        &RecoveryPolicy::default(),
+    )
+    .unwrap();
+    assert_eq!(r.scores, expect);
+    assert_eq!(r.surviving_devices(), 0);
+    assert!(r.recovery.degraded);
+    assert_eq!(r.recovery.cpu_fallback_seqs, db.len() as u64);
+}
+
+fn protein_seq(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..20, 1..=max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // The CPU fallback (Farrar striped SIMD) and the inter-task kernel
+    // must agree on every score, so degrading to the CPU never changes
+    // results. Inter-task only: threshold far above every length.
+    #[test]
+    fn cpu_fallback_agrees_with_inter_task_kernel(
+        query in protein_seq(40),
+        seqs in proptest::collection::vec(protein_seq(60), 1..8),
+    ) {
+        let params = SwParams::cudasw_default();
+        let db = Database::new(
+            "prop",
+            Alphabet::Protein,
+            seqs.iter()
+                .enumerate()
+                .map(|(i, s)| Sequence::new(format!("s{i}"), s.clone()))
+                .collect(),
+        );
+        let cfg = CudaSwConfig {
+            threshold: 10_000,
+            inter_threads_per_block: 32,
+            ..CudaSwConfig::improved()
+        };
+        let mut driver = CudaSwDriver::new(DeviceSpec::tesla_c1060(), cfg);
+        let gpu = driver.search(&query, &db).unwrap().scores;
+        for (i, seq) in db.sequences().iter().enumerate() {
+            prop_assert_eq!(gpu[i], sw_striped_score(&params, &query, &seq.residues));
+        }
+    }
+}

@@ -162,7 +162,11 @@ mod tests {
     fn tail_fractions_match_paper_targets() {
         // With enough sequences, the realized fraction over 3072 should be
         // near the paper's reported percentage.
-        for db in [PaperDb::Swissprot, PaperDb::EnsemblDog, PaperDb::RefSeqHuman] {
+        for db in [
+            PaperDb::Swissprot,
+            PaperDb::EnsemblDog,
+            PaperDb::RefSeqHuman,
+        ] {
             let target = db.paper_fraction_over_threshold();
             let d = db.generate(40_000, 9);
             let got = d.partition(DEFAULT_THRESHOLD).fraction_long();

@@ -87,11 +87,7 @@ impl<'a> Partition<'a> {
 impl Database {
     /// Build a database; sequences are sorted ascending by length, which is
     /// the representation every consumer in this workspace expects.
-    pub fn new(
-        name: impl Into<String>,
-        alphabet: Alphabet,
-        mut sequences: Vec<Sequence>,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, alphabet: Alphabet, mut sequences: Vec<Sequence>) -> Self {
         sequences.sort_by_key(|s| s.len());
         Self {
             name: name.into(),

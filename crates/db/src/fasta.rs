@@ -65,10 +65,7 @@ impl From<io::Error> for FastaError {
 }
 
 /// Parse a FASTA stream into sequences encoded over `alphabet`.
-pub fn parse_fasta(
-    reader: impl BufRead,
-    alphabet: Alphabet,
-) -> Result<Vec<Sequence>, FastaError> {
+pub fn parse_fasta(reader: impl BufRead, alphabet: Alphabet) -> Result<Vec<Sequence>, FastaError> {
     let mut sequences = Vec::new();
     let mut current: Option<Sequence> = None;
     for (line_no, line) in reader.lines().enumerate() {

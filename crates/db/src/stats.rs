@@ -159,7 +159,8 @@ fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -284,6 +285,10 @@ mod tests {
         let lo = LogNormalParams::from_median_and_std(1000.0, 100.0);
         let hi = LogNormalParams::from_median_and_std(1000.0, 4000.0);
         assert!(lo.mean() >= 1000.0 && lo.mean() < 1100.0);
-        assert!(hi.mean() > 1500.0 && hi.mean() < 3500.0, "mean = {}", hi.mean());
+        assert!(
+            hi.mean() > 1500.0 && hi.mean() < 3500.0,
+            "mean = {}",
+            hi.mean()
+        );
     }
 }

@@ -35,7 +35,12 @@ pub struct SynthConfig {
 
 impl SynthConfig {
     /// A config with workspace defaults for length bounds.
-    pub fn new(name: impl Into<String>, num_seqs: usize, lengths: LogNormalParams, seed: u64) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        num_seqs: usize,
+        lengths: LogNormalParams,
+        seed: u64,
+    ) -> Self {
         Self {
             name: name.into(),
             num_seqs,
@@ -55,8 +60,8 @@ impl SynthConfig {
             .expect("frequencies are positive for standard residues");
         let mut sequences = Vec::with_capacity(self.num_seqs);
         for i in 0..self.num_seqs {
-            let len = (len_dist.sample(&mut rng).round() as usize)
-                .clamp(self.min_len, self.max_len);
+            let len =
+                (len_dist.sample(&mut rng).round() as usize).clamp(self.min_len, self.max_len);
             let residues: Vec<u8> = (0..len)
                 .map(|_| residue_dist.sample(&mut rng) as u8)
                 .collect();
@@ -92,7 +97,9 @@ pub fn make_query(len: usize, seed: u64) -> Vec<u8> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x51_5545_5259); // "QUERY"
     let residue_dist =
         WeightedIndex::new(AMINO_ACID_FREQUENCIES).expect("frequencies are positive");
-    (0..len).map(|_| residue_dist.sample(&mut rng) as u8).collect()
+    (0..len)
+        .map(|_| residue_dist.sample(&mut rng) as u8)
+        .collect()
 }
 
 /// A database where every sequence has exactly the lengths given —
@@ -127,12 +134,7 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let cfg = SynthConfig::new(
-            "det",
-            50,
-            LogNormalParams::from_mean_std(300.0, 200.0),
-            42,
-        );
+        let cfg = SynthConfig::new("det", 50, LogNormalParams::from_mean_std(300.0, 200.0), 42);
         let a = cfg.generate();
         let b = cfg.generate();
         assert_eq!(a.sequences(), b.sequences());
@@ -141,8 +143,7 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let mk = |seed| {
-            SynthConfig::new("s", 20, LogNormalParams::from_mean_std(300.0, 200.0), seed)
-                .generate()
+            SynthConfig::new("s", 20, LogNormalParams::from_mean_std(300.0, 200.0), seed).generate()
         };
         assert_ne!(mk(1).sequences(), mk(2).sequences());
     }
@@ -153,11 +154,7 @@ mod tests {
         let cfg = SynthConfig::new("dist", 20_000, target, 7);
         let db = cfg.generate();
         let stats = db.length_stats();
-        assert!(
-            (stats.mean - 360.0).abs() < 20.0,
-            "mean = {}",
-            stats.mean
-        );
+        assert!((stats.mean - 360.0).abs() < 20.0, "mean = {}", stats.mean);
         assert!(
             (stats.std_dev - 300.0).abs() < 40.0,
             "std = {}",

@@ -300,7 +300,16 @@ mod tests {
     #[test]
     fn merge_accumulates() {
         let mut a = CacheStats { hits: 1, misses: 2 };
-        a.merge(&CacheStats { hits: 10, misses: 20 });
-        assert_eq!(a, CacheStats { hits: 11, misses: 22 });
+        a.merge(&CacheStats {
+            hits: 10,
+            misses: 20,
+        });
+        assert_eq!(
+            a,
+            CacheStats {
+                hits: 11,
+                misses: 22
+            }
+        );
     }
 }

@@ -1,0 +1,452 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] schedules hardware failures against the device's
+//! operation streams: the *n*-th allocation, launch, or transfer can be
+//! made to fail in a chosen way, or faults can be drawn at random from a
+//! seeded stream ([`FaultPlan::random`]). Injection is completely
+//! deterministic — the same plan against the same operation sequence
+//! produces the same failures — so chaos tests are reproducible and
+//! recovery logic can be tested byte-for-byte.
+//!
+//! The modelled failure modes mirror what a long-running CUDA deployment
+//! actually sees:
+//!
+//! * **Transient faults** ([`FaultKind::Transient`]): a one-off launch or
+//!   transfer error; the identical retry succeeds.
+//! * **Hangs** ([`FaultKind::Hang`]): a launch's simulated cycle count is
+//!   inflated by [`HANG_CYCLE_MULTIPLIER`]; with a watchdog budget set
+//!   ([`crate::GpuDevice::set_watchdog_cycles`]) the launch is killed with
+//!   [`GpuError::LaunchTimeout`], without one the caller just pays the
+//!   (enormous) simulated time — exactly the difference between running
+//!   with and without a driver watchdog.
+//! * **Allocation OOM** ([`FaultKind::Oom`]): one allocation reports
+//!   out-of-memory; combined with [`FaultPlan::with_memory_pressure`]
+//!   (a hard clamp on usable device memory) this exercises the host's
+//!   re-chunking path.
+//! * **Corruption** ([`FaultKind::Corruption`]): ECC detects an
+//!   uncorrectable word while data crosses the bus; the payload is
+//!   discarded and the transfer fails with
+//!   [`GpuError::CorruptionDetected`]. Detected-and-discarded is the ECC
+//!   contract: no corrupt data is ever observed, so a retry is safe.
+//! * **Device loss** ([`FaultKind::DeviceLoss`]): the device dies; the
+//!   failing operation and every operation after it return
+//!   [`GpuError::DeviceLost`].
+
+use crate::error::{FaultSite, GpuError};
+
+/// Simulated-cycle inflation of a hung launch. Large enough that any
+/// sane watchdog budget fires, small enough not to overflow `f64` math.
+pub const HANG_CYCLE_MULTIPLIER: f64 = 1.0e6;
+
+/// What goes wrong when a scheduled fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// One-off failure; the retry succeeds.
+    Transient,
+    /// The launch hangs (cycles × [`HANG_CYCLE_MULTIPLIER`]).
+    Hang,
+    /// The allocation reports out-of-memory.
+    Oom,
+    /// ECC detects a corrupted word in flight; the transfer fails.
+    Corruption,
+    /// The device dies here and stays dead.
+    DeviceLoss,
+}
+
+/// One scheduled fault: the `index`-th operation at `site` (0-based,
+/// counted per site over the device's lifetime, retries included) fails
+/// with `kind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Operation stream the fault targets.
+    pub site: FaultSite,
+    /// 0-based position in that stream.
+    pub index: u64,
+    /// Failure mode.
+    pub kind: FaultKind,
+}
+
+/// Per-operation fault probabilities for [`FaultPlan::random`].
+#[derive(Debug, Clone, Copy)]
+pub struct FaultRates {
+    /// Probability that any single operation (alloc/launch/transfer)
+    /// fails transiently.
+    pub transient: f64,
+    /// Probability that a launch hangs.
+    pub launch_hang: f64,
+    /// Probability that a transfer hits detected corruption.
+    pub corruption: f64,
+}
+
+impl Default for FaultRates {
+    /// A noticeably unreliable device: ~2% transient ops, rarer hangs
+    /// and corruption. High enough that short chaos runs see faults.
+    fn default() -> Self {
+        Self {
+            transient: 0.02,
+            launch_hang: 0.005,
+            corruption: 0.005,
+        }
+    }
+}
+
+/// A schedule of faults to inject into one device.
+///
+/// Built either explicitly (`with_*` builders, for precisely-targeted
+/// tests) or randomly from a seed ([`FaultPlan::random`], for chaos
+/// sweeps). Install with [`crate::GpuDevice::inject_faults`].
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+    random: Option<(u64, FaultRates)>,
+    memory_pressure_words: Option<usize>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Draw faults at random from a seeded stream: each operation
+    /// consumes one draw (two for launches, which can also hang), so a
+    /// given seed produces the same faults against the same operation
+    /// sequence.
+    pub fn random(seed: u64, rates: FaultRates) -> Self {
+        Self {
+            random: Some((seed, rates)),
+            ..Self::default()
+        }
+    }
+
+    /// The `index`-th operation at `site` fails transiently.
+    pub fn with_transient(mut self, site: FaultSite, index: u64) -> Self {
+        self.events.push(FaultEvent {
+            site,
+            index,
+            kind: FaultKind::Transient,
+        });
+        self
+    }
+
+    /// The `index`-th launch hangs.
+    pub fn with_hang(mut self, launch_index: u64) -> Self {
+        self.events.push(FaultEvent {
+            site: FaultSite::Launch,
+            index: launch_index,
+            kind: FaultKind::Hang,
+        });
+        self
+    }
+
+    /// The `index`-th allocation reports out-of-memory.
+    pub fn with_oom(mut self, alloc_index: u64) -> Self {
+        self.events.push(FaultEvent {
+            site: FaultSite::Alloc,
+            index: alloc_index,
+            kind: FaultKind::Oom,
+        });
+        self
+    }
+
+    /// The `index`-th transfer at `site` (must be a transfer site) hits
+    /// ECC-detected corruption.
+    pub fn with_corruption(mut self, site: FaultSite, index: u64) -> Self {
+        assert!(
+            matches!(site, FaultSite::HostToDevice | FaultSite::DeviceToHost),
+            "corruption is a transfer fault"
+        );
+        self.events.push(FaultEvent {
+            site,
+            index,
+            kind: FaultKind::Corruption,
+        });
+        self
+    }
+
+    /// The device dies at the `index`-th operation at `site`.
+    pub fn with_device_loss(mut self, site: FaultSite, index: u64) -> Self {
+        self.events.push(FaultEvent {
+            site,
+            index,
+            kind: FaultKind::DeviceLoss,
+        });
+        self
+    }
+
+    /// Clamp usable device memory to `words` (allocation pressure: a
+    /// fragmented or shared device exposes far less than its nameplate
+    /// capacity).
+    pub fn with_memory_pressure(mut self, words: usize) -> Self {
+        self.memory_pressure_words = Some(words);
+        self
+    }
+
+    /// The memory clamp, if any (consumed by the device at install time).
+    pub fn memory_pressure_words(&self) -> Option<usize> {
+        self.memory_pressure_words
+    }
+
+    /// True when the plan can never fire anything.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.random.is_none()
+    }
+}
+
+/// Counters of everything the injector actually fired.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Transient faults injected.
+    pub transients: u64,
+    /// Launch hangs injected.
+    pub hangs: u64,
+    /// Allocation OOMs injected.
+    pub ooms: u64,
+    /// Transfer corruptions injected.
+    pub corruptions: u64,
+    /// Whether the device was killed.
+    pub device_lost: bool,
+    /// Operations seen per site: `[alloc, launch, h2d, d2h]`.
+    pub ops: [u64; 4],
+}
+
+impl FaultStats {
+    /// Total faults fired.
+    pub fn total(&self) -> u64 {
+        self.transients + self.hangs + self.ooms + self.corruptions + u64::from(self.device_lost)
+    }
+}
+
+fn site_slot(site: FaultSite) -> usize {
+    match site {
+        FaultSite::Alloc => 0,
+        FaultSite::Launch => 1,
+        FaultSite::HostToDevice => 2,
+        FaultSite::DeviceToHost => 3,
+    }
+}
+
+/// SplitMix64 step (the workspace's standard deterministic generator).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit_f64(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Runtime state of an installed [`FaultPlan`] (owned by the device).
+#[derive(Debug, Default)]
+pub(crate) struct FaultInjector {
+    plan: FaultPlan,
+    rng_state: u64,
+    counters: [u64; 4],
+    dead: bool,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    pub(crate) fn install(&mut self, plan: FaultPlan) {
+        if let Some((seed, _)) = plan.random {
+            // Warm the stream so seed 0 is not degenerate.
+            self.rng_state = seed;
+            splitmix64(&mut self.rng_state);
+        }
+        self.plan = plan;
+    }
+
+    pub(crate) fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    pub(crate) fn stats(&self) -> FaultStats {
+        let mut s = self.stats;
+        s.ops = self.counters;
+        s
+    }
+
+    /// Advance the operation stream at `site` and decide whether this
+    /// operation faults. A dead device faults every operation.
+    pub(crate) fn next_op(&mut self, site: FaultSite) -> Option<FaultKind> {
+        let slot = site_slot(site);
+        let index = self.counters[slot];
+        self.counters[slot] += 1;
+
+        if self.dead {
+            return Some(FaultKind::DeviceLoss);
+        }
+
+        if let Some(ev) = self
+            .plan
+            .events
+            .iter()
+            .find(|e| e.site == site && e.index == index)
+        {
+            return Some(self.record(ev.kind));
+        }
+
+        if let Some((_, rates)) = self.plan.random {
+            if unit_f64(&mut self.rng_state) < rates.transient {
+                return Some(self.record(FaultKind::Transient));
+            }
+            if site == FaultSite::Launch && unit_f64(&mut self.rng_state) < rates.launch_hang {
+                return Some(self.record(FaultKind::Hang));
+            }
+            if matches!(site, FaultSite::HostToDevice | FaultSite::DeviceToHost)
+                && unit_f64(&mut self.rng_state) < rates.corruption
+            {
+                return Some(self.record(FaultKind::Corruption));
+            }
+        }
+        None
+    }
+
+    fn record(&mut self, kind: FaultKind) -> FaultKind {
+        match kind {
+            FaultKind::Transient => self.stats.transients += 1,
+            FaultKind::Hang => self.stats.hangs += 1,
+            FaultKind::Oom => self.stats.ooms += 1,
+            FaultKind::Corruption => self.stats.corruptions += 1,
+            FaultKind::DeviceLoss => {
+                self.dead = true;
+                self.stats.device_lost = true;
+            }
+        }
+        kind
+    }
+}
+
+/// Map a fired fault to the error the device reports, given the site's
+/// context. `Hang` is handled by the launch path itself (it is not an
+/// immediate error) and must not be passed here.
+pub(crate) fn fault_error(kind: FaultKind, site: FaultSite, addr: usize, words: usize) -> GpuError {
+    match kind {
+        FaultKind::Transient => GpuError::TransientFault { site },
+        FaultKind::Oom => GpuError::OutOfMemory {
+            requested_words: words,
+            available_words: 0,
+        },
+        FaultKind::Corruption => GpuError::CorruptionDetected {
+            // Deterministic "corrupted word": the middle of the payload.
+            addr: addr + words / 2,
+        },
+        FaultKind::DeviceLoss => GpuError::DeviceLost,
+        FaultKind::Hang => unreachable!("hangs are resolved by the launch path"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduled_event_fires_exactly_once() {
+        let mut inj = FaultInjector::default();
+        inj.install(FaultPlan::none().with_transient(FaultSite::Launch, 1));
+        assert_eq!(inj.next_op(FaultSite::Launch), None);
+        assert_eq!(inj.next_op(FaultSite::Launch), Some(FaultKind::Transient));
+        assert_eq!(inj.next_op(FaultSite::Launch), None);
+        assert_eq!(inj.stats().transients, 1);
+        assert_eq!(inj.stats().ops[1], 3);
+    }
+
+    #[test]
+    fn sites_count_independently() {
+        let mut inj = FaultInjector::default();
+        inj.install(
+            FaultPlan::none()
+                .with_oom(0)
+                .with_corruption(FaultSite::DeviceToHost, 0),
+        );
+        // Launch stream is unaffected by the alloc/d2h schedules.
+        assert_eq!(inj.next_op(FaultSite::Launch), None);
+        assert_eq!(inj.next_op(FaultSite::Alloc), Some(FaultKind::Oom));
+        assert_eq!(
+            inj.next_op(FaultSite::DeviceToHost),
+            Some(FaultKind::Corruption)
+        );
+        assert_eq!(inj.next_op(FaultSite::HostToDevice), None);
+    }
+
+    #[test]
+    fn device_loss_is_sticky() {
+        let mut inj = FaultInjector::default();
+        inj.install(FaultPlan::none().with_device_loss(FaultSite::Launch, 0));
+        assert_eq!(inj.next_op(FaultSite::Launch), Some(FaultKind::DeviceLoss));
+        for site in [
+            FaultSite::Alloc,
+            FaultSite::Launch,
+            FaultSite::HostToDevice,
+            FaultSite::DeviceToHost,
+        ] {
+            assert_eq!(inj.next_op(site), Some(FaultKind::DeviceLoss));
+        }
+        assert!(inj.stats().device_lost);
+    }
+
+    #[test]
+    fn random_plan_is_deterministic() {
+        let run = || {
+            let mut inj = FaultInjector::default();
+            inj.install(FaultPlan::random(42, FaultRates::default()));
+            (0..1000)
+                .map(|i| {
+                    let site = match i % 4 {
+                        0 => FaultSite::Alloc,
+                        1 => FaultSite::Launch,
+                        2 => FaultSite::HostToDevice,
+                        _ => FaultSite::DeviceToHost,
+                    };
+                    inj.next_op(site)
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(
+            a.iter().any(|f| f.is_some()),
+            "default rates over 1000 ops should fire something"
+        );
+    }
+
+    #[test]
+    fn random_rate_roughly_matches() {
+        let mut inj = FaultInjector::default();
+        inj.install(FaultPlan::random(
+            7,
+            FaultRates {
+                transient: 0.1,
+                launch_hang: 0.0,
+                corruption: 0.0,
+            },
+        ));
+        let fired = (0..10_000)
+            .filter(|_| inj.next_op(FaultSite::Alloc).is_some())
+            .count();
+        assert!(
+            (700..=1300).contains(&fired),
+            "fired {fired}/10000 at p=0.1"
+        );
+    }
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let mut inj = FaultInjector::default();
+        inj.install(FaultPlan::none());
+        assert!(FaultPlan::none().is_empty());
+        for _ in 0..100 {
+            assert_eq!(inj.next_op(FaultSite::Launch), None);
+        }
+        assert_eq!(inj.stats().total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "transfer fault")]
+    fn corruption_rejects_non_transfer_site() {
+        let _ = FaultPlan::none().with_corruption(FaultSite::Launch, 0);
+    }
+}

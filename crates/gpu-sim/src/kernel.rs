@@ -11,8 +11,11 @@
 //! context tracks every cost counter the timing model consumes.
 
 use crate::device::DeviceSpec;
-use crate::error::GpuError;
-use crate::memory::{DevicePtr, MemorySystem, MemoryStats};
+use crate::error::{FaultSite, GpuError};
+use crate::fault::{
+    fault_error, FaultInjector, FaultKind, FaultPlan, FaultStats, HANG_CYCLE_MULTIPLIER,
+};
+use crate::memory::{DevicePtr, MemoryStats, MemorySystem};
 use crate::shared::SharedMem;
 use crate::stats::LaunchStats;
 use crate::texture::TexRef;
@@ -181,6 +184,8 @@ pub struct GpuDevice {
     mem: MemorySystem,
     xfer_model: TransferModel,
     xfer_stats: TransferStats,
+    fault: FaultInjector,
+    watchdog_cycles: Option<u64>,
 }
 
 impl GpuDevice {
@@ -194,11 +199,44 @@ impl GpuDevice {
             mem,
             xfer_model,
             xfer_stats: TransferStats::default(),
+            fault: FaultInjector::default(),
+            watchdog_cycles: None,
         }
+    }
+
+    /// Install a fault schedule (see [`crate::fault`]). Any memory
+    /// pressure the plan carries clamps usable device memory immediately.
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        if let Some(words) = plan.memory_pressure_words() {
+            self.mem.limit_capacity(words);
+        }
+        self.fault.install(plan);
+    }
+
+    /// Set (or clear) the per-launch watchdog budget: a launch whose
+    /// simulated cycles exceed the budget is killed with
+    /// [`GpuError::LaunchTimeout`] instead of completing. `None` (the
+    /// default) waits forever, hangs included.
+    pub fn set_watchdog_cycles(&mut self, budget: Option<u64>) {
+        self.watchdog_cycles = budget;
+    }
+
+    /// Counters of injected faults and observed operations.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault.stats()
+    }
+
+    /// True once the device has died ([`GpuError::DeviceLost`]); every
+    /// further operation fails.
+    pub fn is_lost(&self) -> bool {
+        self.fault.is_dead()
     }
 
     /// Allocate device memory (128-byte aligned).
     pub fn alloc(&mut self, words: usize) -> Result<DevicePtr, GpuError> {
+        if let Some(kind) = self.fault.next_op(FaultSite::Alloc) {
+            return Err(fault_error(kind, FaultSite::Alloc, 0, words));
+        }
         self.mem.alloc(words)
     }
 
@@ -218,7 +256,20 @@ impl GpuDevice {
     }
 
     /// Copy host data to the device; returns simulated transfer seconds.
+    ///
+    /// An injected transfer fault fails the copy *before* any device
+    /// memory changes (a corrupted payload is detected and discarded in
+    /// flight), so a retry starts from clean state.
     pub fn copy_to_device(&mut self, ptr: DevicePtr, words: &[u32]) -> Result<f64, GpuError> {
+        if let Some(kind) = self.fault.next_op(FaultSite::HostToDevice) {
+            self.xfer_stats.record_h2d_fault();
+            return Err(fault_error(
+                kind,
+                FaultSite::HostToDevice,
+                ptr.addr(),
+                words.len(),
+            ));
+        }
         self.mem.host_write(ptr, words)?;
         let secs = self.xfer_model.transfer_seconds(words.len() * 4);
         self.xfer_stats.record_h2d(words.len() * 4, secs);
@@ -226,11 +277,25 @@ impl GpuDevice {
     }
 
     /// Copy device data back to the host; returns data + simulated seconds.
+    ///
+    /// An injected transfer fault discards the payload (ECC detected the
+    /// corruption in flight) — no partially-corrupt data is ever
+    /// observable; the device-side contents are untouched, so a retry is
+    /// safe.
     pub fn copy_from_device(
         &mut self,
         ptr: DevicePtr,
         words: usize,
     ) -> Result<(Vec<u32>, f64), GpuError> {
+        if let Some(kind) = self.fault.next_op(FaultSite::DeviceToHost) {
+            self.xfer_stats.record_d2h_fault();
+            return Err(fault_error(
+                kind,
+                FaultSite::DeviceToHost,
+                ptr.addr(),
+                words,
+            ));
+        }
         let data = self.mem.host_read(ptr, words)?.to_vec();
         let secs = self.xfer_model.transfer_seconds(words * 4);
         self.xfer_stats.record_d2h(words * 4, secs);
@@ -260,6 +325,17 @@ impl GpuDevice {
         blocks: u32,
         name: &str,
     ) -> Result<LaunchStats, GpuError> {
+        // Fault injection first: a dead or faulting device fails the
+        // launch before any host-side validation would.
+        let mut hang = false;
+        if let Some(kind) = self.fault.next_op(FaultSite::Launch) {
+            if kind == FaultKind::Hang {
+                hang = true;
+            } else {
+                return Err(fault_error(kind, FaultSite::Launch, 0, 0));
+            }
+        }
+
         let cfg = kernel.config();
         if blocks == 0 {
             return Err(GpuError::InvalidLaunch {
@@ -313,9 +389,20 @@ impl GpuDevice {
             min_block = min_block.min(cycles);
         }
 
-        let cycles = self
+        let mut cycles = self
             .timing
             .launch_cycles(&self.spec, &block_cycles, totals.dram_bytes);
+        if hang {
+            cycles *= HANG_CYCLE_MULTIPLIER;
+        }
+        if let Some(budget) = self.watchdog_cycles {
+            if cycles > budget as f64 {
+                return Err(GpuError::LaunchTimeout {
+                    budget_cycles: budget,
+                    observed_cycles: cycles as u64,
+                });
+            }
+        }
         let seconds = self.spec.cycles_to_seconds(cycles);
         Ok(LaunchStats {
             kernel: name.to_string(),
@@ -327,7 +414,11 @@ impl GpuDevice {
             cycles,
             seconds,
             max_block_cycles: max_block,
-            min_block_cycles: if min_block.is_finite() { min_block } else { 0.0 },
+            min_block_cycles: if min_block.is_finite() {
+                min_block
+            } else {
+                0.0
+            },
         })
     }
 }
@@ -357,11 +448,11 @@ mod tests {
             for w in 0..ctx.warp_count() {
                 let mut access = WarpAccess::empty();
                 let mut vals = [0u32; WARP_SIZE];
-                for lane in 0..WARP_SIZE {
+                for (lane, val) in vals.iter_mut().enumerate() {
                     let tid = w as usize * WARP_SIZE + lane;
                     if tid < ctx.block_dim as usize {
                         access.set(lane, self.out.addr() + base + tid);
-                        vals[lane] = (base + tid) as u32;
+                        *val = (base + tid) as u32;
                     }
                 }
                 ctx.charge(2); // index arithmetic
@@ -402,10 +493,7 @@ mod tests {
     fn oversized_block_rejected() {
         let mut dev = GpuDevice::new(DeviceSpec::tesla_c1060());
         let out = dev.alloc(32).unwrap();
-        let k = IotaKernel {
-            out,
-            threads: 2048,
-        };
+        let k = IotaKernel { out, threads: 2048 };
         assert!(dev.launch(&k, 1, "iota").is_err());
     }
 
@@ -457,10 +545,105 @@ mod tests {
         let k = IotaKernel { out, threads: 64 };
         let s1 = dev.launch(&k, 1, "a").unwrap();
         let s2 = dev.launch(&k, 1, "b").unwrap();
-        assert_eq!(
-            s1.memory.store_transactions,
-            s2.memory.store_transactions
+        assert_eq!(s1.memory.store_transactions, s2.memory.store_transactions);
+    }
+
+    #[test]
+    fn transient_launch_fault_then_retry_succeeds() {
+        let mut dev = GpuDevice::new(DeviceSpec::tesla_c1060());
+        dev.inject_faults(crate::fault::FaultPlan::none().with_transient(FaultSite::Launch, 0));
+        let out = dev.alloc(64).unwrap();
+        let k = IotaKernel { out, threads: 64 };
+        let err = dev.launch(&k, 1, "iota").unwrap_err();
+        assert!(err.is_transient(), "{err}");
+        // The identical retry succeeds and produces correct results.
+        dev.launch(&k, 1, "iota").unwrap();
+        let (data, _) = dev.copy_from_device(out, 64).unwrap();
+        assert_eq!(data, (0..64).collect::<Vec<u32>>());
+        assert_eq!(dev.fault_stats().transients, 1);
+    }
+
+    #[test]
+    fn hang_without_watchdog_completes_slowly() {
+        let mut dev = GpuDevice::new(DeviceSpec::tesla_c1060());
+        let out = dev.alloc(64).unwrap();
+        let k = IotaKernel { out, threads: 64 };
+        let clean = dev.launch(&k, 1, "iota").unwrap();
+        dev.inject_faults(crate::fault::FaultPlan::none().with_hang(1));
+        let hung = dev.launch(&k, 1, "iota").unwrap();
+        assert!(hung.cycles > clean.cycles * (HANG_CYCLE_MULTIPLIER * 0.5));
+    }
+
+    #[test]
+    fn hang_with_watchdog_times_out_and_retry_succeeds() {
+        let mut dev = GpuDevice::new(DeviceSpec::tesla_c1060());
+        let out = dev.alloc(64).unwrap();
+        let k = IotaKernel { out, threads: 64 };
+        // Budget: 10x a clean launch — generous for real work, far below
+        // the hang inflation.
+        let clean = dev.launch(&k, 1, "iota").unwrap();
+        dev.set_watchdog_cycles(Some((clean.cycles * 10.0) as u64 + 1));
+        dev.inject_faults(crate::fault::FaultPlan::none().with_hang(1));
+        let err = dev.launch(&k, 1, "iota").unwrap_err();
+        assert!(
+            matches!(err, GpuError::LaunchTimeout { .. }),
+            "expected timeout, got {err}"
         );
+        dev.launch(&k, 1, "iota").unwrap();
+    }
+
+    #[test]
+    fn corrupted_d2h_discards_data_and_retry_succeeds() {
+        let mut dev = GpuDevice::new(DeviceSpec::tesla_c1060());
+        dev.inject_faults(
+            crate::fault::FaultPlan::none().with_corruption(FaultSite::DeviceToHost, 0),
+        );
+        let out = dev.alloc(64).unwrap();
+        let k = IotaKernel { out, threads: 64 };
+        dev.launch(&k, 1, "iota").unwrap();
+        let err = dev.copy_from_device(out, 64).unwrap_err();
+        assert!(matches!(err, GpuError::CorruptionDetected { .. }), "{err}");
+        assert_eq!(dev.transfer_stats().d2h_faults, 1);
+        // Device memory was untouched; the retry reads the true values.
+        let (data, _) = dev.copy_from_device(out, 64).unwrap();
+        assert_eq!(data, (0..64).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn device_loss_fails_everything_afterwards() {
+        let mut dev = GpuDevice::new(DeviceSpec::tesla_c1060());
+        dev.inject_faults(crate::fault::FaultPlan::none().with_device_loss(FaultSite::Launch, 0));
+        let out = dev.alloc(64).unwrap();
+        let k = IotaKernel { out, threads: 64 };
+        assert!(matches!(
+            dev.launch(&k, 1, "iota"),
+            Err(GpuError::DeviceLost)
+        ));
+        assert!(dev.is_lost());
+        assert!(matches!(dev.alloc(1), Err(GpuError::DeviceLost)));
+        assert!(matches!(
+            dev.copy_to_device(out, &[0; 4]),
+            Err(GpuError::DeviceLost)
+        ));
+        assert!(matches!(
+            dev.copy_from_device(out, 4),
+            Err(GpuError::DeviceLost)
+        ));
+    }
+
+    #[test]
+    fn injected_oom_and_memory_pressure() {
+        let mut dev = GpuDevice::new(DeviceSpec::tesla_c1060());
+        dev.inject_faults(
+            crate::fault::FaultPlan::none()
+                .with_oom(0)
+                .with_memory_pressure(1024),
+        );
+        // The scheduled OOM hits the first allocation...
+        assert!(matches!(dev.alloc(64), Err(GpuError::OutOfMemory { .. })));
+        // ...then the capacity clamp governs: 1024 words fit, more do not.
+        let _ = dev.alloc(512).unwrap();
+        let _ = dev.alloc(600).unwrap_err();
     }
 
     #[test]

@@ -23,7 +23,11 @@
 //!   makes the inter-task kernel load-imbalance-sensitive (Figure 2)
 //!   ([`timing`]);
 //! * **host↔device transfers** over a PCIe model, including the streamed
-//!   copy of the paper's future-work section ([`xfer`]).
+//!   copy of the paper's future-work section ([`xfer`]);
+//! * **fault injection**: deterministic, seeded schedules of transient
+//!   faults, hangs (with a watchdog budget), allocation pressure,
+//!   ECC-detected corruption and whole-device loss, for exercising
+//!   host-side recovery ([`fault`]).
 //!
 //! Everything is deterministic: simulated time is derived purely from
 //! counters, never from the wall clock.
@@ -31,6 +35,7 @@
 pub mod cache;
 pub mod device;
 pub mod error;
+pub mod fault;
 pub mod kernel;
 pub mod memory;
 pub mod shared;
@@ -42,7 +47,8 @@ pub mod xfer;
 
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use device::{Arch, DeviceSpec, Occupancy};
-pub use error::GpuError;
+pub use error::{FaultSite, GpuError};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultRates, FaultStats, HANG_CYCLE_MULTIPLIER};
 pub use kernel::{BlockCtx, BlockKernel, GpuDevice, LaunchConfig};
 pub use memory::{DevicePtr, MemoryStats};
 pub use stats::LaunchStats;

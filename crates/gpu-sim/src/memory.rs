@@ -224,6 +224,19 @@ impl MemorySystem {
         self.cursor
     }
 
+    /// Words the allocator may hand out in total.
+    pub fn capacity_words(&self) -> usize {
+        self.capacity_words
+    }
+
+    /// Clamp the allocator's capacity to `words` (memory-pressure
+    /// injection: a shared or fragmented device exposes less than its
+    /// nameplate capacity). Only ever shrinks; existing allocations are
+    /// untouched even if they already exceed the new limit.
+    pub fn limit_capacity(&mut self, words: usize) {
+        self.capacity_words = self.capacity_words.min(words);
+    }
+
     /// Direct host-side write (used by transfer modelling; not a kernel
     /// access, so it is not counted as global traffic).
     pub fn host_write(&mut self, ptr: DevicePtr, words: &[u32]) -> Result<(), GpuError> {

@@ -38,12 +38,7 @@ impl TransferModel {
     /// exposed, the rest overlaps with compute. The result is
     /// `first_chunk + max(rest_of_copy, compute)` — with compute-bound
     /// workloads nearly all of the copy disappears.
-    pub fn streamed_seconds(
-        &self,
-        bytes: usize,
-        chunk_bytes: usize,
-        compute_seconds: f64,
-    ) -> f64 {
+    pub fn streamed_seconds(&self, bytes: usize, chunk_bytes: usize, compute_seconds: f64) -> f64 {
         if bytes == 0 {
             return compute_seconds;
         }
@@ -68,6 +63,11 @@ pub struct TransferStats {
     pub h2d_seconds: f64,
     /// Simulated seconds spent in device→host copies.
     pub d2h_seconds: f64,
+    /// Host→device copies that failed from an injected fault (byte and
+    /// second counters above only cover successful copies).
+    pub h2d_faults: u64,
+    /// Device→host copies that failed from an injected fault.
+    pub d2h_faults: u64,
 }
 
 impl TransferStats {
@@ -79,6 +79,14 @@ impl TransferStats {
     pub(crate) fn record_d2h(&mut self, bytes: usize, seconds: f64) {
         self.d2h_bytes += bytes as u64;
         self.d2h_seconds += seconds;
+    }
+
+    pub(crate) fn record_h2d_fault(&mut self) {
+        self.h2d_faults += 1;
+    }
+
+    pub(crate) fn record_d2h_fault(&mut self) {
+        self.d2h_faults += 1;
     }
 }
 

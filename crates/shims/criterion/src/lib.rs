@@ -1,0 +1,213 @@
+//! Offline shim for `criterion`.
+//!
+//! Runs each benchmark closure a fixed small number of timed iterations
+//! and prints a one-line summary. Statistical machinery (outlier analysis,
+//! HTML reports) is intentionally absent. The generated `main` only runs
+//! when the binary is invoked with `--bench` (as `cargo bench` does), so
+//! `cargo test` builds bench targets without executing them.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Two-part benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            name: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Identifier carrying only a parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { name: s }
+    }
+}
+
+/// Passed to benchmark closures; `iter` times the workload.
+pub struct Bencher {
+    iterations: u32,
+    last_nanos_per_iter: f64,
+}
+
+impl Bencher {
+    /// Time `f`, running it a fixed number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(f());
+        }
+        let elapsed = start.elapsed().as_nanos() as f64;
+        self.last_nanos_per_iter = elapsed / self.iterations as f64;
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: u32,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Iterations per measurement (upstream: samples per estimate).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u32).max(1);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iterations: self.sample_size,
+            last_nanos_per_iter: 0.0,
+        };
+        f(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Run one parameterized benchmark.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iterations: self.sample_size,
+            last_nanos_per_iter: 0.0,
+        };
+        f(&mut bencher, input);
+        self.report(&id, &bencher);
+        self
+    }
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        let per_iter = bencher.last_nanos_per_iter;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                format!("  {:.3} Melem/s", n as f64 / per_iter * 1e3)
+            }
+            Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                format!("  {:.3} MB/s", n as f64 / per_iter * 1e3)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{}: {:.3} ms/iter{}",
+            self.name,
+            id.name,
+            per_iter / 1e6,
+            rate
+        );
+        let _ = &self.criterion;
+    }
+
+    /// End the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(name);
+        group.bench_function(BenchmarkId::from_parameter(name), f);
+        group.finish();
+        self
+    }
+}
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Define a benchmark-group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` running the given groups when invoked with `--bench`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` invokes bench binaries with `--bench`;
+            // `cargo test` builds and runs them without it. Skip in the
+            // latter case so the test suite stays fast.
+            if !std::env::args().any(|a| a == "--bench") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}

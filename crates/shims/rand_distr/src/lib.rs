@@ -1,0 +1,94 @@
+//! Offline shim for the `rand_distr` crate: the `LogNormal` distribution
+//! used by the synthetic database generators, sampled via Box–Muller.
+
+pub use rand::distributions::Distribution;
+use rand::RngCore;
+
+/// Error from distribution constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// Scale parameter was negative or non-finite.
+    BadVariance,
+    /// Location parameter was non-finite.
+    BadMean,
+}
+
+/// Normal distribution (mean, standard deviation).
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Build a normal distribution; `std_dev` must be finite and `>= 0`.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if !mean.is_finite() {
+            return Err(Error::BadMean);
+        }
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(Error::BadVariance);
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; u1 is kept away from zero so ln() stays finite.
+        let u1 = ((rng.next_u64() >> 11) as f64 + 1.0) * (1.0 / (1u64 << 53) as f64);
+        let u2 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Build from the *underlying normal's* location and scale.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        Ok(Self {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lognormal_matches_moments() {
+        // mean = exp(mu + sigma^2/2), here mu=ln(100), sigma=0.5.
+        let mu = 100.0f64.ln();
+        let sigma = 0.5;
+        let d = LogNormal::new(mu, sigma).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        let expected = (mu + sigma * sigma / 2.0).exp();
+        assert!(
+            (mean - expected).abs() / expected < 0.02,
+            "mean {mean}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn invalid_sigma_rejected() {
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+    }
+}

@@ -70,13 +70,8 @@ pub fn sw_vertical(params: &SwParams, query: &[u8], db: &[u8]) -> RognesResult {
                 ep[k] = e_prev[i];
                 w[k] = prow[i] as i16;
             }
-            let v_e = I16x8(ep)
-                .sat_sub(v_extend)
-                .max(I16x8(hp).sat_sub(v_open));
-            let v_h = I16x8(diag)
-                .sat_add(I16x8(w))
-                .max(v_e)
-                .max(I16x8::zero());
+            let v_e = I16x8(ep).sat_sub(v_extend).max(I16x8(hp).sat_sub(v_open));
+            let v_h = I16x8(diag).sat_add(I16x8(w)).max(v_e).max(I16x8::zero());
 
             // SWAT-like test: if F entering the chunk is non-positive and
             // no H in the chunk (nor the one just above it) exceeds the

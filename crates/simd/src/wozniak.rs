@@ -95,11 +95,7 @@ pub fn sw_antidiagonal(params: &SwParams, query: &[u8], db: &[u8]) -> WozniakRes
 
             let e = e_left.sat_sub(v_extend).max(h_left.sat_sub(v_open));
             let f = f_up.sat_sub(v_extend).max(h_up.sat_sub(v_open));
-            let h = h_diag
-                .sat_add(v_w)
-                .max(e)
-                .max(f)
-                .max(I16x8::zero());
+            let h = h_diag.sat_add(v_w).max(e).max(f).max(I16x8::zero());
 
             for k in 0..lanes {
                 let row = i + k;

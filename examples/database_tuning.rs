@@ -39,9 +39,16 @@ fn main() {
         &ImprovedParams::default(),
         20,
     );
-    println!("\nthreshold scan (query 567, improved kernel, {}):", spec.name);
+    println!(
+        "\nthreshold scan (query 567, improved kernel, {}):",
+        spec.name
+    );
     for (t, gcups) in &scan.candidates {
-        let marker = if *t == scan.best_threshold { " <= best" } else { "" };
+        let marker = if *t == scan.best_threshold {
+            " <= best"
+        } else {
+            ""
+        };
         let over = db.partition(*t).fraction_long() * 100.0;
         println!("  threshold {t:>6}: {gcups:>6.2} GCUPs ({over:>5.2}% intra){marker}");
     }

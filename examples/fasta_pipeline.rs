@@ -10,9 +10,9 @@ use cudasw_core::{CudaSwConfig, CudaSwDriver};
 use gpu_sim::DeviceSpec;
 use sw_align::Alphabet;
 use sw_db::fasta::{parse_fasta, write_fasta};
+use sw_db::stats::LogNormalParams;
 use sw_db::synth::make_query;
 use sw_db::{Database, SynthConfig};
-use sw_db::stats::LogNormalParams;
 
 fn main() {
     // 1. Build a small database and serialize it to FASTA.

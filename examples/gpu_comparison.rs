@@ -22,7 +22,10 @@ fn main() {
         db.total_cells(query.len())
     );
 
-    println!("{:<28} {:>10} {:>9} {:>12} {:>12}", "configuration", "sim ms", "GCUPs", "L1/tex hits", "L2 hits");
+    println!(
+        "{:<28} {:>10} {:>9} {:>12} {:>12}",
+        "configuration", "sim ms", "GCUPs", "L1/tex hits", "L2 hits"
+    );
     let mut reference_scores: Option<Vec<i32>> = None;
     for (label, spec, cfg) in [
         (

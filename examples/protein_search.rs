@@ -51,7 +51,11 @@ fn main() {
 
     let stats = KarlinParams::for_protein_matrix(&SwParams::cudasw_default().matrix)
         .expect("BLOSUM62 has valid Karlin-Altschul parameters");
-    println!("\ntop 5 hits (E-values over m x n = {} x {}):", query.len(), db.total_residues());
+    println!(
+        "\ntop 5 hits (E-values over m x n = {} x {}):",
+        query.len(),
+        db.total_residues()
+    );
     for (idx, score) in results[1].top_hits(5) {
         let seq = &db.sequences()[idx];
         println!(

@@ -5,8 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use cudasw_repro::prelude::*;
 use cudasw_core::{CudaSwConfig, CudaSwDriver};
+use cudasw_repro::prelude::*;
 use gpu_sim::DeviceSpec;
 use sw_align::traceback::sw_align;
 use sw_align::Alphabet;
@@ -36,16 +36,20 @@ fn main() {
             Sequence::new("exact", target.clone()),
             Sequence::new("self", query.clone()),
             Sequence::new("unrelated", encode_protein("PPPPGGGGPPPPGGGG").unwrap()),
-            Sequence::new(
-                "related",
-                encode_protein("AAMKVLAWGGSCRDWAAAAA").unwrap(),
-            ),
+            Sequence::new("related", encode_protein("AAMKVLAWGGSCRDWAAAAA").unwrap()),
         ],
     );
     let mut driver = CudaSwDriver::new(DeviceSpec::tesla_c1060(), CudaSwConfig::improved());
     let result = driver.search(&query, &db).expect("search succeeds");
-    println!("searched {} sequences, {} cells", db.len(), result.total_cells());
-    println!("simulated GPU time: {:.3} ms", result.kernel_seconds() * 1e3);
+    println!(
+        "searched {} sequences, {} cells",
+        db.len(),
+        result.total_cells()
+    );
+    println!(
+        "simulated GPU time: {:.3} ms",
+        result.kernel_seconds() * 1e3
+    );
     println!("top hits:");
     for (idx, score) in result.top_hits(3) {
         println!("  {:<10} score {}", db.sequences()[idx].id, score);

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, full test suite, lint wall, format check.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo clippy --workspace --all-targets --offline -- -D warnings
+cargo fmt --check
+echo "verify: OK"

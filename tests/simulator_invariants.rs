@@ -17,12 +17,22 @@ fn improved_kernel_traffic_scales_with_columns() {
     let params = ImprovedParams::default();
     let short = database_with_lengths("s", &[2000], 3);
     let long = database_with_lengths("l", &[4000], 3);
-    let (_, t_short) =
-        run_intra_variant(&spec, short.sequences(), &query, params, VariantConfig::improved())
-            .unwrap();
-    let (_, t_long) =
-        run_intra_variant(&spec, long.sequences(), &query, params, VariantConfig::improved())
-            .unwrap();
+    let (_, t_short) = run_intra_variant(
+        &spec,
+        short.sequences(),
+        &query,
+        params,
+        VariantConfig::improved(),
+    )
+    .unwrap();
+    let (_, t_long) = run_intra_variant(
+        &spec,
+        long.sequences(),
+        &query,
+        params,
+        VariantConfig::improved(),
+    )
+    .unwrap();
     let ratio = t_long.global_transactions() as f64 / t_short.global_transactions() as f64;
     assert!(
         (1.7..=2.3).contains(&ratio),
