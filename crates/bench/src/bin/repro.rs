@@ -6,11 +6,23 @@
 //! repro table1 | table2
 //! repro ablation | strips | retune | extensions | validation
 //! repro chaos [--inject-faults <seed>]   # resilient driver under faults
+//! repro trace <experiment> [--out <file.json>] [--metrics <file.prom>]
 //! ```
 //!
 //! `--inject-faults <seed>` selects the random fault seed for the chaos
 //! run (default 42); different seeds deal different fault schedules, the
 //! scores must match the fault-free run for every one of them.
+//!
+//! `trace` runs any experiment under the observability recorder and dumps
+//! its span timeline as a Chrome `trace_event` JSON file — load it in
+//! Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing` to see the
+//! nested search → kernel → transfer spans on the simulated clock.
+//! `--metrics` additionally writes a Prometheus-style text snapshot of
+//! every counter, gauge and histogram the run recorded.
+//!
+//! Every experiment ends with a one-line run report (launches, cells,
+//! simulated kernel seconds, transfer traffic, injected faults) computed
+//! from the same metrics registry.
 //!
 //! Sweep curves are produced by the validated analytic models at paper
 //! scale; Table I, the ablations, the extension measurements and the
@@ -62,22 +74,107 @@ fn main() {
         "all" => {
             for (name, f) in known {
                 eprintln!("==> {name}");
-                f();
+                run_with_report(name, *f);
             }
         }
+        "trace" => run_trace(&args[1..], known),
         "help" | "--help" | "-h" => {
             println!("usage: repro <experiment> [--inject-faults <seed>]");
+            println!("       repro trace <experiment> [--out <file.json>] [--metrics <file.prom>]");
             println!("experiments: all, fig2, fig3, fig5, fig6, fig7, table1, table2,");
             println!("             ablation, strips, retune, extensions, validation, chaos");
             println!("--inject-faults <seed>: fault seed for the chaos run (default 42)");
         }
         other => match known.iter().find(|(name, _)| *name == other) {
-            Some((_, f)) => f(),
+            Some((name, f)) => run_with_report(name, *f),
             None => {
                 eprintln!("unknown experiment {other:?}; try `repro help`");
                 std::process::exit(2);
             }
         },
+    }
+}
+
+/// Run one experiment under the observability recorder and print its run
+/// report (computed from the captured metrics registry, not from any
+/// experiment-specific plumbing).
+fn run_with_report(name: &str, f: fn()) {
+    let ((), run) = obs::capture(f);
+    print_run_report(name, &run);
+}
+
+fn print_run_report(name: &str, run: &obs::Obs) {
+    let m = &run.metrics;
+    let launches = m.counter_sum("cudasw.gpu_sim.launch.calls", &[]);
+    let cells = m.counter_sum("cudasw.gpu_sim.launch.cells", &[]);
+    let kernel_secs = m.counter_sum("cudasw.gpu_sim.launch.seconds", &[]);
+    let h2d = m.counter_sum("cudasw.gpu_sim.h2d.bytes", &[]);
+    let d2h = m.counter_sum("cudasw.gpu_sim.d2h.bytes", &[]);
+    let faults = m.counter_sum("cudasw.gpu_sim.fault.injected", &[]);
+    println!(
+        "[run report] {name}: {} launches, {cells:.3e} cells, \
+         {kernel_secs:.4}s simulated kernel time, {:.1} KiB h2d, {:.1} KiB d2h, \
+         {} injected faults",
+        launches as u64,
+        h2d / 1024.0,
+        d2h / 1024.0,
+        faults as u64,
+    );
+}
+
+/// `repro trace <experiment> [--out <file.json>] [--metrics <file.prom>]`
+fn run_trace(rest: &[String], known: &[(&str, fn())]) {
+    let mut rest: Vec<String> = rest.to_vec();
+    let mut out_path = "trace.json".to_string();
+    let mut prom_path: Option<String> = None;
+    if let Some(pos) = rest.iter().position(|a| a == "--out") {
+        match rest.get(pos + 1) {
+            Some(p) => out_path = p.clone(),
+            None => {
+                eprintln!("--out needs a file path");
+                std::process::exit(2);
+            }
+        }
+        rest.drain(pos..=pos + 1);
+    }
+    if let Some(pos) = rest.iter().position(|a| a == "--metrics") {
+        match rest.get(pos + 1) {
+            Some(p) => prom_path = Some(p.clone()),
+            None => {
+                eprintln!("--metrics needs a file path");
+                std::process::exit(2);
+            }
+        }
+        rest.drain(pos..=pos + 1);
+    }
+    let Some(exp) = rest.first() else {
+        eprintln!("usage: repro trace <experiment> [--out <file.json>] [--metrics <file.prom>]");
+        std::process::exit(2);
+    };
+    let Some((name, f)) = known.iter().find(|(name, _)| name == exp) else {
+        eprintln!("unknown experiment {exp:?}; try `repro help`");
+        std::process::exit(2);
+    };
+    let ((), run) = obs::capture(*f);
+    let json = obs::chrome::to_chrome_json(&run.trace, run.clock);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    print_run_report(name, &run);
+    println!(
+        "wrote {} spans + {} instants ({:.4}s simulated) to {out_path}",
+        run.trace.spans.len(),
+        run.trace.instants.len(),
+        run.clock,
+    );
+    if let Some(prom_path) = prom_path {
+        let text = obs::prom::to_prometheus_text(&run.metrics);
+        if let Err(e) = std::fs::write(&prom_path, &text) {
+            eprintln!("cannot write {prom_path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote metrics snapshot to {prom_path}");
     }
 }
 

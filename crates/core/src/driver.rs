@@ -15,10 +15,42 @@ use crate::inter_task::InterTaskKernel;
 use crate::intra_improved::{ImprovedIntraKernel, ImprovedParams, VariantConfig};
 use crate::intra_orig::{IntraPair, OriginalIntraKernel};
 use crate::seqstore::{pack_residues, GroupImage, ProfileImage, SeqImage};
-use gpu_sim::stats::RunStats;
+use gpu_sim::stats::{LaunchStats, RunStats};
 use gpu_sim::{DeviceSpec, GpuDevice, GpuError};
+use obs::MetricsRegistry;
 use sw_align::{PackedProfile, SwParams};
 use sw_db::Database;
+
+/// Record one kernel launch under its driver phase (`"inter"` /
+/// `"intra"`) in the ambient metrics registry. The registry is the source
+/// of truth for phase accounting; [`RunStats`] views are reconstructed
+/// from it by [`phase_run_stats`].
+pub(crate) fn note_phase_launch(phase: &str, stats: &LaunchStats) {
+    let labels = [("phase", phase)];
+    obs::counter_add("cudasw.core.phase.launches", &labels, 1.0);
+    obs::counter_add("cudasw.core.phase.cells", &labels, stats.cells() as f64);
+    obs::counter_add("cudasw.core.phase.seconds", &labels, stats.seconds);
+    obs::counter_add(
+        "cudasw.core.phase.global_transactions",
+        &labels,
+        stats.global_transactions() as f64,
+    );
+}
+
+/// The thin [`RunStats`] view over one phase of a metrics delta.
+///
+/// Counter values are exact for the integer fields (every count in this
+/// workspace is far below 2^53), so the reconstruction is lossless.
+pub(crate) fn phase_run_stats(delta: &MetricsRegistry, phase: &str) -> RunStats {
+    let labels = [("phase", phase)];
+    RunStats {
+        launches: delta.counter_sum("cudasw.core.phase.launches", &labels) as u32,
+        cells: delta.counter_sum("cudasw.core.phase.cells", &labels) as u64,
+        seconds: delta.counter_sum("cudasw.core.phase.seconds", &labels),
+        global_transactions: delta.counter_sum("cudasw.core.phase.global_transactions", &labels)
+            as u64,
+    }
+}
 
 /// Which intra-task kernel the application uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -155,16 +187,17 @@ impl CudaSwDriver {
 
     /// Compare `query` against every database sequence.
     pub fn search(&mut self, query: &[u8], db: &Database) -> Result<SearchResult, GpuError> {
+        let sp_search = obs::span("search", "phase");
+        let metrics_before = obs::snapshot_metrics();
         self.dev.free_all();
         let partition = db.partition(self.config.threshold);
         let fraction_long = partition.fraction_long();
         let mut scores = vec![0i32; db.len()];
-        let mut inter = RunStats::default();
-        let mut intra = RunStats::default();
         let mut transfer_seconds = 0.0;
 
         // Stage the query artefacts once (profile for both kernels, packed
         // residues for the original intra kernel).
+        let sp_stage = obs::span("stage_query", "phase");
         let packed = PackedProfile::build(&self.config.params.matrix, query);
         let (profile, secs) = ProfileImage::upload(&mut self.dev, &packed)?;
         transfer_seconds += secs;
@@ -172,10 +205,12 @@ impl CudaSwDriver {
         let q_ptr = self.dev.alloc(q_words.len().max(1))?;
         transfer_seconds += self.dev.copy_to_device(q_ptr, &q_words)?;
         let q_tex = self.dev.bind_texture(q_ptr, q_words.len().max(1));
+        sp_stage.end_with(&[]);
 
         // Inter-task: groups of `s` sequences, one launch per group, with
         // per-group scratch released between launches.
         let s = self.group_size();
+        let sp_inter = obs::span("inter_task", "phase");
         let mark = self.dev.mark();
         let mut offset = 0usize;
         for group in partition.groups(s) {
@@ -195,7 +230,7 @@ impl CudaSwDriver {
             };
             let blocks = kernel.grid_blocks();
             let stats = self.dev.launch(&kernel, blocks, "inter_task")?;
-            inter.add(&stats);
+            note_phase_launch("inter", &stats);
             let (raw, secs) = self.dev.copy_from_device(gimg.scores, gimg.width)?;
             transfer_seconds += secs;
             for (k, word) in raw.into_iter().enumerate() {
@@ -204,9 +239,11 @@ impl CudaSwDriver {
             offset += group.len();
             self.dev.free_to(mark);
         }
+        sp_inter.end_with(&[]);
 
         // Intra-task: one block per long sequence, one launch for all.
         if !partition.long.is_empty() {
+            let sp_intra = obs::span("intra_task", "phase");
             let mut pairs = Vec::with_capacity(partition.long.len());
             for seq in partition.long {
                 let (img, secs) = SeqImage::upload(&mut self.dev, seq)?;
@@ -268,14 +305,22 @@ impl CudaSwDriver {
                         .launch(&kernel, pairs.len() as u32, "intra_improved")?
                 }
             };
-            intra.add(&stats);
+            note_phase_launch("intra", &stats);
             for (k, pair) in pairs.iter().enumerate() {
                 let (v, secs) = self.dev.copy_from_device(pair.score, 1)?;
                 transfer_seconds += secs;
                 scores[offset + k] = v[0] as i32;
             }
+            sp_intra.end_with(&[]);
         }
 
+        // Phase accounting lives in the metrics registry; the RunStats
+        // fields of the result are views reconstructed from this search's
+        // delta.
+        let delta = obs::snapshot_metrics().diff(&metrics_before);
+        let inter = phase_run_stats(&delta, "inter");
+        let intra = phase_run_stats(&delta, "intra");
+        sp_search.end_with(&[("query_len", &query.len().to_string())]);
         Ok(SearchResult {
             scores,
             inter,

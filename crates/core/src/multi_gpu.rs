@@ -73,6 +73,28 @@ impl MultiGpuResult {
     }
 }
 
+/// Run one shard's search on a fresh device, scoped for observability:
+/// the trace lane is the device index (so each device gets its own row in
+/// the Chrome trace viewer), a `shard` span wraps the work, and per-device
+/// counters record what the shard handled. Shards run sequentially on the
+/// host; lanes reconstruct the concurrency the timing model assumes.
+fn run_shard<R>(
+    device: usize,
+    spec: &DeviceSpec,
+    config: &CudaSwConfig,
+    body: impl FnOnce(&mut CudaSwDriver) -> Result<R, GpuError>,
+) -> Result<R, GpuError> {
+    let prev_lane = obs::set_lane(device as u32 + 1);
+    let sp = obs::span("shard", "phase");
+    let mut driver = CudaSwDriver::new(spec.clone(), config.clone());
+    let result = body(&mut driver);
+    let dev_label = device.to_string();
+    obs::counter_add("cudasw.core.shard.searches", &[("device", &dev_label)], 1.0);
+    sp.end_with(&[("device", &dev_label)]);
+    obs::set_lane(prev_lane);
+    result
+}
+
 /// Deal the sorted database round-robin into `k` shards (each shard keeps
 /// a representative length distribution, which is what makes the scaling
 /// near-linear).
@@ -100,9 +122,8 @@ pub fn multi_gpu_search(
     let shards = shard_database(db, k);
     let mut per_device = Vec::with_capacity(k);
     let mut shard_scores = Vec::with_capacity(k);
-    for shard in &shards {
-        let mut driver = CudaSwDriver::new(spec.clone(), config.clone());
-        let r = driver.search(query, shard)?;
+    for (i, shard) in shards.iter().enumerate() {
+        let r = run_shard(i, spec, config, |driver| driver.search(query, shard))?;
         shard_scores.push(r.scores.clone());
         per_device.push(r);
     }
@@ -198,7 +219,12 @@ pub fn multi_gpu_search_resilient(
     let mut failed = Vec::new();
 
     for (s, shard) in shards.iter().enumerate() {
-        match drivers[s].search_resilient(query, shard, &shard_policy) {
+        let prev_lane = obs::set_lane(s as u32 + 1);
+        let sp = obs::span("shard", "phase");
+        let outcome = drivers[s].search_resilient(query, shard, &shard_policy);
+        sp.end_with(&[("device", &s.to_string())]);
+        obs::set_lane(prev_lane);
+        match outcome {
             Ok(rr) => {
                 for (j, &score) in rr.result.scores.iter().enumerate() {
                     scores[s + j * k] = score;
@@ -219,13 +245,7 @@ pub fn multi_gpu_search_resilient(
                 return Err(GpuError::DeviceLost);
             }
             cpu_scores(&config.params, query, db.sequences(), &mut scores);
-            report.cpu_fallback_seqs += db.len() as u64;
-            report.degraded = true;
-            report
-                .events
-                .push(crate::recovery::RecoveryEvent::CpuFallback {
-                    sequences: db.len(),
-                });
+            report.note_cpu_fallback(db.len());
         } else {
             let m = survivors.len();
             for &s in &failed {
@@ -240,7 +260,12 @@ pub fn multi_gpu_search_resilient(
                     if subshard.is_empty() {
                         continue;
                     }
-                    match drivers[dev_idx].search_resilient(query, subshard, &shard_policy) {
+                    let prev_lane = obs::set_lane(dev_idx as u32 + 1);
+                    let sp = obs::span("shard_redispatch", "phase");
+                    let outcome = drivers[dev_idx].search_resilient(query, subshard, &shard_policy);
+                    sp.end_with(&[("device", &dev_idx.to_string())]);
+                    obs::set_lane(prev_lane);
+                    match outcome {
                         Ok(rr) => {
                             for (h, &score) in rr.result.scores.iter().enumerate() {
                                 scores[s + (t + h * m) * k] = score;
@@ -261,13 +286,7 @@ pub fn multi_gpu_search_resilient(
                             for (h, &score) in sub_scores.iter().enumerate() {
                                 scores[s + (t + h * m) * k] = score;
                             }
-                            report.cpu_fallback_seqs += subshard.len() as u64;
-                            report.degraded = true;
-                            report
-                                .events
-                                .push(crate::recovery::RecoveryEvent::CpuFallback {
-                                    sequences: subshard.len(),
-                                });
+                            report.note_cpu_fallback(subshard.len());
                         }
                         Err(e) => return Err(e),
                     }

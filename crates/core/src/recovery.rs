@@ -27,7 +27,6 @@ use crate::inter_task::InterTaskKernel;
 use crate::intra_improved::ImprovedIntraKernel;
 use crate::intra_orig::{IntraPair, OriginalIntraKernel};
 use crate::seqstore::{pack_residues, GroupImage, ProfileImage, SeqImage};
-use gpu_sim::stats::RunStats;
 use gpu_sim::{GpuError, LaunchStats, TexRef};
 use sw_align::PackedProfile;
 use sw_db::{Database, Sequence};
@@ -131,10 +130,26 @@ impl RecoveryReport {
         self.events.extend(other.events.iter().cloned());
     }
 
+    // The note_* methods are the single place recovery actions are
+    // recorded, and they emit to the ambient observability recorder in the
+    // same breath — the metrics registry and trace timeline can never
+    // disagree with the ledger (pinned by `tests/resilience.rs`).
+
     fn note_retry(&mut self, err: &GpuError, attempt: u32, policy: &RecoveryPolicy) {
         self.retries += 1;
-        self.backoff_seconds +=
-            policy.backoff_base_seconds * f64::from(1u32 << (attempt - 1).min(20));
+        let backoff = policy.backoff_base_seconds * f64::from(1u32 << (attempt - 1).min(20));
+        self.backoff_seconds += backoff;
+        obs::counter_add("cudasw.core.recovery.retries", &[], 1.0);
+        obs::counter_add("cudasw.core.recovery.backoff_seconds", &[], backoff);
+        obs::advance(backoff);
+        obs::instant(
+            "retry",
+            "recovery",
+            &[
+                ("error", &err.to_string()),
+                ("attempt", &attempt.to_string()),
+            ],
+        );
         self.events.push(RecoveryEvent::Retry {
             error: err.to_string(),
             attempt,
@@ -143,15 +158,31 @@ impl RecoveryReport {
 
     fn note_rechunk(&mut self, from: usize, to: usize) {
         self.rechunks += 1;
+        obs::counter_add("cudasw.core.recovery.rechunks", &[], 1.0);
+        obs::instant(
+            "rechunk",
+            "recovery",
+            &[("from", &from.to_string()), ("to", &to.to_string())],
+        );
         self.events.push(RecoveryEvent::Rechunk { from, to });
     }
 
-    fn note_cpu_fallback(&mut self, sequences: usize) {
+    pub(crate) fn note_cpu_fallback(&mut self, sequences: usize) {
         if sequences == 0 {
             return;
         }
         self.cpu_fallback_seqs += sequences as u64;
         self.degraded = true;
+        obs::counter_add(
+            "cudasw.core.recovery.cpu_fallback_seqs",
+            &[],
+            sequences as f64,
+        );
+        obs::instant(
+            "cpu_fallback",
+            "recovery",
+            &[("sequences", &sequences.to_string())],
+        );
         self.events.push(RecoveryEvent::CpuFallback { sequences });
     }
 
@@ -162,6 +193,16 @@ impl RecoveryReport {
         sequences: usize,
     ) {
         self.shard_redispatches += 1;
+        obs::counter_add("cudasw.core.recovery.shard_redispatches", &[], 1.0);
+        obs::instant(
+            "shard_redispatch",
+            "recovery",
+            &[
+                ("from_device", &from_device.to_string()),
+                ("to_device", &to_device.to_string()),
+                ("sequences", &sequences.to_string()),
+            ],
+        );
         self.events.push(RecoveryEvent::ShardRedispatch {
             from_device,
             to_device,
@@ -219,20 +260,21 @@ impl CudaSwDriver {
         db: &Database,
         policy: &RecoveryPolicy,
     ) -> Result<ResilientSearchResult, GpuError> {
+        let sp_search = obs::span("search", "phase");
+        let metrics_before = obs::snapshot_metrics();
         self.dev.set_watchdog_cycles(policy.watchdog_cycles);
         self.dev.free_all();
         let mut report = RecoveryReport::default();
         let partition = db.partition(self.config.threshold);
         let fraction_long = partition.fraction_long();
         let mut scores = vec![0i32; db.len()];
-        let mut inter = RunStats::default();
-        let mut intra = RunStats::default();
         let mut transfer_seconds = 0.0;
         let mut device_failed: Option<GpuError> = None;
 
         // --- Stage the query artefacts (with transient retry; staging is
         // tiny, so an OOM here means the device is unusably full and goes
         // down the failure path).
+        let sp_stage = obs::span("stage_query", "phase");
         let mut attempt = 0u32;
         let staged = loop {
             match self.stage_query(query) {
@@ -250,11 +292,13 @@ impl CudaSwDriver {
                 },
             }
         };
+        sp_stage.end_with(&[]);
 
         // --- Inter-task path: windowed group loop with retry + re-chunk.
         let mut short_done = 0usize;
         let mut long_done = 0usize;
         if let Some((profile, q_tex)) = &staged {
+            let sp_inter = obs::span("inter_task", "phase");
             let mut window = self.group_size();
             let mark = self.dev.mark();
             let mut attempt = 0u32;
@@ -263,7 +307,7 @@ impl CudaSwDriver {
                 let group = &partition.short[short_done..end];
                 match self.run_inter_group(group, profile, &mut scores[short_done..end]) {
                     Ok((stats, secs)) => {
-                        inter.add(&stats);
+                        crate::driver::note_phase_launch("inter", &stats);
                         transfer_seconds += secs;
                         short_done = end;
                         attempt = 0;
@@ -287,11 +331,13 @@ impl CudaSwDriver {
                     }
                 }
             }
+            sp_inter.end_with(&[]);
 
             // --- Intra-task path: chunked with the same recovery. The
             // fault-free chunk is "everything at once", exactly like
             // `search`.
             if device_failed.is_none() && !partition.long.is_empty() {
+                let sp_intra = obs::span("intra_task", "phase");
                 let mut window = partition.long.len();
                 let mark = self.dev.mark();
                 let mut attempt = 0u32;
@@ -308,7 +354,7 @@ impl CudaSwDriver {
                         &mut scores[out_base..out_end],
                     ) {
                         Ok((stats, secs)) => {
-                            intra.add(&stats);
+                            crate::driver::note_phase_launch("intra", &stats);
                             transfer_seconds += secs;
                             long_done = end;
                             attempt = 0;
@@ -332,6 +378,7 @@ impl CudaSwDriver {
                         }
                     }
                 }
+                sp_intra.end_with(&[]);
             }
         }
 
@@ -341,6 +388,7 @@ impl CudaSwDriver {
             if !policy.cpu_fallback {
                 return Err(err);
             }
+            let sp_cpu = obs::span("cpu_fallback", "phase");
             let remaining_short = &partition.short[short_done..];
             let remaining_long = &partition.long[long_done..];
             let n = remaining_short.len() + remaining_long.len();
@@ -353,8 +401,13 @@ impl CudaSwDriver {
                 scores[partition.short.len() + long_done + i] =
                     sw_striped_score(&self.config.params, query, &seq.residues);
             }
+            sp_cpu.end_with(&[("sequences", &n.to_string())]);
         }
 
+        let delta = obs::snapshot_metrics().diff(&metrics_before);
+        let inter = crate::driver::phase_run_stats(&delta, "inter");
+        let intra = crate::driver::phase_run_stats(&delta, "intra");
+        sp_search.end_with(&[("query_len", &query.len().to_string())]);
         Ok(ResilientSearchResult {
             result: SearchResult {
                 scores,

@@ -126,6 +126,80 @@ fn chaos_two_device_search_recovers_byte_identical_scores() {
     assert_eq!(r.surviving_devices(), 1);
 }
 
+/// The observability contract: recovery's metrics counters and trace
+/// instants are emitted in the same breath as the `RecoveryReport` ledger
+/// (see the `note_*` methods in `recovery.rs`), so under a fixed fault
+/// schedule the captured run must match the report *exactly* — same
+/// counts, same backoff seconds bit-for-bit, same event order.
+#[test]
+fn chaos_run_obs_matches_recovery_ledger_exactly() {
+    let db = mixed_db();
+    let query = make_query(48, 33);
+    let plans = vec![
+        FaultPlan::none().with_device_loss(FaultSite::Launch, 0),
+        FaultPlan::none()
+            .with_transient(FaultSite::Launch, 0)
+            .with_oom(2),
+    ];
+    let (r, run) = obs::capture(|| {
+        multi_gpu_search_resilient(
+            &DeviceSpec::tesla_c1060(),
+            &config(),
+            &query,
+            &db,
+            2,
+            &plans,
+            &RecoveryPolicy::default(),
+        )
+        .unwrap()
+    });
+    let ledger = &r.recovery;
+    let m = &run.metrics;
+    let counter = |name: &str| m.counter_sum(name, &[]);
+    assert_eq!(
+        counter("cudasw.core.recovery.retries") as u64,
+        ledger.retries
+    );
+    assert_eq!(
+        counter("cudasw.core.recovery.rechunks") as u64,
+        ledger.rechunks
+    );
+    assert_eq!(
+        counter("cudasw.core.recovery.cpu_fallback_seqs") as u64,
+        ledger.cpu_fallback_seqs
+    );
+    assert_eq!(
+        counter("cudasw.core.recovery.shard_redispatches") as u64,
+        ledger.shard_redispatches
+    );
+    // Same additions in the same order on both sides: bitwise equal.
+    assert_eq!(
+        counter("cudasw.core.recovery.backoff_seconds").to_bits(),
+        ledger.backoff_seconds.to_bits()
+    );
+    // Every ledger event has exactly one trace instant, in order.
+    let instant_names: Vec<&str> = run
+        .trace
+        .instants
+        .iter()
+        .filter(|i| i.cat == "recovery")
+        .map(|i| i.name.as_str())
+        .collect();
+    let event_names: Vec<&str> = ledger
+        .events
+        .iter()
+        .map(|e| match e {
+            cudasw_core::RecoveryEvent::Retry { .. } => "retry",
+            cudasw_core::RecoveryEvent::Rechunk { .. } => "rechunk",
+            cudasw_core::RecoveryEvent::CpuFallback { .. } => "cpu_fallback",
+            cudasw_core::RecoveryEvent::ShardRedispatch { .. } => "shard_redispatch",
+        })
+        .collect();
+    assert_eq!(instant_names, event_names);
+    // The scenario actually exercised the ledger (not vacuously equal).
+    assert!(ledger.retries >= 1 && ledger.rechunks >= 1 && ledger.shard_redispatches >= 1);
+}
+
 #[test]
 fn all_devices_dead_degrades_to_cpu_with_identical_scores() {
     let db = mixed_db();

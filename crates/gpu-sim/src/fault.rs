@@ -53,6 +53,18 @@ pub enum FaultKind {
     DeviceLoss,
 }
 
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::Transient => write!(f, "transient"),
+            FaultKind::Hang => write!(f, "hang"),
+            FaultKind::Oom => write!(f, "oom"),
+            FaultKind::Corruption => write!(f, "corruption"),
+            FaultKind::DeviceLoss => write!(f, "device_loss"),
+        }
+    }
+}
+
 /// One scheduled fault: the `index`-th operation at `site` (0-based,
 /// counted per site over the device's lifetime, retries included) fails
 /// with `kind`.

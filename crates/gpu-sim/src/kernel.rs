@@ -175,6 +175,52 @@ impl<'a> BlockCtx<'a> {
     }
 }
 
+/// Histogram buckets for simulated launch durations (seconds). Kernel
+/// launches in this workspace span sub-microsecond probe launches to
+/// multi-second full-database sweeps.
+const LAUNCH_SECONDS_BOUNDS: &[f64] = &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0];
+
+/// Record an injected fault on the ambient observability recorder: a
+/// labeled counter plus an instant event on the trace timeline.
+fn note_fault(site: FaultSite, kind: FaultKind) {
+    let site = site.to_string();
+    let kind = kind.to_string();
+    let labels = [("site", site.as_str()), ("kind", kind.as_str())];
+    obs::counter_add("cudasw.gpu_sim.fault.injected", &labels, 1.0);
+    obs::instant("fault", "fault", &labels);
+}
+
+/// Record per-launch metrics (labeled by kernel name) on the ambient
+/// recorder.
+fn note_launch(stats: &LaunchStats) {
+    let labels = [("kernel", stats.kernel.as_str())];
+    obs::counter_add("cudasw.gpu_sim.launch.calls", &labels, 1.0);
+    obs::counter_add("cudasw.gpu_sim.launch.cells", &labels, stats.cells() as f64);
+    obs::counter_add("cudasw.gpu_sim.launch.cycles", &labels, stats.cycles);
+    obs::counter_add("cudasw.gpu_sim.launch.seconds", &labels, stats.seconds);
+    obs::counter_add(
+        "cudasw.gpu_sim.launch.global_transactions",
+        &labels,
+        stats.global_transactions() as f64,
+    );
+    obs::counter_add(
+        "cudasw.gpu_sim.launch.dram_bytes",
+        &labels,
+        stats.totals.dram_bytes as f64,
+    );
+    obs::counter_add(
+        "cudasw.gpu_sim.launch.shared_bank_conflicts",
+        &labels,
+        stats.shared.conflicted_accesses as f64,
+    );
+    obs::histogram_observe(
+        "cudasw.gpu_sim.launch.duration_seconds",
+        &[],
+        LAUNCH_SECONDS_BOUNDS,
+        stats.seconds,
+    );
+}
+
 /// A simulated GPU: spec + memory system + timing model.
 pub struct GpuDevice {
     /// Device description.
@@ -235,9 +281,18 @@ impl GpuDevice {
     /// Allocate device memory (128-byte aligned).
     pub fn alloc(&mut self, words: usize) -> Result<DevicePtr, GpuError> {
         if let Some(kind) = self.fault.next_op(FaultSite::Alloc) {
+            note_fault(FaultSite::Alloc, kind);
             return Err(fault_error(kind, FaultSite::Alloc, 0, words));
         }
-        self.mem.alloc(words)
+        let ptr = self.mem.alloc(words)?;
+        obs::counter_add("cudasw.gpu_sim.alloc.calls", &[], 1.0);
+        obs::counter_add("cudasw.gpu_sim.alloc.words", &[], words as f64);
+        obs::gauge_set(
+            "cudasw.gpu_sim.mem.allocated_words",
+            &[],
+            self.mem.allocated_words() as f64,
+        );
+        Ok(ptr)
     }
 
     /// Free every allocation.
@@ -261,8 +316,10 @@ impl GpuDevice {
     /// memory changes (a corrupted payload is detected and discarded in
     /// flight), so a retry starts from clean state.
     pub fn copy_to_device(&mut self, ptr: DevicePtr, words: &[u32]) -> Result<f64, GpuError> {
+        let sp = obs::span("h2d", "transfer");
         if let Some(kind) = self.fault.next_op(FaultSite::HostToDevice) {
             self.xfer_stats.record_h2d_fault();
+            note_fault(FaultSite::HostToDevice, kind);
             return Err(fault_error(
                 kind,
                 FaultSite::HostToDevice,
@@ -271,8 +328,14 @@ impl GpuDevice {
             ));
         }
         self.mem.host_write(ptr, words)?;
-        let secs = self.xfer_model.transfer_seconds(words.len() * 4);
-        self.xfer_stats.record_h2d(words.len() * 4, secs);
+        let bytes = words.len() * 4;
+        let secs = self.xfer_model.transfer_seconds(bytes);
+        self.xfer_stats.record_h2d(bytes, secs);
+        obs::counter_add("cudasw.gpu_sim.h2d.calls", &[], 1.0);
+        obs::counter_add("cudasw.gpu_sim.h2d.bytes", &[], bytes as f64);
+        obs::counter_add("cudasw.gpu_sim.h2d.seconds", &[], secs);
+        obs::advance(secs);
+        sp.end_with(&[("bytes", &bytes.to_string())]);
         Ok(secs)
     }
 
@@ -287,8 +350,10 @@ impl GpuDevice {
         ptr: DevicePtr,
         words: usize,
     ) -> Result<(Vec<u32>, f64), GpuError> {
+        let sp = obs::span("d2h", "transfer");
         if let Some(kind) = self.fault.next_op(FaultSite::DeviceToHost) {
             self.xfer_stats.record_d2h_fault();
+            note_fault(FaultSite::DeviceToHost, kind);
             return Err(fault_error(
                 kind,
                 FaultSite::DeviceToHost,
@@ -297,8 +362,14 @@ impl GpuDevice {
             ));
         }
         let data = self.mem.host_read(ptr, words)?.to_vec();
-        let secs = self.xfer_model.transfer_seconds(words * 4);
-        self.xfer_stats.record_d2h(words * 4, secs);
+        let bytes = words * 4;
+        let secs = self.xfer_model.transfer_seconds(bytes);
+        self.xfer_stats.record_d2h(bytes, secs);
+        obs::counter_add("cudasw.gpu_sim.d2h.calls", &[], 1.0);
+        obs::counter_add("cudasw.gpu_sim.d2h.bytes", &[], bytes as f64);
+        obs::counter_add("cudasw.gpu_sim.d2h.seconds", &[], secs);
+        obs::advance(secs);
+        sp.end_with(&[("bytes", &bytes.to_string())]);
         Ok((data, secs))
     }
 
@@ -325,10 +396,13 @@ impl GpuDevice {
         blocks: u32,
         name: &str,
     ) -> Result<LaunchStats, GpuError> {
+        let sp = obs::span(name, "kernel");
+
         // Fault injection first: a dead or faulting device fails the
         // launch before any host-side validation would.
         let mut hang = false;
         if let Some(kind) = self.fault.next_op(FaultSite::Launch) {
+            note_fault(FaultSite::Launch, kind);
             if kind == FaultKind::Hang {
                 hang = true;
             } else {
@@ -397,6 +471,7 @@ impl GpuDevice {
         }
         if let Some(budget) = self.watchdog_cycles {
             if cycles > budget as f64 {
+                obs::instant("watchdog_timeout", "fault", &[("kernel", name)]);
                 return Err(GpuError::LaunchTimeout {
                     budget_cycles: budget,
                     observed_cycles: cycles as u64,
@@ -404,7 +479,7 @@ impl GpuDevice {
             }
         }
         let seconds = self.spec.cycles_to_seconds(cycles);
-        Ok(LaunchStats {
+        let stats = LaunchStats {
             kernel: name.to_string(),
             blocks,
             block_dim: cfg.threads_per_block,
@@ -419,7 +494,17 @@ impl GpuDevice {
             } else {
                 0.0
             },
-        })
+        };
+        note_launch(&stats);
+        obs::advance(seconds);
+        sp.end_with(&[
+            ("cells", &stats.cells().to_string()),
+            (
+                "global_transactions",
+                &stats.global_transactions().to_string(),
+            ),
+        ]);
+        Ok(stats)
     }
 }
 
@@ -644,6 +729,51 @@ mod tests {
         // ...then the capacity clamp governs: 1024 words fit, more do not.
         let _ = dev.alloc(512).unwrap();
         let _ = dev.alloc(600).unwrap_err();
+    }
+
+    #[test]
+    fn device_ops_report_to_the_ambient_recorder() {
+        let ((), run) = obs::capture(|| {
+            let mut dev = GpuDevice::new(DeviceSpec::tesla_c1060());
+            dev.inject_faults(crate::fault::FaultPlan::none().with_transient(FaultSite::Launch, 0));
+            let out = dev.alloc(256).unwrap();
+            let input = vec![0u32; 256];
+            dev.copy_to_device(out, &input).unwrap();
+            let k = IotaKernel { out, threads: 64 };
+            let _ = dev.launch(&k, 4, "iota").unwrap_err(); // injected transient
+            let stats = dev.launch(&k, 4, "iota").unwrap();
+            dev.copy_from_device(out, 256).unwrap();
+            assert_eq!(
+                run_metrics_probe(),
+                stats.global_transactions(),
+                "registry matches LaunchStats"
+            );
+        });
+        let m = &run.metrics;
+        assert_eq!(m.counter("cudasw.gpu_sim.alloc.calls", &[]), 1.0);
+        assert_eq!(
+            m.counter("cudasw.gpu_sim.launch.calls", &[("kernel", "iota")]),
+            1.0
+        );
+        assert_eq!(
+            m.counter_sum("cudasw.gpu_sim.fault.injected", &[("site", "launch")]),
+            1.0
+        );
+        assert!(m.counter("cudasw.gpu_sim.h2d.bytes", &[]) == 1024.0);
+        assert!(m.counter("cudasw.gpu_sim.d2h.bytes", &[]) == 1024.0);
+        // Clock advanced by transfer + kernel time; spans recorded it.
+        assert!(run.clock > 0.0);
+        assert_eq!(run.trace.spans_named("iota").count(), 2);
+        assert_eq!(run.trace.instants_named("fault").count(), 1);
+        assert_eq!(run.trace.open_count(), 0);
+        let h = m
+            .histogram("cudasw.gpu_sim.launch.duration_seconds", &[])
+            .unwrap();
+        assert_eq!(h.count, 1);
+    }
+
+    fn run_metrics_probe() -> u64 {
+        obs::snapshot_metrics().counter_sum("cudasw.gpu_sim.launch.global_transactions", &[]) as u64
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Prometheus text-exposition exporter.
+//!
+//! Renders a [`MetricsRegistry`] snapshot in the text format scrapers
+//! expect: `# TYPE` lines, label sets in `{k="v"}` form, and the
+//! `_bucket`/`_sum`/`_count` triplet for histograms with cumulative
+//! `le` buckets. Dotted workspace names are sanitised to underscores
+//! (`cudasw.gpu_sim.launch.cycles` → `cudasw_gpu_sim_launch_cycles`).
+
+use crate::metrics::{MetricKey, MetricsRegistry};
+use std::fmt::Write as _;
+
+/// Map a workspace metric name to a valid Prometheus metric name.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+fn fmt_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| {
+            format!(
+                "{}=\"{}\"",
+                sanitize_name(k),
+                v.replace('\\', "\\\\").replace('"', "\\\"")
+            )
+        })
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{v}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+fn key_line(out: &mut String, key: &MetricKey, value: f64) {
+    let _ = writeln!(
+        out,
+        "{}{} {}",
+        sanitize_name(&key.name),
+        label_block(&key.labels, None),
+        fmt_value(value)
+    );
+}
+
+/// Render the registry in Prometheus text exposition format.
+pub fn to_prometheus_text(metrics: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    let mut last_type: Option<(String, String)> = None;
+    let mut type_line = |out: &mut String, name: &str, kind: &str| {
+        let sane = sanitize_name(name);
+        if last_type
+            .as_ref()
+            .is_none_or(|(n, k)| *n != sane || k != kind)
+        {
+            let _ = writeln!(out, "# TYPE {sane} {kind}");
+            last_type = Some((sane, kind.to_string()));
+        }
+    };
+
+    for (key, value) in metrics.counters() {
+        type_line(&mut out, &key.name, "counter");
+        key_line(&mut out, key, value);
+    }
+    for (key, value) in metrics.gauges() {
+        type_line(&mut out, &key.name, "gauge");
+        key_line(&mut out, key, value);
+    }
+    for (key, hist) in metrics.histograms() {
+        type_line(&mut out, &key.name, "histogram");
+        let name = sanitize_name(&key.name);
+        let mut cumulative = 0u64;
+        for (bound, count) in hist.bounds.iter().zip(&hist.counts) {
+            cumulative += count;
+            let _ = writeln!(
+                out,
+                "{name}_bucket{} {cumulative}",
+                label_block(&key.labels, Some(("le", &fmt_value(*bound))))
+            );
+        }
+        cumulative += hist.counts.last().copied().unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "{name}_bucket{} {cumulative}",
+            label_block(&key.labels, Some(("le", "+Inf")))
+        );
+        let _ = writeln!(
+            out,
+            "{name}_sum{} {}",
+            label_block(&key.labels, None),
+            fmt_value(hist.sum)
+        );
+        let _ = writeln!(
+            out,
+            "{name}_count{} {}",
+            label_block(&key.labels, None),
+            hist.count
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitizes_dotted_names() {
+        assert_eq!(
+            sanitize_name("cudasw.gpu-sim.launch.cycles"),
+            "cudasw_gpu_sim_launch_cycles"
+        );
+        assert_eq!(sanitize_name("0bad"), "_0bad");
+    }
+
+    #[test]
+    fn renders_counters_gauges_and_histograms() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add(
+            "cudasw.core.phase.cells",
+            &[("phase", "inter"), ("device", "0")],
+            42.0,
+        );
+        r.gauge_set("cudasw.gpu_sim.mem.high_water", &[], 1.5);
+        r.histogram_observe("cudasw.core.launch.seconds", &[], &[0.1, 1.0], 0.05);
+        r.histogram_observe("cudasw.core.launch.seconds", &[], &[0.1, 1.0], 5.0);
+
+        let text = to_prometheus_text(&r);
+        assert!(text.contains("# TYPE cudasw_core_phase_cells counter"));
+        assert!(text.contains("cudasw_core_phase_cells{device=\"0\",phase=\"inter\"} 42"));
+        assert!(text.contains("# TYPE cudasw_gpu_sim_mem_high_water gauge"));
+        assert!(text.contains("cudasw_gpu_sim_mem_high_water 1.5"));
+        assert!(text.contains("cudasw_core_launch_seconds_bucket{le=\"0.1\"} 1"));
+        assert!(text.contains("cudasw_core_launch_seconds_bucket{le=\"1\"} 1"));
+        assert!(text.contains("cudasw_core_launch_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("cudasw_core_launch_seconds_sum 5.05"));
+        assert!(text.contains("cudasw_core_launch_seconds_count 2"));
+    }
+
+    #[test]
+    fn type_line_emitted_once_per_metric_name() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("c.n", &[("d", "0")], 1.0);
+        r.counter_add("c.n", &[("d", "1")], 2.0);
+        let text = to_prometheus_text(&r);
+        assert_eq!(text.matches("# TYPE c_n counter").count(), 1);
+    }
+}

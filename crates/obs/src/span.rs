@@ -1,0 +1,222 @@
+//! The span timeline: nested durations and instant events on the
+//! simulated clock.
+//!
+//! Spans are opened and closed against a monotonically advancing
+//! simulated-seconds clock (never the wall clock — determinism is the
+//! whole point of the simulator). Nesting is structural: the trace keeps
+//! a stack of open spans, and a new span's parent is whatever is open at
+//! the time. Closing a span also closes any still-open descendants, so an
+//! error path that unwinds out of a phase cannot corrupt the stack.
+
+/// Identifier of a span within one [`Trace`]. `SpanId(0)` is the "not
+/// recorded" sentinel returned while tracing is disabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(pub u32);
+
+impl SpanId {
+    /// The sentinel for spans that were not recorded.
+    pub const NONE: SpanId = SpanId(0);
+
+    fn index(self) -> Option<usize> {
+        (self.0 > 0).then(|| self.0 as usize - 1)
+    }
+}
+
+/// One completed (or still-open) duration on the timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// This span's id.
+    pub id: SpanId,
+    /// Enclosing span, if any.
+    pub parent: Option<SpanId>,
+    /// Event name (kernel name, phase name, ...).
+    pub name: String,
+    /// Category (`"kernel"`, `"transfer"`, `"phase"`, ...).
+    pub cat: String,
+    /// Simulated seconds at open.
+    pub start: f64,
+    /// Simulated seconds at close; `< start` while still open.
+    pub end: f64,
+    /// Chrome-trace thread lane (one per device).
+    pub tid: u32,
+    /// Free-form key/value annotations.
+    pub args: Vec<(String, String)>,
+}
+
+impl Span {
+    /// True once the span has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.end >= self.start
+    }
+
+    /// Duration in simulated seconds (0 while open).
+    pub fn duration(&self) -> f64 {
+        (self.end - self.start).max(0.0)
+    }
+}
+
+/// A zero-duration event (fault injections, recovery actions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstantEvent {
+    /// Event name.
+    pub name: String,
+    /// Category.
+    pub cat: String,
+    /// Simulated seconds at which it happened.
+    pub at: f64,
+    /// Chrome-trace thread lane.
+    pub tid: u32,
+    /// Free-form key/value annotations.
+    pub args: Vec<(String, String)>,
+}
+
+/// The recorded timeline of one scope.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// All spans, in open order.
+    pub spans: Vec<Span>,
+    /// All instant events, in emit order.
+    pub instants: Vec<InstantEvent>,
+    open: Vec<SpanId>,
+}
+
+impl Trace {
+    /// Open a span at `now`; its parent is the innermost open span.
+    pub fn begin(&mut self, name: &str, cat: &str, now: f64, tid: u32) -> SpanId {
+        let id = SpanId(self.spans.len() as u32 + 1);
+        self.spans.push(Span {
+            id,
+            parent: self.open.last().copied(),
+            name: name.to_string(),
+            cat: cat.to_string(),
+            start: now,
+            end: f64::NEG_INFINITY,
+            tid,
+            args: Vec::new(),
+        });
+        self.open.push(id);
+        id
+    }
+
+    /// Close `id` at `now`, attaching `args`. Any open descendants are
+    /// closed too (error-path unwinding); closing an unknown or already
+    /// closed id is a no-op.
+    pub fn end(&mut self, id: SpanId, now: f64, args: &[(&str, &str)]) {
+        let Some(idx) = id.index() else { return };
+        if !self.open.contains(&id) {
+            return;
+        }
+        while let Some(top) = self.open.pop() {
+            if let Some(i) = top.index() {
+                if !self.spans[i].is_closed() {
+                    self.spans[i].end = now;
+                }
+            }
+            if top == id {
+                break;
+            }
+        }
+        self.spans[idx]
+            .args
+            .extend(args.iter().map(|(k, v)| (k.to_string(), v.to_string())));
+    }
+
+    /// Record an instant event at `now`.
+    pub fn instant(&mut self, name: &str, cat: &str, now: f64, tid: u32, args: &[(&str, &str)]) {
+        self.instants.push(InstantEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            at: now,
+            tid,
+            args: args
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        });
+    }
+
+    /// All spans with this exact name.
+    pub fn spans_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Span> {
+        self.spans.iter().filter(move |s| s.name == name)
+    }
+
+    /// All spans in this category.
+    pub fn spans_in_cat<'a>(&'a self, cat: &'a str) -> impl Iterator<Item = &'a Span> {
+        self.spans.iter().filter(move |s| s.cat == cat)
+    }
+
+    /// All instant events with this exact name.
+    pub fn instants_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a InstantEvent> {
+        self.instants.iter().filter(move |s| s.name == name)
+    }
+
+    /// True when `inner` is a strict descendant of `outer` in the span
+    /// tree.
+    pub fn is_descendant(&self, inner: SpanId, outer: SpanId) -> bool {
+        let mut cur = inner.index().and_then(|i| self.spans[i].parent);
+        while let Some(p) = cur {
+            if p == outer {
+                return true;
+            }
+            cur = p.index().and_then(|i| self.spans[i].parent);
+        }
+        false
+    }
+
+    /// Number of spans still open (0 after a clean run).
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_tracks_the_open_stack() {
+        let mut t = Trace::default();
+        let outer = t.begin("search", "phase", 0.0, 0);
+        let inner = t.begin("inter_task", "kernel", 1.0, 0);
+        t.end(inner, 2.0, &[("cells", "10")]);
+        t.end(outer, 3.0, &[]);
+        assert_eq!(t.spans.len(), 2);
+        assert_eq!(t.spans[1].parent, Some(outer));
+        assert!(t.is_descendant(inner, outer));
+        assert!(!t.is_descendant(outer, inner));
+        assert_eq!(
+            t.spans[1].args,
+            vec![("cells".to_string(), "10".to_string())]
+        );
+        assert_eq!(t.open_count(), 0);
+    }
+
+    #[test]
+    fn ending_a_parent_closes_abandoned_children() {
+        let mut t = Trace::default();
+        let outer = t.begin("search", "phase", 0.0, 0);
+        let child = t.begin("inter", "phase", 1.0, 0);
+        // Error path: `child` is never ended explicitly.
+        t.end(outer, 5.0, &[]);
+        assert!(t.spans[child.index().unwrap()].is_closed());
+        assert_eq!(t.spans[child.index().unwrap()].end, 5.0);
+        assert_eq!(t.open_count(), 0);
+    }
+
+    #[test]
+    fn double_end_is_a_noop() {
+        let mut t = Trace::default();
+        let s = t.begin("a", "c", 0.0, 0);
+        t.end(s, 1.0, &[]);
+        t.end(s, 9.0, &[]);
+        assert_eq!(t.spans[0].end, 1.0);
+        assert_eq!(t.spans[0].duration(), 1.0);
+    }
+
+    #[test]
+    fn sentinel_id_is_ignored() {
+        let mut t = Trace::default();
+        t.end(SpanId::NONE, 1.0, &[]);
+        assert!(t.spans.is_empty());
+    }
+}

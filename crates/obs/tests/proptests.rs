@@ -1,0 +1,202 @@
+//! Property tests for the metric algebra.
+//!
+//! Captured runs are combined by `MetricsRegistry::merge` — across
+//! devices, across experiments, across resumed searches — so merge must
+//! not care how the underlying operations were grouped or ordered:
+//! associative, commutative, and (for the monotone kinds) equal to having
+//! recorded everything in one registry. `RunStats`, now a thin view over
+//! the registry, must obey the same algebra.
+
+use gpu_sim::shared::SharedStats;
+use gpu_sim::stats::{LaunchStats, RunStats};
+use gpu_sim::timing::BlockCost;
+use gpu_sim::MemoryStats;
+use obs::MetricsRegistry;
+use proptest::prelude::*;
+
+const NAMES: &[&str] = &["cudasw.a.x", "cudasw.a.y", "cudasw.b.x"];
+const LABELS: &[&[(&str, &str)]] = &[
+    &[],
+    &[("phase", "inter")],
+    &[("phase", "intra"), ("device", "0")],
+];
+
+const BOUNDS: &[f64] = &[1.0, 16.0, 64.0];
+
+/// One registry operation as plain integers: (kind, name, labels, value
+/// numerator). Decoded modulo the pool sizes in `apply`.
+type Op = (u8, u8, u8, u16);
+
+/// Dyadic rational: sums of these are exact in f64 in any association, so
+/// floating-point rounding cannot masquerade as an algebra violation.
+fn val(num: u16) -> f64 {
+    num as f64 / 256.0
+}
+
+fn apply(reg: &mut MetricsRegistry, ops: &[Op], with_gauges: bool) {
+    for &(kind, name, labels, num) in ops {
+        let name = NAMES[name as usize % NAMES.len()];
+        let labels = LABELS[labels as usize % LABELS.len()];
+        match kind % 3 {
+            1 if with_gauges => reg.gauge_set(name, labels, val(num)),
+            0 | 1 => reg.counter_add(name, labels, val(num)),
+            _ => reg.histogram_observe(name, labels, BOUNDS, val(num)),
+        }
+    }
+}
+
+fn registry(ops: &[Op], with_gauges: bool) -> MetricsRegistry {
+    let mut r = MetricsRegistry::new();
+    apply(&mut r, ops, with_gauges);
+    r
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    (any::<u8>(), any::<u8>(), any::<u8>(), any::<u16>())
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(op(), 0..24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn registry_merge_is_commutative(a in ops(), b in ops()) {
+        let (ra, rb) = (registry(&a, true), registry(&b, true));
+        let mut ab = ra.clone();
+        ab.merge(&rb);
+        let mut ba = rb.clone();
+        ba.merge(&ra);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn registry_merge_is_associative(a in ops(), b in ops(), c in ops()) {
+        let (ra, rb, rc) = (registry(&a, true), registry(&b, true), registry(&c, true));
+        let mut left = ra.clone();
+        left.merge(&rb);
+        left.merge(&rc);
+        let mut bc = rb.clone();
+        bc.merge(&rc);
+        let mut right = ra;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    // Counters and histograms are monotone sums: recording an op stream in
+    // one registry equals splitting it at any point into two registries
+    // and merging. (Gauges are excluded by construction — `gauge_set` is
+    // last-write-wins within a scope but high-water across merged scopes,
+    // which is exactly why they are not part of this property.)
+    #[test]
+    fn split_and_merge_matches_sequential_recording(
+        all in ops(),
+        cut in any::<u8>(),
+    ) {
+        let cut = if all.is_empty() { 0 } else { cut as usize % (all.len() + 1) };
+        let mut merged = registry(&all[..cut], false);
+        merged.merge(&registry(&all[cut..], false));
+        prop_assert_eq!(merged, registry(&all, false));
+    }
+
+    #[test]
+    fn merging_a_registry_with_itself_doubles_counters_keeps_gauges(a in ops()) {
+        let r = registry(&a, true);
+        let mut doubled = r.clone();
+        doubled.merge(&r);
+        for (key, value) in r.counters() {
+            let labels: Vec<(&str, &str)> =
+                key.labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+            prop_assert_eq!(doubled.counter(&key.name, &labels), 2.0 * value);
+        }
+        // Gauge merge is max, so self-merge is idempotent.
+        for (key, value) in r.gauges() {
+            let labels: Vec<(&str, &str)> =
+                key.labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+            prop_assert_eq!(doubled.gauge(&key.name, &labels), value);
+        }
+    }
+}
+
+/// A minimal launch whose seconds are dyadic (exact under any summation
+/// order) — only the fields `RunStats::add` reads are non-trivial.
+fn launch(cells: u16, secs_num: u16) -> LaunchStats {
+    LaunchStats {
+        kernel: "k".into(),
+        blocks: 1,
+        block_dim: 32,
+        totals: BlockCost {
+            cells: cells as u64,
+            ..Default::default()
+        },
+        memory: MemoryStats::default(),
+        shared: SharedStats::default(),
+        cycles: 0.0,
+        seconds: val(secs_num),
+        max_block_cycles: 1.0,
+        min_block_cycles: 1.0,
+    }
+}
+
+/// RunStats has no PartialEq; compare the exact field tuple (seconds via
+/// bits — the dyadic inputs make bitwise equality the right bar).
+fn fields(r: &RunStats) -> (u32, u64, u64, u64) {
+    (
+        r.launches,
+        r.cells,
+        r.seconds.to_bits(),
+        r.global_transactions,
+    )
+}
+
+fn launches() -> impl Strategy<Value = Vec<(u16, u16)>> {
+    proptest::collection::vec((any::<u16>(), any::<u16>()), 0..16)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Folding launches one-by-one equals splitting the stream anywhere,
+    // aggregating each half, and merging — the invariant the driver's
+    // registry-backed per-phase reconstruction relies on.
+    #[test]
+    fn run_stats_add_then_merge_is_grouping_free(
+        all in launches(),
+        cut in any::<u8>(),
+    ) {
+        let cut = if all.is_empty() { 0 } else { cut as usize % (all.len() + 1) };
+        let mut sequential = RunStats::default();
+        for &(c, s) in &all {
+            sequential.add(&launch(c, s));
+        }
+        let mut left = RunStats::default();
+        for &(c, s) in &all[..cut] {
+            left.add(&launch(c, s));
+        }
+        let mut right = RunStats::default();
+        for &(c, s) in &all[cut..] {
+            right.add(&launch(c, s));
+        }
+        left.merge(&right);
+        prop_assert_eq!(fields(&left), fields(&sequential));
+    }
+
+    #[test]
+    fn run_stats_merge_is_commutative(a in launches(), b in launches()) {
+        let fold = |ls: &[(u16, u16)]| {
+            let mut r = RunStats::default();
+            for &(c, s) in ls {
+                r.add(&launch(c, s));
+            }
+            r
+        };
+        let (ra, rb) = (fold(&a), fold(&b));
+        let mut ab = ra.clone();
+        ab.merge(&rb);
+        let mut ba = rb.clone();
+        ba.merge(&ra);
+        prop_assert_eq!(fields(&ab), fields(&ba));
+    }
+}

@@ -1,10 +1,47 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build, full test suite, lint wall, format check.
+# Tier-1 verification: build, full test suite, lint wall, format check,
+# paper-claims suite, trace-export smoke, ignored-test triage gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
+
+# The paper-claims regression suite, named explicitly so a workspace
+# filter can never silently drop it (see EXPERIMENTS.md).
+cargo test -q --offline --test paper_claims --test observability --test differential
+
 cargo clippy --workspace --all-targets --offline -- -D warnings
 cargo fmt --check
+
+# Every #[ignore] must carry a triage tag with an EXPERIMENTS.md entry:
+#   #[ignore = "triage: <slug>"]
+bad=0
+while IFS= read -r hit; do
+  file="${hit%%:*}"
+  rest="${hit#*:}"
+  line="${rest%%:*}"
+  attr="${rest#*:}"
+  slug=$(sed -n 's/.*#\[ignore = "triage: \([a-z0-9-]\+\)"\].*/\1/p' <<<"$attr")
+  if [[ -z "$slug" ]]; then
+    echo "verify: $file:$line: #[ignore] without 'triage: <slug>' reason" >&2
+    bad=1
+  elif ! grep -q "$slug" EXPERIMENTS.md; then
+    echo "verify: $file:$line: triage slug '$slug' has no EXPERIMENTS.md entry" >&2
+    bad=1
+  fi
+done < <(grep -rn '#\[ignore' --include='*.rs' crates src tests 2>/dev/null || true)
+if [[ "$bad" -ne 0 ]]; then
+  echo "verify: FAILED (untriaged ignored tests)" >&2
+  exit 1
+fi
+
+# Trace-export smoke: `repro trace` must produce a Chrome trace_event file.
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+cargo run -q --release --offline -p cudasw-bench --bin repro -- \
+  trace table1 --out "$tmp/trace.json" --metrics "$tmp/metrics.prom" >/dev/null
+grep -q '"traceEvents"' "$tmp/trace.json"
+grep -q '^cudasw_' "$tmp/metrics.prom"
+
 echo "verify: OK"

@@ -7,9 +7,11 @@ use cudasw_bench::workloads;
 use cudasw_core::model::{
     predict_inter_group, predict_intra_improved, predict_intra_orig, PredictedIntra,
 };
-use cudasw_core::ImprovedParams;
+use cudasw_core::{CudaSwConfig, CudaSwDriver, ImprovedParams, IntraKernelChoice, VariantConfig};
 use gpu_sim::{DeviceSpec, TimingModel};
+use obs::MetricsAssert;
 use sw_db::catalog::PaperDb;
+use sw_db::synth::{database_with_lengths, make_query};
 
 /// §II-C: "the inter-task kernel averages approximately 17 GCUPs while the
 /// intra-task kernel averages 1.5 GCUPs [...] on the Tesla C1060."
@@ -140,6 +142,156 @@ fn figure6_cache_attribution() {
         r.c2050_original_share_delta() > 5.0,
         "cache effect too small"
     );
+}
+
+/// Table I, measured — not hand-fed: both intra-task kernels run every DP
+/// cell through the simulator under the observability recorder, and the
+/// transaction counts come out of the metrics registry
+/// (`cudasw.gpu_sim.launch.global_transactions`, labelled by kernel).
+/// The paper reports ~2000:1 at query 567 and ~40:1 at 5478 (≈50:1
+/// overall); the claim pinned here is "at least 40:1".
+#[test]
+fn table1_transaction_reduction_measured_from_metrics_registry() {
+    let spec = DeviceSpec::tesla_c1060();
+    let db = workloads::long_tail_db(4, 3500);
+    let query = workloads::query(567);
+
+    // Both kernels through the identical driver path: threshold 1 routes
+    // every sequence to the intra-task kernel under test.
+    let capture_kernel = |intra: IntraKernelChoice| {
+        let cfg = CudaSwConfig {
+            threshold: 1,
+            intra,
+            ..CudaSwConfig::improved()
+        };
+        let ((), run) = obs::capture(|| {
+            let mut driver = CudaSwDriver::new(spec.clone(), cfg.clone());
+            driver.search(&query, &db).map(|_| ()).unwrap()
+        });
+        run
+    };
+    let improved_run = capture_kernel(IntraKernelChoice::Improved(VariantConfig::improved()));
+    let original_run = capture_kernel(IntraKernelChoice::Original);
+
+    // Merge the two captured runs; the kernel label keeps them apart.
+    let mut merged = improved_run.metrics.clone();
+    merged.merge(&original_run.metrics);
+    MetricsAssert::new()
+        .ratio_ge(
+            "cudasw.gpu_sim.launch.global_transactions",
+            &[("kernel", "intra_orig")],
+            "cudasw.gpu_sim.launch.global_transactions",
+            &[("kernel", "intra_improved")],
+            40.0,
+        )
+        // Both kernels computed the identical cell workload — the ratio
+        // compares equal work, not different amounts of it.
+        .counter_eq(
+            "cudasw.gpu_sim.launch.cells",
+            &[("kernel", "intra_orig")],
+            merged.counter_sum(
+                "cudasw.gpu_sim.launch.cells",
+                &[("kernel", "intra_improved")],
+            ),
+            0.0,
+        )
+        .check(&merged)
+        .unwrap();
+}
+
+/// Figures 2/3 rest on the threshold controlling the inter/intra workload
+/// split. Measured from the registry: the intra-task share of DP cells
+/// equals exactly the over-threshold residues x query length, and grows
+/// monotonically as the threshold drops.
+#[test]
+fn workload_split_tracks_threshold_in_the_registry() {
+    let lengths: Vec<usize> = vec![
+        60, 90, 140, 200, 300, 450, 700, 1000, 1400, 1900, 2500, 3100, 3500,
+    ];
+    let db = database_with_lengths("split", &lengths, 23);
+    let query = make_query(64, 3);
+    let mut last_share = -1.0;
+    for threshold in [3072usize, 1200, 250] {
+        let cfg = CudaSwConfig {
+            threshold,
+            ..CudaSwConfig::improved()
+        };
+        let ((), run) = obs::capture(|| {
+            let mut driver = CudaSwDriver::new(DeviceSpec::tesla_c1060(), cfg);
+            driver.search(&query, &db).map(|_| ()).unwrap()
+        });
+        let m = &run.metrics;
+        let intra = m.counter_sum("cudasw.core.phase.cells", &[("phase", "intra")]);
+        let inter = m.counter_sum("cudasw.core.phase.cells", &[("phase", "inter")]);
+        let long_residues: usize = lengths.iter().filter(|&&l| l >= threshold).sum();
+        assert_eq!(
+            intra as usize,
+            long_residues * query.len(),
+            "threshold {threshold}: intra cells must be exactly the long tail"
+        );
+        assert_eq!(
+            (intra + inter) as u64,
+            db.total_cells(query.len()),
+            "threshold {threshold}: no cells lost between the phases"
+        );
+        let share = intra / (intra + inter);
+        assert!(
+            share > last_share,
+            "threshold {threshold}: intra share {share:.3} must grow as the threshold drops"
+        );
+        last_share = share;
+    }
+}
+
+/// GCUPs accounting is monotone and consistent: counters only grow,
+/// repeating the identical search leaves the aggregate rate unchanged,
+/// and the registry-derived rate agrees with the `RunStats` view.
+#[test]
+fn gcups_accounting_is_monotone_and_consistent() {
+    let db = database_with_lengths("gcups", &[40, 80, 120, 200, 320, 500], 41);
+    let query = make_query(48, 7);
+    let cfg = CudaSwConfig {
+        threshold: 150,
+        ..CudaSwConfig::improved()
+    };
+    let ((), run) = obs::capture(|| {
+        let mut driver = CudaSwDriver::new(DeviceSpec::tesla_c1060(), cfg);
+        let first = driver.search(&query, &db).unwrap();
+        let after_first = obs::snapshot_metrics();
+        let second = driver.search(&query, &db).unwrap();
+        let after_second = obs::snapshot_metrics();
+
+        let rate = |m: &obs::MetricsRegistry| {
+            m.counter_sum("cudasw.gpu_sim.launch.cells", &[])
+                / m.counter_sum("cudasw.gpu_sim.launch.seconds", &[])
+        };
+        // Monotone: the second search only adds.
+        assert!(rate(&after_first) > 0.0);
+        assert!(
+            after_second.counter_sum("cudasw.gpu_sim.launch.cells", &[])
+                >= 2.0 * after_first.counter_sum("cudasw.gpu_sim.launch.cells", &[])
+        );
+        // Identical work at an identical simulated rate.
+        let (r1, r2) = (rate(&after_first), rate(&after_second));
+        assert!((r1 - r2).abs() <= 1e-9 * r1, "{r1} vs {r2}");
+        // The RunStats view reports the same per-phase rates the
+        // registry implies.
+        for result in [&first, &second] {
+            for (phase, stats) in [("inter", &result.inter), ("intra", &result.intra)] {
+                let cells = result_phase(&after_first, phase, "cells");
+                let secs = result_phase(&after_first, phase, "seconds");
+                assert!(
+                    (stats.gcups() - cells / secs / 1.0e9).abs() <= 1e-9 * stats.gcups(),
+                    "{phase} gcups"
+                );
+            }
+        }
+    });
+    drop(run);
+}
+
+fn result_phase(m: &obs::MetricsRegistry, phase: &str, what: &str) -> f64 {
+    m.counter_sum(&format!("cudasw.core.phase.{what}"), &[("phase", phase)])
 }
 
 /// Table II: improvement on every database, smallest on TAIR.
