@@ -28,7 +28,7 @@ pub fn sw_score_banded(
         return Ok(0);
     }
     let (open, extend) = (params.gaps.open, params.gaps.extend);
-    let neg = i32::MIN / 2;
+    let neg = crate::smith_waterman::NEG_INF;
     // Row-major DP over the previous and current row, full width but only
     // touching cells inside the band. Simpler than packed-band storage and
     // still O((n+m)·k) touched cells.

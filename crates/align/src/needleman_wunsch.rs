@@ -19,7 +19,7 @@ pub fn nw_score(params: &SwParams, query: &[u8], db: &[u8]) -> i32 {
     if n == 0 {
         return -(params.gaps.cost(m) as i32);
     }
-    let neg = i32::MIN / 2;
+    let neg = crate::smith_waterman::NEG_INF;
     // Column state indexed by query position i = 0..=m.
     let mut h_col = vec![0i32; m + 1];
     let mut e_col = vec![neg; m + 1];

@@ -10,6 +10,15 @@
 use crate::gaps::GapPenalties;
 use crate::matrix::ScoringMatrix;
 
+/// The "minus infinity" sentinel seeding the `E`/`F` gap recurrences.
+///
+/// Half of `i32::MIN` so that subtracting a gap penalty (or adding a
+/// substitution score) can never wrap around to a large positive value:
+/// the recurrences only ever *subtract* penalties from it, and one
+/// `debug_assert!` per search guards that substitution scores stay far
+/// above it (see [`sw_score`]).
+pub const NEG_INF: i32 = i32::MIN / 2;
+
 /// Parameters shared by every Smith-Waterman variant.
 #[derive(Debug, Clone)]
 pub struct SwParams {
@@ -43,18 +52,22 @@ pub fn sw_score(params: &SwParams, query: &[u8], db: &[u8]) -> i32 {
     if query.is_empty() || db.is_empty() {
         return 0;
     }
+    debug_assert!(
+        params.matrix.min_score() > NEG_INF / 2,
+        "substitution scores must not underflow the NEG_INF sentinel"
+    );
     let (open, extend) = (params.gaps.open, params.gaps.extend);
     let m = query.len();
     // One column of H and E, indexed by query position (0..=m).
     let mut h_col = vec![0i32; m + 1];
-    let mut e_col = vec![i32::MIN / 2; m + 1];
+    let mut e_col = vec![NEG_INF; m + 1];
     let mut best = 0i32;
 
     for &d in db {
         let row = params.matrix.row(d);
         let mut h_diag = 0i32; // H[i-1][j-1]
         let mut h_up = 0i32; // H[i-1][j] (current column, previous row)
-        let mut f = i32::MIN / 2; // F[i-1][j], walking down i
+        let mut f = NEG_INF; // F[i-1][j], walking down i
         for i in 1..=m {
             // `h_col[i]` still holds H[i][j-1] and `e_col[i]` holds E[i][j-1].
             let e = (e_col[i] - extend).max(h_col[i] - open);
@@ -80,11 +93,14 @@ pub fn sw_score(params: &SwParams, query: &[u8], db: &[u8]) -> i32 {
 pub fn sw_score_full(params: &SwParams, query: &[u8], db: &[u8]) -> (Vec<Vec<i32>>, i32) {
     let m = query.len();
     let n = db.len();
+    debug_assert!(
+        params.matrix.min_score() > NEG_INF / 2,
+        "substitution scores must not underflow the NEG_INF sentinel"
+    );
     let (open, extend) = (params.gaps.open, params.gaps.extend);
-    let neg = i32::MIN / 2;
     let mut h = vec![vec![0i32; n + 1]; m + 1];
-    let mut e = vec![vec![neg; n + 1]; m + 1];
-    let mut f = vec![vec![neg; n + 1]; m + 1];
+    let mut e = vec![vec![NEG_INF; n + 1]; m + 1];
+    let mut f = vec![vec![NEG_INF; n + 1]; m + 1];
     let mut best = 0;
     for i in 1..=m {
         let qrow = params.matrix.row(query[i - 1]);

@@ -135,7 +135,7 @@ pub fn sw_align(params: &SwParams, query: &[u8], db: &[u8]) -> Alignment {
     }
     let GapPenalties { open, extend } = params.gaps;
     let matrix: &ScoringMatrix = &params.matrix;
-    let neg = i32::MIN / 2;
+    let neg = crate::smith_waterman::NEG_INF;
     let idx = |i: usize, j: usize| i * (n + 1) + j;
 
     let mut h = vec![0i32; (m + 1) * (n + 1)];

@@ -5,13 +5,21 @@
 //! repro fig2 | fig3 | fig5 | fig6 | fig7
 //! repro table1 | table2
 //! repro ablation | strips | retune | extensions | validation
-//! repro chaos [--inject-faults <seed>]   # resilient driver under faults
+//! repro chaos [--inject-faults <seed>] [--checkpoint <dir>] [--resume]
+//! repro integrity               # silent-corruption detection smoke
 //! repro trace <experiment> [--out <file.json>] [--metrics <file.prom>]
 //! ```
 //!
 //! `--inject-faults <seed>` selects the random fault seed for the chaos
 //! run (default 42); different seeds deal different fault schedules, the
 //! scores must match the fault-free run for every one of them.
+//!
+//! `--checkpoint <dir>` makes the chaos run write per-shard
+//! chunk-completion logs into `dir`. Without `--resume` the directory is
+//! wiped first (a fresh run); with `--resume` existing logs are replayed
+//! and only the remaining chunks are recomputed — the replayed-chunk
+//! count appears in the result table. Scores are bit-identical either
+//! way.
 //!
 //! `trace` runs any experiment under the observability recorder and dumps
 //! its span timeline as a Chrome `trace_event` JSON file — load it in
@@ -32,13 +40,19 @@
 use std::sync::OnceLock;
 
 use cudasw_bench::experiments::{
-    ablation, chaos, extensions, fig2, fig3, fig5, fig6, fig7, multigpu, retune, strips, table1,
-    table2, validation,
+    ablation, chaos, extensions, fig2, fig3, fig5, fig6, fig7, integrity, multigpu, retune, strips,
+    table1, table2, validation,
 };
 use gpu_sim::DeviceSpec;
 
 /// Seed from `--inject-faults <seed>`; read by the chaos experiment.
 static FAULT_SEED: OnceLock<u64> = OnceLock::new();
+
+/// Directory from `--checkpoint <dir>`; read by the chaos experiment.
+static CHECKPOINT_DIR: OnceLock<String> = OnceLock::new();
+
+/// Set by `--resume`: keep existing checkpoint logs and replay them.
+static RESUME: OnceLock<bool> = OnceLock::new();
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -52,6 +66,18 @@ fn main() {
         };
         FAULT_SEED.set(seed).expect("flag parsed once");
         args.drain(pos..=pos + 1);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--checkpoint") {
+        let Some(dir) = args.get(pos + 1).cloned() else {
+            eprintln!("--checkpoint needs a directory path");
+            std::process::exit(2);
+        };
+        CHECKPOINT_DIR.set(dir).expect("flag parsed once");
+        args.drain(pos..=pos + 1);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--resume") {
+        RESUME.set(true).expect("flag parsed once");
+        args.remove(pos);
     }
     let cmd = args.first().map(|s| s.as_str()).unwrap_or("help");
     let known: &[(&str, fn())] = &[
@@ -69,6 +95,7 @@ fn main() {
         ("multigpu", run_multigpu),
         ("validation", run_validation),
         ("chaos", run_chaos),
+        ("integrity", run_integrity),
     ];
     match cmd {
         "all" => {
@@ -79,11 +106,16 @@ fn main() {
         }
         "trace" => run_trace(&args[1..], known),
         "help" | "--help" | "-h" => {
-            println!("usage: repro <experiment> [--inject-faults <seed>]");
+            println!(
+                "usage: repro <experiment> [--inject-faults <seed>] [--checkpoint <dir>] [--resume]"
+            );
             println!("       repro trace <experiment> [--out <file.json>] [--metrics <file.prom>]");
             println!("experiments: all, fig2, fig3, fig5, fig6, fig7, table1, table2,");
-            println!("             ablation, strips, retune, extensions, validation, chaos");
+            println!("             ablation, strips, retune, extensions, validation, chaos,");
+            println!("             integrity");
             println!("--inject-faults <seed>: fault seed for the chaos run (default 42)");
+            println!("--checkpoint <dir>: write chunk-completion logs there during chaos");
+            println!("--resume: replay existing logs in the checkpoint dir instead of wiping it");
         }
         other => match known.iter().find(|(name, _)| *name == other) {
             Some((name, f)) => run_with_report(name, *f),
@@ -285,8 +317,43 @@ fn run_validation() {
 
 fn run_chaos() {
     let seed = *FAULT_SEED.get().unwrap_or(&42);
-    let r = chaos::run(&DeviceSpec::tesla_c1060(), seed, 600, 64);
+    let ckpt = CHECKPOINT_DIR.get().map(std::path::PathBuf::from);
+    let resume = *RESUME.get().unwrap_or(&false);
+    if let Some(dir) = &ckpt {
+        if !resume && dir.exists() {
+            if let Err(e) = std::fs::remove_dir_all(dir) {
+                eprintln!("cannot clear checkpoint dir {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create checkpoint dir {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+    let r = chaos::run_with_options(&DeviceSpec::tesla_c1060(), seed, 600, 64, ckpt.as_deref());
     r.table().print();
     assert!(r.scores_match, "chaos run diverged from the fault-free run");
-    println!("Faulty run reproduced the fault-free scores byte-for-byte.\n");
+    if resume {
+        println!(
+            "Resumed from checkpoint logs: {} chunks replayed, scores still byte-for-byte.\n",
+            r.replayed_chunks
+        );
+    } else {
+        println!("Faulty run reproduced the fault-free scores byte-for-byte.\n");
+    }
+}
+
+fn run_integrity() {
+    let r = integrity::run(&DeviceSpec::tesla_c1060(), 400, 64);
+    r.table().print();
+    assert!(
+        r.scores_match_oracle,
+        "checked run diverged from the oracle"
+    );
+    assert!(
+        r.detected >= 1 && r.quarantined >= 1,
+        "corruption went undetected"
+    );
+    println!("Silent corruption detected, quarantined and recomputed on the host oracle.\n");
 }

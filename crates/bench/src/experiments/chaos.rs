@@ -7,9 +7,13 @@
 //! is the recovery ledger: how many retries, re-chunks, shard
 //! re-dispatches and CPU-fallback sequences the faults cost.
 
+use std::path::Path;
+
 use crate::report::Table;
 use crate::workloads;
-use cudasw_core::{multi_gpu_search, multi_gpu_search_resilient, CudaSwConfig, RecoveryPolicy};
+use cudasw_core::{
+    multi_gpu_search, multi_gpu_search_resilient_checkpointed, CudaSwConfig, RecoveryPolicy,
+};
 use gpu_sim::{DeviceSpec, FaultPlan, FaultRates, FaultSite};
 use sw_db::catalog::PaperDb;
 use sw_db::{Database, SynthConfig};
@@ -29,6 +33,9 @@ pub struct ChaosResult {
     pub surviving: usize,
     /// Scores identical to the fault-free run.
     pub scores_match: bool,
+    /// Chunks replayed from a checkpoint log instead of recomputed
+    /// (non-zero only when resuming from a previous run's directory).
+    pub replayed_chunks: u64,
     /// The aggregated recovery ledger.
     pub recovery: cudasw_core::RecoveryReport,
 }
@@ -48,6 +55,8 @@ impl ChaosResult {
             ("re-chunks", r.rechunks.to_string()),
             ("shard re-dispatches", r.shard_redispatches.to_string()),
             ("CPU-fallback sequences", r.cpu_fallback_seqs.to_string()),
+            ("quarantined chunks", r.quarantined_chunks.to_string()),
+            ("replayed chunks", self.replayed_chunks.to_string()),
             ("degraded", r.degraded.to_string()),
             ("backoff seconds", format!("{:.4}", r.backoff_seconds)),
         ] {
@@ -63,6 +72,19 @@ impl ChaosResult {
 /// partway in, device 1 gets `FaultPlan::random(seed', …)` — so every run
 /// exercises re-dispatch on top of whatever the random stream deals.
 pub fn run(spec: &DeviceSpec, seed: u64, db_size: usize, query_len: usize) -> ChaosResult {
+    run_with_options(spec, seed, db_size, query_len, None)
+}
+
+/// [`run`] with a checkpoint directory: each shard logs its completed
+/// chunks there, and a rerun over the same directory resumes — replayed
+/// chunks show up in [`ChaosResult::replayed_chunks`].
+pub fn run_with_options(
+    spec: &DeviceSpec,
+    seed: u64,
+    db_size: usize,
+    query_len: usize,
+    ckpt_dir: Option<&Path>,
+) -> ChaosResult {
     let mut synth = SynthConfig::new(
         "swissprot-chaos",
         db_size,
@@ -87,14 +109,19 @@ pub fn run(spec: &DeviceSpec, seed: u64, db_size: usize, query_len: usize) -> Ch
         watchdog_cycles: Some(WATCHDOG_CYCLES),
         ..RecoveryPolicy::default()
     };
-    let r = multi_gpu_search_resilient(spec, &cfg, &query, &db, 2, &plans, &policy)
-        .expect("chaos search");
+    let before = obs::snapshot_metrics();
+    let r = multi_gpu_search_resilient_checkpointed(
+        spec, &cfg, &query, &db, 2, &plans, &policy, ckpt_dir,
+    )
+    .expect("chaos search");
+    let delta = obs::snapshot_metrics().diff(&before);
 
     ChaosResult {
         seed,
         devices: r.devices,
         surviving: r.surviving_devices(),
         scores_match: r.scores == clean.scores,
+        replayed_chunks: delta.counter_sum("cudasw.core.checkpoint.replayed_chunks", &[]) as u64,
         recovery: r.recovery,
     }
 }

@@ -98,7 +98,12 @@ impl CudaSwConfig {
 }
 
 /// Result of one whole-database search.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field bit-for-bit (floats included): the
+/// checkpoint/resume machinery promises a resumed search reproduces an
+/// uninterrupted one *exactly*, and the crash-matrix tests hold it to
+/// that.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SearchResult {
     /// Scores aligned with `db.sequences()` order.
     pub scores: Vec<i32>,

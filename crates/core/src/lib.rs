@@ -26,6 +26,7 @@
 //! through the simulated memory system, and is tested against
 //! `sw_align::sw_score`.
 
+pub mod checkpoint;
 pub mod driver;
 pub mod extensions;
 pub mod inter_task;
@@ -38,12 +39,17 @@ pub mod seqstore;
 pub mod threshold;
 pub mod variants;
 
+pub use checkpoint::{
+    run_fingerprint, CheckpointFile, CheckpointPolicy, ChunkPhase, ChunkRecord, LoadIssue,
+    LoadedLog,
+};
 pub use driver::{CudaSwConfig, CudaSwDriver, IntraKernelChoice, SearchResult};
 pub use inter_task::InterTaskKernel;
 pub use intra_improved::{ImprovedIntraKernel, ImprovedParams, VariantConfig};
 pub use intra_orig::{IntraPair, OriginalIntraKernel};
 pub use multi_gpu::{
-    multi_gpu_search, multi_gpu_search_resilient, MultiGpuResult, ResilientMultiGpuResult,
+    multi_gpu_search, multi_gpu_search_resilient, multi_gpu_search_resilient_checkpointed,
+    MultiGpuResult, ResilientMultiGpuResult,
 };
 pub use recovery::{RecoveryEvent, RecoveryPolicy, RecoveryReport, ResilientSearchResult};
 

@@ -16,12 +16,26 @@
 //! * **device loss / persistent failure** — graceful degradation: every
 //!   not-yet-scored sequence is computed on the host CPU with the striped
 //!   SIMD kernel (`sw_simd::farrar`), and the result is flagged
-//!   [`RecoveryReport::degraded`].
+//!   [`RecoveryReport::degraded`];
+//! * **silent transfer corruption** — with
+//!   [`RecoveryPolicy::integrity_checks`] (the default) the device
+//!   verifies an end-to-end checksum on every transfer; a mismatch
+//!   quarantines the affected chunk, whose scores are recomputed on the
+//!   host with the verified scalar/striped oracle instead of trusting a
+//!   retry on a path that just corrupted data;
+//! * **process crashes** — [`CudaSwDriver::search_resilient_checkpointed`]
+//!   appends every completed chunk to an on-disk log
+//!   ([`crate::checkpoint`]); a restarted search replays the log, skips
+//!   completed chunks, and produces a bit-identical
+//!   [`SearchResult`](crate::SearchResult).
 //!
 //! Everything that happened is recorded in a [`RecoveryReport`] so callers
 //! (and the multi-GPU layer, which re-dispatches a dead device's shard to
 //! the survivors) can reason about what the numbers mean.
 
+use crate::checkpoint::{
+    CheckpointFile, CheckpointPolicy, ChunkPhase, ChunkRecord, Intervals, LoadIssue,
+};
 use crate::driver::{CudaSwDriver, IntraKernelChoice, SearchResult};
 use crate::inter_task::InterTaskKernel;
 use crate::intra_improved::ImprovedIntraKernel;
@@ -51,6 +65,11 @@ pub struct RecoveryPolicy {
     /// Watchdog budget armed on the device for the duration of the
     /// search; `None` leaves hangs un-killed.
     pub watchdog_cycles: Option<u64>,
+    /// Verify end-to-end transfer checksums on the device, so silent
+    /// (past-ECC) corruption surfaces as
+    /// [`GpuError::ChecksumMismatch`] and the affected chunk is
+    /// quarantined and recomputed on the host oracle.
+    pub integrity_checks: bool,
 }
 
 impl Default for RecoveryPolicy {
@@ -61,6 +80,7 @@ impl Default for RecoveryPolicy {
             min_group_size: 1,
             cpu_fallback: true,
             watchdog_cycles: None,
+            integrity_checks: true,
         }
     }
 }
@@ -87,6 +107,12 @@ pub enum RecoveryEvent {
         /// How many sequences.
         sequences: usize,
     },
+    /// A transfer checksum mismatch quarantined a chunk; its scores were
+    /// recomputed on the host oracle.
+    Quarantine {
+        /// Sequences recomputed.
+        sequences: usize,
+    },
     /// A dead device's shard (or part of it) was re-run on a survivor.
     ShardRedispatch {
         /// Index of the failed device.
@@ -109,8 +135,12 @@ pub struct RecoveryReport {
     pub cpu_fallback_seqs: u64,
     /// Shard re-dispatches (multi-GPU only).
     pub shard_redispatches: u64,
+    /// Chunks quarantined after a transfer checksum mismatch.
+    pub quarantined_chunks: u64,
+    /// Sequences recomputed on the host oracle because of quarantine.
+    pub quarantined_seqs: u64,
     /// True when any part of the result did not come from the device
-    /// (CPU fallback ran).
+    /// (CPU fallback or quarantine recompute ran).
     pub degraded: bool,
     /// Simulated seconds spent backing off between retries.
     pub backoff_seconds: f64,
@@ -125,6 +155,8 @@ impl RecoveryReport {
         self.rechunks += other.rechunks;
         self.cpu_fallback_seqs += other.cpu_fallback_seqs;
         self.shard_redispatches += other.shard_redispatches;
+        self.quarantined_chunks += other.quarantined_chunks;
+        self.quarantined_seqs += other.quarantined_seqs;
         self.degraded |= other.degraded;
         self.backoff_seconds += other.backoff_seconds;
         self.events.extend(other.events.iter().cloned());
@@ -186,6 +218,33 @@ impl RecoveryReport {
         self.events.push(RecoveryEvent::CpuFallback { sequences });
     }
 
+    fn note_quarantine(&mut self, err: &GpuError, phase: &str, sequences: usize) {
+        self.quarantined_chunks += 1;
+        self.quarantined_seqs += sequences as u64;
+        self.degraded = true;
+        obs::counter_add("cudasw.core.integrity.detected", &[("phase", phase)], 1.0);
+        obs::counter_add(
+            "cudasw.core.integrity.quarantined",
+            &[("phase", phase)],
+            1.0,
+        );
+        obs::counter_add(
+            "cudasw.core.integrity.quarantined_seqs",
+            &[("phase", phase)],
+            sequences as f64,
+        );
+        obs::instant(
+            "quarantine",
+            "recovery",
+            &[
+                ("phase", phase),
+                ("error", &err.to_string()),
+                ("sequences", &sequences.to_string()),
+            ],
+        );
+        self.events.push(RecoveryEvent::Quarantine { sequences });
+    }
+
     pub(crate) fn note_redispatch(
         &mut self,
         from_device: usize,
@@ -219,6 +278,82 @@ pub struct ResilientSearchResult {
     pub result: SearchResult,
     /// What it took to get there.
     pub recovery: RecoveryReport,
+}
+
+/// Scoped fork of the ambient metrics registry.
+///
+/// Checkpoint records must carry the *exact* metrics delta a chunk
+/// produced, and replaying that delta must reproduce the ambient registry
+/// bit-for-bit. Diffing two snapshots cannot do that (floating-point
+/// subtraction is inexact), so instead the ambient registry is parked for
+/// the duration of the chunk and the chunk runs against a fresh one: the
+/// fresh registry *is* the delta, and merging it back performs the same
+/// additions — in the same order — that a replay performs. If the region
+/// unwinds or breaks out early, `Drop` still merges the partial delta
+/// back so ambient metrics never lose observations.
+struct MetricsFork {
+    saved: Option<obs::MetricsRegistry>,
+}
+
+impl MetricsFork {
+    fn begin() -> Self {
+        Self {
+            saved: Some(obs::with(|o| std::mem::take(&mut o.metrics))),
+        }
+    }
+
+    /// End the fork, merge the delta into the restored registry, and
+    /// return the delta for the checkpoint record.
+    fn finish(mut self) -> obs::MetricsRegistry {
+        let saved = self.saved.take().expect("fork finished twice");
+        obs::with(|o| {
+            let delta = std::mem::replace(&mut o.metrics, saved);
+            o.metrics.merge(&delta);
+            delta
+        })
+    }
+}
+
+impl Drop for MetricsFork {
+    fn drop(&mut self) {
+        if let Some(saved) = self.saved.take() {
+            obs::with(|o| {
+                let delta = std::mem::replace(&mut o.metrics, saved);
+                o.metrics.merge(&delta);
+            });
+        }
+    }
+}
+
+/// Append one completed chunk to the log (best-effort: an I/O failure
+/// records a counter and disables further checkpointing, never fails the
+/// search). Consumes the chunk's metrics fork either way so the delta is
+/// merged back into the ambient registry exactly once.
+fn append_chunk(
+    log: &mut Option<CheckpointFile>,
+    fork: Option<MetricsFork>,
+    phase: ChunkPhase,
+    start: usize,
+    end: usize,
+    scores: &[i32],
+    transfer_seconds: f64,
+) {
+    let delta = fork.map(MetricsFork::finish);
+    let Some(file) = log else { return };
+    let rec = ChunkRecord {
+        phase,
+        start,
+        end,
+        scores: scores.to_vec(),
+        transfer_seconds,
+        metrics: delta.unwrap_or_default(),
+    };
+    if file.append(rec).is_ok() {
+        obs::counter_add("cudasw.core.checkpoint.chunks_written", &[], 1.0);
+    } else {
+        obs::counter_add("cudasw.core.checkpoint.io_errors", &[], 1.0);
+        *log = None;
+    }
 }
 
 /// How a failed attempt should be handled.
@@ -260,8 +395,29 @@ impl CudaSwDriver {
         db: &Database,
         policy: &RecoveryPolicy,
     ) -> Result<ResilientSearchResult, GpuError> {
+        self.search_resilient_checkpointed(query, db, policy, &CheckpointPolicy::disabled())
+    }
+
+    /// [`CudaSwDriver::search_resilient`] with an on-disk chunk-completion
+    /// log ([`crate::checkpoint`]).
+    ///
+    /// With [`CheckpointPolicy::at`] a path, every completed chunk is
+    /// appended to the log; a restarted search with the same
+    /// configuration, query and database replays the log, skips completed
+    /// chunks, and finishes with a [`SearchResult`] *bit-identical* to an
+    /// uninterrupted checkpointed run started from the same observability
+    /// state. Checkpoint I/O is best-effort: a filesystem error downgrades
+    /// to an un-checkpointed search, it never fails the search itself.
+    pub fn search_resilient_checkpointed(
+        &mut self,
+        query: &[u8],
+        db: &Database,
+        policy: &RecoveryPolicy,
+        ckpt: &CheckpointPolicy,
+    ) -> Result<ResilientSearchResult, GpuError> {
         let sp_search = obs::span("search", "phase");
         let metrics_before = obs::snapshot_metrics();
+        self.dev.set_integrity_checks(policy.integrity_checks);
         self.dev.set_watchdog_cycles(policy.watchdog_cycles);
         self.dev.free_all();
         let mut report = RecoveryReport::default();
@@ -270,6 +426,34 @@ impl CudaSwDriver {
         let mut scores = vec![0i32; db.len()];
         let mut transfer_seconds = 0.0;
         let mut device_failed: Option<GpuError> = None;
+
+        // --- Open the chunk-completion log, if asked for.
+        let mut log = ckpt.path.as_deref().and_then(|path| {
+            let setup = format!("{:?}|{:?}", self.config, self.dev.spec);
+            let fp = crate::checkpoint::run_fingerprint(&setup, query, db);
+            match CheckpointFile::open(path, fp) {
+                Ok((file, issue)) => {
+                    if let Some(issue) = issue {
+                        let label = match issue {
+                            LoadIssue::BadHeader => "bad_header",
+                            LoadIssue::FingerprintMismatch => "fingerprint_mismatch",
+                            LoadIssue::CorruptTail => "corrupt_tail",
+                        };
+                        obs::counter_add(
+                            "cudasw.core.checkpoint.load_issues",
+                            &[("issue", label)],
+                            1.0,
+                        );
+                        obs::instant("checkpoint_load_issue", "checkpoint", &[("issue", label)]);
+                    }
+                    Some(file)
+                }
+                Err(_) => {
+                    obs::counter_add("cudasw.core.checkpoint.io_errors", &[], 1.0);
+                    None
+                }
+            }
+        });
 
         // --- Stage the query artefacts (with transient retry; staging is
         // tiny, so an OOM here means the device is unusably full and goes
@@ -294,7 +478,50 @@ impl CudaSwDriver {
         };
         sp_stage.end_with(&[]);
 
-        // --- Inter-task path: windowed group loop with retry + re-chunk.
+        // --- Replay the log: completed chunks contribute their scores,
+        // transfer seconds and metrics deltas exactly as if they had just
+        // run. Replayed *after* staging so the accumulation order matches
+        // an uninterrupted run (bit-exactness needs identical order).
+        let mut inter_done_iv = Intervals::default();
+        let mut intra_done_iv = Intervals::default();
+        if let Some(log) = &log {
+            let mut chunks = 0u64;
+            let mut seqs = 0u64;
+            for rec in log.records() {
+                let (base, phase_len, iv) = match rec.phase {
+                    ChunkPhase::Inter => (0, partition.short.len(), &mut inter_done_iv),
+                    ChunkPhase::Intra => (
+                        partition.short.len(),
+                        partition.long.len(),
+                        &mut intra_done_iv,
+                    ),
+                };
+                if rec.end > phase_len {
+                    continue; // fingerprint precludes this; stay safe
+                }
+                scores[base + rec.start..base + rec.end].copy_from_slice(&rec.scores);
+                transfer_seconds += rec.transfer_seconds;
+                obs::with(|o| o.metrics.merge(&rec.metrics));
+                iv.add(rec.start, rec.end);
+                chunks += 1;
+                seqs += (rec.end - rec.start) as u64;
+            }
+            if chunks > 0 {
+                obs::counter_add("cudasw.core.checkpoint.replayed_chunks", &[], chunks as f64);
+                obs::counter_add("cudasw.core.checkpoint.replayed_seqs", &[], seqs as f64);
+                obs::instant(
+                    "checkpoint_resume",
+                    "checkpoint",
+                    &[
+                        ("chunks", &chunks.to_string()),
+                        ("sequences", &seqs.to_string()),
+                    ],
+                );
+            }
+        }
+
+        // --- Inter-task path: windowed group loop with retry + re-chunk,
+        // skipping intervals the replay already covered.
         let mut short_done = 0usize;
         let mut long_done = 0usize;
         if let Some((profile, q_tex)) = &staged {
@@ -302,16 +529,59 @@ impl CudaSwDriver {
             let mut window = self.group_size();
             let mark = self.dev.mark();
             let mut attempt = 0u32;
+            let mut fork: Option<MetricsFork> = None;
             while short_done < partition.short.len() {
-                let end = (short_done + window).min(partition.short.len());
+                if let Some(covered) = inter_done_iv.covered_end(short_done) {
+                    short_done = covered;
+                    attempt = 0;
+                    continue;
+                }
+                let cap = inter_done_iv
+                    .next_start_after(short_done)
+                    .unwrap_or(partition.short.len());
+                let end = (short_done + window).min(cap);
                 let group = &partition.short[short_done..end];
+                if log.is_some() && fork.is_none() {
+                    fork = Some(MetricsFork::begin());
+                }
                 match self.run_inter_group(group, profile, &mut scores[short_done..end]) {
                     Ok((stats, secs)) => {
                         crate::driver::note_phase_launch("inter", &stats);
                         transfer_seconds += secs;
+                        self.dev.free_to(mark);
+                        append_chunk(
+                            &mut log,
+                            fork.take(),
+                            ChunkPhase::Inter,
+                            short_done,
+                            end,
+                            &scores[short_done..end],
+                            secs,
+                        );
                         short_done = end;
                         attempt = 0;
+                    }
+                    Err(err @ GpuError::ChecksumMismatch { .. }) => {
                         self.dev.free_to(mark);
+                        self.quarantine_chunk(
+                            &err,
+                            "inter",
+                            group,
+                            query,
+                            &mut scores[short_done..end],
+                            &mut report,
+                        );
+                        append_chunk(
+                            &mut log,
+                            fork.take(),
+                            ChunkPhase::Inter,
+                            short_done,
+                            end,
+                            &scores[short_done..end],
+                            0.0,
+                        );
+                        short_done = end;
+                        attempt = 0;
                     }
                     Err(e) => {
                         self.dev.free_to(mark);
@@ -331,6 +601,7 @@ impl CudaSwDriver {
                     }
                 }
             }
+            drop(fork);
             sp_inter.end_with(&[]);
 
             // --- Intra-task path: chunked with the same recovery. The
@@ -341,11 +612,23 @@ impl CudaSwDriver {
                 let mut window = partition.long.len();
                 let mark = self.dev.mark();
                 let mut attempt = 0u32;
+                let mut fork: Option<MetricsFork> = None;
                 while long_done < partition.long.len() {
-                    let end = (long_done + window).min(partition.long.len());
+                    if let Some(covered) = intra_done_iv.covered_end(long_done) {
+                        long_done = covered;
+                        attempt = 0;
+                        continue;
+                    }
+                    let cap = intra_done_iv
+                        .next_start_after(long_done)
+                        .unwrap_or(partition.long.len());
+                    let end = (long_done + window).min(cap);
                     let chunk = &partition.long[long_done..end];
                     let out_base = partition.short.len() + long_done;
                     let out_end = partition.short.len() + end;
+                    if log.is_some() && fork.is_none() {
+                        fork = Some(MetricsFork::begin());
+                    }
                     match self.run_intra_chunk(
                         chunk,
                         query,
@@ -356,9 +639,40 @@ impl CudaSwDriver {
                         Ok((stats, secs)) => {
                             crate::driver::note_phase_launch("intra", &stats);
                             transfer_seconds += secs;
+                            self.dev.free_to(mark);
+                            append_chunk(
+                                &mut log,
+                                fork.take(),
+                                ChunkPhase::Intra,
+                                long_done,
+                                end,
+                                &scores[out_base..out_end],
+                                secs,
+                            );
                             long_done = end;
                             attempt = 0;
+                        }
+                        Err(err @ GpuError::ChecksumMismatch { .. }) => {
                             self.dev.free_to(mark);
+                            self.quarantine_chunk(
+                                &err,
+                                "intra",
+                                chunk,
+                                query,
+                                &mut scores[out_base..out_end],
+                                &mut report,
+                            );
+                            append_chunk(
+                                &mut log,
+                                fork.take(),
+                                ChunkPhase::Intra,
+                                long_done,
+                                end,
+                                &scores[out_base..out_end],
+                                0.0,
+                            );
+                            long_done = end;
+                            attempt = 0;
                         }
                         Err(e) => {
                             self.dev.free_to(mark);
@@ -378,29 +692,37 @@ impl CudaSwDriver {
                         }
                     }
                 }
+                drop(fork);
                 sp_intra.end_with(&[]);
             }
         }
 
         // --- Graceful degradation: everything the device did not score
-        // runs on the CPU SIMD path.
+        // (and the replay did not cover) runs on the CPU SIMD path.
         if let Some(err) = device_failed {
             if !policy.cpu_fallback {
                 return Err(err);
             }
             let sp_cpu = obs::span("cpu_fallback", "phase");
-            let remaining_short = &partition.short[short_done..];
-            let remaining_long = &partition.long[long_done..];
-            let n = remaining_short.len() + remaining_long.len();
+            let mut n = 0usize;
+            #[allow(clippy::needless_range_loop)] // index drives three slices, not one
+            for i in short_done..partition.short.len() {
+                if inter_done_iv.contains(i) {
+                    continue;
+                }
+                scores[i] =
+                    sw_striped_score(&self.config.params, query, &partition.short[i].residues);
+                n += 1;
+            }
+            for j in long_done..partition.long.len() {
+                if intra_done_iv.contains(j) {
+                    continue;
+                }
+                scores[partition.short.len() + j] =
+                    sw_striped_score(&self.config.params, query, &partition.long[j].residues);
+                n += 1;
+            }
             report.note_cpu_fallback(n);
-            for (i, seq) in remaining_short.iter().enumerate() {
-                scores[short_done + i] =
-                    sw_striped_score(&self.config.params, query, &seq.residues);
-            }
-            for (i, seq) in remaining_long.iter().enumerate() {
-                scores[partition.short.len() + long_done + i] =
-                    sw_striped_score(&self.config.params, query, &seq.residues);
-            }
             sp_cpu.end_with(&[("sequences", &n.to_string())]);
         }
 
@@ -420,6 +742,24 @@ impl CudaSwDriver {
             },
             recovery: report,
         })
+    }
+
+    /// Quarantine a chunk whose transfer failed its end-to-end checksum:
+    /// the device data cannot be trusted, so the chunk's scores are
+    /// recomputed on the host with the verified striped oracle.
+    fn quarantine_chunk(
+        &mut self,
+        err: &GpuError,
+        phase: &'static str,
+        chunk: &[Sequence],
+        query: &[u8],
+        out: &mut [i32],
+        report: &mut RecoveryReport,
+    ) {
+        let sp = obs::span("quarantine_recompute", "integrity");
+        cpu_scores(&self.config.params, query, chunk, out);
+        report.note_quarantine(err, phase, chunk.len());
+        sp.end_with(&[("phase", phase), ("sequences", &chunk.len().to_string())]);
     }
 
     /// Stage the query profile and packed residues (one attempt).
@@ -770,6 +1110,124 @@ mod tests {
         assert_eq!(rr.result.scores, fault_free_scores(&query, &db));
         assert_eq!(rr.recovery.retries, 1);
         assert!(!rr.recovery.degraded);
+    }
+
+    #[test]
+    fn silent_corruption_is_quarantined_and_recomputed_on_the_oracle() {
+        let db = db();
+        let query = make_query(57, 33);
+        let mut driver = CudaSwDriver::new(DeviceSpec::tesla_c1060(), config());
+        // D2H transfer 0 is the first inter-task group's score readback:
+        // without integrity checks the corrupt word would land straight in
+        // the result.
+        driver
+            .dev
+            .inject_faults(FaultPlan::none().with_silent_corruption(FaultSite::DeviceToHost, 0));
+        let ((rr, expect), run) = obs::capture(|| {
+            let rr = driver
+                .search_resilient(&query, &db, &RecoveryPolicy::default())
+                .unwrap();
+            (rr, fault_free_scores(&query, &db))
+        });
+        assert_eq!(rr.result.scores, expect);
+        assert_eq!(rr.recovery.quarantined_chunks, 1);
+        assert!(rr.recovery.quarantined_seqs >= 1);
+        assert!(rr.recovery.degraded);
+        assert!(matches!(
+            rr.recovery.events[0],
+            RecoveryEvent::Quarantine { .. }
+        ));
+        let quarantined: f64 = run
+            .metrics
+            .counters()
+            .filter(|(k, _)| k.name == "cudasw.core.integrity.quarantined")
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(quarantined as u64, 1);
+    }
+
+    #[test]
+    fn disabling_integrity_checks_lets_silent_corruption_through() {
+        let db = db();
+        let query = make_query(57, 33);
+        let mut driver = CudaSwDriver::new(DeviceSpec::tesla_c1060(), config());
+        driver
+            .dev
+            .inject_faults(FaultPlan::none().with_silent_corruption(FaultSite::DeviceToHost, 0));
+        let policy = RecoveryPolicy {
+            integrity_checks: false,
+            ..RecoveryPolicy::default()
+        };
+        let rr = driver.search_resilient(&query, &db, &policy).unwrap();
+        // Nothing detected: the ledger is clean and the result is wrong.
+        assert_eq!(rr.recovery, RecoveryReport::default());
+        assert_ne!(rr.result.scores, fault_free_scores(&query, &db));
+    }
+
+    #[test]
+    fn interrupted_checkpointed_search_resumes_bit_identically() {
+        use crate::checkpoint::CheckpointPolicy;
+        let mut spec = DeviceSpec::tesla_c1060();
+        spec.sm_count = 1;
+        spec.max_threads_per_sm = 64;
+        spec.max_blocks_per_sm = 2;
+        let mut cfg = config();
+        cfg.inter_threads_per_block = 32;
+        let db = database_with_lengths("ckpt", &[30; 200], 79);
+        let query = make_query(24, 41);
+        let dir = std::env::temp_dir().join(format!("cswckpt-resume-{}", std::process::id()));
+        let policy = RecoveryPolicy {
+            cpu_fallback: false,
+            ..RecoveryPolicy::default()
+        };
+
+        // Baseline: an uninterrupted checkpointed run.
+        let (baseline, _) = obs::capture(|| {
+            let mut d = CudaSwDriver::new(spec.clone(), cfg.clone());
+            d.search_resilient_checkpointed(
+                &query,
+                &db,
+                &policy,
+                &CheckpointPolicy::at(dir.join("baseline.ckpt")),
+            )
+            .unwrap()
+        });
+
+        // Crash after the second of several inter launches...
+        let ckpt = CheckpointPolicy::at(dir.join("resume.ckpt"));
+        let (crashed, _) = obs::capture(|| {
+            let mut d = CudaSwDriver::new(spec.clone(), cfg.clone());
+            d.dev
+                .inject_faults(FaultPlan::none().with_device_loss(FaultSite::Launch, 2));
+            d.search_resilient_checkpointed(&query, &db, &policy, &ckpt)
+        });
+        assert!(matches!(crashed, Err(GpuError::DeviceLost)));
+
+        // ...and restart: completed chunks replay, the rest runs live, and
+        // the finished result is equal to the uninterrupted one down to
+        // the last bit of every float.
+        let (resumed, run) = obs::capture(|| {
+            let mut d = CudaSwDriver::new(spec.clone(), cfg.clone());
+            d.search_resilient_checkpointed(&query, &db, &policy, &ckpt)
+                .unwrap()
+        });
+        assert_eq!(resumed.result, baseline.result);
+        assert_eq!(
+            resumed.result.transfer_seconds.to_bits(),
+            baseline.result.transfer_seconds.to_bits()
+        );
+        assert_eq!(
+            resumed.result.inter.seconds.to_bits(),
+            baseline.result.inter.seconds.to_bits()
+        );
+        let replayed: f64 = run
+            .metrics
+            .counters()
+            .filter(|(k, _)| k.name == "cudasw.core.checkpoint.replayed_chunks")
+            .map(|(_, v)| v)
+            .sum();
+        assert!(replayed >= 2.0, "expected >=2 replayed chunks");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -192,6 +192,7 @@ fn chaos_run_obs_matches_recovery_ledger_exactly() {
             cudasw_core::RecoveryEvent::Retry { .. } => "retry",
             cudasw_core::RecoveryEvent::Rechunk { .. } => "rechunk",
             cudasw_core::RecoveryEvent::CpuFallback { .. } => "cpu_fallback",
+            cudasw_core::RecoveryEvent::Quarantine { .. } => "quarantine",
             cudasw_core::RecoveryEvent::ShardRedispatch { .. } => "shard_redispatch",
         })
         .collect();

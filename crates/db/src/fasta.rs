@@ -32,6 +32,19 @@ pub enum FastaError {
         /// The record's id.
         id: String,
     },
+    /// A `>` header with no id at all (anonymous records would collide
+    /// in any downstream index keyed by id).
+    EmptyId {
+        /// 1-based line number of the header.
+        line: usize,
+    },
+    /// Two records share the same id.
+    DuplicateId {
+        /// The repeated id.
+        id: String,
+        /// 1-based line number of the second header.
+        line: usize,
+    },
 }
 
 impl fmt::Display for FastaError {
@@ -45,6 +58,12 @@ impl fmt::Display for FastaError {
                 write!(f, "sequence data before any '>' header on line {line}")
             }
             FastaError::EmptyRecord { id } => write!(f, "record {id:?} has no residues"),
+            FastaError::EmptyId { line } => {
+                write!(f, "header on line {line} has no id")
+            }
+            FastaError::DuplicateId { id, line } => {
+                write!(f, "duplicate record id {id:?} on line {line}")
+            }
         }
     }
 }
@@ -65,12 +84,20 @@ impl From<io::Error> for FastaError {
 }
 
 /// Parse a FASTA stream into sequences encoded over `alphabet`.
+///
+/// The parser is strict about record identity — every record must carry a
+/// unique, non-empty id ([`FastaError::EmptyId`],
+/// [`FastaError::DuplicateId`]) — and lenient about line endings: CRLF
+/// files parse identically to LF files.
 pub fn parse_fasta(reader: impl BufRead, alphabet: Alphabet) -> Result<Vec<Sequence>, FastaError> {
     let mut sequences = Vec::new();
+    let mut seen_ids = std::collections::HashSet::new();
     let mut current: Option<Sequence> = None;
     for (line_no, line) in reader.lines().enumerate() {
         let line = line?;
         let line_no = line_no + 1;
+        // `lines()` strips the `\n`; dropping trailing whitespace here
+        // also strips the `\r` of CRLF files.
         let trimmed = line.trim_end();
         if trimmed.is_empty() {
             continue;
@@ -84,6 +111,12 @@ pub fn parse_fasta(reader: impl BufRead, alphabet: Alphabet) -> Result<Vec<Seque
             }
             let mut parts = header.splitn(2, char::is_whitespace);
             let id = parts.next().unwrap_or("").to_string();
+            if id.is_empty() {
+                return Err(FastaError::EmptyId { line: line_no });
+            }
+            if !seen_ids.insert(id.clone()) {
+                return Err(FastaError::DuplicateId { id, line: line_no });
+            }
             let description = parts.next().unwrap_or("").trim().to_string();
             current = Some(Sequence {
                 id,
@@ -232,6 +265,36 @@ WWWW
         let db = database_from_fasta_str("sample", SAMPLE, Alphabet::Protein).unwrap();
         assert_eq!(db.len(), 2);
         assert!(db.sequences()[0].len() <= db.sequences()[1].len());
+    }
+
+    #[test]
+    fn empty_id_rejected() {
+        for text in [">\nMK\n", "> described but anonymous\nMK\n"] {
+            let err = parse_fasta(text.as_bytes(), Alphabet::Protein).unwrap_err();
+            assert!(matches!(err, FastaError::EmptyId { line: 1 }), "{text:?}");
+        }
+    }
+
+    #[test]
+    fn duplicate_id_rejected_with_line() {
+        let text = ">a\nMK\n>b\nVL\n>a other copy\nAW\n";
+        let err = parse_fasta(text.as_bytes(), Alphabet::Protein).unwrap_err();
+        match err {
+            FastaError::DuplicateId { id, line } => {
+                assert_eq!(id, "a");
+                assert_eq!(line, 5);
+            }
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn crlf_line_endings_parse_like_lf() {
+        let crlf = SAMPLE.replace('\n', "\r\n");
+        let seqs = parse_fasta(crlf.as_bytes(), Alphabet::Protein).unwrap();
+        let lf = parse_fasta(SAMPLE.as_bytes(), Alphabet::Protein).unwrap();
+        assert_eq!(seqs, lf);
+        assert_eq!(seqs[0].description, "first protein");
     }
 
     #[test]

@@ -92,6 +92,16 @@ pub enum GpuError {
         /// Word address of the corrupted word.
         addr: usize,
     },
+    /// The end-to-end transfer checksum did not match: the payload was
+    /// silently corrupted in flight (past ECC) and the integrity layer
+    /// caught it. The destination contents must not be trusted; a retry
+    /// re-transfers from the intact source.
+    ChecksumMismatch {
+        /// Transfer direction the mismatch was detected on.
+        site: FaultSite,
+        /// Word address of the transfer's device-side buffer.
+        addr: usize,
+    },
     /// The device stopped responding entirely and every subsequent
     /// operation on it will fail (cudaErrorDevicesUnavailable).
     DeviceLost,
@@ -100,13 +110,15 @@ pub enum GpuError {
 impl GpuError {
     /// True when retrying the *same* operation on the *same* device is
     /// expected to succeed: one-off faults, watchdog kills of a hung
-    /// launch, and ECC-detected transfer corruption.
+    /// launch, and detected transfer corruption (whether ECC caught it in
+    /// flight or the end-to-end checksum caught it after landing).
     pub fn is_transient(&self) -> bool {
         matches!(
             self,
             GpuError::TransientFault { .. }
                 | GpuError::LaunchTimeout { .. }
                 | GpuError::CorruptionDetected { .. }
+                | GpuError::ChecksumMismatch { .. }
         )
     }
 
@@ -151,6 +163,12 @@ impl fmt::Display for GpuError {
             GpuError::CorruptionDetected { addr } => {
                 write!(f, "uncorrectable memory corruption detected at word {addr}")
             }
+            GpuError::ChecksumMismatch { site, addr } => {
+                write!(
+                    f,
+                    "end-to-end checksum mismatch on {site} transfer at word {addr}"
+                )
+            }
             GpuError::DeviceLost => write!(f, "device lost"),
         }
     }
@@ -183,6 +201,11 @@ mod tests {
         }
         .is_transient());
         assert!(GpuError::CorruptionDetected { addr: 3 }.is_transient());
+        assert!(GpuError::ChecksumMismatch {
+            site: FaultSite::DeviceToHost,
+            addr: 3
+        }
+        .is_transient());
 
         assert!(!GpuError::DeviceLost.is_transient());
         assert!(!GpuError::OutOfMemory {
@@ -210,6 +233,11 @@ mod tests {
         }
         .is_recoverable());
         assert!(GpuError::CorruptionDetected { addr: 0 }.is_recoverable());
+        assert!(GpuError::ChecksumMismatch {
+            site: FaultSite::HostToDevice,
+            addr: 0
+        }
+        .is_recoverable());
 
         // OOM recovers by re-chunking; device loss by fallback.
         assert!(GpuError::OutOfMemory {
@@ -260,6 +288,10 @@ mod tests {
                 observed_cycles: 1,
             },
             GpuError::CorruptionDetected { addr: 9 },
+            GpuError::ChecksumMismatch {
+                site: FaultSite::DeviceToHost,
+                addr: 9,
+            },
             GpuError::DeviceLost,
         ];
         for e in samples {

@@ -28,6 +28,14 @@
 //!   discarded and the transfer fails with
 //!   [`GpuError::CorruptionDetected`]. Detected-and-discarded is the ECC
 //!   contract: no corrupt data is ever observed, so a retry is safe.
+//! * **Silent corruption** ([`FaultKind::SilentCorruption`]): a bit of the
+//!   payload flips in flight *past* ECC (multi-bit upset, bad DMA engine,
+//!   consumer card without ECC) and the transfer reports success. The
+//!   corrupted data flows into whatever consumes it — unless the device's
+//!   end-to-end integrity layer
+//!   ([`crate::GpuDevice::set_integrity_checks`]) is armed, in which case
+//!   the checksum comparison turns it into a detected
+//!   [`GpuError::ChecksumMismatch`].
 //! * **Device loss** ([`FaultKind::DeviceLoss`]): the device dies; the
 //!   failing operation and every operation after it return
 //!   [`GpuError::DeviceLost`].
@@ -49,6 +57,9 @@ pub enum FaultKind {
     Oom,
     /// ECC detects a corrupted word in flight; the transfer fails.
     Corruption,
+    /// A payload bit flips in flight *without* any error being reported;
+    /// only an end-to-end checksum can catch it.
+    SilentCorruption,
     /// The device dies here and stays dead.
     DeviceLoss,
 }
@@ -60,6 +71,7 @@ impl std::fmt::Display for FaultKind {
             FaultKind::Hang => write!(f, "hang"),
             FaultKind::Oom => write!(f, "oom"),
             FaultKind::Corruption => write!(f, "corruption"),
+            FaultKind::SilentCorruption => write!(f, "silent_corruption"),
             FaultKind::DeviceLoss => write!(f, "device_loss"),
         }
     }
@@ -176,6 +188,21 @@ impl FaultPlan {
         self
     }
 
+    /// The `index`-th transfer at `site` (must be a transfer site) is
+    /// silently corrupted: one payload bit flips, no error is reported.
+    pub fn with_silent_corruption(mut self, site: FaultSite, index: u64) -> Self {
+        assert!(
+            matches!(site, FaultSite::HostToDevice | FaultSite::DeviceToHost),
+            "silent corruption is a transfer fault"
+        );
+        self.events.push(FaultEvent {
+            site,
+            index,
+            kind: FaultKind::SilentCorruption,
+        });
+        self
+    }
+
     /// The device dies at the `index`-th operation at `site`.
     pub fn with_device_loss(mut self, site: FaultSite, index: u64) -> Self {
         self.events.push(FaultEvent {
@@ -214,8 +241,11 @@ pub struct FaultStats {
     pub hangs: u64,
     /// Allocation OOMs injected.
     pub ooms: u64,
-    /// Transfer corruptions injected.
+    /// Transfer corruptions injected (ECC-detected).
     pub corruptions: u64,
+    /// Silent transfer corruptions injected (undetected by the bus; only
+    /// the integrity layer can catch them).
+    pub silent_corruptions: u64,
     /// Whether the device was killed.
     pub device_lost: bool,
     /// Operations seen per site: `[alloc, launch, h2d, d2h]`.
@@ -225,7 +255,12 @@ pub struct FaultStats {
 impl FaultStats {
     /// Total faults fired.
     pub fn total(&self) -> u64 {
-        self.transients + self.hangs + self.ooms + self.corruptions + u64::from(self.device_lost)
+        self.transients
+            + self.hangs
+            + self.ooms
+            + self.corruptions
+            + self.silent_corruptions
+            + u64::from(self.device_lost)
     }
 }
 
@@ -323,6 +358,7 @@ impl FaultInjector {
             FaultKind::Hang => self.stats.hangs += 1,
             FaultKind::Oom => self.stats.ooms += 1,
             FaultKind::Corruption => self.stats.corruptions += 1,
+            FaultKind::SilentCorruption => self.stats.silent_corruptions += 1,
             FaultKind::DeviceLoss => {
                 self.dead = true;
                 self.stats.device_lost = true;
@@ -348,6 +384,9 @@ pub(crate) fn fault_error(kind: FaultKind, site: FaultSite, addr: usize, words: 
         },
         FaultKind::DeviceLoss => GpuError::DeviceLost,
         FaultKind::Hang => unreachable!("hangs are resolved by the launch path"),
+        FaultKind::SilentCorruption => {
+            unreachable!("silent corruption is resolved by the transfer paths")
+        }
     }
 }
 
@@ -460,5 +499,24 @@ mod tests {
     #[should_panic(expected = "transfer fault")]
     fn corruption_rejects_non_transfer_site() {
         let _ = FaultPlan::none().with_corruption(FaultSite::Launch, 0);
+    }
+
+    #[test]
+    fn silent_corruption_fires_and_is_counted() {
+        let mut inj = FaultInjector::default();
+        inj.install(FaultPlan::none().with_silent_corruption(FaultSite::DeviceToHost, 1));
+        assert_eq!(inj.next_op(FaultSite::DeviceToHost), None);
+        assert_eq!(
+            inj.next_op(FaultSite::DeviceToHost),
+            Some(FaultKind::SilentCorruption)
+        );
+        assert_eq!(inj.stats().silent_corruptions, 1);
+        assert_eq!(inj.stats().total(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "transfer fault")]
+    fn silent_corruption_rejects_non_transfer_site() {
+        let _ = FaultPlan::none().with_silent_corruption(FaultSite::Alloc, 0);
     }
 }

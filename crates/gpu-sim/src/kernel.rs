@@ -21,7 +21,7 @@ use crate::stats::LaunchStats;
 use crate::texture::TexRef;
 use crate::timing::{BlockCost, TimingModel};
 use crate::warp::{WarpAccess, WARP_SIZE};
-use crate::xfer::{TransferModel, TransferStats};
+use crate::xfer::{crc32_words, TransferModel, TransferStats};
 
 /// Static launch resources of a kernel (its "PTX header").
 #[derive(Debug, Clone, Copy)]
@@ -232,6 +232,7 @@ pub struct GpuDevice {
     xfer_stats: TransferStats,
     fault: FaultInjector,
     watchdog_cycles: Option<u64>,
+    integrity_checks: bool,
 }
 
 impl GpuDevice {
@@ -247,6 +248,7 @@ impl GpuDevice {
             xfer_stats: TransferStats::default(),
             fault: FaultInjector::default(),
             watchdog_cycles: None,
+            integrity_checks: false,
         }
     }
 
@@ -265,6 +267,21 @@ impl GpuDevice {
     /// default) waits forever, hangs included.
     pub fn set_watchdog_cycles(&mut self, budget: Option<u64>) {
         self.watchdog_cycles = budget;
+    }
+
+    /// Arm (or disarm) end-to-end transfer integrity checks: every copy's
+    /// payload is CRC-checksummed on the sending side and verified on the
+    /// receiving side, so silent in-flight corruption
+    /// ([`FaultKind::SilentCorruption`]) surfaces as
+    /// [`GpuError::ChecksumMismatch`] instead of flowing into results.
+    /// Off by default (matching a stock CUDA deployment).
+    pub fn set_integrity_checks(&mut self, enabled: bool) {
+        self.integrity_checks = enabled;
+    }
+
+    /// Whether end-to-end transfer integrity checks are armed.
+    pub fn integrity_checks(&self) -> bool {
+        self.integrity_checks
     }
 
     /// Counters of injected faults and observed operations.
@@ -314,20 +331,62 @@ impl GpuDevice {
     ///
     /// An injected transfer fault fails the copy *before* any device
     /// memory changes (a corrupted payload is detected and discarded in
-    /// flight), so a retry starts from clean state.
+    /// flight), so a retry starts from clean state. The one exception is
+    /// [`FaultKind::SilentCorruption`]: the copy "succeeds" with a flipped
+    /// payload bit — caught only when integrity checks are armed
+    /// ([`GpuDevice::set_integrity_checks`]), in which case the device
+    /// contents are re-checksummed against the source and the copy fails
+    /// with [`GpuError::ChecksumMismatch`].
     pub fn copy_to_device(&mut self, ptr: DevicePtr, words: &[u32]) -> Result<f64, GpuError> {
         let sp = obs::span("h2d", "transfer");
+        let mut silent = false;
         if let Some(kind) = self.fault.next_op(FaultSite::HostToDevice) {
-            self.xfer_stats.record_h2d_fault();
             note_fault(FaultSite::HostToDevice, kind);
-            return Err(fault_error(
-                kind,
-                FaultSite::HostToDevice,
-                ptr.addr(),
-                words.len(),
-            ));
+            if kind == FaultKind::SilentCorruption {
+                silent = true;
+            } else {
+                self.xfer_stats.record_h2d_fault();
+                return Err(fault_error(
+                    kind,
+                    FaultSite::HostToDevice,
+                    ptr.addr(),
+                    words.len(),
+                ));
+            }
         }
-        self.mem.host_write(ptr, words)?;
+        let corrupted;
+        let payload: &[u32] = if silent {
+            // One bit of the middle word flips in flight; the bus reports
+            // success (ECC missed it).
+            let mut p = words.to_vec();
+            if let Some(w) = p.get_mut(words.len() / 2) {
+                *w ^= 1;
+            }
+            corrupted = p;
+            &corrupted
+        } else {
+            words
+        };
+        self.mem.host_write(ptr, payload)?;
+        if self.integrity_checks {
+            self.xfer_stats.record_integrity_check();
+            obs::counter_add("cudasw.gpu_sim.integrity.checked", &[("site", "h2d")], 1.0);
+            let landed = crc32_words(self.mem.host_read(ptr, words.len())?);
+            if landed != crc32_words(words) {
+                self.xfer_stats.record_integrity_mismatch();
+                self.xfer_stats.record_h2d_fault();
+                obs::counter_add(
+                    "cudasw.gpu_sim.integrity.mismatches",
+                    &[("site", "h2d")],
+                    1.0,
+                );
+                obs::instant("checksum_mismatch", "integrity", &[("site", "h2d")]);
+                return Err(GpuError::ChecksumMismatch {
+                    site: FaultSite::HostToDevice,
+                    addr: ptr.addr(),
+                });
+            }
+        }
         let bytes = words.len() * 4;
         let secs = self.xfer_model.transfer_seconds(bytes);
         self.xfer_stats.record_h2d(bytes, secs);
@@ -344,24 +403,58 @@ impl GpuDevice {
     /// An injected transfer fault discards the payload (ECC detected the
     /// corruption in flight) — no partially-corrupt data is ever
     /// observable; the device-side contents are untouched, so a retry is
-    /// safe.
+    /// safe. [`FaultKind::SilentCorruption`] instead flips a payload bit
+    /// and reports success; with integrity checks armed the received
+    /// payload is verified against a device-side checksum (modelling an
+    /// on-device checksum kernel) and the copy fails with
+    /// [`GpuError::ChecksumMismatch`].
     pub fn copy_from_device(
         &mut self,
         ptr: DevicePtr,
         words: usize,
     ) -> Result<(Vec<u32>, f64), GpuError> {
         let sp = obs::span("d2h", "transfer");
+        let mut silent = false;
         if let Some(kind) = self.fault.next_op(FaultSite::DeviceToHost) {
-            self.xfer_stats.record_d2h_fault();
             note_fault(FaultSite::DeviceToHost, kind);
-            return Err(fault_error(
-                kind,
-                FaultSite::DeviceToHost,
-                ptr.addr(),
-                words,
-            ));
+            if kind == FaultKind::SilentCorruption {
+                silent = true;
+            } else {
+                self.xfer_stats.record_d2h_fault();
+                return Err(fault_error(
+                    kind,
+                    FaultSite::DeviceToHost,
+                    ptr.addr(),
+                    words,
+                ));
+            }
         }
-        let data = self.mem.host_read(ptr, words)?.to_vec();
+        let mut data = self.mem.host_read(ptr, words)?.to_vec();
+        // Checksum of the device-side truth, taken before the bus.
+        let device_crc = self.integrity_checks.then(|| crc32_words(&data));
+        if silent {
+            if let Some(w) = data.get_mut(words / 2) {
+                *w ^= 1;
+            }
+        }
+        if let Some(expected) = device_crc {
+            self.xfer_stats.record_integrity_check();
+            obs::counter_add("cudasw.gpu_sim.integrity.checked", &[("site", "d2h")], 1.0);
+            if crc32_words(&data) != expected {
+                self.xfer_stats.record_integrity_mismatch();
+                self.xfer_stats.record_d2h_fault();
+                obs::counter_add(
+                    "cudasw.gpu_sim.integrity.mismatches",
+                    &[("site", "d2h")],
+                    1.0,
+                );
+                obs::instant("checksum_mismatch", "integrity", &[("site", "d2h")]);
+                return Err(GpuError::ChecksumMismatch {
+                    site: FaultSite::DeviceToHost,
+                    addr: ptr.addr(),
+                });
+            }
+        }
         let bytes = words * 4;
         let secs = self.xfer_model.transfer_seconds(bytes);
         self.xfer_stats.record_d2h(bytes, secs);
@@ -692,6 +785,106 @@ mod tests {
         // Device memory was untouched; the retry reads the true values.
         let (data, _) = dev.copy_from_device(out, 64).unwrap();
         assert_eq!(data, (0..64).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn silent_corruption_flows_into_data_when_unchecked() {
+        let mut dev = GpuDevice::new(DeviceSpec::tesla_c1060());
+        dev.inject_faults(
+            crate::fault::FaultPlan::none().with_silent_corruption(FaultSite::DeviceToHost, 0),
+        );
+        let out = dev.alloc(64).unwrap();
+        let k = IotaKernel { out, threads: 64 };
+        dev.launch(&k, 1, "iota").unwrap();
+        // The copy "succeeds" — and exactly one bit is wrong.
+        let (data, _) = dev.copy_from_device(out, 64).unwrap();
+        let expected: Vec<u32> = (0..64).collect();
+        assert_ne!(data, expected);
+        assert_eq!(data[32], expected[32] ^ 1);
+        assert_eq!(dev.fault_stats().silent_corruptions, 1);
+        assert_eq!(dev.transfer_stats().d2h_faults, 0, "nothing was detected");
+        // A fresh read returns the device-side truth.
+        let (clean, _) = dev.copy_from_device(out, 64).unwrap();
+        assert_eq!(clean, expected);
+    }
+
+    #[test]
+    fn integrity_checks_catch_silent_d2h_corruption() {
+        let mut dev = GpuDevice::new(DeviceSpec::tesla_c1060());
+        dev.set_integrity_checks(true);
+        dev.inject_faults(
+            crate::fault::FaultPlan::none().with_silent_corruption(FaultSite::DeviceToHost, 0),
+        );
+        let out = dev.alloc(64).unwrap();
+        let k = IotaKernel { out, threads: 64 };
+        dev.launch(&k, 1, "iota").unwrap();
+        let err = dev.copy_from_device(out, 64).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                GpuError::ChecksumMismatch {
+                    site: FaultSite::DeviceToHost,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        assert!(err.is_transient());
+        assert_eq!(dev.transfer_stats().integrity_mismatches, 1);
+        assert_eq!(dev.transfer_stats().d2h_faults, 1);
+        // Device memory is intact; the retry reads the truth.
+        let (data, _) = dev.copy_from_device(out, 64).unwrap();
+        assert_eq!(data, (0..64).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn integrity_checks_catch_silent_h2d_corruption() {
+        let mut dev = GpuDevice::new(DeviceSpec::tesla_c1060());
+        dev.set_integrity_checks(true);
+        dev.inject_faults(
+            crate::fault::FaultPlan::none().with_silent_corruption(FaultSite::HostToDevice, 0),
+        );
+        let buf = dev.alloc(32).unwrap();
+        let input: Vec<u32> = (100..132).collect();
+        let err = dev.copy_to_device(buf, &input).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                GpuError::ChecksumMismatch {
+                    site: FaultSite::HostToDevice,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        assert_eq!(dev.transfer_stats().h2d_faults, 1);
+        // The retry lands the true payload.
+        dev.copy_to_device(buf, &input).unwrap();
+        let (data, _) = dev.copy_from_device(buf, 32).unwrap();
+        assert_eq!(data, input);
+        assert_eq!(dev.transfer_stats().integrity_mismatches, 1);
+        assert!(dev.transfer_stats().integrity_checked >= 3);
+    }
+
+    #[test]
+    fn integrity_checks_are_silent_on_clean_transfers() {
+        let ((), run) = obs::capture(|| {
+            let mut dev = GpuDevice::new(DeviceSpec::tesla_c1060());
+            dev.set_integrity_checks(true);
+            assert!(dev.integrity_checks());
+            let buf = dev.alloc(16).unwrap();
+            dev.copy_to_device(buf, &[7u32; 16]).unwrap();
+            let (data, _) = dev.copy_from_device(buf, 16).unwrap();
+            assert_eq!(data, vec![7u32; 16]);
+            assert_eq!(dev.transfer_stats().integrity_checked, 2);
+            assert_eq!(dev.transfer_stats().integrity_mismatches, 0);
+        });
+        let m = &run.metrics;
+        assert_eq!(m.counter_sum("cudasw.gpu_sim.integrity.checked", &[]), 2.0);
+        assert_eq!(
+            m.counter_sum("cudasw.gpu_sim.integrity.mismatches", &[]),
+            0.0
+        );
     }
 
     #[test]

@@ -55,3 +55,4 @@ pub use stats::LaunchStats;
 pub use texture::TexRef;
 pub use timing::TimingModel;
 pub use warp::{WarpAccess, WARP_SIZE};
+pub use xfer::{crc32, crc32_words, TransferModel, TransferStats};

@@ -60,7 +60,7 @@ impl LaunchStats {
 }
 
 /// Sum of several launches (e.g. all inter-task group calls of one search).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunStats {
     /// Number of launches aggregated.
     pub launches: u32,

@@ -187,6 +187,19 @@ impl MetricsRegistry {
         self.histograms.get(&MetricKey::new(name, labels))
     }
 
+    /// Insert a fully-formed histogram, merging with any existing one
+    /// under the same key (checkpoint restore / deserialization path —
+    /// a histogram rebuilt from its public fields re-enters the registry
+    /// exactly as recorded).
+    pub fn histogram_insert(&mut self, name: &str, labels: &[(&str, &str)], histogram: Histogram) {
+        match self.histograms.entry(MetricKey::new(name, labels)) {
+            std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().merge(&histogram),
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(histogram);
+            }
+        }
+    }
+
     /// Fold `other` into this registry: counters and histograms add,
     /// gauges keep the maximum (high-water semantics). Associative and
     /// commutative — aggregation order does not matter.
@@ -302,6 +315,19 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.counter("c", &[]), 3.0);
         assert_eq!(a.gauge("g", &[]), 5.0);
+    }
+
+    #[test]
+    fn histogram_insert_roundtrips_and_merges() {
+        let mut r = MetricsRegistry::new();
+        r.histogram_observe("h", &[], &[1.0, 10.0], 0.5);
+        let snapshot = r.histogram("h", &[]).unwrap().clone();
+        let mut restored = MetricsRegistry::new();
+        restored.histogram_insert("h", &[], snapshot.clone());
+        assert_eq!(restored.histogram("h", &[]), Some(&snapshot));
+        // Inserting into an existing key merges.
+        restored.histogram_insert("h", &[], snapshot.clone());
+        assert_eq!(restored.histogram("h", &[]).unwrap().count, 2);
     }
 
     #[test]

@@ -135,7 +135,13 @@ macro_rules! impl_tuple_strategy {
     )+};
 }
 
-impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+impl_tuple_strategy!(
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, F)
+);
 
 /// A boxed sampling closure producing values of type `V`.
 pub type Sampler<V> = Box<dyn Fn(&mut TestRng) -> V>;

@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build, full test suite, lint wall, format check,
-# paper-claims suite, trace-export smoke, ignored-test triage gate.
+# paper-claims suite, crash-matrix suite, trace/checkpoint/integrity
+# smokes, ignored-test triage gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 
-# The paper-claims regression suite, named explicitly so a workspace
-# filter can never silently drop it (see EXPERIMENTS.md).
-cargo test -q --offline --test paper_claims --test observability --test differential
+# The paper-claims regression suite and the crash matrix, named
+# explicitly so a workspace filter can never silently drop them (see
+# EXPERIMENTS.md).
+cargo test -q --offline --test paper_claims --test observability --test differential \
+  --test crash_matrix
 
 cargo clippy --workspace --all-targets --offline -- -D warnings
 cargo fmt --check
@@ -43,5 +46,18 @@ cargo run -q --release --offline -p cudasw-bench --bin repro -- \
   trace table1 --out "$tmp/trace.json" --metrics "$tmp/metrics.prom" >/dev/null
 grep -q '"traceEvents"' "$tmp/trace.json"
 grep -q '^cudasw_' "$tmp/metrics.prom"
+
+# Checkpoint/resume smoke: a fresh chaos run writes per-shard logs, the
+# resumed rerun must replay at least one chunk and still pass its own
+# byte-for-byte score assertion.
+cargo run -q --release --offline -p cudasw-bench --bin repro -- \
+  chaos --checkpoint "$tmp/ckpt" >/dev/null
+ls "$tmp/ckpt"/*.ckpt >/dev/null
+cargo run -q --release --offline -p cudasw-bench --bin repro -- \
+  chaos --checkpoint "$tmp/ckpt" --resume | grep -q 'chunks replayed'
+
+# Integrity smoke: one silent corruption must be detected, quarantined
+# and recomputed on the host oracle (asserted inside the experiment).
+cargo run -q --release --offline -p cudasw-bench --bin repro -- integrity >/dev/null
 
 echo "verify: OK"
