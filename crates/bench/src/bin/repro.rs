@@ -7,6 +7,7 @@
 //! repro ablation | strips | retune | extensions | validation
 //! repro chaos [--inject-faults <seed>] [--checkpoint <dir>] [--resume]
 //! repro integrity               # silent-corruption detection smoke
+//! repro serve                   # batch-scheduling search service replay
 //! repro trace <experiment> [--out <file.json>] [--metrics <file.prom>]
 //! ```
 //!
@@ -40,8 +41,8 @@
 use std::sync::OnceLock;
 
 use cudasw_bench::experiments::{
-    ablation, chaos, extensions, fig2, fig3, fig5, fig6, fig7, integrity, multigpu, retune, strips,
-    table1, table2, validation,
+    ablation, chaos, extensions, fig2, fig3, fig5, fig6, fig7, integrity, multigpu, retune, serve,
+    strips, table1, table2, validation,
 };
 use gpu_sim::DeviceSpec;
 
@@ -96,6 +97,7 @@ fn main() {
         ("validation", run_validation),
         ("chaos", run_chaos),
         ("integrity", run_integrity),
+        ("serve", run_serve),
     ];
     match cmd {
         "all" => {
@@ -112,7 +114,7 @@ fn main() {
             println!("       repro trace <experiment> [--out <file.json>] [--metrics <file.prom>]");
             println!("experiments: all, fig2, fig3, fig5, fig6, fig7, table1, table2,");
             println!("             ablation, strips, retune, extensions, validation, chaos,");
-            println!("             integrity");
+            println!("             integrity, serve");
             println!("--inject-faults <seed>: fault seed for the chaos run (default 42)");
             println!("--checkpoint <dir>: write chunk-completion logs there during chaos");
             println!("--resume: replay existing logs in the checkpoint dir instead of wiping it");
@@ -356,4 +358,19 @@ fn run_integrity() {
         "corruption went undetected"
     );
     println!("Silent corruption detected, quarantined and recomputed on the host oracle.\n");
+}
+
+fn run_serve() {
+    let spec = DeviceSpec::tesla_c1060();
+    let steady = serve::run_steady(&spec, 120, 12);
+    steady.table().print();
+    let overload = serve::run_overload(&spec, 120, 24);
+    overload.table().print();
+    println!(
+        "Steady load served everything in {} waves at {:.1} queries/s with zero sheds;\n\
+         the overload burst shed {:.0}% explicitly instead of queueing without bound.\n",
+        steady.waves,
+        steady.queries_per_second,
+        overload.shed_rate * 100.0
+    );
 }

@@ -11,6 +11,7 @@ pub mod fig7;
 pub mod integrity;
 pub mod multigpu;
 pub mod retune;
+pub mod serve;
 pub mod strips;
 pub mod table1;
 pub mod table2;

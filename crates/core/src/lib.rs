@@ -36,6 +36,7 @@ pub mod model;
 pub mod multi_gpu;
 pub mod recovery;
 pub mod seqstore;
+pub mod staged;
 pub mod threshold;
 pub mod variants;
 
@@ -52,6 +53,7 @@ pub use multi_gpu::{
     MultiGpuResult, ResilientMultiGpuResult,
 };
 pub use recovery::{RecoveryEvent, RecoveryPolicy, RecoveryReport, ResilientSearchResult};
+pub use staged::StagedDatabase;
 
 /// The CUDASW++ default threshold between the kernels.
 pub const DEFAULT_THRESHOLD: usize = 3072;

@@ -4,6 +4,9 @@
 //! * [`database`] — the database container, length-sorting, the
 //!   threshold split between inter-task and intra-task work, and the
 //!   group partitioning the inter-task kernel consumes;
+//! * [`packing`] — the stable sort-by-length permutation (and its
+//!   inverse) that length-aware consumers — the inter-task group packer,
+//!   the serve-layer batcher — use to see length-uniform chunks;
 //! * [`stats`] — length statistics and log-normal fitting (the paper
 //!   characterizes protein databases by their ~log-normal length
 //!   distribution);
@@ -16,9 +19,11 @@
 pub mod catalog;
 pub mod database;
 pub mod fasta;
+pub mod packing;
 pub mod stats;
 pub mod synth;
 
 pub use database::{Database, Partition, Sequence};
+pub use packing::{sort_by_length, LengthPermutation};
 pub use stats::LengthStats;
 pub use synth::SynthConfig;

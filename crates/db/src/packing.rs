@@ -1,0 +1,122 @@
+//! Length-aware packing: the stable sort-by-length permutation.
+//!
+//! CUDASW++ sorts the database once so that warps (inter-task) and
+//! blocks (intra-task) work on length-uniform chunks; SaLoBa makes the
+//! same observation for query scheduling — workload balance on GPUs is
+//! dominated by length-aware assignment. [`sort_by_length`] captures the
+//! reordering itself as a reusable value: a **stable** length-ascending
+//! permutation plus its inverse, so a consumer (the serve-layer batcher,
+//! a staging planner) can move items into length order, do its work, and
+//! map positions back without re-deriving anything.
+
+/// A stable length-ascending permutation and its inverse.
+///
+/// `order()[k]` is the original index of the item at sorted position `k`;
+/// `inverse()[i]` is the sorted position of original item `i`. Items of
+/// equal length keep their original relative order (stability), which is
+/// what lets the serve batcher reorder a wave by query length without
+/// perturbing FIFO ties.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LengthPermutation {
+    order: Vec<usize>,
+    inverse: Vec<usize>,
+}
+
+/// Build the stable length-ascending permutation of `lengths`.
+pub fn sort_by_length(lengths: &[usize]) -> LengthPermutation {
+    let mut order: Vec<usize> = (0..lengths.len()).collect();
+    // `sort_by_key` is stable: equal lengths keep index order.
+    order.sort_by_key(|&i| lengths[i]);
+    let mut inverse = vec![0usize; lengths.len()];
+    for (pos, &i) in order.iter().enumerate() {
+        inverse[i] = pos;
+    }
+    LengthPermutation { order, inverse }
+}
+
+impl LengthPermutation {
+    /// Original index of the item at sorted position `k`.
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Sorted position of original item `i`.
+    pub fn inverse(&self) -> &[usize] {
+        &self.inverse
+    }
+
+    /// Number of items the permutation covers.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True for the permutation of an empty slice.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Reorder `items` into length-ascending order.
+    ///
+    /// Panics if `items.len()` differs from the permutation's length.
+    pub fn apply<T: Clone>(&self, items: &[T]) -> Vec<T> {
+        assert_eq!(items.len(), self.len(), "permutation length mismatch");
+        self.order.iter().map(|&i| items[i].clone()).collect()
+    }
+
+    /// Undo [`LengthPermutation::apply`]: map length-sorted items back to
+    /// their original positions.
+    ///
+    /// Panics if `sorted.len()` differs from the permutation's length.
+    pub fn restore<T: Clone>(&self, sorted: &[T]) -> Vec<T> {
+        assert_eq!(sorted.len(), self.len(), "permutation length mismatch");
+        self.inverse.iter().map(|&p| sorted[p].clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_ascending_and_is_stable() {
+        let lengths = [30usize, 10, 30, 20, 10];
+        let p = sort_by_length(&lengths);
+        let sorted = p.apply(&lengths);
+        assert_eq!(sorted, vec![10, 10, 20, 30, 30]);
+        // Stability: the first 10 (index 1) precedes the second (index 4),
+        // and the first 30 (index 0) precedes the second (index 2).
+        assert_eq!(p.order(), &[1, 4, 3, 0, 2]);
+    }
+
+    #[test]
+    fn roundtrip_restores_original_order() {
+        let lengths = [7usize, 3, 9, 3, 1, 7, 2];
+        let p = sort_by_length(&lengths);
+        let tagged: Vec<(usize, usize)> = lengths.iter().copied().enumerate().collect();
+        let sorted = p.apply(&tagged);
+        assert!(sorted.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(p.restore(&sorted), tagged);
+    }
+
+    #[test]
+    fn inverse_is_consistent_with_order() {
+        let lengths = [5usize, 1, 4, 1, 5, 0];
+        let p = sort_by_length(&lengths);
+        for (pos, &i) in p.order().iter().enumerate() {
+            assert_eq!(p.inverse()[i], pos);
+        }
+        for (i, &pos) in p.inverse().iter().enumerate() {
+            assert_eq!(p.order()[pos], i);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let p = sort_by_length(&[]);
+        assert!(p.is_empty());
+        assert!(p.apply(&Vec::<u8>::new()).is_empty());
+        let p = sort_by_length(&[42]);
+        assert_eq!(p.order(), &[0]);
+        assert_eq!(p.restore(&p.apply(&["x"])), vec!["x"]);
+    }
+}

@@ -317,6 +317,11 @@ impl GpuDevice {
         self.mem.free_all();
     }
 
+    /// Allocator reset count; see [`MemorySystem`](crate::memory::MemorySystem::epoch).
+    pub fn alloc_epoch(&self) -> u64 {
+        self.mem.epoch()
+    }
+
     /// Allocator watermark for stack-style scratch reuse.
     pub fn mark(&self) -> usize {
         self.mem.mark()

@@ -141,6 +141,7 @@ pub struct MemorySystem {
     tex: Vec<Cache>,
     tex_l2: Option<Cache>,
     stats: MemoryStats,
+    epoch: u64,
 }
 
 impl MemorySystem {
@@ -168,6 +169,7 @@ impl MemorySystem {
             tex,
             tex_l2,
             stats: MemoryStats::default(),
+            epoch: 0,
         }
     }
 
@@ -188,9 +190,19 @@ impl MemorySystem {
     }
 
     /// Release every allocation (bump-allocator reset). Cache contents are
-    /// invalidated; counters survive.
+    /// invalidated; counters survive. Each reset advances the allocator
+    /// epoch, so handles to pre-reset allocations can detect staleness
+    /// even if the watermark later climbs back past them.
     pub fn free_all(&mut self) {
         self.free_to(0);
+        self.epoch += 1;
+    }
+
+    /// Number of full allocator resets ([`MemorySystem::free_all`]) so
+    /// far. A handle that records the epoch at allocation time is stale
+    /// iff the current epoch differs.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Current allocator watermark; pass it to [`MemorySystem::free_to`]

@@ -1,0 +1,259 @@
+//! The wave batcher: deadline-aware coalescing of compatible queries.
+//!
+//! A wave is the unit of dispatch: a set of queued requests with equal
+//! [`ParamsKey`] that one scheduler round runs against the device farm,
+//! reusing a single device-resident database staging for all of them.
+//!
+//! Ordering is earliest-deadline-first with FIFO (arrival, then id)
+//! tie-breaking — the *logical* order, which fixes both which requests a
+//! wave contains (the head's parameter class, in EDF order, truncated to
+//! [`BatchPolicy::max_wave`]) and the order responses are accounted in.
+//! Execution additionally reorders each wave's queries by length
+//! ([`sw_db::sort_by_length`]) so a lane walks its shard with
+//! length-uniform work — the SaLoBa observation — without perturbing the
+//! logical order (results are keyed by request id).
+
+use crate::admission::AdmissionQueue;
+use crate::request::{ParamsKey, SearchRequest};
+use sw_db::sort_by_length;
+
+/// Batching knobs.
+#[derive(Debug, Clone)]
+pub struct BatchPolicy {
+    /// Maximum requests per wave.
+    pub max_wave: usize,
+    /// How long the head request may wait for companions before the wave
+    /// dispatches anyway (seconds from the head's arrival).
+    pub max_linger_seconds: f64,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self {
+            max_wave: 16,
+            max_linger_seconds: 5.0e-3,
+        }
+    }
+}
+
+/// A dispatched batch of parameter-compatible requests.
+#[derive(Debug, Clone)]
+pub struct Wave {
+    /// The shared parameter class.
+    pub key: ParamsKey,
+    /// Requests in logical (EDF, FIFO-tie-broken) order.
+    pub requests: Vec<SearchRequest>,
+    /// Execution order: `exec_order[k]` is the index into `requests` of
+    /// the `k`-th query to run (length-ascending, stable).
+    pub exec_order: Vec<usize>,
+}
+
+impl Wave {
+    fn new(key: ParamsKey, requests: Vec<SearchRequest>) -> Self {
+        let lengths: Vec<usize> = requests.iter().map(|r| r.query.len()).collect();
+        let exec_order = sort_by_length(&lengths).order().to_vec();
+        Self {
+            key,
+            requests,
+            exec_order,
+        }
+    }
+}
+
+/// The wave batcher. Stateless between calls: everything it needs is in
+/// the queue and the clock.
+#[derive(Debug, Default)]
+pub struct Batcher {
+    policy: BatchPolicy,
+}
+
+impl Batcher {
+    /// A batcher with `policy`.
+    pub fn new(policy: BatchPolicy) -> Self {
+        Self { policy }
+    }
+
+    /// The batching policy.
+    pub fn policy(&self) -> &BatchPolicy {
+        &self.policy
+    }
+
+    /// Earliest simulated instant at which [`Batcher::next_wave`] will
+    /// dispatch without `flush`, given the current queue — `None` when
+    /// the queue is empty. The scheduler uses this to advance its clock
+    /// instead of spinning.
+    pub fn next_dispatch_at(&self, queue: &AdmissionQueue, now: f64) -> Option<f64> {
+        let head = head_index(queue)?;
+        let head_arrival = queue.requests()[head].arrival_seconds;
+        Some((head_arrival + self.policy.max_linger_seconds).max(now))
+    }
+
+    /// Form the next wave, or decline (queue empty, or the head is still
+    /// lingering for companions and `flush` is false).
+    ///
+    /// With `flush` true a non-empty queue *always* yields a wave — the
+    /// no-starvation guarantee the scheduler relies on to drain.
+    pub fn next_wave(&self, queue: &mut AdmissionQueue, now: f64, flush: bool) -> Option<Wave> {
+        let head = head_index(queue)?;
+        let key = queue.requests()[head].params_key();
+        // Queue indices of the head's parameter class, EDF order.
+        let mut member_indices: Vec<usize> = (0..queue.requests().len())
+            .filter(|&i| queue.requests()[i].params_key() == key)
+            .collect();
+        member_indices.sort_by(|&a, &b| edf_rank(&queue.requests()[a], &queue.requests()[b]));
+        member_indices.truncate(self.policy.max_wave);
+
+        let head_arrival = queue.requests()[head].arrival_seconds;
+        let linger_expired = now >= head_arrival + self.policy.max_linger_seconds;
+        let full = member_indices.len() >= self.policy.max_wave;
+        if !(flush || full || linger_expired) {
+            return None;
+        }
+
+        member_indices.sort_unstable();
+        let mut requests = queue.take(&member_indices);
+        requests.sort_by(edf_rank);
+        obs::counter_add("cudasw.serve.waves", &[], 1.0);
+        obs::counter_add("cudasw.serve.wave_requests", &[], requests.len() as f64);
+        Some(Wave::new(key, requests))
+    }
+}
+
+/// EDF with FIFO tie-breaking: (deadline, arrival, id).
+fn edf_rank(a: &SearchRequest, b: &SearchRequest) -> std::cmp::Ordering {
+    a.deadline_seconds
+        .total_cmp(&b.deadline_seconds)
+        .then(a.arrival_seconds.total_cmp(&b.arrival_seconds))
+        .then(a.id.cmp(&b.id))
+}
+
+/// Queue index of the globally most-urgent request.
+fn head_index(queue: &AdmissionQueue) -> Option<usize> {
+    (0..queue.requests().len())
+        .min_by(|&a, &b| edf_rank(&queue.requests()[a], &queue.requests()[b]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::AdmissionConfig;
+    use sw_align::{ScoringMatrix, SwParams};
+
+    fn req(id: u64, arrival: f64, deadline: f64, qlen: usize, params: SwParams) -> SearchRequest {
+        SearchRequest {
+            id,
+            tenant: "t".to_string(),
+            query: vec![1u8; qlen],
+            params,
+            arrival_seconds: arrival,
+            deadline_seconds: deadline,
+        }
+    }
+
+    fn queue_with(reqs: Vec<SearchRequest>) -> AdmissionQueue {
+        let mut q = AdmissionQueue::new(AdmissionConfig::default());
+        for r in reqs {
+            q.offer(r).unwrap();
+        }
+        q
+    }
+
+    #[test]
+    fn coalesces_only_compatible_params() {
+        let b62 = SwParams::cudasw_default();
+        let b50 = SwParams {
+            matrix: ScoringMatrix::blosum50(),
+            ..SwParams::cudasw_default()
+        };
+        let mut q = queue_with(vec![
+            req(0, 0.0, 1.0, 10, b62.clone()),
+            req(1, 0.0, 1.0, 10, b50.clone()),
+            req(2, 0.0, 1.0, 10, b62.clone()),
+        ]);
+        let batcher = Batcher::new(BatchPolicy::default());
+        let w = batcher.next_wave(&mut q, 0.0, true).unwrap();
+        assert_eq!(w.key, ParamsKey::of(&b62));
+        assert_eq!(w.requests.iter().map(|r| r.id).collect::<Vec<_>>(), [0, 2]);
+        let w2 = batcher.next_wave(&mut q, 0.0, true).unwrap();
+        assert_eq!(w2.key, ParamsKey::of(&b50));
+        assert_eq!(w2.requests[0].id, 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn earliest_deadline_first_with_fifo_ties() {
+        let p = SwParams::cudasw_default();
+        let mut q = queue_with(vec![
+            req(0, 0.0, 9.0, 10, p.clone()),
+            req(1, 0.1, 5.0, 10, p.clone()),
+            req(2, 0.2, 5.0, 10, p.clone()),
+            req(3, 0.0, 5.0, 10, p.clone()),
+        ]);
+        let batcher = Batcher::new(BatchPolicy::default());
+        let w = batcher.next_wave(&mut q, 1.0, true).unwrap();
+        // Deadline 5.0 first; among those, arrival order 3 (0.0), 1 (0.1),
+        // 2 (0.2); deadline 9.0 last.
+        assert_eq!(
+            w.requests.iter().map(|r| r.id).collect::<Vec<_>>(),
+            [3, 1, 2, 0]
+        );
+    }
+
+    #[test]
+    fn lingers_until_full_or_expired() {
+        let p = SwParams::cudasw_default();
+        let policy = BatchPolicy {
+            max_wave: 2,
+            max_linger_seconds: 1.0,
+        };
+        let batcher = Batcher::new(policy);
+        let mut q = queue_with(vec![req(0, 0.0, 10.0, 10, p.clone())]);
+        // Not full, linger not expired, no flush: declines.
+        assert!(batcher.next_wave(&mut q, 0.5, false).is_none());
+        assert_eq!(batcher.next_dispatch_at(&q, 0.5), Some(1.0));
+        // Linger expired: dispatches the singleton.
+        assert!(batcher.next_wave(&mut q, 1.0, false).is_some());
+
+        let mut q = queue_with(vec![
+            req(0, 0.0, 10.0, 10, p.clone()),
+            req(1, 0.0, 10.0, 10, p.clone()),
+        ]);
+        // Full wave dispatches immediately.
+        let w = batcher.next_wave(&mut q, 0.0, false).unwrap();
+        assert_eq!(w.requests.len(), 2);
+    }
+
+    #[test]
+    fn wave_respects_max_size() {
+        let p = SwParams::cudasw_default();
+        let batcher = Batcher::new(BatchPolicy {
+            max_wave: 3,
+            max_linger_seconds: 0.0,
+        });
+        let mut q = queue_with((0..7).map(|i| req(i, 0.0, 1.0, 10, p.clone())).collect());
+        let w = batcher.next_wave(&mut q, 0.0, false).unwrap();
+        assert_eq!(w.requests.len(), 3);
+        assert_eq!(q.depth(), 4);
+    }
+
+    #[test]
+    fn exec_order_is_length_sorted_and_stable() {
+        let p = SwParams::cudasw_default();
+        let mut q = queue_with(vec![
+            req(0, 0.0, 1.0, 30, p.clone()),
+            req(1, 0.0, 1.0, 10, p.clone()),
+            req(2, 0.0, 1.0, 30, p.clone()),
+        ]);
+        let batcher = Batcher::new(BatchPolicy::default());
+        let w = batcher.next_wave(&mut q, 0.0, true).unwrap();
+        // Logical order is FIFO 0, 1, 2; execution order is length-sorted
+        // with ties in logical order.
+        assert_eq!(w.exec_order, vec![1, 0, 2]);
+        let lens: Vec<usize> = w
+            .exec_order
+            .iter()
+            .map(|&i| w.requests[i].query.len())
+            .collect();
+        assert!(lens.windows(2).all(|x| x[0] <= x[1]));
+    }
+}

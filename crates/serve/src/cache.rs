@@ -1,0 +1,161 @@
+//! The query-profile LRU cache.
+//!
+//! Building a [`PackedProfile`] walks `alphabet × query` once per search;
+//! in a serving workload the same query (same residues, same matrix)
+//! recurs — popular proteins, retried requests, multi-tenant fan-in. The
+//! cache is keyed by `(matrix name, query residues)`: that pair fully
+//! determines the profile, so a hit is exact, and every lane of a wave
+//! shares the one cached profile.
+
+use std::rc::Rc;
+use sw_align::{PackedProfile, ScoringMatrix};
+
+/// Cache key: matrix name + query residues (together they determine the
+/// profile bit-for-bit).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ProfileKey {
+    matrix: String,
+    query: Vec<u8>,
+}
+
+/// An LRU cache of packed query profiles.
+///
+/// Counters: `cudasw.serve.cache.hits` / `.misses` / `.evictions`.
+#[derive(Debug)]
+pub struct ProfileCache {
+    capacity: usize,
+    /// Most-recently-used first. Linear scan is fine at serving-cache
+    /// sizes (tens of entries); no external LRU dependency exists in the
+    /// offline build.
+    entries: Vec<(ProfileKey, Rc<PackedProfile>)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ProfileCache {
+    /// An empty cache holding at most `capacity` profiles. A capacity of
+    /// zero disables caching (every lookup is a miss, nothing is kept).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            entries: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Profiles currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that built a profile.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit fraction so far (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// The profile of `query` under `matrix`, from cache or freshly
+    /// built (and cached, evicting the least-recently-used entry if the
+    /// cache is full).
+    pub fn get_or_build(&mut self, matrix: &ScoringMatrix, query: &[u8]) -> Rc<PackedProfile> {
+        let key = ProfileKey {
+            matrix: matrix.name().to_string(),
+            query: query.to_vec(),
+        };
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.hits += 1;
+            obs::counter_add("cudasw.serve.cache.hits", &[], 1.0);
+            let entry = self.entries.remove(pos);
+            let profile = Rc::clone(&entry.1);
+            self.entries.insert(0, entry);
+            return profile;
+        }
+        self.misses += 1;
+        obs::counter_add("cudasw.serve.cache.misses", &[], 1.0);
+        let profile = Rc::new(PackedProfile::build(matrix, query));
+        if self.capacity == 0 {
+            return profile;
+        }
+        if self.entries.len() >= self.capacity {
+            self.entries.pop();
+            obs::counter_add("cudasw.serve.cache.evictions", &[], 1.0);
+        }
+        self.entries.insert(0, (key, Rc::clone(&profile)));
+        profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> ScoringMatrix {
+        ScoringMatrix::blosum62()
+    }
+
+    #[test]
+    fn repeated_query_hits() {
+        let mut c = ProfileCache::new(4);
+        let q = vec![1u8, 2, 3];
+        let a = c.get_or_build(&matrix(), &q);
+        let b = c.get_or_build(&matrix(), &q);
+        assert!(Rc::ptr_eq(&a, &b));
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_matrix_is_a_different_entry() {
+        let mut c = ProfileCache::new(4);
+        let q = vec![1u8, 2, 3];
+        let a = c.get_or_build(&ScoringMatrix::blosum62(), &q);
+        let b = c.get_or_build(&ScoringMatrix::blosum50(), &q);
+        assert!(!Rc::ptr_eq(&a, &b));
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = ProfileCache::new(2);
+        let (q1, q2, q3) = (vec![1u8], vec![2u8], vec![3u8]);
+        c.get_or_build(&matrix(), &q1);
+        c.get_or_build(&matrix(), &q2);
+        c.get_or_build(&matrix(), &q1); // q1 now most recent
+        c.get_or_build(&matrix(), &q3); // evicts q2
+        assert_eq!(c.len(), 2);
+        c.get_or_build(&matrix(), &q1);
+        assert_eq!(c.hits(), 2, "q1 stayed cached");
+        c.get_or_build(&matrix(), &q2);
+        assert_eq!(c.misses(), 4, "q2 was evicted");
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = ProfileCache::new(0);
+        let q = vec![1u8, 2];
+        c.get_or_build(&matrix(), &q);
+        c.get_or_build(&matrix(), &q);
+        assert_eq!((c.hits(), c.misses()), (0, 2));
+        assert!(c.is_empty());
+    }
+}

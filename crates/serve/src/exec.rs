@@ -1,0 +1,412 @@
+//! Wave execution over resilient multi-GPU shard lanes.
+//!
+//! One [`Lane`] per simulated device, each owning one round-robin shard
+//! of the database ([`cudasw_core::multi_gpu::shard_database`] layout:
+//! shard `s` position `j` is database sequence `s + j·k`). The fast path
+//! keeps the shard device-resident ([`StagedDatabase`]) so a wave of `N`
+//! compatible queries stages the database **once** and pays only two
+//! per-query H2D transfers each; every fault path inherits the resilient
+//! driver's recovery ladder:
+//!
+//! * a fault inside a staged search drops the handle and reruns the
+//!   query through [`CudaSwDriver::search_resilient`] (retry, backoff,
+//!   OOM re-chunking, quarantine);
+//! * a lane whose device dies has its shard re-dispatched to a survivor;
+//! * with no survivors left the shard is computed on the host SIMD
+//!   oracle (when the policy allows CPU fallback).
+//!
+//! Scores are exact integer Smith-Waterman scores on every path, so a
+//! served result is bit-identical to a standalone resilient search no
+//! matter which ladder rung produced it.
+
+use crate::batch::Wave;
+use crate::cache::ProfileCache;
+use cudasw_core::multi_gpu::shard_database;
+use cudasw_core::{
+    CudaSwConfig, CudaSwDriver, RecoveryEvent, RecoveryPolicy, RecoveryReport, StagedDatabase,
+};
+use gpu_sim::{DeviceSpec, FaultPlan, GpuError};
+use sw_db::Database;
+use sw_simd::farrar::sw_striped_score;
+
+/// One device lane: a driver bound to one database shard.
+struct Lane {
+    device: usize,
+    driver: CudaSwDriver,
+    shard: Database,
+    staged: Option<StagedDatabase>,
+    alive: bool,
+}
+
+/// What one wave took to serve.
+#[derive(Debug, Clone)]
+pub struct WaveOutcome {
+    /// Per-request full-database scores, indexed like `wave.requests`
+    /// (logical order); scores within follow `db.sequences()` order.
+    pub scores: Vec<Vec<i32>>,
+    /// Aggregated recovery story (all lanes, redispatch and CPU fallback
+    /// included).
+    pub recovery: RecoveryReport,
+    /// Simulated wall-clock the wave occupied the farm: the slowest
+    /// lane's staging + kernel + transfer + backoff seconds (lanes run
+    /// concurrently).
+    pub service_seconds: f64,
+    /// DP cells computed on devices during the wave.
+    pub total_cells: u64,
+}
+
+/// The scheduler's execution backend: a farm of resilient shard lanes.
+pub struct WaveExecutor {
+    lanes: Vec<Lane>,
+    policy: RecoveryPolicy,
+    db_len: usize,
+}
+
+impl WaveExecutor {
+    /// Bring up `devices` lanes of `spec` over round-robin shards of
+    /// `db`, installing `plans[i]` on lane `i` (missing entries get
+    /// [`FaultPlan::none`]).
+    pub fn new(
+        spec: &DeviceSpec,
+        config: &CudaSwConfig,
+        db: &Database,
+        devices: usize,
+        plans: &[FaultPlan],
+        policy: &RecoveryPolicy,
+    ) -> Self {
+        let devices = devices.max(1);
+        let shards = shard_database(db, devices);
+        let lanes = shards
+            .into_iter()
+            .enumerate()
+            .map(|(device, shard)| {
+                let mut driver = CudaSwDriver::new(spec.clone(), config.clone());
+                driver
+                    .dev
+                    .inject_faults(plans.get(device).cloned().unwrap_or_else(FaultPlan::none));
+                driver.dev.set_integrity_checks(policy.integrity_checks);
+                driver.dev.set_watchdog_cycles(policy.watchdog_cycles);
+                Lane {
+                    device,
+                    driver,
+                    shard,
+                    staged: None,
+                    alive: true,
+                }
+            })
+            .collect();
+        Self {
+            lanes,
+            policy: policy.clone(),
+            db_len: db.len(),
+        }
+    }
+
+    /// Number of lanes still alive.
+    pub fn lanes_alive(&self) -> usize {
+        self.lanes.iter().filter(|l| l.alive).count()
+    }
+
+    /// Number of lanes the executor started with.
+    pub fn lanes_total(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Serve every request of `wave` (single parameter class, enforced by
+    /// the batcher) and return full-database scores per request.
+    ///
+    /// `Err` is reserved for unrecoverable conditions: a non-recoverable
+    /// device error (a program bug), or every lane dead with CPU fallback
+    /// disabled by the policy.
+    pub fn execute_wave(
+        &mut self,
+        wave: &Wave,
+        cache: &mut ProfileCache,
+    ) -> Result<WaveOutcome, GpuError> {
+        let n = wave.requests.len();
+        if n == 0 {
+            return Ok(WaveOutcome {
+                scores: Vec::new(),
+                recovery: RecoveryReport::default(),
+                service_seconds: 0.0,
+                total_cells: 0,
+            });
+        }
+        let sp = obs::span("wave", "serve");
+        let k = self.lanes.len();
+        let params = wave.requests[0].params.clone();
+        // One profile per request, cache-shared across all lanes.
+        let profiles: Vec<_> = wave
+            .requests
+            .iter()
+            .map(|r| cache.get_or_build(&params.matrix, &r.query))
+            .collect();
+
+        let mut scores = vec![vec![0i32; self.db_len]; n];
+        let mut recovery = RecoveryReport::default();
+        let mut lane_seconds = vec![0.0f64; k];
+        let mut total_cells = 0u64;
+        // (lane, request-index) pairs whose shard scores are still owed
+        // because the lane died mid-wave (or was already dead).
+        let mut owed: Vec<(usize, usize)> = Vec::new();
+
+        for (s, seconds) in lane_seconds.iter_mut().enumerate() {
+            if !self.lanes[s].alive {
+                owed.extend(wave.exec_order.iter().map(|&q| (s, q)));
+                continue;
+            }
+            let prev_lane = obs::set_lane(self.lanes[s].device as u32 + 1);
+            let outcome = self.run_lane_wave(
+                s,
+                wave,
+                &params,
+                &profiles,
+                &mut scores,
+                &mut recovery,
+                seconds,
+                &mut total_cells,
+                &mut owed,
+            );
+            obs::set_lane(prev_lane);
+            outcome?;
+        }
+
+        self.settle_owed(
+            wave,
+            &params,
+            owed,
+            &mut scores,
+            &mut recovery,
+            &mut lane_seconds,
+            &mut total_cells,
+        )?;
+
+        let service_seconds = lane_seconds.iter().cloned().fold(0.0, f64::max);
+        sp.end_with(&[
+            ("requests", &n.to_string()),
+            ("lanes", &self.lanes_alive().to_string()),
+        ]);
+        Ok(WaveOutcome {
+            scores,
+            recovery,
+            service_seconds,
+            total_cells,
+        })
+    }
+
+    /// Run every wave query on lane `s`, staged fast path first. Pushes
+    /// un-served (lane died) work onto `owed`.
+    #[allow(clippy::too_many_arguments)]
+    fn run_lane_wave(
+        &mut self,
+        s: usize,
+        wave: &Wave,
+        params: &sw_align::SwParams,
+        profiles: &[std::rc::Rc<sw_align::PackedProfile>],
+        scores: &mut [Vec<i32>],
+        recovery: &mut RecoveryReport,
+        lane_seconds: &mut f64,
+        total_cells: &mut u64,
+        owed: &mut Vec<(usize, usize)>,
+    ) -> Result<(), GpuError> {
+        let k = self.lanes.len();
+        self.lanes[s].driver.config.params = params.clone();
+        if self.lanes[s].staged.is_none() {
+            self.stage_lane(s, recovery, lane_seconds)?;
+        }
+        for (pos, &q) in wave.exec_order.iter().enumerate() {
+            let req = &wave.requests[q];
+            // Fast path: the resident shard plus the cached profile.
+            if self.lanes[s].staged.is_some() {
+                let staged = self.lanes[s].staged.clone().expect("checked");
+                match self.lanes[s].driver.search_staged_with_profile(
+                    &req.query,
+                    &profiles[q],
+                    &staged,
+                ) {
+                    Ok(r) => {
+                        for (j, &v) in r.scores.iter().enumerate() {
+                            scores[q][s + j * k] = v;
+                        }
+                        *lane_seconds += r.kernel_seconds() + r.transfer_seconds;
+                        *total_cells += r.total_cells();
+                        continue;
+                    }
+                    Err(e) if e.is_recoverable() => {
+                        // The handle may have been invalidated by recovery
+                        // machinery; drop it and take the resilient path.
+                        self.lanes[s].staged = None;
+                        obs::counter_add("cudasw.serve.staged_faults", &[], 1.0);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            // Resilient path: full recovery ladder on this lane's shard.
+            let shard = self.lanes[s].shard.clone();
+            let policy = self.lane_policy();
+            match self.lanes[s]
+                .driver
+                .search_resilient(&req.query, &shard, &policy)
+            {
+                Ok(rr) => {
+                    for (j, &v) in rr.result.scores.iter().enumerate() {
+                        scores[q][s + j * k] = v;
+                    }
+                    *lane_seconds += rr.result.kernel_seconds()
+                        + rr.result.transfer_seconds
+                        + rr.recovery.backoff_seconds;
+                    *total_cells += rr.result.total_cells();
+                    recovery.merge(&rr.recovery);
+                }
+                Err(e) if e.is_recoverable() => {
+                    // Lane is gone: this query and the rest of the wave
+                    // are owed to the survivors.
+                    self.lanes[s].alive = false;
+                    obs::counter_add("cudasw.serve.lane_deaths", &[], 1.0);
+                    owed.extend(wave.exec_order[pos..].iter().map(|&qq| (s, qq)));
+                    return Ok(());
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Stage lane `s`'s shard, retrying transient faults with backoff.
+    /// On persistent failure the lane either dies (device loss / retries
+    /// exhausted) or falls back to un-staged per-query searches (OOM and
+    /// everything else) — both leave `staged` as `None`.
+    fn stage_lane(
+        &mut self,
+        s: usize,
+        recovery: &mut RecoveryReport,
+        lane_seconds: &mut f64,
+    ) -> Result<(), GpuError> {
+        let mut attempt = 0u32;
+        loop {
+            let shard = self.lanes[s].shard.clone();
+            match self.lanes[s].driver.stage_database(&shard) {
+                Ok(staged) => {
+                    *lane_seconds += staged.staging_seconds();
+                    self.lanes[s].staged = Some(staged);
+                    obs::counter_add("cudasw.serve.db_stagings", &[], 1.0);
+                    return Ok(());
+                }
+                Err(e) if e.is_transient() && attempt < self.policy.max_retries => {
+                    attempt += 1;
+                    let backoff =
+                        self.policy.backoff_base_seconds * f64::from(1u32 << (attempt - 1).min(20));
+                    recovery.retries += 1;
+                    recovery.backoff_seconds += backoff;
+                    recovery.events.push(RecoveryEvent::Retry {
+                        error: e.to_string(),
+                        attempt,
+                    });
+                    *lane_seconds += backoff;
+                    obs::counter_add("cudasw.serve.staging_retries", &[], 1.0);
+                    obs::advance(backoff);
+                }
+                Err(GpuError::DeviceLost) => {
+                    self.lanes[s].alive = false;
+                    obs::counter_add("cudasw.serve.lane_deaths", &[], 1.0);
+                    return Ok(());
+                }
+                Err(e) if e.is_recoverable() => {
+                    // OOM or retries exhausted: serve this wave un-staged
+                    // (search_resilient re-chunks around OOM itself).
+                    obs::counter_add("cudasw.serve.staging_fallbacks", &[], 1.0);
+                    return Ok(());
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Serve shard work owed by dead lanes: re-dispatch to survivors,
+    /// falling back to the host SIMD oracle when no lane is left.
+    #[allow(clippy::too_many_arguments)]
+    fn settle_owed(
+        &mut self,
+        wave: &Wave,
+        params: &sw_align::SwParams,
+        owed: Vec<(usize, usize)>,
+        scores: &mut [Vec<i32>],
+        recovery: &mut RecoveryReport,
+        lane_seconds: &mut [f64],
+        total_cells: &mut u64,
+    ) -> Result<(), GpuError> {
+        let k = self.lanes.len();
+        for (dead, q) in owed {
+            let req = &wave.requests[q];
+            let shard = self.lanes[dead].shard.clone();
+            if shard.is_empty() {
+                continue;
+            }
+            let mut served = false;
+            while let Some(t) = (0..k).find(|&t| t != dead && self.lanes[t].alive) {
+                let prev_lane = obs::set_lane(self.lanes[t].device as u32 + 1);
+                let policy = self.lane_policy();
+                self.lanes[t].driver.config.params = params.clone();
+                let attempt = self.lanes[t]
+                    .driver
+                    .search_resilient(&req.query, &shard, &policy);
+                obs::set_lane(prev_lane);
+                match attempt {
+                    Ok(rr) => {
+                        // search_resilient reset the survivor's allocator.
+                        self.lanes[t].staged = None;
+                        for (j, &v) in rr.result.scores.iter().enumerate() {
+                            scores[q][dead + j * k] = v;
+                        }
+                        lane_seconds[t] += rr.result.kernel_seconds()
+                            + rr.result.transfer_seconds
+                            + rr.recovery.backoff_seconds;
+                        *total_cells += rr.result.total_cells();
+                        recovery.merge(&rr.recovery);
+                        recovery.shard_redispatches += 1;
+                        recovery.events.push(RecoveryEvent::ShardRedispatch {
+                            from_device: self.lanes[dead].device,
+                            to_device: self.lanes[t].device,
+                            sequences: shard.len(),
+                        });
+                        obs::counter_add("cudasw.serve.redispatches", &[], 1.0);
+                        served = true;
+                        break;
+                    }
+                    Err(e) if e.is_recoverable() => {
+                        self.lanes[t].alive = false;
+                        obs::counter_add("cudasw.serve.lane_deaths", &[], 1.0);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            if served {
+                continue;
+            }
+            // No survivors: host SIMD oracle, if the policy allows it.
+            if !self.policy.cpu_fallback {
+                return Err(GpuError::DeviceLost);
+            }
+            for (j, seq) in shard.sequences().iter().enumerate() {
+                scores[q][dead + j * k] = sw_striped_score(params, &req.query, &seq.residues);
+            }
+            recovery.cpu_fallback_seqs += shard.len() as u64;
+            recovery.degraded = true;
+            recovery.events.push(RecoveryEvent::CpuFallback {
+                sequences: shard.len(),
+            });
+            obs::counter_add("cudasw.serve.cpu_fallback_seqs", &[], shard.len() as f64);
+        }
+        Ok(())
+    }
+
+    /// The per-lane recovery policy: like the service policy, but a dead
+    /// device surfaces as `Err` so the executor can re-dispatch the shard
+    /// instead of silently computing it on the CPU.
+    fn lane_policy(&self) -> RecoveryPolicy {
+        RecoveryPolicy {
+            cpu_fallback: false,
+            ..self.policy.clone()
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! `sw-serve`: a deterministic query-serving subsystem over the
+//! resilient CUDASW++ driver.
+//!
+//! The paper's kernels answer one query; a production deployment answers
+//! a *stream*. This crate adds the layer between the two, entirely on
+//! the simulated clock so every run is reproducible:
+//!
+//! * [`admission`] — a bounded request queue with per-tenant quotas and
+//!   explicit shed reasons (backpressure an open-loop arrival stream can
+//!   observe);
+//! * [`batch`] — the deadline-aware batcher: earliest-deadline-first
+//!   waves of parameter-compatible queries, length-sorted for execution
+//!   ([`sw_db::sort_by_length`]);
+//! * [`cache`] — an LRU cache of packed query profiles keyed by
+//!   `(matrix, query)`;
+//! * [`exec`] — wave execution over per-device shard lanes that keep the
+//!   database device-resident
+//!   ([`cudasw_core::CudaSwDriver::stage_database`]) and inherit the
+//!   resilient driver's full recovery ladder, shard re-dispatch and host
+//!   fallback included;
+//! * [`service`] — the discrete-event scheduler tying them together and
+//!   replaying seeded arrival traces ([`request::TraceConfig`]).
+//!
+//! Metrics (`cudasw.serve.*`): `admitted`, `shed{reason}`, `queue_depth`
+//! (gauge), `waves`, `wave_requests`, `completed`, `latency_seconds`
+//! (histogram), `cache.hits/misses/evictions`, `db_stagings`,
+//! `staging_retries`, `staging_fallbacks`, `staged_faults`,
+//! `lane_deaths`, `redispatches`, `cpu_fallback_seqs`. Spans:
+//! `run_trace`, `wave` (category `serve`). See DESIGN.md §11.
+
+pub mod admission;
+pub mod batch;
+pub mod cache;
+pub mod exec;
+pub mod request;
+pub mod service;
+
+pub use admission::{AdmissionConfig, AdmissionQueue, ShedReason};
+pub use batch::{BatchPolicy, Batcher, Wave};
+pub use cache::ProfileCache;
+pub use exec::{WaveExecutor, WaveOutcome};
+pub use request::{ParamsKey, SearchRequest, TraceConfig};
+pub use service::{Response, SearchService, ServeConfig, ServeReport, Shed};

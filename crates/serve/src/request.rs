@@ -1,0 +1,178 @@
+//! Requests, parameter compatibility, and seeded open-loop arrival traces.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use sw_align::SwParams;
+use sw_db::synth::make_query;
+
+/// The batching-compatibility key of a request's scoring parameters.
+///
+/// Two requests can share a wave (and therefore one device-resident
+/// database staging and one driver configuration) iff their keys are
+/// equal. Matrices are keyed by name: every [`sw_align::ScoringMatrix`]
+/// constructor produces one fixed, named table, so the name identifies
+/// the scores.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ParamsKey {
+    /// Substitution-matrix name (e.g. `"BLOSUM62"`).
+    pub matrix: String,
+    /// Gap-open penalty.
+    pub open: i32,
+    /// Gap-extension penalty.
+    pub extend: i32,
+}
+
+impl ParamsKey {
+    /// The key of `params`.
+    pub fn of(params: &SwParams) -> Self {
+        Self {
+            matrix: params.matrix.name().to_string(),
+            open: params.gaps.open,
+            extend: params.gaps.extend,
+        }
+    }
+}
+
+/// One search request as the admission controller sees it.
+#[derive(Debug, Clone)]
+pub struct SearchRequest {
+    /// Unique request id (assigned by the trace generator / caller).
+    pub id: u64,
+    /// Tenant the request belongs to (quota accounting).
+    pub tenant: String,
+    /// Query residues.
+    pub query: Vec<u8>,
+    /// Scoring parameters; requests batch only with equal [`ParamsKey`].
+    pub params: SwParams,
+    /// Arrival time on the simulated clock, seconds.
+    pub arrival_seconds: f64,
+    /// Latency deadline (absolute simulated time). The scheduler orders
+    /// earliest-deadline-first; a missed deadline is flagged, not dropped.
+    pub deadline_seconds: f64,
+}
+
+impl SearchRequest {
+    /// The request's batching-compatibility key.
+    pub fn params_key(&self) -> ParamsKey {
+        ParamsKey::of(&self.params)
+    }
+}
+
+/// Configuration of a seeded open-loop arrival trace.
+///
+/// Open-loop means arrivals are independent of service: the trace fixes
+/// every arrival instant up front (exponential interarrival times, the
+/// Poisson-process model of aggregate user traffic), and the service
+/// either keeps up or sheds.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// Tenant names to draw from (uniformly).
+    pub tenants: Vec<String>,
+    /// Mean interarrival gap in simulated seconds.
+    pub mean_interarrival_seconds: f64,
+    /// Query lengths are drawn uniformly from this inclusive range.
+    pub query_len: (usize, usize),
+    /// Deadline slack added to the arrival time, drawn uniformly from
+    /// this range of seconds.
+    pub deadline_slack_seconds: (f64, f64),
+    /// Parameter classes to draw from (uniformly). Requests with
+    /// different classes never share a wave.
+    pub param_classes: Vec<SwParams>,
+    /// RNG seed; equal configs generate identical traces.
+    pub seed: u64,
+}
+
+impl TraceConfig {
+    /// A small default trace: one tenant, one parameter class.
+    pub fn small(requests: usize, seed: u64) -> Self {
+        Self {
+            requests,
+            tenants: vec!["tenant-a".to_string()],
+            mean_interarrival_seconds: 1.0e-3,
+            query_len: (24, 64),
+            deadline_slack_seconds: (0.5, 1.0),
+            param_classes: vec![SwParams::cudasw_default()],
+            seed,
+        }
+    }
+
+    /// Generate the trace, sorted by arrival time, ids `0..requests`.
+    pub fn generate(&self) -> Vec<SearchRequest> {
+        assert!(!self.tenants.is_empty(), "need at least one tenant");
+        assert!(!self.param_classes.is_empty(), "need a parameter class");
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5345_5256); // "SERV"
+        let mut now = 0.0f64;
+        let mut out = Vec::with_capacity(self.requests);
+        for id in 0..self.requests as u64 {
+            // Exponential interarrival: -mean · ln(1 - U), U ∈ [0, 1).
+            let u: f64 = rng.gen_range(0.0..1.0);
+            now += -self.mean_interarrival_seconds * (1.0 - u).ln();
+            let tenant = self.tenants[rng.gen_range(0..self.tenants.len())].clone();
+            let params = self.param_classes[rng.gen_range(0..self.param_classes.len())].clone();
+            let (lo, hi) = self.query_len;
+            let len = rng.gen_range(lo..=hi);
+            let (slo, shi) = self.deadline_slack_seconds;
+            let slack = if shi > slo {
+                rng.gen_range(slo..shi)
+            } else {
+                slo
+            };
+            out.push(SearchRequest {
+                id,
+                tenant,
+                query: make_query(len, self.seed ^ id),
+                params,
+                arrival_seconds: now,
+                deadline_seconds: now + slack,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_align::ScoringMatrix;
+
+    #[test]
+    fn params_key_separates_matrices_and_gaps() {
+        let a = SwParams::cudasw_default();
+        let b = SwParams {
+            matrix: ScoringMatrix::blosum50(),
+            ..SwParams::cudasw_default()
+        };
+        let mut c = SwParams::cudasw_default();
+        c.gaps.extend = 1;
+        assert_eq!(ParamsKey::of(&a), ParamsKey::of(&a.clone()));
+        assert_ne!(ParamsKey::of(&a), ParamsKey::of(&b));
+        assert_ne!(ParamsKey::of(&a), ParamsKey::of(&c));
+    }
+
+    #[test]
+    fn trace_is_deterministic_and_arrival_sorted() {
+        let cfg = TraceConfig::small(50, 7);
+        let t1 = cfg.generate();
+        let t2 = cfg.generate();
+        assert_eq!(t1.len(), 50);
+        for (a, b) in t1.iter().zip(&t2) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.query, b.query);
+            assert_eq!(a.arrival_seconds, b.arrival_seconds);
+        }
+        assert!(t1
+            .windows(2)
+            .all(|w| w[0].arrival_seconds <= w[1].arrival_seconds));
+        assert!(t1.iter().all(|r| r.deadline_seconds > r.arrival_seconds));
+        let (lo, hi) = cfg.query_len;
+        assert!(t1.iter().all(|r| (lo..=hi).contains(&r.query.len())));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = TraceConfig::small(10, 1).generate();
+        let b = TraceConfig::small(10, 2).generate();
+        assert!(a.iter().zip(&b).any(|(x, y)| x.query != y.query));
+    }
+}

@@ -1,0 +1,160 @@
+//! Batcher scheduling invariants over arbitrary arrival traces:
+//!
+//! * **no starvation** — a drained scheduler loop dispatches every
+//!   admitted request;
+//! * **no duplicate dispatch** — each request appears in exactly one
+//!   wave, exactly once;
+//! * **wave homogeneity** — every wave holds one parameter class;
+//! * **tenant FIFO at equal deadlines** — two same-tenant, same-class
+//!   requests with equal deadlines dispatch in arrival (then id) order.
+
+use proptest::prelude::*;
+use sw_align::{ScoringMatrix, SwParams};
+use sw_serve::{AdmissionConfig, AdmissionQueue, BatchPolicy, Batcher, SearchRequest, Wave};
+
+fn params_class(class: u8) -> SwParams {
+    if class == 0 {
+        SwParams::cudasw_default()
+    } else {
+        SwParams {
+            matrix: ScoringMatrix::blosum50(),
+            ..SwParams::cudasw_default()
+        }
+    }
+}
+
+/// Build a request from raw generated parts.
+fn build_request(id: u64, raw: (u8, u64, u64, usize, u8)) -> SearchRequest {
+    let (tenant, arrival_ticks, slack_ticks, query_len, class) = raw;
+    let arrival = arrival_ticks as f64 * 1.0e-4;
+    SearchRequest {
+        id,
+        tenant: format!("tenant-{tenant}"),
+        query: vec![(id % 20) as u8; query_len],
+        params: params_class(class),
+        arrival_seconds: arrival,
+        deadline_seconds: arrival + slack_ticks as f64 * 1.0e-4,
+    }
+}
+
+/// Drive the batcher through the scheduler's discrete-event loop with a
+/// fixed per-wave service time; return the dispatched waves in order.
+fn drive(requests: Vec<SearchRequest>, policy: BatchPolicy) -> Vec<Wave> {
+    let mut pending = requests;
+    pending.sort_by(|a, b| {
+        a.arrival_seconds
+            .total_cmp(&b.arrival_seconds)
+            .then(a.id.cmp(&b.id))
+    });
+    let mut pending = std::collections::VecDeque::from(pending);
+    // Capacity above any generated trace: admission never sheds here, so
+    // "admitted" means every generated request.
+    let mut queue = AdmissionQueue::new(AdmissionConfig {
+        queue_capacity: 10_000,
+        tenant_quota: 10_000,
+    });
+    let batcher = Batcher::new(policy);
+    let mut now = pending.front().map_or(0.0, |r| r.arrival_seconds);
+    let mut waves = Vec::new();
+    loop {
+        while pending.front().is_some_and(|r| r.arrival_seconds <= now) {
+            queue.offer(pending.pop_front().unwrap()).unwrap();
+        }
+        let flush = pending.is_empty();
+        if let Some(wave) = batcher.next_wave(&mut queue, now, flush) {
+            waves.push(wave);
+            now += 5.0e-4; // fixed wave service time
+        } else if let Some(next) = pending.front() {
+            let arrival = next.arrival_seconds;
+            now = match batcher.next_dispatch_at(&queue, now) {
+                Some(linger) => linger.min(arrival).max(now),
+                None => arrival,
+            };
+        } else if queue.is_empty() {
+            return waves;
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn batcher_dispatches_everything_exactly_once_in_tenant_fifo_order(
+        raw in proptest::collection::vec(
+            (0u8..3, 0u64..40, 0u64..4, 1usize..24, 0u8..2),
+            0..24,
+        ),
+        max_wave in 1usize..6,
+        linger_ticks in 0u64..8,
+    ) {
+        let requests: Vec<SearchRequest> = raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| build_request(i as u64, r))
+            .collect();
+        let n = requests.len();
+        let by_id: std::collections::HashMap<u64, SearchRequest> =
+            requests.iter().map(|r| (r.id, r.clone())).collect();
+        let policy = BatchPolicy {
+            max_wave,
+            max_linger_seconds: linger_ticks as f64 * 1.0e-4,
+        };
+        let waves = drive(requests, policy);
+
+        // Exactly-once, no starvation: the flattened dispatch covers every
+        // request once.
+        let flat: Vec<u64> = waves
+            .iter()
+            .flat_map(|w| w.requests.iter().map(|r| r.id))
+            .collect();
+        let mut sorted = flat.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), flat.len(), "duplicate dispatch");
+        prop_assert_eq!(flat.len(), n, "starved request");
+
+        for wave in &waves {
+            // Homogeneity: one parameter class per wave, within size.
+            prop_assert!(wave.requests.len() <= max_wave);
+            prop_assert!(!wave.requests.is_empty());
+            for r in &wave.requests {
+                prop_assert_eq!(&r.params_key(), &wave.key);
+            }
+            // The execution order is a length-sorted permutation of the
+            // wave.
+            let mut seen = vec![false; wave.requests.len()];
+            for &i in &wave.exec_order {
+                prop_assert!(!seen[i]);
+                seen[i] = true;
+            }
+            prop_assert!(wave
+                .exec_order
+                .windows(2)
+                .all(|w| wave.requests[w[0]].query.len() <= wave.requests[w[1]].query.len()));
+        }
+
+        // Tenant FIFO at equal deadlines (same parameter class): arrival
+        // order, then id order, is preserved in the flattened dispatch.
+        let position: std::collections::HashMap<u64, usize> =
+            flat.iter().enumerate().map(|(p, &id)| (id, p)).collect();
+        for a in by_id.values() {
+            for b in by_id.values() {
+                if a.id == b.id
+                    || a.tenant != b.tenant
+                    || a.params_key() != b.params_key()
+                    || a.deadline_seconds != b.deadline_seconds
+                {
+                    continue;
+                }
+                let a_first = (a.arrival_seconds, a.id) < (b.arrival_seconds, b.id);
+                if a_first {
+                    prop_assert!(
+                        position[&a.id] < position[&b.id],
+                        "tenant FIFO violated: {} before {}",
+                        b.id,
+                        a.id
+                    );
+                }
+            }
+        }
+    }
+}

@@ -6,6 +6,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline --workspace
+cargo build --release --offline --workspace --examples
 cargo test -q --offline --workspace
 
 # The paper-claims regression suite and the crash matrix, named
@@ -59,5 +60,10 @@ cargo run -q --release --offline -p cudasw-bench --bin repro -- \
 # Integrity smoke: one silent corruption must be detected, quarantined
 # and recomputed on the host oracle (asserted inside the experiment).
 cargo run -q --release --offline -p cudasw-bench --bin repro -- integrity >/dev/null
+
+# Serving smoke: the steady scenario of the batch-scheduling service must
+# answer every request with zero sheds and non-zero throughput (asserted
+# inside the experiment).
+cargo run -q --release --offline -p cudasw-bench --bin repro -- serve >/dev/null
 
 echo "verify: OK"

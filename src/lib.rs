@@ -16,6 +16,7 @@ pub use cudasw_core as core;
 pub use gpu_sim;
 pub use sw_align as align;
 pub use sw_db as db;
+pub use sw_serve as serve;
 pub use sw_simd as simd;
 
 /// The most commonly used items across the workspace.
