@@ -7,6 +7,7 @@ use sw_db::synth::make_query;
 use sw_simd::farrar::{striped_profile, sw_striped};
 use sw_simd::rognes::sw_vertical;
 use sw_simd::wozniak::sw_antidiagonal;
+use sw_simd::{AdaptiveStats, BackendKind, Precision, QueryEngine};
 
 fn bench(c: &mut Criterion) {
     let params = SwParams::cudasw_default();
@@ -27,6 +28,23 @@ fn bench(c: &mut Criterion) {
     group.bench_function("rognes_vertical", |b| {
         b.iter(|| sw_vertical(&params, &query, &db))
     });
+    // The dispatched engines: every backend this host supports, in both
+    // adaptive (byte-first) and exact word precision.
+    for kind in BackendKind::available() {
+        let engine = QueryEngine::with_backend(params.clone(), &query, kind);
+        group.bench_function(format!("engine_{kind}_adaptive"), |b| {
+            b.iter(|| {
+                let mut stats = AdaptiveStats::default();
+                engine.score_with(&db, Precision::Adaptive, &mut stats)
+            })
+        });
+        group.bench_function(format!("engine_{kind}_word"), |b| {
+            b.iter(|| {
+                let mut stats = AdaptiveStats::default();
+                engine.score_with(&db, Precision::Word, &mut stats)
+            })
+        });
+    }
     group.finish();
 }
 

@@ -9,6 +9,7 @@
 //! repro integrity               # silent-corruption detection smoke
 //! repro serve                   # batch-scheduling search service replay
 //! repro trace <experiment> [--out <file.json>] [--metrics <file.prom>]
+//! repro host [--smoke] [--out <file.json>]
 //! ```
 //!
 //! `--inject-faults <seed>` selects the random fault seed for the chaos
@@ -21,6 +22,13 @@
 //! and only the remaining chunks are recomputed — the replayed-chunk
 //! count appears in the result table. Scores are bit-identical either
 //! way.
+//!
+//! `host` benchmarks the real host compute backend (runtime-dispatched
+//! SIMD, work-stealing thread pool) in wall-clock time on the current
+//! machine and — with `--out` — writes the `cudasw.bench.host/v1` JSON
+//! document (`BENCH_host.json`). `--smoke` shrinks the workload to CI
+//! scale. Unlike every other experiment these numbers are *real* seconds,
+//! not simulated ones.
 //!
 //! `trace` runs any experiment under the observability recorder and dumps
 //! its span timeline as a Chrome `trace_event` JSON file — load it in
@@ -41,8 +49,8 @@
 use std::sync::OnceLock;
 
 use cudasw_bench::experiments::{
-    ablation, chaos, extensions, fig2, fig3, fig5, fig6, fig7, integrity, multigpu, retune, serve,
-    strips, table1, table2, validation,
+    ablation, chaos, extensions, fig2, fig3, fig5, fig6, fig7, host, integrity, multigpu, retune,
+    serve, strips, table1, table2, validation,
 };
 use gpu_sim::DeviceSpec;
 
@@ -98,6 +106,7 @@ fn main() {
         ("chaos", run_chaos),
         ("integrity", run_integrity),
         ("serve", run_serve),
+        ("host", run_host_smoke),
     ];
     match cmd {
         "all" => {
@@ -107,14 +116,16 @@ fn main() {
             }
         }
         "trace" => run_trace(&args[1..], known),
+        "host" => run_host(&args[1..]),
         "help" | "--help" | "-h" => {
             println!(
                 "usage: repro <experiment> [--inject-faults <seed>] [--checkpoint <dir>] [--resume]"
             );
             println!("       repro trace <experiment> [--out <file.json>] [--metrics <file.prom>]");
+            println!("       repro host [--smoke] [--out <file.json>]");
             println!("experiments: all, fig2, fig3, fig5, fig6, fig7, table1, table2,");
             println!("             ablation, strips, retune, extensions, validation, chaos,");
-            println!("             integrity, serve");
+            println!("             integrity, serve, host");
             println!("--inject-faults <seed>: fault seed for the chaos run (default 42)");
             println!("--checkpoint <dir>: write chunk-completion logs there during chaos");
             println!("--resume: replay existing logs in the checkpoint dir instead of wiping it");
@@ -358,6 +369,68 @@ fn run_integrity() {
         "corruption went undetected"
     );
     println!("Silent corruption detected, quarantined and recomputed on the host oracle.\n");
+}
+
+/// `repro all` entry: the CI-scale host benchmark, no file output.
+fn run_host_smoke() {
+    let r = host::run(true);
+    r.table().print();
+    print_host_summary(&r);
+}
+
+/// `repro host [--smoke] [--out <file.json>]`
+fn run_host(rest: &[String]) {
+    let mut rest: Vec<String> = rest.to_vec();
+    let mut out_path: Option<String> = None;
+    let mut smoke = false;
+    if let Some(pos) = rest.iter().position(|a| a == "--smoke") {
+        smoke = true;
+        rest.remove(pos);
+    }
+    if let Some(pos) = rest.iter().position(|a| a == "--out") {
+        match rest.get(pos + 1) {
+            Some(p) => out_path = Some(p.clone()),
+            None => {
+                eprintln!("--out needs a file path");
+                std::process::exit(2);
+            }
+        }
+        rest.drain(pos..=pos + 1);
+    }
+    if !rest.is_empty() {
+        eprintln!("unexpected arguments {rest:?}; usage: repro host [--smoke] [--out <file.json>]");
+        std::process::exit(2);
+    }
+    let (r, run) = obs::capture(|| host::run(smoke));
+    r.table().print();
+    print_host_summary(&r);
+    let selected = run.metrics.counter_sum("cudasw.simd.backend.selected", &[]);
+    let reruns = run.metrics.counter_sum("cudasw.simd.word_mode.reruns", &[]);
+    println!(
+        "[run report] host: {} backend selections, {} word-mode reruns (real wall-clock run)",
+        selected as u64, reruns as u64
+    );
+    if let Some(out_path) = out_path {
+        if let Err(e) = std::fs::write(&out_path, r.to_json()) {
+            eprintln!("cannot write {out_path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote host benchmark ({}) to {out_path}", host::SCHEMA);
+    }
+}
+
+fn print_host_summary(r: &host::HostBenchResult) {
+    println!(
+        "host has {} hardware thread(s); scaling beyond that is not measurable here.",
+        r.host_threads
+    );
+    for (backend, s) in &r.speedup_vs_emulated {
+        println!("  {backend}: {s:.2}x vs emulated word-mode baseline (1 thread, adaptive)");
+    }
+    for (backend, s) in &r.thread_scaling {
+        println!("  {backend}: {s:.2}x self-scaling at max measured thread count");
+    }
+    println!();
 }
 
 fn run_serve() {

@@ -1,0 +1,321 @@
+//! `bench host` — real wall-clock GCUPS of the host compute backend.
+//!
+//! Unlike the paper figures (simulated-clock GPU predictions), this
+//! experiment measures the machine it runs on: one full database pass per
+//! (backend × precision × thread-count) cell, best-of-N wall-clock,
+//! emitted as `BENCH_host.json` (schema `cudasw.bench.host/v1`). The
+//! baseline row is the pre-backend host path — the portable emulated
+//! vectors in word-only mode on one thread — so the JSON directly answers
+//! "what did the native byte-mode backend buy over the old code".
+//!
+//! Scores are asserted identical across every measured cell before any
+//! number is reported; a perf figure from diverging kernels is worthless.
+
+use crate::report::Table;
+use crate::workloads;
+use sw_db::synth::{make_query, uniform_database};
+use sw_db::Database;
+use sw_simd::{search_sequences, AdaptiveStats, BackendKind, Precision, QueryEngine};
+
+/// JSON schema tag of `BENCH_host.json`.
+pub const SCHEMA: &str = "cudasw.bench.host/v1";
+
+/// One measured cell: a backend × precision × thread-count pass over the
+/// whole database.
+#[derive(Debug, Clone)]
+pub struct HostRow {
+    /// Backend name (`avx2` / `sse2` / `neon` / `portable`).
+    pub backend: String,
+    /// `adaptive` (byte first, word rerun) or `word` (exact 16-bit only).
+    pub precision: String,
+    /// Worker threads.
+    pub threads: usize,
+    /// Best-of-reps wall-clock seconds for one database pass.
+    pub seconds: f64,
+    /// Cells / seconds / 1e9.
+    pub gcups: f64,
+    /// Alignments resolved in byte mode (adaptive rows).
+    pub byte_mode: u64,
+    /// Alignments re-run in word mode after overflow.
+    pub word_fallbacks: u64,
+    /// Work-stealing events in the measured (best) pass.
+    pub steals: u64,
+}
+
+/// Everything `bench host` measured.
+#[derive(Debug, Clone)]
+pub struct HostBenchResult {
+    /// One row per measured cell.
+    pub rows: Vec<HostRow>,
+    /// DP cells of one database pass.
+    pub cells: u64,
+    /// Database sequences.
+    pub db_size: usize,
+    /// Query length.
+    pub query_len: usize,
+    /// `std::thread::available_parallelism` of this host — thread-scaling
+    /// numbers are only meaningful up to this count.
+    pub host_threads: usize,
+    /// Best single-thread adaptive GCUPS per backend, divided by the
+    /// emulated baseline (portable word mode, one thread).
+    pub speedup_vs_emulated: Vec<(String, f64)>,
+    /// Per backend: GCUPS at the highest measured thread count divided by
+    /// its own single-thread GCUPS.
+    pub thread_scaling: Vec<(String, f64)>,
+}
+
+impl HostBenchResult {
+    /// Render as a table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "host backend wall-clock GCUPS (real time, this machine)".to_string(),
+            &[
+                "backend",
+                "precision",
+                "threads",
+                "seconds",
+                "GCUPS",
+                "byte-mode",
+                "word-reruns",
+                "steals",
+            ],
+        );
+        for r in &self.rows {
+            t.push_row(vec![
+                r.backend.clone(),
+                r.precision.clone(),
+                r.threads.to_string(),
+                format!("{:.4}", r.seconds),
+                format!("{:.3}", r.gcups),
+                r.byte_mode.to_string(),
+                r.word_fallbacks.to_string(),
+                r.steals.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// Serialize as the `cudasw.bench.host/v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        out.push_str(&format!("  \"db_size\": {},\n", self.db_size));
+        out.push_str(&format!("  \"query_len\": {},\n", self.query_len));
+        out.push_str(&format!("  \"cells\": {},\n", self.cells));
+        out.push_str(&format!("  \"host_threads\": {},\n", self.host_threads));
+        out.push_str("  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"backend\": \"{}\", \"precision\": \"{}\", \"threads\": {}, \
+                 \"seconds\": {:.6}, \"gcups\": {:.4}, \"byte_mode\": {}, \
+                 \"word_fallbacks\": {}, \"steals\": {}}}{}\n",
+                r.backend,
+                r.precision,
+                r.threads,
+                r.seconds,
+                r.gcups,
+                r.byte_mode,
+                r.word_fallbacks,
+                r.steals,
+                if i + 1 == self.rows.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"speedup_vs_emulated\": {");
+        for (i, (name, s)) in self.speedup_vs_emulated.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{name}\": {s:.3}"));
+        }
+        out.push_str("},\n");
+        out.push_str("  \"thread_scaling\": {");
+        for (i, (name, s)) in self.thread_scaling.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{name}\": {s:.3}"));
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+struct Workload {
+    db: Database,
+    query: Vec<u8>,
+    thread_counts: Vec<usize>,
+    reps: usize,
+}
+
+fn workload(smoke: bool) -> Workload {
+    if smoke {
+        Workload {
+            db: uniform_database("host-smoke", 48, 30, 90, workloads::SEED),
+            query: make_query(48, workloads::SEED),
+            thread_counts: vec![1, 2],
+            reps: 2,
+        }
+    } else {
+        Workload {
+            db: uniform_database("host-bench", 800, 100, 500, workloads::SEED),
+            query: make_query(256, workloads::SEED),
+            thread_counts: vec![1, 2, 4],
+            reps: 3,
+        }
+    }
+}
+
+/// Measure one (engine, precision, threads) cell: best-of-`reps` seconds.
+fn measure(
+    engine: &QueryEngine,
+    db: &Database,
+    threads: usize,
+    precision: Precision,
+    reps: usize,
+) -> (f64, Vec<i32>, AdaptiveStats, u64) {
+    let mut best_seconds = f64::INFINITY;
+    let mut best: Option<(Vec<i32>, AdaptiveStats, u64)> = None;
+    for _ in 0..reps.max(1) {
+        let r = search_sequences(engine, db.sequences(), threads, precision);
+        if r.seconds < best_seconds {
+            best_seconds = r.seconds;
+            best = Some((r.scores, r.stats, r.steals));
+        }
+    }
+    let (scores, stats, steals) = best.expect("at least one rep");
+    (best_seconds, scores, stats, steals)
+}
+
+/// Run the host benchmark. `smoke` shrinks the workload to CI scale
+/// (fractions of a second) while exercising every backend and the JSON
+/// schema.
+pub fn run(smoke: bool) -> HostBenchResult {
+    let w = workload(smoke);
+    let cells = w.db.total_cells(w.query.len());
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut rows: Vec<HostRow> = Vec::new();
+    let mut reference: Option<Vec<i32>> = None;
+    let mut push_row = |backend: BackendKind,
+                        precision: Precision,
+                        threads: usize,
+                        reference: &mut Option<Vec<i32>>|
+     -> f64 {
+        let engine =
+            QueryEngine::with_backend(sw_align::SwParams::cudasw_default(), &w.query, backend);
+        let (seconds, scores, stats, steals) = measure(&engine, &w.db, threads, precision, w.reps);
+        match reference {
+            None => *reference = Some(scores),
+            Some(expected) => assert_eq!(
+                &scores, expected,
+                "scores diverged on {backend} {precision:?} x{threads}"
+            ),
+        }
+        sw_simd::record_stats(backend, &stats);
+        let gcups = if seconds > 0.0 {
+            cells as f64 / seconds / 1.0e9
+        } else {
+            0.0
+        };
+        rows.push(HostRow {
+            backend: backend.name().to_string(),
+            precision: match precision {
+                Precision::Adaptive => "adaptive".to_string(),
+                Precision::Word => "word".to_string(),
+            },
+            threads,
+            seconds,
+            gcups,
+            byte_mode: stats.byte_mode,
+            word_fallbacks: stats.word_fallbacks,
+            steals,
+        });
+        gcups
+    };
+
+    // The emulated baseline: the exact pre-backend host path (portable
+    // word-only vectors, one thread).
+    let baseline_gcups = push_row(BackendKind::Portable, Precision::Word, 1, &mut reference);
+
+    let backends = BackendKind::available();
+    let mut speedup_vs_emulated = Vec::new();
+    let mut thread_scaling = Vec::new();
+    for &backend in &backends {
+        let mut one_thread_gcups = 0.0f64;
+        let mut max_thread_gcups = 0.0f64;
+        for &threads in &w.thread_counts {
+            let gcups = push_row(backend, Precision::Adaptive, threads, &mut reference);
+            if threads == 1 {
+                one_thread_gcups = gcups;
+            }
+            if threads == *w.thread_counts.last().expect("non-empty") {
+                max_thread_gcups = gcups;
+            }
+        }
+        if baseline_gcups > 0.0 {
+            speedup_vs_emulated.push((
+                backend.name().to_string(),
+                one_thread_gcups / baseline_gcups,
+            ));
+        }
+        if one_thread_gcups > 0.0 {
+            thread_scaling.push((
+                backend.name().to_string(),
+                max_thread_gcups / one_thread_gcups,
+            ));
+        }
+    }
+
+    HostBenchResult {
+        rows,
+        cells,
+        db_size: w.db.len(),
+        query_len: w.query.len(),
+        host_threads,
+        speedup_vs_emulated,
+        thread_scaling,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_emits_valid_schema() {
+        let r = run(true);
+        assert!(!r.rows.is_empty());
+        // Baseline row first, then one adaptive row per backend × threads.
+        assert_eq!(r.rows[0].backend, "portable");
+        assert_eq!(r.rows[0].precision, "word");
+        let json = r.to_json();
+        let doc = obs::json::parse(&json).expect("valid JSON");
+        assert_eq!(doc.get("schema").and_then(|s| s.as_str()), Some(SCHEMA));
+        let rows = doc
+            .get("rows")
+            .and_then(|r| r.as_arr())
+            .expect("rows array");
+        assert_eq!(rows.len(), r.rows.len());
+        for row in rows {
+            for key in [
+                "backend",
+                "precision",
+                "threads",
+                "seconds",
+                "gcups",
+                "byte_mode",
+                "word_fallbacks",
+                "steals",
+            ] {
+                assert!(row.get(key).is_some(), "row missing {key}");
+            }
+            assert!(row.get("gcups").unwrap().as_f64().unwrap() >= 0.0);
+        }
+        assert!(doc.get("speedup_vs_emulated").unwrap().is_obj());
+        assert!(doc.get("thread_scaling").unwrap().is_obj());
+        assert!(doc.get("host_threads").unwrap().as_f64().unwrap() >= 1.0);
+    }
+}

@@ -19,7 +19,7 @@ use cudasw_core::{CudaSwConfig, CudaSwDriver, RecoveryPolicy};
 use gpu_sim::{DeviceSpec, FaultPlan, FaultSite};
 use sw_db::catalog::PaperDb;
 use sw_db::{Database, SynthConfig};
-use sw_simd::farrar::sw_striped_score;
+use sw_simd::{search_sequences, Precision, QueryEngine};
 
 /// Outcome of the integrity smoke.
 #[derive(Debug, Clone)]
@@ -75,11 +75,10 @@ pub fn run(spec: &DeviceSpec, db_size: usize, query_len: usize) -> IntegrityResu
     let db: Database = synth.generate();
     let query = workloads::query(query_len);
     let cfg = CudaSwConfig::improved();
-    let oracle: Vec<i32> = db
-        .sequences()
-        .iter()
-        .map(|s| sw_striped_score(&cfg.params, &query, &s.residues))
-        .collect();
+    // Host-backend oracle: the dispatched engine in exact word mode, two
+    // worker threads (scores are backend- and thread-count-independent).
+    let engine = QueryEngine::new(cfg.params.clone(), &query);
+    let oracle = search_sequences(&engine, db.sequences(), 2, Precision::Word).scores;
     // D2H transfer 0 is the first inter-task group's score readback.
     let plan = FaultPlan::none().with_silent_corruption(FaultSite::DeviceToHost, 0);
 

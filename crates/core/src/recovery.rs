@@ -44,7 +44,7 @@ use crate::seqstore::{pack_residues, GroupImage, ProfileImage, SeqImage};
 use gpu_sim::{GpuError, LaunchStats, TexRef};
 use sw_align::PackedProfile;
 use sw_db::{Database, Sequence};
-use sw_simd::farrar::sw_striped_score;
+use sw_simd::{AdaptiveStats, Precision, QueryEngine};
 
 /// Knobs of the recovery machinery.
 #[derive(Debug, Clone)]
@@ -704,24 +704,35 @@ impl CudaSwDriver {
                 return Err(err);
             }
             let sp_cpu = obs::span("cpu_fallback", "phase");
+            // One engine for the whole fallback: the striped profiles are
+            // built once and reused for every remaining sequence.
+            let engine = QueryEngine::new(self.config.params.clone(), query);
+            let mut simd_stats = AdaptiveStats::default();
             let mut n = 0usize;
             #[allow(clippy::needless_range_loop)] // index drives three slices, not one
             for i in short_done..partition.short.len() {
                 if inter_done_iv.contains(i) {
                     continue;
                 }
-                scores[i] =
-                    sw_striped_score(&self.config.params, query, &partition.short[i].residues);
+                scores[i] = engine.score_with(
+                    &partition.short[i].residues,
+                    Precision::Adaptive,
+                    &mut simd_stats,
+                );
                 n += 1;
             }
             for j in long_done..partition.long.len() {
                 if intra_done_iv.contains(j) {
                     continue;
                 }
-                scores[partition.short.len() + j] =
-                    sw_striped_score(&self.config.params, query, &partition.long[j].residues);
+                scores[partition.short.len() + j] = engine.score_with(
+                    &partition.long[j].residues,
+                    Precision::Adaptive,
+                    &mut simd_stats,
+                );
                 n += 1;
             }
+            sw_simd::record_stats(engine.kind(), &simd_stats);
             report.note_cpu_fallback(n);
             sp_cpu.end_with(&[("sequences", &n.to_string())]);
         }
@@ -886,16 +897,26 @@ impl CudaSwDriver {
 }
 
 /// Score `seqs` on the CPU SIMD path (used by the multi-GPU layer when
-/// every device is gone).
+/// every device is gone, and by the quarantine oracle).
+///
+/// Builds the dispatched [`QueryEngine`] once — profile construction is
+/// amortized over the batch instead of paid per sequence — and publishes
+/// the adaptive-precision counters when the batch is non-trivial.
 pub(crate) fn cpu_scores(
     params: &sw_align::SwParams,
     query: &[u8],
     seqs: &[Sequence],
     out: &mut [i32],
 ) {
-    for (i, seq) in seqs.iter().enumerate() {
-        out[i] = sw_striped_score(params, query, &seq.residues);
+    if seqs.is_empty() {
+        return;
     }
+    let engine = QueryEngine::new(params.clone(), query);
+    let mut stats = AdaptiveStats::default();
+    for (i, seq) in seqs.iter().enumerate() {
+        out[i] = engine.score_with(&seq.residues, Precision::Adaptive, &mut stats);
+    }
+    sw_simd::record_stats(engine.kind(), &stats);
 }
 
 #[cfg(test)]

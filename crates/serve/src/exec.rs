@@ -27,7 +27,7 @@ use cudasw_core::{
 };
 use gpu_sim::{DeviceSpec, FaultPlan, GpuError};
 use sw_db::Database;
-use sw_simd::farrar::sw_striped_score;
+use sw_simd::{AdaptiveStats, Precision, QueryEngine};
 
 /// One device lane: a driver bound to one database shard.
 struct Lane {
@@ -387,9 +387,15 @@ impl WaveExecutor {
             if !self.policy.cpu_fallback {
                 return Err(GpuError::DeviceLost);
             }
+            // One dispatched engine per owed shard: profiles are built
+            // once and reused across the shard's sequences.
+            let engine = QueryEngine::new(params.clone(), &req.query);
+            let mut simd_stats = AdaptiveStats::default();
             for (j, seq) in shard.sequences().iter().enumerate() {
-                scores[q][dead + j * k] = sw_striped_score(params, &req.query, &seq.residues);
+                scores[q][dead + j * k] =
+                    engine.score_with(&seq.residues, Precision::Adaptive, &mut simd_stats);
             }
+            sw_simd::record_stats(engine.kind(), &simd_stats);
             recovery.cpu_fallback_seqs += shard.len() as u64;
             recovery.degraded = true;
             recovery.events.push(RecoveryEvent::CpuFallback {

@@ -1,0 +1,393 @@
+//! The host-backend abstraction: lane-width-agnostic striped kernels.
+//!
+//! [`ByteSimd`] and [`WordSimd`] describe the handful of SSE2-style vector
+//! operations the striped Smith-Waterman recurrence needs (saturating
+//! add/sub, max, lane shift, any-greater, horizontal max). [`sw_bytes`] and
+//! [`sw_words`] implement Farrar's kernel — including the Lazy-F correction
+//! loop — exactly once, generically over those traits; every backend (AVX2,
+//! SSE2, NEON, and the portable emulated vectors) instantiates the same
+//! kernel with its own vector type.
+//!
+//! **Bit-identical scores by construction.** The lane count only changes the
+//! striped *layout* (`seg_len = ceil(m / LANES)`), never the arithmetic any
+//! H/E/F cell sees: the post-Lazy-F recurrence is exact, byte-mode overflow
+//! detection triggers on the running maximum (which is layout-independent),
+//! and word mode saturates at `i16::MAX` identically everywhere. The
+//! differential proptests in `tests/backend_differential.rs` pin this.
+//!
+//! Both kernels count Lazy-F repair iterations so the adaptive driver can
+//! report byte-mode and word-mode correction work separately per backend.
+
+use sw_align::smith_waterman::SwParams;
+use sw_align::GapPenalties;
+
+/// Vector of unsigned 8-bit lanes with SSE2 `paddusb`-style semantics.
+///
+/// Implementations must behave lane-wise exactly like `u8::saturating_*`;
+/// the generic kernels rely on that for cross-backend score identity.
+pub trait ByteSimd: Copy + Send + Sync + 'static {
+    /// Number of `u8` lanes.
+    const LANES: usize;
+
+    /// All lanes equal to `v`.
+    fn splat(v: u8) -> Self;
+
+    /// All-zero vector.
+    fn zero() -> Self {
+        Self::splat(0)
+    }
+
+    /// Load `Self::LANES` lanes from `lanes` (lane 0 first).
+    fn load(lanes: &[u8]) -> Self;
+
+    /// Lane-wise unsigned saturating addition (`paddusb`).
+    fn sat_add(self, rhs: Self) -> Self;
+
+    /// Lane-wise unsigned saturating subtraction (`psubusb`).
+    fn sat_sub(self, rhs: Self) -> Self;
+
+    /// Lane-wise maximum (`pmaxub`).
+    fn max(self, rhs: Self) -> Self;
+
+    /// True when any lane of `self` is strictly greater than `rhs`.
+    fn any_gt(self, rhs: Self) -> bool;
+
+    /// Shift lanes towards higher indices by one, inserting zero at lane 0
+    /// (`pslldq` by 1 byte).
+    fn shift(self) -> Self;
+
+    /// Maximum over all lanes.
+    fn horizontal_max(self) -> u8;
+}
+
+/// Vector of signed 16-bit lanes with SSE2 `paddsw`-style semantics.
+pub trait WordSimd: Copy + Send + Sync + 'static {
+    /// Number of `i16` lanes.
+    const LANES: usize;
+
+    /// All lanes equal to `v`.
+    fn splat(v: i16) -> Self;
+
+    /// All-zero vector.
+    fn zero() -> Self {
+        Self::splat(0)
+    }
+
+    /// Load `Self::LANES` lanes from `lanes` (lane 0 first).
+    fn load(lanes: &[i16]) -> Self;
+
+    /// Lane-wise signed saturating addition (`paddsw`).
+    fn sat_add(self, rhs: Self) -> Self;
+
+    /// Lane-wise signed saturating subtraction (`psubsw`).
+    fn sat_sub(self, rhs: Self) -> Self;
+
+    /// Lane-wise maximum (`pmaxsw`).
+    fn max(self, rhs: Self) -> Self;
+
+    /// True when any lane of `self` is strictly greater than `rhs`.
+    fn any_gt(self, rhs: Self) -> bool;
+
+    /// Shift lanes towards higher indices by one, inserting zero at lane 0
+    /// (`pslldq` by 2 bytes).
+    fn shift(self) -> Self;
+
+    /// Maximum over all lanes.
+    fn horizontal_max(self) -> i16;
+}
+
+/// One host compute backend: a byte-mode and a word-mode vector type plus
+/// a runtime availability probe.
+pub trait Backend {
+    /// 8-bit vector used by the 2×-lane byte-mode kernel.
+    type Byte: ByteSimd;
+    /// 16-bit vector used by the exact word-mode kernel.
+    type Word: WordSimd;
+    /// Stable lowercase name (matches [`crate::BackendKind::name`]).
+    const NAME: &'static str;
+    /// True when this host can execute the backend's instructions.
+    fn available() -> bool;
+}
+
+/// Striped byte profile for vector type `V`: biased scores, `V::LANES`
+/// query positions per segment vector.
+#[derive(Debug, Clone)]
+pub struct ByteProfileOf<V: ByteSimd> {
+    seg_len: usize,
+    bias: u8,
+    /// Scores at or above this saturate within one more column.
+    overflow_at: u8,
+    vectors: Vec<V>,
+}
+
+impl<V: ByteSimd> ByteProfileOf<V> {
+    /// Build the biased byte profile of `query` under `params`.
+    ///
+    /// Padding lanes (query positions `>= m`) carry biased score 0 — the
+    /// true matrix minimum — so they sink towards zero and never win the
+    /// running maximum.
+    pub fn build(params: &SwParams, query: &[u8]) -> Self {
+        let m = query.len();
+        let seg_len = m.div_ceil(V::LANES).max(1);
+        let alphabet_size = params.matrix.size();
+        let bias = (-params.matrix.min_score()).max(0) as u8;
+        let mut vectors = Vec::with_capacity(alphabet_size * seg_len);
+        let mut lanes = vec![0u8; V::LANES];
+        for a in 0..alphabet_size as u8 {
+            let row = params.matrix.row(a);
+            for j in 0..seg_len {
+                for (k, slot) in lanes.iter_mut().enumerate() {
+                    let pos = j + k * seg_len;
+                    *slot = if pos < m {
+                        (row[query[pos] as usize] as i32 + bias as i32) as u8
+                    } else {
+                        0
+                    };
+                }
+                vectors.push(V::load(&lanes));
+            }
+        }
+        let overflow_at = 255u8
+            .saturating_sub(bias)
+            .saturating_sub(params.matrix.max_score().clamp(0, 255) as u8);
+        Self {
+            seg_len,
+            bias,
+            overflow_at,
+            vectors,
+        }
+    }
+
+    /// Profile vector for residue `a`, segment `j`.
+    #[inline(always)]
+    pub fn get(&self, a: u8, j: usize) -> V {
+        self.vectors[a as usize * self.seg_len + j]
+    }
+
+    /// Segments per residue row.
+    pub fn seg_len(&self) -> usize {
+        self.seg_len
+    }
+
+    /// The bias added to every score.
+    pub fn bias(&self) -> u8 {
+        self.bias
+    }
+
+    /// The overflow-detection threshold on the running maximum.
+    pub fn overflow_at(&self) -> u8 {
+        self.overflow_at
+    }
+}
+
+/// Striped word profile for vector type `V`.
+#[derive(Debug, Clone)]
+pub struct WordProfileOf<V: WordSimd> {
+    seg_len: usize,
+    alphabet_size: usize,
+    vectors: Vec<V>,
+}
+
+impl<V: WordSimd> WordProfileOf<V> {
+    /// Build the striped word profile of `query` under `params`.
+    ///
+    /// Padding lanes score the matrix minimum so they can never win the
+    /// running maximum.
+    pub fn build(params: &SwParams, query: &[u8]) -> Self {
+        let m = query.len();
+        let seg_len = m.div_ceil(V::LANES).max(1);
+        let alphabet_size = params.matrix.size();
+        let pad = params.matrix.min_score() as i16;
+        let mut vectors = Vec::with_capacity(alphabet_size * seg_len);
+        let mut lanes = vec![0i16; V::LANES];
+        for a in 0..alphabet_size as u8 {
+            let row = params.matrix.row(a);
+            for j in 0..seg_len {
+                for (k, slot) in lanes.iter_mut().enumerate() {
+                    let pos = j + k * seg_len;
+                    *slot = if pos < m {
+                        row[query[pos] as usize] as i16
+                    } else {
+                        pad
+                    };
+                }
+                vectors.push(V::load(&lanes));
+            }
+        }
+        Self {
+            seg_len,
+            alphabet_size,
+            vectors,
+        }
+    }
+
+    /// Profile vector for residue `a`, segment `j`.
+    #[inline(always)]
+    pub fn get(&self, a: u8, j: usize) -> V {
+        self.vectors[a as usize * self.seg_len + j]
+    }
+
+    /// Segments per residue row.
+    pub fn seg_len(&self) -> usize {
+        self.seg_len
+    }
+
+    /// Number of alphabet codes covered.
+    pub fn alphabet_size(&self) -> usize {
+        self.alphabet_size
+    }
+}
+
+/// Outcome of one byte-mode alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ByteKernelResult {
+    /// The exact score, or `None` when it saturated the 8-bit range and
+    /// the pair must be re-run in word mode.
+    pub score: Option<i32>,
+    /// Lazy-F repair iterations executed.
+    pub lazy_f: u64,
+}
+
+/// Outcome of one word-mode alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WordKernelResult {
+    /// Optimal local score (saturates at `i16::MAX`).
+    pub score: i32,
+    /// Lazy-F repair iterations executed.
+    pub lazy_f: u64,
+}
+
+/// Byte-mode striped Smith-Waterman against one database sequence.
+///
+/// Scores are kept non-negative by the profile bias; `score` is `None` as
+/// soon as the running maximum could saturate during the next column's
+/// biased add (the result would be a lower bound only).
+/// `#[inline(always)]` so backend-specific `#[target_feature]` wrappers can
+/// inline the whole kernel (and, transitively, the intrinsics) into a
+/// feature-enabled context — without that, every intrinsic call would stay
+/// an out-of-line function call and the vector win would evaporate.
+#[inline(always)]
+pub fn sw_bytes<V: ByteSimd>(
+    gaps: &GapPenalties,
+    profile: &ByteProfileOf<V>,
+    db: &[u8],
+) -> ByteKernelResult {
+    let seg_len = profile.seg_len();
+    let v_open = V::splat(gaps.open.clamp(0, 255) as u8);
+    let v_extend = V::splat(gaps.extend.clamp(0, 255) as u8);
+    let v_bias = V::splat(profile.bias());
+    let mut h_store = vec![V::zero(); seg_len];
+    let mut h_load = vec![V::zero(); seg_len];
+    let mut e = vec![V::zero(); seg_len];
+    let mut v_max = V::zero();
+    let mut lazy_f = 0u64;
+    // Early exit is sound only for strictly affine gaps: with
+    // open == extend, a lazily-raised H generates an F chain exactly equal
+    // to the exit threshold, which the cutoff would drop. The outer loop
+    // bounds the full propagation at V::LANES wraps either way.
+    let early_exit = gaps.open > gaps.extend;
+
+    for &d in db {
+        let mut v_f = V::zero();
+        // H of the last segment, shifted one lane: the "wrap" of the
+        // striped layout (element k of the last segment precedes element
+        // k+1 of segment 0 in query order).
+        let mut v_h = h_store[seg_len - 1].shift();
+        std::mem::swap(&mut h_store, &mut h_load);
+        for j in 0..seg_len {
+            // Biased add, then remove the bias: H + w = (H +sat (w + bias))
+            // -sat bias.
+            v_h = v_h.sat_add(profile.get(d, j)).sat_sub(v_bias);
+            v_h = v_h.max(e[j]).max(v_f);
+            v_max = v_max.max(v_h);
+            h_store[j] = v_h;
+            e[j] = e[j].sat_sub(v_extend).max(v_h.sat_sub(v_open));
+            v_f = v_f.sat_sub(v_extend).max(v_h.sat_sub(v_open));
+            v_h = h_load[j];
+        }
+        // Lazy-F: repair H values that should have been reached by F
+        // propagating across segment boundaries. A raised H also raises
+        // the next column's E (derived from the unrepaired H in the main
+        // loop).
+        'lazy_f: for _ in 0..V::LANES {
+            v_f = v_f.shift();
+            for j in 0..seg_len {
+                let h = h_store[j].max(v_f);
+                h_store[j] = h;
+                v_max = v_max.max(h);
+                e[j] = e[j].max(h.sat_sub(v_open));
+                v_f = v_f.sat_sub(v_extend);
+                lazy_f += 1;
+                if early_exit && !v_f.any_gt(h.sat_sub(v_open)) {
+                    break 'lazy_f;
+                }
+            }
+        }
+        // Overflow check: once the running max could saturate during the
+        // next column's biased add, the result is a lower bound only.
+        if v_max.horizontal_max() >= profile.overflow_at() {
+            return ByteKernelResult {
+                score: None,
+                lazy_f,
+            };
+        }
+    }
+    ByteKernelResult {
+        score: Some(v_max.horizontal_max() as i32),
+        lazy_f,
+    }
+}
+
+/// Word-mode (exact) striped Smith-Waterman against one database sequence.
+///
+/// `#[inline(always)]` for the same reason as [`sw_bytes`].
+#[inline(always)]
+pub fn sw_words<V: WordSimd>(
+    gaps: &GapPenalties,
+    profile: &WordProfileOf<V>,
+    db: &[u8],
+) -> WordKernelResult {
+    let seg_len = profile.seg_len();
+    let v_open = V::splat(gaps.open as i16);
+    let v_extend = V::splat(gaps.extend as i16);
+    let mut h_store = vec![V::zero(); seg_len];
+    let mut h_load = vec![V::zero(); seg_len];
+    let mut e = vec![V::zero(); seg_len];
+    let mut v_max = V::zero();
+    let mut lazy_f = 0u64;
+    // See the byte kernel for why the cutoff needs strictly affine gaps.
+    let early_exit = gaps.open > gaps.extend;
+
+    for &d in db {
+        let mut v_f = V::zero();
+        let mut v_h = h_store[seg_len - 1].shift();
+        std::mem::swap(&mut h_store, &mut h_load);
+        for j in 0..seg_len {
+            v_h = v_h.sat_add(profile.get(d, j));
+            v_h = v_h.max(e[j]).max(v_f).max(V::zero());
+            v_max = v_max.max(v_h);
+            h_store[j] = v_h;
+            e[j] = e[j].sat_sub(v_extend).max(v_h.sat_sub(v_open));
+            v_f = v_f.sat_sub(v_extend).max(v_h.sat_sub(v_open));
+            v_h = h_load[j];
+        }
+        'lazy_f: for _ in 0..V::LANES {
+            v_f = v_f.shift();
+            for j in 0..seg_len {
+                let h = h_store[j].max(v_f);
+                h_store[j] = h;
+                v_max = v_max.max(h);
+                e[j] = e[j].max(h.sat_sub(v_open));
+                v_f = v_f.sat_sub(v_extend);
+                lazy_f += 1;
+                if early_exit && !v_f.any_gt(h.sat_sub(v_open)) {
+                    break 'lazy_f;
+                }
+            }
+        }
+    }
+    WordKernelResult {
+        score: v_max.horizontal_max() as i32,
+        lazy_f,
+    }
+}

@@ -1,21 +1,27 @@
 //! Byte-mode striped Smith-Waterman with word-mode fallback.
 //!
 //! SWPS3 (and Farrar's original implementation) first runs the striped
-//! kernel with **16 lanes of 8-bit unsigned** arithmetic — twice the lane
-//! count of word mode — and only falls back to 16-bit word mode when the
-//! score saturates. Scores are kept non-negative by adding a *bias* (the
-//! magnitude of the most negative substitution score) to every profile
-//! entry and subtracting it back after the diagonal add.
+//! kernel with **8-bit unsigned** arithmetic — twice the lane count of word
+//! mode — and only falls back to 16-bit word mode when the score saturates.
+//! Scores are kept non-negative by adding a *bias* (the magnitude of the
+//! most negative substitution score) to every profile entry and subtracting
+//! it back after the diagonal add.
 //!
-//! [`sw_striped_adaptive`] is the production entry point: byte mode first,
-//! exact word-mode re-run on overflow.
+//! The kernel itself lives in [`crate::backend`] (generic over lane count
+//! so every dispatched backend shares it); this module keeps the
+//! 16-lane portable vector type [`U8x16`] and the legacy entry points.
+//! [`sw_striped_adaptive`] is the portable-backend adaptive driver: byte
+//! mode first, exact word-mode re-run on overflow. Production code should
+//! prefer [`crate::engine::QueryEngine`], which picks the widest backend
+//! the CPU supports.
 
 #![allow(clippy::needless_range_loop)] // lane loops mirror SIMD semantics
 
-use crate::farrar::{striped_profile, sw_striped};
+use crate::backend::{sw_bytes, ByteProfileOf};
+use crate::farrar::{striped_profile, sw_striped_with_stats};
 use sw_align::smith_waterman::SwParams;
 
-/// Lanes in byte mode (`__m128i` as 16 × u8).
+/// Lanes in portable byte mode (`__m128i` as 16 × u8).
 pub const BYTE_LANES: usize = 16;
 
 /// A 16-lane `u8` vector with SSE2-style unsigned saturating semantics.
@@ -95,132 +101,45 @@ impl U8x16 {
     }
 }
 
-/// Striped byte profile: biased scores, 16 lanes per segment.
-#[derive(Debug, Clone)]
-pub struct ByteProfile {
-    seg_len: usize,
-    bias: u8,
-    /// Scores at or above this saturate within one more column.
-    overflow_at: u8,
-    vectors: Vec<U8x16>,
-}
-
-impl ByteProfile {
-    /// Build the biased byte profile of `query` under `params`.
-    pub fn build(params: &SwParams, query: &[u8]) -> Self {
-        let m = query.len();
-        let seg_len = m.div_ceil(BYTE_LANES).max(1);
-        let alphabet_size = params.matrix.size();
-        let bias = (-params.matrix.min_score()).max(0) as u8;
-        let mut vectors = Vec::with_capacity(alphabet_size * seg_len);
-        for a in 0..alphabet_size as u8 {
-            let row = params.matrix.row(a);
-            for j in 0..seg_len {
-                let mut v = [0u8; BYTE_LANES]; // padding scores bias-0 = min
-                for (k, slot) in v.iter_mut().enumerate() {
-                    let pos = j + k * seg_len;
-                    if pos < m {
-                        *slot = (row[query[pos] as usize] as i32 + bias as i32) as u8;
-                    }
-                }
-                vectors.push(U8x16(v));
-            }
-        }
-        let overflow_at = 255u8
-            .saturating_sub(bias)
-            .saturating_sub(params.matrix.max_score().clamp(0, 255) as u8);
-        Self {
-            seg_len,
-            bias,
-            overflow_at,
-            vectors,
-        }
-    }
-
-    #[inline]
-    fn get(&self, a: u8, j: usize) -> U8x16 {
-        self.vectors[a as usize * self.seg_len + j]
-    }
-
-    /// Segments per residue row.
-    pub fn seg_len(&self) -> usize {
-        self.seg_len
-    }
-
-    /// The bias added to every score.
-    pub fn bias(&self) -> u8 {
-        self.bias
-    }
-}
+/// Striped byte profile for the portable 16-lane vector: biased scores,
+/// 16 lanes per segment.
+pub type ByteProfile = ByteProfileOf<U8x16>;
 
 /// Byte-mode result: `None` means the score saturated and word mode must
 /// be used.
 pub fn sw_striped_bytes(params: &SwParams, profile: &ByteProfile, db: &[u8]) -> Option<i32> {
-    let seg_len = profile.seg_len();
-    let v_open = U8x16::splat(params.gaps.open.clamp(0, 255) as u8);
-    let v_extend = U8x16::splat(params.gaps.extend.clamp(0, 255) as u8);
-    let v_bias = U8x16::splat(profile.bias());
-    let mut h_store = vec![U8x16::zero(); seg_len];
-    let mut h_load = vec![U8x16::zero(); seg_len];
-    let mut e = vec![U8x16::zero(); seg_len];
-    let mut v_max = U8x16::zero();
-
-    for &d in db {
-        let mut v_f = U8x16::zero();
-        let mut v_h = h_store[seg_len - 1].shift_in(0);
-        std::mem::swap(&mut h_store, &mut h_load);
-        for j in 0..seg_len {
-            // Biased add, then remove the bias: H + w = (H +sat (w + bias))
-            // -sat bias. Padding lanes carry score 0 (= true minimum), so
-            // they sink towards zero and never win the maximum.
-            v_h = v_h.sat_add(profile.get(d, j)).sat_sub(v_bias);
-            v_h = v_h.max(e[j]).max(v_f);
-            v_max = v_max.max(v_h);
-            h_store[j] = v_h;
-            e[j] = e[j].sat_sub(v_extend).max(v_h.sat_sub(v_open));
-            v_f = v_f.sat_sub(v_extend).max(v_h.sat_sub(v_open));
-            v_h = h_load[j];
-        }
-        // Lazy-F across segment boundaries; a raised H also raises the
-        // next column's E (derived from the unrepaired H in the main loop).
-        // Early exit is sound only for strictly affine gaps: with
-        // open == extend, a lazily-raised H generates an F chain exactly
-        // equal to the exit threshold, which the cutoff would drop. The
-        // outer loop bounds the full propagation at BYTE_LANES wraps either way.
-        let early_exit = params.gaps.open > params.gaps.extend;
-        'lazy_f: for _ in 0..BYTE_LANES {
-            v_f = v_f.shift_in(0);
-            for j in 0..seg_len {
-                let h = h_store[j].max(v_f);
-                h_store[j] = h;
-                v_max = v_max.max(h);
-                e[j] = e[j].max(h.sat_sub(v_open));
-                v_f = v_f.sat_sub(v_extend);
-                if early_exit && !v_f.any_gt(h.sat_sub(v_open)) {
-                    break 'lazy_f;
-                }
-            }
-        }
-        // Overflow check: once the running max could saturate during the
-        // next column's biased add, the result is a lower bound only.
-        if v_max.horizontal_max() >= profile.overflow_at {
-            return None;
-        }
-    }
-    Some(v_max.horizontal_max() as i32)
+    sw_bytes(&params.gaps, profile, db).score
 }
 
 /// Statistics of an adaptive (byte-first) alignment batch.
+///
+/// Lazy-F repair iterations are counted **per precision mode**: byte-mode
+/// passes (including those of alignments that later overflowed) land in
+/// `lazy_f_byte`, word-mode re-run passes in `lazy_f_word`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AdaptiveStats {
     /// Alignments resolved in byte mode.
     pub byte_mode: u64,
     /// Alignments that overflowed and re-ran in word mode.
     pub word_fallbacks: u64,
+    /// Lazy-F repair iterations executed by byte-mode passes.
+    pub lazy_f_byte: u64,
+    /// Lazy-F repair iterations executed by word-mode re-runs.
+    pub lazy_f_word: u64,
+}
+
+impl AdaptiveStats {
+    /// Fold another batch's counts into this one.
+    pub fn merge(&mut self, other: &AdaptiveStats) {
+        self.byte_mode += other.byte_mode;
+        self.word_fallbacks += other.word_fallbacks;
+        self.lazy_f_byte += other.lazy_f_byte;
+        self.lazy_f_word += other.lazy_f_word;
+    }
 }
 
 /// Byte mode first, exact word-mode re-run on saturation — SWPS3's
-/// production strategy.
+/// production strategy, on the portable backend.
 pub fn sw_striped_adaptive(
     params: &SwParams,
     byte_profile: &ByteProfile,
@@ -231,7 +150,9 @@ pub fn sw_striped_adaptive(
     if query.is_empty() || db.is_empty() {
         return 0;
     }
-    match sw_striped_bytes(params, byte_profile, db) {
+    let byte = sw_bytes(&params.gaps, byte_profile, db);
+    stats.lazy_f_byte += byte.lazy_f;
+    match byte.score {
         Some(score) => {
             stats.byte_mode += 1;
             score
@@ -239,7 +160,7 @@ pub fn sw_striped_adaptive(
         None => {
             stats.word_fallbacks += 1;
             let profile = striped_profile(params, query);
-            sw_striped(params, &profile, db).score
+            sw_striped_with_stats(params, &profile, db, stats)
         }
     }
 }
@@ -295,6 +216,33 @@ mod tests {
         }
         assert!(stats.byte_mode > 0, "some pairs must stay in byte mode");
         assert!(stats.word_fallbacks > 0, "self matches must fall back");
+        assert!(stats.lazy_f_byte > 0, "byte passes must count repairs");
+        assert!(stats.lazy_f_word > 0, "word re-runs must count repairs");
+    }
+
+    #[test]
+    fn stats_merge_adds_all_fields() {
+        let mut a = AdaptiveStats {
+            byte_mode: 1,
+            word_fallbacks: 2,
+            lazy_f_byte: 3,
+            lazy_f_word: 4,
+        };
+        a.merge(&AdaptiveStats {
+            byte_mode: 10,
+            word_fallbacks: 20,
+            lazy_f_byte: 30,
+            lazy_f_word: 40,
+        });
+        assert_eq!(
+            a,
+            AdaptiveStats {
+                byte_mode: 11,
+                word_fallbacks: 22,
+                lazy_f_byte: 33,
+                lazy_f_word: 44,
+            }
+        );
     }
 
     #[test]

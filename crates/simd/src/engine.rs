@@ -1,0 +1,420 @@
+//! Per-query scoring engine: one profile build, many alignments, one
+//! backend.
+//!
+//! [`QueryEngine`] binds a query + parameters to a dispatched backend
+//! ([`BackendKind`]): it builds the byte- and word-mode striped profiles
+//! once (profile construction is the per-query setup cost Farrar
+//! amortizes) and then scores any number of database sequences through the
+//! backend's kernels. The engine is immutable after construction, so one
+//! instance can be shared by reference across the worker threads of
+//! [`crate::pool`] — that *is* the "per-thread profile reuse": threads
+//! share the read-only profiles instead of rebuilding them.
+//!
+//! Observability: backend selection emits
+//! `cudasw.simd.backend.selected{backend}` and [`record_stats`] publishes
+//! the adaptive-precision counters (`cudasw.simd.byte_mode.alignments`,
+//! `cudasw.simd.word_mode.reruns`, `cudasw.simd.lazy_f.iterations{mode}`).
+//! Stats are accumulated in plain [`AdaptiveStats`] structs and emitted by
+//! the *calling* thread — the metrics recorder is thread-local, so counts
+//! bumped inside worker threads would otherwise be lost.
+
+use crate::backend::{sw_bytes, sw_words, ByteKernelResult, ByteProfileOf, WordProfileOf};
+use crate::byte_mode::{AdaptiveStats, U8x16};
+use crate::dispatch::BackendKind;
+use crate::vector::I16x8;
+use sw_align::smith_waterman::SwParams;
+
+#[cfg(all(
+    target_arch = "x86_64",
+    feature = "native-simd",
+    not(feature = "force-portable")
+))]
+use crate::x86::{I16x16Avx, I16x8Sse, U8x16Sse, U8x32Avx};
+
+#[cfg(all(
+    target_arch = "aarch64",
+    feature = "native-simd",
+    not(feature = "force-portable")
+))]
+use crate::neon::{I16x8Neon, U8x16Neon};
+
+/// Which precision ladder to run per alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Precision {
+    /// Saturating byte mode first, exact word-mode re-run on overflow
+    /// (SSW/SWPS3 production strategy).
+    Adaptive,
+    /// Word mode only — the pre-backend behaviour, kept as the bench
+    /// baseline and for callers that want deterministic per-pair cost.
+    Word,
+}
+
+/// Byte + word profiles for one backend's vector types.
+enum ProfileSet {
+    Portable {
+        byte: ByteProfileOf<U8x16>,
+        word: WordProfileOf<I16x8>,
+    },
+    #[cfg(all(
+        target_arch = "x86_64",
+        feature = "native-simd",
+        not(feature = "force-portable")
+    ))]
+    Sse2 {
+        byte: ByteProfileOf<U8x16Sse>,
+        word: WordProfileOf<I16x8Sse>,
+    },
+    #[cfg(all(
+        target_arch = "x86_64",
+        feature = "native-simd",
+        not(feature = "force-portable")
+    ))]
+    Avx2 {
+        byte: ByteProfileOf<U8x32Avx>,
+        word: WordProfileOf<I16x16Avx>,
+    },
+    #[cfg(all(
+        target_arch = "aarch64",
+        feature = "native-simd",
+        not(feature = "force-portable")
+    ))]
+    Neon {
+        byte: ByteProfileOf<U8x16Neon>,
+        word: WordProfileOf<I16x8Neon>,
+    },
+}
+
+/// A query bound to a backend: build profiles once, score many sequences.
+pub struct QueryEngine {
+    kind: BackendKind,
+    params: SwParams,
+    query: Vec<u8>,
+    set: ProfileSet,
+}
+
+impl QueryEngine {
+    /// Engine on the detected (widest available) backend.
+    pub fn new(params: SwParams, query: &[u8]) -> Self {
+        Self::with_backend(params, query, BackendKind::detect())
+    }
+
+    /// Engine on a specific backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `kind` is not available on this host/build — the
+    /// availability check is the safety gate for the `unsafe` intrinsic
+    /// calls inside the native backends.
+    pub fn with_backend(params: SwParams, query: &[u8], kind: BackendKind) -> Self {
+        assert!(
+            kind.is_available(),
+            "backend {kind} is not available on this host"
+        );
+        obs::counter_add(
+            "cudasw.simd.backend.selected",
+            &[("backend", kind.name())],
+            1.0,
+        );
+        let set = match kind {
+            #[cfg(all(
+                target_arch = "x86_64",
+                feature = "native-simd",
+                not(feature = "force-portable")
+            ))]
+            BackendKind::Sse2 => ProfileSet::Sse2 {
+                byte: ByteProfileOf::build(&params, query),
+                word: WordProfileOf::build(&params, query),
+            },
+            #[cfg(all(
+                target_arch = "x86_64",
+                feature = "native-simd",
+                not(feature = "force-portable")
+            ))]
+            BackendKind::Avx2 => ProfileSet::Avx2 {
+                byte: ByteProfileOf::build(&params, query),
+                word: WordProfileOf::build(&params, query),
+            },
+            #[cfg(all(
+                target_arch = "aarch64",
+                feature = "native-simd",
+                not(feature = "force-portable")
+            ))]
+            BackendKind::Neon => ProfileSet::Neon {
+                byte: ByteProfileOf::build(&params, query),
+                word: WordProfileOf::build(&params, query),
+            },
+            _ => ProfileSet::Portable {
+                byte: ByteProfileOf::build(&params, query),
+                word: WordProfileOf::build(&params, query),
+            },
+        };
+        Self {
+            kind,
+            params,
+            query: query.to_vec(),
+            set,
+        }
+    }
+
+    /// The backend this engine dispatches to.
+    pub fn kind(&self) -> BackendKind {
+        self.kind
+    }
+
+    /// The alignment parameters.
+    pub fn params(&self) -> &SwParams {
+        &self.params
+    }
+
+    /// The bound query.
+    pub fn query(&self) -> &[u8] {
+        &self.query
+    }
+
+    /// Score one database sequence, accumulating precision/Lazy-F counts
+    /// into `stats`.
+    pub fn score_with(&self, db: &[u8], precision: Precision, stats: &mut AdaptiveStats) -> i32 {
+        if self.query.is_empty() || db.is_empty() {
+            return 0;
+        }
+        let gaps = &self.params.gaps;
+        match &self.set {
+            ProfileSet::Portable { byte, word } => match precision {
+                Precision::Adaptive => {
+                    let b = sw_bytes(gaps, byte, db);
+                    finish_adaptive(b, stats, || sw_words(gaps, word, db).into_pair())
+                }
+                Precision::Word => {
+                    let r = sw_words(gaps, word, db);
+                    stats.lazy_f_word += r.lazy_f;
+                    r.score
+                }
+            },
+            #[cfg(all(
+                target_arch = "x86_64",
+                feature = "native-simd",
+                not(feature = "force-portable")
+            ))]
+            ProfileSet::Sse2 { byte, word } => match precision {
+                Precision::Adaptive => {
+                    let b = sw_bytes(gaps, byte, db);
+                    finish_adaptive(b, stats, || sw_words(gaps, word, db).into_pair())
+                }
+                Precision::Word => {
+                    let r = sw_words(gaps, word, db);
+                    stats.lazy_f_word += r.lazy_f;
+                    r.score
+                }
+            },
+            #[cfg(all(
+                target_arch = "x86_64",
+                feature = "native-simd",
+                not(feature = "force-portable")
+            ))]
+            ProfileSet::Avx2 { byte, word } => match precision {
+                Precision::Adaptive => {
+                    // SAFETY: `with_backend` asserted AVX2 availability.
+                    let b = unsafe { crate::x86::sw_bytes_avx2(gaps, byte, db) };
+                    finish_adaptive(b, stats, || {
+                        // SAFETY: as above.
+                        unsafe { crate::x86::sw_words_avx2(gaps, word, db) }.into_pair()
+                    })
+                }
+                Precision::Word => {
+                    // SAFETY: `with_backend` asserted AVX2 availability.
+                    let r = unsafe { crate::x86::sw_words_avx2(gaps, word, db) };
+                    stats.lazy_f_word += r.lazy_f;
+                    r.score
+                }
+            },
+            #[cfg(all(
+                target_arch = "aarch64",
+                feature = "native-simd",
+                not(feature = "force-portable")
+            ))]
+            ProfileSet::Neon { byte, word } => match precision {
+                Precision::Adaptive => {
+                    let b = sw_bytes(gaps, byte, db);
+                    finish_adaptive(b, stats, || sw_words(gaps, word, db).into_pair())
+                }
+                Precision::Word => {
+                    let r = sw_words(gaps, word, db);
+                    stats.lazy_f_word += r.lazy_f;
+                    r.score
+                }
+            },
+        }
+    }
+
+    /// Score one database sequence adaptively, discarding the stats.
+    pub fn score(&self, db: &[u8]) -> i32 {
+        let mut stats = AdaptiveStats::default();
+        self.score_with(db, Precision::Adaptive, &mut stats)
+    }
+}
+
+trait IntoPair {
+    fn into_pair(self) -> (i32, u64);
+}
+
+impl IntoPair for crate::backend::WordKernelResult {
+    fn into_pair(self) -> (i32, u64) {
+        (self.score, self.lazy_f)
+    }
+}
+
+/// Shared adaptive epilogue: account the byte pass, re-run in word mode on
+/// overflow.
+#[inline(always)]
+fn finish_adaptive(
+    byte: ByteKernelResult,
+    stats: &mut AdaptiveStats,
+    word: impl FnOnce() -> (i32, u64),
+) -> i32 {
+    stats.lazy_f_byte += byte.lazy_f;
+    match byte.score {
+        Some(score) => {
+            stats.byte_mode += 1;
+            score
+        }
+        None => {
+            stats.word_fallbacks += 1;
+            let (score, lazy_f) = word();
+            stats.lazy_f_word += lazy_f;
+            score
+        }
+    }
+}
+
+/// Publish a batch's adaptive-precision counters under `cudasw.simd.*`.
+///
+/// Call from the thread that owns the metrics recorder (the thread-local
+/// one that started the search), after merging worker-local stats.
+pub fn record_stats(kind: BackendKind, stats: &AdaptiveStats) {
+    let backend = kind.name();
+    if stats.byte_mode > 0 {
+        obs::counter_add(
+            "cudasw.simd.byte_mode.alignments",
+            &[("backend", backend)],
+            stats.byte_mode as f64,
+        );
+    }
+    if stats.word_fallbacks > 0 {
+        obs::counter_add(
+            "cudasw.simd.word_mode.reruns",
+            &[("backend", backend)],
+            stats.word_fallbacks as f64,
+        );
+    }
+    if stats.lazy_f_byte > 0 {
+        obs::counter_add(
+            "cudasw.simd.lazy_f.iterations",
+            &[("backend", backend), ("mode", "byte")],
+            stats.lazy_f_byte as f64,
+        );
+    }
+    if stats.lazy_f_word > 0 {
+        obs::counter_add(
+            "cudasw.simd.lazy_f.iterations",
+            &[("backend", backend), ("mode", "word")],
+            stats.lazy_f_word as f64,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_align::smith_waterman::sw_score;
+    use sw_db::synth::make_query;
+
+    #[test]
+    fn every_available_backend_matches_scalar() {
+        let params = SwParams::cudasw_default();
+        let query = make_query(72, 3);
+        let targets = [make_query(50, 4), make_query(90, 5), query.clone()];
+        for kind in BackendKind::available() {
+            let engine = QueryEngine::with_backend(params.clone(), &query, kind);
+            let mut stats = AdaptiveStats::default();
+            for t in &targets {
+                let expected = sw_score(&params, &query, t);
+                assert_eq!(
+                    engine.score_with(t, Precision::Adaptive, &mut stats),
+                    expected,
+                    "adaptive on {kind}"
+                );
+                assert_eq!(
+                    engine.score_with(t, Precision::Word, &mut stats),
+                    expected,
+                    "word on {kind}"
+                );
+            }
+            assert!(stats.byte_mode + stats.word_fallbacks > 0);
+        }
+    }
+
+    #[test]
+    fn self_alignment_falls_back_to_word_mode_on_all_backends() {
+        let params = SwParams::cudasw_default();
+        let query = make_query(300, 9);
+        for kind in BackendKind::available() {
+            let engine = QueryEngine::with_backend(params.clone(), &query, kind);
+            let mut stats = AdaptiveStats::default();
+            let score = engine.score_with(&query, Precision::Adaptive, &mut stats);
+            assert_eq!(score, sw_score(&params, &query, &query), "{kind}");
+            assert_eq!(stats.word_fallbacks, 1, "{kind}");
+            assert!(stats.lazy_f_byte > 0, "{kind}: byte pass ran first");
+        }
+    }
+
+    #[test]
+    fn empty_inputs_score_zero_without_stats() {
+        let params = SwParams::cudasw_default();
+        let engine = QueryEngine::new(params.clone(), &[]);
+        let mut stats = AdaptiveStats::default();
+        assert_eq!(
+            engine.score_with(&[1, 2], Precision::Adaptive, &mut stats),
+            0
+        );
+        let engine = QueryEngine::new(params, &[1, 2]);
+        assert_eq!(engine.score_with(&[], Precision::Adaptive, &mut stats), 0);
+        assert_eq!(stats, AdaptiveStats::default());
+    }
+
+    #[test]
+    fn selection_and_stats_counters_are_emitted() {
+        let params = SwParams::cudasw_default();
+        let (kind, run) = obs::capture(|| {
+            let query = make_query(300, 2);
+            let engine = QueryEngine::new(params, &query);
+            let mut stats = AdaptiveStats::default();
+            engine.score_with(&make_query(30, 7), Precision::Adaptive, &mut stats);
+            engine.score_with(&query, Precision::Adaptive, &mut stats);
+            record_stats(engine.kind(), &stats);
+            engine.kind()
+        });
+        let backend = [("backend", kind.name())];
+        assert_eq!(
+            run.metrics
+                .counter("cudasw.simd.backend.selected", &backend),
+            1.0
+        );
+        assert_eq!(
+            run.metrics
+                .counter("cudasw.simd.byte_mode.alignments", &backend),
+            1.0,
+            "short pair stays in byte mode"
+        );
+        assert_eq!(
+            run.metrics
+                .counter("cudasw.simd.word_mode.reruns", &backend),
+            1.0,
+            "self-alignment overflows"
+        );
+        assert!(
+            run.metrics
+                .counter_sum("cudasw.simd.lazy_f.iterations", &[("mode", "word")])
+                > 0.0
+        );
+    }
+}

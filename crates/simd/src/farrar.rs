@@ -1,71 +1,32 @@
-//! Farrar's striped Smith-Waterman with the Lazy-F loop.
+//! Farrar's striped Smith-Waterman with the Lazy-F loop (word mode).
 //!
-//! The query is laid out *striped*: with `seg_len = ceil(m / 8)` segments,
-//! vector element `k` of segment `j` holds query position `j + k·seg_len`.
-//! The inner loop then has no intra-vector dependency — except through `F`,
-//! which is optimistically ignored and repaired afterwards by the **Lazy-F
-//! loop**. That correction pass is the SWPS3 cost that makes its
-//! throughput query-length-sensitive in Figure 7, so this implementation
-//! counts Lazy-F iterations.
+//! The query is laid out *striped*: with `seg_len = ceil(m / lanes)`
+//! segments, vector element `k` of segment `j` holds query position
+//! `j + k·seg_len`. The inner loop then has no intra-vector dependency —
+//! except through `F`, which is optimistically ignored and repaired
+//! afterwards by the **Lazy-F loop**. That correction pass is the SWPS3
+//! cost that makes its throughput query-length-sensitive in Figure 7, so
+//! the kernels count Lazy-F iterations.
+//!
+//! The kernel lives in [`crate::backend::sw_words`], generic over the
+//! vector type; this module binds it to the portable [`I16x8`] and keeps
+//! the legacy entry points every consumer already uses.
 
-#![allow(clippy::needless_range_loop)] // lane loops mirror SIMD semantics
-use crate::vector::{I16x8, LANES};
+use crate::backend::{sw_words, WordProfileOf};
+use crate::byte_mode::AdaptiveStats;
+use crate::vector::I16x8;
 use sw_align::smith_waterman::SwParams;
 
-/// Striped query profile: for each alphabet code, `seg_len` vectors.
-#[derive(Debug, Clone)]
-pub struct StripedProfile {
-    seg_len: usize,
-    alphabet_size: usize,
-    vectors: Vec<I16x8>,
-}
-
-impl StripedProfile {
-    /// Profile vector for residue `a`, segment `j`.
-    #[inline]
-    pub fn get(&self, a: u8, j: usize) -> I16x8 {
-        self.vectors[a as usize * self.seg_len + j]
-    }
-
-    /// Number of segments.
-    pub fn seg_len(&self) -> usize {
-        self.seg_len
-    }
-
-    /// Number of alphabet codes covered.
-    pub fn alphabet_size(&self) -> usize {
-        self.alphabet_size
-    }
-}
+/// Striped word profile for the portable 8-lane vector: for each alphabet
+/// code, `seg_len` vectors.
+pub type StripedProfile = WordProfileOf<I16x8>;
 
 /// Build the striped profile of `query` under `params`.
 ///
 /// Padding lanes (query positions `>= m`) score the matrix minimum so they
 /// can never win the running maximum.
 pub fn striped_profile(params: &SwParams, query: &[u8]) -> StripedProfile {
-    let m = query.len();
-    let seg_len = m.div_ceil(LANES).max(1);
-    let alphabet_size = params.matrix.size();
-    let pad = params.matrix.min_score() as i16;
-    let mut vectors = Vec::with_capacity(alphabet_size * seg_len);
-    for a in 0..alphabet_size as u8 {
-        let row = params.matrix.row(a);
-        for j in 0..seg_len {
-            let mut v = [pad; LANES];
-            for (k, slot) in v.iter_mut().enumerate() {
-                let pos = j + k * seg_len;
-                if pos < m {
-                    *slot = row[query[pos] as usize] as i16;
-                }
-            }
-            vectors.push(I16x8(v));
-        }
-    }
-    StripedProfile {
-        seg_len,
-        alphabet_size,
-        vectors,
-    }
+    StripedProfile::build(params, query)
 }
 
 /// Result of a striped alignment.
@@ -79,62 +40,24 @@ pub struct StripedResult {
 
 /// Striped Smith-Waterman against one database sequence.
 pub fn sw_striped(params: &SwParams, profile: &StripedProfile, db: &[u8]) -> StripedResult {
-    let seg_len = profile.seg_len();
-    let v_open = I16x8::splat(params.gaps.open as i16);
-    let v_extend = I16x8::splat(params.gaps.extend as i16);
-    let mut h_store = vec![I16x8::zero(); seg_len];
-    let mut h_load = vec![I16x8::zero(); seg_len];
-    let mut e = vec![I16x8::zero(); seg_len];
-    let mut v_max = I16x8::zero();
-    let mut lazy_f_iterations = 0u64;
-
-    for &d in db {
-        let mut v_f = I16x8::zero();
-        // H of the last segment, shifted one lane: the "wrap" of the
-        // striped layout (element k of the last segment precedes element
-        // k+1 of segment 0 in query order).
-        let mut v_h = h_store[seg_len - 1].shift_in(0);
-        std::mem::swap(&mut h_store, &mut h_load);
-
-        for j in 0..seg_len {
-            v_h = v_h.sat_add(profile.get(d, j));
-            v_h = v_h.max(e[j]).max(v_f).max(I16x8::zero());
-            v_max = v_max.max(v_h);
-            h_store[j] = v_h;
-            e[j] = e[j].sat_sub(v_extend).max(v_h.sat_sub(v_open));
-            v_f = v_f.sat_sub(v_extend).max(v_h.sat_sub(v_open));
-            v_h = h_load[j];
-        }
-
-        // Lazy-F: repair H values that should have been reached by F
-        // propagating across segment boundaries. A raised H also raises
-        // the next column's E (which the main loop derived from the
-        // unrepaired H).
-        // Early exit is sound only for strictly affine gaps: with
-        // open == extend, a lazily-raised H generates an F chain exactly
-        // equal to the exit threshold, which the cutoff would drop. The
-        // outer loop bounds the full propagation at LANES wraps either way.
-        let early_exit = params.gaps.open > params.gaps.extend;
-        'lazy_f: for _ in 0..LANES {
-            v_f = v_f.shift_in(0);
-            for j in 0..seg_len {
-                let h = h_store[j].max(v_f);
-                h_store[j] = h;
-                v_max = v_max.max(h);
-                e[j] = e[j].max(h.sat_sub(v_open));
-                v_f = v_f.sat_sub(v_extend);
-                lazy_f_iterations += 1;
-                if early_exit && !v_f.any_gt(h.sat_sub(v_open)) {
-                    break 'lazy_f;
-                }
-            }
-        }
-    }
-
+    let r = sw_words(&params.gaps, profile, db);
     StripedResult {
-        score: v_max.horizontal_max() as i32,
-        lazy_f_iterations,
+        score: r.score,
+        lazy_f_iterations: r.lazy_f,
     }
+}
+
+/// Like [`sw_striped`], accumulating the word-mode Lazy-F count into
+/// `stats` (used by the adaptive driver's overflow re-runs).
+pub fn sw_striped_with_stats(
+    params: &SwParams,
+    profile: &StripedProfile,
+    db: &[u8],
+    stats: &mut AdaptiveStats,
+) -> i32 {
+    let r = sw_words(&params.gaps, profile, db);
+    stats.lazy_f_word += r.lazy_f;
+    r.score
 }
 
 /// Convenience wrapper building the profile internally.
@@ -201,6 +124,11 @@ mod tests {
         let r = sw_striped(&p(), &profile, &d);
         assert!(r.lazy_f_iterations > 0);
         assert_eq!(r.score, sw_score(&p(), &q, &d));
+        let mut stats = AdaptiveStats::default();
+        let score = sw_striped_with_stats(&p(), &profile, &d, &mut stats);
+        assert_eq!(score, r.score);
+        assert_eq!(stats.lazy_f_word, r.lazy_f_iterations);
+        assert_eq!(stats.lazy_f_byte, 0);
     }
 
     #[test]

@@ -1,40 +1,67 @@
-//! Vectorized CPU Smith-Waterman — the SWPS3 stand-in.
+//! Vectorized CPU Smith-Waterman — the real host compute backend.
 //!
 //! Figure 7 of the paper compares CUDASW++ against SWPS3, "a vectorized
 //! SSE implementation of Smith-Waterman using four cores of an Intel Xeon".
-//! SWPS3 implements Farrar's *striped* algorithm, whose defining cost is
-//! the **Lazy-F** correction loop ("the need of SWPS3 to correct errors
-//! which are a result of a vertical traversal through the SW tables. The
-//! correction requires at least another pass, which is known as the Lazy-F
-//! loop"). That loop is exactly why SWPS3's throughput varies with query
-//! length in Figure 7.
+//! This crate now plays that role for real: Farrar's *striped* kernel runs
+//! on the machine's native vector unit, selected at run time, with SSW-style
+//! adaptive precision (saturating 8-bit byte mode first, exact 16-bit
+//! word-mode re-run only for pairs that overflow) and a work-stealing
+//! thread pool sharding the database across cores. The defining striped-SW
+//! cost — the **Lazy-F** correction loop, "the need of SWPS3 to correct
+//! errors which are a result of a vertical traversal through the SW
+//! tables" — is counted *per precision mode* (byte-mode repair passes
+//! separately from word-mode), per backend.
 //!
-//! This crate provides:
+//! Layout:
 //!
-//! * [`vector`] — a portable 8-lane `i16` vector with the saturating
-//!   SSE2-style operations the algorithms need (written so LLVM
-//!   auto-vectorizes it);
-//! * [`farrar`] — Farrar's striped algorithm with the Lazy-F loop,
-//!   including a counter of Lazy-F passes;
-//! * [`byte_mode`] — SWPS3's 16-lane 8-bit mode with overflow detection
-//!   and word-mode fallback;
+//! * [`backend`] — the [`ByteSimd`](backend::ByteSimd) /
+//!   [`WordSimd`](backend::WordSimd) traits and the generic striped
+//!   kernels every backend shares (bit-identical scores by construction:
+//!   lane count changes the striping layout, never the per-cell
+//!   arithmetic);
+//! * [`x86`] / [`neon`] — `core::arch` backends: AVX2 (32×u8 / 16×i16,
+//!   `is_x86_feature_detected!`), SSE2 (16×u8 / 8×i16, x86-64 baseline),
+//!   NEON (16×u8 / 8×i16, AArch64 baseline);
+//! * [`vector`] / [`byte_mode`] — the portable emulated vectors (the
+//!   always-available fallback and the differential-test baseline) and the
+//!   legacy byte-mode entry points;
+//! * [`dispatch`] — [`BackendKind`]: runtime detection, `SW_SIMD_BACKEND`
+//!   override, `force-portable` pin;
+//! * [`engine`] — [`QueryEngine`]: profiles built once per query, scored
+//!   through the dispatched backend, with `cudasw.simd.*` metrics;
+//! * [`pool`] — work-stealing database sharding across threads;
+//! * [`farrar`] — word-mode entry points ([`sw_striped_score`] is the
+//!   scalar-validated reference oracle used across the workspace);
 //! * [`wozniak`] — Wozniak's anti-diagonal vectorization (no Lazy-F, but
 //!   sequential similarity lookups — the weakness the query profile fixes);
 //! * [`rognes`] — Rognes–Seeberg sequential vertical vectorization with a
 //!   query profile and the SWAT-like F-skip optimization;
-//! * [`swps3`] — a multi-threaded whole-database search driver in the role
-//!   SWPS3 plays in Figure 7.
+//! * [`swps3`] — the multi-threaded whole-database search driver in the
+//!   role SWPS3 plays in Figure 7.
 //!
-//! Every implementation is validated against `sw_align::sw_score`.
+//! Every implementation is validated against `sw_align::sw_score`; the
+//! differential proptests in `tests/backend_differential.rs` additionally
+//! pin byte mode, word mode, and every available backend to identical
+//! scores.
 
+pub mod backend;
 pub mod byte_mode;
+pub mod dispatch;
+pub mod engine;
 pub mod farrar;
+pub mod neon;
+pub mod pool;
+pub mod portable;
 pub mod rognes;
 pub mod swps3;
 pub mod vector;
 pub mod wozniak;
+pub mod x86;
 
 pub use byte_mode::{sw_striped_adaptive, AdaptiveStats, ByteProfile};
-pub use farrar::{striped_profile, sw_striped, StripedProfile};
+pub use dispatch::BackendKind;
+pub use engine::{record_stats, Precision, QueryEngine};
+pub use farrar::{striped_profile, sw_striped, sw_striped_score, StripedProfile};
+pub use pool::{search_sequences, HostSearchResult};
 pub use swps3::{Swps3Driver, Swps3Result};
 pub use vector::I16x8;

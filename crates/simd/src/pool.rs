@@ -1,0 +1,202 @@
+//! Work-stealing database sharding across cores.
+//!
+//! The database is cut into contiguous chunks (several per worker, so the
+//! tail stays balanced) and dealt round-robin onto per-worker deques. Each
+//! worker drains its own deque from the front; when empty it *steals* from
+//! the back of a sibling's deque — the classic work-stealing discipline
+//! that keeps cores busy when sequence lengths are skewed, playing the
+//! role of SWPS3's dynamic work queue with less contention (workers touch
+//! the shared state only once per chunk, not once per sequence).
+//!
+//! All workers share one read-only [`QueryEngine`] — the striped profiles
+//! are built once per query and reused by every thread. Worker-local
+//! [`AdaptiveStats`] are merged and returned to the caller, which is
+//! responsible for publishing them (the metrics recorder is thread-local;
+//! counts bumped on worker threads would be lost).
+
+use crate::byte_mode::AdaptiveStats;
+use crate::engine::{Precision, QueryEngine};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+use sw_db::Sequence;
+
+/// Chunks dealt per worker: more gives better tail balance, fewer gives
+/// less queue traffic. 8 keeps the largest chunk under ~2% of the work at
+/// 4 threads.
+const CHUNKS_PER_WORKER: usize = 8;
+
+/// Result of a pooled database search.
+#[derive(Debug, Clone)]
+pub struct HostSearchResult {
+    /// Scores indexed like `seqs`.
+    pub scores: Vec<i32>,
+    /// Merged precision/Lazy-F counts across workers.
+    pub stats: AdaptiveStats,
+    /// Wall-clock seconds of the parallel section.
+    pub seconds: f64,
+    /// Chunks a worker took from a sibling's deque.
+    pub steals: u64,
+}
+
+/// Score every sequence on `threads` workers sharing `engine`.
+pub fn search_sequences(
+    engine: &QueryEngine,
+    seqs: &[Sequence],
+    threads: usize,
+    precision: Precision,
+) -> HostSearchResult {
+    let n = seqs.len();
+    let threads = threads.max(1);
+    if n == 0 {
+        return HostSearchResult {
+            scores: Vec::new(),
+            stats: AdaptiveStats::default(),
+            seconds: 0.0,
+            steals: 0,
+        };
+    }
+    let start = Instant::now();
+    if threads == 1 {
+        // No pool: score inline on the caller's thread.
+        let mut stats = AdaptiveStats::default();
+        let scores = seqs
+            .iter()
+            .map(|s| engine.score_with(&s.residues, precision, &mut stats))
+            .collect();
+        return HostSearchResult {
+            scores,
+            stats,
+            seconds: start.elapsed().as_secs_f64(),
+            steals: 0,
+        };
+    }
+
+    let chunk_len = n.div_ceil(threads * CHUNKS_PER_WORKER).max(1);
+    let queues: Vec<Mutex<VecDeque<Range<usize>>>> =
+        (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, chunk_start) in (0..n).step_by(chunk_len).enumerate() {
+        let range = chunk_start..(chunk_start + chunk_len).min(n);
+        queues[i % threads].lock().push_back(range);
+    }
+
+    // Each worker pushes its finished chunks as (chunk start, scores).
+    type ScoredChunks = Vec<(usize, Vec<i32>)>;
+    let steals = AtomicU64::new(0);
+    let merged: Mutex<(ScoredChunks, AdaptiveStats)> =
+        Mutex::new((Vec::new(), AdaptiveStats::default()));
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            let queues = &queues;
+            let steals = &steals;
+            let merged = &merged;
+            scope.spawn(move || {
+                let mut local: Vec<(usize, Vec<i32>)> = Vec::new();
+                let mut stats = AdaptiveStats::default();
+                loop {
+                    // Own deque first (front), then sweep siblings (back).
+                    let next = queues[w].lock().pop_front().or_else(|| {
+                        (1..threads).find_map(|d| {
+                            let victim = (w + d) % threads;
+                            let stolen = queues[victim].lock().pop_back();
+                            if stolen.is_some() {
+                                steals.fetch_add(1, Ordering::Relaxed);
+                            }
+                            stolen
+                        })
+                    });
+                    let Some(range) = next else { break };
+                    let chunk_scores: Vec<i32> = seqs[range.clone()]
+                        .iter()
+                        .map(|s| engine.score_with(&s.residues, precision, &mut stats))
+                        .collect();
+                    local.push((range.start, chunk_scores));
+                }
+                let mut guard = merged.lock();
+                guard.0.append(&mut local);
+                guard.1.merge(&stats);
+            });
+        }
+    });
+    let seconds = start.elapsed().as_secs_f64();
+
+    let (chunks, stats) = merged.into_inner();
+    let mut scores = vec![0i32; n];
+    for (chunk_start, chunk_scores) in chunks {
+        scores[chunk_start..chunk_start + chunk_scores.len()].copy_from_slice(&chunk_scores);
+    }
+    HostSearchResult {
+        scores,
+        stats,
+        seconds,
+        steals: steals.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_align::smith_waterman::{sw_score, SwParams};
+    use sw_db::synth::{database_with_lengths, make_query};
+
+    fn engine(query: &[u8]) -> QueryEngine {
+        QueryEngine::new(SwParams::cudasw_default(), query)
+    }
+
+    #[test]
+    fn pooled_scores_match_scalar_for_any_thread_count() {
+        let db = database_with_lengths("t", &[30, 50, 80, 120, 40, 66, 25, 90, 110, 35], 3);
+        let query = make_query(48, 7);
+        let eng = engine(&query);
+        let expected: Vec<i32> = db
+            .sequences()
+            .iter()
+            .map(|s| sw_score(eng.params(), &query, &s.residues))
+            .collect();
+        for threads in [1, 2, 4, 7] {
+            let r = search_sequences(&eng, db.sequences(), threads, Precision::Adaptive);
+            assert_eq!(r.scores, expected, "threads={threads}");
+            let w = search_sequences(&eng, db.sequences(), threads, Precision::Word);
+            assert_eq!(w.scores, expected, "word mode, threads={threads}");
+        }
+    }
+
+    #[test]
+    fn stats_account_every_sequence_once() {
+        let db = database_with_lengths("t", &[20, 30, 40, 50, 60, 70, 80, 90], 11);
+        let query = make_query(64, 5);
+        let eng = engine(&query);
+        for threads in [1, 3] {
+            let r = search_sequences(&eng, db.sequences(), threads, Precision::Adaptive);
+            assert_eq!(
+                r.stats.byte_mode + r.stats.word_fallbacks,
+                db.len() as u64,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_workers_than_sequences() {
+        let db = database_with_lengths("t", &[15, 22], 1);
+        let query = make_query(20, 9);
+        let eng = engine(&query);
+        let r = search_sequences(&eng, db.sequences(), 8, Precision::Adaptive);
+        assert_eq!(r.scores.len(), 2);
+        assert_eq!(
+            r.scores[0],
+            sw_score(eng.params(), &query, &db.sequences()[0].residues)
+        );
+    }
+
+    #[test]
+    fn empty_database() {
+        let eng = engine(&make_query(10, 1));
+        let r = search_sequences(&eng, &[], 4, Precision::Adaptive);
+        assert!(r.scores.is_empty());
+        assert_eq!(r.stats, AdaptiveStats::default());
+        assert_eq!(r.steals, 0);
+    }
+}

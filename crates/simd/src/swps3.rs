@@ -2,18 +2,19 @@
 //!
 //! SWPS3 runs Farrar's striped kernel over a whole database with dynamic
 //! scheduling across cores; Figure 7 runs it on four Xeon cores as the CPU
-//! reference. This driver reproduces that role: worker threads pull
-//! sequences from a shared crossbeam channel (dynamic load balancing, like
-//! SWPS3's work queue) and align them with the striped kernel; the query
-//! profile is built once and shared.
+//! reference. This driver reproduces that role on the dispatched host
+//! backend: the query profiles are built once in a [`QueryEngine`] on the
+//! widest vector unit the CPU supports, and the [`crate::pool`]
+//! work-stealing pool shards the database across `threads` workers.
 //!
 //! Throughput here is *host-measured* (real wall-clock GCUPs of this
 //! machine), unlike the GPU kernels whose time is simulated — EXPERIMENTS.md
 //! discusses how the two are compared in Figure 7.
 
-use crate::byte_mode::{sw_striped_adaptive, AdaptiveStats, ByteProfile};
-use parking_lot::Mutex;
-use std::time::Instant;
+use crate::byte_mode::AdaptiveStats;
+use crate::dispatch::BackendKind;
+use crate::engine::{record_stats, Precision, QueryEngine};
+use crate::pool::search_sequences;
 use sw_align::smith_waterman::SwParams;
 use sw_db::Database;
 
@@ -24,6 +25,9 @@ pub struct Swps3Driver {
     pub params: SwParams,
     /// Worker threads (Figure 7 uses 4).
     pub threads: usize,
+    /// Host compute backend; [`BackendKind::detect`] picks the widest
+    /// available one.
+    pub backend: BackendKind,
 }
 
 /// Search output.
@@ -35,9 +39,12 @@ pub struct Swps3Result {
     pub cells: u64,
     /// Wall-clock seconds (host-measured).
     pub seconds: f64,
-    /// Byte-mode vs word-fallback counts (SWPS3 runs 16-lane byte mode
-    /// first and re-runs saturating pairs in 8-lane word mode).
+    /// Byte-mode vs word-fallback counts and per-mode Lazy-F iterations
+    /// (SWPS3 runs saturating byte mode first and re-runs overflowing
+    /// pairs in word mode).
     pub adaptive: AdaptiveStats,
+    /// The backend the search actually ran on.
+    pub backend: BackendKind,
 }
 
 impl Swps3Result {
@@ -60,76 +67,44 @@ impl Swps3Result {
 }
 
 impl Swps3Driver {
-    /// Driver with the CUDASW++ default parameters and `threads` workers.
+    /// Driver with the CUDASW++ default parameters, `threads` workers and
+    /// the detected backend.
     pub fn new(threads: usize) -> Self {
         Self {
             params: SwParams::cudasw_default(),
             threads: threads.max(1),
+            backend: BackendKind::detect(),
         }
     }
 
     /// Align `query` against every database sequence.
     pub fn search(&self, query: &[u8], db: &Database) -> Swps3Result {
         let n = db.len();
-        let mut scores = vec![0i32; n];
-        let cells = db.total_cells(query.len());
         if query.is_empty() || n == 0 {
             return Swps3Result {
-                scores,
+                scores: vec![0i32; n],
                 cells: 0,
                 seconds: 0.0,
                 adaptive: AdaptiveStats::default(),
+                backend: self.backend,
             };
         }
-        let profile = ByteProfile::build(&self.params, query);
-        let (tx, rx) = crossbeam::channel::unbounded::<usize>();
-        for i in (0..n).rev() {
-            // Longest first improves tail balance, like SWPS3's scheduler.
-            tx.send(i).expect("channel open");
-        }
-        drop(tx);
-
-        let results: Mutex<Vec<(usize, i32)>> = Mutex::new(Vec::with_capacity(n));
-        let adaptive_total: Mutex<AdaptiveStats> = Mutex::new(AdaptiveStats::default());
-        let start = Instant::now();
-        std::thread::scope(|scope| {
-            for _ in 0..self.threads {
-                let rx = rx.clone();
-                let results = &results;
-                let adaptive_total = &adaptive_total;
-                let profile = &profile;
-                let params = &self.params;
-                let db = &db;
-                scope.spawn(move || {
-                    let mut local = Vec::new();
-                    let mut stats = AdaptiveStats::default();
-                    while let Ok(i) = rx.recv() {
-                        let score = sw_striped_adaptive(
-                            params,
-                            profile,
-                            query,
-                            &db.sequences()[i].residues,
-                            &mut stats,
-                        );
-                        local.push((i, score));
-                    }
-                    results.lock().extend(local);
-                    let mut total = adaptive_total.lock();
-                    total.byte_mode += stats.byte_mode;
-                    total.word_fallbacks += stats.word_fallbacks;
-                });
-            }
-        });
-        let seconds = start.elapsed().as_secs_f64();
-
-        for (i, score) in results.into_inner() {
-            scores[i] = score;
+        let engine = QueryEngine::with_backend(self.params.clone(), query, self.backend);
+        let r = search_sequences(&engine, db.sequences(), self.threads, Precision::Adaptive);
+        record_stats(self.backend, &r.stats);
+        if r.steals > 0 {
+            obs::counter_add(
+                "cudasw.simd.pool.steals",
+                &[("backend", self.backend.name())],
+                r.steals as f64,
+            );
         }
         Swps3Result {
-            scores,
-            cells,
-            seconds,
-            adaptive: adaptive_total.into_inner(),
+            scores: r.scores,
+            cells: db.total_cells(query.len()),
+            seconds: r.seconds,
+            adaptive: r.stats,
+            backend: self.backend,
         }
     }
 }
@@ -155,6 +130,7 @@ mod tests {
         }
         assert_eq!(result.cells, db.total_cells(48));
         assert!(result.seconds > 0.0);
+        assert_eq!(result.backend, driver.backend);
     }
 
     #[test]
@@ -164,6 +140,22 @@ mod tests {
         let one = Swps3Driver::new(1).search(&query, &db);
         let four = Swps3Driver::new(4).search(&query, &db);
         assert_eq!(one.scores, four.scores);
+    }
+
+    #[test]
+    fn backend_does_not_change_results() {
+        let db = database_with_lengths("t", &[35, 70, 140, 55], 13);
+        let query = make_query(80, 3);
+        let mut reference: Option<Vec<i32>> = None;
+        for backend in BackendKind::available() {
+            let mut driver = Swps3Driver::new(2);
+            driver.backend = backend;
+            let result = driver.search(&query, &db);
+            match &reference {
+                None => reference = Some(result.scores),
+                Some(expected) => assert_eq!(&result.scores, expected, "{backend}"),
+            }
+        }
     }
 
     #[test]

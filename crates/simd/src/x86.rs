@@ -1,0 +1,480 @@
+//! x86-64 backends: SSE2 (16×u8 / 8×i16) and AVX2 (32×u8 / 16×i16).
+//!
+//! SSE2 is part of the x86-64 baseline, so its intrinsics are statically
+//! enabled and safe to call; the generic kernels vectorize directly.
+//!
+//! AVX2 is *not* baseline: its intrinsics are `#[target_feature]` functions
+//! that may only execute on a CPU that reports the feature. The safety
+//! story has two parts:
+//!
+//! 1. every AVX2 intrinsic call below sits in an `unsafe` block whose
+//!    contract is "the dispatcher only selects [`Avx2Backend`] after
+//!    `is_x86_feature_detected!("avx2")` returned true" (enforced by
+//!    [`crate::engine::QueryEngine::with_backend`]);
+//! 2. the kernel entry points [`sw_bytes_avx2`] / [`sw_words_avx2`] carry
+//!    `#[target_feature(enable = "avx2")]`, so the `#[inline(always)]`
+//!    generic kernel — and, transitively, the intrinsics — inline into a
+//!    feature-enabled context and compile to straight-line AVX2 code.
+//!
+//! The one non-obvious idiom is the 256-bit lane shift: `_mm256_slli_si256`
+//! shifts each 128-bit half independently, so the byte crossing the middle
+//! is recovered with `_mm256_permute2x128_si256::<0x08>` (lower half ←
+//! zero, upper half ← old lower half) + `_mm256_alignr_epi8`.
+
+#![cfg(all(
+    target_arch = "x86_64",
+    feature = "native-simd",
+    not(feature = "force-portable")
+))]
+
+use crate::backend::{
+    sw_bytes, sw_words, Backend, ByteKernelResult, ByteProfileOf, ByteSimd, WordKernelResult,
+    WordProfileOf, WordSimd,
+};
+use core::arch::x86_64::*;
+use sw_align::GapPenalties;
+
+// ---------------------------------------------------------------- SSE2 ----
+
+/// 16 × u8 in an `__m128i` (SSE2, x86-64 baseline).
+#[derive(Clone, Copy)]
+pub struct U8x16Sse(__m128i);
+
+impl ByteSimd for U8x16Sse {
+    const LANES: usize = 16;
+
+    #[inline(always)]
+    fn splat(v: u8) -> Self {
+        // SAFETY: SSE2 is part of the x86-64 baseline.
+        Self(unsafe { _mm_set1_epi8(v as i8) })
+    }
+
+    #[inline(always)]
+    fn load(lanes: &[u8]) -> Self {
+        assert!(lanes.len() >= 16);
+        // SAFETY: SSE2 is baseline; `loadu` has no alignment requirement
+        // and the bound is asserted above.
+        Self(unsafe { _mm_loadu_si128(lanes.as_ptr() as *const __m128i) })
+    }
+
+    #[inline(always)]
+    fn sat_add(self, rhs: Self) -> Self {
+        // SAFETY: SSE2 is part of the x86-64 baseline.
+        Self(unsafe { _mm_adds_epu8(self.0, rhs.0) })
+    }
+
+    #[inline(always)]
+    fn sat_sub(self, rhs: Self) -> Self {
+        // SAFETY: SSE2 is part of the x86-64 baseline.
+        Self(unsafe { _mm_subs_epu8(self.0, rhs.0) })
+    }
+
+    #[inline(always)]
+    fn max(self, rhs: Self) -> Self {
+        // SAFETY: SSE2 is part of the x86-64 baseline.
+        Self(unsafe { _mm_max_epu8(self.0, rhs.0) })
+    }
+
+    #[inline(always)]
+    fn any_gt(self, rhs: Self) -> bool {
+        // No unsigned compare in SSE2: a > b somewhere iff max(a,b) != b
+        // somewhere.
+        // SAFETY: SSE2 is part of the x86-64 baseline.
+        unsafe { _mm_movemask_epi8(_mm_cmpeq_epi8(_mm_max_epu8(self.0, rhs.0), rhs.0)) != 0xFFFF }
+    }
+
+    #[inline(always)]
+    fn shift(self) -> Self {
+        // SAFETY: SSE2 is part of the x86-64 baseline.
+        Self(unsafe { _mm_slli_si128::<1>(self.0) })
+    }
+
+    #[inline(always)]
+    fn horizontal_max(self) -> u8 {
+        // SAFETY: SSE2 is part of the x86-64 baseline.
+        unsafe {
+            let mut v = self.0;
+            v = _mm_max_epu8(v, _mm_srli_si128::<8>(v));
+            v = _mm_max_epu8(v, _mm_srli_si128::<4>(v));
+            v = _mm_max_epu8(v, _mm_srli_si128::<2>(v));
+            v = _mm_max_epu8(v, _mm_srli_si128::<1>(v));
+            (_mm_extract_epi16::<0>(v) & 0xFF) as u8
+        }
+    }
+}
+
+/// 8 × i16 in an `__m128i` (SSE2, x86-64 baseline).
+#[derive(Clone, Copy)]
+pub struct I16x8Sse(__m128i);
+
+impl WordSimd for I16x8Sse {
+    const LANES: usize = 8;
+
+    #[inline(always)]
+    fn splat(v: i16) -> Self {
+        // SAFETY: SSE2 is part of the x86-64 baseline.
+        Self(unsafe { _mm_set1_epi16(v) })
+    }
+
+    #[inline(always)]
+    fn load(lanes: &[i16]) -> Self {
+        assert!(lanes.len() >= 8);
+        // SAFETY: SSE2 is baseline; `loadu` has no alignment requirement
+        // and the bound is asserted above.
+        Self(unsafe { _mm_loadu_si128(lanes.as_ptr() as *const __m128i) })
+    }
+
+    #[inline(always)]
+    fn sat_add(self, rhs: Self) -> Self {
+        // SAFETY: SSE2 is part of the x86-64 baseline.
+        Self(unsafe { _mm_adds_epi16(self.0, rhs.0) })
+    }
+
+    #[inline(always)]
+    fn sat_sub(self, rhs: Self) -> Self {
+        // SAFETY: SSE2 is part of the x86-64 baseline.
+        Self(unsafe { _mm_subs_epi16(self.0, rhs.0) })
+    }
+
+    #[inline(always)]
+    fn max(self, rhs: Self) -> Self {
+        // SAFETY: SSE2 is part of the x86-64 baseline.
+        Self(unsafe { _mm_max_epi16(self.0, rhs.0) })
+    }
+
+    #[inline(always)]
+    fn any_gt(self, rhs: Self) -> bool {
+        // SAFETY: SSE2 is part of the x86-64 baseline.
+        unsafe { _mm_movemask_epi8(_mm_cmpgt_epi16(self.0, rhs.0)) != 0 }
+    }
+
+    #[inline(always)]
+    fn shift(self) -> Self {
+        // SAFETY: SSE2 is part of the x86-64 baseline.
+        Self(unsafe { _mm_slli_si128::<2>(self.0) })
+    }
+
+    #[inline(always)]
+    fn horizontal_max(self) -> i16 {
+        // SAFETY: SSE2 is part of the x86-64 baseline.
+        unsafe {
+            let mut v = self.0;
+            v = _mm_max_epi16(v, _mm_srli_si128::<8>(v));
+            v = _mm_max_epi16(v, _mm_srli_si128::<4>(v));
+            v = _mm_max_epi16(v, _mm_srli_si128::<2>(v));
+            _mm_extract_epi16::<0>(v) as i16
+        }
+    }
+}
+
+/// The SSE2 backend (always available on x86-64).
+pub struct Sse2Backend;
+
+impl Backend for Sse2Backend {
+    type Byte = U8x16Sse;
+    type Word = I16x8Sse;
+    const NAME: &'static str = "sse2";
+
+    fn available() -> bool {
+        // Baseline on x86-64; the dynamic check keeps the probe uniform.
+        is_x86_feature_detected!("sse2")
+    }
+}
+
+// ---------------------------------------------------------------- AVX2 ----
+
+/// 32 × u8 in an `__m256i` (AVX2).
+#[derive(Clone, Copy)]
+pub struct U8x32Avx(__m256i);
+
+/// Shift a 256-bit vector towards higher lanes by `16 - ALIGN` bytes
+/// (`ALIGN` = 15 shifts one byte, 14 shifts one word), feeding zero in at
+/// lane 0 and carrying bytes across the 128-bit boundary.
+///
+/// SAFETY: caller must ensure AVX2 is available.
+#[inline(always)]
+unsafe fn shift_256<const ALIGN: i32>(v: __m256i) -> __m256i {
+    // SAFETY: AVX2 availability is the caller's contract.
+    unsafe {
+        // tmp = [zero, v.low]: donates v.low's tail to the upper lane.
+        let tmp = _mm256_permute2x128_si256::<0x08>(v, v);
+        _mm256_alignr_epi8::<ALIGN>(v, tmp)
+    }
+}
+
+impl ByteSimd for U8x32Avx {
+    const LANES: usize = 32;
+
+    #[inline(always)]
+    fn splat(v: u8) -> Self {
+        // SAFETY: only constructed after the dispatcher verified AVX2.
+        Self(unsafe { _mm256_set1_epi8(v as i8) })
+    }
+
+    #[inline(always)]
+    fn load(lanes: &[u8]) -> Self {
+        assert!(lanes.len() >= 32);
+        // SAFETY: AVX2 verified by the dispatcher; `loadu` is unaligned and
+        // the bound is asserted above.
+        Self(unsafe { _mm256_loadu_si256(lanes.as_ptr() as *const __m256i) })
+    }
+
+    #[inline(always)]
+    fn sat_add(self, rhs: Self) -> Self {
+        // SAFETY: AVX2 verified by the dispatcher.
+        Self(unsafe { _mm256_adds_epu8(self.0, rhs.0) })
+    }
+
+    #[inline(always)]
+    fn sat_sub(self, rhs: Self) -> Self {
+        // SAFETY: AVX2 verified by the dispatcher.
+        Self(unsafe { _mm256_subs_epu8(self.0, rhs.0) })
+    }
+
+    #[inline(always)]
+    fn max(self, rhs: Self) -> Self {
+        // SAFETY: AVX2 verified by the dispatcher.
+        Self(unsafe { _mm256_max_epu8(self.0, rhs.0) })
+    }
+
+    #[inline(always)]
+    fn any_gt(self, rhs: Self) -> bool {
+        // SAFETY: AVX2 verified by the dispatcher.
+        unsafe {
+            _mm256_movemask_epi8(_mm256_cmpeq_epi8(_mm256_max_epu8(self.0, rhs.0), rhs.0)) != -1
+        }
+    }
+
+    #[inline(always)]
+    fn shift(self) -> Self {
+        // SAFETY: AVX2 verified by the dispatcher.
+        Self(unsafe { shift_256::<15>(self.0) })
+    }
+
+    #[inline(always)]
+    fn horizontal_max(self) -> u8 {
+        // SAFETY: AVX2 verified by the dispatcher.
+        unsafe {
+            let lo = _mm256_castsi256_si128(self.0);
+            let hi = _mm256_extracti128_si256::<1>(self.0);
+            U8x16Sse(_mm_max_epu8(lo, hi)).horizontal_max()
+        }
+    }
+}
+
+/// 16 × i16 in an `__m256i` (AVX2).
+#[derive(Clone, Copy)]
+pub struct I16x16Avx(__m256i);
+
+impl WordSimd for I16x16Avx {
+    const LANES: usize = 16;
+
+    #[inline(always)]
+    fn splat(v: i16) -> Self {
+        // SAFETY: only constructed after the dispatcher verified AVX2.
+        Self(unsafe { _mm256_set1_epi16(v) })
+    }
+
+    #[inline(always)]
+    fn load(lanes: &[i16]) -> Self {
+        assert!(lanes.len() >= 16);
+        // SAFETY: AVX2 verified by the dispatcher; `loadu` is unaligned and
+        // the bound is asserted above.
+        Self(unsafe { _mm256_loadu_si256(lanes.as_ptr() as *const __m256i) })
+    }
+
+    #[inline(always)]
+    fn sat_add(self, rhs: Self) -> Self {
+        // SAFETY: AVX2 verified by the dispatcher.
+        Self(unsafe { _mm256_adds_epi16(self.0, rhs.0) })
+    }
+
+    #[inline(always)]
+    fn sat_sub(self, rhs: Self) -> Self {
+        // SAFETY: AVX2 verified by the dispatcher.
+        Self(unsafe { _mm256_subs_epi16(self.0, rhs.0) })
+    }
+
+    #[inline(always)]
+    fn max(self, rhs: Self) -> Self {
+        // SAFETY: AVX2 verified by the dispatcher.
+        Self(unsafe { _mm256_max_epi16(self.0, rhs.0) })
+    }
+
+    #[inline(always)]
+    fn any_gt(self, rhs: Self) -> bool {
+        // SAFETY: AVX2 verified by the dispatcher.
+        unsafe { _mm256_movemask_epi8(_mm256_cmpgt_epi16(self.0, rhs.0)) != 0 }
+    }
+
+    #[inline(always)]
+    fn shift(self) -> Self {
+        // SAFETY: AVX2 verified by the dispatcher.
+        Self(unsafe { shift_256::<14>(self.0) })
+    }
+
+    #[inline(always)]
+    fn horizontal_max(self) -> i16 {
+        // SAFETY: AVX2 verified by the dispatcher.
+        unsafe {
+            let lo = _mm256_castsi256_si128(self.0);
+            let hi = _mm256_extracti128_si256::<1>(self.0);
+            I16x8Sse(_mm_max_epi16(lo, hi)).horizontal_max()
+        }
+    }
+}
+
+/// The AVX2 backend (runtime-detected).
+pub struct Avx2Backend;
+
+impl Backend for Avx2Backend {
+    type Byte = U8x32Avx;
+    type Word = I16x16Avx;
+    const NAME: &'static str = "avx2";
+
+    fn available() -> bool {
+        is_x86_feature_detected!("avx2")
+    }
+}
+
+/// Byte-mode kernel compiled with AVX2 statically enabled.
+///
+/// # Safety
+///
+/// The executing CPU must support AVX2 (`is_x86_feature_detected!("avx2")`).
+#[target_feature(enable = "avx2")]
+pub unsafe fn sw_bytes_avx2(
+    gaps: &GapPenalties,
+    profile: &ByteProfileOf<U8x32Avx>,
+    db: &[u8],
+) -> ByteKernelResult {
+    sw_bytes(gaps, profile, db)
+}
+
+/// Word-mode kernel compiled with AVX2 statically enabled.
+///
+/// # Safety
+///
+/// The executing CPU must support AVX2 (`is_x86_feature_detected!("avx2")`).
+#[target_feature(enable = "avx2")]
+pub unsafe fn sw_words_avx2(
+    gaps: &GapPenalties,
+    profile: &WordProfileOf<I16x16Avx>,
+    db: &[u8],
+) -> WordKernelResult {
+    sw_words(gaps, profile, db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::byte_mode::U8x16;
+    use crate::vector::I16x8;
+
+    fn bytes(vals: [u8; 16]) -> (U8x16Sse, U8x16) {
+        (U8x16Sse::load(&vals), U8x16(vals))
+    }
+
+    fn words(vals: [i16; 8]) -> (I16x8Sse, I16x8) {
+        (I16x8Sse::load(&vals), I16x8(vals))
+    }
+
+    fn store_b(v: U8x16Sse) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        // SAFETY: storeu is unaligned-safe and `out` is 16 bytes.
+        unsafe { _mm_storeu_si128(out.as_mut_ptr() as *mut __m128i, v.0) };
+        out
+    }
+
+    fn store_w(v: I16x8Sse) -> [i16; 8] {
+        let mut out = [0i16; 8];
+        // SAFETY: storeu is unaligned-safe and `out` is 16 bytes.
+        unsafe { _mm_storeu_si128(out.as_mut_ptr() as *mut __m128i, v.0) };
+        out
+    }
+
+    #[test]
+    fn sse_bytes_match_portable_semantics() {
+        let a_vals = [
+            0, 1, 127, 128, 200, 250, 255, 3, 9, 0, 50, 60, 70, 80, 90, 100,
+        ];
+        let b_vals = [
+            255, 0, 128, 127, 100, 10, 1, 3, 8, 1, 49, 61, 70, 81, 89, 101,
+        ];
+        let (a, pa) = bytes(a_vals);
+        let (b, pb) = bytes(b_vals);
+        assert_eq!(store_b(a.sat_add(b)), pa.sat_add(pb).0);
+        assert_eq!(store_b(a.sat_sub(b)), pa.sat_sub(pb).0);
+        assert_eq!(store_b(ByteSimd::max(a, b)), pa.max(pb).0);
+        assert_eq!(a.any_gt(b), pa.any_gt(pb));
+        assert_eq!(b.any_gt(a), pb.any_gt(pa));
+        assert!(!a.any_gt(a));
+        assert_eq!(store_b(ByteSimd::shift(a)), pa.shift_in(0).0);
+        assert_eq!(ByteSimd::horizontal_max(a), pa.horizontal_max());
+    }
+
+    #[test]
+    fn sse_words_match_portable_semantics() {
+        let a_vals = [0, -1, i16::MAX, i16::MIN, 200, -250, 3000, -3];
+        let b_vals = [1, -1, i16::MIN, i16::MAX, -200, 250, 2999, 3];
+        let (a, pa) = words(a_vals);
+        let (b, pb) = words(b_vals);
+        assert_eq!(store_w(a.sat_add(b)), pa.sat_add(pb).0);
+        assert_eq!(store_w(a.sat_sub(b)), pa.sat_sub(pb).0);
+        assert_eq!(store_w(WordSimd::max(a, b)), pa.max(pb).0);
+        assert_eq!(a.any_gt(b), pa.any_gt(pb));
+        assert_eq!(b.any_gt(a), pb.any_gt(pa));
+        assert_eq!(store_w(WordSimd::shift(a)), pa.shift_in(0).0);
+        assert_eq!(WordSimd::horizontal_max(a), pa.horizontal_max());
+    }
+
+    #[test]
+    fn avx_shift_crosses_the_lane_boundary() {
+        if !Avx2Backend::available() {
+            return;
+        }
+        let mut vals = [0u8; 32];
+        for (i, v) in vals.iter_mut().enumerate() {
+            *v = i as u8 + 1;
+        }
+        let v = U8x32Avx::load(&vals);
+        let shifted = ByteSimd::shift(v);
+        let mut out = [0u8; 32];
+        // SAFETY: AVX2 checked above; storeu is unaligned-safe.
+        unsafe { _mm256_storeu_si256(out.as_mut_ptr() as *mut __m256i, shifted.0) };
+        assert_eq!(out[0], 0);
+        assert_eq!(&out[1..32], &vals[0..31], "byte 15 must carry into lane 1");
+
+        let mut wvals = [0i16; 16];
+        for (i, v) in wvals.iter_mut().enumerate() {
+            *v = i as i16 + 1;
+        }
+        let v = I16x16Avx::load(&wvals);
+        let shifted = WordSimd::shift(v);
+        let mut wout = [0i16; 16];
+        // SAFETY: AVX2 checked above; storeu is unaligned-safe.
+        unsafe { _mm256_storeu_si256(wout.as_mut_ptr() as *mut __m256i, shifted.0) };
+        assert_eq!(wout[0], 0);
+        assert_eq!(&wout[1..16], &wvals[0..15], "word 7 must carry into lane 1");
+    }
+
+    #[test]
+    fn avx_horizontal_max_and_any_gt() {
+        if !Avx2Backend::available() {
+            return;
+        }
+        let mut vals = [7u8; 32];
+        vals[29] = 201;
+        let v = U8x32Avx::load(&vals);
+        assert_eq!(ByteSimd::horizontal_max(v), 201);
+        assert!(v.any_gt(U8x32Avx::splat(200)));
+        assert!(!v.any_gt(U8x32Avx::splat(201)));
+
+        let mut wvals = [-5i16; 16];
+        wvals[3] = 999;
+        let v = I16x16Avx::load(&wvals);
+        assert_eq!(WordSimd::horizontal_max(v), 999);
+        assert!(v.any_gt(I16x16Avx::splat(998)));
+        assert!(!v.any_gt(I16x16Avx::splat(999)));
+    }
+}

@@ -18,6 +18,14 @@ cargo test -q --offline --test paper_claims --test observability --test differen
 cargo clippy --workspace --all-targets --offline -- -D warnings
 cargo fmt --check
 
+# Cross-feature matrix for the host SIMD backend: the emulated portable
+# path must keep building and passing with the native backends compiled
+# out, both ways of getting there.
+cargo build -q --release --offline -p sw-simd --no-default-features
+cargo test -q --offline -p sw-simd --no-default-features
+cargo build -q --release --offline -p sw-simd --features force-portable
+cargo test -q --offline -p sw-simd --features force-portable
+
 # Every #[ignore] must carry a triage tag with an EXPERIMENTS.md entry:
 #   #[ignore = "triage: <slug>"]
 bad=0
@@ -65,5 +73,14 @@ cargo run -q --release --offline -p cudasw-bench --bin repro -- integrity >/dev/
 # answer every request with zero sheds and non-zero throughput (asserted
 # inside the experiment).
 cargo run -q --release --offline -p cudasw-bench --bin repro -- serve >/dev/null
+
+# Host-backend smoke: the real wall-clock benchmark must run on this
+# machine's backends (score equality is asserted inside the experiment)
+# and emit a well-formed cudasw.bench.host/v1 document.
+cargo run -q --release --offline -p cudasw-bench --bin repro -- \
+  host --smoke --out "$tmp/BENCH_host.json" >/dev/null
+grep -q '"schema": "cudasw.bench.host/v1"' "$tmp/BENCH_host.json"
+grep -q '"backend": "portable"' "$tmp/BENCH_host.json"
+grep -q '"gcups"' "$tmp/BENCH_host.json"
 
 echo "verify: OK"

@@ -81,6 +81,7 @@ fn simd_baseline_searches_dna() {
     let driver = Swps3Driver {
         params: params.clone(),
         threads: 2,
+        backend: sw_simd::BackendKind::detect(),
     };
     let r = driver.search(&query, &db);
     for (i, seq) in db.sequences().iter().enumerate() {
