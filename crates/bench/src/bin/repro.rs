@@ -10,6 +10,7 @@
 //! repro serve                   # batch-scheduling search service replay
 //! repro trace <experiment> [--out <file.json>] [--metrics <file.prom>]
 //! repro host [--smoke] [--out <file.json>]
+//! repro soak [--smoke] [--out <file.json>]
 //! ```
 //!
 //! `--inject-faults <seed>` selects the random fault seed for the chaos
@@ -50,7 +51,7 @@ use std::sync::OnceLock;
 
 use cudasw_bench::experiments::{
     ablation, chaos, extensions, fig2, fig3, fig5, fig6, fig7, host, integrity, multigpu, retune,
-    serve, strips, table1, table2, validation,
+    serve, soak, strips, table1, table2, validation,
 };
 use gpu_sim::DeviceSpec;
 
@@ -106,6 +107,7 @@ fn main() {
         ("chaos", run_chaos),
         ("integrity", run_integrity),
         ("serve", run_serve),
+        ("soak", run_soak_smoke),
         ("host", run_host_smoke),
     ];
     match cmd {
@@ -117,15 +119,17 @@ fn main() {
         }
         "trace" => run_trace(&args[1..], known),
         "host" => run_host(&args[1..]),
+        "soak" => run_soak(&args[1..]),
         "help" | "--help" | "-h" => {
             println!(
                 "usage: repro <experiment> [--inject-faults <seed>] [--checkpoint <dir>] [--resume]"
             );
             println!("       repro trace <experiment> [--out <file.json>] [--metrics <file.prom>]");
             println!("       repro host [--smoke] [--out <file.json>]");
+            println!("       repro soak [--smoke] [--out <file.json>]");
             println!("experiments: all, fig2, fig3, fig5, fig6, fig7, table1, table2,");
             println!("             ablation, strips, retune, extensions, validation, chaos,");
-            println!("             integrity, serve, host");
+            println!("             integrity, serve, soak, host");
             println!("--inject-faults <seed>: fault seed for the chaos run (default 42)");
             println!("--checkpoint <dir>: write chunk-completion logs there during chaos");
             println!("--resume: replay existing logs in the checkpoint dir instead of wiping it");
@@ -369,6 +373,62 @@ fn run_integrity() {
         "corruption went undetected"
     );
     println!("Silent corruption detected, quarantined and recomputed on the host oracle.\n");
+}
+
+/// `repro all` entry: the CI-scale chaos soak, no file output.
+fn run_soak_smoke() {
+    let r = soak::run(&DeviceSpec::tesla_c1060(), true);
+    r.table().print();
+    print_soak_summary(&r);
+}
+
+/// `repro soak [--smoke] [--out <file.json>]`
+fn run_soak(rest: &[String]) {
+    let mut rest: Vec<String> = rest.to_vec();
+    let mut out_path: Option<String> = None;
+    let mut smoke = false;
+    if let Some(pos) = rest.iter().position(|a| a == "--smoke") {
+        smoke = true;
+        rest.remove(pos);
+    }
+    if let Some(pos) = rest.iter().position(|a| a == "--out") {
+        match rest.get(pos + 1) {
+            Some(p) => out_path = Some(p.clone()),
+            None => {
+                eprintln!("--out needs a file path");
+                std::process::exit(2);
+            }
+        }
+        rest.drain(pos..=pos + 1);
+    }
+    if !rest.is_empty() {
+        eprintln!("unexpected arguments {rest:?}; usage: repro soak [--smoke] [--out <file.json>]");
+        std::process::exit(2);
+    }
+    let (r, run) = obs::capture(|| soak::run(&DeviceSpec::tesla_c1060(), smoke));
+    r.table().print();
+    print_soak_summary(&r);
+    print_run_report("soak", &run);
+    if let Some(out_path) = out_path {
+        if let Err(e) = std::fs::write(&out_path, r.to_json()) {
+            eprintln!("cannot write {out_path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote soak result ({}) to {out_path}", soak::SCHEMA);
+    }
+}
+
+fn print_soak_summary(r: &soak::SoakResult) {
+    println!(
+        "Soak held {:.2}% availability through {} injected faults \
+         ({} lane death(s), {} revival(s), {} breaker trip(s));\n\
+         every answer matched the fault-free replay bit-for-bit.\n",
+        r.availability * 100.0,
+        r.injected_faults,
+        r.lane_deaths,
+        r.lane_revivals,
+        r.breaker_opens,
+    );
 }
 
 /// `repro all` entry: the CI-scale host benchmark, no file output.

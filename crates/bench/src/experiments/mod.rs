@@ -13,6 +13,7 @@ pub mod integrity;
 pub mod multigpu;
 pub mod retune;
 pub mod serve;
+pub mod soak;
 pub mod strips;
 pub mod table1;
 pub mod table2;

@@ -293,6 +293,21 @@ pub fn multi_gpu_search_resilient_checkpointed(
                     if subshard.is_empty() {
                         continue;
                     }
+                    // Budget-exhausted degrade: once the deadline has
+                    // passed, a device re-dispatch (staging + kernels +
+                    // possible retries) only digs the hole deeper — the
+                    // host absorbs the sub-shard directly.
+                    if policy.cpu_fallback
+                        && policy.deadline_seconds.is_some_and(|d| obs::now() >= d)
+                    {
+                        let mut sub_scores = vec![0i32; subshard.len()];
+                        cpu_scores(&config.params, query, subshard.sequences(), &mut sub_scores);
+                        for (h, &score) in sub_scores.iter().enumerate() {
+                            scores[s + (t + h * m) * k] = score;
+                        }
+                        report.note_cpu_fallback(subshard.len());
+                        continue;
+                    }
                     let prev_lane = obs::set_lane(dev_idx as u32 + 1);
                     let sp = obs::span("shard_redispatch", "phase");
                     let outcome = drivers[dev_idx].search_resilient_checkpointed(
@@ -410,6 +425,37 @@ mod tests {
             "2-GPU speedup = {speedup:.2}"
         );
         assert!(two.imbalance() < 1.2, "imbalance {:.2}", two.imbalance());
+    }
+
+    #[test]
+    fn exhausted_budget_skips_redispatch_and_degrades_to_host() {
+        let d = db(24);
+        let query = make_query(48, 9);
+        let cfg = CudaSwConfig::improved();
+        let spec = DeviceSpec::tesla_c1060();
+        // Device 0 dies instantly; with the deadline already in the past,
+        // its shard must be absorbed by the host instead of re-dispatched
+        // to device 1 — and the scores still come out complete and right.
+        let plans = vec![FaultPlan::none().with_device_loss(gpu_sim::FaultSite::Launch, 0)];
+        let policy = RecoveryPolicy {
+            deadline_seconds: Some(obs::now()),
+            ..RecoveryPolicy::default()
+        };
+        let r = multi_gpu_search_resilient(&spec, &cfg, &query, &d, 2, &plans, &policy).unwrap();
+        assert_eq!(
+            r.recovery.shard_redispatches, 0,
+            "no redispatch past deadline"
+        );
+        assert!(r.recovery.cpu_fallback_seqs > 0);
+        assert!(r.recovery.degraded);
+        let params = SwParams::cudasw_default();
+        for (i, seq) in d.sequences().iter().enumerate() {
+            assert_eq!(
+                r.scores[i],
+                sw_score(&params, &query, &seq.residues),
+                "seq {i}"
+            );
+        }
     }
 
     #[test]

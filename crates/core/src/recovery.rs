@@ -70,6 +70,13 @@ pub struct RecoveryPolicy {
     /// [`GpuError::ChecksumMismatch`] and the affected chunk is
     /// quarantined and recomputed on the host oracle.
     pub integrity_checks: bool,
+    /// Absolute deadline on the simulated clock ([`obs::now`]): a retry
+    /// whose backoff would land past this instant is *denied* (recorded as
+    /// [`RecoveryEvent::BudgetDenied`]) and the ladder degrades directly —
+    /// re-chunking and CPU fallback still run, because they make forward
+    /// progress instead of burning budget on the same failing operation.
+    /// `None` (the default) never denies.
+    pub deadline_seconds: Option<f64>,
 }
 
 impl Default for RecoveryPolicy {
@@ -81,6 +88,7 @@ impl Default for RecoveryPolicy {
             cpu_fallback: true,
             watchdog_cycles: None,
             integrity_checks: true,
+            deadline_seconds: None,
         }
     }
 }
@@ -113,6 +121,13 @@ pub enum RecoveryEvent {
         /// Sequences recomputed.
         sequences: usize,
     },
+    /// A retry was denied because its backoff would overrun the query's
+    /// deadline budget ([`RecoveryPolicy::deadline_seconds`]); the ladder
+    /// degraded (fallback/redispatch) instead of retrying.
+    BudgetDenied {
+        /// Display form of the error that would have been retried.
+        error: String,
+    },
     /// A dead device's shard (or part of it) was re-run on a survivor.
     ShardRedispatch {
         /// Index of the failed device.
@@ -129,6 +144,9 @@ pub enum RecoveryEvent {
 pub struct RecoveryReport {
     /// Transient-error retries performed.
     pub retries: u64,
+    /// Retries *denied* because their backoff would overrun the deadline
+    /// budget (the ladder degraded instead of waiting).
+    pub budget_denied_retries: u64,
     /// OOM-driven window halvings.
     pub rechunks: u64,
     /// Sequences scored by the CPU fallback.
@@ -152,6 +170,7 @@ impl RecoveryReport {
     /// Fold another report into this one (multi-GPU aggregation).
     pub fn merge(&mut self, other: &RecoveryReport) {
         self.retries += other.retries;
+        self.budget_denied_retries += other.budget_denied_retries;
         self.rechunks += other.rechunks;
         self.cpu_fallback_seqs += other.cpu_fallback_seqs;
         self.shard_redispatches += other.shard_redispatches;
@@ -185,6 +204,22 @@ impl RecoveryReport {
         self.events.push(RecoveryEvent::Retry {
             error: err.to_string(),
             attempt,
+        });
+    }
+
+    fn note_budget_denied(&mut self, err: &GpuError, deadline: f64) {
+        self.budget_denied_retries += 1;
+        obs::counter_add("cudasw.core.recovery.budget_denied", &[], 1.0);
+        obs::instant(
+            "budget_denied",
+            "recovery",
+            &[
+                ("error", &err.to_string()),
+                ("deadline_seconds", &format!("{deadline:.6}")),
+            ],
+        );
+        self.events.push(RecoveryEvent::BudgetDenied {
+            error: err.to_string(),
         });
     }
 
@@ -371,7 +406,19 @@ fn classify(
     report: &mut RecoveryReport,
 ) -> Handling {
     if err.is_transient() && *attempt < policy.max_retries {
-        *attempt += 1;
+        // Deadline budget: a retry sleeps its backoff before running, so
+        // if the backoff alone lands past the query's deadline the retry
+        // can never help — degrade immediately instead of waiting.
+        // Re-chunking is still allowed below (it makes forward progress).
+        let next = *attempt + 1;
+        let backoff = policy.backoff_base_seconds * f64::from(1u32 << (next - 1).min(20));
+        if let Some(deadline) = policy.deadline_seconds {
+            if obs::now() + backoff > deadline {
+                report.note_budget_denied(&err, deadline);
+                return Handling::DeviceFailed(err);
+            }
+        }
+        *attempt = next;
         report.note_retry(&err, *attempt, policy);
         Handling::Retry
     } else if matches!(err, GpuError::OutOfMemory { .. }) && window > policy.min_group_size {
@@ -976,6 +1023,68 @@ mod tests {
         assert_eq!(rr.recovery.retries, 1);
         assert!(rr.recovery.backoff_seconds > 0.0);
         assert!(!rr.recovery.degraded);
+    }
+
+    #[test]
+    fn exhausted_deadline_budget_denies_retries_and_degrades() {
+        let db = db();
+        let query = make_query(57, 33);
+        let ((), run) = obs::capture(|| {
+            let mut driver = CudaSwDriver::new(DeviceSpec::tesla_c1060(), config());
+            // Every launch faults transiently; with the deadline already in
+            // the past, no retry may be issued — the ladder must degrade
+            // straight to the CPU fallback and still produce full scores.
+            driver.dev.inject_faults(FaultPlan::random(
+                11,
+                gpu_sim::FaultRates {
+                    transient: 1.0,
+                    launch_hang: 0.0,
+                    corruption: 0.0,
+                },
+            ));
+            let policy = RecoveryPolicy {
+                deadline_seconds: Some(obs::now()),
+                ..RecoveryPolicy::default()
+            };
+            let rr = driver.search_resilient(&query, &db, &policy).unwrap();
+            assert_eq!(rr.result.scores, fault_free_scores(&query, &db));
+            assert_eq!(rr.recovery.retries, 0, "no retry after budget exhaustion");
+            assert!(rr.recovery.budget_denied_retries >= 1);
+            assert_eq!(rr.recovery.backoff_seconds, 0.0);
+            assert!(rr.recovery.degraded, "scores came from the CPU fallback");
+            assert!(rr
+                .recovery
+                .events
+                .iter()
+                .any(|e| matches!(e, RecoveryEvent::BudgetDenied { .. })));
+        });
+        assert!(
+            run.metrics
+                .counter_sum("cudasw.core.recovery.budget_denied", &[])
+                >= 1.0
+        );
+        assert_eq!(
+            run.metrics.counter_sum("cudasw.core.recovery.retries", &[]),
+            0.0
+        );
+    }
+
+    #[test]
+    fn generous_deadline_budget_changes_nothing() {
+        let db = db();
+        let query = make_query(57, 33);
+        let mut driver = CudaSwDriver::new(DeviceSpec::tesla_c1060(), config());
+        driver
+            .dev
+            .inject_faults(FaultPlan::none().with_transient(FaultSite::Launch, 0));
+        let policy = RecoveryPolicy {
+            deadline_seconds: Some(obs::now() + 1.0e6),
+            ..RecoveryPolicy::default()
+        };
+        let rr = driver.search_resilient(&query, &db, &policy).unwrap();
+        assert_eq!(rr.result.scores, fault_free_scores(&query, &db));
+        assert_eq!(rr.recovery.retries, 1);
+        assert_eq!(rr.recovery.budget_denied_retries, 0);
     }
 
     #[test]

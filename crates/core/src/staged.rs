@@ -145,6 +145,16 @@ impl CudaSwDriver {
         })
     }
 
+    /// Whether `staged` still points at live device allocations: false
+    /// once the allocator was reset (or rolled below the staged images) —
+    /// a plain `search`, `search_resilient`, device revival, or re-stage
+    /// ran in between. A stale handle must be re-staged before use;
+    /// [`CudaSwDriver::search_staged`] rejects it with
+    /// [`GpuError::InvalidLaunch`].
+    pub fn staged_valid(&self, staged: &StagedDatabase) -> bool {
+        self.dev.alloc_epoch() == staged.epoch && self.dev.mark() >= staged.mark
+    }
+
     /// [`CudaSwDriver::search`] against a database staged by
     /// [`CudaSwDriver::stage_database`]: only the query artefacts are
     /// uploaded (the packed profile and the packed query residues), the
@@ -175,10 +185,7 @@ impl CudaSwDriver {
             query.len(),
             "profile must be built from the query"
         );
-        if self.dev.alloc_epoch() != staged.epoch || self.dev.mark() < staged.mark {
-            // The allocator was reset (or rolled below the staged images)
-            // after staging: the handle is stale — a plain `search`,
-            // `search_resilient`, or re-stage ran in between.
+        if !self.staged_valid(staged) {
             return Err(GpuError::InvalidLaunch {
                 reason: "stale StagedDatabase handle: device allocations were released".into(),
             });

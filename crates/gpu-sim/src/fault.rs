@@ -91,7 +91,7 @@ pub struct FaultEvent {
 }
 
 /// Per-operation fault probabilities for [`FaultPlan::random`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultRates {
     /// Probability that any single operation (alloc/launch/transfer)
     /// fails transiently.
@@ -114,6 +114,24 @@ impl Default for FaultRates {
     }
 }
 
+/// A windowed storm of random faults over the device's *total* operation
+/// stream (all sites pooled), for rolling-fault soak schedules.
+///
+/// Draws are stateless — each operation's fate is a pure hash of
+/// `(seed, total op index)` — so a burst fires identically no matter how
+/// retries and re-chunking interleave the per-site streams.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultBurst {
+    /// First total-op index inside the burst (0-based, inclusive).
+    pub start_op: u64,
+    /// First total-op index past the burst (exclusive).
+    pub end_op: u64,
+    /// Per-operation fault probabilities while the burst is active.
+    pub rates: FaultRates,
+    /// Hash seed; equal seeds replay the same burst.
+    pub seed: u64,
+}
+
 /// A schedule of faults to inject into one device.
 ///
 /// Built either explicitly (`with_*` builders, for precisely-targeted
@@ -123,6 +141,8 @@ impl Default for FaultRates {
 pub struct FaultPlan {
     events: Vec<FaultEvent>,
     random: Option<(u64, FaultRates)>,
+    bursts: Vec<FaultBurst>,
+    revival_after_probes: Option<u32>,
     memory_pressure_words: Option<usize>,
 }
 
@@ -213,6 +233,41 @@ impl FaultPlan {
         self
     }
 
+    /// Like [`FaultPlan::with_device_loss`], but the device can come back:
+    /// after the loss, the first `failed_probes` revival attempts
+    /// ([`crate::GpuDevice::try_revive`]) fail and the next one succeeds —
+    /// modelling a driver reset / re-seating that takes a few probe waves.
+    pub fn with_device_loss_recovery(
+        mut self,
+        site: FaultSite,
+        index: u64,
+        failed_probes: u32,
+    ) -> Self {
+        self = self.with_device_loss(site, index);
+        self.revival_after_probes = Some(failed_probes);
+        self
+    }
+
+    /// Add a rolling fault burst: while the device's total operation count
+    /// (all sites pooled) is in `[start_op, end_op)`, operations fault at
+    /// `rates`, drawn statelessly from `seed` (see [`FaultBurst`]).
+    pub fn with_fault_burst(
+        mut self,
+        start_op: u64,
+        end_op: u64,
+        rates: FaultRates,
+        seed: u64,
+    ) -> Self {
+        assert!(start_op < end_op, "burst window must be non-empty");
+        self.bursts.push(FaultBurst {
+            start_op,
+            end_op,
+            rates,
+            seed,
+        });
+        self
+    }
+
     /// Clamp usable device memory to `words` (allocation pressure: a
     /// fragmented or shared device exposes far less than its nameplate
     /// capacity).
@@ -228,7 +283,7 @@ impl FaultPlan {
 
     /// True when the plan can never fire anything.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty() && self.random.is_none()
+        self.events.is_empty() && self.random.is_none() && self.bursts.is_empty()
     }
 }
 
@@ -248,6 +303,9 @@ pub struct FaultStats {
     pub silent_corruptions: u64,
     /// Whether the device was killed.
     pub device_lost: bool,
+    /// Successful revivals after a device loss
+    /// ([`crate::GpuDevice::try_revive`]).
+    pub revivals: u64,
     /// Operations seen per site: `[alloc, launch, h2d, d2h]`.
     pub ops: [u64; 4],
 }
@@ -286,6 +344,15 @@ fn unit_f64(state: &mut u64) -> f64 {
     (splitmix64(state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
+/// Stateless unit draw for burst windows: a pure hash of the burst seed,
+/// the total operation index, and a salt (one salt per fault kind).
+fn burst_unit(seed: u64, op: u64, salt: u64) -> f64 {
+    let mut state = seed
+        .wrapping_add(op.wrapping_mul(0xA24B_AED4_963E_E407))
+        .wrapping_add(salt.wrapping_mul(0x9E6C_63D0_876A_46AD));
+    unit_f64(&mut state)
+}
+
 /// Runtime state of an installed [`FaultPlan`] (owned by the device).
 #[derive(Debug, Default)]
 pub(crate) struct FaultInjector {
@@ -293,6 +360,7 @@ pub(crate) struct FaultInjector {
     rng_state: u64,
     counters: [u64; 4],
     dead: bool,
+    revive_probes: u32,
     stats: FaultStats,
 }
 
@@ -310,6 +378,28 @@ impl FaultInjector {
         self.dead
     }
 
+    /// One revival probe against a dead device. Succeeds (clearing the
+    /// dead state) only when the plan schedules a recovery
+    /// ([`FaultPlan::with_device_loss_recovery`]) and the scheduled number
+    /// of failed probes has been paid; a plain [`FaultKind::DeviceLoss`]
+    /// stays dead forever.
+    pub(crate) fn try_revive(&mut self) -> bool {
+        if !self.dead {
+            return false;
+        }
+        let Some(after) = self.plan.revival_after_probes else {
+            return false;
+        };
+        if self.revive_probes < after {
+            self.revive_probes += 1;
+            return false;
+        }
+        self.dead = false;
+        self.revive_probes = 0;
+        self.stats.revivals += 1;
+        true
+    }
+
     pub(crate) fn stats(&self) -> FaultStats {
         let mut s = self.stats;
         s.ops = self.counters;
@@ -321,6 +411,7 @@ impl FaultInjector {
     pub(crate) fn next_op(&mut self, site: FaultSite) -> Option<FaultKind> {
         let slot = site_slot(site);
         let index = self.counters[slot];
+        let total: u64 = self.counters.iter().sum();
         self.counters[slot] += 1;
 
         if self.dead {
@@ -334,6 +425,28 @@ impl FaultInjector {
             .find(|e| e.site == site && e.index == index)
         {
             return Some(self.record(ev.kind));
+        }
+
+        if let Some(burst) = self
+            .plan
+            .bursts
+            .iter()
+            .find(|b| (b.start_op..b.end_op).contains(&total))
+            .copied()
+        {
+            if burst_unit(burst.seed, total, 0) < burst.rates.transient {
+                return Some(self.record(FaultKind::Transient));
+            }
+            if site == FaultSite::Launch
+                && burst_unit(burst.seed, total, 1) < burst.rates.launch_hang
+            {
+                return Some(self.record(FaultKind::Hang));
+            }
+            if matches!(site, FaultSite::HostToDevice | FaultSite::DeviceToHost)
+                && burst_unit(burst.seed, total, 2) < burst.rates.corruption
+            {
+                return Some(self.record(FaultKind::Corruption));
+            }
         }
 
         if let Some((_, rates)) = self.plan.random {
@@ -518,5 +631,91 @@ mod tests {
     #[should_panic(expected = "transfer fault")]
     fn silent_corruption_rejects_non_transfer_site() {
         let _ = FaultPlan::none().with_silent_corruption(FaultSite::Alloc, 0);
+    }
+
+    #[test]
+    fn burst_fires_only_inside_its_window_and_deterministically() {
+        let rates = FaultRates {
+            transient: 0.5,
+            launch_hang: 0.0,
+            corruption: 0.0,
+        };
+        let run = || {
+            let mut inj = FaultInjector::default();
+            inj.install(FaultPlan::none().with_fault_burst(10, 40, rates, 0xB0B));
+            (0..100)
+                .map(|_| inj.next_op(FaultSite::Launch))
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        assert_eq!(a, run(), "burst draws are deterministic");
+        assert!(
+            a[..10].iter().all(|f| f.is_none()),
+            "nothing fires before the window"
+        );
+        assert!(
+            a[40..].iter().all(|f| f.is_none()),
+            "nothing fires after the window"
+        );
+        let inside = a[10..40].iter().filter(|f| f.is_some()).count();
+        assert!(
+            (5..=25).contains(&inside),
+            "p=0.5 over 30 ops fired {inside}"
+        );
+    }
+
+    #[test]
+    fn burst_draws_ignore_per_site_interleaving() {
+        // The same total-op window must fault at the same total-op indices
+        // regardless of which sites the operations land on.
+        let rates = FaultRates {
+            transient: 0.3,
+            launch_hang: 0.0,
+            corruption: 0.0,
+        };
+        let fired = |sites: &dyn Fn(u64) -> FaultSite| {
+            let mut inj = FaultInjector::default();
+            inj.install(FaultPlan::none().with_fault_burst(0, 50, rates, 9));
+            (0..50u64)
+                .filter(|&i| inj.next_op(sites(i)).is_some())
+                .collect::<Vec<_>>()
+        };
+        let all_launch = fired(&|_| FaultSite::Launch);
+        let alternating = fired(&|i| {
+            if i % 2 == 0 {
+                FaultSite::Launch
+            } else {
+                FaultSite::Alloc
+            }
+        });
+        assert_eq!(all_launch, alternating);
+    }
+
+    #[test]
+    fn scheduled_revival_fails_the_promised_probes_then_succeeds() {
+        let mut inj = FaultInjector::default();
+        inj.install(FaultPlan::none().with_device_loss_recovery(FaultSite::Launch, 0, 2));
+        assert_eq!(inj.next_op(FaultSite::Launch), Some(FaultKind::DeviceLoss));
+        assert!(inj.is_dead());
+        assert!(!inj.try_revive(), "probe 1 fails");
+        assert!(!inj.try_revive(), "probe 2 fails");
+        assert!(inj.try_revive(), "probe 3 succeeds");
+        assert!(!inj.is_dead());
+        assert_eq!(inj.stats().revivals, 1);
+        // The revived device operates normally again.
+        assert_eq!(inj.next_op(FaultSite::Launch), None);
+        assert!(!inj.try_revive(), "revive on a live device is a no-op");
+    }
+
+    #[test]
+    fn plain_device_loss_never_revives() {
+        let mut inj = FaultInjector::default();
+        inj.install(FaultPlan::none().with_device_loss(FaultSite::Launch, 0));
+        assert_eq!(inj.next_op(FaultSite::Launch), Some(FaultKind::DeviceLoss));
+        for _ in 0..10 {
+            assert!(!inj.try_revive());
+        }
+        assert!(inj.is_dead());
+        assert_eq!(inj.stats().revivals, 0);
     }
 }

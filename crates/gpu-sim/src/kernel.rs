@@ -295,6 +295,25 @@ impl GpuDevice {
         self.fault.is_dead()
     }
 
+    /// One revival probe against a lost device: succeeds only when the
+    /// installed plan schedules a recovery
+    /// ([`FaultPlan::with_device_loss_recovery`]) and the scheduled probe
+    /// failures have been paid. On success every allocation is dropped
+    /// (the reset wiped device memory, so the allocator epoch bumps and
+    /// stale staged handles invalidate themselves) and the device serves
+    /// operations again. A no-op `false` on a live device or a plan with
+    /// no scheduled recovery.
+    pub fn try_revive(&mut self) -> bool {
+        if self.fault.try_revive() {
+            self.mem.free_all();
+            obs::counter_add("cudasw.gpu_sim.device.revived", &[], 1.0);
+            obs::instant("device_revived", "fault", &[]);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Allocate device memory (128-byte aligned).
     pub fn alloc(&mut self, words: usize) -> Result<DevicePtr, GpuError> {
         if let Some(kind) = self.fault.next_op(FaultSite::Alloc) {
@@ -912,6 +931,42 @@ mod tests {
             dev.copy_from_device(out, 4),
             Err(GpuError::DeviceLost)
         ));
+    }
+
+    #[test]
+    fn scheduled_revival_brings_the_device_back_with_a_fresh_epoch() {
+        let mut dev = GpuDevice::new(DeviceSpec::tesla_c1060());
+        dev.inject_faults(crate::fault::FaultPlan::none().with_device_loss_recovery(
+            FaultSite::Launch,
+            0,
+            1,
+        ));
+        let out = dev.alloc(64).unwrap();
+        let k = IotaKernel { out, threads: 64 };
+        assert!(matches!(
+            dev.launch(&k, 1, "iota"),
+            Err(GpuError::DeviceLost)
+        ));
+        assert!(dev.is_lost());
+        let epoch_before = dev.alloc_epoch();
+
+        assert!(!dev.try_revive(), "first probe is scheduled to fail");
+        assert!(dev.is_lost());
+        assert!(dev.try_revive(), "second probe succeeds");
+        assert!(!dev.is_lost());
+        assert!(
+            dev.alloc_epoch() > epoch_before,
+            "revival wipes memory, so pre-loss handles go stale"
+        );
+        assert_eq!(dev.fault_stats().revivals, 1);
+
+        // The revived device runs normally.
+        let out = dev.alloc(64).unwrap();
+        let k = IotaKernel { out, threads: 64 };
+        dev.launch(&k, 1, "iota").unwrap();
+        let (data, _) = dev.copy_from_device(out, 4).unwrap();
+        assert_eq!(data, vec![0, 1, 2, 3]);
+        assert!(!dev.try_revive(), "revive on a live device is a no-op");
     }
 
     #[test]

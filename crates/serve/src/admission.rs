@@ -36,6 +36,9 @@ pub enum ShedReason {
     QueueFull,
     /// The tenant is at [`AdmissionConfig::tenant_quota`].
     TenantQuota,
+    /// The request's deadline passed while it was still queued
+    /// (load-shedding mode only — see `ServeConfig::shed_expired`).
+    DeadlineExpired,
 }
 
 impl ShedReason {
@@ -44,6 +47,7 @@ impl ShedReason {
         match self {
             ShedReason::QueueFull => "queue_full",
             ShedReason::TenantQuota => "tenant_quota",
+            ShedReason::DeadlineExpired => "deadline_expired",
         }
     }
 }
@@ -120,6 +124,32 @@ impl AdmissionQueue {
         taken
     }
 
+    /// Remove and return every queued request whose deadline is at or
+    /// before `now`, releasing tenant quotas and emitting shed counters.
+    /// The service calls this each scheduler step when load-shedding is
+    /// enabled; with it off (the default) expired requests are served
+    /// late and flagged instead.
+    pub fn take_expired(&mut self, now: f64) -> Vec<SearchRequest> {
+        let mut expired = Vec::new();
+        let mut i = 0;
+        while i < self.queued.len() {
+            if self.queued[i].deadline_seconds <= now {
+                let req = self.queued.remove(i);
+                if let Some(n) = self.per_tenant.get_mut(&req.tenant) {
+                    *n -= 1;
+                }
+                self.note_shed(ShedReason::DeadlineExpired);
+                expired.push(req);
+            } else {
+                i += 1;
+            }
+        }
+        if !expired.is_empty() {
+            self.note_depth();
+        }
+        expired
+    }
+
     fn note_shed(&self, reason: ShedReason) {
         obs::counter_add("cudasw.serve.shed", &[("reason", reason.as_str())], 1.0);
     }
@@ -186,6 +216,24 @@ mod tests {
         // Quota was released: two more fit under a quota of 10 anyway,
         // but per-tenant accounting must reflect the removal.
         assert_eq!(q.depth(), 3);
+    }
+
+    #[test]
+    fn take_expired_sheds_only_past_deadlines_and_frees_quota() {
+        let mut q = AdmissionQueue::new(AdmissionConfig {
+            queue_capacity: 10,
+            tenant_quota: 2,
+        });
+        // req(id, _) has deadline id + 1.0.
+        q.offer(req(0, "t")).unwrap();
+        q.offer(req(5, "t")).unwrap();
+        let expired = q.take_expired(2.0);
+        assert_eq!(expired.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(q.requests().iter().map(|r| r.id).collect::<Vec<_>>(), [5]);
+        // Quota released: tenant "t" can queue another request.
+        assert!(q.offer(req(7, "t")).is_ok());
+        // Nothing else expires at the same instant.
+        assert!(q.take_expired(2.0).is_empty());
     }
 
     #[test]

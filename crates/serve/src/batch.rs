@@ -25,6 +25,11 @@ pub struct BatchPolicy {
     /// How long the head request may wait for companions before the wave
     /// dispatches anyway (seconds from the head's arrival).
     pub max_linger_seconds: f64,
+    /// When > 0: a head whose deadline slack (`deadline − now`) is below
+    /// this dispatches immediately in a short wave (quarter size) instead
+    /// of lingering for companions — urgent work skips the coalescing
+    /// bet. `0.0` (the default) disables the fast path.
+    pub urgent_slack_seconds: f64,
 }
 
 impl Default for BatchPolicy {
@@ -32,6 +37,7 @@ impl Default for BatchPolicy {
         Self {
             max_wave: 16,
             max_linger_seconds: 5.0e-3,
+            urgent_slack_seconds: 0.0,
         }
     }
 }
@@ -85,7 +91,15 @@ impl Batcher {
     pub fn next_dispatch_at(&self, queue: &AdmissionQueue, now: f64) -> Option<f64> {
         let head = head_index(queue)?;
         let head_arrival = queue.requests()[head].arrival_seconds;
-        Some((head_arrival + self.policy.max_linger_seconds).max(now))
+        let mut at = head_arrival + self.policy.max_linger_seconds;
+        if self.policy.urgent_slack_seconds > 0.0 {
+            // The head turns urgent when its slack drops below the
+            // threshold; nudge past the boundary so `<` sees it.
+            let urgent_at =
+                queue.requests()[head].deadline_seconds - self.policy.urgent_slack_seconds;
+            at = at.min(urgent_at + f64::EPSILON.max(urgent_at.abs() * f64::EPSILON));
+        }
+        Some(at.max(now))
     }
 
     /// Form the next wave, or decline (queue empty, or the head is still
@@ -106,8 +120,16 @@ impl Batcher {
         let head_arrival = queue.requests()[head].arrival_seconds;
         let linger_expired = now >= head_arrival + self.policy.max_linger_seconds;
         let full = member_indices.len() >= self.policy.max_wave;
-        if !(flush || full || linger_expired) {
+        let urgent = self.policy.urgent_slack_seconds > 0.0
+            && queue.requests()[head].deadline_seconds - now < self.policy.urgent_slack_seconds;
+        if !(flush || full || linger_expired || urgent) {
             return None;
+        }
+        if urgent && !(full || linger_expired) {
+            // Urgent fast path: dispatch a short wave now rather than
+            // betting the head's remaining slack on more companions.
+            member_indices.truncate((self.policy.max_wave / 4).max(1));
+            obs::counter_add("cudasw.serve.urgent_waves", &[], 1.0);
         }
 
         member_indices.sort_unstable();
@@ -205,6 +227,7 @@ mod tests {
         let policy = BatchPolicy {
             max_wave: 2,
             max_linger_seconds: 1.0,
+            ..BatchPolicy::default()
         };
         let batcher = Batcher::new(policy);
         let mut q = queue_with(vec![req(0, 0.0, 10.0, 10, p.clone())]);
@@ -229,11 +252,39 @@ mod tests {
         let batcher = Batcher::new(BatchPolicy {
             max_wave: 3,
             max_linger_seconds: 0.0,
+            ..BatchPolicy::default()
         });
         let mut q = queue_with((0..7).map(|i| req(i, 0.0, 1.0, 10, p.clone())).collect());
         let w = batcher.next_wave(&mut q, 0.0, false).unwrap();
         assert_eq!(w.requests.len(), 3);
         assert_eq!(q.depth(), 4);
+    }
+
+    #[test]
+    fn urgent_head_dispatches_a_short_wave_immediately() {
+        let p = SwParams::cudasw_default();
+        let batcher = Batcher::new(BatchPolicy {
+            max_wave: 8,
+            max_linger_seconds: 10.0,
+            urgent_slack_seconds: 0.5,
+        });
+        // Head deadline 1.0; at now = 0.6 its slack (0.4) is under the
+        // 0.5 threshold, so it must not keep lingering.
+        let mut q = queue_with(vec![
+            req(0, 0.0, 1.0, 10, p.clone()),
+            req(1, 0.0, 9.0, 10, p.clone()),
+            req(2, 0.0, 9.0, 10, p.clone()),
+        ]);
+        assert!(batcher.next_wave(&mut q, 0.3, false).is_none());
+        let w = batcher.next_wave(&mut q, 0.6, false).unwrap();
+        // Quarter of max_wave = 2: the urgent head plus one companion.
+        assert_eq!(w.requests.iter().map(|r| r.id).collect::<Vec<_>>(), [0, 1]);
+        assert_eq!(q.depth(), 1);
+        // next_dispatch_at reflects the urgency boundary (0.5), not the
+        // 10-second linger expiry.
+        let q2 = queue_with(vec![req(3, 0.0, 1.0, 10, p.clone())]);
+        let at = batcher.next_dispatch_at(&q2, 0.0).unwrap();
+        assert!((at - 0.5).abs() < 1e-9, "dispatch at {at}");
     }
 
     #[test]

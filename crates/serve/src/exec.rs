@@ -15,12 +15,30 @@
 //! * with no survivors left the shard is computed on the host SIMD
 //!   oracle (when the policy allows CPU fallback).
 //!
+//! On top of the per-query ladder sits cross-query service resilience
+//! (see [`crate::health`]):
+//!
+//! * every lane carries a circuit breaker fed by its wave-level fault
+//!   deltas — an open breaker routes the lane's shard work through the
+//!   owed machinery instead of paying the retry ladder every wave;
+//! * a *dead* lane's breaker paces revival probes
+//!   ([`gpu_sim::GpuDevice::try_revive`]); a revived lane restages and
+//!   re-earns trust through half-open;
+//! * a straggling lane (latency EWMA past the hedge threshold) has its
+//!   queries speculatively re-issued on the host SIMD engine —
+//!   first-result-wins, committed exactly once;
+//! * with deadline propagation on, every device dispatch carries the
+//!   query's remaining EDF budget ([`RecoveryPolicy::deadline_seconds`])
+//!   so retries and redispatches degrade instead of overrunning it.
+//!
 //! Scores are exact integer Smith-Waterman scores on every path, so a
 //! served result is bit-identical to a standalone resilient search no
 //! matter which ladder rung produced it.
 
 use crate::batch::Wave;
 use crate::cache::ProfileCache;
+use crate::health::{HealthPolicy, HealthTracker};
+use crate::request::SearchRequest;
 use cudasw_core::multi_gpu::shard_database;
 use cudasw_core::{
     CudaSwConfig, CudaSwDriver, RecoveryEvent, RecoveryPolicy, RecoveryReport, StagedDatabase,
@@ -36,6 +54,19 @@ struct Lane {
     shard: Database,
     staged: Option<StagedDatabase>,
     alive: bool,
+}
+
+/// Host SIMD throughput the hedge cost model assumes, cells/second. The
+/// hedge only needs a *relative* cost to decide the first finisher, and
+/// a fixed constant keeps replays deterministic.
+const HEDGE_HOST_CUPS: f64 = 1.0e9;
+
+/// A speculative host-side result for one query's shard work.
+struct HedgeResult {
+    /// Shard-order scores from the host SIMD engine.
+    scores: Vec<i32>,
+    /// Modelled host completion time, service seconds.
+    seconds: f64,
 }
 
 /// What one wave took to serve.
@@ -60,12 +91,15 @@ pub struct WaveExecutor {
     lanes: Vec<Lane>,
     policy: RecoveryPolicy,
     db_len: usize,
+    health: HealthTracker,
+    propagate_deadlines: bool,
 }
 
 impl WaveExecutor {
     /// Bring up `devices` lanes of `spec` over round-robin shards of
     /// `db`, installing `plans[i]` on lane `i` (missing entries get
     /// [`FaultPlan::none`]).
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         spec: &DeviceSpec,
         config: &CudaSwConfig,
@@ -73,10 +107,12 @@ impl WaveExecutor {
         devices: usize,
         plans: &[FaultPlan],
         policy: &RecoveryPolicy,
+        health: &HealthPolicy,
+        propagate_deadlines: bool,
     ) -> Self {
         let devices = devices.max(1);
         let shards = shard_database(db, devices);
-        let lanes = shards
+        let lanes: Vec<Lane> = shards
             .into_iter()
             .enumerate()
             .map(|(device, shard)| {
@@ -95,10 +131,13 @@ impl WaveExecutor {
                 }
             })
             .collect();
+        let health = HealthTracker::new(lanes.len(), health.clone());
         Self {
             lanes,
             policy: policy.clone(),
             db_len: db.len(),
+            health,
+            propagate_deadlines,
         }
     }
 
@@ -112,8 +151,27 @@ impl WaveExecutor {
         self.lanes.len()
     }
 
+    /// The cross-query health tracker (breaker states, fault scores).
+    pub fn health(&self) -> &HealthTracker {
+        &self.health
+    }
+
+    /// The absolute simulated-clock deadline for a device dispatch that
+    /// starts `service_elapsed` seconds into the wave: the query's
+    /// remaining EDF budget mapped onto the device clock. `None` when
+    /// deadline propagation is off or the request carries no meaningful
+    /// budget.
+    fn query_deadline(&self, req: &SearchRequest, service_elapsed: f64) -> Option<f64> {
+        if !self.propagate_deadlines {
+            return None;
+        }
+        Some(obs::now() + (req.deadline_seconds - service_elapsed).max(0.0))
+    }
+
     /// Serve every request of `wave` (single parameter class, enforced by
-    /// the batcher) and return full-database scores per request.
+    /// the batcher) and return full-database scores per request. `now` is
+    /// the service clock at dispatch — it drives breaker cooldowns,
+    /// revival probes and deadline budgets.
     ///
     /// `Err` is reserved for unrecoverable conditions: a non-recoverable
     /// device error (a program bug), or every lane dead with CPU fallback
@@ -122,6 +180,7 @@ impl WaveExecutor {
         &mut self,
         wave: &Wave,
         cache: &mut ProfileCache,
+        now: f64,
     ) -> Result<WaveOutcome, GpuError> {
         let n = wave.requests.len();
         if n == 0 {
@@ -147,18 +206,33 @@ impl WaveExecutor {
         let mut lane_seconds = vec![0.0f64; k];
         let mut total_cells = 0u64;
         // (lane, request-index) pairs whose shard scores are still owed
-        // because the lane died mid-wave (or was already dead).
+        // because the lane died mid-wave, was already dead, or is
+        // quarantined by its breaker.
         let mut owed: Vec<(usize, usize)> = Vec::new();
 
         for (s, seconds) in lane_seconds.iter_mut().enumerate() {
             if !self.lanes[s].alive {
+                // The breaker paces revival probes against the dead
+                // device; until one succeeds the shard work is owed.
+                if self.health.admits(s, now) && !self.try_revive_lane(s, now) {
+                    self.health.observe_death(s, now);
+                }
+                if !self.lanes[s].alive {
+                    owed.extend(wave.exec_order.iter().map(|&q| (s, q)));
+                    continue;
+                }
+            } else if !self.health.admits(s, now) {
+                // Quarantined: route around the lane, no device traffic.
+                obs::counter_add("cudasw.serve.breaker_skips", &[], 1.0);
                 owed.extend(wave.exec_order.iter().map(|&q| (s, q)));
                 continue;
             }
+            let faults_before = self.lanes[s].driver.dev.fault_stats().total();
             let prev_lane = obs::set_lane(self.lanes[s].device as u32 + 1);
             let outcome = self.run_lane_wave(
                 s,
                 wave,
+                now,
                 &params,
                 &profiles,
                 &mut scores,
@@ -169,10 +243,17 @@ impl WaveExecutor {
             );
             obs::set_lane(prev_lane);
             outcome?;
+            if self.lanes[s].alive {
+                let faulted = self.lanes[s].driver.dev.fault_stats().total() > faults_before;
+                self.health.observe_wave(s, faulted, now);
+            } else {
+                self.health.observe_death(s, now);
+            }
         }
 
         self.settle_owed(
             wave,
+            now,
             &params,
             owed,
             &mut scores,
@@ -194,13 +275,30 @@ impl WaveExecutor {
         })
     }
 
+    /// One revival probe against dead lane `s`: on success the lane comes
+    /// back alive with no staged handle (the reset wiped device memory)
+    /// and re-enters the breaker through half-open.
+    fn try_revive_lane(&mut self, s: usize, now: f64) -> bool {
+        if self.lanes[s].driver.dev.try_revive() {
+            self.lanes[s].alive = true;
+            self.lanes[s].staged = None;
+            self.health.note_revival(s, now);
+            obs::counter_add("cudasw.serve.lane_revivals", &[], 1.0);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Run every wave query on lane `s`, staged fast path first. Pushes
-    /// un-served (lane died) work onto `owed`.
+    /// un-served (lane died) work onto `owed`. Queries on a straggling
+    /// lane are hedged on the host SIMD engine, first-result-wins.
     #[allow(clippy::too_many_arguments)]
     fn run_lane_wave(
         &mut self,
         s: usize,
         wave: &Wave,
+        now: f64,
         params: &sw_align::SwParams,
         profiles: &[std::rc::Rc<sw_align::PackedProfile>],
         scores: &mut [Vec<i32>],
@@ -212,10 +310,15 @@ impl WaveExecutor {
         let k = self.lanes.len();
         self.lanes[s].driver.config.params = params.clone();
         if self.lanes[s].staged.is_none() {
-            self.stage_lane(s, recovery, lane_seconds)?;
+            self.stage_lane(s, wave, now, recovery, lane_seconds)?;
         }
         for (pos, &q) in wave.exec_order.iter().enumerate() {
             let req = &wave.requests[q];
+            // Hedged dispatch: a straggling lane gets a speculative host
+            // twin for this query before the device attempt.
+            let hedge = self.issue_hedge(s, req, params);
+            let gpu_start = *lane_seconds;
+            let mut served_secs: Option<f64> = None;
             // Fast path: the resident shard plus the cached profile.
             if self.lanes[s].staged.is_some() {
                 let staged = self.lanes[s].staged.clone().expect("checked");
@@ -228,9 +331,8 @@ impl WaveExecutor {
                         for (j, &v) in r.scores.iter().enumerate() {
                             scores[q][s + j * k] = v;
                         }
-                        *lane_seconds += r.kernel_seconds() + r.transfer_seconds;
+                        served_secs = Some(r.kernel_seconds() + r.transfer_seconds);
                         *total_cells += r.total_cells();
-                        continue;
                     }
                     Err(e) if e.is_recoverable() => {
                         // The handle may have been invalidated by recovery
@@ -241,48 +343,130 @@ impl WaveExecutor {
                     Err(e) => return Err(e),
                 }
             }
-            // Resilient path: full recovery ladder on this lane's shard.
-            let shard = self.lanes[s].shard.clone();
-            let policy = self.lane_policy();
-            match self.lanes[s]
-                .driver
-                .search_resilient(&req.query, &shard, &policy)
-            {
-                Ok(rr) => {
-                    for (j, &v) in rr.result.scores.iter().enumerate() {
-                        scores[q][s + j * k] = v;
+            if served_secs.is_none() {
+                // Resilient path: full recovery ladder on this lane's
+                // shard, bounded by the query's remaining deadline budget.
+                let shard = self.lanes[s].shard.clone();
+                let policy = RecoveryPolicy {
+                    deadline_seconds: self.query_deadline(req, now + *lane_seconds),
+                    ..self.lane_policy()
+                };
+                match self.lanes[s]
+                    .driver
+                    .search_resilient(&req.query, &shard, &policy)
+                {
+                    Ok(rr) => {
+                        for (j, &v) in rr.result.scores.iter().enumerate() {
+                            scores[q][s + j * k] = v;
+                        }
+                        served_secs = Some(
+                            rr.result.kernel_seconds()
+                                + rr.result.transfer_seconds
+                                + rr.recovery.backoff_seconds,
+                        );
+                        *total_cells += rr.result.total_cells();
+                        recovery.merge(&rr.recovery);
                     }
-                    *lane_seconds += rr.result.kernel_seconds()
-                        + rr.result.transfer_seconds
-                        + rr.recovery.backoff_seconds;
-                    *total_cells += rr.result.total_cells();
-                    recovery.merge(&rr.recovery);
+                    Err(e) if e.is_recoverable() => {
+                        // Lane is gone. If a hedge is in flight it covers
+                        // this query; the rest of the wave is owed to the
+                        // survivors either way.
+                        self.lanes[s].alive = false;
+                        obs::counter_add("cudasw.serve.lane_deaths", &[], 1.0);
+                        let rest = if let Some(h) = hedge {
+                            self.commit_hedge(s, q, &h, scores, recovery);
+                            *lane_seconds = gpu_start + h.seconds;
+                            pos + 1
+                        } else {
+                            pos
+                        };
+                        owed.extend(wave.exec_order[rest..].iter().map(|&qq| (s, qq)));
+                        return Ok(());
+                    }
+                    Err(e) => return Err(e),
                 }
-                Err(e) if e.is_recoverable() => {
-                    // Lane is gone: this query and the rest of the wave
-                    // are owed to the survivors.
-                    self.lanes[s].alive = false;
-                    obs::counter_add("cudasw.serve.lane_deaths", &[], 1.0);
-                    owed.extend(wave.exec_order[pos..].iter().map(|&qq| (s, qq)));
-                    return Ok(());
-                }
-                Err(e) => return Err(e),
             }
+            // Exactly-once commitment: the first finisher's result stands.
+            // Scores are bit-identical on both paths, so "which won" only
+            // decides the lane's clock (and the degraded flag).
+            let gpu_secs = served_secs.expect("device path served");
+            match hedge {
+                Some(h) if h.seconds < gpu_secs => {
+                    self.commit_hedge(s, q, &h, scores, recovery);
+                    *lane_seconds = gpu_start + h.seconds;
+                }
+                Some(_) => {
+                    obs::counter_add("cudasw.serve.hedge.wins", &[("winner", "lane")], 1.0);
+                    *lane_seconds = gpu_start + gpu_secs;
+                }
+                None => *lane_seconds = gpu_start + gpu_secs,
+            }
+            self.health.observe_latency(s, *lane_seconds - gpu_start);
         }
         Ok(())
+    }
+
+    /// Speculatively compute `req`'s shard scores on the host SIMD engine
+    /// when lane `s` is straggling. Returns `None` when the hedge trigger
+    /// is quiet.
+    fn issue_hedge(
+        &mut self,
+        s: usize,
+        req: &SearchRequest,
+        params: &sw_align::SwParams,
+    ) -> Option<HedgeResult> {
+        if !self.health.should_hedge(s) || self.lanes[s].shard.is_empty() {
+            return None;
+        }
+        obs::counter_add("cudasw.serve.hedge.issued", &[], 1.0);
+        let shard = &self.lanes[s].shard;
+        let engine = QueryEngine::new(params.clone(), &req.query);
+        let mut simd_stats = AdaptiveStats::default();
+        let scores: Vec<i32> = shard
+            .sequences()
+            .iter()
+            .map(|seq| engine.score_with(&seq.residues, Precision::Adaptive, &mut simd_stats))
+            .collect();
+        sw_simd::record_stats(engine.kind(), &simd_stats);
+        let seconds = shard.total_cells(req.query.len()) as f64 / HEDGE_HOST_CUPS;
+        Some(HedgeResult { scores, seconds })
+    }
+
+    /// Commit a winning hedge for query `q` on lane `s`'s shard slots.
+    fn commit_hedge(
+        &mut self,
+        s: usize,
+        q: usize,
+        hedge: &HedgeResult,
+        scores: &mut [Vec<i32>],
+        recovery: &mut RecoveryReport,
+    ) {
+        let k = self.lanes.len();
+        for (j, &v) in hedge.scores.iter().enumerate() {
+            scores[q][s + j * k] = v;
+        }
+        recovery.degraded = true;
+        obs::counter_add("cudasw.serve.hedge.wins", &[("winner", "host")], 1.0);
     }
 
     /// Stage lane `s`'s shard, retrying transient faults with backoff.
     /// On persistent failure the lane either dies (device loss / retries
     /// exhausted) or falls back to un-staged per-query searches (OOM and
-    /// everything else) — both leave `staged` as `None`.
+    /// everything else) — both leave `staged` as `None`. Staging retries
+    /// are budgeted against the wave's most urgent deadline: a denied
+    /// retry serves the wave un-staged instead of backing off.
     fn stage_lane(
         &mut self,
         s: usize,
+        wave: &Wave,
+        now: f64,
         recovery: &mut RecoveryReport,
         lane_seconds: &mut f64,
     ) -> Result<(), GpuError> {
         let mut attempt = 0u32;
+        // The wave is EDF-sorted, so requests[0] carries the tightest
+        // deadline — the budget staging must respect.
+        let deadline = self.query_deadline(&wave.requests[0], now);
         loop {
             let shard = self.lanes[s].shard.clone();
             match self.lanes[s].driver.stage_database(&shard) {
@@ -293,9 +477,21 @@ impl WaveExecutor {
                     return Ok(());
                 }
                 Err(e) if e.is_transient() && attempt < self.policy.max_retries => {
-                    attempt += 1;
                     let backoff =
-                        self.policy.backoff_base_seconds * f64::from(1u32 << (attempt - 1).min(20));
+                        self.policy.backoff_base_seconds * f64::from(1u32 << attempt.min(20));
+                    if deadline.is_some_and(|d| obs::now() + backoff > d) {
+                        // Budget exhausted: no more staging retries — the
+                        // wave runs un-staged (per-query searches still
+                        // respect their own budgets).
+                        recovery.budget_denied_retries += 1;
+                        recovery.events.push(RecoveryEvent::BudgetDenied {
+                            error: e.to_string(),
+                        });
+                        obs::counter_add("cudasw.serve.budget_denied_stagings", &[], 1.0);
+                        obs::counter_add("cudasw.serve.staging_fallbacks", &[], 1.0);
+                        return Ok(());
+                    }
+                    attempt += 1;
                     recovery.retries += 1;
                     recovery.backoff_seconds += backoff;
                     recovery.events.push(RecoveryEvent::Retry {
@@ -322,12 +518,14 @@ impl WaveExecutor {
         }
     }
 
-    /// Serve shard work owed by dead lanes: re-dispatch to survivors,
-    /// falling back to the host SIMD oracle when no lane is left.
+    /// Serve shard work owed by dead or quarantined lanes: re-dispatch to
+    /// the healthiest admitted survivor, falling back to the host SIMD
+    /// oracle when no lane is left (or the deadline budget is spent).
     #[allow(clippy::too_many_arguments)]
     fn settle_owed(
         &mut self,
         wave: &Wave,
+        now: f64,
         params: &sw_align::SwParams,
         owed: Vec<(usize, usize)>,
         scores: &mut [Vec<i32>],
@@ -343,9 +541,31 @@ impl WaveExecutor {
                 continue;
             }
             let mut served = false;
-            while let Some(t) = (0..k).find(|&t| t != dead && self.lanes[t].alive) {
+            // Absolute budget for this query; once spent, stop burning
+            // device time on redispatch and degrade straight to the host.
+            let budget = if self.policy.cpu_fallback {
+                self.query_deadline(req, now)
+            } else {
+                None
+            };
+            while !budget.is_some_and(|d| obs::now() >= d) {
+                // The health tracker ranks survivors by fault score;
+                // lanes with open breakers only take owed work when
+                // nothing healthier remains (better a suspect device
+                // than a guaranteed host-speed answer).
+                let alive: Vec<bool> = self.lanes.iter().map(|l| l.alive).collect();
+                let Some(t) = self
+                    .health
+                    .preferred(&alive, dead)
+                    .or_else(|| (0..k).find(|&t| t != dead && self.lanes[t].alive))
+                else {
+                    break;
+                };
                 let prev_lane = obs::set_lane(self.lanes[t].device as u32 + 1);
-                let policy = self.lane_policy();
+                let policy = RecoveryPolicy {
+                    deadline_seconds: self.query_deadline(req, now + lane_seconds[t]),
+                    ..self.lane_policy()
+                };
                 self.lanes[t].driver.config.params = params.clone();
                 let attempt = self.lanes[t]
                     .driver
@@ -376,6 +596,7 @@ impl WaveExecutor {
                     Err(e) if e.is_recoverable() => {
                         self.lanes[t].alive = false;
                         obs::counter_add("cudasw.serve.lane_deaths", &[], 1.0);
+                        self.health.observe_death(t, now);
                     }
                     Err(e) => return Err(e),
                 }
@@ -383,7 +604,8 @@ impl WaveExecutor {
             if served {
                 continue;
             }
-            // No survivors: host SIMD oracle, if the policy allows it.
+            // No survivors (or no budget left for device work): host SIMD
+            // oracle, if the policy allows it.
             if !self.policy.cpu_fallback {
                 return Err(GpuError::DeviceLost);
             }

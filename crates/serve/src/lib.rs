@@ -18,6 +18,9 @@
 //!   ([`cudasw_core::CudaSwDriver::stage_database`]) and inherit the
 //!   resilient driver's full recovery ladder, shard re-dispatch and host
 //!   fallback included;
+//! * [`health`] — cross-query lane health: EWMA fault/latency scores,
+//!   per-lane circuit breakers (closed → open → half-open → closed),
+//!   dead-lane revival probes, and the hedged-dispatch trigger;
 //! * [`service`] — the discrete-event scheduler tying them together and
 //!   replaying seeded arrival traces ([`request::TraceConfig`]).
 //!
@@ -25,13 +28,19 @@
 //! (gauge), `waves`, `wave_requests`, `completed`, `latency_seconds`
 //! (histogram), `cache.hits/misses/evictions`, `db_stagings`,
 //! `staging_retries`, `staging_fallbacks`, `staged_faults`,
-//! `lane_deaths`, `redispatches`, `cpu_fallback_seqs`. Spans:
-//! `run_trace`, `wave` (category `serve`). See DESIGN.md §11.
+//! `lane_deaths`, `lane_revivals`, `redispatches`, `cpu_fallback_seqs`,
+//! `recovery.degraded{cause}`, `budget_denied_stagings`,
+//! `breaker_skips`, `hedge.issued`, `hedge.wins{winner}`,
+//! `health.fault_score{lane}` / `health.latency_ewma{lane}` /
+//! `health.breaker{lane}` (gauges),
+//! `health.breaker_transitions{lane,to}`. Spans: `run_trace`, `wave`
+//! (category `serve`). See DESIGN.md §11 and §13.
 
 pub mod admission;
 pub mod batch;
 pub mod cache;
 pub mod exec;
+pub mod health;
 pub mod request;
 pub mod service;
 
@@ -39,5 +48,6 @@ pub use admission::{AdmissionConfig, AdmissionQueue, ShedReason};
 pub use batch::{BatchPolicy, Batcher, Wave};
 pub use cache::ProfileCache;
 pub use exec::{WaveExecutor, WaveOutcome};
+pub use health::{BreakerState, HealthPolicy, HealthTracker, LaneHealth};
 pub use request::{ParamsKey, SearchRequest, TraceConfig};
 pub use service::{Response, SearchService, ServeConfig, ServeReport, Shed};

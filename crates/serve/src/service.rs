@@ -8,10 +8,11 @@
 //! admitted request is answered exactly once; a request's latency is
 //! `completion − arrival` on the simulated clock.
 
-use crate::admission::{AdmissionConfig, AdmissionQueue};
+use crate::admission::{AdmissionConfig, AdmissionQueue, ShedReason};
 use crate::batch::{BatchPolicy, Batcher};
 use crate::cache::ProfileCache;
 use crate::exec::WaveExecutor;
+use crate::health::{HealthPolicy, HealthTracker};
 use crate::request::SearchRequest;
 use cudasw_core::{CudaSwConfig, RecoveryPolicy, RecoveryReport};
 use gpu_sim::{DeviceSpec, FaultPlan, GpuError};
@@ -35,6 +36,15 @@ pub struct ServeConfig {
     pub recovery: RecoveryPolicy,
     /// Driver configuration (threshold, kernel choice, launch shapes).
     pub search: CudaSwConfig,
+    /// Lane-health policy: circuit breakers, revival pacing, hedging.
+    pub health: HealthPolicy,
+    /// Derive per-query deadline budgets and pass them down the recovery
+    /// ladder (retries/stagings/redispatch degrade instead of overrun).
+    pub propagate_deadlines: bool,
+    /// Shed queued requests whose deadline has already passed instead of
+    /// serving them late. Off by default: the pinned contract is that
+    /// deadline misses are flagged, not dropped.
+    pub shed_expired: bool,
 }
 
 impl Default for ServeConfig {
@@ -46,6 +56,9 @@ impl Default for ServeConfig {
             cache_capacity: 32,
             recovery: RecoveryPolicy::default(),
             search: CudaSwConfig::improved(),
+            health: HealthPolicy::default(),
+            propagate_deadlines: true,
+            shed_expired: false,
         }
     }
 }
@@ -63,6 +76,9 @@ pub struct Response {
     pub latency_seconds: f64,
     /// True when the response missed its deadline (served anyway).
     pub deadline_missed: bool,
+    /// True when part of this response's wave was served off-device
+    /// (CPU fallback, quarantine recompute, or a winning host hedge).
+    pub degraded: bool,
 }
 
 /// One shed request.
@@ -142,6 +158,20 @@ impl ServeReport {
         let missed = self.responses.iter().filter(|r| r.deadline_missed).count();
         missed as f64 / self.responses.len() as f64
     }
+
+    /// Answered requests whose wave was partly served off-device.
+    pub fn degraded_responses(&self) -> usize {
+        self.responses.iter().filter(|r| r.degraded).count()
+    }
+
+    /// Fraction of answered requests that were degraded.
+    pub fn degraded_rate(&self) -> f64 {
+        if self.responses.is_empty() {
+            0.0
+        } else {
+            self.degraded_responses() as f64 / self.responses.len() as f64
+        }
+    }
 }
 
 /// The serving subsystem: admission queue, batcher, profile cache, and
@@ -151,6 +181,7 @@ pub struct SearchService {
     batcher: Batcher,
     cache: ProfileCache,
     executor: WaveExecutor,
+    shed_expired: bool,
 }
 
 impl SearchService {
@@ -161,7 +192,17 @@ impl SearchService {
             queue: AdmissionQueue::new(cfg.admission.clone()),
             batcher: Batcher::new(cfg.batch.clone()),
             cache: ProfileCache::new(cfg.cache_capacity),
-            executor: WaveExecutor::new(spec, &cfg.search, db, cfg.devices, plans, &cfg.recovery),
+            executor: WaveExecutor::new(
+                spec,
+                &cfg.search,
+                db,
+                cfg.devices,
+                plans,
+                &cfg.recovery,
+                &cfg.health,
+                cfg.propagate_deadlines,
+            ),
+            shed_expired: cfg.shed_expired,
         }
     }
 
@@ -173,6 +214,11 @@ impl SearchService {
     /// Lanes still alive.
     pub fn lanes_alive(&self) -> usize {
         self.executor.lanes_alive()
+    }
+
+    /// Cross-query lane health (breaker states, EWMA scores).
+    pub fn health(&self) -> &HealthTracker {
+        self.executor.health()
     }
 
     /// Replay `trace` (sorted by arrival; [`crate::request::TraceConfig`]
@@ -209,12 +255,35 @@ impl SearchService {
                     });
                 }
             }
+            // Optionally shed queued work whose deadline already passed
+            // (load-shedding mode; off by default — see `shed_expired`).
+            if self.shed_expired {
+                for req in self.queue.take_expired(now) {
+                    sheds.push(Shed {
+                        id: req.id,
+                        tenant: req.tenant,
+                        reason: ShedReason::DeadlineExpired,
+                    });
+                }
+            }
             let flush = pending.is_empty();
             if let Some(wave) = self.batcher.next_wave(&mut self.queue, now, flush) {
-                let outcome = self.executor.execute_wave(&wave, &mut self.cache)?;
+                let outcome = self.executor.execute_wave(&wave, &mut self.cache, now)?;
                 now += outcome.service_seconds;
                 waves += 1;
                 total_cells += outcome.total_cells;
+                if outcome.recovery.degraded {
+                    // Label by the dominant cause so dashboards can tell
+                    // budget-driven degradation from fault-driven.
+                    let cause = if outcome.recovery.cpu_fallback_seqs > 0 {
+                        "cpu_fallback"
+                    } else if outcome.recovery.quarantined_chunks > 0 {
+                        "quarantine"
+                    } else {
+                        "hedge"
+                    };
+                    obs::counter_add("cudasw.serve.recovery.degraded", &[("cause", cause)], 1.0);
+                }
                 recovery.merge(&outcome.recovery);
                 for (req, scores) in wave.requests.iter().zip(outcome.scores) {
                     let latency = now - req.arrival_seconds;
@@ -231,6 +300,7 @@ impl SearchService {
                         scores,
                         latency_seconds: latency,
                         deadline_missed: now > req.deadline_seconds,
+                        degraded: outcome.recovery.degraded,
                     });
                 }
             } else if let Some(next) = pending.front() {

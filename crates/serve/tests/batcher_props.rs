@@ -97,6 +97,7 @@ proptest! {
         let policy = BatchPolicy {
             max_wave,
             max_linger_seconds: linger_ticks as f64 * 1.0e-4,
+            ..BatchPolicy::default()
         };
         let waves = drive(requests, policy);
 

@@ -103,6 +103,7 @@ fn wave_of_compatible_queries_stages_database_once() {
     cfg.batch = BatchPolicy {
         max_wave: n,
         max_linger_seconds: 1.0,
+        ..BatchPolicy::default()
     };
     let trace = TraceConfig {
         mean_interarrival_seconds: 1.0e-6,

@@ -28,6 +28,25 @@ use sw_db::Sequence;
 /// 4 threads.
 const CHUNKS_PER_WORKER: usize = 8;
 
+/// Minimum sequences per worker before the pool pays for itself. Thread
+/// spawn plus result merging costs tens of microseconds while a typical
+/// sequence scores in about one, so a worker with less than this much
+/// work makes the pooled pass *slower* than the inline loop. The worker
+/// count is clamped so every worker clears this bar — small databases
+/// degrade gracefully to fewer workers and finally to the inline path.
+const MIN_SEQS_PER_WORKER: usize = 16;
+
+/// Workers actually worth spawning for `n` sequences on this machine:
+/// never more than the hardware can run concurrently (oversubscribing
+/// CPU-bound scoring only adds scheduler churn), never so many that a
+/// worker's share drops under [`MIN_SEQS_PER_WORKER`].
+fn effective_workers(threads: usize, n: usize) -> usize {
+    let hardware = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    threads.min(hardware).min(n / MIN_SEQS_PER_WORKER).max(1)
+}
+
 /// Result of a pooled database search.
 #[derive(Debug, Clone)]
 pub struct HostSearchResult {
@@ -49,7 +68,6 @@ pub fn search_sequences(
     precision: Precision,
 ) -> HostSearchResult {
     let n = seqs.len();
-    let threads = threads.max(1);
     if n == 0 {
         return HostSearchResult {
             scores: Vec::new(),
@@ -58,6 +76,7 @@ pub fn search_sequences(
             steals: 0,
         };
     }
+    let threads = effective_workers(threads.max(1), n);
     let start = Instant::now();
     if threads == 1 {
         // No pool: score inline on the caller's thread.
@@ -189,6 +208,20 @@ mod tests {
             r.scores[0],
             sw_score(eng.params(), &query, &db.sequences()[0].residues)
         );
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_useful_work() {
+        // Tiny database: pooling can only lose; collapse to inline.
+        assert_eq!(effective_workers(4, 10), 1);
+        // Just under two workers' worth stays on one.
+        assert_eq!(effective_workers(4, MIN_SEQS_PER_WORKER * 2 - 1), 1);
+        // Large database: bounded by requested threads and hardware.
+        let hardware = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        assert_eq!(effective_workers(4, 10_000), 4.min(hardware));
+        assert!(effective_workers(usize::MAX, 10_000) <= hardware.max(1));
     }
 
     #[test]

@@ -62,8 +62,11 @@ grep -q '^cudasw_' "$tmp/metrics.prom"
 cargo run -q --release --offline -p cudasw-bench --bin repro -- \
   chaos --checkpoint "$tmp/ckpt" >/dev/null
 ls "$tmp/ckpt"/*.ckpt >/dev/null
-cargo run -q --release --offline -p cudasw-bench --bin repro -- \
-  chaos --checkpoint "$tmp/ckpt" --resume | grep -q 'chunks replayed'
+# Capture, then grep: `grep -q` exits at first match and the closed pipe
+# would panic repro's report printer with a broken-pipe error.
+resume_out=$(cargo run -q --release --offline -p cudasw-bench --bin repro -- \
+  chaos --checkpoint "$tmp/ckpt" --resume)
+grep -q 'chunks replayed' <<<"$resume_out"
 
 # Integrity smoke: one silent corruption must be detected, quarantined
 # and recomputed on the host oracle (asserted inside the experiment).
@@ -82,5 +85,26 @@ cargo run -q --release --offline -p cudasw-bench --bin repro -- \
 grep -q '"schema": "cudasw.bench.host/v1"' "$tmp/BENCH_host.json"
 grep -q '"backend": "portable"' "$tmp/BENCH_host.json"
 grep -q '"gcups"' "$tmp/BENCH_host.json"
+
+# Chaos-soak gate: rolling faults across every lane (one full device loss
+# with revival included) must hold the availability SLO, answer
+# bit-identically to the fault-free replay, and emit a well-formed
+# cudasw.bench.soak/v1 document. Against the committed baseline, smoke
+# availability may not regress by more than half a percentage point.
+cargo run -q --release --offline -p cudasw-bench --bin repro -- \
+  soak --smoke --out "$tmp/BENCH_soak.json" >/dev/null
+grep -q '"schema": "cudasw.bench.soak/v1"' "$tmp/BENCH_soak.json"
+grep -q '"scores_match_reference": true' "$tmp/BENCH_soak.json"
+grep -q '"duplicate_answers": 0' "$tmp/BENCH_soak.json"
+if [[ -f BENCH_soak.json ]]; then
+  base=$(sed -n 's/.*"availability": \([0-9.]*\).*/\1/p' BENCH_soak.json)
+  cur=$(sed -n 's/.*"availability": \([0-9.]*\).*/\1/p' "$tmp/BENCH_soak.json")
+  awk -v base="$base" -v cur="$cur" 'BEGIN {
+    if (cur + 0.005 < base) {
+      printf "verify: soak availability regressed: %.4f < baseline %.4f\n", cur, base
+      exit 1
+    }
+  }' >&2
+fi
 
 echo "verify: OK"
