@@ -9,7 +9,7 @@
 //! repro integrity               # silent-corruption detection smoke
 //! repro serve                   # batch-scheduling search service replay
 //! repro trace <experiment> [--out <file.json>] [--metrics <file.prom>]
-//! repro host [--smoke] [--out <file.json>]
+//! repro host [--smoke] [--db-size <n>] [--out <file.json>] [--baseline <file>]
 //! repro soak [--smoke] [--out <file.json>]
 //! ```
 //!
@@ -25,11 +25,18 @@
 //! way.
 //!
 //! `host` benchmarks the real host compute backend (runtime-dispatched
-//! SIMD, work-stealing thread pool) in wall-clock time on the current
-//! machine and — with `--out` — writes the `cudasw.bench.host/v1` JSON
-//! document (`BENCH_host.json`). `--smoke` shrinks the workload to CI
-//! scale. Unlike every other experiment these numbers are *real* seconds,
-//! not simulated ones.
+//! SIMD, both Lazy-F kernel modes, work-stealing thread pool) in
+//! wall-clock time on the current machine over a Swissprot-shaped
+//! synthetic database (10⁵ sequences; `--db-size <n>` overrides,
+//! `--smoke` shrinks to CI scale on the same code path). With `--out` it
+//! writes the append-only `cudasw.bench.host/v2` trajectory document
+//! (`BENCH_host.json`), keyed by git rev + workload config. With
+//! `--baseline <file>` the fresh run is merged into that committed
+//! trajectory and gated: per-row GCUPS regressions against the latest
+//! comparable entry and (on hosts with ≥ 4 threads and a large database)
+//! the ≥ 1.5× thread-scaling floor both exit non-zero on failure. Unlike
+//! every other experiment these numbers are *real* seconds, not
+//! simulated ones.
 //!
 //! `trace` runs any experiment under the observability recorder and dumps
 //! its span timeline as a Chrome `trace_event` JSON file — load it in
@@ -50,8 +57,8 @@
 use std::sync::OnceLock;
 
 use cudasw_bench::experiments::{
-    ablation, chaos, extensions, fig2, fig3, fig5, fig6, fig7, host, integrity, multigpu, retune,
-    serve, soak, strips, table1, table2, validation,
+    ablation, chaos, extensions, fig2, fig3, fig5, fig6, fig7, host, host_trajectory, integrity,
+    multigpu, retune, serve, soak, strips, table1, table2, validation,
 };
 use gpu_sim::DeviceSpec;
 
@@ -125,7 +132,9 @@ fn main() {
                 "usage: repro <experiment> [--inject-faults <seed>] [--checkpoint <dir>] [--resume]"
             );
             println!("       repro trace <experiment> [--out <file.json>] [--metrics <file.prom>]");
-            println!("       repro host [--smoke] [--out <file.json>]");
+            println!(
+                "       repro host [--smoke] [--db-size <n>] [--out <file.json>] [--baseline <file>]"
+            );
             println!("       repro soak [--smoke] [--out <file.json>]");
             println!("experiments: all, fig2, fig3, fig5, fig6, fig7, table1, table2,");
             println!("             ablation, strips, retune, extensions, validation, chaos,");
@@ -433,19 +442,46 @@ fn print_soak_summary(r: &soak::SoakResult) {
 
 /// `repro all` entry: the CI-scale host benchmark, no file output.
 fn run_host_smoke() {
-    let r = host::run(true);
+    let r = host::run(&host::HostBenchOpts {
+        smoke: true,
+        db_size: None,
+    });
     r.table().print();
     print_host_summary(&r);
 }
 
-/// `repro host [--smoke] [--out <file.json>]`
+/// Short git revision of the working tree (for trajectory keying).
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// `repro host [--smoke] [--db-size <n>] [--out <file.json>] [--baseline <file>]`
 fn run_host(rest: &[String]) {
     let mut rest: Vec<String> = rest.to_vec();
     let mut out_path: Option<String> = None;
-    let mut smoke = false;
+    let mut baseline_path: Option<String> = None;
+    let mut opts = host::HostBenchOpts::default();
     if let Some(pos) = rest.iter().position(|a| a == "--smoke") {
-        smoke = true;
+        opts.smoke = true;
         rest.remove(pos);
+    }
+    if let Some(pos) = rest.iter().position(|a| a == "--db-size") {
+        match rest.get(pos + 1).map(|s| s.parse::<usize>()) {
+            Some(Ok(n)) if n > 0 => opts.db_size = Some(n),
+            _ => {
+                eprintln!("--db-size needs a positive integer");
+                std::process::exit(2);
+            }
+        }
+        rest.drain(pos..=pos + 1);
     }
     if let Some(pos) = rest.iter().position(|a| a == "--out") {
         match rest.get(pos + 1) {
@@ -457,11 +493,24 @@ fn run_host(rest: &[String]) {
         }
         rest.drain(pos..=pos + 1);
     }
+    if let Some(pos) = rest.iter().position(|a| a == "--baseline") {
+        match rest.get(pos + 1) {
+            Some(p) => baseline_path = Some(p.clone()),
+            None => {
+                eprintln!("--baseline needs a file path");
+                std::process::exit(2);
+            }
+        }
+        rest.drain(pos..=pos + 1);
+    }
     if !rest.is_empty() {
-        eprintln!("unexpected arguments {rest:?}; usage: repro host [--smoke] [--out <file.json>]");
+        eprintln!(
+            "unexpected arguments {rest:?}; usage: \
+             repro host [--smoke] [--db-size <n>] [--out <file.json>] [--baseline <file>]"
+        );
         std::process::exit(2);
     }
-    let (r, run) = obs::capture(|| host::run(smoke));
+    let (r, run) = obs::capture(|| host::run(&opts));
     r.table().print();
     print_host_summary(&r);
     let selected = run.metrics.counter_sum("cudasw.simd.backend.selected", &[]);
@@ -470,12 +519,64 @@ fn run_host(rest: &[String]) {
         "[run report] host: {} backend selections, {} word-mode reruns (real wall-clock run)",
         selected as u64, reruns as u64
     );
+
+    let entry = host_trajectory::TrajectoryEntry::from_result(&r, &git_rev());
+    let mut trajectory = match &baseline_path {
+        Some(p) => {
+            let text = match std::fs::read_to_string(p) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("cannot read baseline {p}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            match host_trajectory::Trajectory::parse(&text) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot parse baseline {p}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => host_trajectory::Trajectory::default(),
+    };
+
+    let mut failures: Vec<String> = Vec::new();
+    if let Some(base) = trajectory.baseline_for(&entry) {
+        println!(
+            "comparing against committed entry (rev {}, config {}, {} host threads)",
+            base.rev, base.config, base.host_threads
+        );
+        failures.extend(host_trajectory::regressions(base, &entry));
+    } else if baseline_path.is_some() {
+        println!(
+            "no comparable committed entry (config {}, {} host threads): recording only",
+            entry.config, entry.host_threads
+        );
+    }
+    failures.extend(host_trajectory::scaling_gate(&entry));
+    trajectory.append(entry);
+
     if let Some(out_path) = out_path {
-        if let Err(e) = std::fs::write(&out_path, r.to_json()) {
+        if let Err(e) = std::fs::write(&out_path, trajectory.to_json()) {
             eprintln!("cannot write {out_path}: {e}");
             std::process::exit(1);
         }
-        println!("wrote host benchmark ({}) to {out_path}", host::SCHEMA);
+        println!(
+            "wrote host trajectory ({} entries, {}) to {out_path}",
+            trajectory.entries.len(),
+            host_trajectory::SCHEMA
+        );
+    }
+    if !failures.is_empty() {
+        eprintln!("host perf gate FAILED:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+    if baseline_path.is_some() {
+        println!("host perf gate passed (GCUPS regression + thread-scaling checks).");
     }
 }
 

@@ -2,32 +2,59 @@
 //!
 //! Unlike the paper figures (simulated-clock GPU predictions), this
 //! experiment measures the machine it runs on: one full database pass per
-//! (backend × precision × thread-count) cell, best-of-N wall-clock,
-//! emitted as `BENCH_host.json` (schema `cudasw.bench.host/v1`). The
-//! baseline row is the pre-backend host path — the portable emulated
-//! vectors in word-only mode on one thread — so the JSON directly answers
-//! "what did the native byte-mode backend buy over the old code".
+//! (backend × kernel-mode × thread-count) cell, best-of-N wall-clock. The
+//! workload is *Swissprot-shaped*: `sw-db`'s log-normal synthesizer at
+//! 10⁵ sequences by default (`--db-size` overrides), searched
+//! length-sorted like every real CUDASW++ database — the 800-sequence
+//! uniform toy of the v1 bench never let the pool amortize and reported
+//! 4 threads slower than 1. The smoke run is the *same* code path at
+//! reduced size, so CI exercises exactly what the full run measures.
+//!
+//! The baseline row is the pre-backend host path — the portable emulated
+//! vectors in word-only mode on one thread — so the numbers directly
+//! answer "what did the native byte-mode backend buy over the old code".
+//! Every backend is additionally measured in both Lazy-F kernel modes
+//! (correction loop vs prefix scan), with the `cudasw.simd.lazy_f.*`
+//! counts carried per row for the measured before/after.
 //!
 //! Scores are asserted identical across every measured cell before any
 //! number is reported; a perf figure from diverging kernels is worthless.
+//! Results are persisted as an append-only trajectory document
+//! (`cudasw.bench.host/v2`, see [`super::host_trajectory`]).
 
 use crate::report::Table;
 use crate::workloads;
-use sw_db::synth::{make_query, uniform_database};
+use sw_db::catalog::PaperDb;
+use sw_db::synth::make_query;
 use sw_db::Database;
-use sw_simd::{search_sequences, AdaptiveStats, BackendKind, Precision, QueryEngine};
+use sw_simd::{search_sequences, AdaptiveStats, BackendKind, KernelMode, Precision, QueryEngine};
 
-/// JSON schema tag of `BENCH_host.json`.
-pub const SCHEMA: &str = "cudasw.bench.host/v1";
+/// Sequences in the full Swissprot-shaped synthetic database.
+pub const FULL_DB_SIZE: usize = 100_000;
 
-/// One measured cell: a backend × precision × thread-count pass over the
-/// whole database.
-#[derive(Debug, Clone)]
+/// Sequences in the smoke run — same log-normal shape, same code path,
+/// CI-scale wall-clock.
+pub const SMOKE_DB_SIZE: usize = 1_500;
+
+/// Options for a host benchmark run.
+#[derive(Debug, Clone, Default)]
+pub struct HostBenchOpts {
+    /// CI-scale run: smaller database, fewer thread counts, one rep.
+    pub smoke: bool,
+    /// Override the database size (sequences) of either profile.
+    pub db_size: Option<usize>,
+}
+
+/// One measured cell: a backend × kernel-mode × precision × thread-count
+/// pass over the whole database.
+#[derive(Debug, Clone, PartialEq)]
 pub struct HostRow {
     /// Backend name (`avx2` / `sse2` / `neon` / `portable`).
     pub backend: String,
     /// `adaptive` (byte first, word rerun) or `word` (exact 16-bit only).
     pub precision: String,
+    /// Lazy-F kernel mode (`correction-loop` or `prefix-scan`).
+    pub kernel_mode: String,
     /// Worker threads.
     pub threads: usize,
     /// Best-of-reps wall-clock seconds for one database pass.
@@ -38,6 +65,8 @@ pub struct HostRow {
     pub byte_mode: u64,
     /// Alignments re-run in word mode after overflow.
     pub word_fallbacks: u64,
+    /// Lazy-F vector operations (byte + word passes) in the best pass.
+    pub lazy_f: u64,
     /// Work-stealing events in the measured (best) pass.
     pub steals: u64,
 }
@@ -53,15 +82,20 @@ pub struct HostBenchResult {
     pub db_size: usize,
     /// Query length.
     pub query_len: usize,
+    /// Stable workload key for trajectory matching (shape + size + query).
+    pub config: String,
     /// `std::thread::available_parallelism` of this host — thread-scaling
     /// numbers are only meaningful up to this count.
     pub host_threads: usize,
-    /// Best single-thread adaptive GCUPS per backend, divided by the
-    /// emulated baseline (portable word mode, one thread).
+    /// Best single-thread adaptive GCUPS per backend (correction-loop
+    /// mode), divided by the emulated baseline (portable word, 1 thread).
     pub speedup_vs_emulated: Vec<(String, f64)>,
-    /// Per backend: GCUPS at the highest measured thread count divided by
-    /// its own single-thread GCUPS.
+    /// Per backend: correction-loop adaptive GCUPS at the highest measured
+    /// thread count divided by its own single-thread GCUPS.
     pub thread_scaling: Vec<(String, f64)>,
+    /// Per backend: correction-loop lazy-F ops divided by prefix-scan
+    /// lazy-F ops (1-thread adaptive rows) — >1 means the scan saved work.
+    pub lazy_f_delta: Vec<(String, f64)>,
 }
 
 impl HostBenchResult {
@@ -72,11 +106,13 @@ impl HostBenchResult {
             &[
                 "backend",
                 "precision",
+                "kernel-mode",
                 "threads",
                 "seconds",
                 "GCUPS",
                 "byte-mode",
                 "word-reruns",
+                "lazy-F",
                 "steals",
             ],
         );
@@ -84,60 +120,17 @@ impl HostBenchResult {
             t.push_row(vec![
                 r.backend.clone(),
                 r.precision.clone(),
+                r.kernel_mode.clone(),
                 r.threads.to_string(),
                 format!("{:.4}", r.seconds),
                 format!("{:.3}", r.gcups),
                 r.byte_mode.to_string(),
                 r.word_fallbacks.to_string(),
+                r.lazy_f.to_string(),
                 r.steals.to_string(),
             ]);
         }
         t
-    }
-
-    /// Serialize as the `cudasw.bench.host/v1` JSON document.
-    pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n");
-        out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
-        out.push_str(&format!("  \"db_size\": {},\n", self.db_size));
-        out.push_str(&format!("  \"query_len\": {},\n", self.query_len));
-        out.push_str(&format!("  \"cells\": {},\n", self.cells));
-        out.push_str(&format!("  \"host_threads\": {},\n", self.host_threads));
-        out.push_str("  \"rows\": [\n");
-        for (i, r) in self.rows.iter().enumerate() {
-            out.push_str(&format!(
-                "    {{\"backend\": \"{}\", \"precision\": \"{}\", \"threads\": {}, \
-                 \"seconds\": {:.6}, \"gcups\": {:.4}, \"byte_mode\": {}, \
-                 \"word_fallbacks\": {}, \"steals\": {}}}{}\n",
-                r.backend,
-                r.precision,
-                r.threads,
-                r.seconds,
-                r.gcups,
-                r.byte_mode,
-                r.word_fallbacks,
-                r.steals,
-                if i + 1 == self.rows.len() { "" } else { "," },
-            ));
-        }
-        out.push_str("  ],\n");
-        out.push_str("  \"speedup_vs_emulated\": {");
-        for (i, (name, s)) in self.speedup_vs_emulated.iter().enumerate() {
-            if i > 0 {
-                out.push_str(", ");
-            }
-            out.push_str(&format!("\"{name}\": {s:.3}"));
-        }
-        out.push_str("},\n");
-        out.push_str("  \"thread_scaling\": {");
-        for (i, (name, s)) in self.thread_scaling.iter().enumerate() {
-            if i > 0 {
-                out.push_str(", ");
-            }
-            out.push_str(&format!("\"{name}\": {s:.3}"));
-        }
-        out.push_str("}\n}\n");
-        out
     }
 }
 
@@ -148,25 +141,30 @@ struct Workload {
     reps: usize,
 }
 
-fn workload(smoke: bool) -> Workload {
-    if smoke {
+fn workload(opts: &HostBenchOpts) -> Workload {
+    // One synthesizer for both profiles: the Swissprot-shaped log-normal
+    // catalog entry, length-sorted on construction like every Database.
+    // The smoke run differs from the full run only in scale.
+    if opts.smoke {
+        let db_size = opts.db_size.unwrap_or(SMOKE_DB_SIZE);
         Workload {
-            db: uniform_database("host-smoke", 48, 30, 90, workloads::SEED),
-            query: make_query(48, workloads::SEED),
+            db: PaperDb::Swissprot.generate(db_size, workloads::SEED),
+            query: make_query(128, workloads::SEED),
             thread_counts: vec![1, 2],
-            reps: 2,
+            reps: 1,
         }
     } else {
+        let db_size = opts.db_size.unwrap_or(FULL_DB_SIZE);
         Workload {
-            db: uniform_database("host-bench", 800, 100, 500, workloads::SEED),
+            db: PaperDb::Swissprot.generate(db_size, workloads::SEED),
             query: make_query(256, workloads::SEED),
             thread_counts: vec![1, 2, 4],
-            reps: 3,
+            reps: 2,
         }
     }
 }
 
-/// Measure one (engine, precision, threads) cell: best-of-`reps` seconds.
+/// Measure one (engine, threads) cell: best-of-`reps` seconds.
 fn measure(
     engine: &QueryEngine,
     db: &Database,
@@ -187,31 +185,35 @@ fn measure(
     (best_seconds, scores, stats, steals)
 }
 
-/// Run the host benchmark. `smoke` shrinks the workload to CI scale
-/// (fractions of a second) while exercising every backend and the JSON
-/// schema.
-pub fn run(smoke: bool) -> HostBenchResult {
-    let w = workload(smoke);
+/// Run the host benchmark.
+pub fn run(opts: &HostBenchOpts) -> HostBenchResult {
+    let w = workload(opts);
     let cells = w.db.total_cells(w.query.len());
     let host_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let config = format!("swissprot-synth-{}x{}", w.db.len(), w.query.len());
 
     let mut rows: Vec<HostRow> = Vec::new();
     let mut reference: Option<Vec<i32>> = None;
     let mut push_row = |backend: BackendKind,
+                        mode: KernelMode,
                         precision: Precision,
                         threads: usize,
                         reference: &mut Option<Vec<i32>>|
-     -> f64 {
-        let engine =
-            QueryEngine::with_backend(sw_align::SwParams::cudasw_default(), &w.query, backend);
+     -> (f64, u64) {
+        let engine = QueryEngine::with_backend_and_mode(
+            sw_align::SwParams::cudasw_default(),
+            &w.query,
+            backend,
+            mode,
+        );
         let (seconds, scores, stats, steals) = measure(&engine, &w.db, threads, precision, w.reps);
         match reference {
             None => *reference = Some(scores),
             Some(expected) => assert_eq!(
                 &scores, expected,
-                "scores diverged on {backend} {precision:?} x{threads}"
+                "scores diverged on {backend} {mode} {precision:?} x{threads}"
             ),
         }
         sw_simd::record_stats(backend, &stats);
@@ -220,51 +222,80 @@ pub fn run(smoke: bool) -> HostBenchResult {
         } else {
             0.0
         };
+        let lazy_f = stats.lazy_f_byte + stats.lazy_f_word;
         rows.push(HostRow {
             backend: backend.name().to_string(),
             precision: match precision {
                 Precision::Adaptive => "adaptive".to_string(),
                 Precision::Word => "word".to_string(),
             },
+            kernel_mode: mode.name().to_string(),
             threads,
             seconds,
             gcups,
             byte_mode: stats.byte_mode,
             word_fallbacks: stats.word_fallbacks,
+            lazy_f,
             steals,
         });
-        gcups
+        (gcups, lazy_f)
     };
 
     // The emulated baseline: the exact pre-backend host path (portable
-    // word-only vectors, one thread).
-    let baseline_gcups = push_row(BackendKind::Portable, Precision::Word, 1, &mut reference);
+    // word-only vectors, correction loop, one thread).
+    let (baseline_gcups, _) = push_row(
+        BackendKind::Portable,
+        KernelMode::CorrectionLoop,
+        Precision::Word,
+        1,
+        &mut reference,
+    );
 
     let backends = BackendKind::available();
     let mut speedup_vs_emulated = Vec::new();
     let mut thread_scaling = Vec::new();
+    let mut lazy_f_delta = Vec::new();
     for &backend in &backends {
-        let mut one_thread_gcups = 0.0f64;
-        let mut max_thread_gcups = 0.0f64;
-        for &threads in &w.thread_counts {
-            let gcups = push_row(backend, Precision::Adaptive, threads, &mut reference);
-            if threads == 1 {
-                one_thread_gcups = gcups;
-            }
-            if threads == *w.thread_counts.last().expect("non-empty") {
-                max_thread_gcups = gcups;
+        let mut loop_one_thread_gcups = 0.0f64;
+        let mut loop_max_thread_gcups = 0.0f64;
+        let mut loop_lazy_f = 0u64;
+        let mut scan_lazy_f = 0u64;
+        for mode in KernelMode::ALL {
+            for &threads in &w.thread_counts {
+                let (gcups, lazy_f) =
+                    push_row(backend, mode, Precision::Adaptive, threads, &mut reference);
+                if threads == 1 {
+                    match mode {
+                        KernelMode::CorrectionLoop => {
+                            loop_one_thread_gcups = gcups;
+                            loop_lazy_f = lazy_f;
+                        }
+                        KernelMode::PrefixScan => scan_lazy_f = lazy_f,
+                    }
+                }
+                if mode == KernelMode::CorrectionLoop
+                    && threads == *w.thread_counts.last().expect("non-empty")
+                {
+                    loop_max_thread_gcups = gcups;
+                }
             }
         }
         if baseline_gcups > 0.0 {
             speedup_vs_emulated.push((
                 backend.name().to_string(),
-                one_thread_gcups / baseline_gcups,
+                loop_one_thread_gcups / baseline_gcups,
             ));
         }
-        if one_thread_gcups > 0.0 {
+        if loop_one_thread_gcups > 0.0 {
             thread_scaling.push((
                 backend.name().to_string(),
-                max_thread_gcups / one_thread_gcups,
+                loop_max_thread_gcups / loop_one_thread_gcups,
+            ));
+        }
+        if scan_lazy_f > 0 {
+            lazy_f_delta.push((
+                backend.name().to_string(),
+                loop_lazy_f as f64 / scan_lazy_f as f64,
             ));
         }
     }
@@ -274,9 +305,11 @@ pub fn run(smoke: bool) -> HostBenchResult {
         cells,
         db_size: w.db.len(),
         query_len: w.query.len(),
+        config,
         host_threads,
         speedup_vs_emulated,
         thread_scaling,
+        lazy_f_delta,
     }
 }
 
@@ -285,37 +318,38 @@ mod tests {
     use super::*;
 
     #[test]
-    fn smoke_emits_valid_schema() {
-        let r = run(true);
-        assert!(!r.rows.is_empty());
-        // Baseline row first, then one adaptive row per backend × threads.
+    fn smoke_measures_the_large_db_code_path() {
+        // A scaled-down smoke (200 sequences keeps the unit test fast)
+        // must still be Swissprot-shaped, length-sorted, and cover both
+        // kernel modes on every backend.
+        let r = run(&HostBenchOpts {
+            smoke: true,
+            db_size: Some(200),
+        });
+        assert_eq!(r.db_size, 200);
+        assert_eq!(r.config, format!("swissprot-synth-200x{}", r.query_len));
+        // Baseline row first, then adaptive rows per backend × mode.
         assert_eq!(r.rows[0].backend, "portable");
         assert_eq!(r.rows[0].precision, "word");
-        let json = r.to_json();
-        let doc = obs::json::parse(&json).expect("valid JSON");
-        assert_eq!(doc.get("schema").and_then(|s| s.as_str()), Some(SCHEMA));
-        let rows = doc
-            .get("rows")
-            .and_then(|r| r.as_arr())
-            .expect("rows array");
-        assert_eq!(rows.len(), r.rows.len());
-        for row in rows {
-            for key in [
-                "backend",
-                "precision",
-                "threads",
-                "seconds",
-                "gcups",
-                "byte_mode",
-                "word_fallbacks",
-                "steals",
-            ] {
-                assert!(row.get(key).is_some(), "row missing {key}");
+        assert_eq!(r.rows[0].kernel_mode, "correction-loop");
+        let backends = sw_simd::BackendKind::available();
+        for kind in &backends {
+            for mode in ["correction-loop", "prefix-scan"] {
+                assert!(
+                    r.rows.iter().any(|row| row.backend == kind.name()
+                        && row.kernel_mode == mode
+                        && row.precision == "adaptive"),
+                    "missing {kind} {mode} row"
+                );
             }
-            assert!(row.get("gcups").unwrap().as_f64().unwrap() >= 0.0);
         }
-        assert!(doc.get("speedup_vs_emulated").unwrap().is_obj());
-        assert!(doc.get("thread_scaling").unwrap().is_obj());
-        assert!(doc.get("host_threads").unwrap().as_f64().unwrap() >= 1.0);
+        // The scan must have saved lazy-F work on every backend.
+        assert_eq!(r.lazy_f_delta.len(), backends.len());
+        for (backend, delta) in &r.lazy_f_delta {
+            assert!(*delta > 0.0, "{backend}: lazy-F delta must be positive");
+        }
+        assert!(!r.speedup_vs_emulated.is_empty());
+        assert!(!r.thread_scaling.is_empty());
+        assert!(r.host_threads >= 1);
     }
 }

@@ -1,0 +1,557 @@
+//! The host-benchmark perf *trajectory* (`BENCH_host.json`, schema
+//! `cudasw.bench.host/v2`).
+//!
+//! v1 was a snapshot: each run overwrote the file and history was lost in
+//! git archaeology. v2 is **append-only**: the document holds one entry
+//! per measured run, keyed by `(git rev, workload config, host_threads)`,
+//! so the committed file *is* the performance history of the repo. Legacy
+//! v1 documents parse into a single `pre-v2` entry and are preserved by
+//! every merge — old rows are never dropped, only a re-run of the same
+//! key replaces its own entry.
+//!
+//! Two gates read the trajectory in `verify.sh`:
+//!
+//! * **regression comparator** — the freshly measured entry is compared
+//!   against the most recent committed entry with the same config and
+//!   host thread count, row by row (backend × precision × kernel-mode ×
+//!   threads). A GCUPS drop beyond [`GCUPS_TOLERANCE`] fails.
+//! * **thread-scaling gate** — on the large synthetic database
+//!   (≥ [`SCALING_GATE_MIN_DB`] sequences), a host with ≥ 4 hardware
+//!   threads must show ≥ [`MIN_SCALING_AT_4`]× self-scaling at 4 threads
+//!   on its widest backend. The gate is conditional on the recorded
+//!   `host_threads`: a 1-core CI box cannot measure scaling and must not
+//!   fake a pass or a failure.
+
+use super::host::{HostBenchResult, HostRow};
+use obs::json::{escape, parse, Json};
+
+/// JSON schema tag of the trajectory document.
+pub const SCHEMA: &str = "cudasw.bench.host/v2";
+
+/// Schema tag of the legacy single-snapshot document.
+pub const SCHEMA_V1: &str = "cudasw.bench.host/v1";
+
+/// Allowed fractional GCUPS drop vs the committed baseline row before the
+/// comparator fails. Wall-clock on shared machines is noisy; 35% is far
+/// above run-to-run jitter but catches real regressions (the lazy-F loop
+/// reappearing, granularity collapsing).
+pub const GCUPS_TOLERANCE: f64 = 0.35;
+
+/// Minimum self-scaling at 4 threads demanded by the scaling gate.
+pub const MIN_SCALING_AT_4: f64 = 1.5;
+
+/// The scaling gate only applies to entries measured on at least this many
+/// sequences — small databases legitimately collapse to one worker.
+pub const SCALING_GATE_MIN_DB: usize = 10_000;
+
+/// One measured run in the trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryEntry {
+    /// Git revision (short hash) the run was measured at.
+    pub rev: String,
+    /// Stable workload key (`swissprot-synth-<n>x<q>` or a legacy label).
+    pub config: String,
+    /// Database sequences.
+    pub db_size: usize,
+    /// Query length.
+    pub query_len: usize,
+    /// DP cells of one database pass.
+    pub cells: u64,
+    /// Hardware threads of the measuring host.
+    pub host_threads: usize,
+    /// Measured cells.
+    pub rows: Vec<HostRow>,
+    /// Per backend: 1-thread adaptive GCUPS over the emulated baseline.
+    pub speedup_vs_emulated: Vec<(String, f64)>,
+    /// Per backend: max-threads GCUPS over 1-thread GCUPS.
+    pub thread_scaling: Vec<(String, f64)>,
+    /// Per backend: correction-loop lazy-F ops over prefix-scan lazy-F ops.
+    pub lazy_f_delta: Vec<(String, f64)>,
+}
+
+impl TrajectoryEntry {
+    /// Wrap a fresh measurement for the trajectory.
+    pub fn from_result(r: &HostBenchResult, rev: &str) -> Self {
+        Self {
+            rev: rev.to_string(),
+            config: r.config.clone(),
+            db_size: r.db_size,
+            query_len: r.query_len,
+            cells: r.cells,
+            host_threads: r.host_threads,
+            rows: r.rows.clone(),
+            speedup_vs_emulated: r.speedup_vs_emulated.clone(),
+            thread_scaling: r.thread_scaling.clone(),
+            lazy_f_delta: r.lazy_f_delta.clone(),
+        }
+    }
+
+    /// The key that decides replace-vs-append on merge.
+    fn key(&self) -> (String, String, usize) {
+        (self.rev.clone(), self.config.clone(), self.host_threads)
+    }
+}
+
+/// The whole append-only document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trajectory {
+    /// Entries in file order (oldest first).
+    pub entries: Vec<TrajectoryEntry>,
+}
+
+impl Trajectory {
+    /// Append a run, replacing a prior entry with the identical
+    /// `(rev, config, host_threads)` key (a re-run at the same revision),
+    /// never touching any other entry.
+    pub fn append(&mut self, entry: TrajectoryEntry) {
+        if let Some(existing) = self.entries.iter_mut().find(|e| e.key() == entry.key()) {
+            *existing = entry;
+        } else {
+            self.entries.push(entry);
+        }
+    }
+
+    /// Most recent committed entry comparable to `new` (same workload
+    /// config and host thread count, different or same rev).
+    pub fn baseline_for<'a>(&'a self, new: &TrajectoryEntry) -> Option<&'a TrajectoryEntry> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|e| e.config == new.config && e.host_threads == new.host_threads)
+    }
+
+    /// Serialize the v2 document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        out.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&entry_to_json(e, "    "));
+            out.push_str(if i + 1 == self.entries.len() {
+                "\n"
+            } else {
+                ",\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parse a trajectory file: a v2 document, or a legacy v1 snapshot
+    /// (upgraded in place to a single `pre-v2` entry).
+    pub fn parse(text: &str) -> Result<Trajectory, String> {
+        let doc = parse(text)?;
+        match doc.get("schema").and_then(|s| s.as_str()) {
+            Some(s) if s == SCHEMA => {
+                let entries = doc
+                    .get("entries")
+                    .and_then(|e| e.as_arr())
+                    .ok_or("v2 document without entries array")?;
+                Ok(Trajectory {
+                    entries: entries
+                        .iter()
+                        .map(entry_from_json)
+                        .collect::<Result<_, _>>()?,
+                })
+            }
+            Some(s) if s == SCHEMA_V1 => Ok(Trajectory {
+                entries: vec![entry_from_v1(&doc)?],
+            }),
+            Some(other) => Err(format!("unknown host bench schema {other:?}")),
+            None => Err("document has no schema field".to_string()),
+        }
+    }
+}
+
+fn entry_to_json(e: &TrajectoryEntry, indent: &str) -> String {
+    let pair_obj = |pairs: &[(String, f64)]| -> String {
+        let mut s = String::from("{");
+        for (i, (name, v)) in pairs.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{}\": {v:.3}", escape(name)));
+        }
+        s.push('}');
+        s
+    };
+    let mut out = format!("{indent}{{\n");
+    out.push_str(&format!("{indent}  \"rev\": \"{}\",\n", escape(&e.rev)));
+    out.push_str(&format!(
+        "{indent}  \"config\": \"{}\",\n",
+        escape(&e.config)
+    ));
+    out.push_str(&format!("{indent}  \"db_size\": {},\n", e.db_size));
+    out.push_str(&format!("{indent}  \"query_len\": {},\n", e.query_len));
+    out.push_str(&format!("{indent}  \"cells\": {},\n", e.cells));
+    out.push_str(&format!(
+        "{indent}  \"host_threads\": {},\n",
+        e.host_threads
+    ));
+    out.push_str(&format!("{indent}  \"rows\": [\n"));
+    for (i, r) in e.rows.iter().enumerate() {
+        out.push_str(&format!(
+            "{indent}    {{\"backend\": \"{}\", \"precision\": \"{}\", \
+             \"kernel_mode\": \"{}\", \"threads\": {}, \"seconds\": {:.6}, \
+             \"gcups\": {:.4}, \"byte_mode\": {}, \"word_fallbacks\": {}, \
+             \"lazy_f\": {}, \"steals\": {}}}{}\n",
+            r.backend,
+            r.precision,
+            r.kernel_mode,
+            r.threads,
+            r.seconds,
+            r.gcups,
+            r.byte_mode,
+            r.word_fallbacks,
+            r.lazy_f,
+            r.steals,
+            if i + 1 == e.rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str(&format!("{indent}  ],\n"));
+    out.push_str(&format!(
+        "{indent}  \"speedup_vs_emulated\": {},\n",
+        pair_obj(&e.speedup_vs_emulated)
+    ));
+    out.push_str(&format!(
+        "{indent}  \"thread_scaling\": {},\n",
+        pair_obj(&e.thread_scaling)
+    ));
+    out.push_str(&format!(
+        "{indent}  \"lazy_f_delta\": {}\n",
+        pair_obj(&e.lazy_f_delta)
+    ));
+    out.push_str(&format!("{indent}}}"));
+    out
+}
+
+fn pairs_from_json(v: Option<&Json>) -> Result<Vec<(String, f64)>, String> {
+    match v {
+        None => Ok(Vec::new()),
+        Some(Json::Obj(m)) => Ok(m
+            .iter()
+            .map(|(k, v)| (k.clone(), v.as_f64().unwrap_or(0.0)))
+            .collect()),
+        Some(_) => Err("expected an object of name → number".to_string()),
+    }
+}
+
+fn num(v: &Json, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(|n| n.as_f64())
+        .ok_or_else(|| format!("missing numeric field {key:?}"))
+}
+
+fn text(v: &Json, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(|s| s.as_str())
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+fn row_from_json(v: &Json, default_mode: &str) -> Result<HostRow, String> {
+    Ok(HostRow {
+        backend: text(v, "backend")?,
+        precision: text(v, "precision")?,
+        // v1 rows predate kernel modes: they all ran the correction loop.
+        kernel_mode: v
+            .get("kernel_mode")
+            .and_then(|s| s.as_str())
+            .unwrap_or(default_mode)
+            .to_string(),
+        threads: num(v, "threads")? as usize,
+        seconds: num(v, "seconds")?,
+        gcups: num(v, "gcups")?,
+        byte_mode: num(v, "byte_mode")? as u64,
+        word_fallbacks: num(v, "word_fallbacks")? as u64,
+        lazy_f: v.get("lazy_f").and_then(|n| n.as_f64()).unwrap_or(0.0) as u64,
+        steals: num(v, "steals")? as u64,
+    })
+}
+
+fn entry_from_json(v: &Json) -> Result<TrajectoryEntry, String> {
+    let rows = v
+        .get("rows")
+        .and_then(|r| r.as_arr())
+        .ok_or("entry without rows array")?;
+    Ok(TrajectoryEntry {
+        rev: text(v, "rev")?,
+        config: text(v, "config")?,
+        db_size: num(v, "db_size")? as usize,
+        query_len: num(v, "query_len")? as usize,
+        cells: num(v, "cells")? as u64,
+        host_threads: num(v, "host_threads")? as usize,
+        rows: rows
+            .iter()
+            .map(|r| row_from_json(r, "correction-loop"))
+            .collect::<Result<_, _>>()?,
+        speedup_vs_emulated: pairs_from_json(v.get("speedup_vs_emulated"))?,
+        thread_scaling: pairs_from_json(v.get("thread_scaling"))?,
+        lazy_f_delta: pairs_from_json(v.get("lazy_f_delta"))?,
+    })
+}
+
+/// Upgrade a legacy v1 snapshot into one trajectory entry. The v1 bench
+/// ran a uniform toy database, so the config label records that shape —
+/// it will never match a Swissprot-shaped config, which keeps the
+/// comparator from comparing across workloads.
+fn entry_from_v1(doc: &Json) -> Result<TrajectoryEntry, String> {
+    let db_size = num(doc, "db_size")? as usize;
+    let query_len = num(doc, "query_len")? as usize;
+    let rows = doc
+        .get("rows")
+        .and_then(|r| r.as_arr())
+        .ok_or("v1 document without rows array")?;
+    Ok(TrajectoryEntry {
+        rev: "pre-v2".to_string(),
+        config: format!("uniform-{db_size}x{query_len}"),
+        db_size,
+        query_len,
+        cells: num(doc, "cells")? as u64,
+        host_threads: num(doc, "host_threads")? as usize,
+        rows: rows
+            .iter()
+            .map(|r| row_from_json(r, "correction-loop"))
+            .collect::<Result<_, _>>()?,
+        speedup_vs_emulated: pairs_from_json(doc.get("speedup_vs_emulated"))?,
+        thread_scaling: pairs_from_json(doc.get("thread_scaling"))?,
+        lazy_f_delta: Vec::new(),
+    })
+}
+
+/// Compare a fresh entry against its committed baseline: every row key
+/// present in both must not have lost more than [`GCUPS_TOLERANCE`] of its
+/// GCUPS. Returns human-readable failures (empty = pass).
+pub fn regressions(baseline: &TrajectoryEntry, new: &TrajectoryEntry) -> Vec<String> {
+    let mut failures = Vec::new();
+    for old in &baseline.rows {
+        let Some(fresh) = new.rows.iter().find(|r| {
+            r.backend == old.backend
+                && r.precision == old.precision
+                && r.kernel_mode == old.kernel_mode
+                && r.threads == old.threads
+        }) else {
+            continue;
+        };
+        if fresh.gcups < old.gcups * (1.0 - GCUPS_TOLERANCE) {
+            failures.push(format!(
+                "{} {} {} x{}: {:.3} GCUPS vs committed {:.3} (allowed floor {:.3})",
+                fresh.backend,
+                fresh.precision,
+                fresh.kernel_mode,
+                fresh.threads,
+                fresh.gcups,
+                old.gcups,
+                old.gcups * (1.0 - GCUPS_TOLERANCE),
+            ));
+        }
+    }
+    failures
+}
+
+/// The conditional thread-scaling gate. Only entries that could measure
+/// scaling are gated: a large-enough database, ≥ 4 hardware threads on the
+/// measuring host, and a 4-thread row actually present. Returns failures
+/// (empty = pass or not applicable).
+pub fn scaling_gate(entry: &TrajectoryEntry) -> Vec<String> {
+    if entry.db_size < SCALING_GATE_MIN_DB
+        || entry.host_threads < 4
+        || !entry.rows.iter().any(|r| r.threads >= 4)
+    {
+        return Vec::new();
+    }
+    let best = entry
+        .thread_scaling
+        .iter()
+        .map(|(_, s)| *s)
+        .fold(0.0f64, f64::max);
+    if best < MIN_SCALING_AT_4 {
+        vec![format!(
+            "thread scaling {best:.2}x at 4 threads is below the {MIN_SCALING_AT_4}x gate \
+             (db_size {}, host_threads {})",
+            entry.db_size, entry.host_threads
+        )]
+    } else {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_row(backend: &str, mode: &str, threads: usize, gcups: f64) -> HostRow {
+        HostRow {
+            backend: backend.to_string(),
+            precision: "adaptive".to_string(),
+            kernel_mode: mode.to_string(),
+            threads,
+            seconds: 1.0 / gcups.max(1e-9),
+            gcups,
+            byte_mode: 90,
+            word_fallbacks: 10,
+            lazy_f: 1234,
+            steals: 2,
+        }
+    }
+
+    fn sample_entry(rev: &str, gcups_at_4: f64) -> TrajectoryEntry {
+        TrajectoryEntry {
+            rev: rev.to_string(),
+            config: "swissprot-synth-100000x256".to_string(),
+            db_size: 100_000,
+            query_len: 256,
+            cells: 9_200_000_000,
+            host_threads: 8,
+            rows: vec![
+                sample_row("avx2", "correction-loop", 1, 5.0),
+                sample_row("avx2", "correction-loop", 4, gcups_at_4),
+                sample_row("avx2", "prefix-scan", 1, 5.5),
+            ],
+            speedup_vs_emulated: vec![("avx2".to_string(), 11.0)],
+            thread_scaling: vec![("avx2".to_string(), gcups_at_4 / 5.0)],
+            lazy_f_delta: vec![("avx2".to_string(), 7.5)],
+        }
+    }
+
+    #[test]
+    fn v2_round_trips_bit_exactly_through_json() {
+        let mut t = Trajectory::default();
+        t.append(sample_entry("abc1234", 15.0));
+        t.append(sample_entry("def5678", 16.0));
+        let json = t.to_json();
+        let parsed = Trajectory::parse(&json).expect("valid v2");
+        assert_eq!(parsed.entries.len(), 2);
+        for (a, b) in t.entries.iter().zip(&parsed.entries) {
+            assert_eq!(a.rev, b.rev);
+            assert_eq!(a.config, b.config);
+            assert_eq!(a.db_size, b.db_size);
+            assert_eq!(a.host_threads, b.host_threads);
+            assert_eq!(a.rows.len(), b.rows.len());
+            for (x, y) in a.rows.iter().zip(&b.rows) {
+                assert_eq!(x.backend, y.backend);
+                assert_eq!(x.kernel_mode, y.kernel_mode);
+                assert_eq!(x.threads, y.threads);
+                assert_eq!(x.lazy_f, y.lazy_f);
+                assert!((x.gcups - y.gcups).abs() < 1e-3);
+            }
+            assert_eq!(a.thread_scaling.len(), b.thread_scaling.len());
+            assert_eq!(a.lazy_f_delta.len(), b.lazy_f_delta.len());
+        }
+    }
+
+    #[test]
+    fn append_is_append_only_except_for_identical_keys() {
+        let mut t = Trajectory::default();
+        t.append(sample_entry("aaa", 10.0));
+        // Different rev: appended, the old entry survives.
+        t.append(sample_entry("bbb", 12.0));
+        assert_eq!(t.entries.len(), 2);
+        // Same (rev, config, host_threads): replaced in place.
+        t.append(sample_entry("bbb", 13.0));
+        assert_eq!(t.entries.len(), 2);
+        assert_eq!(t.entries[0].rev, "aaa");
+        assert!((t.entries[1].rows[1].gcups - 13.0).abs() < 1e-9);
+        // A different config is a different key even at the same rev.
+        let mut other = sample_entry("bbb", 9.0);
+        other.config = "swissprot-synth-1500x128".to_string();
+        other.db_size = 1500;
+        t.append(other);
+        assert_eq!(t.entries.len(), 3);
+    }
+
+    #[test]
+    fn v1_documents_upgrade_and_survive_a_merge() {
+        // A faithful miniature of the legacy snapshot format.
+        let v1 = r#"{
+  "schema": "cudasw.bench.host/v1",
+  "db_size": 800,
+  "query_len": 256,
+  "cells": 61069056,
+  "host_threads": 1,
+  "rows": [
+    {"backend": "portable", "precision": "word", "threads": 1, "seconds": 0.09, "gcups": 0.67, "byte_mode": 0, "word_fallbacks": 800, "steals": 0},
+    {"backend": "avx2", "precision": "adaptive", "threads": 1, "seconds": 0.008, "gcups": 7.6, "byte_mode": 798, "word_fallbacks": 2, "steals": 0}
+  ],
+  "speedup_vs_emulated": {"avx2": 11.367},
+  "thread_scaling": {"avx2": 0.944}
+}"#;
+        let mut t = Trajectory::parse(v1).expect("v1 upgrades");
+        assert_eq!(t.entries.len(), 1);
+        let legacy = &t.entries[0];
+        assert_eq!(legacy.rev, "pre-v2");
+        assert_eq!(legacy.config, "uniform-800x256");
+        assert_eq!(legacy.rows.len(), 2);
+        assert_eq!(legacy.rows[0].kernel_mode, "correction-loop");
+        assert_eq!(legacy.rows[0].lazy_f, 0);
+        // Merging a new v2 entry keeps the legacy row (append-only).
+        t.append(sample_entry("new1234", 15.0));
+        assert_eq!(t.entries.len(), 2);
+        assert_eq!(t.entries[0].rev, "pre-v2");
+        // And the merged doc round-trips as v2.
+        let reparsed = Trajectory::parse(&t.to_json()).expect("merged doc parses");
+        assert_eq!(reparsed.entries.len(), 2);
+        assert_eq!(reparsed.entries[0].config, "uniform-800x256");
+    }
+
+    #[test]
+    fn comparator_rejects_a_synthetic_slowdown() {
+        let committed = sample_entry("aaa", 15.0);
+        // Fresh run at a new rev, 3x slower on the 4-thread cell.
+        let mut slow = sample_entry("bbb", 5.0);
+        slow.rows[1].gcups = 5.0;
+        let failures = regressions(&committed, &slow);
+        assert_eq!(failures.len(), 1, "exactly the slowed row fails");
+        assert!(failures[0].contains("avx2 adaptive correction-loop x4"));
+        // Within-tolerance noise passes.
+        let mut noisy = sample_entry("ccc", 15.0);
+        for r in &mut noisy.rows {
+            r.gcups *= 0.9;
+        }
+        assert!(regressions(&committed, &noisy).is_empty());
+        // Rows that only exist in the fresh run are not compared.
+        let mut extra = sample_entry("ddd", 15.0);
+        extra.rows.push(sample_row("sse2", "prefix-scan", 2, 0.001));
+        assert!(regressions(&committed, &extra).is_empty());
+    }
+
+    #[test]
+    fn baseline_matching_requires_config_and_host_threads() {
+        let mut t = Trajectory::default();
+        t.append(sample_entry("aaa", 15.0));
+        let mut other_host = sample_entry("bbb", 14.0);
+        other_host.host_threads = 1;
+        assert!(
+            t.baseline_for(&other_host).is_none(),
+            "1-core host has no 8-core baseline"
+        );
+        let mut other_config = sample_entry("bbb", 14.0);
+        other_config.config = "swissprot-synth-1500x128".to_string();
+        assert!(t.baseline_for(&other_config).is_none());
+        let same = sample_entry("bbb", 14.0);
+        assert_eq!(t.baseline_for(&same).map(|e| e.rev.as_str()), Some("aaa"));
+    }
+
+    #[test]
+    fn scaling_gate_is_conditional_and_bites() {
+        // Applicable and passing.
+        assert!(scaling_gate(&sample_entry("aaa", 15.0)).is_empty());
+        // Applicable and failing: flat scaling on a big DB with 8 cores.
+        let flat = sample_entry("bbb", 5.0);
+        let failures = scaling_gate(&flat);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("below the 1.5x gate"));
+        // Not applicable: 1-core host cannot measure scaling.
+        let mut one_core = sample_entry("ccc", 5.0);
+        one_core.host_threads = 1;
+        assert!(scaling_gate(&one_core).is_empty());
+        // Not applicable: smoke-sized database.
+        let mut small = sample_entry("ddd", 5.0);
+        small.db_size = 1500;
+        assert!(scaling_gate(&small).is_empty());
+        // Not applicable: no 4-thread row was measured.
+        let mut no4 = sample_entry("eee", 5.0);
+        no4.rows.retain(|r| r.threads < 4);
+        assert!(scaling_gate(&no4).is_empty());
+    }
+}

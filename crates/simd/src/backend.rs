@@ -8,15 +8,31 @@
 //! SSE2, NEON, and the portable emulated vectors) instantiates the same
 //! kernel with its own vector type.
 //!
+//! [`sw_bytes_scan`] and [`sw_words_scan`] are the same kernels with the
+//! Lazy-F loop *deconstructed* à la Snytsar (arXiv:1909.00899): in the
+//! striped layout lane `k` covers the contiguous query chunk
+//! `[k·seg_len, (k+1)·seg_len)`, so the F value leaving lane `k`'s chunk
+//! feeds lane `k+1`'s — a linear recurrence in the (max, +) semiring with
+//! decay `seg_len × gap_extend` per lane step. A Kogge-Stone max-scan over
+//! the main loop's exit-F vector resolves every lane's exact incoming F in
+//! `log2(LANES)` steps; one repair pass over the segments then replaces
+//! the up-to-`LANES` passes of the correction loop.
+//!
 //! **Bit-identical scores by construction.** The lane count only changes the
 //! striped *layout* (`seg_len = ceil(m / LANES)`), never the arithmetic any
 //! H/E/F cell sees: the post-Lazy-F recurrence is exact, byte-mode overflow
 //! detection triggers on the running maximum (which is layout-independent),
-//! and word mode saturates at `i16::MAX` identically everywhere. The
-//! differential proptests in `tests/backend_differential.rs` pin this.
+//! and word mode saturates at `i16::MAX` identically everywhere. The same
+//! argument makes the two kernel modes agree: saturating subtraction chains
+//! compose (`x ⊖ a ⊖ b = x ⊖ (a + b)`), so the scanned incoming-F values
+//! equal the correction loop's fixpoint exactly. The differential proptests
+//! in `tests/backend_differential.rs` and
+//! `tests/prefix_scan_differential.rs` pin both invariants.
 //!
-//! Both kernels count Lazy-F repair iterations so the adaptive driver can
-//! report byte-mode and word-mode correction work separately per backend.
+//! All kernels count Lazy-F repair iterations so the adaptive driver can
+//! report byte-mode and word-mode correction work separately per backend —
+//! the scan kernels additionally count their scan steps in the same
+//! counter, keeping the "repair work" comparison honest across modes.
 
 use sw_align::smith_waterman::SwParams;
 use sw_align::GapPenalties;
@@ -56,6 +72,19 @@ pub trait ByteSimd: Copy + Send + Sync + 'static {
     /// (`pslldq` by 1 byte).
     fn shift(self) -> Self;
 
+    /// Shift lanes towards higher indices by `n`, zero-filling the bottom
+    /// `n` lanes. Used by the prefix-scan kernels with power-of-two `n`;
+    /// backends override the default (repeated [`shift`](Self::shift))
+    /// with constant-shift instructions.
+    #[inline(always)]
+    fn shift_lanes(self, n: usize) -> Self {
+        let mut v = self;
+        for _ in 0..n.min(Self::LANES) {
+            v = v.shift();
+        }
+        v
+    }
+
     /// Maximum over all lanes.
     fn horizontal_max(self) -> u8;
 }
@@ -91,6 +120,17 @@ pub trait WordSimd: Copy + Send + Sync + 'static {
     /// Shift lanes towards higher indices by one, inserting zero at lane 0
     /// (`pslldq` by 2 bytes).
     fn shift(self) -> Self;
+
+    /// Shift lanes towards higher indices by `n`, zero-filling the bottom
+    /// `n` lanes. See [`ByteSimd::shift_lanes`].
+    #[inline(always)]
+    fn shift_lanes(self, n: usize) -> Self {
+        let mut v = self;
+        for _ in 0..n.min(Self::LANES) {
+            v = v.shift();
+        }
+        v
+    }
 
     /// Maximum over all lanes.
     fn horizontal_max(self) -> i16;
@@ -383,6 +423,159 @@ pub fn sw_words<V: WordSimd>(
                 if early_exit && !v_f.any_gt(h.sat_sub(v_open)) {
                     break 'lazy_f;
                 }
+            }
+        }
+    }
+    WordKernelResult {
+        score: v_max.horizontal_max() as i32,
+        lazy_f,
+    }
+}
+
+/// Byte-mode striped Smith-Waterman with the Lazy-F loop deconstructed
+/// into a prefix scan (Snytsar, arXiv:1909.00899).
+///
+/// Identical main loop to [`sw_bytes`]; the correction differs. Lane `k`
+/// of the main loop's exit-F vector holds the F value leaving query chunk
+/// `[k·seg_len, (k+1)·seg_len)` *assuming zero F entered the chunk*. The
+/// true incoming F of chunk `k` is `max_{i<k}(f_i − (k−1−i)·seg_len·g_ext)`
+/// — a max-scan in the (max, +) semiring, computed here Kogge-Stone style
+/// in `log2(LANES)` steps. One repair pass then applies it. Raised-H gap
+/// openings need no extra term: a gap opened from an F-raised H scores
+/// `F − g_open ≤ F − g_ext`, so pure extension dominates (exactly the
+/// invariant the correction loop's early exit relies on).
+///
+/// Counting: each scan step and each repair-pass segment bumps `lazy_f`,
+/// so the counter remains "vector operations spent repairing F" in both
+/// modes and the before/after is an honest comparison.
+///
+/// `#[inline(always)]` for the same reason as [`sw_bytes`].
+#[inline(always)]
+pub fn sw_bytes_scan<V: ByteSimd>(
+    gaps: &GapPenalties,
+    profile: &ByteProfileOf<V>,
+    db: &[u8],
+) -> ByteKernelResult {
+    let seg_len = profile.seg_len();
+    let v_open = V::splat(gaps.open.clamp(0, 255) as u8);
+    let v_extend = V::splat(gaps.extend.clamp(0, 255) as u8);
+    let v_bias = V::splat(profile.bias());
+    // Saturating per-chunk decays for each scan step: shifting by `s`
+    // lanes skips `s` chunks of `seg_len` extensions each. u8 saturating
+    // subtraction composes (x ⊖ a ⊖ b = x ⊖ min(255, a + b)), so clamping
+    // at 255 loses nothing — any F minus 255 is 0 either way.
+    let chunk_decay = seg_len as u64 * gaps.extend.max(0) as u64;
+    let mut h_store = vec![V::zero(); seg_len];
+    let mut h_load = vec![V::zero(); seg_len];
+    let mut e = vec![V::zero(); seg_len];
+    let mut v_max = V::zero();
+    let mut lazy_f = 0u64;
+    // See sw_bytes: the repair early exit needs strictly affine gaps.
+    let early_exit = gaps.open > gaps.extend;
+
+    for &d in db {
+        let mut v_f = V::zero();
+        let mut v_h = h_store[seg_len - 1].shift();
+        std::mem::swap(&mut h_store, &mut h_load);
+        for j in 0..seg_len {
+            v_h = v_h.sat_add(profile.get(d, j)).sat_sub(v_bias);
+            v_h = v_h.max(e[j]).max(v_f);
+            v_max = v_max.max(v_h);
+            h_store[j] = v_h;
+            e[j] = e[j].sat_sub(v_extend).max(v_h.sat_sub(v_open));
+            v_f = v_f.sat_sub(v_extend).max(v_h.sat_sub(v_open));
+            v_h = h_load[j];
+        }
+        // Kogge-Stone inclusive max-scan with decay: after all rounds,
+        // lane k holds max_{i<=k}(f_i − (k−i)·chunk_decay) — the exact
+        // F leaving chunk k with all upstream chunks accounted for.
+        let mut step = 1usize;
+        while step < V::LANES {
+            let decay = V::splat((step as u64 * chunk_decay).min(255) as u8);
+            v_f = v_f.max(v_f.shift_lanes(step).sat_sub(decay));
+            lazy_f += 1;
+            step <<= 1;
+        }
+        // Single repair pass: shift() hands lane k+1 its incoming F (lane
+        // 0 gets the zero-fill, same semantics as the correction loop).
+        v_f = v_f.shift();
+        for j in 0..seg_len {
+            let h = h_store[j].max(v_f);
+            h_store[j] = h;
+            v_max = v_max.max(h);
+            e[j] = e[j].max(h.sat_sub(v_open));
+            v_f = v_f.sat_sub(v_extend);
+            lazy_f += 1;
+            if early_exit && !v_f.any_gt(h.sat_sub(v_open)) {
+                break;
+            }
+        }
+        if v_max.horizontal_max() >= profile.overflow_at() {
+            return ByteKernelResult {
+                score: None,
+                lazy_f,
+            };
+        }
+    }
+    ByteKernelResult {
+        score: Some(v_max.horizontal_max() as i32),
+        lazy_f,
+    }
+}
+
+/// Word-mode striped Smith-Waterman with the prefix-scan Lazy-F
+/// deconstruction. See [`sw_bytes_scan`] for the formulation; the i16
+/// decay clamp at `i16::MAX` is equally lossless because any F value at
+/// or below zero is inert (H ≥ 0 always wins the max and E never reads F).
+///
+/// `#[inline(always)]` for the same reason as [`sw_bytes`].
+#[inline(always)]
+pub fn sw_words_scan<V: WordSimd>(
+    gaps: &GapPenalties,
+    profile: &WordProfileOf<V>,
+    db: &[u8],
+) -> WordKernelResult {
+    let seg_len = profile.seg_len();
+    let v_open = V::splat(gaps.open as i16);
+    let v_extend = V::splat(gaps.extend as i16);
+    let chunk_decay = seg_len as u64 * gaps.extend.max(0) as u64;
+    let mut h_store = vec![V::zero(); seg_len];
+    let mut h_load = vec![V::zero(); seg_len];
+    let mut e = vec![V::zero(); seg_len];
+    let mut v_max = V::zero();
+    let mut lazy_f = 0u64;
+    let early_exit = gaps.open > gaps.extend;
+
+    for &d in db {
+        let mut v_f = V::zero();
+        let mut v_h = h_store[seg_len - 1].shift();
+        std::mem::swap(&mut h_store, &mut h_load);
+        for j in 0..seg_len {
+            v_h = v_h.sat_add(profile.get(d, j));
+            v_h = v_h.max(e[j]).max(v_f).max(V::zero());
+            v_max = v_max.max(v_h);
+            h_store[j] = v_h;
+            e[j] = e[j].sat_sub(v_extend).max(v_h.sat_sub(v_open));
+            v_f = v_f.sat_sub(v_extend).max(v_h.sat_sub(v_open));
+            v_h = h_load[j];
+        }
+        let mut step = 1usize;
+        while step < V::LANES {
+            let decay = V::splat((step as u64 * chunk_decay).min(i16::MAX as u64) as i16);
+            v_f = v_f.max(v_f.shift_lanes(step).sat_sub(decay));
+            lazy_f += 1;
+            step <<= 1;
+        }
+        v_f = v_f.shift();
+        for j in 0..seg_len {
+            let h = h_store[j].max(v_f);
+            h_store[j] = h;
+            v_max = v_max.max(h);
+            e[j] = e[j].max(h.sat_sub(v_open));
+            v_f = v_f.sat_sub(v_extend);
+            lazy_f += 1;
+            if early_exit && !v_f.any_gt(h.sat_sub(v_open)) {
+                break;
             }
         }
     }

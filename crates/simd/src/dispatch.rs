@@ -1,4 +1,4 @@
-//! Runtime backend selection.
+//! Runtime backend and kernel-mode selection.
 //!
 //! [`BackendKind::detect`] picks the widest backend the running CPU
 //! supports: AVX2 (32-lane byte mode) > SSE2 (16-lane, x86-64 baseline) >
@@ -10,6 +10,13 @@
 //! * the `SW_SIMD_BACKEND` environment variable (`avx2` / `sse2` / `neon` /
 //!   `portable`) requests a specific backend at run time and is ignored —
 //!   never trusted — when that backend is unavailable.
+//!
+//! [`KernelMode`] selects how cross-segment F propagation is repaired in
+//! the striped kernels: the classic Lazy-F correction loop, or Snytsar's
+//! prefix-scan deconstruction (arXiv:1909.00899), which computes the exact
+//! lane-boundary F values in `log2(lanes)` scan steps and repairs in a
+//! single pass. Both produce bit-identical scores and overflow verdicts;
+//! `SW_KERNEL_MODE=correction-loop|prefix-scan` overrides the default.
 
 /// The host compute backends this build knows about.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -138,6 +145,60 @@ impl std::fmt::Display for BackendKind {
     }
 }
 
+/// How the striped kernels repair cross-segment F propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KernelMode {
+    /// Farrar's Lazy-F correction loop: re-run the column up to
+    /// `lanes` times, shifting F one lane per pass, with the SWAT-style
+    /// early exit. The default and the long-standing baseline.
+    #[default]
+    CorrectionLoop,
+    /// Snytsar's deconstruction (arXiv:1909.00899): a Kogge-Stone max-scan
+    /// over the lane-boundary F values (decay `seg_len × gap_extend` per
+    /// lane step) yields every lane's exact incoming F at once, so a
+    /// single repair pass over the segments suffices.
+    PrefixScan,
+}
+
+impl KernelMode {
+    /// Both modes, default first.
+    pub const ALL: [KernelMode; 2] = [KernelMode::CorrectionLoop, KernelMode::PrefixScan];
+
+    /// Stable lowercase name (metrics labels, env override, bench rows).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelMode::CorrectionLoop => "correction-loop",
+            KernelMode::PrefixScan => "prefix-scan",
+        }
+    }
+
+    /// Parse a mode name as used by `SW_KERNEL_MODE`.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "correction-loop" | "loop" => Some(KernelMode::CorrectionLoop),
+            "prefix-scan" | "scan" => Some(KernelMode::PrefixScan),
+            _ => None,
+        }
+    }
+
+    /// The mode production code should use: the `SW_KERNEL_MODE` override
+    /// when set and recognised, otherwise the correction loop.
+    pub fn detect() -> KernelMode {
+        if let Ok(name) = std::env::var("SW_KERNEL_MODE") {
+            if let Some(mode) = KernelMode::from_name(name.trim()) {
+                return mode;
+            }
+        }
+        KernelMode::default()
+    }
+}
+
+impl std::fmt::Display for KernelMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,5 +245,19 @@ mod tests {
     #[test]
     fn force_portable_pins_detection() {
         assert_eq!(BackendKind::detect(), BackendKind::Portable);
+    }
+
+    #[test]
+    fn kernel_mode_names_round_trip() {
+        for mode in KernelMode::ALL {
+            assert_eq!(KernelMode::from_name(mode.name()), Some(mode));
+        }
+        assert_eq!(KernelMode::from_name("scan"), Some(KernelMode::PrefixScan));
+        assert_eq!(
+            KernelMode::from_name("LOOP"),
+            Some(KernelMode::CorrectionLoop)
+        );
+        assert_eq!(KernelMode::from_name("wavefront"), None);
+        assert_eq!(KernelMode::default(), KernelMode::CorrectionLoop);
     }
 }

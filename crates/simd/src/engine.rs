@@ -18,11 +18,15 @@
 //! the *calling* thread — the metrics recorder is thread-local, so counts
 //! bumped inside worker threads would otherwise be lost.
 
-use crate::backend::{sw_bytes, sw_words, ByteKernelResult, ByteProfileOf, WordProfileOf};
+use crate::backend::{
+    sw_bytes, sw_bytes_scan, sw_words, sw_words_scan, ByteKernelResult, ByteProfileOf, ByteSimd,
+    WordProfileOf, WordSimd,
+};
 use crate::byte_mode::{AdaptiveStats, U8x16};
-use crate::dispatch::BackendKind;
+use crate::dispatch::{BackendKind, KernelMode};
 use crate::vector::I16x8;
 use sw_align::smith_waterman::SwParams;
+use sw_align::GapPenalties;
 
 #[cfg(all(
     target_arch = "x86_64",
@@ -87,18 +91,20 @@ enum ProfileSet {
 /// A query bound to a backend: build profiles once, score many sequences.
 pub struct QueryEngine {
     kind: BackendKind,
+    mode: KernelMode,
     params: SwParams,
     query: Vec<u8>,
     set: ProfileSet,
 }
 
 impl QueryEngine {
-    /// Engine on the detected (widest available) backend.
+    /// Engine on the detected (widest available) backend and the detected
+    /// kernel mode (`SW_KERNEL_MODE`, correction loop by default).
     pub fn new(params: SwParams, query: &[u8]) -> Self {
         Self::with_backend(params, query, BackendKind::detect())
     }
 
-    /// Engine on a specific backend.
+    /// Engine on a specific backend, kernel mode from [`KernelMode::detect`].
     ///
     /// # Panics
     ///
@@ -106,6 +112,21 @@ impl QueryEngine {
     /// availability check is the safety gate for the `unsafe` intrinsic
     /// calls inside the native backends.
     pub fn with_backend(params: SwParams, query: &[u8], kind: BackendKind) -> Self {
+        Self::with_backend_and_mode(params, query, kind, KernelMode::detect())
+    }
+
+    /// Engine on a specific backend and Lazy-F kernel mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `kind` is not available on this host/build (see
+    /// [`QueryEngine::with_backend`]).
+    pub fn with_backend_and_mode(
+        params: SwParams,
+        query: &[u8],
+        kind: BackendKind,
+        mode: KernelMode,
+    ) -> Self {
         assert!(
             kind.is_available(),
             "backend {kind} is not available on this host"
@@ -150,6 +171,7 @@ impl QueryEngine {
         };
         Self {
             kind,
+            mode,
             params,
             query: query.to_vec(),
             set,
@@ -159,6 +181,11 @@ impl QueryEngine {
     /// The backend this engine dispatches to.
     pub fn kind(&self) -> BackendKind {
         self.kind
+    }
+
+    /// The Lazy-F kernel mode this engine runs.
+    pub fn mode(&self) -> KernelMode {
+        self.mode
     }
 
     /// The alignment parameters.
@@ -178,71 +205,63 @@ impl QueryEngine {
             return 0;
         }
         let gaps = &self.params.gaps;
+        let mode = self.mode;
         match &self.set {
-            ProfileSet::Portable { byte, word } => match precision {
-                Precision::Adaptive => {
-                    let b = sw_bytes(gaps, byte, db);
-                    finish_adaptive(b, stats, || sw_words(gaps, word, db).into_pair())
-                }
-                Precision::Word => {
-                    let r = sw_words(gaps, word, db);
-                    stats.lazy_f_word += r.lazy_f;
-                    r.score
-                }
-            },
+            ProfileSet::Portable { byte, word } => {
+                score_generic(gaps, byte, word, db, precision, mode, stats)
+            }
             #[cfg(all(
                 target_arch = "x86_64",
                 feature = "native-simd",
                 not(feature = "force-portable")
             ))]
-            ProfileSet::Sse2 { byte, word } => match precision {
-                Precision::Adaptive => {
-                    let b = sw_bytes(gaps, byte, db);
-                    finish_adaptive(b, stats, || sw_words(gaps, word, db).into_pair())
-                }
-                Precision::Word => {
-                    let r = sw_words(gaps, word, db);
-                    stats.lazy_f_word += r.lazy_f;
-                    r.score
-                }
-            },
+            ProfileSet::Sse2 { byte, word } => {
+                score_generic(gaps, byte, word, db, precision, mode, stats)
+            }
             #[cfg(all(
                 target_arch = "x86_64",
                 feature = "native-simd",
                 not(feature = "force-portable")
             ))]
-            ProfileSet::Avx2 { byte, word } => match precision {
-                Precision::Adaptive => {
-                    // SAFETY: `with_backend` asserted AVX2 availability.
-                    let b = unsafe { crate::x86::sw_bytes_avx2(gaps, byte, db) };
-                    finish_adaptive(b, stats, || {
-                        // SAFETY: as above.
-                        unsafe { crate::x86::sw_words_avx2(gaps, word, db) }.into_pair()
-                    })
+            ProfileSet::Avx2 { byte, word } => {
+                use crate::x86::{
+                    sw_bytes_avx2, sw_bytes_scan_avx2, sw_words_avx2, sw_words_scan_avx2,
+                };
+                // SAFETY (all four arms): `with_backend_and_mode` asserted
+                // AVX2 availability before this profile set was built.
+                match (precision, mode) {
+                    (Precision::Adaptive, KernelMode::CorrectionLoop) => {
+                        let b = unsafe { sw_bytes_avx2(gaps, byte, db) };
+                        finish_adaptive(b, stats, || {
+                            unsafe { sw_words_avx2(gaps, word, db) }.into_pair()
+                        })
+                    }
+                    (Precision::Adaptive, KernelMode::PrefixScan) => {
+                        let b = unsafe { sw_bytes_scan_avx2(gaps, byte, db) };
+                        finish_adaptive(b, stats, || {
+                            unsafe { sw_words_scan_avx2(gaps, word, db) }.into_pair()
+                        })
+                    }
+                    (Precision::Word, KernelMode::CorrectionLoop) => {
+                        let r = unsafe { sw_words_avx2(gaps, word, db) };
+                        stats.lazy_f_word += r.lazy_f;
+                        r.score
+                    }
+                    (Precision::Word, KernelMode::PrefixScan) => {
+                        let r = unsafe { sw_words_scan_avx2(gaps, word, db) };
+                        stats.lazy_f_word += r.lazy_f;
+                        r.score
+                    }
                 }
-                Precision::Word => {
-                    // SAFETY: `with_backend` asserted AVX2 availability.
-                    let r = unsafe { crate::x86::sw_words_avx2(gaps, word, db) };
-                    stats.lazy_f_word += r.lazy_f;
-                    r.score
-                }
-            },
+            }
             #[cfg(all(
                 target_arch = "aarch64",
                 feature = "native-simd",
                 not(feature = "force-portable")
             ))]
-            ProfileSet::Neon { byte, word } => match precision {
-                Precision::Adaptive => {
-                    let b = sw_bytes(gaps, byte, db);
-                    finish_adaptive(b, stats, || sw_words(gaps, word, db).into_pair())
-                }
-                Precision::Word => {
-                    let r = sw_words(gaps, word, db);
-                    stats.lazy_f_word += r.lazy_f;
-                    r.score
-                }
-            },
+            ProfileSet::Neon { byte, word } => {
+                score_generic(gaps, byte, word, db, precision, mode, stats)
+            }
         }
     }
 
@@ -282,6 +301,41 @@ fn finish_adaptive(
             let (score, lazy_f) = word();
             stats.lazy_f_word += lazy_f;
             score
+        }
+    }
+}
+
+/// Mode-aware scoring over any backend's safe generic kernels (portable,
+/// SSE2, NEON — the AVX2 arm needs `target_feature` wrappers and is
+/// special-cased in [`QueryEngine::score_with`]).
+#[inline(always)]
+fn score_generic<B: ByteSimd, W: WordSimd>(
+    gaps: &GapPenalties,
+    byte: &ByteProfileOf<B>,
+    word: &WordProfileOf<W>,
+    db: &[u8],
+    precision: Precision,
+    mode: KernelMode,
+    stats: &mut AdaptiveStats,
+) -> i32 {
+    match (precision, mode) {
+        (Precision::Adaptive, KernelMode::CorrectionLoop) => {
+            let b = sw_bytes(gaps, byte, db);
+            finish_adaptive(b, stats, || sw_words(gaps, word, db).into_pair())
+        }
+        (Precision::Adaptive, KernelMode::PrefixScan) => {
+            let b = sw_bytes_scan(gaps, byte, db);
+            finish_adaptive(b, stats, || sw_words_scan(gaps, word, db).into_pair())
+        }
+        (Precision::Word, KernelMode::CorrectionLoop) => {
+            let r = sw_words(gaps, word, db);
+            stats.lazy_f_word += r.lazy_f;
+            r.score
+        }
+        (Precision::Word, KernelMode::PrefixScan) => {
+            let r = sw_words_scan(gaps, word, db);
+            stats.lazy_f_word += r.lazy_f;
+            r.score
         }
     }
 }

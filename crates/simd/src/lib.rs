@@ -59,9 +59,12 @@ pub mod wozniak;
 pub mod x86;
 
 pub use byte_mode::{sw_striped_adaptive, AdaptiveStats, ByteProfile};
-pub use dispatch::BackendKind;
+pub use dispatch::{BackendKind, KernelMode};
 pub use engine::{record_stats, Precision, QueryEngine};
 pub use farrar::{striped_profile, sw_striped, sw_striped_score, StripedProfile};
-pub use pool::{search_sequences, HostSearchResult};
+pub use pool::{
+    effective_workers, length_aware_chunks, search_sequences, search_with_chunks, HostSearchResult,
+    CHUNKS_PER_WORKER, MIN_SEQS_PER_WORKER,
+};
 pub use swps3::{Swps3Driver, Swps3Result};
 pub use vector::I16x8;

@@ -60,6 +60,28 @@ impl ByteSimd for U8x16Neon {
     }
 
     #[inline(always)]
+    fn shift_lanes(self, n: usize) -> Self {
+        // `vextq` needs a constant lane count; the scan only asks for
+        // powers of two, everything else falls back to repeated shifts.
+        let zero = vdupq_n_u8(0);
+        match n {
+            0 => self,
+            1 => Self(vextq_u8::<15>(zero, self.0)),
+            2 => Self(vextq_u8::<14>(zero, self.0)),
+            4 => Self(vextq_u8::<12>(zero, self.0)),
+            8 => Self(vextq_u8::<8>(zero, self.0)),
+            n if n >= 16 => Self(zero),
+            n => {
+                let mut v = self;
+                for _ in 0..n {
+                    v = v.shift();
+                }
+                v
+            }
+        }
+    }
+
+    #[inline(always)]
     fn horizontal_max(self) -> u8 {
         vmaxvq_u8(self.0)
     }
@@ -107,6 +129,26 @@ impl WordSimd for I16x8Neon {
     #[inline(always)]
     fn shift(self) -> Self {
         Self(vextq_s16::<7>(vdupq_n_s16(0), self.0))
+    }
+
+    #[inline(always)]
+    fn shift_lanes(self, n: usize) -> Self {
+        // See `U8x16Neon::shift_lanes`.
+        let zero = vdupq_n_s16(0);
+        match n {
+            0 => self,
+            1 => Self(vextq_s16::<7>(zero, self.0)),
+            2 => Self(vextq_s16::<6>(zero, self.0)),
+            4 => Self(vextq_s16::<4>(zero, self.0)),
+            n if n >= 8 => Self(zero),
+            n => {
+                let mut v = self;
+                for _ in 0..n {
+                    v = v.shift();
+                }
+                v
+            }
+        }
     }
 
     #[inline(always)]

@@ -8,11 +8,23 @@
 //! role of SWPS3's dynamic work queue with less contention (workers touch
 //! the shared state only once per chunk, not once per sequence).
 //!
+//! **Granularity is residue-aware, not count-aware.** Real databases are
+//! searched length-sorted (better cache reuse, GPU-batch parity), which
+//! makes equal-*count* chunks maximally imbalanced: on a Swissprot-shaped
+//! log-normal length distribution the last chunk of a sorted database
+//! holds the few giant sequences and carries an order of magnitude more
+//! cells than the first, so 4 threads degenerate into 1 thread plus a
+//! convoy. [`length_aware_chunks`] instead cuts contiguous chunks of
+//! roughly equal *total residues* — cell count is `query_len × residues`,
+//! so equal residues is equal work — and the deal order stays round-robin
+//! so each worker's deque spans the length spectrum.
+//!
 //! All workers share one read-only [`QueryEngine`] — the striped profiles
-//! are built once per query and reused by every thread. Worker-local
-//! [`AdaptiveStats`] are merged and returned to the caller, which is
-//! responsible for publishing them (the metrics recorder is thread-local;
-//! counts bumped on worker threads would be lost).
+//! are built once per query and reused by every thread (that sharing is
+//! what amortizes the per-query profile build across the whole database).
+//! Worker-local [`AdaptiveStats`] are merged and returned to the caller,
+//! which is responsible for publishing them (the metrics recorder is
+//! thread-local; counts bumped on worker threads would be lost).
 
 use crate::byte_mode::AdaptiveStats;
 use crate::engine::{Precision, QueryEngine};
@@ -26,7 +38,7 @@ use sw_db::Sequence;
 /// Chunks dealt per worker: more gives better tail balance, fewer gives
 /// less queue traffic. 8 keeps the largest chunk under ~2% of the work at
 /// 4 threads.
-const CHUNKS_PER_WORKER: usize = 8;
+pub const CHUNKS_PER_WORKER: usize = 8;
 
 /// Minimum sequences per worker before the pool pays for itself. Thread
 /// spawn plus result merging costs tens of microseconds while a typical
@@ -34,17 +46,51 @@ const CHUNKS_PER_WORKER: usize = 8;
 /// work makes the pooled pass *slower* than the inline loop. The worker
 /// count is clamped so every worker clears this bar — small databases
 /// degrade gracefully to fewer workers and finally to the inline path.
-const MIN_SEQS_PER_WORKER: usize = 16;
+pub const MIN_SEQS_PER_WORKER: usize = 16;
 
 /// Workers actually worth spawning for `n` sequences on this machine:
 /// never more than the hardware can run concurrently (oversubscribing
 /// CPU-bound scoring only adds scheduler churn), never so many that a
 /// worker's share drops under [`MIN_SEQS_PER_WORKER`].
-fn effective_workers(threads: usize, n: usize) -> usize {
+pub fn effective_workers(threads: usize, n: usize) -> usize {
     let hardware = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
     threads.min(hardware).min(n / MIN_SEQS_PER_WORKER).max(1)
+}
+
+/// Cut `seqs` into at most `target_chunks` contiguous ranges of roughly
+/// equal **total residues**.
+///
+/// Scoring cost per sequence is `query_len × residues`, so residue balance
+/// is work balance — equal-count chunks over a length-sorted database put
+/// all the giant sequences in the final chunks and serialize the tail.
+/// Every range is non-empty, ranges are contiguous and cover `0..n` in
+/// order, and a single over-long sequence simply becomes its own chunk
+/// (granularity can never split one sequence).
+pub fn length_aware_chunks(seqs: &[Sequence], target_chunks: usize) -> Vec<Range<usize>> {
+    let n = seqs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let target_chunks = target_chunks.clamp(1, n);
+    let total: u64 = seqs.iter().map(|s| s.residues.len() as u64).sum();
+    let per_chunk = (total / target_chunks as u64).max(1);
+    let mut chunks = Vec::with_capacity(target_chunks);
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    for (i, s) in seqs.iter().enumerate() {
+        acc += s.residues.len() as u64;
+        if acc >= per_chunk && chunks.len() + 1 < target_chunks {
+            chunks.push(start..i + 1);
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < n {
+        chunks.push(start..n);
+    }
+    chunks
 }
 
 /// Result of a pooled database search.
@@ -77,6 +123,37 @@ pub fn search_sequences(
         };
     }
     let threads = effective_workers(threads.max(1), n);
+    let chunks = length_aware_chunks(seqs, threads * CHUNKS_PER_WORKER);
+    search_with_chunks(engine, seqs, threads, precision, &chunks)
+}
+
+/// Score every sequence with an explicit chunking of the database.
+///
+/// [`search_sequences`] is this with [`length_aware_chunks`]; the explicit
+/// form exists so tests can pin reassembly correctness for *arbitrary*
+/// chunk boundaries and benches can compare granularity policies. `chunks`
+/// must be non-empty, contiguous, in order, and cover `0..seqs.len()`
+/// exactly (debug-asserted).
+pub fn search_with_chunks(
+    engine: &QueryEngine,
+    seqs: &[Sequence],
+    threads: usize,
+    precision: Precision,
+    chunks: &[Range<usize>],
+) -> HostSearchResult {
+    let n = seqs.len();
+    if n == 0 {
+        return HostSearchResult {
+            scores: Vec::new(),
+            stats: AdaptiveStats::default(),
+            seconds: 0.0,
+            steals: 0,
+        };
+    }
+    debug_assert_eq!(chunks.first().map(|c| c.start), Some(0));
+    debug_assert_eq!(chunks.last().map(|c| c.end), Some(n));
+    debug_assert!(chunks.windows(2).all(|w| w[0].end == w[1].start));
+    let threads = threads.clamp(1, chunks.len());
     let start = Instant::now();
     if threads == 1 {
         // No pool: score inline on the caller's thread.
@@ -93,12 +170,10 @@ pub fn search_sequences(
         };
     }
 
-    let chunk_len = n.div_ceil(threads * CHUNKS_PER_WORKER).max(1);
     let queues: Vec<Mutex<VecDeque<Range<usize>>>> =
         (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
-    for (i, chunk_start) in (0..n).step_by(chunk_len).enumerate() {
-        let range = chunk_start..(chunk_start + chunk_len).min(n);
-        queues[i % threads].lock().push_back(range);
+    for (i, range) in chunks.iter().enumerate() {
+        queues[i % threads].lock().push_back(range.clone());
     }
 
     // Each worker pushes its finished chunks as (chunk start, scores).
@@ -222,6 +297,54 @@ mod tests {
             .unwrap_or(1);
         assert_eq!(effective_workers(4, 10_000), 4.min(hardware));
         assert!(effective_workers(usize::MAX, 10_000) <= hardware.max(1));
+    }
+
+    #[test]
+    fn length_aware_chunks_balance_residues_not_counts() {
+        // Length-sorted Swissprot-ish skew: many short, few giant.
+        let mut lens = vec![25usize; 60];
+        lens.extend([400, 450, 500, 2000, 3000]);
+        let db = database_with_lengths("t", &lens, 5);
+        let chunks = length_aware_chunks(db.sequences(), 8);
+        assert!(!chunks.is_empty());
+        assert!(chunks.len() <= 8);
+        // Coverage: contiguous, in order, exactly 0..n.
+        assert_eq!(chunks.first().unwrap().start, 0);
+        assert_eq!(chunks.last().unwrap().end, db.len());
+        for w in chunks.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        // Balance: no chunk carries more than ~2 fair shares of residues.
+        let residues = |r: &Range<usize>| -> u64 {
+            db.sequences()[r.clone()]
+                .iter()
+                .map(|s| s.residues.len() as u64)
+                .sum()
+        };
+        let total: u64 = residues(&(0..db.len()));
+        let fair = total / chunks.len() as u64;
+        for c in &chunks {
+            assert!(
+                residues(c) <= fair * 2 + 3000,
+                "chunk {c:?} carries {} residues (fair share {fair})",
+                residues(c)
+            );
+        }
+        // The giant-sequence tail must not be one chunk of everything.
+        let count_based_tail = db.len() / 8;
+        let last = chunks.last().unwrap();
+        assert!(
+            last.len() <= count_based_tail.max(2),
+            "tail chunk {last:?} should be short on a skewed database"
+        );
+    }
+
+    #[test]
+    fn single_sequence_and_degenerate_targets() {
+        let db = database_with_lengths("t", &[500], 2);
+        assert_eq!(length_aware_chunks(db.sequences(), 8), vec![0..1]);
+        assert_eq!(length_aware_chunks(db.sequences(), 0), vec![0..1]);
+        assert!(length_aware_chunks(&[], 4).is_empty());
     }
 
     #[test]

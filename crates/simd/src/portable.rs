@@ -50,6 +50,14 @@ impl ByteSimd for U8x16 {
     }
 
     #[inline(always)]
+    fn shift_lanes(self, n: usize) -> Self {
+        let mut out = [0u8; BYTE_LANES];
+        let n = n.min(BYTE_LANES);
+        out[n..].copy_from_slice(&self.0[..BYTE_LANES - n]);
+        Self(out)
+    }
+
+    #[inline(always)]
     fn horizontal_max(self) -> u8 {
         U8x16::horizontal_max(self)
     }
@@ -93,6 +101,14 @@ impl WordSimd for I16x8 {
     #[inline(always)]
     fn shift(self) -> Self {
         self.shift_in(0)
+    }
+
+    #[inline(always)]
+    fn shift_lanes(self, n: usize) -> Self {
+        let mut out = [0i16; LANES];
+        let n = n.min(LANES);
+        out[n..].copy_from_slice(&self.0[..LANES - n]);
+        Self(out)
     }
 
     #[inline(always)]

@@ -28,8 +28,8 @@
 ))]
 
 use crate::backend::{
-    sw_bytes, sw_words, Backend, ByteKernelResult, ByteProfileOf, ByteSimd, WordKernelResult,
-    WordProfileOf, WordSimd,
+    sw_bytes, sw_bytes_scan, sw_words, sw_words_scan, Backend, ByteKernelResult, ByteProfileOf,
+    ByteSimd, WordKernelResult, WordProfileOf, WordSimd,
 };
 use core::arch::x86_64::*;
 use sw_align::GapPenalties;
@@ -87,6 +87,30 @@ impl ByteSimd for U8x16Sse {
     fn shift(self) -> Self {
         // SAFETY: SSE2 is part of the x86-64 baseline.
         Self(unsafe { _mm_slli_si128::<1>(self.0) })
+    }
+
+    #[inline(always)]
+    fn shift_lanes(self, n: usize) -> Self {
+        // `pslldq` needs a constant shift; the scan only asks for
+        // powers of two, everything else falls back to repeated shifts.
+        // SAFETY: SSE2 is part of the x86-64 baseline.
+        unsafe {
+            match n {
+                0 => self,
+                1 => Self(_mm_slli_si128::<1>(self.0)),
+                2 => Self(_mm_slli_si128::<2>(self.0)),
+                4 => Self(_mm_slli_si128::<4>(self.0)),
+                8 => Self(_mm_slli_si128::<8>(self.0)),
+                n if n >= 16 => Self::splat(0),
+                n => {
+                    let mut v = self;
+                    for _ in 0..n {
+                        v = v.shift();
+                    }
+                    v
+                }
+            }
+        }
     }
 
     #[inline(always)]
@@ -152,6 +176,28 @@ impl WordSimd for I16x8Sse {
     fn shift(self) -> Self {
         // SAFETY: SSE2 is part of the x86-64 baseline.
         Self(unsafe { _mm_slli_si128::<2>(self.0) })
+    }
+
+    #[inline(always)]
+    fn shift_lanes(self, n: usize) -> Self {
+        // See `U8x16Sse::shift_lanes`; one lane is two bytes here.
+        // SAFETY: SSE2 is part of the x86-64 baseline.
+        unsafe {
+            match n {
+                0 => self,
+                1 => Self(_mm_slli_si128::<2>(self.0)),
+                2 => Self(_mm_slli_si128::<4>(self.0)),
+                4 => Self(_mm_slli_si128::<8>(self.0)),
+                n if n >= 8 => Self::splat(0),
+                n => {
+                    let mut v = self;
+                    for _ in 0..n {
+                        v = v.shift();
+                    }
+                    v
+                }
+            }
+        }
     }
 
     #[inline(always)]
@@ -252,6 +298,31 @@ impl ByteSimd for U8x32Avx {
     }
 
     #[inline(always)]
+    fn shift_lanes(self, n: usize) -> Self {
+        // `shift_256::<ALIGN>` shifts by 16 − ALIGN bytes with the
+        // boundary carry; a full-half shift is the bare permute.
+        // SAFETY: AVX2 verified by the dispatcher.
+        unsafe {
+            match n {
+                0 => self,
+                1 => Self(shift_256::<15>(self.0)),
+                2 => Self(shift_256::<14>(self.0)),
+                4 => Self(shift_256::<12>(self.0)),
+                8 => Self(shift_256::<8>(self.0)),
+                16 => Self(_mm256_permute2x128_si256::<0x08>(self.0, self.0)),
+                n if n >= 32 => Self::splat(0),
+                n => {
+                    let mut v = self;
+                    for _ in 0..n {
+                        v = v.shift();
+                    }
+                    v
+                }
+            }
+        }
+    }
+
+    #[inline(always)]
     fn horizontal_max(self) -> u8 {
         // SAFETY: AVX2 verified by the dispatcher.
         unsafe {
@@ -314,6 +385,29 @@ impl WordSimd for I16x16Avx {
     }
 
     #[inline(always)]
+    fn shift_lanes(self, n: usize) -> Self {
+        // See `U8x32Avx::shift_lanes`; one lane is two bytes here.
+        // SAFETY: AVX2 verified by the dispatcher.
+        unsafe {
+            match n {
+                0 => self,
+                1 => Self(shift_256::<14>(self.0)),
+                2 => Self(shift_256::<12>(self.0)),
+                4 => Self(shift_256::<8>(self.0)),
+                8 => Self(_mm256_permute2x128_si256::<0x08>(self.0, self.0)),
+                n if n >= 16 => Self::splat(0),
+                n => {
+                    let mut v = self;
+                    for _ in 0..n {
+                        v = v.shift();
+                    }
+                    v
+                }
+            }
+        }
+    }
+
+    #[inline(always)]
     fn horizontal_max(self) -> i16 {
         // SAFETY: AVX2 verified by the dispatcher.
         unsafe {
@@ -363,6 +457,34 @@ pub unsafe fn sw_words_avx2(
     db: &[u8],
 ) -> WordKernelResult {
     sw_words(gaps, profile, db)
+}
+
+/// Byte-mode prefix-scan kernel compiled with AVX2 statically enabled.
+///
+/// # Safety
+///
+/// The executing CPU must support AVX2 (`is_x86_feature_detected!("avx2")`).
+#[target_feature(enable = "avx2")]
+pub unsafe fn sw_bytes_scan_avx2(
+    gaps: &GapPenalties,
+    profile: &ByteProfileOf<U8x32Avx>,
+    db: &[u8],
+) -> ByteKernelResult {
+    sw_bytes_scan(gaps, profile, db)
+}
+
+/// Word-mode prefix-scan kernel compiled with AVX2 statically enabled.
+///
+/// # Safety
+///
+/// The executing CPU must support AVX2 (`is_x86_feature_detected!("avx2")`).
+#[target_feature(enable = "avx2")]
+pub unsafe fn sw_words_scan_avx2(
+    gaps: &GapPenalties,
+    profile: &WordProfileOf<I16x16Avx>,
+    db: &[u8],
+) -> WordKernelResult {
+    sw_words_scan(gaps, profile, db)
 }
 
 #[cfg(test)]
@@ -456,6 +578,85 @@ mod tests {
         unsafe { _mm256_storeu_si256(wout.as_mut_ptr() as *mut __m256i, shifted.0) };
         assert_eq!(wout[0], 0);
         assert_eq!(&wout[1..16], &wvals[0..15], "word 7 must carry into lane 1");
+    }
+
+    #[test]
+    fn shift_lanes_overrides_match_repeated_shift() {
+        let mut vals = [0u8; 32];
+        for (i, v) in vals.iter_mut().enumerate() {
+            *v = i as u8 + 1;
+        }
+        let mut wvals = [0i16; 16];
+        for (i, v) in wvals.iter_mut().enumerate() {
+            *v = (i as i16 + 1) * -3;
+        }
+        let repeated_b = |v: U8x16Sse, n: usize| {
+            let mut v = v;
+            for _ in 0..n.min(16) {
+                v = ByteSimd::shift(v);
+            }
+            v
+        };
+        let repeated_w = |v: I16x8Sse, n: usize| {
+            let mut v = v;
+            for _ in 0..n.min(8) {
+                v = WordSimd::shift(v);
+            }
+            v
+        };
+        for n in 0..=17 {
+            let v = U8x16Sse::load(&vals);
+            assert_eq!(
+                store_b(v.shift_lanes(n)),
+                store_b(repeated_b(v, n)),
+                "sse byte shift_lanes({n})"
+            );
+            let v = I16x8Sse::load(&wvals);
+            assert_eq!(
+                store_w(v.shift_lanes(n)),
+                store_w(repeated_w(v, n)),
+                "sse word shift_lanes({n})"
+            );
+        }
+        if !Avx2Backend::available() {
+            return;
+        }
+        let store_b32 = |v: U8x32Avx| {
+            let mut out = [0u8; 32];
+            // SAFETY: AVX2 checked above; storeu is unaligned-safe.
+            unsafe { _mm256_storeu_si256(out.as_mut_ptr() as *mut __m256i, v.0) };
+            out
+        };
+        let store_w16 = |v: I16x16Avx| {
+            let mut out = [0i16; 16];
+            // SAFETY: AVX2 checked above; storeu is unaligned-safe.
+            unsafe { _mm256_storeu_si256(out.as_mut_ptr() as *mut __m256i, v.0) };
+            out
+        };
+        for n in 0..=33 {
+            let v = U8x32Avx::load(&vals);
+            let mut r = v;
+            for _ in 0..n.min(32) {
+                r = ByteSimd::shift(r);
+            }
+            assert_eq!(
+                store_b32(v.shift_lanes(n)),
+                store_b32(r),
+                "avx byte shift_lanes({n})"
+            );
+        }
+        for n in 0..=17 {
+            let v = I16x16Avx::load(&wvals);
+            let mut r = v;
+            for _ in 0..n.min(16) {
+                r = WordSimd::shift(r);
+            }
+            assert_eq!(
+                store_w16(v.shift_lanes(n)),
+                store_w16(r),
+                "avx word shift_lanes({n})"
+            );
+        }
     }
 
     #[test]

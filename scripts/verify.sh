@@ -20,11 +20,16 @@ cargo fmt --check
 
 # Cross-feature matrix for the host SIMD backend: the emulated portable
 # path must keep building and passing with the native backends compiled
-# out, both ways of getting there.
+# out, both ways of getting there. The prefix-scan differential suite is
+# named explicitly so the Lazy-F scan kernel is pinned score-identical to
+# the correction loop under every feature combination.
 cargo build -q --release --offline -p sw-simd --no-default-features
 cargo test -q --offline -p sw-simd --no-default-features
+cargo test -q --offline -p sw-simd --no-default-features --test prefix_scan_differential
 cargo build -q --release --offline -p sw-simd --features force-portable
 cargo test -q --offline -p sw-simd --features force-portable
+cargo test -q --offline -p sw-simd --features force-portable --test prefix_scan_differential
+cargo test -q --offline -p sw-simd --test prefix_scan_differential --test pool_chunking
 
 # Every #[ignore] must carry a triage tag with an EXPERIMENTS.md entry:
 #   #[ignore = "triage: <slug>"]
@@ -78,12 +83,22 @@ cargo run -q --release --offline -p cudasw-bench --bin repro -- integrity >/dev/
 cargo run -q --release --offline -p cudasw-bench --bin repro -- serve >/dev/null
 
 # Host-backend smoke: the real wall-clock benchmark must run on this
-# machine's backends (score equality is asserted inside the experiment)
-# and emit a well-formed cudasw.bench.host/v1 document.
+# machine's backends in both Lazy-F kernel modes (score equality is
+# asserted inside the experiment) and emit a well-formed append-only
+# cudasw.bench.host/v2 trajectory. Against the committed trajectory the
+# run is gated: per-row GCUPS regressions vs the latest comparable entry,
+# plus the >=1.5x thread-scaling floor on hosts that can measure it
+# (>=4 hardware threads and a large database) — `repro host` exits
+# non-zero if either gate fails.
+host_args=(host --smoke --out "$tmp/BENCH_host.json")
+if [[ -f BENCH_host.json ]]; then
+  host_args+=(--baseline BENCH_host.json)
+fi
 cargo run -q --release --offline -p cudasw-bench --bin repro -- \
-  host --smoke --out "$tmp/BENCH_host.json" >/dev/null
-grep -q '"schema": "cudasw.bench.host/v1"' "$tmp/BENCH_host.json"
+  "${host_args[@]}" >/dev/null
+grep -q '"schema": "cudasw.bench.host/v2"' "$tmp/BENCH_host.json"
 grep -q '"backend": "portable"' "$tmp/BENCH_host.json"
+grep -q '"kernel_mode": "prefix-scan"' "$tmp/BENCH_host.json"
 grep -q '"gcups"' "$tmp/BENCH_host.json"
 
 # Chaos-soak gate: rolling faults across every lane (one full device loss
