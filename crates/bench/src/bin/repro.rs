@@ -11,6 +11,7 @@
 //! repro trace <experiment> [--out <file.json>] [--metrics <file.prom>]
 //! repro host [--smoke] [--db-size <n>] [--out <file.json>] [--baseline <file>]
 //! repro soak [--smoke] [--out <file.json>]
+//! repro host-chaos [--seeds <a,b,c>] [--out <file.json>]
 //! ```
 //!
 //! `--inject-faults <seed>` selects the random fault seed for the chaos
@@ -38,6 +39,14 @@
 //! every other experiment these numbers are *real* seconds, not
 //! simulated ones.
 //!
+//! `host-chaos` runs the crash-only host engine's seeded fault matrix
+//! (every seed × {panic, stall, alloc-fail} forced faults, plus a full
+//! chaos storm per seed) over the protected SIMD pool and gates on
+//! bit-identical scores with zero lost or duplicated sequences. With
+//! `--out` it writes the `cudasw.bench.host_chaos/v1` document
+//! (`BENCH_host_chaos.json`). Like `host`, this runs in real wall-clock
+//! time (injected stalls sleep real milliseconds).
+//!
 //! `trace` runs any experiment under the observability recorder and dumps
 //! its span timeline as a Chrome `trace_event` JSON file — load it in
 //! Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing` to see the
@@ -57,8 +66,8 @@
 use std::sync::OnceLock;
 
 use cudasw_bench::experiments::{
-    ablation, chaos, extensions, fig2, fig3, fig5, fig6, fig7, host, host_trajectory, integrity,
-    multigpu, retune, serve, soak, strips, table1, table2, validation,
+    ablation, chaos, extensions, fig2, fig3, fig5, fig6, fig7, host, host_chaos, host_trajectory,
+    integrity, multigpu, retune, serve, soak, strips, table1, table2, validation,
 };
 use gpu_sim::DeviceSpec;
 
@@ -116,6 +125,7 @@ fn main() {
         ("serve", run_serve),
         ("soak", run_soak_smoke),
         ("host", run_host_smoke),
+        ("host-chaos", run_host_chaos_smoke),
     ];
     match cmd {
         "all" => {
@@ -127,6 +137,7 @@ fn main() {
         "trace" => run_trace(&args[1..], known),
         "host" => run_host(&args[1..]),
         "soak" => run_soak(&args[1..]),
+        "host-chaos" => run_host_chaos(&args[1..]),
         "help" | "--help" | "-h" => {
             println!(
                 "usage: repro <experiment> [--inject-faults <seed>] [--checkpoint <dir>] [--resume]"
@@ -136,9 +147,10 @@ fn main() {
                 "       repro host [--smoke] [--db-size <n>] [--out <file.json>] [--baseline <file>]"
             );
             println!("       repro soak [--smoke] [--out <file.json>]");
+            println!("       repro host-chaos [--seeds <a,b,c>] [--out <file.json>]");
             println!("experiments: all, fig2, fig3, fig5, fig6, fig7, table1, table2,");
             println!("             ablation, strips, retune, extensions, validation, chaos,");
-            println!("             integrity, serve, soak, host");
+            println!("             integrity, serve, soak, host, host-chaos");
             println!("--inject-faults <seed>: fault seed for the chaos run (default 42)");
             println!("--checkpoint <dir>: write chunk-completion logs there during chaos");
             println!("--resume: replay existing logs in the checkpoint dir instead of wiping it");
@@ -429,14 +441,95 @@ fn run_soak(rest: &[String]) {
 
 fn print_soak_summary(r: &soak::SoakResult) {
     println!(
-        "Soak held {:.2}% availability through {} injected faults \
-         ({} lane death(s), {} revival(s), {} breaker trip(s));\n\
+        "Soak held {:.2}% availability through {} injected GPU faults \
+         ({} lane death(s), {} revival(s), {} breaker trip(s))\n\
+         plus {} host-lane faults ({} chunk quarantine(s));\n\
          every answer matched the fault-free replay bit-for-bit.\n",
         r.availability * 100.0,
         r.injected_faults,
         r.lane_deaths,
         r.lane_revivals,
         r.breaker_opens,
+        r.host_injected_faults,
+        r.host_quarantines,
+    );
+}
+
+/// `repro all` entry: the host-lane fault matrix at CI scale, no file
+/// output.
+fn run_host_chaos_smoke() {
+    let r = host_chaos::run(&host_chaos::DEFAULT_SEEDS, 120, 64);
+    r.table().print();
+    print_host_chaos_summary(&r);
+}
+
+/// `repro host-chaos [--seeds <a,b,c>] [--out <file.json>]`
+fn run_host_chaos(rest: &[String]) {
+    let mut rest: Vec<String> = rest.to_vec();
+    let mut out_path: Option<String> = None;
+    let mut seeds: Vec<u64> = host_chaos::DEFAULT_SEEDS.to_vec();
+    if let Some(pos) = rest.iter().position(|a| a == "--seeds") {
+        match rest.get(pos + 1).map(|s| {
+            s.split(',')
+                .map(|x| x.trim().parse::<u64>())
+                .collect::<Result<Vec<u64>, _>>()
+        }) {
+            Some(Ok(list)) if !list.is_empty() => seeds = list,
+            _ => {
+                eprintln!("--seeds needs a comma-separated list of integers");
+                std::process::exit(2);
+            }
+        }
+        rest.drain(pos..=pos + 1);
+    }
+    if let Some(pos) = rest.iter().position(|a| a == "--out") {
+        match rest.get(pos + 1) {
+            Some(p) => out_path = Some(p.clone()),
+            None => {
+                eprintln!("--out needs a file path");
+                std::process::exit(2);
+            }
+        }
+        rest.drain(pos..=pos + 1);
+    }
+    if !rest.is_empty() {
+        eprintln!(
+            "unexpected arguments {rest:?}; usage: \
+             repro host-chaos [--seeds <a,b,c>] [--out <file.json>]"
+        );
+        std::process::exit(2);
+    }
+    let (r, run) = obs::capture(|| host_chaos::run(&seeds, 120, 64));
+    r.table().print();
+    print_host_chaos_summary(&r);
+    let m = &run.metrics;
+    println!(
+        "[run report] host-chaos: {} injected, {} panics caught, {} oracle recomputes, \
+         {} redispatches, {} rechunks (real wall-clock run)",
+        m.counter_sum("cudasw.simd.pool.faults_injected", &[]) as u64,
+        m.counter_sum("cudasw.simd.pool.panics", &[]) as u64,
+        m.counter_sum("cudasw.simd.pool.oracle_recomputes", &[]) as u64,
+        m.counter_sum("cudasw.simd.pool.redispatches", &[]) as u64,
+        m.counter_sum("cudasw.simd.pool.rechunks", &[]) as u64,
+    );
+    if let Some(out_path) = out_path {
+        if let Err(e) = std::fs::write(&out_path, r.to_json()) {
+            eprintln!("cannot write {out_path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "wrote host-chaos result ({}) to {out_path}",
+            host_chaos::SCHEMA
+        );
+    }
+}
+
+fn print_host_chaos_summary(r: &host_chaos::HostChaosResult) {
+    println!(
+        "Host fault matrix: {} cells, {} injected faults, every cell bit-identical \
+         to the clean run, zero lost or duplicated sequences.\n",
+        r.cells.len(),
+        r.total_injected,
     );
 }
 

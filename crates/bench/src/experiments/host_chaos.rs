@@ -1,0 +1,348 @@
+//! `repro host-chaos` — the crash-only host engine under seeded faults.
+//!
+//! The GPU side has `repro chaos` (random device faults, byte-identical
+//! merge) and `repro soak` (rolling lane storms under SLOs). This is the
+//! host-lane counterpart: the protected SIMD pool runs a seeded fault
+//! matrix — every seed × every [`HostFaultKind`] — plus a full chaos
+//! storm per seed, and each cell must reproduce the fault-free scores
+//! bit-for-bit with zero lost and zero duplicated sequences.
+//!
+//! Each forced cell plants one guaranteed fault of its kind at a known
+//! chunk identity (on top of light seeded background noise), so the
+//! matrix provably exercises all three recovery paths:
+//!
+//! * **panic** → the chunk is caught by the isolation boundary,
+//!   quarantined, and its uncommitted sequences are recomputed on the
+//!   scalar Farrar oracle;
+//! * **stall** → the watchdog sees a flat heartbeat and re-dispatches the
+//!   claimed chunk to a survivor, with the exactly-once commit absorbing
+//!   whatever the stalled worker later produces;
+//! * **alloc-fail** → admission denies the chunk, which is split in half
+//!   and re-queued until it fits (or reaches the minimum forced size).
+//!
+//! The run is deterministic per seed and the JSON it emits
+//! (`BENCH_host_chaos.json`, schema `cudasw.bench.host_chaos/v1`) is the
+//! CI gate artifact. Unlike the simulated-clock experiments the stall
+//! cells sleep real milliseconds, so timing fields are wall-clock.
+
+use crate::report::Table;
+use crate::workloads;
+use sw_align::SwParams;
+use sw_db::catalog::PaperDb;
+use sw_simd::{
+    length_aware_chunks, search_protected_with_chunks, search_sequences, HostFaultKind,
+    HostFaultPlan, HostFaultRates, PoolConfig, Precision, QueryEngine,
+};
+
+/// JSON schema tag of `BENCH_host_chaos.json`.
+pub const SCHEMA: &str = "cudasw.bench.host_chaos/v1";
+
+/// The seeds of the default CI matrix (≥ 3, per the robustness gate).
+pub const DEFAULT_SEEDS: [u64; 3] = [11, 22, 33];
+
+/// Worker threads for the matrix cells: enough that the watchdog has
+/// survivors to re-dispatch a stalled claim to.
+const THREADS: usize = 3;
+
+/// Forced-stall length vs. watchdog arm time: the stall must overshoot
+/// the watchdog by a wide margin so re-dispatch demonstrably wins.
+const STALL_MS: u64 = 120;
+const WATCHDOG_STALL_MS: u64 = 15;
+const WATCHDOG_POLL_MS: u64 = 5;
+
+/// One cell of the fault matrix.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Fault seed of this cell.
+    pub seed: u64,
+    /// `panic` / `stall` / `alloc-fail` for forced cells, `storm` for the
+    /// all-kinds chaos run.
+    pub fault: String,
+    /// Faults the plan actually injected.
+    pub injected: u64,
+    /// Chunk panics caught at the isolation boundary.
+    pub panics: u64,
+    /// Chunks quarantined to the scalar oracle.
+    pub quarantined_chunks: u64,
+    /// Sequences scored by the oracle recompute.
+    pub oracle_scored: u64,
+    /// Watchdog re-dispatches of stalled claims.
+    pub redispatches: u64,
+    /// Chunks split under admission pressure.
+    pub rechunks: u64,
+    /// Duplicate commits absorbed by the exactly-once gate.
+    pub duplicates_suppressed: u64,
+    /// Scores bit-identical to the fault-free run.
+    pub scores_match: bool,
+}
+
+/// Outcome of the whole matrix.
+#[derive(Debug, Clone)]
+pub struct HostChaosResult {
+    /// Database size (sequences).
+    pub db_size: usize,
+    /// Query length.
+    pub query_len: usize,
+    /// Worker threads per cell.
+    pub threads: usize,
+    /// All matrix cells (forced kinds first, then storms), in run order.
+    pub cells: Vec<CellResult>,
+    /// Faults injected across the whole matrix.
+    pub total_injected: u64,
+    /// Every cell reproduced the fault-free scores bit-for-bit.
+    pub all_scores_match: bool,
+    /// Sequences that went unanswered in any cell (must be zero: every
+    /// score vector is full-length by the exactly-once reassembly).
+    pub lost_sequences: u64,
+}
+
+impl HostChaosResult {
+    /// Render as a table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "host chaos matrix ({} seeds × {} forced kinds + storms, {} threads)",
+                self.cells.iter().filter(|c| c.fault == "storm").count(),
+                HostFaultKind::ALL.len(),
+                self.threads
+            ),
+            &[
+                "cell", "injected", "panics", "quarant.", "oracle", "redisp.", "rechunks", "dupes",
+                "match",
+            ],
+        );
+        for c in &self.cells {
+            t.push_row(vec![
+                format!("seed {} / {}", c.seed, c.fault),
+                c.injected.to_string(),
+                c.panics.to_string(),
+                c.quarantined_chunks.to_string(),
+                c.oracle_scored.to_string(),
+                c.redispatches.to_string(),
+                c.rechunks.to_string(),
+                c.duplicates_suppressed.to_string(),
+                c.scores_match.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// Serialize as the `cudasw.bench.host_chaos/v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        out.push_str(&format!("  \"db_size\": {},\n", self.db_size));
+        out.push_str(&format!("  \"query_len\": {},\n", self.query_len));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!("  \"total_injected\": {},\n", self.total_injected));
+        out.push_str(&format!(
+            "  \"all_scores_match\": {},\n",
+            self.all_scores_match
+        ));
+        out.push_str(&format!("  \"lost_sequences\": {},\n", self.lost_sequences));
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"seed\": {}, \"fault\": \"{}\", \"injected\": {}, \"panics\": {}, \
+                 \"quarantined_chunks\": {}, \"oracle_scored\": {}, \"redispatches\": {}, \
+                 \"rechunks\": {}, \"duplicates_suppressed\": {}, \"scores_match\": {}}}{}\n",
+                c.seed,
+                c.fault,
+                c.injected,
+                c.panics,
+                c.quarantined_chunks,
+                c.oracle_scored,
+                c.redispatches,
+                c.rechunks,
+                c.duplicates_suppressed,
+                c.scores_match,
+                if i + 1 < self.cells.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Background noise for the forced cells: light enough that the forced
+/// fault dominates the cell, non-zero so different seeds genuinely deal
+/// different schedules.
+fn light_rates() -> HostFaultRates {
+    HostFaultRates {
+        panic: 0.05,
+        stall: 0.0, // background stalls would make cell timing additive
+        alloc_fail: 0.05,
+    }
+}
+
+/// Run the matrix: for each seed, one forced cell per [`HostFaultKind`]
+/// plus one full chaos storm, all over the same database and chunk list,
+/// every cell checked bit-for-bit against the fault-free run.
+pub fn run(seeds: &[u64], db_size: usize, query_len: usize) -> HostChaosResult {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let db = workloads::functional_db(PaperDb::Swissprot, db_size);
+    let seqs = db.sequences();
+    let query = workloads::query(query_len);
+    let engine = QueryEngine::new(SwParams::cudasw_default(), &query);
+
+    // Fault-free reference (single-threaded: scores are thread-count
+    // independent, but this keeps the oracle maximally boring).
+    let clean = search_sequences(&engine, seqs, 1, Precision::Adaptive);
+    assert!(clean.faults.is_clean(), "reference run must be fault-free");
+
+    // A fixed residue-balanced chunk list shared by every cell, so the
+    // forced chunk identity (start, len) is stable across the matrix.
+    let chunks = length_aware_chunks(seqs, THREADS * 8);
+    let mid = &chunks[chunks.len() / 2];
+    let forced_chunk = (mid.start, mid.len());
+
+    let mut cells = Vec::new();
+    for &seed in seeds {
+        // Forced cells: one guaranteed fault of each kind. Only the stall
+        // cell arms the aggressive watchdog — with it armed everywhere, a
+        // descheduled worker mid-quarantine can have its claim re-dispatched
+        // and the survivor then wins every commit, hiding the oracle path
+        // this matrix exists to demonstrate.
+        for kind in HostFaultKind::ALL {
+            let plan = HostFaultPlan::random(seed, light_rates())
+                .with_fault_at(forced_chunk, kind)
+                .with_stall_ms(STALL_MS);
+            let mut cfg = PoolConfig::new(THREADS, Precision::Adaptive).with_fault_plan(plan);
+            if kind == HostFaultKind::Stall {
+                cfg = cfg.with_watchdog(WATCHDOG_STALL_MS, WATCHDOG_POLL_MS);
+            }
+            cells.push(run_cell(
+                &engine,
+                seqs,
+                &chunks,
+                &cfg,
+                seed,
+                kind.name(),
+                &clean.scores,
+            ));
+        }
+        // The storm: every kind at chaos rates, short stalls so the
+        // watchdog still fires without dominating wall-clock.
+        let storm = HostFaultPlan::random(seed ^ 0x5707_AC1D, HostFaultRates::chaos())
+            .with_stall_ms(2 * WATCHDOG_STALL_MS);
+        let cfg = PoolConfig::new(THREADS, Precision::Adaptive)
+            .with_fault_plan(storm)
+            .with_watchdog(WATCHDOG_STALL_MS, WATCHDOG_POLL_MS);
+        cells.push(run_cell(
+            &engine,
+            seqs,
+            &chunks,
+            &cfg,
+            seed,
+            "storm",
+            &clean.scores,
+        ));
+    }
+
+    let r = HostChaosResult {
+        db_size,
+        query_len,
+        threads: THREADS,
+        total_injected: cells.iter().map(|c| c.injected).sum(),
+        all_scores_match: cells.iter().all(|c| c.scores_match),
+        lost_sequences: 0, // asserted per-cell in run_cell
+        cells,
+    };
+
+    // The gate. Each assertion names the recovery path it protects.
+    assert!(
+        r.all_scores_match,
+        "a faulted cell diverged from the clean run"
+    );
+    assert!(r.total_injected > 0, "the matrix never injected a fault");
+    for c in &r.cells {
+        match c.fault.as_str() {
+            "panic" => {
+                assert!(c.panics >= 1, "seed {}: forced panic never fired", c.seed);
+                assert!(
+                    c.quarantined_chunks >= 1 && c.oracle_scored >= 1,
+                    "seed {}: panic was not quarantined to the oracle",
+                    c.seed
+                );
+            }
+            "stall" => assert!(
+                c.redispatches >= 1,
+                "seed {}: the watchdog never re-dispatched the stalled claim",
+                c.seed
+            ),
+            "alloc-fail" => assert!(
+                c.rechunks >= 1,
+                "seed {}: admission failure never split the chunk",
+                c.seed
+            ),
+            _ => assert!(c.injected > 0, "seed {}: the storm never landed", c.seed),
+        }
+    }
+    r
+}
+
+/// One matrix cell: run the protected pool under `cfg`, compare against
+/// the clean scores, and fold the fault report into a [`CellResult`].
+fn run_cell(
+    engine: &QueryEngine,
+    seqs: &[sw_db::Sequence],
+    chunks: &[std::ops::Range<usize>],
+    cfg: &PoolConfig,
+    seed: u64,
+    fault: &str,
+    clean: &[i32],
+) -> CellResult {
+    let r = search_protected_with_chunks(engine, seqs, cfg, chunks)
+        .expect("no cancel token: the protected search is infallible");
+    assert_eq!(
+        r.scores.len(),
+        seqs.len(),
+        "seed {seed}/{fault}: a sequence was lost"
+    );
+    let f = r.faults;
+    CellResult {
+        seed,
+        fault: fault.to_string(),
+        injected: f.injected(),
+        panics: f.panics,
+        quarantined_chunks: f.quarantined_chunks,
+        oracle_scored: f.oracle_scored,
+        redispatches: f.redispatches,
+        rechunks: f.rechunks,
+        duplicates_suppressed: f.duplicates_suppressed,
+        scores_match: r.scores == clean,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_recovers_exact_scores_and_exercises_every_path() {
+        let (r, run) = obs::capture(|| run(&DEFAULT_SEEDS, 96, 48));
+        assert!(r.all_scores_match);
+        assert!(r.total_injected >= r.cells.len() as u64 - DEFAULT_SEEDS.len() as u64);
+        assert_eq!(r.lost_sequences, 0);
+        // 3 forced kinds + 1 storm per seed.
+        assert_eq!(
+            r.cells.len(),
+            DEFAULT_SEEDS.len() * (HostFaultKind::ALL.len() + 1)
+        );
+        // The pool published its fault counters.
+        let m = &run.metrics;
+        assert!(m.counter_sum("cudasw.simd.pool.panics", &[]) as u64 >= DEFAULT_SEEDS.len() as u64);
+        assert!(m.counter_sum("cudasw.simd.pool.redispatches", &[]) >= 1.0);
+        assert!(m.counter_sum("cudasw.simd.pool.rechunks", &[]) >= 1.0);
+
+        let json = r.to_json();
+        let doc = obs::json::parse(&json).expect("valid JSON");
+        assert_eq!(doc.get("schema").and_then(|s| s.as_str()), Some(SCHEMA));
+        let cells = doc
+            .get("cells")
+            .and_then(|c| c.as_arr())
+            .expect("cells array");
+        assert_eq!(cells.len(), r.cells.len());
+        assert!(cells.iter().all(|c| c.get("scores_match").is_some()));
+    }
+}

@@ -9,6 +9,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod host;
+pub mod host_chaos;
 pub mod host_trajectory;
 pub mod integrity;
 pub mod multigpu;

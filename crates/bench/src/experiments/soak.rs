@@ -18,7 +18,11 @@
 //! The fault schedule (per lane): lane 0 carries light random faults plus
 //! a full device loss whose revival succeeds on the second probe; lane 1
 //! rides rolling transient/corruption bursts; lane 2 takes one later
-//! burst. All seeded — the run is deterministic and the JSON it emits
+//! burst. On top of the GPU storm the **host lanes** (hedged dispatches
+//! and CPU fallback, both running on the crash-only SIMD pool) carry
+//! their own seeded chaos plan — chunk panics, stalls and admission
+//! failures — which the pool must absorb without changing any served
+//! score. All seeded — the run is deterministic and the JSON it emits
 //! (`BENCH_soak.json`, schema `cudasw.bench.soak/v1`) is reproducible
 //! byte-for-byte, which is what lets CI regression-gate on availability.
 
@@ -76,6 +80,10 @@ pub struct SoakResult {
     pub cpu_fallback_seqs: u64,
     /// Faults the simulator injected across all lanes.
     pub injected_faults: u64,
+    /// Faults the crash-only host pool injected into hedges/fallbacks.
+    pub host_injected_faults: u64,
+    /// Host chunks quarantined to the scalar oracle after a panic.
+    pub host_quarantines: u64,
     /// True when every answer matched the fault-free replay bit-for-bit.
     pub scores_match_reference: bool,
 }
@@ -99,6 +107,10 @@ impl SoakResult {
             ("p999 latency (s)", format!("{:.5}", self.p999_seconds)),
             ("waves", self.waves.to_string()),
             ("injected faults", self.injected_faults.to_string()),
+            (
+                "host faults injected/quarantined",
+                format!("{}/{}", self.host_injected_faults, self.host_quarantines),
+            ),
             ("lane deaths", self.lane_deaths.to_string()),
             ("lane revivals", self.lane_revivals.to_string()),
             ("breaker opens", self.breaker_opens.to_string()),
@@ -161,6 +173,11 @@ impl SoakResult {
             ("cpu_fallback_seqs", self.cpu_fallback_seqs.to_string()),
             ("injected_faults", self.injected_faults.to_string()),
             (
+                "host_injected_faults",
+                self.host_injected_faults.to_string(),
+            ),
+            ("host_quarantines", self.host_quarantines.to_string()),
+            (
                 "scores_match_reference",
                 self.scores_match_reference.to_string(),
             ),
@@ -218,6 +235,16 @@ fn fault_plans(seed: u64) -> Vec<FaultPlan> {
     ]
 }
 
+/// The host-lane chaos plan: chunk panics, stalls and admission failures
+/// at storm rates inside every hedge and CPU fallback. Stalls are kept
+/// short — the serve host pool is single-threaded (discrete-event
+/// determinism), so a stalled chunk is simply absorbed, not re-dispatched,
+/// and the sleep is real wall-clock time.
+fn host_storm(seed: u64) -> sw_simd::HostFaultPlan {
+    sw_simd::HostFaultPlan::random(seed ^ 0x4057_FA17, sw_simd::HostFaultRates::chaos())
+        .with_stall_ms(2)
+}
+
 fn soak_config() -> ServeConfig {
     ServeConfig {
         devices: 3,
@@ -268,7 +295,8 @@ fn duplicates(report: &ServeReport) -> usize {
 pub fn run(spec: &DeviceSpec, smoke: bool) -> SoakResult {
     let requests = if smoke { 30 } else { 120 };
     let db = workloads::functional_db(PaperDb::Swissprot, 120);
-    let cfg = soak_config();
+    let mut cfg = soak_config();
+    cfg.host_faults = host_storm(workloads::SEED);
     let trace = trace_config(requests).generate();
     let plans = fault_plans(workloads::SEED);
 
@@ -279,8 +307,11 @@ pub fn run(spec: &DeviceSpec, smoke: bool) -> SoakResult {
         .expect("the soak must terminate with an answer for every request");
     let delta = obs::snapshot_metrics().diff(&before);
 
-    // Fault-free replay of the identical trace: the correctness oracle.
-    let mut reference_service = SearchService::new(spec, &cfg, &db, &[]);
+    // Fault-free replay of the identical trace (GPU *and* host lanes
+    // clean): the correctness oracle.
+    let mut ref_cfg = cfg.clone();
+    ref_cfg.host_faults = sw_simd::HostFaultPlan::none();
+    let mut reference_service = SearchService::new(spec, &ref_cfg, &db, &[]);
     let reference = reference_service
         .run_trace(&trace)
         .expect("fault-free replay");
@@ -325,6 +356,8 @@ pub fn run(spec: &DeviceSpec, smoke: bool) -> SoakResult {
         redispatches: report.recovery.shard_redispatches,
         cpu_fallback_seqs: report.recovery.cpu_fallback_seqs,
         injected_faults: counter("cudasw.gpu_sim.fault.injected"),
+        host_injected_faults: counter("cudasw.simd.pool.faults_injected"),
+        host_quarantines: counter("cudasw.simd.pool.quarantines"),
         scores_match_reference,
     };
 
@@ -342,6 +375,10 @@ pub fn run(spec: &DeviceSpec, smoke: bool) -> SoakResult {
         r.p999_seconds
     );
     assert!(r.injected_faults > 0, "the storm never landed");
+    assert!(
+        r.host_injected_faults > 0,
+        "the host-lane storm never landed"
+    );
     assert!(r.lane_deaths >= 1, "the device loss never happened");
     assert!(r.lane_revivals >= 1, "the lost device never revived");
     assert!(r.breaker_opens >= 1, "no breaker ever opened");
@@ -359,6 +396,9 @@ mod tests {
         assert!(r.scores_match_reference);
         assert_eq!(r.duplicate_answers, 0);
         assert!(r.lane_deaths >= 1 && r.lane_revivals >= 1 && r.breaker_opens >= 1);
+        // The host-lane storm landed and was absorbed by the crash-only
+        // pool without changing a single served score.
+        assert!(r.host_injected_faults > 0);
 
         let json = r.to_json();
         let doc = obs::json::parse(&json).expect("valid JSON");
@@ -385,6 +425,8 @@ mod tests {
             "redispatches",
             "cpu_fallback_seqs",
             "injected_faults",
+            "host_injected_faults",
+            "host_quarantines",
             "scores_match_reference",
         ] {
             assert!(doc.get(key).is_some(), "missing {key}");

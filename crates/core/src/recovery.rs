@@ -128,6 +128,16 @@ pub enum RecoveryEvent {
         /// Display form of the error that would have been retried.
         error: String,
     },
+    /// Host-lane work (a speculative hedge or host fallback) was denied
+    /// because its modelled cost would overrun the query's remaining
+    /// deadline budget — the host-side twin of [`Self::BudgetDenied`].
+    HostBudgetDenied {
+        /// Modelled host milliseconds the work would have taken
+        /// (integral so the event log stays `Eq`/hashable).
+        millis_needed: u64,
+        /// Budget milliseconds the query had left.
+        millis_left: u64,
+    },
     /// A dead device's shard (or part of it) was re-run on a survivor.
     ShardRedispatch {
         /// Index of the failed device.
@@ -147,6 +157,9 @@ pub struct RecoveryReport {
     /// Retries *denied* because their backoff would overrun the deadline
     /// budget (the ladder degraded instead of waiting).
     pub budget_denied_retries: u64,
+    /// Host-lane work (hedges, host fallbacks) denied by the deadline
+    /// budget.
+    pub host_budget_denied: u64,
     /// OOM-driven window halvings.
     pub rechunks: u64,
     /// Sequences scored by the CPU fallback.
@@ -171,6 +184,7 @@ impl RecoveryReport {
     pub fn merge(&mut self, other: &RecoveryReport) {
         self.retries += other.retries;
         self.budget_denied_retries += other.budget_denied_retries;
+        self.host_budget_denied += other.host_budget_denied;
         self.rechunks += other.rechunks;
         self.cpu_fallback_seqs += other.cpu_fallback_seqs;
         self.shard_redispatches += other.shard_redispatches;
@@ -204,6 +218,27 @@ impl RecoveryReport {
         self.events.push(RecoveryEvent::Retry {
             error: err.to_string(),
             attempt,
+        });
+    }
+
+    /// Record a host-lane budget denial (hedge or host fallback refused
+    /// because its modelled cost overruns the query's remaining deadline
+    /// budget). Public because the denial originates in the serving
+    /// layer, but the ledger/trace pairing must stay in one place.
+    pub fn note_host_budget_denied(&mut self, seconds_needed: f64, seconds_left: f64) {
+        self.host_budget_denied += 1;
+        obs::counter_add("cudasw.serve.hedge.budget_denied", &[], 1.0);
+        obs::instant(
+            "host_budget_denied",
+            "recovery",
+            &[
+                ("seconds_needed", &format!("{seconds_needed:.6}")),
+                ("seconds_left", &format!("{seconds_left:.6}")),
+            ],
+        );
+        self.events.push(RecoveryEvent::HostBudgetDenied {
+            millis_needed: (seconds_needed * 1e3).ceil() as u64,
+            millis_left: (seconds_left.max(0.0) * 1e3) as u64,
         });
     }
 
@@ -425,6 +460,33 @@ fn classify(
         Handling::Rechunk
     } else {
         Handling::DeviceFailed(err)
+    }
+}
+
+/// Score one CPU-fallback sequence with panic isolation: a panic inside
+/// the vectorized engine quarantines the sequence to the scalar-validated
+/// Farrar oracle (bit-identical scores), so the degraded path can never
+/// abort a search the device already failed. Stats are only merged for
+/// clean runs — a panicking engine's partial counts are discarded.
+fn protected_fallback_score(
+    engine: &QueryEngine,
+    residues: &[u8],
+    stats: &mut AdaptiveStats,
+) -> i32 {
+    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut delta = AdaptiveStats::default();
+        let score = engine.score_with(residues, Precision::Adaptive, &mut delta);
+        (score, delta)
+    }));
+    match attempt {
+        Ok((score, delta)) => {
+            stats.merge(&delta);
+            score
+        }
+        Err(_) => {
+            obs::counter_add("cudasw.core.recovery.cpu_fallback_panics", &[], 1.0);
+            sw_simd::sw_striped_score(engine.params(), engine.query(), residues)
+        }
     }
 }
 
@@ -752,7 +814,10 @@ impl CudaSwDriver {
             }
             let sp_cpu = obs::span("cpu_fallback", "phase");
             // One engine for the whole fallback: the striped profiles are
-            // built once and reused for every remaining sequence.
+            // built once and reused for every remaining sequence. Scoring
+            // is panic-isolated per sequence (crash-only: a poisoned
+            // alignment in the vectorized engine quarantines to the
+            // scalar oracle instead of aborting the degraded search).
             let engine = QueryEngine::new(self.config.params.clone(), query);
             let mut simd_stats = AdaptiveStats::default();
             let mut n = 0usize;
@@ -761,9 +826,9 @@ impl CudaSwDriver {
                 if inter_done_iv.contains(i) {
                     continue;
                 }
-                scores[i] = engine.score_with(
+                scores[i] = protected_fallback_score(
+                    &engine,
                     &partition.short[i].residues,
-                    Precision::Adaptive,
                     &mut simd_stats,
                 );
                 n += 1;
@@ -772,11 +837,8 @@ impl CudaSwDriver {
                 if intra_done_iv.contains(j) {
                     continue;
                 }
-                scores[partition.short.len() + j] = engine.score_with(
-                    &partition.long[j].residues,
-                    Precision::Adaptive,
-                    &mut simd_stats,
-                );
+                scores[partition.short.len() + j] =
+                    protected_fallback_score(&engine, &partition.long[j].residues, &mut simd_stats);
                 n += 1;
             }
             sw_simd::record_stats(engine.kind(), &simd_stats);

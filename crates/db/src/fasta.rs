@@ -4,11 +4,23 @@
 //! This module provides a strict, streaming parser over any `BufRead`
 //! plus a writer, so users can run the reproduction against their own
 //! FASTA files.
+//!
+//! The parser treats its input as **hostile**: it reads bytes (not
+//! `String` lines), accepts LF / CRLF / lone-CR line endings, bounds
+//! every line at [`MAX_LINE_BYTES`] so a malformed multi-gigabyte
+//! "line" cannot exhaust memory, and turns every malformed shape —
+//! truncated records, non-UTF-8 headers, non-ASCII residue bytes, empty
+//! input — into a typed [`FastaError`]. It never panics.
 
 use crate::database::{Database, Sequence};
 use std::fmt;
 use std::io::{self, BufRead, Write};
 use sw_align::Alphabet;
+
+/// Upper bound on one logical line, bytes (1 MiB). Real FASTA wraps at
+/// 60–120 columns; a line beyond this is a malformed or adversarial
+/// file, and the parser refuses it *without buffering it first*.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
 
 /// FASTA-level errors.
 #[derive(Debug)]
@@ -22,6 +34,33 @@ pub enum FastaError {
         /// Offending character.
         ch: char,
     },
+    /// A residue byte outside ASCII (no protein/DNA alphabet has any;
+    /// binary or multi-byte-encoded input lands here with the byte
+    /// preserved, where a lossy `char` decode would mangle it).
+    NonAsciiResidue {
+        /// 1-based line number.
+        line: usize,
+        /// Offending byte.
+        byte: u8,
+    },
+    /// A header line that is not valid UTF-8 (ids and descriptions are
+    /// `String`s downstream).
+    InvalidUtf8 {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A line longer than [`MAX_LINE_BYTES`] — malformed or adversarial
+    /// input; the parser stops before buffering the whole line.
+    LineTooLong {
+        /// 1-based line number.
+        line: usize,
+        /// The enforced bound, bytes.
+        limit: usize,
+    },
+    /// The input contained no records at all (empty file, or whitespace
+    /// only). Explicit because an accidentally empty database path
+    /// otherwise surfaces much later as a mysteriously empty result.
+    EmptyInput,
     /// Sequence data before any `>` header.
     MissingHeader {
         /// 1-based line number.
@@ -54,6 +93,16 @@ impl fmt::Display for FastaError {
             FastaError::BadResidue { line, ch } => {
                 write!(f, "invalid residue {ch:?} on line {line}")
             }
+            FastaError::NonAsciiResidue { line, byte } => {
+                write!(f, "non-ASCII residue byte 0x{byte:02x} on line {line}")
+            }
+            FastaError::InvalidUtf8 { line } => {
+                write!(f, "header on line {line} is not valid UTF-8")
+            }
+            FastaError::LineTooLong { line, limit } => {
+                write!(f, "line {line} exceeds the {limit}-byte limit")
+            }
+            FastaError::EmptyInput => write!(f, "input contains no FASTA records"),
             FastaError::MissingHeader { line } => {
                 write!(f, "sequence data before any '>' header on line {line}")
             }
@@ -83,32 +132,91 @@ impl From<io::Error> for FastaError {
     }
 }
 
+/// Read one logical line (terminated by LF, CRLF, or a lone CR) into
+/// `buf` without its terminator. Returns `false` at end of input with
+/// nothing read. The line cap is enforced *while* reading, so an
+/// adversarial terminator-free stream fails fast instead of being
+/// buffered whole.
+fn read_logical_line(
+    reader: &mut impl BufRead,
+    buf: &mut Vec<u8>,
+    line_no: usize,
+) -> Result<bool, FastaError> {
+    buf.clear();
+    let mut saw_any = false;
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(saw_any);
+        }
+        saw_any = true;
+        if let Some(pos) = chunk.iter().position(|&b| b == b'\n' || b == b'\r') {
+            if buf.len() + pos > MAX_LINE_BYTES {
+                return Err(FastaError::LineTooLong {
+                    line: line_no,
+                    limit: MAX_LINE_BYTES,
+                });
+            }
+            let is_cr = chunk[pos] == b'\r';
+            buf.extend_from_slice(&chunk[..pos]);
+            reader.consume(pos + 1);
+            if is_cr {
+                // CRLF: the LF is the same terminator, not a blank line.
+                let next = reader.fill_buf()?;
+                if next.first() == Some(&b'\n') {
+                    reader.consume(1);
+                }
+            }
+            return Ok(true);
+        }
+        let len = chunk.len();
+        if buf.len() + len > MAX_LINE_BYTES {
+            return Err(FastaError::LineTooLong {
+                line: line_no,
+                limit: MAX_LINE_BYTES,
+            });
+        }
+        buf.extend_from_slice(chunk);
+        reader.consume(len);
+    }
+}
+
 /// Parse a FASTA stream into sequences encoded over `alphabet`.
 ///
 /// The parser is strict about record identity — every record must carry a
 /// unique, non-empty id ([`FastaError::EmptyId`],
-/// [`FastaError::DuplicateId`]) — and lenient about line endings: CRLF
-/// files parse identically to LF files.
-pub fn parse_fasta(reader: impl BufRead, alphabet: Alphabet) -> Result<Vec<Sequence>, FastaError> {
+/// [`FastaError::DuplicateId`]) — and lenient about line endings: LF,
+/// CRLF, and classic-Mac lone-CR files all parse identically. Input with
+/// no records at all is refused ([`FastaError::EmptyInput`]).
+pub fn parse_fasta(
+    mut reader: impl BufRead,
+    alphabet: Alphabet,
+) -> Result<Vec<Sequence>, FastaError> {
     let mut sequences = Vec::new();
     let mut seen_ids = std::collections::HashSet::new();
     let mut current: Option<Sequence> = None;
-    for (line_no, line) in reader.lines().enumerate() {
-        let line = line?;
-        let line_no = line_no + 1;
-        // `lines()` strips the `\n`; dropping trailing whitespace here
-        // also strips the `\r` of CRLF files.
-        let trimmed = line.trim_end();
+    let mut buf = Vec::new();
+    let mut line_no = 0usize;
+    loop {
+        line_no += 1;
+        if !read_logical_line(&mut reader, &mut buf, line_no)? {
+            break;
+        }
+        let trimmed = trim_ascii_end(&buf);
         if trimmed.is_empty() {
             continue;
         }
-        if let Some(header) = trimmed.strip_prefix('>') {
+        if trimmed[0] == b'>' {
             if let Some(done) = current.take() {
                 if done.is_empty() {
                     return Err(FastaError::EmptyRecord { id: done.id });
                 }
                 sequences.push(done);
             }
+            // Headers become `String`s downstream, so they must be UTF-8;
+            // residue lines below are byte-validated instead.
+            let header = std::str::from_utf8(&trimmed[1..])
+                .map_err(|_| FastaError::InvalidUtf8 { line: line_no })?;
             let mut parts = header.splitn(2, char::is_whitespace);
             let id = parts.next().unwrap_or("").to_string();
             if id.is_empty() {
@@ -127,10 +235,17 @@ pub fn parse_fasta(reader: impl BufRead, alphabet: Alphabet) -> Result<Vec<Seque
             let seq = current
                 .as_mut()
                 .ok_or(FastaError::MissingHeader { line: line_no })?;
-            for ch in trimmed.chars() {
-                if ch.is_ascii_whitespace() {
+            for &b in trimmed {
+                if b.is_ascii_whitespace() {
                     continue;
                 }
+                if !b.is_ascii() {
+                    return Err(FastaError::NonAsciiResidue {
+                        line: line_no,
+                        byte: b,
+                    });
+                }
+                let ch = b as char;
                 match alphabet.encode_char(ch) {
                     Some(code) => seq.residues.push(code),
                     None => return Err(FastaError::BadResidue { line: line_no, ch }),
@@ -144,7 +259,19 @@ pub fn parse_fasta(reader: impl BufRead, alphabet: Alphabet) -> Result<Vec<Seque
         }
         sequences.push(done);
     }
+    if sequences.is_empty() {
+        return Err(FastaError::EmptyInput);
+    }
     Ok(sequences)
+}
+
+/// `&[u8]` analogue of `str::trim_end` over ASCII whitespace.
+fn trim_ascii_end(bytes: &[u8]) -> &[u8] {
+    let mut end = bytes.len();
+    while end > 0 && bytes[end - 1].is_ascii_whitespace() {
+        end -= 1;
+    }
+    &bytes[..end]
 }
 
 /// Parse a FASTA string into a [`Database`].
@@ -302,5 +429,115 @@ WWWW
         let text = ">d\nACGTN\n";
         let seqs = parse_fasta(text.as_bytes(), Alphabet::Dna).unwrap();
         assert_eq!(seqs[0].residues, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn lone_cr_line_endings_parse_like_lf() {
+        let cr = SAMPLE.replace('\n', "\r");
+        let seqs = parse_fasta(cr.as_bytes(), Alphabet::Protein).unwrap();
+        let lf = parse_fasta(SAMPLE.as_bytes(), Alphabet::Protein).unwrap();
+        assert_eq!(seqs, lf);
+    }
+
+    #[test]
+    fn mixed_line_endings_parse() {
+        let text = ">a one\r\nMKV\rLAW\n>b\rWW\r\n";
+        let seqs = parse_fasta(text.as_bytes(), Alphabet::Protein).unwrap();
+        assert_eq!(seqs.len(), 2);
+        assert_eq!(seqs[0].len(), 6);
+        assert_eq!(seqs[1].len(), 2);
+    }
+
+    #[test]
+    fn missing_final_newline_parses() {
+        let seqs = parse_fasta(">x\nMKVL".as_bytes(), Alphabet::Protein).unwrap();
+        assert_eq!(seqs[0].len(), 4);
+    }
+
+    #[test]
+    fn empty_and_whitespace_only_input_rejected() {
+        for text in ["", "\n", "  \n\t\n", "\r\n\r\n"] {
+            assert!(
+                matches!(
+                    parse_fasta(text.as_bytes(), Alphabet::Protein),
+                    Err(FastaError::EmptyInput)
+                ),
+                "{text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_ascii_residue_byte_rejected_with_position() {
+        let bytes = b">x\nMK\xc3\xa9VL\n";
+        match parse_fasta(&bytes[..], Alphabet::Protein).unwrap_err() {
+            FastaError::NonAsciiResidue { line, byte } => {
+                assert_eq!(line, 2);
+                assert_eq!(byte, 0xc3);
+            }
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn non_utf8_header_rejected() {
+        let bytes = b">id\xff junk\nMK\n";
+        assert!(matches!(
+            parse_fasta(&bytes[..], Alphabet::Protein),
+            Err(FastaError::InvalidUtf8 { line: 1 })
+        ));
+    }
+
+    #[test]
+    fn oversized_line_rejected_without_buffering_it() {
+        let mut text = b">x\n".to_vec();
+        text.extend(std::iter::repeat_n(b'A', MAX_LINE_BYTES + 10));
+        text.push(b'\n');
+        match parse_fasta(&text[..], Alphabet::Protein).unwrap_err() {
+            FastaError::LineTooLong { line, limit } => {
+                assert_eq!(line, 2);
+                assert_eq!(limit, MAX_LINE_BYTES);
+            }
+            other => panic!("unexpected: {other}"),
+        }
+        // An oversized *terminator-free* stream (no newline at all) must
+        // also fail at the cap, not attempt to buffer the input whole.
+        let headerless = vec![b'A'; MAX_LINE_BYTES * 2];
+        assert!(matches!(
+            parse_fasta(&headerless[..], Alphabet::Protein),
+            Err(FastaError::LineTooLong { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn binary_garbage_yields_typed_errors_never_panics() {
+        // Deterministic pseudo-random byte soup, various shapes. The
+        // assertion is the absence of panics plus every outcome being a
+        // typed error (garbage cannot form a valid record).
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for len in [0usize, 1, 7, 64, 511, 4096] {
+            let bytes: Vec<u8> = (0..len)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (state >> 33) as u8
+                })
+                .collect();
+            let r = parse_fasta(&bytes[..], Alphabet::Protein);
+            assert!(r.is_err(), "len={len} parsed as FASTA?");
+        }
+    }
+
+    #[test]
+    fn truncated_header_at_eof_rejected() {
+        // A file ending right after a header (truncated download).
+        for text in [">last", ">a\nMK\n>last", ">a\nMK\n>last\n \n"] {
+            assert!(
+                matches!(
+                    parse_fasta(text.as_bytes(), Alphabet::Protein),
+                    Err(FastaError::EmptyRecord { .. })
+                ),
+                "{text:?}"
+            );
+        }
     }
 }

@@ -45,7 +45,7 @@ use cudasw_core::{
 };
 use gpu_sim::{DeviceSpec, FaultPlan, GpuError};
 use sw_db::Database;
-use sw_simd::{AdaptiveStats, Precision, QueryEngine};
+use sw_simd::{search_uncancelled, HostFaultPlan, PoolConfig, Precision, QueryEngine};
 
 /// One device lane: a driver bound to one database shard.
 struct Lane {
@@ -93,6 +93,11 @@ pub struct WaveExecutor {
     db_len: usize,
     health: HealthTracker,
     propagate_deadlines: bool,
+    /// Seeded fault schedule for host-lane work (hedges, fallbacks):
+    /// inert in production, a storm in the chaos soak. Host lanes run in
+    /// the crash-only SIMD pool, so injected panics/stalls/alloc failures
+    /// are absorbed without changing a score.
+    host_faults: HostFaultPlan,
 }
 
 impl WaveExecutor {
@@ -109,6 +114,7 @@ impl WaveExecutor {
         policy: &RecoveryPolicy,
         health: &HealthPolicy,
         propagate_deadlines: bool,
+        host_faults: &HostFaultPlan,
     ) -> Self {
         let devices = devices.max(1);
         let shards = shard_database(db, devices);
@@ -138,7 +144,14 @@ impl WaveExecutor {
             db_len: db.len(),
             health,
             propagate_deadlines,
+            host_faults: host_faults.clone(),
         }
+    }
+
+    /// Pool config for host-lane work: single worker (the service loop is
+    /// a deterministic discrete-event simulation), full fault domain.
+    fn host_pool_config(&self) -> PoolConfig {
+        PoolConfig::new(1, Precision::Adaptive).with_fault_plan(self.host_faults.clone())
     }
 
     /// Number of lanes still alive.
@@ -315,13 +328,13 @@ impl WaveExecutor {
         for (pos, &q) in wave.exec_order.iter().enumerate() {
             let req = &wave.requests[q];
             // Hedged dispatch: a straggling lane gets a speculative host
-            // twin for this query before the device attempt.
-            let hedge = self.issue_hedge(s, req, params);
+            // twin for this query before the device attempt, budgeted
+            // against the query's remaining deadline.
+            let hedge = self.issue_hedge(s, req, params, now + *lane_seconds, recovery);
             let gpu_start = *lane_seconds;
             let mut served_secs: Option<f64> = None;
             // Fast path: the resident shard plus the cached profile.
-            if self.lanes[s].staged.is_some() {
-                let staged = self.lanes[s].staged.clone().expect("checked");
+            if let Some(staged) = self.lanes[s].staged.clone() {
                 match self.lanes[s].driver.search_staged_with_profile(
                     &req.query,
                     &profiles[q],
@@ -389,7 +402,11 @@ impl WaveExecutor {
             // Exactly-once commitment: the first finisher's result stands.
             // Scores are bit-identical on both paths, so "which won" only
             // decides the lane's clock (and the degraded flag).
-            let gpu_secs = served_secs.expect("device path served");
+            // Unreachable fallback: every path above either set
+            // `served_secs` or returned.
+            let Some(gpu_secs) = served_secs else {
+                continue;
+            };
             match hedge {
                 Some(h) if h.seconds < gpu_secs => {
                     self.commit_hedge(s, q, &h, scores, recovery);
@@ -408,28 +425,40 @@ impl WaveExecutor {
 
     /// Speculatively compute `req`'s shard scores on the host SIMD engine
     /// when lane `s` is straggling. Returns `None` when the hedge trigger
-    /// is quiet.
+    /// is quiet — or when the modelled host cost would overrun the
+    /// query's remaining deadline budget (a hedge that cannot finish in
+    /// budget only burns CPU; the denial is the host-lane twin of the
+    /// device ladder's `BudgetDenied`).
     fn issue_hedge(
         &mut self,
         s: usize,
         req: &SearchRequest,
         params: &sw_align::SwParams,
+        service_elapsed: f64,
+        recovery: &mut RecoveryReport,
     ) -> Option<HedgeResult> {
         if !self.health.should_hedge(s) || self.lanes[s].shard.is_empty() {
             return None;
         }
-        obs::counter_add("cudasw.serve.hedge.issued", &[], 1.0);
         let shard = &self.lanes[s].shard;
-        let engine = QueryEngine::new(params.clone(), &req.query);
-        let mut simd_stats = AdaptiveStats::default();
-        let scores: Vec<i32> = shard
-            .sequences()
-            .iter()
-            .map(|seq| engine.score_with(&seq.residues, Precision::Adaptive, &mut simd_stats))
-            .collect();
-        sw_simd::record_stats(engine.kind(), &simd_stats);
         let seconds = shard.total_cells(req.query.len()) as f64 / HEDGE_HOST_CUPS;
-        Some(HedgeResult { scores, seconds })
+        if self.propagate_deadlines {
+            let left = req.deadline_seconds - service_elapsed;
+            if seconds > left {
+                recovery.note_host_budget_denied(seconds, left);
+                return None;
+            }
+        }
+        obs::counter_add("cudasw.serve.hedge.issued", &[], 1.0);
+        // The hedge runs inside the crash-only pool: panic quarantine,
+        // admission, and any injected host faults, bit-identical scores.
+        let engine = QueryEngine::new(params.clone(), &req.query);
+        let r = search_uncancelled(&engine, shard.sequences(), &self.host_pool_config());
+        sw_simd::record_stats(engine.kind(), &r.stats);
+        Some(HedgeResult {
+            scores: r.scores,
+            seconds,
+        })
     }
 
     /// Commit a winning hedge for query `q` on lane `s`'s shard slots.
@@ -610,14 +639,15 @@ impl WaveExecutor {
                 return Err(GpuError::DeviceLost);
             }
             // One dispatched engine per owed shard: profiles are built
-            // once and reused across the shard's sequences.
+            // once and reused across the shard's sequences. The fallback
+            // runs in the crash-only pool — the service's last line of
+            // defence must itself survive panics and pressure.
             let engine = QueryEngine::new(params.clone(), &req.query);
-            let mut simd_stats = AdaptiveStats::default();
-            for (j, seq) in shard.sequences().iter().enumerate() {
-                scores[q][dead + j * k] =
-                    engine.score_with(&seq.residues, Precision::Adaptive, &mut simd_stats);
+            let r = search_uncancelled(&engine, shard.sequences(), &self.host_pool_config());
+            for (j, &v) in r.scores.iter().enumerate() {
+                scores[q][dead + j * k] = v;
             }
-            sw_simd::record_stats(engine.kind(), &simd_stats);
+            sw_simd::record_stats(engine.kind(), &r.stats);
             recovery.cpu_fallback_seqs += shard.len() as u64;
             recovery.degraded = true;
             recovery.events.push(RecoveryEvent::CpuFallback {

@@ -35,6 +35,10 @@
 //! `health.breaker{lane}` (gauges),
 //! `health.breaker_transitions{lane,to}`. Spans: `run_trace`, `wave`
 //! (category `serve`). See DESIGN.md §11 and §13.
+// Crash-only discipline: library code may not panic through `unwrap` /
+// `expect` — every fallible path must recover or return a typed error.
+// (Unit tests, compiled with `cfg(test)`, are exempt.)
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod admission;
 pub mod batch;

@@ -45,6 +45,11 @@ pub struct ServeConfig {
     /// serving them late. Off by default: the pinned contract is that
     /// deadline misses are flagged, not dropped.
     pub shed_expired: bool,
+    /// Seeded fault schedule for host-lane work (hedges, CPU fallbacks):
+    /// inert by default, a storm in the chaos soak. Host lanes run inside
+    /// the crash-only SIMD pool, so injected faults are absorbed without
+    /// changing any served score.
+    pub host_faults: sw_simd::HostFaultPlan,
 }
 
 impl Default for ServeConfig {
@@ -59,6 +64,7 @@ impl Default for ServeConfig {
             health: HealthPolicy::default(),
             propagate_deadlines: true,
             shed_expired: false,
+            host_faults: sw_simd::HostFaultPlan::none(),
         }
     }
 }
@@ -201,6 +207,7 @@ impl SearchService {
                 &cfg.recovery,
                 &cfg.health,
                 cfg.propagate_deadlines,
+                &cfg.host_faults,
             ),
             shed_expired: cfg.shed_expired,
         }
@@ -246,7 +253,9 @@ impl SearchService {
         loop {
             // Admit everything that has arrived by `now`.
             while pending.front().is_some_and(|r| r.arrival_seconds <= now) {
-                let req = pending.pop_front().expect("checked");
+                let Some(req) = pending.pop_front() else {
+                    break;
+                };
                 if let Err(reason) = self.queue.offer(req.clone()) {
                     sheds.push(Shed {
                         id: req.id,

@@ -34,8 +34,39 @@
 //! the scan kernels additionally count their scan steps in the same
 //! counter, keeping the "repair work" comparison honest across modes.
 
+use crate::cancel::{CancelToken, CANCEL_CHECK_COLS};
 use sw_align::smith_waterman::SwParams;
 use sw_align::GapPenalties;
+
+/// A per-column cancellation probe the generic kernels poll every
+/// [`CANCEL_CHECK_COLS`] database columns.
+///
+/// Two implementations exist: [`NeverCancel`], a compile-time constant
+/// `false` that lets the optimizer delete the check entirely (the plain
+/// kernels cost exactly what they did before cancellation existed), and
+/// [`CancelToken`], whose poll is one relaxed atomic load per checkpoint.
+pub trait ColumnCheck {
+    /// True when the kernel should abandon this alignment.
+    fn cancelled(&self) -> bool;
+}
+
+/// The infallible check: never cancels, compiles to nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NeverCancel;
+
+impl ColumnCheck for NeverCancel {
+    #[inline(always)]
+    fn cancelled(&self) -> bool {
+        false
+    }
+}
+
+impl ColumnCheck for CancelToken {
+    #[inline(always)]
+    fn cancelled(&self) -> bool {
+        self.poll()
+    }
+}
 
 /// Vector of unsigned 8-bit lanes with SSE2 `paddusb`-style semantics.
 ///
@@ -312,6 +343,26 @@ pub fn sw_bytes<V: ByteSimd>(
     profile: &ByteProfileOf<V>,
     db: &[u8],
 ) -> ByteKernelResult {
+    match sw_bytes_checked(gaps, profile, db, &NeverCancel) {
+        Some(r) => r,
+        // Unreachable: NeverCancel never cancels.
+        None => ByteKernelResult {
+            score: Some(0),
+            lazy_f: 0,
+        },
+    }
+}
+
+/// [`sw_bytes`] with a cancellation probe polled every
+/// [`CANCEL_CHECK_COLS`] columns; `None` means the alignment was abandoned
+/// mid-flight and produced no score.
+#[inline(always)]
+pub fn sw_bytes_checked<V: ByteSimd, C: ColumnCheck>(
+    gaps: &GapPenalties,
+    profile: &ByteProfileOf<V>,
+    db: &[u8],
+    check: &C,
+) -> Option<ByteKernelResult> {
     let seg_len = profile.seg_len();
     let v_open = V::splat(gaps.open.clamp(0, 255) as u8);
     let v_extend = V::splat(gaps.extend.clamp(0, 255) as u8);
@@ -327,7 +378,10 @@ pub fn sw_bytes<V: ByteSimd>(
     // bounds the full propagation at V::LANES wraps either way.
     let early_exit = gaps.open > gaps.extend;
 
-    for &d in db {
+    for (col, &d) in db.iter().enumerate() {
+        if col % CANCEL_CHECK_COLS == 0 && check.cancelled() {
+            return None;
+        }
         let mut v_f = V::zero();
         // H of the last segment, shifted one lane: the "wrap" of the
         // striped layout (element k of the last segment precedes element
@@ -366,16 +420,16 @@ pub fn sw_bytes<V: ByteSimd>(
         // Overflow check: once the running max could saturate during the
         // next column's biased add, the result is a lower bound only.
         if v_max.horizontal_max() >= profile.overflow_at() {
-            return ByteKernelResult {
+            return Some(ByteKernelResult {
                 score: None,
                 lazy_f,
-            };
+            });
         }
     }
-    ByteKernelResult {
+    Some(ByteKernelResult {
         score: Some(v_max.horizontal_max() as i32),
         lazy_f,
-    }
+    })
 }
 
 /// Word-mode (exact) striped Smith-Waterman against one database sequence.
@@ -387,6 +441,25 @@ pub fn sw_words<V: WordSimd>(
     profile: &WordProfileOf<V>,
     db: &[u8],
 ) -> WordKernelResult {
+    match sw_words_checked(gaps, profile, db, &NeverCancel) {
+        Some(r) => r,
+        // Unreachable: NeverCancel never cancels.
+        None => WordKernelResult {
+            score: 0,
+            lazy_f: 0,
+        },
+    }
+}
+
+/// [`sw_words`] with a cancellation probe polled every
+/// [`CANCEL_CHECK_COLS`] columns; `None` means the alignment was abandoned.
+#[inline(always)]
+pub fn sw_words_checked<V: WordSimd, C: ColumnCheck>(
+    gaps: &GapPenalties,
+    profile: &WordProfileOf<V>,
+    db: &[u8],
+    check: &C,
+) -> Option<WordKernelResult> {
     let seg_len = profile.seg_len();
     let v_open = V::splat(gaps.open as i16);
     let v_extend = V::splat(gaps.extend as i16);
@@ -398,7 +471,10 @@ pub fn sw_words<V: WordSimd>(
     // See the byte kernel for why the cutoff needs strictly affine gaps.
     let early_exit = gaps.open > gaps.extend;
 
-    for &d in db {
+    for (col, &d) in db.iter().enumerate() {
+        if col % CANCEL_CHECK_COLS == 0 && check.cancelled() {
+            return None;
+        }
         let mut v_f = V::zero();
         let mut v_h = h_store[seg_len - 1].shift();
         std::mem::swap(&mut h_store, &mut h_load);
@@ -426,10 +502,10 @@ pub fn sw_words<V: WordSimd>(
             }
         }
     }
-    WordKernelResult {
+    Some(WordKernelResult {
         score: v_max.horizontal_max() as i32,
         lazy_f,
-    }
+    })
 }
 
 /// Byte-mode striped Smith-Waterman with the Lazy-F loop deconstructed
@@ -456,6 +532,25 @@ pub fn sw_bytes_scan<V: ByteSimd>(
     profile: &ByteProfileOf<V>,
     db: &[u8],
 ) -> ByteKernelResult {
+    match sw_bytes_scan_checked(gaps, profile, db, &NeverCancel) {
+        Some(r) => r,
+        // Unreachable: NeverCancel never cancels.
+        None => ByteKernelResult {
+            score: Some(0),
+            lazy_f: 0,
+        },
+    }
+}
+
+/// [`sw_bytes_scan`] with a cancellation probe polled every
+/// [`CANCEL_CHECK_COLS`] columns; `None` means the alignment was abandoned.
+#[inline(always)]
+pub fn sw_bytes_scan_checked<V: ByteSimd, C: ColumnCheck>(
+    gaps: &GapPenalties,
+    profile: &ByteProfileOf<V>,
+    db: &[u8],
+    check: &C,
+) -> Option<ByteKernelResult> {
     let seg_len = profile.seg_len();
     let v_open = V::splat(gaps.open.clamp(0, 255) as u8);
     let v_extend = V::splat(gaps.extend.clamp(0, 255) as u8);
@@ -473,7 +568,10 @@ pub fn sw_bytes_scan<V: ByteSimd>(
     // See sw_bytes: the repair early exit needs strictly affine gaps.
     let early_exit = gaps.open > gaps.extend;
 
-    for &d in db {
+    for (col, &d) in db.iter().enumerate() {
+        if col % CANCEL_CHECK_COLS == 0 && check.cancelled() {
+            return None;
+        }
         let mut v_f = V::zero();
         let mut v_h = h_store[seg_len - 1].shift();
         std::mem::swap(&mut h_store, &mut h_load);
@@ -511,16 +609,16 @@ pub fn sw_bytes_scan<V: ByteSimd>(
             }
         }
         if v_max.horizontal_max() >= profile.overflow_at() {
-            return ByteKernelResult {
+            return Some(ByteKernelResult {
                 score: None,
                 lazy_f,
-            };
+            });
         }
     }
-    ByteKernelResult {
+    Some(ByteKernelResult {
         score: Some(v_max.horizontal_max() as i32),
         lazy_f,
-    }
+    })
 }
 
 /// Word-mode striped Smith-Waterman with the prefix-scan Lazy-F
@@ -535,6 +633,25 @@ pub fn sw_words_scan<V: WordSimd>(
     profile: &WordProfileOf<V>,
     db: &[u8],
 ) -> WordKernelResult {
+    match sw_words_scan_checked(gaps, profile, db, &NeverCancel) {
+        Some(r) => r,
+        // Unreachable: NeverCancel never cancels.
+        None => WordKernelResult {
+            score: 0,
+            lazy_f: 0,
+        },
+    }
+}
+
+/// [`sw_words_scan`] with a cancellation probe polled every
+/// [`CANCEL_CHECK_COLS`] columns; `None` means the alignment was abandoned.
+#[inline(always)]
+pub fn sw_words_scan_checked<V: WordSimd, C: ColumnCheck>(
+    gaps: &GapPenalties,
+    profile: &WordProfileOf<V>,
+    db: &[u8],
+    check: &C,
+) -> Option<WordKernelResult> {
     let seg_len = profile.seg_len();
     let v_open = V::splat(gaps.open as i16);
     let v_extend = V::splat(gaps.extend as i16);
@@ -546,7 +663,10 @@ pub fn sw_words_scan<V: WordSimd>(
     let mut lazy_f = 0u64;
     let early_exit = gaps.open > gaps.extend;
 
-    for &d in db {
+    for (col, &d) in db.iter().enumerate() {
+        if col % CANCEL_CHECK_COLS == 0 && check.cancelled() {
+            return None;
+        }
         let mut v_f = V::zero();
         let mut v_h = h_store[seg_len - 1].shift();
         std::mem::swap(&mut h_store, &mut h_load);
@@ -579,8 +699,8 @@ pub fn sw_words_scan<V: WordSimd>(
             }
         }
     }
-    WordKernelResult {
+    Some(WordKernelResult {
         score: v_max.horizontal_max() as i32,
         lazy_f,
-    }
+    })
 }

@@ -1,0 +1,208 @@
+//! Host memory admission: a shared byte budget for pool working sets.
+//!
+//! The GPU side re-chunks on device OOM (PR 1); the host side previously
+//! allocated without bound. [`HostMemoryBudget`] is the admission gate: a
+//! worker reserves its chunk's estimated working set (kernel H/E/F
+//! buffers plus per-sequence overhead) before computing and releases it
+//! when the chunk commits. A denied reservation is *not* an error — the
+//! pool responds by splitting the chunk in half and retrying
+//! (re-chunk-on-pressure), and a chunk that cannot shrink further is
+//! force-admitted so progress is guaranteed (counted, never silent).
+//!
+//! Reservations are RAII ([`BudgetReservation`]): dropping one — normally
+//! or during a panic unwind — returns the bytes, so a quarantined chunk
+//! can never leak budget.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Typed denial from [`HostMemoryBudget::try_reserve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetDenied {
+    /// Bytes the caller asked for.
+    pub requested: u64,
+    /// Bytes already reserved when the request was denied.
+    pub in_use: u64,
+    /// The budget's limit.
+    pub limit: u64,
+}
+
+impl std::fmt::Display for BudgetDenied {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "host memory budget denied: {} B requested, {}/{} B in use",
+            self.requested, self.in_use, self.limit
+        )
+    }
+}
+
+impl std::error::Error for BudgetDenied {}
+
+#[derive(Debug)]
+struct Inner {
+    limit: u64,
+    in_use: AtomicU64,
+    denials: AtomicU64,
+    forced: AtomicU64,
+}
+
+/// Shared byte budget; clones account against the same pool.
+#[derive(Debug, Clone)]
+pub struct HostMemoryBudget {
+    inner: Arc<Inner>,
+}
+
+impl Default for HostMemoryBudget {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+impl HostMemoryBudget {
+    /// A budget that admits everything (the default for plain searches).
+    pub fn unlimited() -> Self {
+        Self::bytes(u64::MAX)
+    }
+
+    /// A budget of `limit` bytes.
+    pub fn bytes(limit: u64) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                limit,
+                in_use: AtomicU64::new(0),
+                denials: AtomicU64::new(0),
+                forced: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The configured limit in bytes.
+    pub fn limit(&self) -> u64 {
+        self.inner.limit
+    }
+
+    /// Bytes currently reserved.
+    pub fn in_use(&self) -> u64 {
+        self.inner.in_use.load(Ordering::Acquire)
+    }
+
+    /// Reservations denied so far.
+    pub fn denials(&self) -> u64 {
+        self.inner.denials.load(Ordering::Relaxed)
+    }
+
+    /// Reservations force-admitted past the limit so far.
+    pub fn forced(&self) -> u64 {
+        self.inner.forced.load(Ordering::Relaxed)
+    }
+
+    /// Reserve `bytes`, or explain why not. Admission is all-or-nothing
+    /// and atomic against concurrent reservations.
+    pub fn try_reserve(&self, bytes: u64) -> Result<BudgetReservation, BudgetDenied> {
+        let mut current = self.inner.in_use.load(Ordering::Acquire);
+        loop {
+            let next = current.saturating_add(bytes);
+            if next > self.inner.limit {
+                self.inner.denials.fetch_add(1, Ordering::Relaxed);
+                return Err(BudgetDenied {
+                    requested: bytes,
+                    in_use: current,
+                    limit: self.inner.limit,
+                });
+            }
+            match self.inner.in_use.compare_exchange_weak(
+                current,
+                next,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    return Ok(BudgetReservation {
+                        inner: Arc::clone(&self.inner),
+                        bytes,
+                    })
+                }
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Admit `bytes` unconditionally (minimum-size chunk that still does
+    /// not fit: progress beats the limit, but the bypass is counted).
+    pub fn force_reserve(&self, bytes: u64) -> BudgetReservation {
+        self.inner.forced.fetch_add(1, Ordering::Relaxed);
+        self.inner.in_use.fetch_add(bytes, Ordering::AcqRel);
+        BudgetReservation {
+            inner: Arc::clone(&self.inner),
+            bytes,
+        }
+    }
+}
+
+/// A live reservation; dropping it returns the bytes to the budget.
+#[derive(Debug)]
+pub struct BudgetReservation {
+    inner: Arc<Inner>,
+    bytes: u64,
+}
+
+impl BudgetReservation {
+    /// Bytes this reservation holds.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Drop for BudgetReservation {
+    fn drop(&mut self) {
+        self.inner.in_use.fetch_sub(self.bytes, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_release_cycle() {
+        let b = HostMemoryBudget::bytes(100);
+        let r = match b.try_reserve(60) {
+            Ok(r) => r,
+            Err(e) => panic!("should admit: {e}"),
+        };
+        assert_eq!(b.in_use(), 60);
+        assert!(b.try_reserve(50).is_err(), "over the limit");
+        assert_eq!(b.denials(), 1);
+        drop(r);
+        assert_eq!(b.in_use(), 0);
+        assert!(b.try_reserve(100).is_ok());
+    }
+
+    #[test]
+    fn forced_reservation_bypasses_but_counts() {
+        let b = HostMemoryBudget::bytes(10);
+        let r = b.force_reserve(64);
+        assert_eq!(b.in_use(), 64);
+        assert_eq!(b.forced(), 1);
+        drop(r);
+        assert_eq!(b.in_use(), 0);
+    }
+
+    #[test]
+    fn unlimited_never_denies() {
+        let b = HostMemoryBudget::unlimited();
+        let _r = b.force_reserve(u64::MAX / 4);
+        assert!(b.try_reserve(u64::MAX / 2).is_ok());
+        assert_eq!(b.denials(), 0);
+    }
+
+    #[test]
+    fn clones_share_accounting() {
+        let a = HostMemoryBudget::bytes(50);
+        let b = a.clone();
+        let _r = a.try_reserve(40);
+        assert_eq!(b.in_use(), 40);
+        assert!(b.try_reserve(20).is_err());
+    }
+}

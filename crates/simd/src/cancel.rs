@@ -1,0 +1,140 @@
+//! Cooperative cancellation for host searches.
+//!
+//! A [`CancelToken`] is a cheap, cloneable flag shared between the caller
+//! (who cancels) and the compute path (which polls). The pool polls it at
+//! every chunk boundary and the striped kernels poll it every
+//! [`CANCEL_CHECK_COLS`] database columns, so an over-deadline search stops
+//! burning CPU within a bounded number of DP cells instead of finishing
+//! uselessly — the host-side analogue of shedding an over-budget GPU wave.
+//!
+//! Cancellation is *crash-only clean*: a cancelled search returns
+//! [`Cancelled`] and leaks no partial scores; the caller either gets the
+//! complete bit-identical result or nothing.
+//!
+//! For deterministic tests, [`CancelToken::after_polls`] builds a token
+//! that self-cancels after a fixed number of polls — with one thread the
+//! poll sequence is a pure function of the workload, so the exact
+//! cancellation point (down to the stripe-column checkpoint) is
+//! reproducible.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Stripe columns between in-kernel cancellation polls. Power of two so
+/// the check compiles to a mask; 64 columns of even a word-mode AVX2
+/// kernel is ~10⁴ DP cells — far below a chunk, far above a poll's cost.
+pub const CANCEL_CHECK_COLS: usize = 64;
+
+/// The typed "search was cancelled" outcome.
+///
+/// Deliberately carries no partial result: cancellation is all-or-nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("host search cancelled")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+#[derive(Debug, Default)]
+struct Inner {
+    cancelled: AtomicBool,
+    /// Polls observed (all threads). Test observability for the
+    /// checkpoint-interval guarantee.
+    polls: AtomicU64,
+    /// When positive: self-cancel once this many further polls happen.
+    /// Zero or negative: disabled.
+    countdown: AtomicI64,
+}
+
+/// Shared cancellation flag. Clones observe the same state.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A token nobody has cancelled yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that cancels itself after `n` polls (deterministic test
+    /// hook). `n == 0` is cancelled from the start.
+    pub fn after_polls(n: u64) -> Self {
+        let token = Self::new();
+        if n == 0 {
+            token.cancel();
+        } else {
+            token
+                .inner
+                .countdown
+                .store(i64::try_from(n).unwrap_or(i64::MAX), Ordering::Relaxed);
+        }
+        token
+    }
+
+    /// Request cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Current state without counting a poll (callers that only observe).
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+
+    /// One cancellation checkpoint: counts the poll, advances the
+    /// self-cancel countdown, and reports whether the search should stop.
+    pub fn poll(&self) -> bool {
+        self.inner.polls.fetch_add(1, Ordering::Relaxed);
+        if self.inner.countdown.load(Ordering::Relaxed) > 0
+            && self.inner.countdown.fetch_sub(1, Ordering::Relaxed) == 1
+        {
+            self.cancel();
+        }
+        self.is_cancelled()
+    }
+
+    /// Polls observed so far (chunk boundaries + kernel column checks).
+    pub fn polls(&self) -> u64 {
+        self.inner.polls.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && a.poll());
+    }
+
+    #[test]
+    fn countdown_fires_on_the_exact_poll() {
+        let t = CancelToken::after_polls(3);
+        assert!(!t.poll());
+        assert!(!t.poll());
+        assert!(t.poll(), "third poll trips the countdown");
+        assert_eq!(t.polls(), 3);
+    }
+
+    #[test]
+    fn zero_polls_means_already_cancelled() {
+        let t = CancelToken::after_polls(0);
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn check_interval_is_a_power_of_two() {
+        assert!(CANCEL_CHECK_COLS.is_power_of_two());
+    }
+}

@@ -19,10 +19,12 @@
 //! bumped inside worker threads would otherwise be lost.
 
 use crate::backend::{
-    sw_bytes, sw_bytes_scan, sw_words, sw_words_scan, ByteKernelResult, ByteProfileOf, ByteSimd,
-    WordProfileOf, WordSimd,
+    sw_bytes, sw_bytes_checked, sw_bytes_scan, sw_bytes_scan_checked, sw_words, sw_words_checked,
+    sw_words_scan, sw_words_scan_checked, ByteKernelResult, ByteProfileOf, ByteSimd, WordProfileOf,
+    WordSimd,
 };
 use crate::byte_mode::{AdaptiveStats, U8x16};
+use crate::cancel::{CancelToken, Cancelled};
 use crate::dispatch::{BackendKind, KernelMode};
 use crate::vector::I16x8;
 use sw_align::smith_waterman::SwParams;
@@ -270,6 +272,111 @@ impl QueryEngine {
         let mut stats = AdaptiveStats::default();
         self.score_with(db, Precision::Adaptive, &mut stats)
     }
+
+    /// [`QueryEngine::score_with`] with cooperative cancellation: the
+    /// kernels poll `cancel` every [`crate::cancel::CANCEL_CHECK_COLS`]
+    /// database columns. On cancellation nothing leaks — no score is
+    /// returned and `stats` is left untouched (counts are accumulated
+    /// locally and merged only on success).
+    pub fn score_with_cancel(
+        &self,
+        db: &[u8],
+        precision: Precision,
+        stats: &mut AdaptiveStats,
+        cancel: &CancelToken,
+    ) -> Result<i32, Cancelled> {
+        if cancel.is_cancelled() {
+            return Err(Cancelled);
+        }
+        if self.query.is_empty() || db.is_empty() {
+            return Ok(0);
+        }
+        let gaps = &self.params.gaps;
+        let mode = self.mode;
+        let mut local = AdaptiveStats::default();
+        let score = match &self.set {
+            ProfileSet::Portable { byte, word } => {
+                score_generic_cancel(gaps, byte, word, db, precision, mode, &mut local, cancel)
+            }
+            #[cfg(all(
+                target_arch = "x86_64",
+                feature = "native-simd",
+                not(feature = "force-portable")
+            ))]
+            ProfileSet::Sse2 { byte, word } => {
+                score_generic_cancel(gaps, byte, word, db, precision, mode, &mut local, cancel)
+            }
+            #[cfg(all(
+                target_arch = "x86_64",
+                feature = "native-simd",
+                not(feature = "force-portable")
+            ))]
+            ProfileSet::Avx2 { byte, word } => {
+                use crate::x86::{
+                    sw_bytes_cancel_avx2, sw_bytes_scan_cancel_avx2, sw_words_cancel_avx2,
+                    sw_words_scan_cancel_avx2,
+                };
+                // SAFETY (all four arms): `with_backend_and_mode` asserted
+                // AVX2 availability before this profile set was built.
+                match (precision, mode) {
+                    (Precision::Adaptive, KernelMode::CorrectionLoop) => {
+                        let b = unsafe { sw_bytes_cancel_avx2(gaps, byte, db, cancel) };
+                        finish_adaptive_cancel(b, &mut local, || {
+                            unsafe { sw_words_cancel_avx2(gaps, word, db, cancel) }
+                                .map(IntoPair::into_pair)
+                        })
+                    }
+                    (Precision::Adaptive, KernelMode::PrefixScan) => {
+                        let b = unsafe { sw_bytes_scan_cancel_avx2(gaps, byte, db, cancel) };
+                        finish_adaptive_cancel(b, &mut local, || {
+                            unsafe { sw_words_scan_cancel_avx2(gaps, word, db, cancel) }
+                                .map(IntoPair::into_pair)
+                        })
+                    }
+                    (Precision::Word, KernelMode::CorrectionLoop) => {
+                        unsafe { sw_words_cancel_avx2(gaps, word, db, cancel) }.map(|r| {
+                            local.lazy_f_word += r.lazy_f;
+                            r.score
+                        })
+                    }
+                    (Precision::Word, KernelMode::PrefixScan) => {
+                        unsafe { sw_words_scan_cancel_avx2(gaps, word, db, cancel) }.map(|r| {
+                            local.lazy_f_word += r.lazy_f;
+                            r.score
+                        })
+                    }
+                }
+            }
+            #[cfg(all(
+                target_arch = "aarch64",
+                feature = "native-simd",
+                not(feature = "force-portable")
+            ))]
+            ProfileSet::Neon { byte, word } => {
+                score_generic_cancel(gaps, byte, word, db, precision, mode, &mut local, cancel)
+            }
+        };
+        match score {
+            Some(s) => {
+                stats.merge(&local);
+                Ok(s)
+            }
+            None => Err(Cancelled),
+        }
+    }
+
+    /// Estimated per-worker scratch bytes one kernel invocation of this
+    /// engine needs (the H-store/H-load/E stripe buffers, byte and word
+    /// mode). The pool's memory-budget admission charges this plus a
+    /// per-sequence overhead for each in-flight chunk.
+    pub fn working_set_bytes(&self) -> u64 {
+        let m = self.query.len().max(1) as u64;
+        let byte_lanes = self.kind.byte_lanes() as u64;
+        let word_lanes = self.kind.word_lanes() as u64;
+        let byte_row = m.div_ceil(byte_lanes).max(1) * byte_lanes;
+        let word_row = m.div_ceil(word_lanes).max(1) * word_lanes * 2;
+        3 * (byte_row + word_row)
+    }
 }
 
 trait IntoPair {
@@ -302,6 +409,69 @@ fn finish_adaptive(
             stats.lazy_f_word += lazy_f;
             score
         }
+    }
+}
+
+/// [`finish_adaptive`] lifted over cancellation: `None` anywhere means the
+/// alignment was abandoned and no score (or stat merge) may escape.
+#[inline(always)]
+fn finish_adaptive_cancel(
+    byte: Option<ByteKernelResult>,
+    stats: &mut AdaptiveStats,
+    word: impl FnOnce() -> Option<(i32, u64)>,
+) -> Option<i32> {
+    let byte = byte?;
+    stats.lazy_f_byte += byte.lazy_f;
+    match byte.score {
+        Some(score) => {
+            stats.byte_mode += 1;
+            Some(score)
+        }
+        None => {
+            stats.word_fallbacks += 1;
+            let (score, lazy_f) = word()?;
+            stats.lazy_f_word += lazy_f;
+            Some(score)
+        }
+    }
+}
+
+/// Cancellable variant of [`score_generic`] over the checked kernels.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)] // mirrors score_generic + the token
+fn score_generic_cancel<B: ByteSimd, W: WordSimd>(
+    gaps: &GapPenalties,
+    byte: &ByteProfileOf<B>,
+    word: &WordProfileOf<W>,
+    db: &[u8],
+    precision: Precision,
+    mode: KernelMode,
+    stats: &mut AdaptiveStats,
+    cancel: &CancelToken,
+) -> Option<i32> {
+    match (precision, mode) {
+        (Precision::Adaptive, KernelMode::CorrectionLoop) => {
+            let b = sw_bytes_checked(gaps, byte, db, cancel);
+            finish_adaptive_cancel(b, stats, || {
+                sw_words_checked(gaps, word, db, cancel).map(IntoPair::into_pair)
+            })
+        }
+        (Precision::Adaptive, KernelMode::PrefixScan) => {
+            let b = sw_bytes_scan_checked(gaps, byte, db, cancel);
+            finish_adaptive_cancel(b, stats, || {
+                sw_words_scan_checked(gaps, word, db, cancel).map(IntoPair::into_pair)
+            })
+        }
+        (Precision::Word, KernelMode::CorrectionLoop) => sw_words_checked(gaps, word, db, cancel)
+            .map(|r| {
+                stats.lazy_f_word += r.lazy_f;
+                r.score
+            }),
+        (Precision::Word, KernelMode::PrefixScan) => sw_words_scan_checked(gaps, word, db, cancel)
+            .map(|r| {
+                stats.lazy_f_word += r.lazy_f;
+                r.score
+            }),
     }
 }
 

@@ -44,11 +44,19 @@
 //! pin byte mode, word mode, and every available backend to identical
 //! scores.
 
+// Crash-only discipline: library code may not panic through `unwrap` /
+// `expect` — every fallible path must recover or return a typed error.
+// (Unit tests, compiled with `cfg(test)`, are exempt.)
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod backend;
+pub mod budget;
 pub mod byte_mode;
+pub mod cancel;
 pub mod dispatch;
 pub mod engine;
 pub mod farrar;
+pub mod fault;
 pub mod neon;
 pub mod pool;
 pub mod portable;
@@ -58,13 +66,18 @@ pub mod vector;
 pub mod wozniak;
 pub mod x86;
 
+pub use backend::{ColumnCheck, NeverCancel};
+pub use budget::{BudgetDenied, BudgetReservation, HostMemoryBudget};
 pub use byte_mode::{sw_striped_adaptive, AdaptiveStats, ByteProfile};
+pub use cancel::{CancelToken, Cancelled, CANCEL_CHECK_COLS};
 pub use dispatch::{BackendKind, KernelMode};
 pub use engine::{record_stats, Precision, QueryEngine};
 pub use farrar::{striped_profile, sw_striped, sw_striped_score, StripedProfile};
+pub use fault::{ChunkId, HostFaultInjector, HostFaultKind, HostFaultPlan, HostFaultRates};
 pub use pool::{
-    effective_workers, length_aware_chunks, search_sequences, search_with_chunks, HostSearchResult,
-    CHUNKS_PER_WORKER, MIN_SEQS_PER_WORKER,
+    effective_workers, length_aware_chunks, search_protected, search_protected_with_chunks,
+    search_sequences, search_uncancelled, search_with_cancel, search_with_chunks, HostSearchResult,
+    PoolConfig, PoolFaultReport, CHUNKS_PER_WORKER, MIN_SEQS_PER_WORKER, SEQ_ADMISSION_BYTES,
 };
 pub use swps3::{Swps3Driver, Swps3Result};
 pub use vector::I16x8;

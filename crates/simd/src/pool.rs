@@ -1,4 +1,4 @@
-//! Work-stealing database sharding across cores.
+//! Work-stealing database sharding across cores — crash-only edition.
 //!
 //! The database is cut into contiguous chunks (several per worker, so the
 //! tail stays balanced) and dealt round-robin onto per-worker deques. Each
@@ -19,20 +19,54 @@
 //! so equal residues is equal work — and the deal order stays round-robin
 //! so each worker's deque spans the length spectrum.
 //!
+//! **The pool is a fault domain.** Every chunk executes under the same
+//! guarantees the simulated GPU lanes have had since PR 1:
+//!
+//! * *panic isolation* — the chunk computation runs under `catch_unwind`;
+//!   a panicking chunk is quarantined and its unfinished sequences are
+//!   recomputed on the scalar Farrar oracle, so one poisoned alignment
+//!   can no longer abort the whole search (`cudasw.simd.pool.panics` /
+//!   `quarantines`);
+//! * *cooperative cancellation* — an optional [`CancelToken`] is polled at
+//!   every chunk boundary and, inside the kernels, every
+//!   [`crate::cancel::CANCEL_CHECK_COLS`] stripe columns; a cancelled
+//!   search returns [`Cancelled`] and leaks no partial scores;
+//! * *watchdog re-dispatch* — workers bump a heartbeat per sequence; a
+//!   watchdog thread re-dispatches the claimed chunk of a silent worker to
+//!   the survivors, and per-sequence compare-and-swap commits make
+//!   reassembly exactly-once even when the stalled worker eventually
+//!   finishes the same chunk;
+//! * *memory admission* — each chunk reserves its estimated working set
+//!   from a [`HostMemoryBudget`] before computing; a denied reservation
+//!   splits the chunk in half and retries (re-chunk-on-pressure,
+//!   mirroring the GPU OOM path), and a minimum-size chunk is
+//!   force-admitted so progress is guaranteed;
+//! * *deterministic chaos* — a seeded [`HostFaultPlan`] injects panics,
+//!   stalls and alloc failures at chunk granularity as a pure function of
+//!   chunk identity, so the chaos tests can assert bit-identical scores
+//!   with zero lost or duplicated sequences.
+//!
 //! All workers share one read-only [`QueryEngine`] — the striped profiles
 //! are built once per query and reused by every thread (that sharing is
 //! what amortizes the per-query profile build across the whole database).
 //! Worker-local [`AdaptiveStats`] are merged and returned to the caller,
 //! which is responsible for publishing them (the metrics recorder is
-//! thread-local; counts bumped on worker threads would be lost).
+//! thread-local; counts bumped on worker threads would be lost). The
+//! pool's own fault counters are published by the calling thread after the
+//! parallel section ends, for the same reason.
 
+use crate::budget::HostMemoryBudget;
 use crate::byte_mode::AdaptiveStats;
+use crate::cancel::{CancelToken, Cancelled};
 use crate::engine::{Precision, QueryEngine};
+use crate::farrar::sw_striped_score;
+use crate::fault::{HostFaultInjector, HostFaultKind, HostFaultPlan};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicI32, AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 use sw_db::Sequence;
 
 /// Chunks dealt per worker: more gives better tail balance, fewer gives
@@ -47,6 +81,10 @@ pub const CHUNKS_PER_WORKER: usize = 8;
 /// count is clamped so every worker clears this bar — small databases
 /// degrade gracefully to fewer workers and finally to the inline path.
 pub const MIN_SEQS_PER_WORKER: usize = 16;
+
+/// Admission bytes charged per sequence in a chunk on top of the engine's
+/// kernel working set (score slot, commit flag, queue bookkeeping).
+pub const SEQ_ADMISSION_BYTES: u64 = 32;
 
 /// Workers actually worth spawning for `n` sequences on this machine:
 /// never more than the hardware can run concurrently (oversubscribing
@@ -93,17 +131,138 @@ pub fn length_aware_chunks(seqs: &[Sequence], target_chunks: usize) -> Vec<Range
     chunks
 }
 
+/// What the fault domain absorbed during one pooled search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolFaultReport {
+    /// Injected chunk panics (from the fault plan).
+    pub injected_panics: u64,
+    /// Injected worker stalls.
+    pub injected_stalls: u64,
+    /// Injected admission failures.
+    pub injected_alloc_fails: u64,
+    /// Chunk computations that panicked (injected or real) and were
+    /// caught.
+    pub panics: u64,
+    /// Chunks quarantined to the scalar oracle after a panic.
+    pub quarantined_chunks: u64,
+    /// Sequences whose committed score came from the oracle recompute.
+    pub oracle_scored: u64,
+    /// Chunks the watchdog re-dispatched away from a silent worker.
+    pub redispatches: u64,
+    /// Sequence commits that lost the exactly-once race (duplicate work
+    /// absorbed, never duplicate answers).
+    pub duplicates_suppressed: u64,
+    /// Memory-budget reservations denied (real pressure, not injected).
+    pub budget_denials: u64,
+    /// Chunks split in half under admission pressure.
+    pub rechunks: u64,
+    /// Minimum-size chunks force-admitted past the budget.
+    pub forced_admissions: u64,
+}
+
+impl PoolFaultReport {
+    /// Total faults injected by the plan.
+    pub fn injected(&self) -> u64 {
+        self.injected_panics + self.injected_stalls + self.injected_alloc_fails
+    }
+
+    /// True when the search saw no faults, pressure, or duplicate work.
+    pub fn is_clean(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
 /// Result of a pooled database search.
 #[derive(Debug, Clone)]
 pub struct HostSearchResult {
     /// Scores indexed like `seqs`.
     pub scores: Vec<i32>,
-    /// Merged precision/Lazy-F counts across workers.
+    /// Merged precision/Lazy-F counts across workers. Sequences scored by
+    /// the quarantine oracle are counted in `faults.oracle_scored`, not
+    /// here.
     pub stats: AdaptiveStats,
     /// Wall-clock seconds of the parallel section.
     pub seconds: f64,
     /// Chunks a worker took from a sibling's deque.
     pub steals: u64,
+    /// Faults absorbed (all zero for a clean run).
+    pub faults: PoolFaultReport,
+}
+
+impl HostSearchResult {
+    fn empty() -> Self {
+        Self {
+            scores: Vec::new(),
+            stats: AdaptiveStats::default(),
+            seconds: 0.0,
+            steals: 0,
+            faults: PoolFaultReport::default(),
+        }
+    }
+}
+
+/// Execution policy for a protected pool search.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Requested worker threads (clamped like [`search_sequences`]).
+    pub threads: usize,
+    /// Precision ladder per alignment.
+    pub precision: Precision,
+    /// Cooperative cancellation; `None` means the search cannot be
+    /// cancelled and is infallible.
+    pub cancel: Option<CancelToken>,
+    /// Seeded fault schedule (inert by default).
+    pub fault_plan: HostFaultPlan,
+    /// Memory admission gate (unlimited by default).
+    pub budget: HostMemoryBudget,
+    /// Watchdog: a worker whose heartbeat is flat for this long has its
+    /// claimed chunk re-dispatched to a survivor. `0` disables the
+    /// watchdog.
+    pub stall_after_ms: u64,
+    /// Watchdog poll period.
+    pub watchdog_poll_ms: u64,
+}
+
+impl PoolConfig {
+    /// Defaults: no cancellation, no faults, unlimited memory, watchdog
+    /// armed at one second (generous enough that per-sequence heartbeats
+    /// never false-trip on realistic chunks, cheap enough to always run).
+    pub fn new(threads: usize, precision: Precision) -> Self {
+        Self {
+            threads,
+            precision,
+            cancel: None,
+            fault_plan: HostFaultPlan::none(),
+            budget: HostMemoryBudget::unlimited(),
+            stall_after_ms: 1000,
+            watchdog_poll_ms: 50,
+        }
+    }
+
+    /// Builder: install a cancellation token.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Builder: install a fault plan.
+    pub fn with_fault_plan(mut self, plan: HostFaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Builder: install a memory budget.
+    pub fn with_budget(mut self, budget: HostMemoryBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Builder: watchdog stall threshold and poll period.
+    pub fn with_watchdog(mut self, stall_after_ms: u64, poll_ms: u64) -> Self {
+        self.stall_after_ms = stall_after_ms;
+        self.watchdog_poll_ms = poll_ms.max(1);
+        self
+    }
 }
 
 /// Score every sequence on `threads` workers sharing `engine`.
@@ -113,18 +272,11 @@ pub fn search_sequences(
     threads: usize,
     precision: Precision,
 ) -> HostSearchResult {
-    let n = seqs.len();
-    if n == 0 {
-        return HostSearchResult {
-            scores: Vec::new(),
-            stats: AdaptiveStats::default(),
-            seconds: 0.0,
-            steals: 0,
-        };
-    }
-    let threads = effective_workers(threads.max(1), n);
-    let chunks = length_aware_chunks(seqs, threads * CHUNKS_PER_WORKER);
-    search_with_chunks(engine, seqs, threads, precision, &chunks)
+    into_infallible(search_protected(
+        engine,
+        seqs,
+        &PoolConfig::new(threads, precision),
+    ))
 }
 
 /// Score every sequence with an explicit chunking of the database.
@@ -141,33 +293,99 @@ pub fn search_with_chunks(
     precision: Precision,
     chunks: &[Range<usize>],
 ) -> HostSearchResult {
+    into_infallible(search_protected_with_chunks(
+        engine,
+        seqs,
+        &PoolConfig::new(threads, precision),
+        chunks,
+    ))
+}
+
+/// Cancellable pooled search: either the complete result (bit-identical
+/// to the uncancelled run) or [`Cancelled`], never partial scores.
+pub fn search_with_cancel(
+    engine: &QueryEngine,
+    seqs: &[Sequence],
+    threads: usize,
+    precision: Precision,
+    cancel: &CancelToken,
+) -> Result<HostSearchResult, Cancelled> {
+    search_protected(
+        engine,
+        seqs,
+        &PoolConfig::new(threads, precision).with_cancel(cancel.clone()),
+    )
+}
+
+/// Protected search with any cancel token stripped from the config:
+/// infallible, for callers (like the serve ladder's host lanes) that want
+/// the fault domain but must always get an answer.
+pub fn search_uncancelled(
+    engine: &QueryEngine,
+    seqs: &[Sequence],
+    cfg: &PoolConfig,
+) -> HostSearchResult {
+    let cfg = PoolConfig {
+        cancel: None,
+        ..cfg.clone()
+    };
+    into_infallible(search_protected(engine, seqs, &cfg))
+}
+
+/// Fully configured protected search over [`length_aware_chunks`].
+pub fn search_protected(
+    engine: &QueryEngine,
+    seqs: &[Sequence],
+    cfg: &PoolConfig,
+) -> Result<HostSearchResult, Cancelled> {
     let n = seqs.len();
     if n == 0 {
-        return HostSearchResult {
-            scores: Vec::new(),
-            stats: AdaptiveStats::default(),
-            seconds: 0.0,
-            steals: 0,
-        };
+        return Ok(HostSearchResult::empty());
+    }
+    let threads = effective_workers(cfg.threads.max(1), n);
+    let chunks = length_aware_chunks(seqs, threads * CHUNKS_PER_WORKER);
+    // Forward the *clamped* worker count: oversubscribing a small host
+    // with real OS threads thrashes the wall clock instead of scaling.
+    let cfg = PoolConfig {
+        threads,
+        ..cfg.clone()
+    };
+    search_protected_with_chunks(engine, seqs, &cfg, &chunks)
+}
+
+/// Fully configured protected search with an explicit chunking.
+///
+/// Unlike [`search_protected`], `cfg.threads` is honored literally
+/// (clamped only to the chunk count, never to the hardware): fault
+/// drills deliberately oversubscribe small hosts to force multi-worker
+/// interleavings, stalls and re-dispatches.
+pub fn search_protected_with_chunks(
+    engine: &QueryEngine,
+    seqs: &[Sequence],
+    cfg: &PoolConfig,
+    chunks: &[Range<usize>],
+) -> Result<HostSearchResult, Cancelled> {
+    let n = seqs.len();
+    if n == 0 {
+        return Ok(HostSearchResult::empty());
     }
     debug_assert_eq!(chunks.first().map(|c| c.start), Some(0));
     debug_assert_eq!(chunks.last().map(|c| c.end), Some(n));
     debug_assert!(chunks.windows(2).all(|w| w[0].end == w[1].start));
-    let threads = threads.clamp(1, chunks.len());
+    let threads = cfg.threads.clamp(1, chunks.len());
+    let shared = RunShared::new(engine, seqs, cfg);
     let start = Instant::now();
+    let steals = AtomicU64::new(0);
+
     if threads == 1 {
-        // No pool: score inline on the caller's thread.
-        let mut stats = AdaptiveStats::default();
-        let scores = seqs
-            .iter()
-            .map(|s| engine.score_with(&s.residues, precision, &mut stats))
-            .collect();
-        return HostSearchResult {
-            scores,
-            stats,
-            seconds: start.elapsed().as_secs_f64(),
-            steals: 0,
-        };
+        // Caller's thread only: no queues, no watchdog, deterministic.
+        let mut queue: VecDeque<Range<usize>> = chunks.iter().cloned().collect();
+        while let Some(range) = queue.pop_front() {
+            if !shared.run_chunk(range, &mut |r| queue.push_front(r), None) {
+                break;
+            }
+        }
+        return shared.finish(start, steals.into_inner());
     }
 
     let queues: Vec<Mutex<VecDeque<Range<usize>>>> =
@@ -175,63 +393,393 @@ pub fn search_with_chunks(
     for (i, range) in chunks.iter().enumerate() {
         queues[i % threads].lock().push_back(range.clone());
     }
+    let hearts: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
+    let claims: Vec<Mutex<Option<Claim>>> = (0..threads).map(|_| Mutex::new(None)).collect();
 
-    // Each worker pushes its finished chunks as (chunk start, scores).
-    type ScoredChunks = Vec<(usize, Vec<i32>)>;
-    let steals = AtomicU64::new(0);
-    let merged: Mutex<(ScoredChunks, AdaptiveStats)> =
-        Mutex::new((Vec::new(), AdaptiveStats::default()));
     std::thread::scope(|scope| {
         for w in 0..threads {
+            let shared = &shared;
             let queues = &queues;
+            let hearts = &hearts;
+            let claims = &claims;
             let steals = &steals;
-            let merged = &merged;
-            scope.spawn(move || {
-                let mut local: Vec<(usize, Vec<i32>)> = Vec::new();
-                let mut stats = AdaptiveStats::default();
-                loop {
-                    // Own deque first (front), then sweep siblings (back).
-                    let next = queues[w].lock().pop_front().or_else(|| {
-                        (1..threads).find_map(|d| {
-                            let victim = (w + d) % threads;
-                            let stolen = queues[victim].lock().pop_back();
-                            if stolen.is_some() {
-                                steals.fetch_add(1, Ordering::Relaxed);
-                            }
-                            stolen
-                        })
-                    });
-                    let Some(range) = next else { break };
-                    let chunk_scores: Vec<i32> = seqs[range.clone()]
-                        .iter()
-                        .map(|s| engine.score_with(&s.residues, precision, &mut stats))
-                        .collect();
-                    local.push((range.start, chunk_scores));
+            scope.spawn(move || loop {
+                if shared.cancel_observed() || shared.remaining.load(Ordering::Acquire) == 0 {
+                    break;
                 }
-                let mut guard = merged.lock();
-                guard.0.append(&mut local);
-                guard.1.merge(&stats);
+                // Own deque first (front), then sweep siblings (back).
+                let next = queues[w].lock().pop_front().or_else(|| {
+                    (1..threads).find_map(|d| {
+                        let victim = (w + d) % threads;
+                        let stolen = queues[victim].lock().pop_back();
+                        if stolen.is_some() {
+                            steals.fetch_add(1, Ordering::Relaxed);
+                        }
+                        stolen
+                    })
+                });
+                let Some(range) = next else {
+                    // Uncommitted work exists but is claimed elsewhere
+                    // (or about to be re-dispatched): wait for it.
+                    std::thread::sleep(Duration::from_micros(200));
+                    continue;
+                };
+                *claims[w].lock() = Some(Claim {
+                    range: range.clone(),
+                    redispatched: false,
+                });
+                let proceed = shared.run_chunk(
+                    range,
+                    &mut |r| queues[w].lock().push_front(r),
+                    Some(&hearts[w]),
+                );
+                *claims[w].lock() = None;
+                if !proceed {
+                    break;
+                }
+            });
+        }
+
+        if cfg.stall_after_ms > 0 {
+            let shared = &shared;
+            let queues = &queues;
+            let hearts = &hearts;
+            let claims = &claims;
+            let stall_after = Duration::from_millis(cfg.stall_after_ms);
+            let poll = Duration::from_millis(cfg.watchdog_poll_ms.max(1));
+            scope.spawn(move || {
+                let mut last: Vec<(u64, Instant)> = hearts
+                    .iter()
+                    .map(|h| (h.load(Ordering::Relaxed), Instant::now()))
+                    .collect();
+                loop {
+                    if shared.cancel_observed() || shared.remaining.load(Ordering::Acquire) == 0 {
+                        break;
+                    }
+                    std::thread::sleep(poll);
+                    for w in 0..threads {
+                        let beat = hearts[w].load(Ordering::Relaxed);
+                        if beat != last[w].0 {
+                            last[w] = (beat, Instant::now());
+                            continue;
+                        }
+                        if last[w].1.elapsed() < stall_after {
+                            continue;
+                        }
+                        // Silent worker holding a claim: hand its chunk to
+                        // a survivor (any queue works — stealing finds it).
+                        let mut claim = claims[w].lock();
+                        if let Some(c) = claim.as_mut() {
+                            if !c.redispatched {
+                                c.redispatched = true;
+                                queues[(w + 1) % threads].lock().push_back(c.range.clone());
+                                shared.redispatches.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
             });
         }
     });
-    let seconds = start.elapsed().as_secs_f64();
 
-    let (chunks, stats) = merged.into_inner();
-    let mut scores = vec![0i32; n];
-    for (chunk_start, chunk_scores) in chunks {
-        scores[chunk_start..chunk_start + chunk_scores.len()].copy_from_slice(&chunk_scores);
+    shared.finish(start, steals.into_inner())
+}
+
+/// Unwrap a protected result that cannot be `Err` (no cancel token).
+fn into_infallible(result: Result<HostSearchResult, Cancelled>) -> HostSearchResult {
+    match result {
+        Ok(r) => r,
+        // Unreachable: only a configured CancelToken produces Err.
+        Err(Cancelled) => HostSearchResult::empty(),
     }
-    HostSearchResult {
-        scores,
-        stats,
-        seconds,
-        steals: steals.into_inner(),
+}
+
+/// A worker's in-flight chunk, visible to the watchdog.
+#[derive(Debug, Clone)]
+struct Claim {
+    range: Range<usize>,
+    redispatched: bool,
+}
+
+/// How one chunk computation ended inside the unwind boundary.
+enum ChunkRun {
+    Done,
+    Cancelled,
+}
+
+/// State shared by workers, watchdog and the finishing caller.
+struct RunShared<'a> {
+    engine: &'a QueryEngine,
+    seqs: &'a [Sequence],
+    precision: Precision,
+    cancel: Option<&'a CancelToken>,
+    budget: &'a HostMemoryBudget,
+    stall_ms: u64,
+    injector: HostFaultInjector,
+    cancelled: AtomicBool,
+    committed: Vec<AtomicBool>,
+    slots: Vec<AtomicI32>,
+    remaining: AtomicUsize,
+    stats: Mutex<AdaptiveStats>,
+    panics: AtomicU64,
+    quarantined_chunks: AtomicU64,
+    oracle_scored: AtomicU64,
+    redispatches: AtomicU64,
+    duplicates_suppressed: AtomicU64,
+    budget_denials: AtomicU64,
+    rechunks: AtomicU64,
+    forced_admissions: AtomicU64,
+}
+
+impl<'a> RunShared<'a> {
+    fn new(engine: &'a QueryEngine, seqs: &'a [Sequence], cfg: &'a PoolConfig) -> Self {
+        let n = seqs.len();
+        Self {
+            engine,
+            seqs,
+            precision: cfg.precision,
+            cancel: cfg.cancel.as_ref(),
+            budget: &cfg.budget,
+            stall_ms: cfg.fault_plan.stall_ms,
+            injector: HostFaultInjector::new(cfg.fault_plan.clone()),
+            cancelled: AtomicBool::new(false),
+            committed: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            slots: (0..n).map(|_| AtomicI32::new(0)).collect(),
+            remaining: AtomicUsize::new(n),
+            stats: Mutex::new(AdaptiveStats::default()),
+            panics: AtomicU64::new(0),
+            quarantined_chunks: AtomicU64::new(0),
+            oracle_scored: AtomicU64::new(0),
+            redispatches: AtomicU64::new(0),
+            duplicates_suppressed: AtomicU64::new(0),
+            budget_denials: AtomicU64::new(0),
+            rechunks: AtomicU64::new(0),
+            forced_admissions: AtomicU64::new(0),
+        }
+    }
+
+    fn cancel_observed(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Chunk-boundary cancellation poll.
+    fn poll_cancel(&self) -> bool {
+        if let Some(token) = self.cancel {
+            if token.poll() {
+                self.cancelled.store(true, Ordering::Release);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Exactly-once commit of sequence `i`. Returns whether this caller
+    /// won the race; losers are counted, their work discarded.
+    fn commit(&self, i: usize, score: i32) -> bool {
+        if self.committed[i]
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            self.slots[i].store(score, Ordering::Release);
+            self.remaining.fetch_sub(1, Ordering::AcqRel);
+            true
+        } else {
+            self.duplicates_suppressed.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+
+    /// Admission bytes for a chunk of `len` sequences.
+    fn chunk_cost(&self, len: usize) -> u64 {
+        self.engine.working_set_bytes() + len as u64 * SEQ_ADMISSION_BYTES
+    }
+
+    /// Execute one chunk through the full fault domain. Returns `false`
+    /// when the worker should stop (cancellation observed).
+    fn run_chunk(
+        &self,
+        range: Range<usize>,
+        requeue: &mut dyn FnMut(Range<usize>),
+        heart: Option<&AtomicU64>,
+    ) -> bool {
+        if self.poll_cancel() {
+            return false;
+        }
+        let id = (range.start, range.len());
+        let fault = self.injector.fault_for(id);
+
+        // Memory admission (a real denial and an injected alloc failure
+        // take the same recovery path: split and retry, force at minimum).
+        let admission = if matches!(fault, Some(HostFaultKind::AllocFail)) {
+            None
+        } else {
+            match self.budget.try_reserve(self.chunk_cost(range.len())) {
+                Ok(r) => Some(r),
+                Err(_) => {
+                    self.budget_denials.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+            }
+        };
+        let _reservation = match admission {
+            Some(r) => r,
+            None if range.len() > 1 => {
+                let mid = range.start + range.len() / 2;
+                requeue(mid..range.end);
+                requeue(range.start..mid);
+                self.rechunks.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+            None => {
+                self.forced_admissions.fetch_add(1, Ordering::Relaxed);
+                self.budget.force_reserve(self.chunk_cost(range.len()))
+            }
+        };
+
+        if matches!(fault, Some(HostFaultKind::Stall)) {
+            // Go silent without beating the heart: the watchdog's cue.
+            std::thread::sleep(Duration::from_millis(self.stall_ms));
+        }
+
+        let inject_panic = matches!(fault, Some(HostFaultKind::Panic));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if inject_panic {
+                panic!(
+                    "injected host fault: panic in chunk [{}, {})",
+                    range.start, range.end
+                );
+            }
+            let mut chunk_stats = AdaptiveStats::default();
+            for i in range.clone() {
+                if self.cancel_observed() {
+                    return ChunkRun::Cancelled;
+                }
+                let residues = &self.seqs[i].residues;
+                let mut delta = AdaptiveStats::default();
+                let score = match self.cancel {
+                    Some(token) => {
+                        match self.engine.score_with_cancel(
+                            residues,
+                            self.precision,
+                            &mut delta,
+                            token,
+                        ) {
+                            Ok(score) => score,
+                            Err(Cancelled) => return ChunkRun::Cancelled,
+                        }
+                    }
+                    None => self.engine.score_with(residues, self.precision, &mut delta),
+                };
+                if self.commit(i, score) {
+                    chunk_stats.merge(&delta);
+                }
+                if let Some(h) = heart {
+                    h.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            self.stats.lock().merge(&chunk_stats);
+            ChunkRun::Done
+        }));
+
+        match outcome {
+            Ok(ChunkRun::Done) => true,
+            Ok(ChunkRun::Cancelled) => {
+                self.cancelled.store(true, Ordering::Release);
+                false
+            }
+            Err(_) => {
+                // Quarantine: the chunk's unfinished sequences are
+                // recomputed on the scalar-validated Farrar oracle —
+                // independent code, bit-identical scores by the
+                // differential suites.
+                self.panics.fetch_add(1, Ordering::Relaxed);
+                self.quarantined_chunks.fetch_add(1, Ordering::Relaxed);
+                for i in range {
+                    if self.committed[i].load(Ordering::Acquire) {
+                        continue;
+                    }
+                    let score = sw_striped_score(
+                        self.engine.params(),
+                        self.engine.query(),
+                        &self.seqs[i].residues,
+                    );
+                    if self.commit(i, score) {
+                        self.oracle_scored.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if let Some(h) = heart {
+                        h.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Assemble the result (or the cancellation) and publish counters on
+    /// the calling thread.
+    fn finish(self, start: Instant, steals: u64) -> Result<HostSearchResult, Cancelled> {
+        let seconds = start.elapsed().as_secs_f64();
+        let faults = PoolFaultReport {
+            injected_panics: self.injector.panics(),
+            injected_stalls: self.injector.stalls(),
+            injected_alloc_fails: self.injector.alloc_fails(),
+            panics: self.panics.into_inner(),
+            quarantined_chunks: self.quarantined_chunks.into_inner(),
+            oracle_scored: self.oracle_scored.into_inner(),
+            redispatches: self.redispatches.into_inner(),
+            duplicates_suppressed: self.duplicates_suppressed.into_inner(),
+            budget_denials: self.budget_denials.into_inner(),
+            rechunks: self.rechunks.into_inner(),
+            forced_admissions: self.forced_admissions.into_inner(),
+        };
+        record_pool_faults(&faults);
+        if self.cancelled.into_inner() && self.remaining.load(Ordering::Acquire) > 0 {
+            obs::counter_add("cudasw.simd.pool.cancelled", &[], 1.0);
+            return Err(Cancelled);
+        }
+        debug_assert_eq!(self.remaining.into_inner(), 0, "lost sequences");
+        let scores = self.slots.into_iter().map(|s| s.into_inner()).collect();
+        Ok(HostSearchResult {
+            scores,
+            stats: self.stats.into_inner(),
+            seconds,
+            steals,
+            faults,
+        })
+    }
+}
+
+/// Publish the pool fault-domain counters under `cudasw.simd.pool.*`
+/// (calling thread only — the recorder is thread-local).
+fn record_pool_faults(faults: &PoolFaultReport) {
+    let pairs: [(&str, u64); 9] = [
+        ("cudasw.simd.pool.panics", faults.panics),
+        ("cudasw.simd.pool.quarantines", faults.quarantined_chunks),
+        ("cudasw.simd.pool.oracle_recomputes", faults.oracle_scored),
+        ("cudasw.simd.pool.redispatches", faults.redispatches),
+        (
+            "cudasw.simd.pool.duplicates_suppressed",
+            faults.duplicates_suppressed,
+        ),
+        ("cudasw.simd.pool.budget_denied", faults.budget_denials),
+        ("cudasw.simd.pool.rechunks", faults.rechunks),
+        (
+            "cudasw.simd.pool.forced_admissions",
+            faults.forced_admissions,
+        ),
+        ("cudasw.simd.pool.faults_injected", faults.injected()),
+    ];
+    for (name, value) in pairs {
+        if value > 0 {
+            obs::counter_add(name, &[], value as f64);
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::HostFaultRates;
     use sw_align::smith_waterman::{sw_score, SwParams};
     use sw_db::synth::{database_with_lengths, make_query};
 
@@ -252,6 +800,7 @@ mod tests {
         for threads in [1, 2, 4, 7] {
             let r = search_sequences(&eng, db.sequences(), threads, Precision::Adaptive);
             assert_eq!(r.scores, expected, "threads={threads}");
+            assert!(r.faults.is_clean(), "threads={threads}");
             let w = search_sequences(&eng, db.sequences(), threads, Precision::Word);
             assert_eq!(w.scores, expected, "word mode, threads={threads}");
         }
@@ -354,5 +903,107 @@ mod tests {
         assert!(r.scores.is_empty());
         assert_eq!(r.stats, AdaptiveStats::default());
         assert_eq!(r.steals, 0);
+        assert!(r.faults.is_clean());
+    }
+
+    #[test]
+    fn injected_panic_is_quarantined_to_the_oracle() {
+        let db = database_with_lengths("t", &[40, 50, 60, 70, 80, 90], 5);
+        let query = make_query(52, 3);
+        let eng = engine(&query);
+        let clean = search_sequences(&eng, db.sequences(), 1, Precision::Adaptive);
+        let chunks: Vec<Range<usize>> = (0..db.len()).map(|i| i..i + 1).collect();
+        let plan = HostFaultPlan::none().with_fault_at((2, 1), HostFaultKind::Panic);
+        let cfg = PoolConfig::new(1, Precision::Adaptive).with_fault_plan(plan);
+        let r = match search_protected_with_chunks(&eng, db.sequences(), &cfg, &chunks) {
+            Ok(r) => r,
+            Err(e) => panic!("not cancellable: {e}"),
+        };
+        assert_eq!(r.scores, clean.scores, "bit-identical through the panic");
+        assert_eq!(r.faults.panics, 1);
+        assert_eq!(r.faults.quarantined_chunks, 1);
+        assert_eq!(r.faults.oracle_scored, 1);
+        assert_eq!(r.faults.injected_panics, 1);
+    }
+
+    #[test]
+    fn budget_pressure_rechunks_and_still_covers_everything() {
+        let db = database_with_lengths("t", &[30; 24], 9);
+        let query = make_query(40, 2);
+        let eng = engine(&query);
+        let clean = search_sequences(&eng, db.sequences(), 1, Precision::Adaptive);
+        // Budget below even one chunk's working set: every chunk splits
+        // down to single sequences, which are then force-admitted.
+        let cfg = PoolConfig::new(1, Precision::Adaptive).with_budget(HostMemoryBudget::bytes(8));
+        // One chunk spanning the whole database (not a 0..n index list —
+        // clippy::single_range_in_vec_init guards against that misread).
+        let chunks = [Range {
+            start: 0,
+            end: db.len(),
+        }];
+        let r = match search_protected_with_chunks(&eng, db.sequences(), &cfg, &chunks) {
+            Ok(r) => r,
+            Err(e) => panic!("not cancellable: {e}"),
+        };
+        assert_eq!(r.scores, clean.scores);
+        assert!(r.faults.rechunks > 0, "pressure must split chunks");
+        assert!(r.faults.forced_admissions > 0, "minimum chunks forced");
+        assert!(r.faults.budget_denials > 0);
+    }
+
+    #[test]
+    fn chaos_seeds_reproduce_the_fault_free_scores() {
+        let mut lens: Vec<usize> = (0..48).map(|i| 24 + (i * 7) % 90).collect();
+        lens.push(400);
+        let db = database_with_lengths("t", &lens, 13);
+        let query = make_query(64, 11);
+        let eng = engine(&query);
+        let clean = search_sequences(&eng, db.sequences(), 1, Precision::Adaptive);
+        for seed in [1u64, 2, 3] {
+            let plan = HostFaultPlan::random(seed, HostFaultRates::chaos()).with_stall_ms(5);
+            for threads in [1, 3] {
+                let cfg = PoolConfig::new(threads, Precision::Adaptive)
+                    .with_fault_plan(plan.clone())
+                    .with_watchdog(20, 2);
+                let chunks: Vec<Range<usize>> = (0..db.len())
+                    .step_by(4)
+                    .map(|s| s..(s + 4).min(db.len()))
+                    .collect();
+                let r = match search_protected_with_chunks(&eng, db.sequences(), &cfg, &chunks) {
+                    Ok(r) => r,
+                    Err(e) => panic!("not cancellable: {e}"),
+                };
+                assert_eq!(
+                    r.scores, clean.scores,
+                    "seed {seed}, threads {threads}: scores must be bit-identical"
+                );
+                assert_eq!(r.scores.len(), db.len(), "zero lost sequences");
+            }
+        }
+    }
+
+    #[test]
+    fn cancellation_returns_no_partial_scores() {
+        let db = database_with_lengths("t", &[300; 8], 3);
+        let query = make_query(80, 5);
+        let eng = engine(&query);
+        let token = CancelToken::after_polls(3);
+        let r = search_with_cancel(&eng, db.sequences(), 1, Precision::Adaptive, &token);
+        assert_eq!(r.err(), Some(Cancelled));
+    }
+
+    #[test]
+    fn uncancelled_token_completes_bit_identically() {
+        let db = database_with_lengths("t", &[40, 60, 80], 3);
+        let query = make_query(48, 5);
+        let eng = engine(&query);
+        let clean = search_sequences(&eng, db.sequences(), 1, Precision::Adaptive);
+        let token = CancelToken::new();
+        let r = match search_with_cancel(&eng, db.sequences(), 1, Precision::Adaptive, &token) {
+            Ok(r) => r,
+            Err(e) => panic!("never cancelled: {e}"),
+        };
+        assert_eq!(r.scores, clean.scores);
+        assert!(token.polls() > 0, "chunk boundaries and kernels polled");
     }
 }

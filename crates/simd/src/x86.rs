@@ -28,9 +28,11 @@
 ))]
 
 use crate::backend::{
-    sw_bytes, sw_bytes_scan, sw_words, sw_words_scan, Backend, ByteKernelResult, ByteProfileOf,
-    ByteSimd, WordKernelResult, WordProfileOf, WordSimd,
+    sw_bytes, sw_bytes_checked, sw_bytes_scan, sw_bytes_scan_checked, sw_words, sw_words_checked,
+    sw_words_scan, sw_words_scan_checked, Backend, ByteKernelResult, ByteProfileOf, ByteSimd,
+    WordKernelResult, WordProfileOf, WordSimd,
 };
+use crate::cancel::CancelToken;
 use core::arch::x86_64::*;
 use sw_align::GapPenalties;
 
@@ -485,6 +487,68 @@ pub unsafe fn sw_words_scan_avx2(
     db: &[u8],
 ) -> WordKernelResult {
     sw_words_scan(gaps, profile, db)
+}
+
+/// Cancellable byte-mode kernel compiled with AVX2 statically enabled.
+///
+/// # Safety
+///
+/// The executing CPU must support AVX2 (`is_x86_feature_detected!("avx2")`).
+#[target_feature(enable = "avx2")]
+pub unsafe fn sw_bytes_cancel_avx2(
+    gaps: &GapPenalties,
+    profile: &ByteProfileOf<U8x32Avx>,
+    db: &[u8],
+    cancel: &CancelToken,
+) -> Option<ByteKernelResult> {
+    sw_bytes_checked(gaps, profile, db, cancel)
+}
+
+/// Cancellable word-mode kernel compiled with AVX2 statically enabled.
+///
+/// # Safety
+///
+/// The executing CPU must support AVX2 (`is_x86_feature_detected!("avx2")`).
+#[target_feature(enable = "avx2")]
+pub unsafe fn sw_words_cancel_avx2(
+    gaps: &GapPenalties,
+    profile: &WordProfileOf<I16x16Avx>,
+    db: &[u8],
+    cancel: &CancelToken,
+) -> Option<WordKernelResult> {
+    sw_words_checked(gaps, profile, db, cancel)
+}
+
+/// Cancellable byte-mode prefix-scan kernel compiled with AVX2 statically
+/// enabled.
+///
+/// # Safety
+///
+/// The executing CPU must support AVX2 (`is_x86_feature_detected!("avx2")`).
+#[target_feature(enable = "avx2")]
+pub unsafe fn sw_bytes_scan_cancel_avx2(
+    gaps: &GapPenalties,
+    profile: &ByteProfileOf<U8x32Avx>,
+    db: &[u8],
+    cancel: &CancelToken,
+) -> Option<ByteKernelResult> {
+    sw_bytes_scan_checked(gaps, profile, db, cancel)
+}
+
+/// Cancellable word-mode prefix-scan kernel compiled with AVX2 statically
+/// enabled.
+///
+/// # Safety
+///
+/// The executing CPU must support AVX2 (`is_x86_feature_detected!("avx2")`).
+#[target_feature(enable = "avx2")]
+pub unsafe fn sw_words_scan_cancel_avx2(
+    gaps: &GapPenalties,
+    profile: &WordProfileOf<I16x16Avx>,
+    db: &[u8],
+    cancel: &CancelToken,
+) -> Option<WordKernelResult> {
+    sw_words_scan_checked(gaps, profile, db, cancel)
 }
 
 #[cfg(test)]

@@ -1,0 +1,171 @@
+//! Cooperative cancellation is all-or-nothing.
+//!
+//! The contract of `search_with_cancel` / `QueryEngine::score_with_cancel`:
+//! for *any* cancellation point, the search either completes with scores
+//! bit-identical to the uncancelled run or returns `Cancelled` — never a
+//! partial, reordered, or perturbed result. `CancelToken::after_polls`
+//! makes the cancellation point deterministic (the poll sequence of a
+//! single-threaded search is a pure function of the workload), so the
+//! property is exhaustive over poll budgets, backends, and kernel modes.
+
+use proptest::prelude::*;
+use sw_align::smith_waterman::SwParams;
+use sw_db::synth::{database_with_lengths, make_query};
+use sw_db::Sequence;
+use sw_simd::{
+    search_sequences, search_with_cancel, AdaptiveStats, BackendKind, CancelToken, Cancelled,
+    KernelMode, Precision, QueryEngine, CANCEL_CHECK_COLS,
+};
+
+fn params() -> SwParams {
+    SwParams::cudasw_default()
+}
+
+fn protein_seq(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..20, 1..=max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Pool-level: any poll budget yields the full bit-identical result
+    // or `Cancelled`, with no partial scores observable.
+    #[test]
+    fn pool_cancellation_is_all_or_nothing(
+        q in protein_seq(100),
+        db in proptest::collection::vec(protein_seq(120), 1..8),
+        budget in 0u64..600,
+    ) {
+        let seqs: Vec<Sequence> = db
+            .into_iter()
+            .enumerate()
+            .map(|(i, residues)| Sequence::new(format!("s{i}"), residues))
+            .collect();
+        let engine = QueryEngine::new(params(), &q);
+        let reference = search_sequences(&engine, &seqs, 1, Precision::Adaptive);
+        let token = CancelToken::after_polls(budget);
+        match search_with_cancel(&engine, &seqs, 1, Precision::Adaptive, &token) {
+            Ok(r) => {
+                prop_assert_eq!(r.scores, reference.scores, "budget={}", budget);
+                prop_assert_eq!(r.stats, reference.stats, "budget={}", budget);
+            }
+            Err(Cancelled) => prop_assert!(token.is_cancelled()),
+        }
+    }
+
+    // Engine-level, across every available backend and both kernel
+    // modes: same all-or-nothing contract, and a completed cancellable
+    // score equals the plain score exactly.
+    #[test]
+    fn engine_cancellation_across_backends_and_modes(
+        q in protein_seq(90),
+        d in protein_seq(90),
+        budget in 0u64..64,
+    ) {
+        let p = params();
+        for kind in BackendKind::available() {
+            for mode in KernelMode::ALL {
+                let engine = QueryEngine::with_backend_and_mode(p.clone(), &q, kind, mode);
+                let mut plain_stats = AdaptiveStats::default();
+                let expected = engine.score_with(&d, Precision::Adaptive, &mut plain_stats);
+                let token = CancelToken::after_polls(budget);
+                let mut stats = AdaptiveStats::default();
+                match engine.score_with_cancel(&d, Precision::Adaptive, &mut stats, &token) {
+                    Ok(got) => {
+                        prop_assert_eq!(got, expected, "{} / {}", kind, mode);
+                        prop_assert_eq!(stats, plain_stats, "{} / {}", kind, mode);
+                    }
+                    Err(Cancelled) => {
+                        prop_assert!(token.is_cancelled(), "{} / {}", kind, mode);
+                        // No partial stats may leak from an abandoned run.
+                        prop_assert_eq!(stats, AdaptiveStats::default(), "{} / {}", kind, mode);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Cancellation is honored *within one chunk*: once the token trips, the
+/// kernels bail at their next stripe-column checkpoint instead of
+/// finishing the chunk (or even the current alignment). The poll counter
+/// pins this to the checkpoint interval: a budget-`k` token on a database
+/// whose full scan polls hundreds of times must stop at poll `k`, give or
+/// take the final checkpoint that observes the trip.
+#[test]
+fn cancellation_is_honored_at_the_next_checkpoint() {
+    let query = make_query(80, 5);
+    // One chunk of one long sequence: the full byte-mode scan alone has
+    // ~len / CANCEL_CHECK_COLS in-kernel checkpoints.
+    let db = database_with_lengths("t", &[20_000], 3);
+    let engine = QueryEngine::new(params(), &query);
+
+    let full = CancelToken::new();
+    let complete = search_with_cancel(&engine, db.sequences(), 1, Precision::Adaptive, &full)
+        .unwrap_or_else(|e| panic!("uncancelled search must complete: {e}"));
+    let full_polls = full.polls();
+    assert!(
+        full_polls as usize >= 20_000 / CANCEL_CHECK_COLS,
+        "full scan must poll at least once per {CANCEL_CHECK_COLS} columns (saw {full_polls})"
+    );
+
+    let budget = 3u64;
+    let token = CancelToken::after_polls(budget);
+    let r = search_with_cancel(&engine, db.sequences(), 1, Precision::Adaptive, &token);
+    assert_eq!(r.err(), Some(Cancelled));
+    assert!(
+        token.polls() <= budget + 2,
+        "cancelled at poll {budget} but {} polls ran — the kernel must stop at the next \
+         stripe-column checkpoint, not finish the chunk",
+        token.polls()
+    );
+    assert!(complete.scores[0] > 0, "sanity: the alignment scores");
+}
+
+/// A token cancelled before the search starts yields `Cancelled` without
+/// scoring anything.
+#[test]
+fn pre_cancelled_token_short_circuits() {
+    let query = make_query(40, 1);
+    let db = database_with_lengths("t", &[50, 60], 2);
+    let engine = QueryEngine::new(params(), &query);
+    let token = CancelToken::new();
+    token.cancel();
+    let polls_before = token.polls();
+    let r = search_with_cancel(&engine, db.sequences(), 1, Precision::Adaptive, &token);
+    assert_eq!(r.err(), Some(Cancelled));
+    assert!(
+        token.polls() <= polls_before + 1,
+        "at most the boundary poll"
+    );
+}
+
+/// Multi-threaded cancellation: every worker observes the trip and the
+/// search returns `Cancelled` (or, if workers raced past the budget,
+/// the complete bit-identical result — never anything in between).
+#[test]
+fn threaded_cancellation_is_all_or_nothing() {
+    let lens: Vec<usize> = (0..64).map(|i| 200 + (i * 13) % 300).collect();
+    let db = database_with_lengths("t", &lens, 7);
+    let query = make_query(64, 9);
+    let engine = QueryEngine::new(params(), &query);
+    let reference = search_sequences(&engine, db.sequences(), 1, Precision::Adaptive);
+    for budget in [0u64, 1, 5, 20, 100, 10_000_000] {
+        for threads in [2usize, 4] {
+            let token = CancelToken::after_polls(budget);
+            match search_with_cancel(
+                &engine,
+                db.sequences(),
+                threads,
+                Precision::Adaptive,
+                &token,
+            ) {
+                Ok(r) => assert_eq!(
+                    r.scores, reference.scores,
+                    "budget={budget} threads={threads}"
+                ),
+                Err(Cancelled) => assert!(token.is_cancelled()),
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Host fault-domain chaos: the pool absorbs panics, stalls, and
+//! admission failures without changing a single score.
+//!
+//! The acceptance invariants (mirroring the GPU chaos suite):
+//! * scores bit-identical to the fault-free run for every seed, fault
+//!   kind, and thread count;
+//! * zero lost sequences (every index committed exactly once);
+//! * zero duplicated answers (CAS losers are suppressed and counted);
+//! * the fault plan demonstrably fired (a chaos run that injected nothing
+//!   proves nothing).
+
+use std::ops::Range;
+use sw_align::smith_waterman::SwParams;
+use sw_db::synth::{database_with_lengths, make_query};
+use sw_simd::{
+    search_protected_with_chunks, search_sequences, HostFaultKind, HostFaultPlan, HostFaultRates,
+    HostMemoryBudget, HostSearchResult, PoolConfig, Precision, QueryEngine,
+};
+
+fn params() -> SwParams {
+    SwParams::cudasw_default()
+}
+
+fn fixed_chunks(n: usize, per: usize) -> Vec<Range<usize>> {
+    (0..n).step_by(per).map(|s| s..(s + per).min(n)).collect()
+}
+
+fn run(
+    engine: &QueryEngine,
+    seqs: &[sw_db::Sequence],
+    cfg: &PoolConfig,
+    chunks: &[Range<usize>],
+) -> HostSearchResult {
+    match search_protected_with_chunks(engine, seqs, cfg, chunks) {
+        Ok(r) => r,
+        Err(e) => panic!("no cancel token configured: {e}"),
+    }
+}
+
+/// The full matrix the CI host-fault gate runs: ≥3 seeds × every fault
+/// kind, forced onto known chunks so each recovery path is provably
+/// exercised, at 1 and 3 threads.
+#[test]
+fn forced_fault_matrix_is_bit_identical() {
+    let lens: Vec<usize> = (0..36).map(|i| 30 + (i * 11) % 120).collect();
+    let db = database_with_lengths("t", &lens, 17);
+    let query = make_query(72, 4);
+    let engine = QueryEngine::new(params(), &query);
+    let clean = search_sequences(&engine, db.sequences(), 1, Precision::Adaptive);
+    let chunks = fixed_chunks(db.len(), 4);
+
+    for seed in [11u64, 22, 33] {
+        for kind in HostFaultKind::ALL {
+            // Force the drawn kind onto a mid-run chunk (identity (8, 4))
+            // on top of the seeded background noise.
+            let plan = HostFaultPlan::random(seed, HostFaultRates::none())
+                .with_fault_at((8, 4), kind)
+                .with_stall_ms(30);
+            for threads in [1usize, 3] {
+                let cfg = PoolConfig::new(threads, Precision::Adaptive)
+                    .with_fault_plan(plan.clone())
+                    .with_watchdog(10, 2);
+                let r = run(&engine, db.sequences(), &cfg, &chunks);
+                assert_eq!(
+                    r.scores, clean.scores,
+                    "seed={seed} kind={kind} threads={threads}"
+                );
+                assert_eq!(r.scores.len(), db.len(), "zero lost sequences");
+                assert_eq!(
+                    r.faults.injected(),
+                    1,
+                    "seed={seed} kind={kind} threads={threads}: the forced fault must fire"
+                );
+                match kind {
+                    HostFaultKind::Panic => {
+                        assert_eq!(r.faults.panics, 1);
+                        assert_eq!(r.faults.quarantined_chunks, 1);
+                        assert!(r.faults.oracle_scored >= 1, "quarantine recomputed");
+                    }
+                    HostFaultKind::Stall => {
+                        if threads > 1 {
+                            assert!(
+                                r.faults.redispatches >= 1,
+                                "threads={threads}: watchdog must re-dispatch the stalled chunk"
+                            );
+                        }
+                    }
+                    HostFaultKind::AllocFail => {
+                        assert!(r.faults.rechunks >= 1, "admission failure must re-chunk");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Random chaos storms: seeded rates over small chunks, every thread
+/// count, scores always bit-identical and every sequence accounted for.
+#[test]
+fn seeded_chaos_storms_never_corrupt_results() {
+    let lens: Vec<usize> = (0..60).map(|i| 25 + (i * 7) % 100).collect();
+    let db = database_with_lengths("t", &lens, 23);
+    let query = make_query(56, 8);
+    let engine = QueryEngine::new(params(), &query);
+    let clean = search_sequences(&engine, db.sequences(), 1, Precision::Adaptive);
+    let chunks = fixed_chunks(db.len(), 3);
+
+    let mut total_injected = 0u64;
+    for seed in [1u64, 2, 3, 4] {
+        let plan = HostFaultPlan::random(seed, HostFaultRates::chaos()).with_stall_ms(15);
+        for threads in [1usize, 2, 4] {
+            let cfg = PoolConfig::new(threads, Precision::Adaptive)
+                .with_fault_plan(plan.clone())
+                .with_watchdog(8, 2);
+            let r = run(&engine, db.sequences(), &cfg, &chunks);
+            assert_eq!(r.scores, clean.scores, "seed={seed} threads={threads}");
+            total_injected += r.faults.injected();
+        }
+    }
+    assert!(
+        total_injected > 0,
+        "chaos rates over {} chunks × 12 runs must inject something",
+        chunks.len()
+    );
+}
+
+/// A panic in one chunk must not lose or duplicate its neighbours' work:
+/// the quarantine recomputes only uncommitted sequences, and commits are
+/// exactly-once even when a stalled worker finishes late.
+#[test]
+fn stall_plus_redispatch_commits_exactly_once() {
+    let db = database_with_lengths("t", &[80; 24], 31);
+    let query = make_query(64, 6);
+    let engine = QueryEngine::new(params(), &query);
+    let clean = search_sequences(&engine, db.sequences(), 1, Precision::Adaptive);
+    let chunks = fixed_chunks(db.len(), 6);
+    // Stall long enough that the watchdog fires and a survivor finishes
+    // the chunk first; the stalled worker then loses every commit race.
+    let plan = HostFaultPlan::none()
+        .with_fault_at((6, 6), HostFaultKind::Stall)
+        .with_stall_ms(120);
+    let cfg = PoolConfig::new(2, Precision::Adaptive)
+        .with_fault_plan(plan)
+        .with_watchdog(15, 3);
+    let r = run(&engine, db.sequences(), &cfg, &chunks);
+    assert_eq!(r.scores, clean.scores);
+    assert_eq!(r.faults.injected_stalls, 1);
+    assert!(r.faults.redispatches >= 1, "watchdog must act");
+    // The re-dispatched chunk is computed by two workers; one side's
+    // commits must have been suppressed (no duplicate answers).
+    assert!(
+        r.faults.duplicates_suppressed <= 6,
+        "at most the chunk's sequences race"
+    );
+}
+
+/// Budget pressure composes with chaos: a starvation-level budget plus a
+/// fault storm still yields bit-identical scores.
+#[test]
+fn budget_starvation_under_chaos_stays_correct() {
+    let db = database_with_lengths("t", &[40; 30], 41);
+    let query = make_query(48, 2);
+    let engine = QueryEngine::new(params(), &query);
+    let clean = search_sequences(&engine, db.sequences(), 1, Precision::Adaptive);
+    let chunks = fixed_chunks(db.len(), 10);
+    let plan = HostFaultPlan::random(9, HostFaultRates::chaos()).with_stall_ms(10);
+    for threads in [1usize, 2] {
+        let cfg = PoolConfig::new(threads, Precision::Adaptive)
+            .with_fault_plan(plan.clone())
+            .with_budget(HostMemoryBudget::bytes(1))
+            .with_watchdog(10, 2);
+        let r = run(&engine, db.sequences(), &cfg, &chunks);
+        assert_eq!(r.scores, clean.scores, "threads={threads}");
+        assert!(r.faults.rechunks > 0, "starved budget must split chunks");
+        assert!(r.faults.forced_admissions > 0, "progress is guaranteed");
+    }
+}

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build, full test suite, lint wall, format check,
-# paper-claims suite, crash-matrix suite, trace/checkpoint/integrity
-# smokes, ignored-test triage gate.
+# paper-claims suite, crash-matrix suite, host-fault matrix,
+# trace/checkpoint/integrity smokes, ignored-test triage gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,6 +18,14 @@ cargo test -q --offline --test paper_claims --test observability --test differen
 cargo clippy --workspace --all-targets --offline -- -D warnings
 cargo fmt --check
 
+# Crash-only lint wall: sw-simd and sw-serve deny clippy::unwrap_used /
+# clippy::expect_used in non-test code at the crate level
+# (#![cfg_attr(not(test), deny(...))] in each lib.rs — the lints must be
+# denied by attribute, not by -D flags here, because command-line -D
+# leaks into the path-dependency shims). This named invocation keeps the
+# gate attributable even if the workspace-wide clippy line changes.
+cargo clippy -q --offline -p sw-simd -p sw-serve --lib -- -D warnings
+
 # Cross-feature matrix for the host SIMD backend: the emulated portable
 # path must keep building and passing with the native backends compiled
 # out, both ways of getting there. The prefix-scan differential suite is
@@ -30,6 +38,12 @@ cargo build -q --release --offline -p sw-simd --features force-portable
 cargo test -q --offline -p sw-simd --features force-portable
 cargo test -q --offline -p sw-simd --features force-portable --test prefix_scan_differential
 cargo test -q --offline -p sw-simd --test prefix_scan_differential --test pool_chunking
+
+# Crash-only host engine: the seeded host-fault matrix (>=3 seeds x
+# {panic, stall, alloc-fail}, chaos storms, budget starvation) and the
+# all-or-nothing cancellation properties, named explicitly so a filter
+# can never silently drop them (see DESIGN.md §15).
+cargo test -q --offline -p sw-simd --test host_faults --test cancel_props
 
 # Every #[ignore] must carry a triage tag with an EXPERIMENTS.md entry:
 #   #[ignore = "triage: <slug>"]
@@ -101,16 +115,38 @@ grep -q '"backend": "portable"' "$tmp/BENCH_host.json"
 grep -q '"kernel_mode": "prefix-scan"' "$tmp/BENCH_host.json"
 grep -q '"gcups"' "$tmp/BENCH_host.json"
 
+# Host-chaos gate: the seeded host-fault matrix (every seed x
+# {panic, stall, alloc-fail} forced faults plus a full chaos storm per
+# seed) over the protected SIMD pool. Bit-identical scores, zero lost or
+# duplicated sequences, and every recovery path provably taken are all
+# asserted inside the experiment; here the document schema and the
+# matrix liveness are pinned.
+cargo run -q --release --offline -p cudasw-bench --bin repro -- \
+  host-chaos --seeds 11,22,33 --out "$tmp/BENCH_host_chaos.json" >/dev/null
+grep -q '"schema": "cudasw.bench.host_chaos/v1"' "$tmp/BENCH_host_chaos.json"
+grep -q '"all_scores_match": true' "$tmp/BENCH_host_chaos.json"
+grep -q '"lost_sequences": 0' "$tmp/BENCH_host_chaos.json"
+if grep -q '"total_injected": 0,' "$tmp/BENCH_host_chaos.json"; then
+  echo "verify: host-chaos matrix never injected a fault" >&2
+  exit 1
+fi
+
 # Chaos-soak gate: rolling faults across every lane (one full device loss
-# with revival included) must hold the availability SLO, answer
-# bit-identically to the fault-free replay, and emit a well-formed
-# cudasw.bench.soak/v1 document. Against the committed baseline, smoke
-# availability may not regress by more than half a percentage point.
+# with revival included) plus the host-lane fault storm riding the hedges
+# and CPU fallbacks must hold the availability SLO, answer bit-identically
+# to the fault-free replay, and emit a well-formed cudasw.bench.soak/v1
+# document. Against the committed baseline, smoke availability may not
+# regress by more than half a percentage point.
 cargo run -q --release --offline -p cudasw-bench --bin repro -- \
   soak --smoke --out "$tmp/BENCH_soak.json" >/dev/null
 grep -q '"schema": "cudasw.bench.soak/v1"' "$tmp/BENCH_soak.json"
 grep -q '"scores_match_reference": true' "$tmp/BENCH_soak.json"
 grep -q '"duplicate_answers": 0' "$tmp/BENCH_soak.json"
+grep -q '"host_injected_faults"' "$tmp/BENCH_soak.json"
+if grep -q '"host_injected_faults": 0,' "$tmp/BENCH_soak.json"; then
+  echo "verify: soak host-lane storm never landed" >&2
+  exit 1
+fi
 if [[ -f BENCH_soak.json ]]; then
   base=$(sed -n 's/.*"availability": \([0-9.]*\).*/\1/p' BENCH_soak.json)
   cur=$(sed -n 's/.*"availability": \([0-9.]*\).*/\1/p' "$tmp/BENCH_soak.json")
