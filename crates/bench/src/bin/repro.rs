@@ -12,6 +12,7 @@
 //! repro host [--smoke] [--db-size <n>] [--out <file.json>] [--baseline <file>]
 //! repro soak [--smoke] [--out <file.json>]
 //! repro host-chaos [--seeds <a,b,c>] [--out <file.json>]
+//! repro serve-rt [--smoke] [--requests <n>] [--out <file.json>] [--baseline <file>]
 //! ```
 //!
 //! `--inject-faults <seed>` selects the random fault seed for the chaos
@@ -47,6 +48,19 @@
 //! (`BENCH_host_chaos.json`). Like `host`, this runs in real wall-clock
 //! time (injected stalls sleep real milliseconds).
 //!
+//! `serve-rt` runs the wall-clock serving gateway (`sw-gateway`): real
+//! worker threads per shard lane, an in-process multi-tenant front-end,
+//! and a seeded open-loop load generator replaying steady, bursty and
+//! overload arrival schedules in real time (10⁵ requests per profile;
+//! `--smoke` shrinks to CI scale on the same code path). Latency is
+//! end-to-end wall time — front-end enqueue to response. With `--out` it
+//! writes the append-only `cudasw.bench.serve/v1` trajectory document
+//! (`BENCH_serve.json`), keyed by git rev + workload config +
+//! host_threads. With `--baseline <file>` the fresh run is merged into
+//! that committed trajectory and gated: shed and deadline-miss rates
+//! always, latency tails only on hosts with ≥ 4 hardware threads (a
+//! 1-core box time-slices the lanes and certifies nothing about tails).
+//!
 //! `trace` runs any experiment under the observability recorder and dumps
 //! its span timeline as a Chrome `trace_event` JSON file — load it in
 //! Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing` to see the
@@ -67,7 +81,8 @@ use std::sync::OnceLock;
 
 use cudasw_bench::experiments::{
     ablation, chaos, extensions, fig2, fig3, fig5, fig6, fig7, host, host_chaos, host_trajectory,
-    integrity, multigpu, retune, serve, soak, strips, table1, table2, validation,
+    integrity, multigpu, retune, serve, serve_rt, serve_trajectory, soak, strips, table1, table2,
+    validation,
 };
 use gpu_sim::DeviceSpec;
 
@@ -124,6 +139,7 @@ fn main() {
         ("integrity", run_integrity),
         ("serve", run_serve),
         ("soak", run_soak_smoke),
+        ("serve-rt", run_serve_rt_smoke),
         ("host", run_host_smoke),
         ("host-chaos", run_host_chaos_smoke),
     ];
@@ -137,6 +153,7 @@ fn main() {
         "trace" => run_trace(&args[1..], known),
         "host" => run_host(&args[1..]),
         "soak" => run_soak(&args[1..]),
+        "serve-rt" => run_serve_rt(&args[1..]),
         "host-chaos" => run_host_chaos(&args[1..]),
         "help" | "--help" | "-h" => {
             println!(
@@ -148,9 +165,12 @@ fn main() {
             );
             println!("       repro soak [--smoke] [--out <file.json>]");
             println!("       repro host-chaos [--seeds <a,b,c>] [--out <file.json>]");
+            println!(
+                "       repro serve-rt [--smoke] [--requests <n>] [--out <file.json>] [--baseline <file>]"
+            );
             println!("experiments: all, fig2, fig3, fig5, fig6, fig7, table1, table2,");
             println!("             ablation, strips, retune, extensions, validation, chaos,");
-            println!("             integrity, serve, soak, host, host-chaos");
+            println!("             integrity, serve, soak, host, host-chaos, serve-rt");
             println!("--inject-faults <seed>: fault seed for the chaos run (default 42)");
             println!("--checkpoint <dir>: write chunk-completion logs there during chaos");
             println!("--resume: replay existing logs in the checkpoint dir instead of wiping it");
@@ -699,5 +719,159 @@ fn run_serve() {
         steady.waves,
         steady.queries_per_second,
         overload.shed_rate * 100.0
+    );
+}
+
+/// `repro all` entry: the CI-scale wall-clock serving run, no file
+/// output.
+fn run_serve_rt_smoke() {
+    let r = serve_rt::run(
+        &DeviceSpec::tesla_c1060(),
+        &serve_rt::ServeRtOpts {
+            smoke: true,
+            requests: None,
+        },
+    );
+    r.table().print();
+    print_serve_rt_summary(&r);
+}
+
+/// `repro serve-rt [--smoke] [--requests <n>] [--out <file.json>]
+/// [--baseline <file>]`
+fn run_serve_rt(rest: &[String]) {
+    let mut rest: Vec<String> = rest.to_vec();
+    let mut out_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut opts = serve_rt::ServeRtOpts::default();
+    if let Some(pos) = rest.iter().position(|a| a == "--smoke") {
+        opts.smoke = true;
+        rest.remove(pos);
+    }
+    if let Some(pos) = rest.iter().position(|a| a == "--requests") {
+        match rest.get(pos + 1).map(|s| s.parse::<usize>()) {
+            Some(Ok(n)) if n > 0 => opts.requests = Some(n),
+            _ => {
+                eprintln!("--requests needs a positive integer");
+                std::process::exit(2);
+            }
+        }
+        rest.drain(pos..=pos + 1);
+    }
+    if let Some(pos) = rest.iter().position(|a| a == "--out") {
+        match rest.get(pos + 1) {
+            Some(p) => out_path = Some(p.clone()),
+            None => {
+                eprintln!("--out needs a file path");
+                std::process::exit(2);
+            }
+        }
+        rest.drain(pos..=pos + 1);
+    }
+    if let Some(pos) = rest.iter().position(|a| a == "--baseline") {
+        match rest.get(pos + 1) {
+            Some(p) => baseline_path = Some(p.clone()),
+            None => {
+                eprintln!("--baseline needs a file path");
+                std::process::exit(2);
+            }
+        }
+        rest.drain(pos..=pos + 1);
+    }
+    if !rest.is_empty() {
+        eprintln!(
+            "unexpected arguments {rest:?}; usage: \
+             repro serve-rt [--smoke] [--requests <n>] [--out <file.json>] [--baseline <file>]"
+        );
+        std::process::exit(2);
+    }
+    let r = serve_rt::run(&DeviceSpec::tesla_c1060(), &opts);
+    r.table().print();
+    print_serve_rt_summary(&r);
+
+    let entry = serve_trajectory::ServeEntry::from_result(&r, &git_rev());
+    let mut trajectory = match &baseline_path {
+        Some(p) => {
+            let text = match std::fs::read_to_string(p) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("cannot read baseline {p}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            match serve_trajectory::ServeTrajectory::parse(&text) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot parse baseline {p}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => serve_trajectory::ServeTrajectory::default(),
+    };
+
+    let mut failures: Vec<String> = Vec::new();
+    if let Some(base) = trajectory.baseline_for(&entry) {
+        println!(
+            "comparing against committed entry (rev {}, config {}, {} host threads)",
+            base.rev, base.config, base.host_threads
+        );
+        failures.extend(serve_trajectory::regressions(base, &entry));
+        if entry.host_threads < serve_trajectory::LATENCY_GATE_MIN_THREADS {
+            println!(
+                "latency tail gate not applicable on {} host thread(s); \
+                 shed/deadline-miss rates gated only",
+                entry.host_threads
+            );
+        }
+    } else if baseline_path.is_some() {
+        println!(
+            "no comparable committed entry (config {}, {} host threads): recording only",
+            entry.config, entry.host_threads
+        );
+    }
+    trajectory.append(entry);
+
+    if let Some(out_path) = out_path {
+        if let Err(e) = std::fs::write(&out_path, trajectory.to_json()) {
+            eprintln!("cannot write {out_path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "wrote serve trajectory ({} entries, {}) to {out_path}",
+            trajectory.entries.len(),
+            serve_rt::SCHEMA
+        );
+    }
+    if !failures.is_empty() {
+        eprintln!("serve-rt SLO gate FAILED:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+    if baseline_path.is_some() {
+        println!("serve-rt SLO gate passed (shed/deadline-miss regression checks).");
+    }
+}
+
+fn print_serve_rt_summary(r: &serve_rt::ServeRtResult) {
+    for p in &r.profiles {
+        println!(
+            "  {}: {}/{} served, shed rate {:.1}%, miss rate {:.1}%, \
+             p50/p99/p999 {:.1}/{:.1}/{:.1} ms at {:.0} q/s",
+            p.profile,
+            p.served,
+            p.requests,
+            p.shed_rate * 100.0,
+            p.deadline_miss_rate * 100.0,
+            p.p50_ms,
+            p.p99_ms,
+            p.p999_ms,
+            p.queries_per_second,
+        );
+    }
+    println!(
+        "wall-clock end-to-end latency (enqueue → response) on real lane \
+         worker threads; gates conditional on host parallelism.\n"
     );
 }

@@ -1,0 +1,418 @@
+//! The wall-clock serving trajectory (`BENCH_serve.json`, schema
+//! `cudasw.bench.serve/v1`).
+//!
+//! Same shape as the host-bench trajectory: **append-only**, one entry
+//! per measured run keyed by `(git rev, workload config, host_threads)`,
+//! so the committed file is the serving-SLO history of the repo. Wall
+//! latency depends on the measuring host, which is why `host_threads`
+//! is part of the key and why the gates are split:
+//!
+//! * **shed / deadline-miss regression guard** — always applies: these
+//!   rates are dominated by admission policy and scheduling, not raw
+//!   host speed, so a fresh run must not exceed the committed baseline
+//!   by more than [`RATE_TOLERANCE`] (absolute) per profile.
+//! * **latency tail gate** — conditional on the measuring host having
+//!   ≥ [`LATENCY_GATE_MIN_THREADS`] hardware threads: a 1-core CI box
+//!   time-slices every lane worker over one core, so its tails certify
+//!   nothing and must not fake a pass or a failure. Where it applies,
+//!   p99 may not grow past `baseline × (1 + `[`LATENCY_TOLERANCE`]`)`
+//!   (with a [`LATENCY_FLOOR_MS`] absolute floor under which jitter is
+//!   ignored).
+
+use super::serve_rt::{ProfileRow, ServeRtResult, SCHEMA};
+use obs::json::{escape, parse, Json};
+
+/// Allowed absolute growth of shed rate / deadline-miss rate vs the
+/// committed baseline per profile. Far above run-to-run jitter at 10⁵
+/// requests; catches policy regressions (a broken breaker flooding the
+/// host lane, EDF inversions, quota accounting drift).
+pub const RATE_TOLERANCE: f64 = 0.10;
+
+/// Allowed fractional p99 growth where the latency gate applies (2×
+/// headroom: wall clocks on shared machines are noisy).
+pub const LATENCY_TOLERANCE: f64 = 1.0;
+
+/// p99 deltas under this absolute floor (milliseconds) never fail the
+/// latency gate.
+pub const LATENCY_FLOOR_MS: f64 = 5.0;
+
+/// Minimum hardware threads before latency tails are gated.
+pub const LATENCY_GATE_MIN_THREADS: usize = 4;
+
+/// One measured run in the trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeEntry {
+    /// Git revision (short hash) the run was measured at.
+    pub rev: String,
+    /// Stable workload key (database shape × schedule size).
+    pub config: String,
+    /// Hardware threads of the measuring host.
+    pub host_threads: usize,
+    /// gpu-sim device lanes.
+    pub devices: usize,
+    /// Database sequences.
+    pub db_size: usize,
+    /// Requests per profile.
+    pub requests_per_profile: usize,
+    /// One row per load profile.
+    pub profiles: Vec<ProfileRow>,
+}
+
+impl ServeEntry {
+    /// Wrap a fresh measurement for the trajectory.
+    pub fn from_result(r: &ServeRtResult, rev: &str) -> Self {
+        Self {
+            rev: rev.to_string(),
+            config: r.config.clone(),
+            host_threads: r.host_threads,
+            devices: r.devices,
+            db_size: r.db_size,
+            requests_per_profile: r.requests_per_profile,
+            profiles: r.profiles.clone(),
+        }
+    }
+
+    /// The key that decides replace-vs-append on merge.
+    fn key(&self) -> (String, String, usize) {
+        (self.rev.clone(), self.config.clone(), self.host_threads)
+    }
+}
+
+/// The whole append-only document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeTrajectory {
+    /// Entries in file order (oldest first).
+    pub entries: Vec<ServeEntry>,
+}
+
+impl ServeTrajectory {
+    /// Append a run, replacing a prior entry with the identical
+    /// `(rev, config, host_threads)` key, never touching other entries.
+    pub fn append(&mut self, entry: ServeEntry) {
+        if let Some(existing) = self.entries.iter_mut().find(|e| e.key() == entry.key()) {
+            *existing = entry;
+        } else {
+            self.entries.push(entry);
+        }
+    }
+
+    /// Most recent committed entry comparable to `new` (same workload
+    /// config and host thread count).
+    pub fn baseline_for<'a>(&'a self, new: &ServeEntry) -> Option<&'a ServeEntry> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|e| e.config == new.config && e.host_threads == new.host_threads)
+    }
+
+    /// Serialize the v1 document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        out.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&entry_to_json(e, "    "));
+            out.push_str(if i + 1 == self.entries.len() {
+                "\n"
+            } else {
+                ",\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parse a trajectory file.
+    pub fn parse(text: &str) -> Result<ServeTrajectory, String> {
+        let doc = parse(text)?;
+        match doc.get("schema").and_then(|s| s.as_str()) {
+            Some(s) if s == SCHEMA => {
+                let entries = doc
+                    .get("entries")
+                    .and_then(|e| e.as_arr())
+                    .ok_or("serve trajectory without entries array")?;
+                Ok(ServeTrajectory {
+                    entries: entries
+                        .iter()
+                        .map(entry_from_json)
+                        .collect::<Result<_, _>>()?,
+                })
+            }
+            Some(other) => Err(format!("unknown serve bench schema {other:?}")),
+            None => Err("document has no schema field".to_string()),
+        }
+    }
+}
+
+fn entry_to_json(e: &ServeEntry, indent: &str) -> String {
+    let mut out = format!("{indent}{{\n");
+    out.push_str(&format!("{indent}  \"rev\": \"{}\",\n", escape(&e.rev)));
+    out.push_str(&format!(
+        "{indent}  \"config\": \"{}\",\n",
+        escape(&e.config)
+    ));
+    out.push_str(&format!(
+        "{indent}  \"host_threads\": {},\n",
+        e.host_threads
+    ));
+    out.push_str(&format!("{indent}  \"devices\": {},\n", e.devices));
+    out.push_str(&format!("{indent}  \"db_size\": {},\n", e.db_size));
+    out.push_str(&format!(
+        "{indent}  \"requests_per_profile\": {},\n",
+        e.requests_per_profile
+    ));
+    out.push_str(&format!("{indent}  \"profiles\": [\n"));
+    for (i, p) in e.profiles.iter().enumerate() {
+        out.push_str(&format!(
+            "{indent}    {{\"profile\": \"{}\", \"requests\": {}, \"served\": {}, \
+             \"shed\": {}, \"aborted\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
+             \"p999_ms\": {:.3}, \"shed_rate\": {:.4}, \"deadline_miss_rate\": {:.4}, \
+             \"queries_per_second\": {:.1}, \"gcups\": {:.4}, \"wall_seconds\": {:.3}, \
+             \"waves\": {}}}{}\n",
+            escape(&p.profile),
+            p.requests,
+            p.served,
+            p.shed,
+            p.aborted,
+            p.p50_ms,
+            p.p99_ms,
+            p.p999_ms,
+            p.shed_rate,
+            p.deadline_miss_rate,
+            p.queries_per_second,
+            p.gcups,
+            p.wall_seconds,
+            p.waves,
+            if i + 1 == e.profiles.len() { "" } else { "," },
+        ));
+    }
+    out.push_str(&format!("{indent}  ]\n"));
+    out.push_str(&format!("{indent}}}"));
+    out
+}
+
+fn num(v: &Json, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(|n| n.as_f64())
+        .ok_or_else(|| format!("missing numeric field {key:?}"))
+}
+
+fn text(v: &Json, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(|s| s.as_str())
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+fn profile_from_json(v: &Json) -> Result<ProfileRow, String> {
+    Ok(ProfileRow {
+        profile: text(v, "profile")?,
+        requests: num(v, "requests")? as usize,
+        served: num(v, "served")? as usize,
+        shed: num(v, "shed")? as usize,
+        aborted: num(v, "aborted")? as usize,
+        p50_ms: num(v, "p50_ms")?,
+        p99_ms: num(v, "p99_ms")?,
+        p999_ms: num(v, "p999_ms")?,
+        shed_rate: num(v, "shed_rate")?,
+        deadline_miss_rate: num(v, "deadline_miss_rate")?,
+        queries_per_second: num(v, "queries_per_second")?,
+        gcups: num(v, "gcups")?,
+        wall_seconds: num(v, "wall_seconds")?,
+        waves: num(v, "waves")? as u64,
+    })
+}
+
+fn entry_from_json(v: &Json) -> Result<ServeEntry, String> {
+    let profiles = v
+        .get("profiles")
+        .and_then(|p| p.as_arr())
+        .ok_or("entry without profiles array")?;
+    Ok(ServeEntry {
+        rev: text(v, "rev")?,
+        config: text(v, "config")?,
+        host_threads: num(v, "host_threads")? as usize,
+        devices: num(v, "devices")? as usize,
+        db_size: num(v, "db_size")? as usize,
+        requests_per_profile: num(v, "requests_per_profile")? as usize,
+        profiles: profiles
+            .iter()
+            .map(profile_from_json)
+            .collect::<Result<_, _>>()?,
+    })
+}
+
+/// Compare a fresh entry against its committed baseline: per profile
+/// present in both, shed and deadline-miss rates may not grow past the
+/// absolute [`RATE_TOLERANCE`]; where the host qualifies
+/// (≥ [`LATENCY_GATE_MIN_THREADS`] threads on **both** entries — the key
+/// already guarantees equal `host_threads`), p99 may not blow past the
+/// committed tail. Returns human-readable failures (empty = pass).
+pub fn regressions(baseline: &ServeEntry, new: &ServeEntry) -> Vec<String> {
+    let mut failures = Vec::new();
+    for old in &baseline.profiles {
+        let Some(fresh) = new.profiles.iter().find(|p| p.profile == old.profile) else {
+            continue;
+        };
+        if fresh.shed_rate > old.shed_rate + RATE_TOLERANCE {
+            failures.push(format!(
+                "{}: shed rate {:.3} vs committed {:.3} (allowed ceiling {:.3})",
+                fresh.profile,
+                fresh.shed_rate,
+                old.shed_rate,
+                old.shed_rate + RATE_TOLERANCE,
+            ));
+        }
+        if fresh.deadline_miss_rate > old.deadline_miss_rate + RATE_TOLERANCE {
+            failures.push(format!(
+                "{}: deadline-miss rate {:.3} vs committed {:.3} (allowed ceiling {:.3})",
+                fresh.profile,
+                fresh.deadline_miss_rate,
+                old.deadline_miss_rate,
+                old.deadline_miss_rate + RATE_TOLERANCE,
+            ));
+        }
+        if new.host_threads >= LATENCY_GATE_MIN_THREADS {
+            let ceiling = (old.p99_ms * (1.0 + LATENCY_TOLERANCE)).max(LATENCY_FLOOR_MS);
+            if fresh.p99_ms > ceiling {
+                failures.push(format!(
+                    "{}: p99 {:.2} ms vs committed {:.2} ms (allowed ceiling {:.2} ms, \
+                     {} host threads)",
+                    fresh.profile, fresh.p99_ms, old.p99_ms, ceiling, new.host_threads,
+                ));
+            }
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_profile(name: &str, shed_rate: f64, miss_rate: f64, p99_ms: f64) -> ProfileRow {
+        let requests = 1000;
+        let shed = (requests as f64 * shed_rate) as usize;
+        ProfileRow {
+            profile: name.to_string(),
+            requests,
+            served: requests - shed,
+            shed,
+            aborted: 0,
+            p50_ms: p99_ms / 4.0,
+            p99_ms,
+            p999_ms: p99_ms * 2.0,
+            shed_rate,
+            deadline_miss_rate: miss_rate,
+            queries_per_second: 800.0,
+            gcups: 0.05,
+            wall_seconds: 1.25,
+            waves: 90,
+        }
+    }
+
+    fn sample_entry(rev: &str, host_threads: usize, overload_shed: f64) -> ServeEntry {
+        ServeEntry {
+            rev: rev.to_string(),
+            config: "rt-mixed10x24-64-r1000".to_string(),
+            host_threads,
+            devices: 2,
+            db_size: 10,
+            requests_per_profile: 1000,
+            profiles: vec![
+                sample_profile("steady", 0.0, 0.0, 12.0),
+                sample_profile("bursty", 0.02, 0.01, 30.0),
+                sample_profile("overload", overload_shed, 0.05, 80.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let mut t = ServeTrajectory::default();
+        t.append(sample_entry("abc1234", 8, 0.6));
+        t.append(sample_entry("def5678", 8, 0.62));
+        let parsed = ServeTrajectory::parse(&t.to_json()).expect("valid document");
+        assert_eq!(parsed.entries.len(), 2);
+        for (a, b) in t.entries.iter().zip(&parsed.entries) {
+            assert_eq!(a.rev, b.rev);
+            assert_eq!(a.config, b.config);
+            assert_eq!(a.host_threads, b.host_threads);
+            assert_eq!(a.profiles.len(), b.profiles.len());
+            for (x, y) in a.profiles.iter().zip(&b.profiles) {
+                assert_eq!(x.profile, y.profile);
+                assert_eq!(x.served, y.served);
+                assert!((x.shed_rate - y.shed_rate).abs() < 1e-4);
+                assert!((x.p99_ms - y.p99_ms).abs() < 1e-3);
+                assert_eq!(x.waves, y.waves);
+            }
+        }
+    }
+
+    #[test]
+    fn append_replaces_only_identical_keys() {
+        let mut t = ServeTrajectory::default();
+        t.append(sample_entry("aaa", 8, 0.6));
+        t.append(sample_entry("bbb", 8, 0.61));
+        assert_eq!(t.entries.len(), 2);
+        t.append(sample_entry("bbb", 8, 0.63));
+        assert_eq!(t.entries.len(), 2, "same key replaces in place");
+        t.append(sample_entry("bbb", 1, 0.6));
+        assert_eq!(t.entries.len(), 3, "different host_threads is a new key");
+    }
+
+    #[test]
+    fn baseline_requires_config_and_host_threads() {
+        let mut t = ServeTrajectory::default();
+        t.append(sample_entry("aaa", 8, 0.6));
+        assert!(t.baseline_for(&sample_entry("bbb", 1, 0.6)).is_none());
+        let mut other = sample_entry("bbb", 8, 0.6);
+        other.config = "rt-mixed24x24-64-r1000".to_string();
+        assert!(t.baseline_for(&other).is_none());
+        assert_eq!(
+            t.baseline_for(&sample_entry("bbb", 8, 0.6))
+                .map(|e| e.rev.as_str()),
+            Some("aaa")
+        );
+    }
+
+    #[test]
+    fn rate_guard_always_bites_latency_gate_is_conditional() {
+        let committed = sample_entry("aaa", 1, 0.6);
+        // Shed-rate explosion on overload: fails even on a 1-core host.
+        let worse = sample_entry("bbb", 1, 0.85);
+        let failures = regressions(&committed, &worse);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("overload: shed rate"));
+        // Deadline-miss explosion fails too.
+        let mut missy = sample_entry("ccc", 1, 0.6);
+        missy.profiles[0].deadline_miss_rate = 0.5;
+        assert!(regressions(&committed, &missy)
+            .iter()
+            .any(|f| f.contains("steady: deadline-miss")));
+        // A 10x p99 blowup on a 1-core host is NOT gated…
+        let mut slow1 = sample_entry("ddd", 1, 0.6);
+        for p in &mut slow1.profiles {
+            p.p99_ms *= 10.0;
+        }
+        assert!(regressions(&committed, &slow1).is_empty());
+        // …but on an 8-core host it is.
+        let committed8 = sample_entry("aaa", 8, 0.6);
+        let mut slow8 = sample_entry("ddd", 8, 0.6);
+        for p in &mut slow8.profiles {
+            p.p99_ms *= 10.0;
+        }
+        let failures = regressions(&committed8, &slow8);
+        assert_eq!(failures.len(), 3, "all three profiles blew their tails");
+        assert!(failures.iter().all(|f| f.contains("p99")));
+        // Sub-floor jitter never fails: 1 ms → 4 ms is under the floor.
+        let mut tiny = sample_entry("aaa", 8, 0.6);
+        tiny.profiles[0].p99_ms = 1.0;
+        let mut jitter = sample_entry("eee", 8, 0.6);
+        jitter.profiles[0].p99_ms = 4.0;
+        assert!(regressions(&tiny, &jitter).is_empty());
+        // Within-tolerance rate noise passes.
+        let noisy = sample_entry("fff", 1, 0.65);
+        assert!(regressions(&committed, &noisy).is_empty());
+    }
+}

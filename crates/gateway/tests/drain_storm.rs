@@ -1,0 +1,116 @@
+//! Drain under a host-stall storm: shutdown must stay bounded even when
+//! the host lane's fault plan stalls chunks, because the forced-drain
+//! path cancels in-flight and queued host chunks through the PR 8
+//! [`sw_simd::CancelToken`] (the crash-only pool polls it at every chunk
+//! start, *before* the injected stall sleep). The exactly-once contract
+//! holds throughout: offered = served + shed + aborted, every ticket
+//! resolves once.
+
+use cudasw_core::{CudaSwConfig, ImprovedParams};
+use gpu_sim::DeviceSpec;
+use std::time::Instant;
+use sw_db::synth::database_with_lengths;
+use sw_gateway::loadgen::drive;
+use sw_gateway::{Gateway, GatewayConfig, LoadConfig, Outcome};
+use sw_simd::{HostFaultPlan, HostFaultRates};
+
+#[test]
+fn forced_drain_cancels_stalled_host_chunks_and_resolves_every_ticket() {
+    let db = database_with_lengths(
+        "storm-db",
+        &[20, 35, 45, 60, 80, 95, 110, 120, 150, 300],
+        71,
+    );
+    // Stall storm on the host lane: most chunks sleep 150 ms before
+    // computing. With a ~0.2 s drain grace, queued waves cannot finish
+    // politely — shutdown must take the cancel path.
+    let stall_plan = HostFaultPlan::random(
+        0xD5A1,
+        HostFaultRates {
+            panic: 0.0,
+            stall: 0.9,
+            alloc_fail: 0.0,
+        },
+    )
+    .with_stall_ms(150);
+    let cfg = GatewayConfig {
+        devices: 1,
+        host_threads: 1,
+        search: CudaSwConfig {
+            threshold: 100,
+            improved: ImprovedParams {
+                threads_per_block: 32,
+                tile_height: 4,
+            },
+            ..CudaSwConfig::improved()
+        },
+        host_faults: stall_plan,
+        drain_grace_seconds: 0.2,
+        ..GatewayConfig::default()
+    };
+    // A quick burst of submissions, then immediate shutdown while the
+    // stalled host lane still owes most of its shard parts.
+    let schedule = LoadConfig {
+        mean_interarrival_seconds: 1.0e-4,
+        deadline_slack_seconds: (30.0, 60.0),
+        ..LoadConfig::small(30, 77)
+    }
+    .schedule();
+
+    let started = Instant::now();
+    let gateway = Gateway::start(&DeviceSpec::tesla_c1060(), &cfg, &db, &[]);
+    let tickets = drive(&gateway.handle(), &schedule);
+    let report = gateway.shutdown();
+    let elapsed = started.elapsed().as_secs_f64();
+
+    // Bounded shutdown: the grace is 0.2 s and a cancelled chunk exits at
+    // its first poll; nothing waits out 30 × 150 ms of stalls serially.
+    assert!(
+        elapsed < 15.0,
+        "drain must be bounded under a stall storm, took {elapsed:.1}s"
+    );
+    assert!(
+        report.forced_cancel,
+        "a 0.2s grace under 150ms stalls must force-cancel"
+    );
+    assert_eq!(
+        report
+            .metrics
+            .counter("cudasw.gateway.drain.forced_cancels", &[]),
+        1.0
+    );
+
+    // Exactly-once accounting across the storm.
+    assert_eq!(
+        report.offered(),
+        schedule.len(),
+        "served {} + shed {} + aborted {} must equal offered {}",
+        report.responses.len(),
+        report.sheds.len(),
+        report.aborted.len(),
+        schedule.len()
+    );
+    assert_eq!(
+        report
+            .metrics
+            .counter("cudasw.gateway.duplicate_commits", &[]),
+        0.0
+    );
+    let mut resolved = 0usize;
+    for t in tickets {
+        let (outcome, extra) = t.wait_counting_duplicates();
+        assert_eq!(extra, 0, "no ticket resolves twice");
+        match outcome {
+            Outcome::Served(resp) => assert!(resp.latency_seconds >= 0.0),
+            Outcome::Shed(_) | Outcome::Aborted => {}
+        }
+        resolved += 1;
+    }
+    assert_eq!(resolved, schedule.len());
+    // The storm actually aborted something (otherwise the test proves
+    // nothing about cancellation).
+    assert!(
+        !report.aborted.is_empty(),
+        "expected in-flight or queued work to be cut short"
+    );
+}

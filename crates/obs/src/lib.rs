@@ -147,6 +147,22 @@ pub fn histogram_observe(name: &str, labels: &[(&str, &str)], bounds: &[f64], va
     with(|o| o.metrics.histogram_observe(name, labels, bounds, value));
 }
 
+/// Wall-clock-safe latency bucket bounds for service latency histograms
+/// (`cudasw.serve.latency_seconds` and friends). The range spans 100 µs
+/// to 100 s: sub-millisecond resolution for the simulated fast path, and
+/// enough headroom that a wall-clock overload tail (queueing under an
+/// open-loop storm) lands in a finite bucket instead of being censored
+/// into `+Inf`.
+pub const LATENCY_SECONDS_BOUNDS: &[f64] = &[
+    1.0e-4, 3.0e-4, 1.0e-3, 3.0e-3, 1.0e-2, 3.0e-2, 1.0e-1, 3.0e-1, 1.0, 3.0, 10.0, 30.0, 100.0,
+];
+
+/// Observe an end-to-end latency (seconds) into histogram `name` using
+/// the shared [`LATENCY_SECONDS_BOUNDS`] bucketing.
+pub fn observe_latency(name: &str, labels: &[(&str, &str)], seconds: f64) {
+    histogram_observe(name, labels, LATENCY_SECONDS_BOUNDS, seconds);
+}
+
 /// Snapshot the current thread's metrics (for before/after
 /// [`MetricsRegistry::diff`]s).
 pub fn snapshot_metrics() -> MetricsRegistry {

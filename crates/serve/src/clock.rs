@@ -1,0 +1,179 @@
+//! The service clock: one timebase abstraction for both execution modes.
+//!
+//! Everything above wave execution — admission, the EDF batcher, deadline
+//! budgets, breaker cooldowns, hedging triggers — reasons about time as
+//! `f64` seconds. [`ServiceClock`] makes the *source* of those seconds
+//! pluggable:
+//!
+//! * [`SimulatedClock`] — the discrete-event timebase the pinned serve /
+//!   soak contracts run on. `advance` jumps the clock by a modeled
+//!   duration; `wait_until` jumps it to the next event. Runs are
+//!   bit-reproducible because no wall time is ever read.
+//! * [`WallClock`] — monotonic real time ([`std::time::Instant`]) for the
+//!   `sw-gateway` wall-clock mode. `advance` is a no-op (the modeled
+//!   duration already elapsed for real while the work ran) and
+//!   `wait_until` sleeps the calling thread.
+//!
+//! The trait is object-safe and `Send + Sync` so one clock can be shared
+//! by a dispatcher thread and its lane workers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A monotonic source of service-time seconds.
+///
+/// Implementations must be monotone: `now()` never decreases, `advance`
+/// and `wait_until` never move time backwards.
+pub trait ServiceClock: Send + Sync {
+    /// Seconds elapsed on this clock.
+    fn now(&self) -> f64;
+
+    /// Account a modeled duration of `seconds`. The simulated clock
+    /// jumps; the wall clock does nothing (real time already passed
+    /// while the modeled work executed).
+    fn advance(&self, seconds: f64);
+
+    /// Block (wall) or jump (simulated) until `instant`; instants in the
+    /// past are a no-op. Returns immediately on the simulated clock.
+    fn wait_until(&self, instant: f64);
+
+    /// True for real wall time — callers that would busy-spin on a
+    /// simulated clock (e.g. bounded condvar waits) can branch on this.
+    fn is_wall(&self) -> bool {
+        false
+    }
+}
+
+/// The discrete-event clock: an `f64` stored as atomic bits so a shared
+/// reference is enough to drive it (the trait takes `&self`).
+#[derive(Debug, Default)]
+pub struct SimulatedClock {
+    bits: AtomicU64,
+}
+
+impl SimulatedClock {
+    /// A simulated clock at `t = 0`.
+    pub fn new() -> Self {
+        Self::starting_at(0.0)
+    }
+
+    /// A simulated clock already advanced to `start` seconds.
+    pub fn starting_at(start: f64) -> Self {
+        Self {
+            bits: AtomicU64::new(start.to_bits()),
+        }
+    }
+
+    fn store(&self, t: f64) {
+        self.bits.store(t.to_bits(), Ordering::SeqCst);
+    }
+}
+
+impl ServiceClock for SimulatedClock {
+    fn now(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::SeqCst))
+    }
+
+    fn advance(&self, seconds: f64) {
+        self.store(self.now() + seconds);
+    }
+
+    fn wait_until(&self, instant: f64) {
+        // `max` keeps monotonicity bit-for-bit identical to the
+        // pre-trait scheduler's `target.max(now)` arithmetic.
+        self.store(instant.max(self.now()));
+    }
+}
+
+/// Monotonic wall time, measured from the clock's construction.
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose second `0.0` is now.
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServiceClock for WallClock {
+    fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    fn advance(&self, _seconds: f64) {
+        // Real time elapsed while the modeled work ran; nothing to do.
+    }
+
+    fn wait_until(&self, instant: f64) {
+        let now = self.now();
+        if instant > now {
+            std::thread::sleep(Duration::from_secs_f64(instant - now));
+        }
+    }
+
+    fn is_wall(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulated_clock_jumps_and_stays_monotone() {
+        let c = SimulatedClock::starting_at(2.0);
+        assert_eq!(c.now(), 2.0);
+        c.advance(0.5);
+        assert_eq!(c.now(), 2.5);
+        c.wait_until(4.0);
+        assert_eq!(c.now(), 4.0);
+        // Instants in the past never move the clock backwards.
+        c.wait_until(1.0);
+        assert_eq!(c.now(), 4.0);
+        assert!(!c.is_wall());
+    }
+
+    #[test]
+    fn simulated_clock_is_bit_exact() {
+        // Arbitrary f64s must round-trip through the atomic bits exactly:
+        // the pinned soak contract depends on it.
+        let c = SimulatedClock::new();
+        let t = 0.1f64 + 0.2f64; // famously not 0.3
+        c.wait_until(t);
+        assert_eq!(c.now().to_bits(), t.to_bits());
+    }
+
+    #[test]
+    fn wall_clock_moves_forward_and_sleeps() {
+        let c = WallClock::new();
+        let a = c.now();
+        c.wait_until(a + 0.01);
+        let b = c.now();
+        assert!(b - a >= 0.009, "wait_until slept {}s", b - a);
+        // advance is a no-op on wall time.
+        c.advance(1000.0);
+        assert!(c.now() < a + 10.0);
+        assert!(c.is_wall());
+    }
+
+    #[test]
+    fn clock_is_object_safe_and_shareable() {
+        let c: std::sync::Arc<dyn ServiceClock> = std::sync::Arc::new(SimulatedClock::new());
+        let c2 = c.clone();
+        let h = std::thread::spawn(move || c2.advance(1.0));
+        h.join().unwrap();
+        assert_eq!(c.now(), 1.0);
+    }
+}

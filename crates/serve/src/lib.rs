@@ -13,6 +13,10 @@
 //!   ([`sw_db::sort_by_length`]);
 //! * [`cache`] — an LRU cache of packed query profiles keyed by
 //!   `(matrix, query)`;
+//! * [`clock`] — the [`clock::ServiceClock`] timebase abstraction:
+//!   the discrete-event [`clock::SimulatedClock`] (this crate's native
+//!   mode) and the monotonic [`clock::WallClock`] the `sw-gateway`
+//!   crate serves real time on;
 //! * [`exec`] — wave execution over per-device shard lanes that keep the
 //!   database device-resident
 //!   ([`cudasw_core::CudaSwDriver::stage_database`]) and inherit the
@@ -43,6 +47,7 @@
 pub mod admission;
 pub mod batch;
 pub mod cache;
+pub mod clock;
 pub mod exec;
 pub mod health;
 pub mod request;
@@ -51,6 +56,7 @@ pub mod service;
 pub use admission::{AdmissionConfig, AdmissionQueue, ShedReason};
 pub use batch::{BatchPolicy, Batcher, Wave};
 pub use cache::ProfileCache;
+pub use clock::{ServiceClock, SimulatedClock, WallClock};
 pub use exec::{WaveExecutor, WaveOutcome};
 pub use health::{BreakerState, HealthPolicy, HealthTracker, LaneHealth};
 pub use request::{ParamsKey, SearchRequest, TraceConfig};

@@ -11,15 +11,13 @@
 use crate::admission::{AdmissionConfig, AdmissionQueue, ShedReason};
 use crate::batch::{BatchPolicy, Batcher};
 use crate::cache::ProfileCache;
+use crate::clock::{ServiceClock, SimulatedClock};
 use crate::exec::WaveExecutor;
 use crate::health::{HealthPolicy, HealthTracker};
 use crate::request::SearchRequest;
 use cudasw_core::{CudaSwConfig, RecoveryPolicy, RecoveryReport};
 use gpu_sim::{DeviceSpec, FaultPlan, GpuError};
 use sw_db::Database;
-
-/// Latency-histogram bucket bounds, seconds.
-const LATENCY_BOUNDS: &[f64] = &[1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0, 3.0, 10.0];
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -229,8 +227,25 @@ impl SearchService {
     }
 
     /// Replay `trace` (sorted by arrival; [`crate::request::TraceConfig`]
-    /// generates it that way) to completion and report.
+    /// generates it that way) to completion and report, on the
+    /// discrete-event [`SimulatedClock`]. This is the pinned-contract
+    /// entry point: bit-identical to the pre-[`ServiceClock`] scheduler.
     pub fn run_trace(&mut self, trace: &[SearchRequest]) -> Result<ServeReport, GpuError> {
+        let clock = SimulatedClock::starting_at(trace.first().map_or(0.0, |r| r.arrival_seconds));
+        self.run_trace_on(&clock, trace)
+    }
+
+    /// Replay `trace` to completion on an explicit [`ServiceClock`].
+    ///
+    /// On [`SimulatedClock`] this is the deterministic discrete-event
+    /// loop (`wait_until` jumps to the next event). On a wall clock the
+    /// same loop blocks in real time — correct but single-threaded; the
+    /// `sw-gateway` crate provides the concurrent wall-clock executor.
+    pub fn run_trace_on(
+        &mut self,
+        clock: &dyn ServiceClock,
+        trace: &[SearchRequest],
+    ) -> Result<ServeReport, GpuError> {
         debug_assert!(
             trace
                 .windows(2)
@@ -242,8 +257,7 @@ impl SearchService {
             .iter()
             .cloned()
             .collect::<std::collections::VecDeque<_>>();
-        let mut now = pending.front().map_or(0.0, |r| r.arrival_seconds);
-        let start = now;
+        let start = clock.now();
         let mut responses = Vec::new();
         let mut sheds = Vec::new();
         let mut waves = 0u64;
@@ -251,6 +265,7 @@ impl SearchService {
         let mut recovery = RecoveryReport::default();
 
         loop {
+            let now = clock.now();
             // Admit everything that has arrived by `now`.
             while pending.front().is_some_and(|r| r.arrival_seconds <= now) {
                 let Some(req) = pending.pop_front() else {
@@ -278,7 +293,8 @@ impl SearchService {
             let flush = pending.is_empty();
             if let Some(wave) = self.batcher.next_wave(&mut self.queue, now, flush) {
                 let outcome = self.executor.execute_wave(&wave, &mut self.cache, now)?;
-                now += outcome.service_seconds;
+                clock.advance(outcome.service_seconds);
+                let now = clock.now();
                 waves += 1;
                 total_cells += outcome.total_cells;
                 if outcome.recovery.degraded {
@@ -296,12 +312,7 @@ impl SearchService {
                 recovery.merge(&outcome.recovery);
                 for (req, scores) in wave.requests.iter().zip(outcome.scores) {
                     let latency = now - req.arrival_seconds;
-                    obs::histogram_observe(
-                        "cudasw.serve.latency_seconds",
-                        &[],
-                        LATENCY_BOUNDS,
-                        latency,
-                    );
+                    obs::observe_latency("cudasw.serve.latency_seconds", &[], latency);
                     obs::counter_add("cudasw.serve.completed", &[], 1.0);
                     responses.push(Response {
                         id: req.id,
@@ -313,20 +324,22 @@ impl SearchService {
                     });
                 }
             } else if let Some(next) = pending.front() {
-                // Nothing dispatchable yet: jump to the next event — the
+                // Nothing dispatchable yet: wait for the next event — the
                 // next arrival or the head's linger expiry, whichever is
-                // sooner.
+                // sooner. (On the simulated clock this is the
+                // `linger.min(arrival).max(now)` jump of the original
+                // scheduler, bit for bit.)
                 let arrival = next.arrival_seconds;
-                now = match self.batcher.next_dispatch_at(&self.queue, now) {
-                    Some(linger) => linger.min(arrival).max(now),
-                    None => arrival,
-                };
+                match self.batcher.next_dispatch_at(&self.queue, now) {
+                    Some(linger) => clock.wait_until(linger.min(arrival)),
+                    None => clock.wait_until(arrival),
+                }
             } else if self.queue.is_empty() {
                 break;
             }
         }
 
-        let makespan = (now - start).max(0.0);
+        let makespan = (clock.now() - start).max(0.0);
         sp.end_with(&[
             ("responses", &responses.len().to_string()),
             ("sheds", &sheds.len().to_string()),

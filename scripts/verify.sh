@@ -18,13 +18,13 @@ cargo test -q --offline --test paper_claims --test observability --test differen
 cargo clippy --workspace --all-targets --offline -- -D warnings
 cargo fmt --check
 
-# Crash-only lint wall: sw-simd and sw-serve deny clippy::unwrap_used /
+# Crash-only lint wall: sw-simd, sw-serve and sw-gateway deny clippy::unwrap_used /
 # clippy::expect_used in non-test code at the crate level
 # (#![cfg_attr(not(test), deny(...))] in each lib.rs — the lints must be
 # denied by attribute, not by -D flags here, because command-line -D
 # leaks into the path-dependency shims). This named invocation keeps the
 # gate attributable even if the workspace-wide clippy line changes.
-cargo clippy -q --offline -p sw-simd -p sw-serve --lib -- -D warnings
+cargo clippy -q --offline -p sw-simd -p sw-serve -p sw-gateway --lib -- -D warnings
 
 # Cross-feature matrix for the host SIMD backend: the emulated portable
 # path must keep building and passing with the native backends compiled
@@ -157,5 +157,25 @@ if [[ -f BENCH_soak.json ]]; then
     }
   }' >&2
 fi
+
+# Wall-clock serving gate: the sw-gateway smoke (real lane worker
+# threads, open-loop load generator, end-to-end latency) must resolve
+# every request exactly once across all three profiles (asserted inside
+# the experiment) and emit a well-formed cudasw.bench.serve/v1
+# trajectory. Against the committed baseline the run is gated: shed and
+# deadline-miss rates always; latency tails only on hosts with >=4
+# hardware threads (`repro serve-rt` exits non-zero on failure).
+serve_rt_args=(serve-rt --smoke --out "$tmp/BENCH_serve.json")
+if [[ -f BENCH_serve.json ]]; then
+  serve_rt_args+=(--baseline BENCH_serve.json)
+fi
+cargo run -q --release --offline -p cudasw-bench --bin repro -- \
+  "${serve_rt_args[@]}" >/dev/null
+grep -q '"schema": "cudasw.bench.serve/v1"' "$tmp/BENCH_serve.json"
+grep -q '"profile": "steady"' "$tmp/BENCH_serve.json"
+grep -q '"profile": "bursty"' "$tmp/BENCH_serve.json"
+grep -q '"profile": "overload"' "$tmp/BENCH_serve.json"
+grep -q '"p999_ms"' "$tmp/BENCH_serve.json"
+grep -q '"deadline_miss_rate"' "$tmp/BENCH_serve.json"
 
 echo "verify: OK"
