@@ -13,6 +13,7 @@
 //! repro soak [--smoke] [--out <file.json>]
 //! repro host-chaos [--seeds <a,b,c>] [--out <file.json>]
 //! repro serve-rt [--smoke] [--requests <n>] [--out <file.json>] [--baseline <file>]
+//! repro device-opt [--smoke] [--out <file.json>] [--baseline <file>]
 //! ```
 //!
 //! `--inject-faults <seed>` selects the random fault seed for the chaos
@@ -61,6 +62,22 @@
 //! always, latency tails only on hosts with ≥ 4 hardware threads (a
 //! 1-core box time-slices the lanes and certifies nothing about tails).
 //!
+//! `device-opt` runs the §VII device-kernel optimization matrix
+//! (baseline, each optimization alone, all together) through the
+//! simulator on a trimmed Fermi and records the counted metric each
+//! optimization claims to move: inter-task global transactions
+//! (shared-memory staging), hidden stall cycles (cross-strip fusion),
+//! hidden H2D seconds (streamed copy), and intra-task block-cycle
+//! imbalance (SaLoBa balance), plus a CRC of the scores. The built-in
+//! invariant gates (score/byte/cell identity, the ≥ 4× staging
+//! transaction cut, fusion hiding stalls the baseline exposes, the
+//! streamed-copy accounting identity, balance never worsening skew)
+//! always run and exit non-zero on failure. With `--out` it writes the
+//! append-only `cudasw.bench.device/v1` trajectory (`BENCH_device.json`),
+//! keyed by git rev + workload config + device; with `--baseline <file>`
+//! the fresh entry is additionally compared row-by-row against the
+//! latest comparable committed entry (GCUPs floor, transaction ceiling).
+//!
 //! `trace` runs any experiment under the observability recorder and dumps
 //! its span timeline as a Chrome `trace_event` JSON file — load it in
 //! Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing` to see the
@@ -80,9 +97,9 @@
 use std::sync::OnceLock;
 
 use cudasw_bench::experiments::{
-    ablation, chaos, extensions, fig2, fig3, fig5, fig6, fig7, host, host_chaos, host_trajectory,
-    integrity, multigpu, retune, serve, serve_rt, serve_trajectory, soak, strips, table1, table2,
-    validation,
+    ablation, chaos, device_opt, device_trajectory, extensions, fig2, fig3, fig5, fig6, fig7, host,
+    host_chaos, host_trajectory, integrity, multigpu, retune, serve, serve_rt, serve_trajectory,
+    soak, strips, table1, table2, validation,
 };
 use gpu_sim::DeviceSpec;
 
@@ -142,6 +159,7 @@ fn main() {
         ("serve-rt", run_serve_rt_smoke),
         ("host", run_host_smoke),
         ("host-chaos", run_host_chaos_smoke),
+        ("device-opt", run_device_opt_smoke),
     ];
     match cmd {
         "all" => {
@@ -155,6 +173,7 @@ fn main() {
         "soak" => run_soak(&args[1..]),
         "serve-rt" => run_serve_rt(&args[1..]),
         "host-chaos" => run_host_chaos(&args[1..]),
+        "device-opt" => run_device_opt(&args[1..]),
         "help" | "--help" | "-h" => {
             println!(
                 "usage: repro <experiment> [--inject-faults <seed>] [--checkpoint <dir>] [--resume]"
@@ -168,9 +187,10 @@ fn main() {
             println!(
                 "       repro serve-rt [--smoke] [--requests <n>] [--out <file.json>] [--baseline <file>]"
             );
+            println!("       repro device-opt [--smoke] [--out <file.json>] [--baseline <file>]");
             println!("experiments: all, fig2, fig3, fig5, fig6, fig7, table1, table2,");
             println!("             ablation, strips, retune, extensions, validation, chaos,");
-            println!("             integrity, serve, soak, host, host-chaos, serve-rt");
+            println!("             integrity, serve, soak, host, host-chaos, serve-rt, device-opt");
             println!("--inject-faults <seed>: fault seed for the chaos run (default 42)");
             println!("--checkpoint <dir>: write chunk-completion logs there during chaos");
             println!("--resume: replay existing logs in the checkpoint dir instead of wiping it");
@@ -691,6 +711,129 @@ fn run_host(rest: &[String]) {
     if baseline_path.is_some() {
         println!("host perf gate passed (GCUPS regression + thread-scaling checks).");
     }
+}
+
+/// `repro device-opt` inside `repro all`: smoke scale, invariant gates
+/// only (no trajectory file involved).
+fn run_device_opt_smoke() {
+    let r = device_opt::run(true);
+    r.table().print();
+    let entry = device_trajectory::TrajectoryEntry::from_result(&r, &git_rev());
+    let failures = device_trajectory::invariant_gates(&entry);
+    if !failures.is_empty() {
+        eprintln!("device optimization invariant gates FAILED:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("device optimization invariant gates passed (smoke scale).");
+}
+
+/// `repro device-opt [--smoke] [--out <file.json>] [--baseline <file>]`
+fn run_device_opt(rest: &[String]) {
+    let mut rest: Vec<String> = rest.to_vec();
+    let mut out_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut smoke = false;
+    if let Some(pos) = rest.iter().position(|a| a == "--smoke") {
+        smoke = true;
+        rest.remove(pos);
+    }
+    if let Some(pos) = rest.iter().position(|a| a == "--out") {
+        match rest.get(pos + 1) {
+            Some(p) => out_path = Some(p.clone()),
+            None => {
+                eprintln!("--out needs a file path");
+                std::process::exit(2);
+            }
+        }
+        rest.drain(pos..=pos + 1);
+    }
+    if let Some(pos) = rest.iter().position(|a| a == "--baseline") {
+        match rest.get(pos + 1) {
+            Some(p) => baseline_path = Some(p.clone()),
+            None => {
+                eprintln!("--baseline needs a file path");
+                std::process::exit(2);
+            }
+        }
+        rest.drain(pos..=pos + 1);
+    }
+    if !rest.is_empty() {
+        eprintln!(
+            "unexpected arguments {rest:?}; usage: \
+             repro device-opt [--smoke] [--out <file.json>] [--baseline <file>]"
+        );
+        std::process::exit(2);
+    }
+
+    let r = device_opt::run(smoke);
+    r.table().print();
+    let entry = device_trajectory::TrajectoryEntry::from_result(&r, &git_rev());
+
+    let mut trajectory = match &baseline_path {
+        Some(p) => {
+            let text = match std::fs::read_to_string(p) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("cannot read baseline {p}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            match device_trajectory::Trajectory::parse(&text) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot parse baseline {p}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => device_trajectory::Trajectory::default(),
+    };
+
+    // The counted per-optimization claims gate every run, baseline or not.
+    let mut failures = device_trajectory::invariant_gates(&entry);
+    if let Some(base) = trajectory.baseline_for(&entry) {
+        println!(
+            "comparing against committed entry (rev {}, config {}, device {})",
+            base.rev, base.config, base.device
+        );
+        failures.extend(device_trajectory::regressions(base, &entry));
+    } else if baseline_path.is_some() {
+        println!(
+            "no comparable committed entry (config {}, device {}): recording only",
+            entry.config, entry.device
+        );
+    }
+    trajectory.append(entry);
+
+    if let Some(out_path) = out_path {
+        if let Err(e) = std::fs::write(&out_path, trajectory.to_json()) {
+            eprintln!("cannot write {out_path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "wrote device trajectory ({} entries, {}) to {out_path}",
+            trajectory.entries.len(),
+            device_trajectory::SCHEMA
+        );
+    }
+    if !failures.is_empty() {
+        eprintln!("device perf gate FAILED:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "device perf gate passed (score/byte identity + per-optimization counters{}).",
+        if baseline_path.is_some() {
+            " + committed-baseline comparison"
+        } else {
+            ""
+        }
+    );
 }
 
 fn print_host_summary(r: &host::HostBenchResult) {

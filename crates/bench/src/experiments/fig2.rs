@@ -74,25 +74,65 @@ pub fn paper_stds() -> Vec<f64> {
     ]
 }
 
+// Figure 2 acceptance bands, shared by this module's unit tests and the
+// workspace paper-claims suite so the two can never drift apart.
+
+/// The inter-task curve must fall to below this fraction of its low-σ
+/// value across the paper's sweep (the paper's curve roughly halves
+/// before the crossover).
+pub const INTER_COLLAPSE_MAX_FRACTION: f64 = 0.6;
+/// The intra-task curve is variance-insensitive: its relative swing over
+/// the whole sweep stays below this bound (the paper's curve is flat).
+pub const INTRA_MAX_RELATIVE_SWING: f64 = 0.5;
+/// At σ = 100 the inter-task kernel must lead the intra-task kernel by
+/// at least this factor (the paper's gap is an order of magnitude).
+pub const LOW_STD_MIN_GAP: f64 = 5.0;
+/// At σ = 4000 the inter-task advantage must have collapsed to parity
+/// within this ratio (the paper's curves have crossed by then; this
+/// reproduction reaches ≈1x — EXPERIMENTS.md, "Known divergences").
+pub const HIGH_STD_PARITY_MAX_RATIO: f64 = 1.1;
+
+impl Fig2Result {
+    /// Inter/intra GCUPs ratio at the first and last sweep point; `None`
+    /// for an empty sweep.
+    pub fn endpoint_ratios(&self) -> Option<(f64, f64)> {
+        let ratio = |i: &(f64, f64), o: &(f64, f64)| i.1 / o.1;
+        match (
+            self.inter.points.first().zip(self.intra.points.first()),
+            self.inter.points.last().zip(self.intra.points.last()),
+        ) {
+            (Some((i0, o0)), Some((i1, o1))) => Some((ratio(i0, o0), ratio(i1, o1))),
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// First and last GCUPs of a sweep series (sweeps here are never
+    /// empty; panics with a message instead of a bare unwrap if one is).
+    fn endpoints(s: &Series) -> (f64, f64) {
+        match (s.points.first(), s.points.last()) {
+            (Some(first), Some(last)) => (first.1, last.1),
+            _ => panic!("empty σ sweep in series {:?}", s.label),
+        }
+    }
 
     #[test]
     fn inter_task_degrades_with_variance_intra_does_not() {
         let spec = DeviceSpec::tesla_c1060();
         let r = run(&spec, 15_360, &paper_stds(), 567);
-        let inter_first = r.inter.points.first().unwrap().1;
-        let inter_last = r.inter.points.last().unwrap().1;
+        let (inter_first, inter_last) = endpoints(&r.inter);
         assert!(
-            inter_last < inter_first * 0.6,
+            inter_last < inter_first * INTER_COLLAPSE_MAX_FRACTION,
             "inter-task should collapse: {inter_first:.1} -> {inter_last:.1}"
         );
-        let intra_first = r.intra.points.first().unwrap().1;
-        let intra_last = r.intra.points.last().unwrap().1;
+        let (intra_first, intra_last) = endpoints(&r.intra);
         let swing = (intra_last - intra_first).abs() / intra_first.max(1e-9);
         assert!(
-            swing < 0.5,
+            swing < INTRA_MAX_RELATIVE_SWING,
             "intra-task should be flat-ish, swing {swing:.2}"
         );
     }
@@ -107,11 +147,12 @@ mod tests {
         // at low σ that closes to ≈1x at the top of the sweep.
         let spec = DeviceSpec::tesla_c1060();
         let r = run(&spec, 15_360, &paper_stds(), 567);
-        let ratio_first = r.inter.points.first().unwrap().1 / r.intra.points.first().unwrap().1;
-        let ratio_last = r.inter.points.last().unwrap().1 / r.intra.points.last().unwrap().1;
-        assert!(ratio_first > 5.0, "low-σ gap {ratio_first:.2}x");
+        let Some((ratio_first, ratio_last)) = r.endpoint_ratios() else {
+            panic!("empty σ sweep");
+        };
+        assert!(ratio_first > LOW_STD_MIN_GAP, "low-σ gap {ratio_first:.2}x");
         assert!(
-            ratio_last < 1.1,
+            ratio_last < HIGH_STD_PARITY_MAX_RATIO,
             "inter-task must collapse to intra-task parity: {ratio_last:.2}x"
         );
     }

@@ -2,6 +2,8 @@
 
 pub mod ablation;
 pub mod chaos;
+pub mod device_opt;
+pub mod device_trajectory;
 pub mod extensions;
 pub mod fig2;
 pub mod fig3;

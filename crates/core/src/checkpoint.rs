@@ -205,11 +205,15 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Option<u32> {
-        Some(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let b = self.take(4)?;
+        Some(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     fn u64(&mut self) -> Option<u64> {
-        Some(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let b = self.take(8)?;
+        Some(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 
     fn f64(&mut self) -> Option<f64> {
@@ -217,7 +221,7 @@ impl<'a> Reader<'a> {
     }
 
     fn i32(&mut self) -> Option<i32> {
-        Some(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Some(self.u32()? as i32)
     }
 
     fn str(&mut self) -> Option<String> {
@@ -406,9 +410,11 @@ pub fn decode_log(bytes: &[u8], expected_fingerprint: u64) -> LoadedLog {
         return empty(LoadIssue::BadHeader);
     }
     let mut r = Reader::new(&bytes[8..HEADER_LEN]);
-    let version = r.u32().unwrap();
-    let fingerprint = r.u64().unwrap();
-    let header_crc = r.u32().unwrap();
+    // The length check above guarantees these reads; a short header is
+    // still reported as damage, never a panic.
+    let (Some(version), Some(fingerprint), Some(header_crc)) = (r.u32(), r.u64(), r.u32()) else {
+        return empty(LoadIssue::BadHeader);
+    };
     if crc32(&bytes[..HEADER_LEN - 4]) != header_crc || version != FORMAT_VERSION {
         return empty(LoadIssue::BadHeader);
     }

@@ -11,7 +11,8 @@
 //! what Figure 5(b) plots, and accumulates host→device transfer time for
 //! the streamed-copy experiment of §VI.
 
-use crate::inter_task::InterTaskKernel;
+use crate::balance::residue_balanced_bins;
+use crate::inter_task::{InterTaskKernel, TILE_COLS};
 use crate::intra_improved::{ImprovedIntraKernel, ImprovedParams, VariantConfig};
 use crate::intra_orig::{IntraPair, OriginalIntraKernel};
 use crate::seqstore::{pack_residues, GroupImage, ProfileImage, SeqImage};
@@ -52,6 +53,79 @@ pub(crate) fn phase_run_stats(delta: &MetricsRegistry, phase: &str) -> RunStats 
     }
 }
 
+/// §VII device-level optimization toggles. All default **off**, which is
+/// the paper's published kernel behaviour; every flag is independently
+/// switchable and every combination computes bit-identical scores (held
+/// by the differential suite) — the flags change *where traffic flows and
+/// when*, never *what is computed*.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceKernelConfig {
+    /// Stage inter-task strip-boundary H/F traffic in shared memory by
+    /// processing subjects in column panels; only per-strip edge state
+    /// crosses panel seams through global scratch.
+    pub boundary_staging: bool,
+    /// Run subject groups that fit a single panel entirely out of shared
+    /// memory: no global intermediates at all, score store only.
+    pub shared_only: bool,
+    /// Cross-strip pipeline fusion in the improved intra-task kernel: one
+    /// fill/flush per alignment instead of one per strip (counted as
+    /// hidden latency, never silently dropped).
+    pub pipeline_fusion: bool,
+    /// Stream host→device copies so transfer overlaps kernel execution;
+    /// bytes moved are unchanged, only the exposed critical path shrinks.
+    pub streamed_h2d: bool,
+    /// SaLoBa-style residue-balanced assignment of long subjects to
+    /// intra-task blocks (arXiv:2301.09310), replacing one-block-per-pair.
+    pub balanced_intra: bool,
+}
+
+impl DeviceKernelConfig {
+    /// Every optimization on.
+    pub fn all_on() -> Self {
+        Self {
+            boundary_staging: true,
+            shared_only: true,
+            pipeline_fusion: true,
+            streamed_h2d: true,
+            balanced_intra: true,
+        }
+    }
+
+    /// All 32 flag combinations, baseline first — the differential-test
+    /// and bench matrix.
+    pub fn all_combinations() -> Vec<Self> {
+        (0u8..32)
+            .map(|bits| Self {
+                boundary_staging: bits & 1 != 0,
+                shared_only: bits & 2 != 0,
+                pipeline_fusion: bits & 4 != 0,
+                streamed_h2d: bits & 8 != 0,
+                balanced_intra: bits & 16 != 0,
+            })
+            .collect()
+    }
+
+    /// Stable short id for bench keys and labels ("none", "staging+fusion",
+    /// "all", ...).
+    pub fn label(&self) -> String {
+        let names = [
+            (self.boundary_staging, "staging"),
+            (self.shared_only, "shared"),
+            (self.pipeline_fusion, "fusion"),
+            (self.streamed_h2d, "stream"),
+            (self.balanced_intra, "balance"),
+        ];
+        let on: Vec<&str> = names.iter().filter(|(f, _)| *f).map(|&(_, n)| n).collect();
+        if on.is_empty() {
+            "none".to_string()
+        } else if on.len() == names.len() {
+            "all".to_string()
+        } else {
+            on.join("+")
+        }
+    }
+}
+
 /// Which intra-task kernel the application uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IntraKernelChoice {
@@ -74,6 +148,8 @@ pub struct CudaSwConfig {
     pub improved: ImprovedParams,
     /// Selected intra-task kernel.
     pub intra: IntraKernelChoice,
+    /// §VII device-level optimization toggles (default all off).
+    pub device: DeviceKernelConfig,
 }
 
 impl CudaSwConfig {
@@ -85,6 +161,7 @@ impl CudaSwConfig {
             inter_threads_per_block: 256,
             improved: ImprovedParams::default(),
             intra: IntraKernelChoice::Improved(VariantConfig::improved()),
+            device: DeviceKernelConfig::default(),
         }
     }
 
@@ -195,6 +272,22 @@ impl CudaSwDriver {
         let sp_search = obs::span("search", "phase");
         let metrics_before = obs::snapshot_metrics();
         self.dev.free_all();
+        let dc = self.config.device;
+        if dc.streamed_h2d {
+            // §VII streamed copy: one stream session per search; every
+            // kernel launch deposits overlap credit that hides the body
+            // of subsequent H2D copies. Bytes moved are unchanged.
+            self.dev.begin_h2d_stream();
+        }
+        // §VII staging panel width for this device/config (0 = baseline).
+        let panel = if dc.boundary_staging || dc.shared_only {
+            InterTaskKernel::panel_cols(
+                self.config.inter_threads_per_block,
+                self.dev.spec.shared_mem_per_sm,
+            )
+        } else {
+            0
+        };
         let partition = db.partition(self.config.threshold);
         let fraction_long = partition.fraction_long();
         let mut scores = vec![0i32; db.len()];
@@ -222,9 +315,22 @@ impl CudaSwDriver {
             let (gimg, secs) = GroupImage::upload(&mut self.dev, group)?;
             transfer_seconds += secs;
             let max_cols = group.iter().map(|g| g.len()).max().unwrap_or(0);
-            let boundary = self
-                .dev
-                .alloc(InterTaskKernel::boundary_words(gimg.width, max_cols).max(1))?;
+            // Staged order runs when boundary staging is on, or when the
+            // shared-memory-only kernel applies (whole group in one panel).
+            let use_panel = panel >= TILE_COLS
+                && (dc.boundary_staging || (dc.shared_only && max_cols <= panel));
+            let panel_cols = if use_panel { panel } else { 0 };
+            let boundary = self.dev.alloc(if panel_cols > 0 {
+                1 // staged order never touches the global boundary planes
+            } else {
+                InterTaskKernel::boundary_words(gimg.width, max_cols).max(1)
+            })?;
+            let edge_w = InterTaskKernel::edge_words(gimg.width, query.len(), panel_cols, max_cols);
+            let edge = if edge_w > 0 {
+                Some(self.dev.alloc(edge_w)?)
+            } else {
+                None
+            };
             let kernel = InterTaskKernel {
                 group: &gimg,
                 profile: &profile,
@@ -232,9 +338,14 @@ impl CudaSwDriver {
                 boundary,
                 max_cols,
                 threads_per_block: self.config.inter_threads_per_block,
+                panel_cols,
+                edge,
             };
             let blocks = kernel.grid_blocks();
             let stats = self.dev.launch(&kernel, blocks, "inter_task")?;
+            if dc.streamed_h2d {
+                self.dev.add_h2d_overlap_credit(stats.seconds);
+            }
             note_phase_launch("inter", &stats);
             let (raw, secs) = self.dev.copy_from_device(gimg.scores, gimg.width)?;
             transfer_seconds += secs;
@@ -288,6 +399,10 @@ impl CudaSwDriver {
                             variant.boundary_in_shared = false;
                         }
                     }
+                    if dc.pipeline_fusion {
+                        // §VII fusion: one fill/flush per alignment.
+                        variant.continuous_pipeline = true;
+                    }
                     let boundary = self
                         .dev
                         .alloc(ImprovedIntraKernel::boundary_words(pairs.len(), max_len))?;
@@ -295,6 +410,15 @@ impl CudaSwDriver {
                         pairs.len(),
                         &self.config.improved,
                     ))?;
+                    // SaLoBa residue balance: bins of pairs per block
+                    // instead of one block per pair.
+                    let schedule = if dc.balanced_intra {
+                        let lengths: Vec<usize> = pairs.iter().map(|p| p.len).collect();
+                        let bins = (self.dev.spec.sm_count as usize).min(pairs.len());
+                        Some(residue_balanced_bins(&lengths, bins))
+                    } else {
+                        None
+                    };
                     let kernel = ImprovedIntraKernel {
                         pairs: &pairs,
                         profile: &profile,
@@ -305,11 +429,15 @@ impl CudaSwDriver {
                         params: self.config.improved,
                         variant,
                         step_latency_cycles: 30,
+                        schedule: schedule.as_deref(),
                     };
-                    self.dev
-                        .launch(&kernel, pairs.len() as u32, "intra_improved")?
+                    let blocks = schedule.as_ref().map_or(pairs.len(), Vec::len) as u32;
+                    self.dev.launch(&kernel, blocks, "intra_improved")?
                 }
             };
+            if dc.streamed_h2d {
+                self.dev.add_h2d_overlap_credit(stats.seconds);
+            }
             note_phase_launch("intra", &stats);
             for (k, pair) in pairs.iter().enumerate() {
                 let (v, secs) = self.dev.copy_from_device(pair.score, 1)?;
@@ -319,6 +447,9 @@ impl CudaSwDriver {
             sp_intra.end_with(&[]);
         }
 
+        if dc.streamed_h2d {
+            self.dev.end_h2d_stream();
+        }
         // Phase accounting lives in the metrics registry; the RunStats
         // fields of the result are views reconstructed from this search's
         // delta.

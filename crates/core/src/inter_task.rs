@@ -13,6 +13,26 @@
 //! warp's 32 threads read 32 adjacent words — fully coalesced. A launch
 //! only retires when every lane has finished its own sequence, which is
 //! exactly the load-imbalance sensitivity of Figure 2.
+//!
+//! ## §VII shared-memory staging (`panel_cols > 0`)
+//!
+//! The baseline kernel streams every strip across the whole subject, so
+//! each H/F strip-boundary column makes a round trip through global
+//! memory — `4·n` transactions per strip crossing. The §VII staged mode
+//! restructures the loop nest *column-panel-major*: subjects are cut into
+//! panels of [`InterTaskKernel::panel_cols`] columns, and within a panel
+//! all strips run top to bottom with the boundary rows held in a shared
+//! memory slab (per-thread slots, conflict-free) instead of global
+//! memory. The only global traffic left is the per-strip *left-edge*
+//! register state ([`EDGE_WORDS_PER_STRIP`] words per lane) saved and
+//! restored at panel seams through a coalesced interleaved scratch — a
+//! fixed 2×17 transactions per (panel, strip) against the baseline's
+//! `4·panel_cols`, i.e. a ≥4× counted reduction from `panel_cols ≥ 40`
+//! and ~7.5× at the 64-column cap. When the whole subject fits one panel
+//! (the §VII "shared-memory-only kernel") the edge scratch is never
+//! touched and boundary traffic is *zero*. Scores are bit-identical to
+//! the baseline order: the DP per cell and the state handed across every
+//! seam are exactly the registers the baseline carries.
 
 #![allow(clippy::needless_range_loop)] // lane loops mirror SIMT semantics
 use crate::seqstore::{unpack_residue, GroupImage, ProfileImage};
@@ -27,6 +47,14 @@ pub const TILE_ROWS: usize = 8;
 /// Columns per register tile.
 pub const TILE_COLS: usize = 4;
 
+/// Per-lane register state carried across a panel seam for one strip:
+/// `h_left[8]`, `e_left[8]` and the diagonal — 17 words.
+pub const EDGE_WORDS_PER_STRIP: usize = 2 * TILE_ROWS + 1;
+
+/// Widest staging panels get: beyond this the fixed 2×17-word edge cost
+/// is already amortized to noise and wider slabs only crowd shared memory.
+pub const MAX_PANEL_COLS: usize = 64;
+
 /// The inter-task kernel over one staged group.
 pub struct InterTaskKernel<'a> {
     /// The group's interleaved residues, lengths and score slots.
@@ -36,12 +64,21 @@ pub struct InterTaskKernel<'a> {
     /// Gap penalties (kernel parameters).
     pub gaps: GapPenalties,
     /// Strip-boundary buffer: a plane of `H` then a plane of `F`, each
-    /// `max_cols × width` words, interleaved by thread.
+    /// `max_cols × width` words, interleaved by thread. Unused (may be a
+    /// 1-word placeholder) when `panel_cols > 0`.
     pub boundary: DevicePtr,
     /// Columns covered by each boundary plane (max sequence length).
     pub max_cols: usize,
     /// Threads per block (CUDASW++ default 256).
     pub threads_per_block: u32,
+    /// §VII shared-memory staging: boundary panel width in columns
+    /// (a multiple of [`TILE_COLS`], see [`InterTaskKernel::panel_cols`]).
+    /// `0` selects the baseline global-boundary path.
+    pub panel_cols: usize,
+    /// Per-strip left-edge scratch for panel seams
+    /// ([`InterTaskKernel::edge_words`] words, interleaved by thread).
+    /// `None` is valid whenever every subject fits a single panel.
+    pub edge: Option<DevicePtr>,
 }
 
 impl<'a> InterTaskKernel<'a> {
@@ -55,6 +92,45 @@ impl<'a> InterTaskKernel<'a> {
         2 * width * max_cols
     }
 
+    /// Widest boundary panel (a multiple of [`TILE_COLS`], capped at
+    /// [`MAX_PANEL_COLS`]) whose H and F staging planes fit `shared_mem`
+    /// bytes for blocks of `threads_per_block` threads. Returns 0 when
+    /// not even one tile's columns fit — callers fall back to the
+    /// baseline path.
+    pub fn panel_cols(threads_per_block: u32, shared_mem_bytes: u32) -> usize {
+        let budget_words = shared_mem_bytes as usize / 4;
+        let per_col_words = 2 * threads_per_block as usize;
+        if per_col_words == 0 {
+            return 0;
+        }
+        ((budget_words / per_col_words).min(MAX_PANEL_COLS) / TILE_COLS) * TILE_COLS
+    }
+
+    /// Edge-scratch words the driver must allocate for a staged group: 0
+    /// when every subject fits one panel (the shared-memory-only case),
+    /// else one [`EDGE_WORDS_PER_STRIP`] record per (strip, thread).
+    pub fn edge_words(width: usize, query_len: usize, panel_cols: usize, max_cols: usize) -> usize {
+        if panel_cols == 0 || max_cols <= panel_cols {
+            return 0;
+        }
+        let strips = query_len.div_ceil(TILE_ROWS).max(1);
+        strips * EDGE_WORDS_PER_STRIP * width
+    }
+
+    /// Shared words per block for [`LaunchConfig`]: two staging planes of
+    /// `panel_cols` columns with one slot per thread.
+    fn shared_words(&self) -> u32 {
+        (2 * self.panel_cols * self.threads_per_block as usize) as u32
+    }
+
+    /// Whether this launch runs the §VII column-panel-major staged order.
+    /// Single-strip queries have no boundary at all — the baseline order
+    /// is already optimal (and byte-identical), so staging disables
+    /// itself there.
+    fn panel_mode(&self) -> bool {
+        self.panel_cols >= TILE_COLS && self.profile.query_len.div_ceil(TILE_ROWS) > 1
+    }
+
     #[inline]
     fn boundary_h_addr(&self, col: usize, g: usize) -> usize {
         self.boundary.addr() + col * self.group.width + g
@@ -63,6 +139,27 @@ impl<'a> InterTaskKernel<'a> {
     #[inline]
     fn boundary_f_addr(&self, col: usize, g: usize) -> usize {
         self.boundary.addr() + (self.max_cols + col) * self.group.width + g
+    }
+
+    /// Shared-slab address of the staged boundary-H slot for panel column
+    /// `pc` and block thread `t` (per-thread slots: lanes are adjacent,
+    /// conflict-free).
+    #[inline]
+    fn shared_h_addr(&self, pc: usize, t: usize) -> usize {
+        pc * self.threads_per_block as usize + t
+    }
+
+    /// Shared-slab address of the staged boundary-F slot.
+    #[inline]
+    fn shared_f_addr(&self, pc: usize, t: usize) -> usize {
+        (self.panel_cols + pc) * self.threads_per_block as usize + t
+    }
+
+    /// Edge-scratch address of word `k` of strip `r`'s record for
+    /// sequence `g` (interleaved by thread: a warp's lanes are adjacent).
+    #[inline]
+    fn edge_addr(&self, edge: DevicePtr, r: usize, k: usize, g: usize) -> usize {
+        edge.addr() + (r * EDGE_WORDS_PER_STRIP + k) * self.group.width + g
     }
 
     /// Run one warp's lanes to completion (all strips, all tiles).
@@ -92,7 +189,9 @@ impl<'a> InterTaskKernel<'a> {
         let max_tiles = max_n.div_ceil(TILE_COLS);
         let mut best = [0i32; WARP_SIZE];
 
-        if m > 0 {
+        if m > 0 && self.panel_mode() {
+            self.run_warp_panels(ctx, warp, g0, &lane_n, &lane_live, max_tiles, &mut best)?;
+        } else if m > 0 {
             for r in 0..strips {
                 let i0 = r * TILE_ROWS;
                 let rows_real = TILE_ROWS.min(m - i0);
@@ -122,6 +221,9 @@ impl<'a> InterTaskKernel<'a> {
                             last_strip,
                             open,
                             extend,
+                            t0: warp as usize * WARP_SIZE,
+                            panel_j0: 0,
+                            in_shared: false,
                         },
                         &lane_n,
                         &lane_live,
@@ -147,6 +249,183 @@ impl<'a> InterTaskKernel<'a> {
         Ok(())
     }
 
+    /// The §VII staged order: column panels outer, strips inner, with the
+    /// strip boundary held in shared memory and only the per-strip
+    /// left-edge registers crossing panel seams through global scratch.
+    #[allow(clippy::too_many_arguments)]
+    fn run_warp_panels(
+        &self,
+        ctx: &mut BlockCtx<'_>,
+        warp: u32,
+        g0: usize,
+        lane_n: &[usize; WARP_SIZE],
+        lane_live: &[bool; WARP_SIZE],
+        max_tiles: usize,
+        best: &mut [i32; WARP_SIZE],
+    ) -> Result<(), GpuError> {
+        let m = self.profile.query_len;
+        let strips = m.div_ceil(TILE_ROWS);
+        let (open, extend) = (self.gaps.open, self.gaps.extend);
+        let t0 = warp as usize * WARP_SIZE;
+        let panel_tiles = self.panel_cols / TILE_COLS;
+        let n_panels = max_tiles.div_ceil(panel_tiles).max(1);
+        let edge = if n_panels > 1 {
+            Some(self.edge.ok_or_else(|| GpuError::InvalidLaunch {
+                reason: "panel staging needs an edge scratch for multi-panel subjects".into(),
+            })?)
+        } else {
+            None
+        };
+
+        for p in 0..n_panels {
+            let tile0 = p * panel_tiles;
+            let tile1 = (tile0 + panel_tiles).min(max_tiles);
+            let panel_j0 = tile0 * TILE_COLS;
+            let mut panel_any = false;
+            for lane in 0..WARP_SIZE {
+                panel_any |= lane_live[lane] && panel_j0 < lane_n[lane];
+            }
+            if !panel_any {
+                break;
+            }
+            for r in 0..strips {
+                let i0 = r * TILE_ROWS;
+                let rows_real = TILE_ROWS.min(m - i0);
+                let last_strip = r + 1 == strips;
+                let mut h_left = [[0i32; TILE_ROWS]; WARP_SIZE];
+                let mut e_left = [[NEG; TILE_ROWS]; WARP_SIZE];
+                let mut diag = [0i32; WARP_SIZE];
+                if p > 0 {
+                    if let Some(edge) = edge {
+                        self.load_edge(
+                            ctx,
+                            edge,
+                            r,
+                            g0,
+                            lane_live,
+                            &mut h_left,
+                            &mut e_left,
+                            &mut diag,
+                        )?;
+                    }
+                }
+                for tile in tile0..tile1 {
+                    let j0 = tile * TILE_COLS;
+                    let mut tile_any = false;
+                    for lane in 0..WARP_SIZE {
+                        tile_any |= lane_live[lane] && j0 < lane_n[lane];
+                    }
+                    if !tile_any {
+                        break;
+                    }
+                    self.run_tile(
+                        ctx,
+                        TileArgs {
+                            g0,
+                            r,
+                            i0,
+                            j0,
+                            rows_real,
+                            last_strip,
+                            open,
+                            extend,
+                            t0,
+                            panel_j0,
+                            in_shared: true,
+                        },
+                        lane_n,
+                        lane_live,
+                        &mut h_left,
+                        &mut e_left,
+                        &mut diag,
+                        best,
+                    )?;
+                }
+                if tile1 < max_tiles {
+                    if let Some(edge) = edge {
+                        self.store_edge(ctx, edge, r, g0, lane_live, &h_left, &e_left, &diag)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Restore a strip's left-edge registers from the panel-seam scratch
+    /// (17 coalesced loads; lanes finished earlier read stale words that
+    /// the `active` guard never uses).
+    #[allow(clippy::too_many_arguments)]
+    fn load_edge(
+        &self,
+        ctx: &mut BlockCtx<'_>,
+        edge: DevicePtr,
+        r: usize,
+        g0: usize,
+        lane_live: &[bool; WARP_SIZE],
+        h_left: &mut [[i32; TILE_ROWS]; WARP_SIZE],
+        e_left: &mut [[i32; TILE_ROWS]; WARP_SIZE],
+        diag: &mut [i32; WARP_SIZE],
+    ) -> Result<(), GpuError> {
+        for k in 0..EDGE_WORDS_PER_STRIP {
+            let mut access = WarpAccess::empty();
+            for lane in 0..WARP_SIZE {
+                if lane_live[lane] {
+                    access.set(lane, self.edge_addr(edge, r, k, g0 + lane));
+                }
+            }
+            let vals = ctx.global_load(&access)?;
+            for lane in 0..WARP_SIZE {
+                if !lane_live[lane] {
+                    continue;
+                }
+                let v = vals[lane] as i32;
+                if k < TILE_ROWS {
+                    h_left[lane][k] = v;
+                } else if k < 2 * TILE_ROWS {
+                    e_left[lane][k - TILE_ROWS] = v;
+                } else {
+                    diag[lane] = v;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Save a strip's left-edge registers to the panel-seam scratch
+    /// (17 coalesced stores).
+    #[allow(clippy::too_many_arguments)]
+    fn store_edge(
+        &self,
+        ctx: &mut BlockCtx<'_>,
+        edge: DevicePtr,
+        r: usize,
+        g0: usize,
+        lane_live: &[bool; WARP_SIZE],
+        h_left: &[[i32; TILE_ROWS]; WARP_SIZE],
+        e_left: &[[i32; TILE_ROWS]; WARP_SIZE],
+        diag: &[i32; WARP_SIZE],
+    ) -> Result<(), GpuError> {
+        for k in 0..EDGE_WORDS_PER_STRIP {
+            let mut access = WarpAccess::empty();
+            let mut vals = [0u32; WARP_SIZE];
+            for lane in 0..WARP_SIZE {
+                if !lane_live[lane] {
+                    continue;
+                }
+                access.set(lane, self.edge_addr(edge, r, k, g0 + lane));
+                vals[lane] = if k < TILE_ROWS {
+                    h_left[lane][k] as u32
+                } else if k < 2 * TILE_ROWS {
+                    e_left[lane][k - TILE_ROWS] as u32
+                } else {
+                    diag[lane] as u32
+                };
+            }
+            ctx.global_store(&access, &vals)?;
+        }
+        Ok(())
+    }
+
     /// One 8×4 tile for every active lane of a warp.
     #[allow(clippy::too_many_arguments)]
     fn run_tile(
@@ -169,6 +448,9 @@ impl<'a> InterTaskKernel<'a> {
             last_strip,
             open,
             extend,
+            t0,
+            panel_j0,
+            in_shared,
         } = args;
 
         let active = |lane: usize, c: usize| lane_live[lane] && j0 + c < lane_n[lane];
@@ -185,6 +467,8 @@ impl<'a> InterTaskKernel<'a> {
         let db_words = ctx.tex_load(self.group.tex, &db_access)?;
 
         // 2. Boundary H/F from the strip above (or constants for strip 0).
+        // Staged mode reads the shared slab (per-thread slots, free of
+        // bank conflicts); baseline reads the interleaved global planes.
         let mut top_h = [[0i32; TILE_COLS]; WARP_SIZE];
         let mut top_f = [[NEG; TILE_COLS]; WARP_SIZE];
         if r > 0 {
@@ -193,15 +477,24 @@ impl<'a> InterTaskKernel<'a> {
                 let mut f_acc = WarpAccess::empty();
                 for lane in 0..WARP_SIZE {
                     if active(lane, c) {
-                        h_acc.set(lane, self.boundary_h_addr(j0 + c, g0 + lane));
-                        f_acc.set(lane, self.boundary_f_addr(j0 + c, g0 + lane));
+                        if in_shared {
+                            let pc = j0 + c - panel_j0;
+                            h_acc.set(lane, self.shared_h_addr(pc, t0 + lane));
+                            f_acc.set(lane, self.shared_f_addr(pc, t0 + lane));
+                        } else {
+                            h_acc.set(lane, self.boundary_h_addr(j0 + c, g0 + lane));
+                            f_acc.set(lane, self.boundary_f_addr(j0 + c, g0 + lane));
+                        }
                     }
                 }
                 if h_acc.active_lanes() == 0 {
                     continue;
                 }
-                let hv = ctx.global_load(&h_acc)?;
-                let fv = ctx.global_load(&f_acc)?;
+                let (hv, fv) = if in_shared {
+                    (ctx.shared_load(&h_acc), ctx.shared_load(&f_acc))
+                } else {
+                    (ctx.global_load(&h_acc)?, ctx.global_load(&f_acc)?)
+                };
                 for lane in 0..WARP_SIZE {
                     if h_acc.is_active(lane) {
                         top_h[lane][c] = hv[lane] as i32;
@@ -277,7 +570,8 @@ impl<'a> InterTaskKernel<'a> {
         ctx.count_cells(cells);
         ctx.charge(CELL_INSTRUCTIONS * (rows_real * TILE_COLS) as u64);
 
-        // 4. Store the bottom row (H and F) for the next strip.
+        // 4. Store the bottom row (H and F) for the next strip — to the
+        // shared slab in staged mode, to the global planes otherwise.
         if !last_strip {
             for c in 0..TILE_COLS {
                 let mut h_acc = WarpAccess::empty();
@@ -286,8 +580,14 @@ impl<'a> InterTaskKernel<'a> {
                 let mut f_vals = [0u32; WARP_SIZE];
                 for lane in 0..WARP_SIZE {
                     if active(lane, c) {
-                        h_acc.set(lane, self.boundary_h_addr(j0 + c, g0 + lane));
-                        f_acc.set(lane, self.boundary_f_addr(j0 + c, g0 + lane));
+                        if in_shared {
+                            let pc = j0 + c - panel_j0;
+                            h_acc.set(lane, self.shared_h_addr(pc, t0 + lane));
+                            f_acc.set(lane, self.shared_f_addr(pc, t0 + lane));
+                        } else {
+                            h_acc.set(lane, self.boundary_h_addr(j0 + c, g0 + lane));
+                            f_acc.set(lane, self.boundary_f_addr(j0 + c, g0 + lane));
+                        }
                         h_vals[lane] = bottom_h[lane][c] as u32;
                         f_vals[lane] = bottom_f[lane][c] as u32;
                     }
@@ -295,8 +595,13 @@ impl<'a> InterTaskKernel<'a> {
                 if h_acc.active_lanes() == 0 {
                     continue;
                 }
-                ctx.global_store(&h_acc, &h_vals)?;
-                ctx.global_store(&f_acc, &f_vals)?;
+                if in_shared {
+                    ctx.shared_store(&h_acc, &h_vals);
+                    ctx.shared_store(&f_acc, &f_vals);
+                } else {
+                    ctx.global_store(&h_acc, &h_vals)?;
+                    ctx.global_store(&f_acc, &f_vals)?;
+                }
             }
         }
         Ok(())
@@ -314,6 +619,12 @@ struct TileArgs {
     last_strip: bool,
     open: i32,
     extend: i32,
+    /// First thread-in-block index of the running warp (shared-slab slot).
+    t0: usize,
+    /// First column of the current panel (staged mode only).
+    panel_j0: usize,
+    /// Boundary rows go through the shared slab instead of global planes.
+    in_shared: bool,
 }
 
 impl BlockKernel for InterTaskKernel<'_> {
@@ -321,7 +632,11 @@ impl BlockKernel for InterTaskKernel<'_> {
         LaunchConfig {
             threads_per_block: self.threads_per_block,
             regs_per_thread: 30,
-            shared_words: 0,
+            shared_words: if self.panel_mode() {
+                self.shared_words()
+            } else {
+                0
+            },
         }
     }
 
@@ -341,8 +656,14 @@ mod tests {
     use sw_align::smith_waterman::{sw_score, SwParams};
     use sw_db::synth::{database_with_lengths, make_query};
 
-    /// Stage a group + profile, launch the kernel, return scores.
-    fn run_kernel(dev: &mut GpuDevice, query: &[u8], group: &[sw_db::Sequence]) -> Vec<i32> {
+    /// Stage a group + profile, launch the kernel (optionally in §VII
+    /// panel-staged mode), return scores.
+    fn run_kernel_with_panel(
+        dev: &mut GpuDevice,
+        query: &[u8],
+        group: &[sw_db::Sequence],
+        panel_cols: usize,
+    ) -> Vec<i32> {
         let params = SwParams::cudasw_default();
         let profile = PackedProfile::build(&params.matrix, query);
         let (pimg, _) = ProfileImage::upload(dev, &profile).unwrap();
@@ -351,6 +672,12 @@ mod tests {
         let boundary = dev
             .alloc(InterTaskKernel::boundary_words(gimg.width, max_cols).max(1))
             .unwrap();
+        let edge_words = InterTaskKernel::edge_words(gimg.width, query.len(), panel_cols, max_cols);
+        let edge = if edge_words > 0 {
+            Some(dev.alloc(edge_words).unwrap())
+        } else {
+            None
+        };
         let kernel = InterTaskKernel {
             group: &gimg,
             profile: &pimg,
@@ -358,11 +685,18 @@ mod tests {
             boundary,
             max_cols,
             threads_per_block: 64,
+            panel_cols,
+            edge,
         };
         let blocks = kernel.grid_blocks();
         dev.launch(&kernel, blocks, "inter_task").unwrap();
         let (raw, _) = dev.copy_from_device(gimg.scores, gimg.width).unwrap();
         raw.into_iter().map(|w| w as i32).collect()
+    }
+
+    /// Baseline-path helper.
+    fn run_kernel(dev: &mut GpuDevice, query: &[u8], group: &[sw_db::Sequence]) -> Vec<i32> {
+        run_kernel_with_panel(dev, query, group, 0)
     }
 
     #[test]
@@ -427,6 +761,8 @@ mod tests {
             boundary,
             max_cols: 64,
             threads_per_block: 32,
+            panel_cols: 0,
+            edge: None,
         };
         let stats = dev.launch(&kernel, 1, "inter").unwrap();
         // One strip (query 8 <= 8 rows): no boundary traffic, and database
@@ -461,9 +797,132 @@ mod tests {
             boundary,
             max_cols: 2048,
             threads_per_block: 32,
+            panel_cols: 0,
+            edge: None,
         };
         let stats = dev.launch(&kernel, 2, "inter").unwrap();
         // The straggler block is far slower than the uniform one.
         assert!(stats.imbalance() > 5.0, "imbalance = {}", stats.imbalance());
+    }
+
+    #[test]
+    fn panel_helpers() {
+        // C2050 (48 KB) at 64 threads: budget 12288 words / 128 per
+        // column = 96, capped at 64.
+        assert_eq!(InterTaskKernel::panel_cols(64, 48 * 1024), 64);
+        // C1060 (16 KB) at 64 threads: 4096 / 128 = 32.
+        assert_eq!(InterTaskKernel::panel_cols(64, 16 * 1024), 32);
+        // 256 threads on C1060: 4096 / 512 = 8.
+        assert_eq!(InterTaskKernel::panel_cols(256, 16 * 1024), 8);
+        // Nothing fits: baseline fallback.
+        assert_eq!(InterTaskKernel::panel_cols(1024, 1024), 0);
+        // Single-panel subjects need no edge scratch.
+        assert_eq!(InterTaskKernel::edge_words(32, 64, 64, 60), 0);
+        assert_eq!(InterTaskKernel::edge_words(32, 64, 0, 500), 0);
+        // Multi-panel: one 17-word record per (strip, thread).
+        assert_eq!(
+            InterTaskKernel::edge_words(32, 64, 64, 500),
+            8 * EDGE_WORDS_PER_STRIP * 32
+        );
+    }
+
+    #[test]
+    fn panel_staging_matches_scalar_reference() {
+        // Multi-strip query and lengths straddling several 8-column
+        // panels, including tails inside and past panel seams.
+        let mut dev = GpuDevice::new(DeviceSpec::tesla_c2050());
+        let db = database_with_lengths("g", &[5, 17, 33, 64, 100, 9, 41, 3, 8, 80], 13);
+        let query = make_query(50, 7);
+        let scores = run_kernel_with_panel(&mut dev, &query, db.sequences(), 8);
+        let params = SwParams::cudasw_default();
+        for (i, seq) in db.sequences().iter().enumerate() {
+            assert_eq!(
+                scores[i],
+                sw_score(&params, &query, &seq.residues),
+                "seq {i} (len {})",
+                seq.len()
+            );
+        }
+    }
+
+    #[test]
+    fn panel_staging_cuts_boundary_transactions_at_least_4x() {
+        // Uniform warp, multi-strip, multi-panel: the staged order must
+        // cut global boundary traffic >= 4x (the §VII counted claim).
+        let run = |panel: usize| {
+            let mut dev = GpuDevice::new(DeviceSpec::tesla_c2050());
+            let db = database_with_lengths("g", &[256; 32], 23);
+            let query = make_query(64, 3);
+            let params = SwParams::cudasw_default();
+            let profile = PackedProfile::build(&params.matrix, &query);
+            let (pimg, _) = ProfileImage::upload(&mut dev, &profile).unwrap();
+            let (gimg, _) = GroupImage::upload(&mut dev, db.sequences()).unwrap();
+            let boundary = dev
+                .alloc(InterTaskKernel::boundary_words(gimg.width, 256).max(1))
+                .unwrap();
+            let ew = InterTaskKernel::edge_words(gimg.width, query.len(), panel, 256);
+            let edge = (ew > 0).then(|| dev.alloc(ew).unwrap());
+            let kernel = InterTaskKernel {
+                group: &gimg,
+                profile: &pimg,
+                gaps: params.gaps,
+                boundary,
+                max_cols: 256,
+                threads_per_block: 32,
+                panel_cols: panel,
+                edge,
+            };
+            let stats = dev.launch(&kernel, 1, "inter").unwrap();
+            let (raw, _) = dev.copy_from_device(gimg.scores, gimg.width).unwrap();
+            let scores: Vec<i32> = raw.into_iter().map(|w| w as i32).collect();
+            (stats, scores)
+        };
+        let (base, base_scores) = run(0);
+        let (staged, staged_scores) = run(64);
+        assert_eq!(staged_scores, base_scores, "staging must not change scores");
+        let base_glob = base.memory.load_transactions + base.memory.store_transactions;
+        let staged_glob = staged.memory.load_transactions + staged.memory.store_transactions;
+        assert!(
+            base_glob as f64 >= 4.0 * staged_glob as f64,
+            "boundary traffic must drop >= 4x: {base_glob} vs {staged_glob}"
+        );
+        // The staged traffic moved into the shared slab, not into thin air.
+        assert!(staged.shared.instructions > 0);
+        assert_eq!(staged.shared.conflicted_accesses, 0, "per-thread slots");
+    }
+
+    #[test]
+    fn single_panel_subjects_touch_no_global_intermediates() {
+        // §VII shared-memory-only kernel: multi-strip query, subjects
+        // within one panel — zero global loads, score store only.
+        let mut dev = GpuDevice::new(DeviceSpec::tesla_c2050());
+        let db = database_with_lengths("g", &[64; 32], 29);
+        let params = SwParams::cudasw_default();
+        let query = make_query(48, 5); // 6 strips
+        let profile = PackedProfile::build(&params.matrix, &query);
+        let (pimg, _) = ProfileImage::upload(&mut dev, &profile).unwrap();
+        let (gimg, _) = GroupImage::upload(&mut dev, db.sequences()).unwrap();
+        let boundary = dev.alloc(1).unwrap();
+        assert_eq!(
+            InterTaskKernel::edge_words(gimg.width, query.len(), 64, 64),
+            0
+        );
+        let kernel = InterTaskKernel {
+            group: &gimg,
+            profile: &pimg,
+            gaps: params.gaps,
+            boundary,
+            max_cols: 64,
+            threads_per_block: 32,
+            panel_cols: 64,
+            edge: None,
+        };
+        let stats = dev.launch(&kernel, 1, "inter").unwrap();
+        assert_eq!(stats.memory.load_transactions, 0);
+        assert_eq!(stats.memory.store_transactions, 1);
+        let (raw, _) = dev.copy_from_device(gimg.scores, gimg.width).unwrap();
+        for (i, seq) in db.sequences().iter().enumerate() {
+            assert_eq!(raw[i] as i32, sw_score(&params, &query, &seq.residues));
+        }
     }
 }

@@ -128,6 +128,13 @@ pub struct ImprovedIntraKernel<'a> {
     pub variant: VariantConfig,
     /// Shared-memory dependency round-trip charged per pipeline step.
     pub step_latency_cycles: u64,
+    /// SaLoBa-style residue-balanced work assignment (arXiv:2301.09310):
+    /// `schedule[b]` lists the pair indices block `b` processes in order,
+    /// replacing the one-block-per-pair mapping that lets a single long
+    /// subject dominate the makespan. `None` = paper baseline. Per-pair
+    /// scratch (boundary, spill) is indexed by *pair*, so the assignment
+    /// never changes what any pair computes.
+    pub schedule: Option<&'a [Vec<usize>]>,
 }
 
 impl ImprovedIntraKernel<'_> {
@@ -198,7 +205,23 @@ impl BlockKernel for ImprovedIntraKernel<'_> {
     }
 
     fn run_block(&self, ctx: &mut BlockCtx<'_>) -> Result<(), GpuError> {
-        let pair = &self.pairs[ctx.block_idx as usize];
+        match self.schedule {
+            Some(bins) => {
+                for &p in &bins[ctx.block_idx as usize] {
+                    self.run_pair(ctx, p)?;
+                }
+                Ok(())
+            }
+            None => self.run_pair(ctx, ctx.block_idx as usize),
+        }
+    }
+}
+
+impl ImprovedIntraKernel<'_> {
+    /// Align one query/pair; a block runs one pair (baseline) or its whole
+    /// residue-balanced bin in sequence (SaLoBa schedule).
+    fn run_pair(&self, ctx: &mut BlockCtx<'_>, pair_idx: usize) -> Result<(), GpuError> {
+        let pair = &self.pairs[pair_idx];
         let m = self.profile.query_len;
         let n = pair.len;
         if m == 0 || n == 0 {
@@ -215,9 +238,9 @@ impl BlockKernel for ImprovedIntraKernel<'_> {
         let strip_rows = self.params.strip_rows();
         let strips = m.div_ceil(strip_rows);
         let (open, extend) = (self.gaps.open, self.gaps.extend);
-        let bound_h = self.boundary.addr() + ctx.block_idx as usize * 2 * self.boundary_stride;
+        let bound_h = self.boundary.addr() + pair_idx * 2 * self.boundary_stride;
         let bound_f = bound_h + self.boundary_stride;
-        let spill_base = self.local_spill.addr() + ctx.block_idx as usize * n_th * 2 * th;
+        let spill_base = self.local_spill.addr() + pair_idx * n_th * 2 * th;
 
         // Per-thread "register" state (block-wide views for the simulator).
         let mut h_left = vec![[0i32; MAX_TILE_HEIGHT]; n_th];
@@ -311,6 +334,11 @@ impl BlockKernel for ImprovedIntraKernel<'_> {
                 if !overlapped {
                     ctx.syncthreads();
                     ctx.add_latency(self.step_latency_cycles);
+                } else {
+                    // §VII fusion: the fill stall this strip would have
+                    // paid is hidden behind the previous strip's flush —
+                    // count it so the removed stall stays assertable.
+                    ctx.hide_latency(self.step_latency_cycles);
                 }
             }
         }
@@ -654,6 +682,7 @@ mod tests {
             params,
             variant,
             step_latency_cycles: 30,
+            schedule: None,
         };
         let stats = dev
             .launch(&kernel, pairs.len() as u32, "intra_improved")
@@ -972,6 +1001,103 @@ mod tests {
             },
         );
         assert!(cont.totals.syncs < plain.totals.syncs);
+        // §VII: every removed stall is *counted*, not silently dropped —
+        // the hidden cycles equal the latency the plain kernel paid for
+        // exactly those overlapped steps.
+        assert_eq!(plain.totals.hidden_latency_cycles, 0);
+        assert!(cont.totals.hidden_latency_cycles > 0);
+        assert_eq!(
+            cont.totals.latency_cycles + cont.totals.hidden_latency_cycles,
+            plain.totals.latency_cycles,
+            "hidden + paid must account for every baseline stall"
+        );
+        assert!(cont.seconds < plain.seconds);
+    }
+
+    #[test]
+    fn balanced_schedule_evens_block_cycles_without_changing_scores() {
+        // Heavy-tail batch: one giant subject serializes its block in the
+        // one-block-per-pair mapping. The SaLoBa schedule bins pairs by
+        // residues, so per-block cycles even out (counted via
+        // `LaunchStats::imbalance`) and the makespan drops.
+        let db = database_with_lengths(
+            "tail",
+            &[2000, 130, 120, 110, 100, 95, 90, 85, 80, 75, 70, 65],
+            67,
+        );
+        // The database sorts by length; bins must follow the pair order.
+        let lengths: Vec<usize> = db.sequences().iter().map(|s| s.len()).collect();
+        let query = make_query(96, 21);
+        let params = ImprovedParams {
+            threads_per_block: 32,
+            tile_height: 4,
+        };
+        let mut spec = DeviceSpec::tesla_c1060();
+        spec.sm_count = 4;
+
+        let run = |schedule: Option<&[Vec<usize>]>| {
+            let mut dev = GpuDevice::new(spec.clone());
+            let sw = SwParams::cudasw_default();
+            let packed = PackedProfile::build(&sw.matrix, &query);
+            let (pimg, _) = ProfileImage::upload(&mut dev, &packed).unwrap();
+            let mut pairs = Vec::new();
+            for s in db.sequences() {
+                let (img, _) = SeqImage::upload(&mut dev, s).unwrap();
+                pairs.push(IntraPair {
+                    tex: img.tex,
+                    len: img.len,
+                    score: img.score,
+                });
+            }
+            let max_len = 2000;
+            let boundary = dev
+                .alloc(ImprovedIntraKernel::boundary_words(pairs.len(), max_len))
+                .unwrap();
+            let local_spill = dev
+                .alloc(ImprovedIntraKernel::spill_words(pairs.len(), &params))
+                .unwrap();
+            let kernel = ImprovedIntraKernel {
+                pairs: &pairs,
+                profile: &pimg,
+                gaps: sw.gaps,
+                boundary,
+                boundary_stride: max_len,
+                local_spill,
+                params,
+                variant: VariantConfig::improved(),
+                step_latency_cycles: 30,
+                schedule,
+            };
+            let blocks = schedule.map_or(pairs.len(), <[Vec<usize>]>::len) as u32;
+            let stats = dev.launch(&kernel, blocks, "intra_improved").unwrap();
+            let mut scores = Vec::new();
+            for p in &pairs {
+                let (v, _) = dev.copy_from_device(p.score, 1).unwrap();
+                scores.push(v[0] as i32);
+            }
+            (scores, stats)
+        };
+
+        let (base_scores, base) = run(None);
+        let bins = crate::balance::residue_balanced_bins(&lengths, 4);
+        let (bal_scores, bal) = run(Some(&bins));
+        assert_eq!(bal_scores, base_scores, "schedule must not change scores");
+        assert_eq!(bal.totals.cells, base.totals.cells, "same DP work");
+        // The giant subject owns a bin outright, so its cycles bound the
+        // floor; the counted claim is that binning evens everything else
+        // out — at least a 3x imbalance drop on this mix.
+        assert!(
+            base.imbalance() > 15.0 && bal.imbalance() < base.imbalance() / 3.0,
+            "block cycles must even out: {:.1} -> {:.1}",
+            base.imbalance(),
+            bal.imbalance()
+        );
+        assert!(
+            bal.max_block_cycles < base.max_block_cycles * 1.6,
+            "no block may balloon: {} vs {}",
+            bal.max_block_cycles,
+            base.max_block_cycles
+        );
     }
 
     #[test]

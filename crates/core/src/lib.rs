@@ -26,6 +26,12 @@
 //! through the simulated memory system, and is tested against
 //! `sw_align::sw_score`.
 
+// Crash-only discipline: the driver sits under the recovery/checkpoint
+// machinery — non-test host code must never panic through a careless
+// unwrap. Tests are exempt (a failed unwrap *is* the assert).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod balance;
 pub mod checkpoint;
 pub mod driver;
 pub mod extensions;
@@ -40,11 +46,12 @@ pub mod staged;
 pub mod threshold;
 pub mod variants;
 
+pub use balance::{bin_imbalance, residue_balanced_bins};
 pub use checkpoint::{
     run_fingerprint, CheckpointFile, CheckpointPolicy, ChunkPhase, ChunkRecord, LoadIssue,
     LoadedLog,
 };
-pub use driver::{CudaSwConfig, CudaSwDriver, IntraKernelChoice, SearchResult};
+pub use driver::{CudaSwConfig, CudaSwDriver, DeviceKernelConfig, IntraKernelChoice, SearchResult};
 pub use inter_task::InterTaskKernel;
 pub use intra_improved::{ImprovedIntraKernel, ImprovedParams, VariantConfig};
 pub use intra_orig::{IntraPair, OriginalIntraKernel};

@@ -375,7 +375,10 @@ impl MetricsFork {
     /// End the fork, merge the delta into the restored registry, and
     /// return the delta for the checkpoint record.
     fn finish(mut self) -> obs::MetricsRegistry {
-        let saved = self.saved.take().expect("fork finished twice");
+        // `finish` consumes self, so the fork is always live here; an
+        // (impossible) empty slot degrades to a default registry rather
+        // than panicking under the unwrap/expect lint wall.
+        let saved = self.saved.take().unwrap_or_default();
         obs::with(|o| {
             let delta = std::mem::replace(&mut o.metrics, saved);
             o.metrics.merge(&delta);
@@ -901,13 +904,54 @@ impl CudaSwDriver {
         profile: &ProfileImage,
         out: &mut [i32],
     ) -> Result<(LaunchStats, f64), GpuError> {
+        // §VII streamed copy on the resilient path is scoped to the chunk:
+        // overlap credit never crosses a chunk boundary, so checkpoint
+        // replay (which skips whole chunks) stays bit-identical.
+        let streamed = self.config.device.streamed_h2d;
+        if streamed {
+            self.dev.begin_h2d_stream();
+        }
+        let result = self.run_inter_group_attempt(group, profile, out);
+        if streamed {
+            self.dev.end_h2d_stream();
+        }
+        result
+    }
+
+    fn run_inter_group_attempt(
+        &mut self,
+        group: &[Sequence],
+        profile: &ProfileImage,
+        out: &mut [i32],
+    ) -> Result<(LaunchStats, f64), GpuError> {
         let mut secs_total = 0.0;
         let (gimg, secs) = GroupImage::upload(&mut self.dev, group)?;
         secs_total += secs;
         let max_cols = group.iter().map(|g| g.len()).max().unwrap_or(0);
-        let boundary = self
-            .dev
-            .alloc(InterTaskKernel::boundary_words(gimg.width, max_cols).max(1))?;
+        let dc = self.config.device;
+        let panel = if dc.boundary_staging || dc.shared_only {
+            InterTaskKernel::panel_cols(
+                self.config.inter_threads_per_block,
+                self.dev.spec.shared_mem_per_sm,
+            )
+        } else {
+            0
+        };
+        let use_panel = panel >= crate::inter_task::TILE_COLS
+            && (dc.boundary_staging || (dc.shared_only && max_cols <= panel));
+        let panel_cols = if use_panel { panel } else { 0 };
+        let boundary = self.dev.alloc(if panel_cols > 0 {
+            1
+        } else {
+            InterTaskKernel::boundary_words(gimg.width, max_cols).max(1)
+        })?;
+        let edge_w =
+            InterTaskKernel::edge_words(gimg.width, profile.query_len, panel_cols, max_cols);
+        let edge = if edge_w > 0 {
+            Some(self.dev.alloc(edge_w)?)
+        } else {
+            None
+        };
         let kernel = InterTaskKernel {
             group: &gimg,
             profile,
@@ -915,9 +959,14 @@ impl CudaSwDriver {
             boundary,
             max_cols,
             threads_per_block: self.config.inter_threads_per_block,
+            panel_cols,
+            edge,
         };
         let blocks = kernel.grid_blocks();
         let stats = self.dev.launch(&kernel, blocks, "inter_task")?;
+        if dc.streamed_h2d {
+            self.dev.add_h2d_overlap_credit(stats.seconds);
+        }
         let (raw, secs) = self.dev.copy_from_device(gimg.scores, gimg.width)?;
         secs_total += secs;
         for (k, word) in raw.into_iter().enumerate() {
@@ -929,6 +978,26 @@ impl CudaSwDriver {
     /// One intra-task chunk: stage every sequence, launch one block per
     /// pair, read scores (one attempt).
     fn run_intra_chunk(
+        &mut self,
+        chunk: &[Sequence],
+        query: &[u8],
+        profile: &ProfileImage,
+        q_tex: TexRef,
+        out: &mut [i32],
+    ) -> Result<(LaunchStats, f64), GpuError> {
+        // Chunk-scoped stream session; see `run_inter_group`.
+        let streamed = self.config.device.streamed_h2d;
+        if streamed {
+            self.dev.begin_h2d_stream();
+        }
+        let result = self.run_intra_chunk_attempt(chunk, query, profile, q_tex, out);
+        if streamed {
+            self.dev.end_h2d_stream();
+        }
+        result
+    }
+
+    fn run_intra_chunk_attempt(
         &mut self,
         chunk: &[Sequence],
         query: &[u8],
@@ -974,6 +1043,9 @@ impl CudaSwDriver {
                         variant.boundary_in_shared = false;
                     }
                 }
+                if self.config.device.pipeline_fusion {
+                    variant.continuous_pipeline = true;
+                }
                 let boundary = self
                     .dev
                     .alloc(ImprovedIntraKernel::boundary_words(pairs.len(), max_len))?;
@@ -981,6 +1053,15 @@ impl CudaSwDriver {
                     pairs.len(),
                     &self.config.improved,
                 ))?;
+                // SaLoBa balance is chunk-scoped like everything else on
+                // the resilient path, so OOM re-chunking stays orthogonal.
+                let schedule = if self.config.device.balanced_intra {
+                    let lengths: Vec<usize> = pairs.iter().map(|p| p.len).collect();
+                    let bins = (self.dev.spec.sm_count as usize).min(pairs.len());
+                    Some(crate::balance::residue_balanced_bins(&lengths, bins))
+                } else {
+                    None
+                };
                 let kernel = ImprovedIntraKernel {
                     pairs: &pairs,
                     profile,
@@ -991,9 +1072,10 @@ impl CudaSwDriver {
                     params: self.config.improved,
                     variant,
                     step_latency_cycles: 30,
+                    schedule: schedule.as_deref(),
                 };
-                self.dev
-                    .launch(&kernel, pairs.len() as u32, "intra_improved")?
+                let blocks = schedule.as_ref().map_or(pairs.len(), Vec::len) as u32;
+                self.dev.launch(&kernel, blocks, "intra_improved")?
             }
         };
         for (k, pair) in pairs.iter().enumerate() {

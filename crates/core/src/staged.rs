@@ -24,8 +24,9 @@
 //! longer matches the device state ([`GpuError::BadAccess`] would follow
 //! otherwise). The single-query path is unchanged.
 
+use crate::balance::residue_balanced_bins;
 use crate::driver::{CudaSwDriver, IntraKernelChoice, SearchResult};
-use crate::inter_task::InterTaskKernel;
+use crate::inter_task::{InterTaskKernel, TILE_COLS};
 use crate::intra_improved::ImprovedIntraKernel;
 use crate::intra_orig::{IntraPair, OriginalIntraKernel};
 use crate::seqstore::{pack_residues, GroupImage, ProfileImage, SeqImage};
@@ -103,6 +104,12 @@ impl CudaSwDriver {
     pub fn stage_database(&mut self, db: &Database) -> Result<StagedDatabase, GpuError> {
         let sp = obs::span("stage_database", "phase");
         self.dev.free_all();
+        if self.config.device.streamed_h2d {
+            // §VII streamed copy: the session opened here persists for the
+            // staged database's lifetime, so later queries' uploads hide
+            // behind earlier queries' kernel launches.
+            self.dev.begin_h2d_stream();
+        }
         let partition = db.partition(self.config.threshold);
         let mut staging_seconds = 0.0;
         let s = self.group_size();
@@ -210,10 +217,35 @@ impl CudaSwDriver {
         // Inter-task: one launch per resident group, per-launch scratch
         // (the boundary buffer) released between launches.
         let sp_inter = obs::span("inter_task", "phase");
+        let dc = self.config.device;
+        let panel = if dc.boundary_staging || dc.shared_only {
+            InterTaskKernel::panel_cols(
+                self.config.inter_threads_per_block,
+                self.dev.spec.shared_mem_per_sm,
+            )
+        } else {
+            0
+        };
         for group in &staged.groups {
-            let boundary = self
-                .dev
-                .alloc(InterTaskKernel::boundary_words(group.img.width, group.max_cols).max(1))?;
+            let use_panel = panel >= TILE_COLS
+                && (dc.boundary_staging || (dc.shared_only && group.max_cols <= panel));
+            let panel_cols = if use_panel { panel } else { 0 };
+            let boundary = self.dev.alloc(if panel_cols > 0 {
+                1
+            } else {
+                InterTaskKernel::boundary_words(group.img.width, group.max_cols).max(1)
+            })?;
+            let edge_w = InterTaskKernel::edge_words(
+                group.img.width,
+                query.len(),
+                panel_cols,
+                group.max_cols,
+            );
+            let edge = if edge_w > 0 {
+                Some(self.dev.alloc(edge_w)?)
+            } else {
+                None
+            };
             let kernel = InterTaskKernel {
                 group: &group.img,
                 profile: &profile,
@@ -221,9 +253,14 @@ impl CudaSwDriver {
                 boundary,
                 max_cols: group.max_cols,
                 threads_per_block: self.config.inter_threads_per_block,
+                panel_cols,
+                edge,
             };
             let blocks = kernel.grid_blocks();
             let stats = self.dev.launch(&kernel, blocks, "inter_task")?;
+            if dc.streamed_h2d {
+                self.dev.add_h2d_overlap_credit(stats.seconds);
+            }
             crate::driver::note_phase_launch("inter", &stats);
             let (raw, secs) = self
                 .dev
@@ -268,6 +305,9 @@ impl CudaSwDriver {
                             variant.boundary_in_shared = false;
                         }
                     }
+                    if dc.pipeline_fusion {
+                        variant.continuous_pipeline = true;
+                    }
                     let boundary = self
                         .dev
                         .alloc(ImprovedIntraKernel::boundary_words(pairs.len(), max_len))?;
@@ -275,6 +315,13 @@ impl CudaSwDriver {
                         pairs.len(),
                         &self.config.improved,
                     ))?;
+                    let schedule = if dc.balanced_intra {
+                        let lengths: Vec<usize> = pairs.iter().map(|p| p.len).collect();
+                        let bins = (self.dev.spec.sm_count as usize).min(pairs.len());
+                        Some(residue_balanced_bins(&lengths, bins))
+                    } else {
+                        None
+                    };
                     let kernel = ImprovedIntraKernel {
                         pairs,
                         profile: &profile,
@@ -285,11 +332,15 @@ impl CudaSwDriver {
                         params: self.config.improved,
                         variant,
                         step_latency_cycles: 30,
+                        schedule: schedule.as_deref(),
                     };
-                    self.dev
-                        .launch(&kernel, pairs.len() as u32, "intra_improved")?
+                    let blocks = schedule.as_ref().map_or(pairs.len(), Vec::len) as u32;
+                    self.dev.launch(&kernel, blocks, "intra_improved")?
                 }
             };
+            if dc.streamed_h2d {
+                self.dev.add_h2d_overlap_credit(stats.seconds);
+            }
             crate::driver::note_phase_launch("intra", &stats);
             for (k, pair) in pairs.iter().enumerate() {
                 let (v, secs) = self.dev.copy_from_device(pair.score, 1)?;

@@ -138,6 +138,7 @@ pub fn run_intra_variant(
         params,
         variant,
         step_latency_cycles: 30,
+        schedule: None,
     };
     let stats = dev.launch(&kernel, pairs.len() as u32, "intra_variant")?;
     let mut scores = Vec::with_capacity(pairs.len());

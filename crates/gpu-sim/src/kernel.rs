@@ -147,6 +147,15 @@ impl<'a> BlockCtx<'a> {
         self.cost.latency_cycles += cycles;
     }
 
+    /// Report a serial-latency chain this kernel *hid* behind concurrent
+    /// work (cross-strip pipeline fusion, §VII): counted in
+    /// [`BlockCost::hidden_latency_cycles`], never charged as time — the
+    /// removed stall stays an assertable quantity.
+    #[inline]
+    pub fn hide_latency(&mut self, cycles: u64) {
+        self.cost.hidden_latency_cycles += cycles;
+    }
+
     /// Record `n` DP cell updates.
     #[inline]
     pub fn count_cells(&mut self, n: u64) {
@@ -213,12 +222,40 @@ fn note_launch(stats: &LaunchStats) {
         &labels,
         stats.shared.conflicted_accesses as f64,
     );
+    obs::counter_add(
+        "cudasw.gpu_sim.launch.hidden_latency_cycles",
+        &labels,
+        stats.totals.hidden_latency_cycles as f64,
+    );
+    // Per-launch extremes, summed: exact for single-launch captures (the
+    // workload-balance gates), an aggregate spread proxy otherwise.
+    obs::counter_add(
+        "cudasw.gpu_sim.launch.block_cycles_max",
+        &labels,
+        stats.max_block_cycles,
+    );
+    obs::counter_add(
+        "cudasw.gpu_sim.launch.block_cycles_min",
+        &labels,
+        stats.min_block_cycles,
+    );
     obs::histogram_observe(
         "cudasw.gpu_sim.launch.duration_seconds",
         &[],
         LAUNCH_SECONDS_BOUNDS,
         stats.seconds,
     );
+}
+
+/// State of an open streamed-H2D session (the §VII streamed copy): the
+/// DMA setup latency is paid once per session and copy time is hidden
+/// behind deposited kernel-execution credit.
+#[derive(Debug, Clone, Copy, Default)]
+struct H2dStream {
+    /// Kernel-execution seconds still available to hide copy time behind.
+    credit: f64,
+    /// Whether the one-per-session DMA setup latency was already paid.
+    setup_paid: bool,
 }
 
 /// A simulated GPU: spec + memory system + timing model.
@@ -233,6 +270,7 @@ pub struct GpuDevice {
     fault: FaultInjector,
     watchdog_cycles: Option<u64>,
     integrity_checks: bool,
+    h2d_stream: Option<H2dStream>,
 }
 
 impl GpuDevice {
@@ -249,7 +287,41 @@ impl GpuDevice {
             fault: FaultInjector::default(),
             watchdog_cycles: None,
             integrity_checks: false,
+            h2d_stream: None,
         }
+    }
+
+    /// Open a streamed-H2D session: until [`GpuDevice::end_h2d_stream`]
+    /// (or an allocator reset), host→device copies are queued on a copy
+    /// stream — the DMA setup latency is paid once per session, and copy
+    /// time is hidden behind kernel-execution credit deposited with
+    /// [`GpuDevice::add_h2d_overlap_credit`]. Bytes moved are unchanged;
+    /// only the exposed copy seconds (and therefore the critical path)
+    /// shrink, with the hidden portion counted in
+    /// [`TransferStats::h2d_hidden_seconds`]. Faults and integrity checks
+    /// behave exactly as on synchronous copies.
+    pub fn begin_h2d_stream(&mut self) {
+        self.h2d_stream = Some(H2dStream::default());
+    }
+
+    /// Deposit `seconds` of concurrent kernel execution into the open
+    /// stream session; subsequent copies may hide up to that much copy
+    /// time behind it. No-op when no session is open.
+    pub fn add_h2d_overlap_credit(&mut self, seconds: f64) {
+        if let Some(stream) = self.h2d_stream.as_mut() {
+            stream.credit += seconds.max(0.0);
+        }
+    }
+
+    /// Close the streamed-H2D session (idempotent). Copies go back to
+    /// synchronous accounting.
+    pub fn end_h2d_stream(&mut self) {
+        self.h2d_stream = None;
+    }
+
+    /// Whether a streamed-H2D session is currently open.
+    pub fn h2d_stream_open(&self) -> bool {
+        self.h2d_stream.is_some()
     }
 
     /// Install a fault schedule (see [`crate::fault`]). Any memory
@@ -305,6 +377,7 @@ impl GpuDevice {
     /// no scheduled recovery.
     pub fn try_revive(&mut self) -> bool {
         if self.fault.try_revive() {
+            self.h2d_stream = None;
             self.mem.free_all();
             obs::counter_add("cudasw.gpu_sim.device.revived", &[], 1.0);
             obs::instant("device_revived", "fault", &[]);
@@ -331,8 +404,10 @@ impl GpuDevice {
         Ok(ptr)
     }
 
-    /// Free every allocation.
+    /// Free every allocation. Also closes any open streamed-H2D session
+    /// (the allocations its copies targeted are gone).
     pub fn free_all(&mut self) {
+        self.h2d_stream = None;
         self.mem.free_all();
     }
 
@@ -412,7 +487,30 @@ impl GpuDevice {
             }
         }
         let bytes = words.len() * 4;
-        let secs = self.xfer_model.transfer_seconds(bytes);
+        let full = self.xfer_model.transfer_seconds(bytes);
+        let secs = match self.h2d_stream.as_mut() {
+            Some(stream) => {
+                // Streamed copy: the per-transfer DMA setup is paid once
+                // per session, and the wire time is hidden behind any
+                // deposited kernel-execution credit.
+                let body = full - self.xfer_model.latency_seconds;
+                let setup = if stream.setup_paid {
+                    0.0
+                } else {
+                    self.xfer_model.latency_seconds
+                };
+                stream.setup_paid = true;
+                let hidden_body = body.min(stream.credit);
+                stream.credit -= hidden_body;
+                let exposed = setup + (body - hidden_body);
+                let hidden = full - exposed;
+                self.xfer_stats.record_h2d_streamed(hidden);
+                obs::counter_add("cudasw.gpu_sim.h2d.streamed_calls", &[], 1.0);
+                obs::counter_add("cudasw.gpu_sim.h2d.hidden_seconds", &[], hidden);
+                exposed
+            }
+            None => full,
+        };
         self.xfer_stats.record_h2d(bytes, secs);
         obs::counter_add("cudasw.gpu_sim.h2d.calls", &[], 1.0);
         obs::counter_add("cudasw.gpu_sim.h2d.bytes", &[], bytes as f64);
@@ -1037,5 +1135,64 @@ mod tests {
         let secs = dev.copy_to_device(buf, &data).unwrap();
         assert!(secs > 0.0);
         assert_eq!(dev.transfer_stats().h2d_bytes, 4 << 20);
+    }
+
+    #[test]
+    fn streamed_h2d_moves_the_same_bytes_in_less_exposed_time() {
+        let data = vec![7u32; 1 << 18];
+        // Synchronous reference.
+        let mut sync_dev = GpuDevice::new(DeviceSpec::tesla_c1060());
+        let buf = sync_dev.alloc(data.len()).unwrap();
+        let sync_secs = sync_dev.copy_to_device(buf, &data).unwrap();
+        let sync_secs2 = sync_dev.copy_to_device(buf, &data).unwrap();
+
+        let mut dev = GpuDevice::new(DeviceSpec::tesla_c1060());
+        let buf = dev.alloc(data.len()).unwrap();
+        dev.begin_h2d_stream();
+        assert!(dev.h2d_stream_open());
+        // First copy: setup paid, no credit yet — same cost as sync.
+        let first = dev.copy_to_device(buf, &data).unwrap();
+        assert!((first - sync_secs).abs() < 1e-12);
+        // With generous credit the second copy exposes ~zero time.
+        dev.add_h2d_overlap_credit(10.0);
+        let second = dev.copy_to_device(buf, &data).unwrap();
+        assert!(second < sync_secs2 * 1e-6, "copy must hide: {second}");
+        dev.end_h2d_stream();
+        assert!(!dev.h2d_stream_open());
+
+        let stats = dev.transfer_stats();
+        // Bytes moved are identical to the synchronous run.
+        assert_eq!(stats.h2d_bytes, sync_dev.transfer_stats().h2d_bytes);
+        assert_eq!(stats.h2d_streamed, 2);
+        let hidden = stats.h2d_hidden_seconds;
+        assert!(
+            (first + second + hidden - sync_secs - sync_secs2).abs() < 1e-12,
+            "exposed + hidden must equal the synchronous total"
+        );
+        // Payload landed intact.
+        let (back, _) = dev.copy_from_device(buf, 4).unwrap();
+        assert_eq!(back, vec![7u32; 4]);
+    }
+
+    #[test]
+    fn partial_credit_hides_only_that_much() {
+        let data = vec![1u32; 1 << 18];
+        let mut dev = GpuDevice::new(DeviceSpec::tesla_c1060());
+        let buf = dev.alloc(data.len()).unwrap();
+        let full = dev.copy_to_device(buf, &data).unwrap(); // sync reference
+        dev.begin_h2d_stream();
+        let _ = dev.copy_to_device(buf, &data).unwrap(); // pays setup
+        let body = full - 10.0e-6;
+        dev.add_h2d_overlap_credit(body / 2.0);
+        let exposed = dev.copy_to_device(buf, &data).unwrap();
+        assert!((exposed - body / 2.0).abs() < 1e-12, "{exposed} vs {body}");
+    }
+
+    #[test]
+    fn allocator_reset_closes_the_stream() {
+        let mut dev = GpuDevice::new(DeviceSpec::tesla_c1060());
+        dev.begin_h2d_stream();
+        dev.free_all();
+        assert!(!dev.h2d_stream_open());
     }
 }

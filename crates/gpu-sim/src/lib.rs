@@ -32,6 +32,11 @@
 //! Everything is deterministic: simulated time is derived purely from
 //! counters, never from the wall clock.
 
+// Crash-only discipline: the simulator is infrastructure under every
+// other crate's fault tests — non-test code must never panic through a
+// careless unwrap. Tests are exempt (a failed unwrap *is* the assert).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod cache;
 pub mod device;
 pub mod error;

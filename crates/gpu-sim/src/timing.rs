@@ -43,6 +43,11 @@ pub struct BlockCost {
     /// Explicit latency chains (pipeline fill/flush, dependent-load
     /// round-trips) reported by the kernel.
     pub latency_cycles: u64,
+    /// Latency cycles a kernel *would* have stalled for but hid behind
+    /// other work (cross-strip pipeline fusion, §VII). Never added to
+    /// [`TimingModel::block_cycles`] — kept so removed stalls stay a
+    /// counted, assertable quantity rather than silently vanishing.
+    pub hidden_latency_cycles: u64,
     /// DP cells updated (for GCUPs bookkeeping).
     pub cells: u64,
 }
@@ -57,6 +62,7 @@ impl BlockCost {
         self.shared_cycles += other.shared_cycles;
         self.syncs += other.syncs;
         self.latency_cycles += other.latency_cycles;
+        self.hidden_latency_cycles += other.hidden_latency_cycles;
         self.cells += other.cells;
     }
 }
@@ -116,14 +122,17 @@ impl TimingModel {
         block_cycles: &[f64],
         total_dram_bytes: u64,
     ) -> f64 {
-        let mut sm_time = vec![0f64; spec.sm_count as usize];
+        let mut sm_time = vec![0f64; (spec.sm_count as usize).max(1)];
         for &c in block_cycles {
-            // Next block goes to the SM that frees up first.
-            let (idx, _) = sm_time
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).expect("times are finite"))
-                .expect("at least one SM");
+            // Next block goes to the SM that frees up first. Manual scan:
+            // `total_cmp` keeps this panic-free under the unwrap/expect
+            // lint wall even if a cost ever went non-finite.
+            let mut idx = 0;
+            for (i, t) in sm_time.iter().enumerate().skip(1) {
+                if t.total_cmp(&sm_time[idx]).is_lt() {
+                    idx = i;
+                }
+            }
             sm_time[idx] += c;
         }
         let makespan = sm_time.iter().cloned().fold(0f64, f64::max);
@@ -222,12 +231,28 @@ mod tests {
             shared_cycles: 5,
             syncs: 6,
             latency_cycles: 7,
+            hidden_latency_cycles: 9,
             cells: 8,
         };
         a.merge(&a.clone());
         assert_eq!(a.warp_instructions, 2);
         assert_eq!(a.cells, 16);
         assert_eq!(a.latency_cycles, 14);
+        assert_eq!(a.hidden_latency_cycles, 18);
+    }
+
+    #[test]
+    fn hidden_latency_never_costs_cycles() {
+        let tm = TimingModel::default();
+        let base = tm.block_cycles(&spec(), &BlockCost::default());
+        let with = tm.block_cycles(
+            &spec(),
+            &BlockCost {
+                hidden_latency_cycles: 1_000_000,
+                ..Default::default()
+            },
+        );
+        assert!((with - base).abs() < 1e-9, "hidden stalls must be free");
     }
 
     #[test]

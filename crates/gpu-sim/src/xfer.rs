@@ -116,6 +116,14 @@ pub struct TransferStats {
     /// Integrity checksum mismatches detected (a payload was silently
     /// corrupted in flight and caught).
     pub integrity_mismatches: u64,
+    /// Host→device copies issued inside a stream session
+    /// ([`crate::GpuDevice::begin_h2d_stream`], §VII streamed copy).
+    pub h2d_streamed: u64,
+    /// Simulated seconds of H2D copy time hidden behind kernel execution
+    /// by streaming. Bytes moved are unchanged; only the critical path
+    /// shrinks, and this field keeps the hidden portion auditable
+    /// (`h2d_seconds` counts only the exposed part of streamed copies).
+    pub h2d_hidden_seconds: f64,
 }
 
 impl TransferStats {
@@ -127,6 +135,11 @@ impl TransferStats {
     pub(crate) fn record_d2h(&mut self, bytes: usize, seconds: f64) {
         self.d2h_bytes += bytes as u64;
         self.d2h_seconds += seconds;
+    }
+
+    pub(crate) fn record_h2d_streamed(&mut self, hidden_seconds: f64) {
+        self.h2d_streamed += 1;
+        self.h2d_hidden_seconds += hidden_seconds;
     }
 
     pub(crate) fn record_h2d_fault(&mut self) {

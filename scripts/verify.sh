@@ -18,13 +18,15 @@ cargo test -q --offline --test paper_claims --test observability --test differen
 cargo clippy --workspace --all-targets --offline -- -D warnings
 cargo fmt --check
 
-# Crash-only lint wall: sw-simd, sw-serve and sw-gateway deny clippy::unwrap_used /
-# clippy::expect_used in non-test code at the crate level
-# (#![cfg_attr(not(test), deny(...))] in each lib.rs — the lints must be
-# denied by attribute, not by -D flags here, because command-line -D
-# leaks into the path-dependency shims). This named invocation keeps the
-# gate attributable even if the workspace-wide clippy line changes.
-cargo clippy -q --offline -p sw-simd -p sw-serve -p sw-gateway --lib -- -D warnings
+# Crash-only lint wall: sw-simd, sw-serve, sw-gateway, gpu-sim and
+# cudasw-core deny clippy::unwrap_used / clippy::expect_used in non-test
+# code at the crate level (#![cfg_attr(not(test), deny(...))] in each
+# lib.rs — the lints must be denied by attribute, not by -D flags here,
+# because command-line -D leaks into the path-dependency shims). This
+# named invocation keeps the gate attributable even if the
+# workspace-wide clippy line changes.
+cargo clippy -q --offline -p sw-simd -p sw-serve -p sw-gateway -p gpu-sim -p cudasw-core \
+  --lib -- -D warnings
 
 # Cross-feature matrix for the host SIMD backend: the emulated portable
 # path must keep building and passing with the native backends compiled
@@ -177,5 +179,26 @@ grep -q '"profile": "bursty"' "$tmp/BENCH_serve.json"
 grep -q '"profile": "overload"' "$tmp/BENCH_serve.json"
 grep -q '"p999_ms"' "$tmp/BENCH_serve.json"
 grep -q '"deadline_miss_rate"' "$tmp/BENCH_serve.json"
+
+# Device-optimization gate: the §VII optimization matrix (boundary
+# staging, shared-only kernel, cross-strip fusion, streamed H2D, SaLoBa
+# balance) on the trimmed Fermi. The invariant gates always run inside
+# the experiment — identical score CRCs/bytes/cells across the matrix,
+# the >=4x staging transaction cut, fusion hiding stalls the baseline
+# exposes, the streamed-copy accounting identity, balance never
+# worsening block skew — and `repro device-opt` exits non-zero if any
+# fails. Against the committed trajectory the smoke entry is also
+# compared row by row (GCUPs floor, global-transaction ceiling).
+device_args=(device-opt --smoke --out "$tmp/BENCH_device.json")
+if [[ -f BENCH_device.json ]]; then
+  device_args+=(--baseline BENCH_device.json)
+fi
+cargo run -q --release --offline -p cudasw-bench --bin repro -- \
+  "${device_args[@]}" >/dev/null
+grep -q '"schema": "cudasw.bench.device/v1"' "$tmp/BENCH_device.json"
+grep -q '"config": "staging"' "$tmp/BENCH_device.json"
+grep -q '"hidden_latency_cycles"' "$tmp/BENCH_device.json"
+grep -q '"intra_imbalance"' "$tmp/BENCH_device.json"
+grep -q '"score_crc"' "$tmp/BENCH_device.json"
 
 echo "verify: OK"

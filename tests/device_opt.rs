@@ -1,0 +1,191 @@
+//! Differential matrix for the §VII device-kernel optimizations.
+//!
+//! Every [`DeviceKernelConfig`] combination must compute **bit-identical**
+//! scores: the flags move traffic between memory spaces and overlap
+//! copies with compute, but the DP arithmetic — and therefore every score
+//! and every overflow/degradation verdict — is untouched. This suite pins
+//! that across the full 32-combination matrix, with and without injected
+//! faults, and pins the exact H2D call/byte accounting of the streamed
+//! staged path.
+
+use cudasw_core::{
+    CudaSwConfig, CudaSwDriver, DeviceKernelConfig, ImprovedParams, IntraKernelChoice,
+    RecoveryPolicy, VariantConfig,
+};
+use gpu_sim::{DeviceSpec, FaultPlan, FaultSite};
+use sw_align::{sw_score, SwParams};
+use sw_db::synth::{database_with_lengths, make_query};
+use sw_db::Database;
+
+/// Threshold 100 so the mixed database exercises both kernels; short
+/// subjects span several 64-column panels, long ones several strips.
+fn config(device: DeviceKernelConfig) -> CudaSwConfig {
+    CudaSwConfig {
+        threshold: 100,
+        inter_threads_per_block: 32,
+        improved: ImprovedParams {
+            threads_per_block: 32,
+            tile_height: 4,
+        },
+        intra: IntraKernelChoice::Improved(VariantConfig::improved()),
+        device,
+        ..CudaSwConfig::improved()
+    }
+}
+
+fn mixed_db() -> Database {
+    database_with_lengths(
+        "devopt",
+        &[5, 17, 33, 64, 80, 96, 99, 150, 200, 400, 700],
+        83,
+    )
+}
+
+#[test]
+fn all_32_combinations_score_bit_identically() {
+    let db = mixed_db();
+    let query = make_query(50, 19);
+    let params = SwParams::cudasw_default();
+    let oracle: Vec<i32> = db
+        .sequences()
+        .iter()
+        .map(|s| sw_score(&params, &query, &s.residues))
+        .collect();
+    for dc in DeviceKernelConfig::all_combinations() {
+        let mut driver = CudaSwDriver::new(DeviceSpec::tesla_c2050(), config(dc));
+        let r = driver.search(&query, &db).unwrap();
+        assert_eq!(r.scores, oracle, "config {}", dc.label());
+        assert_eq!(
+            r.total_cells(),
+            db.total_cells(query.len()),
+            "config {}: optimization must not change the DP work",
+            dc.label()
+        );
+    }
+}
+
+#[test]
+fn staged_path_matches_unstaged_for_every_combination() {
+    let db = mixed_db();
+    let queries = [make_query(50, 19), make_query(37, 23)];
+    for dc in DeviceKernelConfig::all_combinations() {
+        let mut plain = CudaSwDriver::new(DeviceSpec::tesla_c2050(), config(dc));
+        let mut staged_drv = CudaSwDriver::new(DeviceSpec::tesla_c2050(), config(dc));
+        let staged = staged_drv.stage_database(&db).unwrap();
+        for query in &queries {
+            let a = plain.search(query, &db).unwrap();
+            let b = staged_drv.search_staged(query, &staged).unwrap();
+            assert_eq!(a.scores, b.scores, "config {}", dc.label());
+        }
+    }
+}
+
+/// Fault plans × the full flag matrix: scores stay equal to the fault-free
+/// oracle and the degradation verdict (did any score come from a non-device
+/// path?) is a property of the *plan*, never of the optimization flags.
+#[test]
+fn fault_matrix_is_invariant_across_the_flag_matrix() {
+    let db = mixed_db();
+    let query = make_query(50, 19);
+    let params = SwParams::cudasw_default();
+    let oracle: Vec<i32> = db
+        .sequences()
+        .iter()
+        .map(|s| sw_score(&params, &query, &s.residues))
+        .collect();
+    let plans: Vec<(&str, FaultPlan)> = vec![
+        (
+            "transient-launch",
+            FaultPlan::none().with_transient(FaultSite::Launch, 1),
+        ),
+        (
+            "transient-h2d",
+            FaultPlan::none().with_transient(FaultSite::HostToDevice, 2),
+        ),
+        ("oom-rechunk", FaultPlan::none().with_oom(3)),
+        (
+            "device-loss-fallback",
+            FaultPlan::none().with_device_loss(FaultSite::Launch, 1),
+        ),
+    ];
+    for (tag, plan) in &plans {
+        let mut verdicts = Vec::new();
+        for dc in DeviceKernelConfig::all_combinations() {
+            let mut driver = CudaSwDriver::new(DeviceSpec::tesla_c2050(), config(dc));
+            driver.dev.inject_faults(plan.clone());
+            let r = driver
+                .search_resilient(&query, &db, &RecoveryPolicy::default())
+                .unwrap();
+            assert_eq!(r.result.scores, oracle, "plan {tag}, config {}", dc.label());
+            verdicts.push(r.recovery.degraded);
+        }
+        assert!(
+            verdicts.iter().all(|&v| v == verdicts[0]),
+            "plan {tag}: degradation verdict varied across flag combinations: {verdicts:?}"
+        );
+    }
+}
+
+/// The streamed staged path: the database uploads exactly once, every
+/// query still costs exactly two H2D calls (profile + packed residues),
+/// bytes moved are identical to the synchronous path, and a measurable
+/// part of the copy time is hidden behind kernel execution.
+#[test]
+fn streamed_staging_uploads_once_and_hides_copy_time() {
+    let db = mixed_db();
+    let queries = [make_query(50, 19), make_query(37, 23), make_query(64, 29)];
+
+    let run = |device: DeviceKernelConfig| {
+        obs::capture(|| {
+            let mut driver = CudaSwDriver::new(DeviceSpec::tesla_c2050(), config(device));
+            let staged = driver.stage_database(&db).unwrap();
+            let mut out = Vec::new();
+            for q in &queries {
+                out.push(driver.search_staged(q, &staged).unwrap());
+            }
+            let xfer = driver.dev.transfer_stats();
+            (out, xfer)
+        })
+    };
+
+    let ((sync_results, sync_xfer), sync_run) = run(DeviceKernelConfig::default());
+    let ((str_results, str_xfer), str_run) = run(DeviceKernelConfig {
+        streamed_h2d: true,
+        ..DeviceKernelConfig::default()
+    });
+
+    for (a, b) in sync_results.iter().zip(&str_results) {
+        assert_eq!(a.scores, b.scores);
+    }
+    // Same bytes, same call count: streaming changes *when*, not *what*.
+    assert_eq!(sync_xfer.h2d_bytes, str_xfer.h2d_bytes);
+    let sync_calls = sync_run
+        .metrics
+        .counter_sum("cudasw.gpu_sim.h2d.calls", &[]);
+    let str_calls = str_run.metrics.counter_sum("cudasw.gpu_sim.h2d.calls", &[]);
+    assert_eq!(
+        sync_calls, str_calls,
+        "streaming must not add or drop copies"
+    );
+    // Two per-query H2D calls on top of the one-time staging uploads.
+    let staging_calls = sync_calls as usize - 2 * queries.len();
+    assert!(staging_calls > 0);
+    // The streamed session hid real copy time; exposed + hidden re-adds
+    // to the synchronous totals (same latency+bytes model underneath).
+    assert!(str_xfer.h2d_streamed > 0);
+    assert!(str_xfer.h2d_hidden_seconds > 0.0);
+    assert!(
+        str_xfer.h2d_seconds < sync_xfer.h2d_seconds,
+        "exposed H2D time must shrink: {} vs {}",
+        str_xfer.h2d_seconds,
+        sync_xfer.h2d_seconds
+    );
+    assert!(
+        (str_xfer.h2d_seconds + str_xfer.h2d_hidden_seconds - sync_xfer.h2d_seconds).abs() < 1e-12,
+        "hidden + exposed must equal the synchronous total"
+    );
+    let hidden_metric = str_run
+        .metrics
+        .counter_sum("cudasw.gpu_sim.h2d.hidden_seconds", &[]);
+    assert!((hidden_metric - str_xfer.h2d_hidden_seconds).abs() < 1e-12);
+}

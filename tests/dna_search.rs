@@ -3,7 +3,10 @@
 //! alphabet-generic: a 5-code DNA alphabet with a match/mismatch matrix
 //! flows through the profiles, the SIMD baselines and both GPU kernels.
 
-use cudasw_core::{CudaSwConfig, CudaSwDriver, ImprovedParams, IntraKernelChoice, VariantConfig};
+use cudasw_core::{
+    CudaSwConfig, CudaSwDriver, DeviceKernelConfig, ImprovedParams, IntraKernelChoice,
+    VariantConfig,
+};
 use gpu_sim::DeviceSpec;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -57,6 +60,7 @@ fn gpu_driver_searches_dna() {
             },
             inter_threads_per_block: 256,
             intra,
+            device: DeviceKernelConfig::default(),
         };
         let mut driver = CudaSwDriver::new(DeviceSpec::tesla_c2050(), cfg);
         let r = driver.search(&query, &db).expect("DNA search");

@@ -7,7 +7,10 @@ use cudasw_bench::workloads;
 use cudasw_core::model::{
     predict_inter_group, predict_intra_improved, predict_intra_orig, PredictedIntra,
 };
-use cudasw_core::{CudaSwConfig, CudaSwDriver, ImprovedParams, IntraKernelChoice, VariantConfig};
+use cudasw_core::{
+    bin_imbalance, residue_balanced_bins, CudaSwConfig, CudaSwDriver, DeviceKernelConfig,
+    ImprovedParams, IntraKernelChoice, VariantConfig,
+};
 use gpu_sim::{DeviceSpec, TimingModel};
 use obs::MetricsAssert;
 use sw_db::catalog::PaperDb;
@@ -101,10 +104,19 @@ fn all_inter_task_threshold_costs_performance() {
 #[test]
 fn figure2_curves_converge() {
     let r = fig2::run(&DeviceSpec::tesla_c1060(), 15_360, &fig2::paper_stds(), 567);
-    let ratio_first = r.inter.points.first().unwrap().1 / r.intra.points.first().unwrap().1;
-    let ratio_last = r.inter.points.last().unwrap().1 / r.intra.points.last().unwrap().1;
-    assert!(ratio_first > 5.0, "low-σ gap {ratio_first:.2}x");
-    assert!(ratio_last < 1.1, "σ=4000 ratio {ratio_last:.2}x");
+    let Some((ratio_first, ratio_last)) = r.endpoint_ratios() else {
+        panic!("empty σ sweep");
+    };
+    // Bands are the named constants in fig2 so the unit test and this
+    // paper-claims mirror can never drift apart.
+    assert!(
+        ratio_first > fig2::LOW_STD_MIN_GAP,
+        "low-σ gap {ratio_first:.2}x"
+    );
+    assert!(
+        ratio_last < fig2::HIGH_STD_PARITY_MAX_RATIO,
+        "σ=4000 ratio {ratio_last:.2}x"
+    );
 }
 
 /// Figure 3: the original kernel's threshold cliff.
@@ -292,6 +304,299 @@ fn gcups_accounting_is_monotone_and_consistent() {
 
 fn result_phase(m: &obs::MetricsRegistry, phase: &str, what: &str) -> f64 {
     m.counter_sum(&format!("cudasw.core.phase.{what}"), &[("phase", phase)])
+}
+
+// --- §VII future-work optimizations, counted ------------------------
+//
+// "Performance can be further improved by using the shared memory" /
+// overlapping transfers with execution. Each DeviceKernelConfig flag
+// must move its own counted metric while leaving scores bit-identical
+// (the full 32-combination matrix is pinned in tests/device_opt.rs).
+
+/// §VII: boundary staging must cut the inter-task kernel's global
+/// transactions at least this factor — the per-strip-crossing H/F
+/// round-trips (4 transactions per panel column) collapse to one
+/// 17-word edge exchange per panel.
+const SECTION7_STAGING_MIN_CUT: f64 = 4.0;
+/// §VII: pipeline fusion and H2D streaming must *hide* latency, never
+/// drop it — hidden + exposed re-adds to the unfused/unstreamed total
+/// within float-summation noise.
+const SECTION7_ACCOUNTING_TOL: f64 = 1e-9;
+/// SaLoBa (arXiv:2301.09310): LPT residue balancing must cut block-load
+/// imbalance (max/min, or its excess over perfectly-even 1.0) at least
+/// 3x versus the naive one-block-per-pair / contiguous assignment.
+const SECTION7_BALANCE_MIN_CUT: f64 = 3.0;
+
+/// Run a search on `spec` under the observability recorder; returns the
+/// scores plus the captured run for counter assertions.
+fn device_search(
+    spec: DeviceSpec,
+    cfg: CudaSwConfig,
+    query: &[u8],
+    db: &sw_db::Database,
+) -> (Vec<i32>, obs::Obs) {
+    let (scores, run) = obs::capture(|| {
+        let mut driver = CudaSwDriver::new(spec, cfg);
+        driver.search(query, db).map(|r| r.scores).unwrap()
+    });
+    (scores, run)
+}
+
+fn inter_counter(run: &obs::Obs, name: &str) -> f64 {
+    run.metrics.counter_sum(name, &[("kernel", "inter_task")])
+}
+
+/// §VII shared-memory staging: the strip-boundary H/F traffic of the
+/// inter-task kernel moves to shared memory; global transactions drop
+/// at least [`SECTION7_STAGING_MIN_CUT`], measured from the registry,
+/// with scores bit-identical.
+#[test]
+fn section7_boundary_staging_cuts_global_transactions() {
+    let db = database_with_lengths("s7-staging", &[256; 32], 31);
+    let query = make_query(64, 11);
+    let cfg = |device| CudaSwConfig {
+        inter_threads_per_block: 64,
+        device,
+        ..CudaSwConfig::improved()
+    };
+    let (base_scores, base) = device_search(
+        DeviceSpec::tesla_c2050(),
+        cfg(DeviceKernelConfig::default()),
+        &query,
+        &db,
+    );
+    let staged_cfg = DeviceKernelConfig {
+        boundary_staging: true,
+        ..DeviceKernelConfig::default()
+    };
+    let (staged_scores, staged) =
+        device_search(DeviceSpec::tesla_c2050(), cfg(staged_cfg), &query, &db);
+    assert_eq!(base_scores, staged_scores);
+    let name = "cudasw.gpu_sim.launch.global_transactions";
+    let (g_base, g_staged) = (inter_counter(&base, name), inter_counter(&staged, name));
+    assert!(
+        g_base >= g_staged * SECTION7_STAGING_MIN_CUT,
+        "staging cut only {g_base:.0} -> {g_staged:.0}"
+    );
+    // The traffic moved to shared memory, it did not vanish: the staged
+    // run performs shared-memory work where the baseline did global.
+    assert!(
+        staged
+            .metrics
+            .counter_sum("cudasw.gpu_sim.launch.shared_bank_conflicts", &[])
+            == 0.0,
+        "staging layout must stay conflict-free"
+    );
+}
+
+/// §VII shared-memory-only panels: when every subject of a group fits
+/// one panel, the kernel runs with **zero** global intermediates — the
+/// only global transactions left are the score stores (exactly one per
+/// launch, counted).
+#[test]
+fn section7_single_panel_groups_store_scores_only() {
+    let db = database_with_lengths("s7-shared", &[64; 32], 37);
+    let query = make_query(48, 13);
+    let cfg = |device| CudaSwConfig {
+        inter_threads_per_block: 64,
+        device,
+        ..CudaSwConfig::improved()
+    };
+    let (base_scores, base) = device_search(
+        DeviceSpec::tesla_c2050(),
+        cfg(DeviceKernelConfig::default()),
+        &query,
+        &db,
+    );
+    let shared_cfg = DeviceKernelConfig {
+        shared_only: true,
+        ..DeviceKernelConfig::default()
+    };
+    let (shared_scores, shared) =
+        device_search(DeviceSpec::tesla_c2050(), cfg(shared_cfg), &query, &db);
+    assert_eq!(base_scores, shared_scores);
+    let name = "cudasw.gpu_sim.launch.global_transactions";
+    let launches = inter_counter(&shared, "cudasw.gpu_sim.launch.calls");
+    assert_eq!(
+        inter_counter(&shared, name),
+        launches,
+        "shared-only must leave exactly one score-store transaction per launch"
+    );
+    assert!(
+        inter_counter(&base, name) > launches * SECTION7_STAGING_MIN_CUT,
+        "baseline global traffic should dwarf the score stores"
+    );
+}
+
+/// §VII cross-strip pipeline fusion: removed fill/flush stalls are
+/// *counted* as hidden latency (never silently dropped) and the fused
+/// intra-task kernel finishes faster on the same work.
+#[test]
+fn section7_fusion_counts_hidden_latency_and_speeds_up() {
+    let db = database_with_lengths("s7-fusion", &[3500, 3300, 3200, 3600], 41);
+    // Several query strips (strip height = 32 threads x 4 rows = 128), so
+    // there are inter-strip fill/flush stalls for fusion to remove.
+    let query = make_query(300, 17);
+    let cfg = |device| CudaSwConfig {
+        improved: ImprovedParams {
+            threads_per_block: 32,
+            tile_height: 4,
+        },
+        device,
+        ..CudaSwConfig::improved()
+    };
+    let (base_scores, base) = device_search(
+        DeviceSpec::tesla_c1060(),
+        cfg(DeviceKernelConfig::default()),
+        &query,
+        &db,
+    );
+    let fused_cfg = cfg(DeviceKernelConfig {
+        pipeline_fusion: true,
+        ..DeviceKernelConfig::default()
+    });
+    let (fused_scores, fused) = device_search(DeviceSpec::tesla_c1060(), fused_cfg, &query, &db);
+    assert_eq!(base_scores, fused_scores);
+    let hidden = |run: &obs::Obs| {
+        run.metrics.counter_sum(
+            "cudasw.gpu_sim.launch.hidden_latency_cycles",
+            &[("kernel", "intra_improved")],
+        )
+    };
+    assert_eq!(hidden(&base), 0.0, "unfused pipeline hides nothing");
+    assert!(hidden(&fused) > 0.0, "fusion must count its removed stalls");
+    let secs = |run: &obs::Obs| {
+        run.metrics
+            .counter_sum("cudasw.core.phase.seconds", &[("phase", "intra")])
+    };
+    assert!(
+        secs(&fused) < secs(&base),
+        "fused {:.6}s vs unfused {:.6}s",
+        secs(&fused),
+        secs(&base)
+    );
+}
+
+/// §VII streamed H2D: bytes moved are identical, a measurable part of
+/// the copy time overlaps kernel execution, and hidden + exposed
+/// re-adds to the synchronous total (latency is hidden, not dropped).
+#[test]
+fn section7_streamed_h2d_overlaps_without_changing_bytes() {
+    let db = database_with_lengths("s7-stream", &[90, 120, 150, 180, 240, 300, 400, 3500], 43);
+    let query = make_query(64, 19);
+    let cfg = |device| CudaSwConfig {
+        threshold: 1000,
+        device,
+        ..CudaSwConfig::improved()
+    };
+    let (sync_scores, sync_run) = device_search(
+        DeviceSpec::tesla_c2050(),
+        cfg(DeviceKernelConfig::default()),
+        &query,
+        &db,
+    );
+    let stream_cfg = DeviceKernelConfig {
+        streamed_h2d: true,
+        ..DeviceKernelConfig::default()
+    };
+    let (stream_scores, stream_run) =
+        device_search(DeviceSpec::tesla_c2050(), cfg(stream_cfg), &query, &db);
+    assert_eq!(sync_scores, stream_scores);
+    let c = |run: &obs::Obs, name: &str| run.metrics.counter_sum(name, &[]);
+    assert_eq!(
+        c(&sync_run, "cudasw.gpu_sim.h2d.bytes"),
+        c(&stream_run, "cudasw.gpu_sim.h2d.bytes"),
+        "streaming must not change what is copied"
+    );
+    let hidden = c(&stream_run, "cudasw.gpu_sim.h2d.hidden_seconds");
+    let exposed = c(&stream_run, "cudasw.gpu_sim.h2d.seconds");
+    let sync_total = c(&sync_run, "cudasw.gpu_sim.h2d.seconds");
+    assert!(hidden > 0.0, "no copy time was hidden");
+    assert!(exposed < sync_total);
+    assert!(
+        (exposed + hidden - sync_total).abs() <= SECTION7_ACCOUNTING_TOL * sync_total,
+        "hidden latency must be counted, not dropped: {exposed} + {hidden} != {sync_total}"
+    );
+}
+
+/// SaLoBa-style intra-task balance: the LPT residue schedule is at
+/// least [`SECTION7_BALANCE_MIN_CUT`] closer to even than a contiguous
+/// split, and through the driver it shrinks the intra-task makespan on
+/// a heavy-tailed group without touching a single score.
+#[test]
+fn section7_balanced_intra_cuts_block_imbalance() {
+    // Schedule-level claim on a balanceable fat-middle mix: LPT's excess
+    // imbalance (above perfectly-even 1.0) is at least 3x smaller than a
+    // contiguous split's.
+    let even_mix: Vec<usize> = std::iter::once(2000)
+        .chain((0..15).map(|i| 700 - 10 * i))
+        .collect();
+    let bins = 4;
+    let lpt = residue_balanced_bins(&even_mix, bins);
+    let chunk = even_mix.len() / bins;
+    let contiguous: Vec<Vec<usize>> = (0..bins)
+        .map(|b| (b * chunk..(b + 1) * chunk).collect())
+        .collect();
+    let (lpt_imb, contig_imb) = (
+        bin_imbalance(&even_mix, &lpt),
+        bin_imbalance(&even_mix, &contiguous),
+    );
+    assert!(
+        contig_imb - 1.0 >= SECTION7_BALANCE_MIN_CUT * (lpt_imb - 1.0),
+        "LPT {lpt_imb:.2}x vs contiguous {contig_imb:.2}x"
+    );
+
+    // Driver-level claim on a heavy tail: one giant pair serializes its
+    // block under one-block-per-pair; the balanced schedule cuts the
+    // measured block-cycle spread of the single intra-task launch at
+    // least 3x, scores bit-identical.
+    let lengths = vec![
+        2000usize, 130, 190, 160, 150, 140, 135, 180, 170, 165, 155, 145, 138, 148, 158, 168,
+    ];
+    let mut spec = DeviceSpec::tesla_c1060();
+    spec.sm_count = 4;
+    let db = database_with_lengths("s7-balance", &lengths, 47);
+    let query = make_query(96, 23);
+    let cfg = |device| CudaSwConfig {
+        threshold: 100,
+        improved: ImprovedParams {
+            threads_per_block: 32,
+            tile_height: 4,
+        },
+        device,
+        ..CudaSwConfig::improved()
+    };
+    let (base_scores, base) = device_search(
+        spec.clone(),
+        cfg(DeviceKernelConfig::default()),
+        &query,
+        &db,
+    );
+    let bal_cfg = DeviceKernelConfig {
+        balanced_intra: true,
+        ..DeviceKernelConfig::default()
+    };
+    let (bal_scores, bal) = device_search(spec, cfg(bal_cfg), &query, &db);
+    assert_eq!(base_scores, bal_scores);
+    // One intra launch per run, so the summed per-launch extremes are the
+    // launch's own max/min block cycles.
+    let imbalance = |run: &obs::Obs| {
+        let labels = [("kernel", "intra_improved")];
+        run.metrics
+            .counter_sum("cudasw.gpu_sim.launch.block_cycles_max", &labels)
+            / run
+                .metrics
+                .counter_sum("cudasw.gpu_sim.launch.block_cycles_min", &labels)
+    };
+    let (base_imb, bal_imb) = (imbalance(&base), imbalance(&bal));
+    assert!(
+        base_imb > 5.0,
+        "heavy tail should skew blocks: {base_imb:.2}x"
+    );
+    assert!(
+        bal_imb * SECTION7_BALANCE_MIN_CUT <= base_imb,
+        "balanced {bal_imb:.2}x vs one-block-per-pair {base_imb:.2}x"
+    );
 }
 
 /// Table II: improvement on every database, smallest on TAIR.
